@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "hslb/cesm/configs.hpp"
+#include "hslb/hslb/manual_tuner.hpp"
+#include "hslb/hslb/pipeline.hpp"
+
+namespace hslb::bench {
+
+inline void banner(const std::string& title, const std::string& reference) {
+  std::cout << "\n==============================================================\n"
+            << title << "\n"
+            << "reproduces: " << reference << "\n"
+            << "==============================================================\n";
+}
+
+/// The gather campaign sizes used throughout the paper's experiments.
+inline std::vector<int> one_degree_totals() {
+  return {128, 256, 512, 1024, 2048};
+}
+
+inline std::vector<int> eighth_degree_totals() {
+  return {4096, 8192, 16384, 24576, 32768};
+}
+
+/// Standard pipeline config for a case at a target size.
+inline core::PipelineConfig make_config(const cesm::CaseConfig& case_config,
+                                        int total_nodes,
+                                        std::vector<int> gather_totals) {
+  core::PipelineConfig config;
+  config.case_config = case_config;
+  config.total_nodes = total_nodes;
+  config.gather_totals = std::move(gather_totals);
+  return config;
+}
+
+}  // namespace hslb::bench

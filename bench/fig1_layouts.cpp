@@ -1,0 +1,46 @@
+// Figure 1: the three CESM component layouts, rendered as area diagrams
+// (component width = node share, height = time share) from actual simulated
+// runs at 128 nodes of the 1-degree case.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner("Figure 1 -- popular layouts of CESM components",
+                "Alexeev et al., IPDPSW'14, Fig. 1");
+
+  const cesm::CaseConfig config = cesm::one_degree_case();
+  constexpr int kTotal = 128;
+
+  for (const cesm::LayoutKind kind :
+       {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+        cesm::LayoutKind::kFullySequential}) {
+    const cesm::Layout layout = cesm::reference_layout(config, kind, kTotal);
+    const cesm::RunResult run = cesm::run_case(config, layout, 2014);
+
+    std::map<cesm::ComponentKind, double> seconds;
+    for (const cesm::ComponentKind component : cesm::kModeledComponents) {
+      seconds[component] = run.component_seconds.at(component);
+    }
+    std::cout << '\n'
+              << core::render_layout_ascii(layout, seconds) << '\n';
+    std::cout << "  measured model time: " << run.model_seconds
+              << " s for a " << config.simulated_days << "-day run on "
+              << kTotal << " nodes\n";
+  }
+
+  std::cout << "\nShape check (paper: layout 3 is the worst, 1 and 2 are "
+               "close):\n";
+  for (const cesm::LayoutKind kind :
+       {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+        cesm::LayoutKind::kFullySequential}) {
+    const cesm::Layout layout = cesm::reference_layout(config, kind, kTotal);
+    const cesm::RunResult run = cesm::run_case(config, layout, 2014);
+    std::cout << "  " << to_string(kind) << ": " << run.model_seconds
+              << " s\n";
+  }
+  return 0;
+}

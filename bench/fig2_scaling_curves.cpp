@@ -1,0 +1,80 @@
+// Figure 2: scaling curves for each component in layout (1) at 1-degree
+// resolution, with the fitted Table II parameters and the T^sca / T^nln /
+// T^ser term decomposition shown in the paper's inset.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/hslb/report.hpp"
+#include "hslb/perf/fit.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner("Figure 2 -- component scaling curves, layout (1), 1 degree",
+                "Alexeev et al., IPDPSW'14, Fig. 2 + Table II");
+
+  const cesm::CaseConfig case_config = cesm::one_degree_case();
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, cesm::LayoutKind::kHybrid, bench::one_degree_totals(),
+      2014);
+
+  std::map<cesm::ComponentKind, perf::FitResult> fits;
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    const cesm::Series series = cesm::series_for(campaign.samples, kind);
+    fits[kind] = perf::fit(series.nodes, series.seconds);
+  }
+
+  std::cout << "\nFitted Table II parameters (R^2 close to 1 for every "
+               "component, as in the paper):\n"
+            << core::render_fit_summary(fits);
+
+  // Measured points per component.
+  std::cout << "\nBenchmark samples (5-day runs):\n";
+  common::Table samples({"component", "nodes", "measured,s", "fitted,s"});
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    const cesm::Series series = cesm::series_for(campaign.samples, kind);
+    for (std::size_t i = 0; i < series.nodes.size(); ++i) {
+      samples.add_row();
+      samples.cell(std::string(cesm::to_string(kind)));
+      samples.cell(static_cast<long long>(series.nodes[i]));
+      samples.cell(series.seconds[i], 3);
+      samples.cell(fits.at(kind).model(series.nodes[i]), 3);
+    }
+  }
+  std::cout << samples;
+
+  // Curve series: fitted curves over a node sweep (what the figure plots),
+  // with the 1-sigma prediction interval of the noisiest curve (ice).
+  std::cout << "\nFitted scaling curves (series for the figure):\n";
+  common::Table curves(
+      {"nodes", "lnd,s", "ice,s", "+-1sig(ice)", "atm,s", "ocn,s"});
+  for (int n = 16; n <= 2048; n *= 2) {
+    curves.add_row();
+    curves.cell(static_cast<long long>(n));
+    curves.cell(fits.at(cesm::ComponentKind::kLnd).model(n), 3);
+    curves.cell(fits.at(cesm::ComponentKind::kIce).model(n), 3);
+    curves.cell(
+        perf::prediction_stddev(fits.at(cesm::ComponentKind::kIce), n), 3);
+    curves.cell(fits.at(cesm::ComponentKind::kAtm).model(n), 3);
+    curves.cell(fits.at(cesm::ComponentKind::kOcn).model(n), 3);
+  }
+  std::cout << curves;
+
+  // The inset: term decomposition for the atmosphere curve.
+  std::cout << "\nTerm decomposition, atmosphere (the Fig. 2 inset: "
+               "T = T_sca + T_nln + T_ser):\n";
+  const perf::PerfModel& atm = fits.at(cesm::ComponentKind::kAtm).model;
+  common::Table terms({"nodes", "T,s", "T_sca,s", "T_nln,s", "T_ser,s"});
+  for (int n = 16; n <= 2048; n *= 4) {
+    terms.add_row();
+    terms.cell(static_cast<long long>(n));
+    terms.cell(atm(n), 3);
+    terms.cell(atm.scalable_term(n), 3);
+    terms.cell(atm.nonlinear_term(n), 4);
+    terms.cell(atm.serial_term(), 3);
+  }
+  std::cout << terms;
+  std::cout << "\nShape check: T_sca dominates at small n, T_ser at large n "
+               "(Amdahl), T_nln stays small on this machine -- as the paper "
+               "observed on Intrepid.\n";
+  return 0;
+}

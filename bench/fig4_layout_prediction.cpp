@@ -1,0 +1,64 @@
+// Figure 4: predicted scaling of layouts 1-3 at 1-degree resolution from
+// the layout-1 fits, plus the experimental layout-1 curve; the paper
+// reports R^2 = 1.0 between predicted and experimental layout 1.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/hslb/report.hpp"
+#include "hslb/perf/perf_model.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner("Figure 4 -- layout 1-3 scaling predictions, 1 degree",
+                "Alexeev et al., IPDPSW'14, Fig. 4");
+
+  const cesm::CaseConfig case_config = cesm::one_degree_case();
+  core::PipelineConfig base =
+      bench::make_config(case_config, 128, bench::one_degree_totals());
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, base.layout, base.gather_totals, base.seed);
+
+  common::Table series({"nodes", "layout1 pred,s", "layout2 pred,s",
+                        "layout3 pred,s", "layout1 exp,s"});
+  std::vector<double> predicted_l1;
+  std::vector<double> experimental_l1;
+
+  for (const int total : {128, 256, 512, 1024, 2048}) {
+    series.add_row();
+    series.cell(static_cast<long long>(total));
+
+    double l1_pred = 0.0;
+    std::optional<core::Allocation> l1_alloc;
+    for (const cesm::LayoutKind kind :
+         {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+          cesm::LayoutKind::kFullySequential}) {
+      core::PipelineConfig config = base;
+      config.total_nodes = total;
+      config.layout = kind;
+      const core::HslbResult result =
+          core::run_hslb_from_samples(config, campaign.samples);
+      series.cell(result.predicted_total, 1);
+      if (kind == cesm::LayoutKind::kHybrid) {
+        l1_pred = result.predicted_total;
+        l1_alloc = result.allocation;
+      }
+    }
+
+    // Execute the layout-1 optimum: the experimental series.
+    const cesm::RunResult run = cesm::run_case(
+        case_config, l1_alloc->as_layout(cesm::LayoutKind::kHybrid),
+        base.seed + 1);
+    series.cell(run.model_seconds, 1);
+    predicted_l1.push_back(l1_pred);
+    experimental_l1.push_back(run.model_seconds);
+  }
+  std::cout << '\n' << series;
+
+  const double r2 = perf::r_squared(experimental_l1, predicted_l1);
+  std::cout << "\nR^2(predicted, experimental) for layout 1: "
+            << common::format_fixed(r2, 4)
+            << "   (paper: 1.0)\n";
+  std::cout << "Shape check (paper Fig. 4): layouts 1 and 2 similar, "
+               "layout 3 clearly the worst at every size.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table III, 1-degree blocks: manual vs HSLB (predicted and actual) node
+// allocations and timings at 128 and 2048 nodes (the paper also ran 256,
+// 512, 1024; all five are reproduced).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner("Table III -- 1-degree resolution, manual vs HSLB",
+                "Alexeev et al., IPDPSW'14, Table III (rows 1-2)");
+
+  const cesm::CaseConfig case_config = cesm::one_degree_case();
+
+  // One shared gather campaign (both the expert and HSLB read it, exactly
+  // as in the paper where the same benchmark data served both).
+  core::PipelineConfig base =
+      bench::make_config(case_config, 128, bench::one_degree_totals());
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, base.layout, base.gather_totals, base.seed);
+
+  for (const int total : {128, 256, 512, 1024, 2048}) {
+    core::PipelineConfig config = base;
+    config.total_nodes = total;
+    core::HslbResult hslb = core::run_hslb_from_samples(config,
+                                                        campaign.samples);
+    // Execute step (run_hslb_from_samples skips it).
+    const cesm::Layout layout = hslb.allocation.as_layout(config.layout);
+    hslb.run = cesm::run_case(case_config, layout, config.seed + 1);
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      hslb.components[kind].actual_seconds =
+          hslb.run.component_seconds.at(kind);
+    }
+    hslb.actual_total = hslb.run.model_seconds;
+
+    core::ManualTunerConfig manual_config;
+    manual_config.total_nodes = total;
+    const core::ManualResult manual =
+        core::run_manual(case_config, manual_config, campaign.samples);
+
+    std::cout << "\n--- 1-degree resolution, " << total << " nodes ---\n"
+              << core::render_table3_block(manual, hslb);
+    const double ratio = hslb.actual_total / manual.actual_total;
+    std::cout << "HSLB actual / manual actual = "
+              << common::format_fixed(ratio, 3)
+              << "   (paper: very close to 1 at this resolution)\n";
+    std::cout << "solver: " << hslb.solver_result.stats.nodes_explored
+              << " B&B nodes, " << hslb.solver_result.stats.lp_solves
+              << " LPs, "
+              << common::format_fixed(
+                     hslb.solver_result.stats.wall_seconds * 1e3, 1)
+              << " ms\n";
+  }
+  return 0;
+}

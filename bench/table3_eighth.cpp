@@ -1,0 +1,54 @@
+// Table III, 1/8-degree blocks with the hard-coded ocean node counts
+// {480, 512, 2356, 3136, 4564, 6124, 19460}: manual vs HSLB at 8192 and
+// 32768 nodes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner(
+      "Table III -- 1/8-degree resolution, constrained ocean counts",
+      "Alexeev et al., IPDPSW'14, Table III (rows 3-4)");
+
+  const cesm::CaseConfig case_config = cesm::eighth_degree_case();
+  core::PipelineConfig base =
+      bench::make_config(case_config, 8192, bench::eighth_degree_totals());
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, base.layout, base.gather_totals, base.seed);
+
+  for (const int total : {8192, 32768}) {
+    core::PipelineConfig config = base;
+    config.total_nodes = total;
+    core::HslbResult hslb =
+        core::run_hslb_from_samples(config, campaign.samples);
+    const cesm::Layout layout = hslb.allocation.as_layout(config.layout);
+    hslb.run = cesm::run_case(case_config, layout, config.seed + 1);
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      hslb.components[kind].actual_seconds =
+          hslb.run.component_seconds.at(kind);
+    }
+    hslb.actual_total = hslb.run.model_seconds;
+
+    core::ManualTunerConfig manual_config;
+    manual_config.total_nodes = total;
+    const core::ManualResult manual =
+        core::run_manual(case_config, manual_config, campaign.samples);
+
+    std::cout << "\n--- 1/8-degree resolution, " << total << " nodes ---\n"
+              << core::render_table3_block(manual, hslb);
+    const double gain =
+        100.0 * (1.0 - hslb.actual_total / manual.actual_total);
+    std::cout << "HSLB improvement over manual: "
+              << common::format_fixed(gain, 1)
+              << " %   (paper: up to ~10 % at this resolution)\n";
+    std::cout << "solver: " << hslb.solver_result.stats.nodes_explored
+              << " B&B nodes, " << hslb.solver_result.stats.lp_solves
+              << " LPs, "
+              << common::format_fixed(hslb.solver_result.stats.wall_seconds,
+                                      2)
+              << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Table III, final two blocks: 1/8-degree with the ocean node constraint
+// REMOVED.  The optimizer may pick any integer ocean count; the prediction
+// improves sharply, the executed run pays POP's off-preferred-count penalty
+// (the paper's "ocean scaling curve was not captured well"), and a "tuned"
+// variant snapped toward known sweet spots recovers part of the gap --
+// exactly the workflow behind the paper's last Table III entry.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/cesm/decomposition.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner(
+      "Table III -- 1/8-degree resolution, unconstrained ocean counts",
+      "Alexeev et al., IPDPSW'14, Table III (rows 5-6)");
+
+  const cesm::CaseConfig case_config = cesm::eighth_degree_case();
+  core::PipelineConfig base =
+      bench::make_config(case_config, 8192, bench::eighth_degree_totals());
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, base.layout, base.gather_totals, base.seed);
+
+  for (const int total : {8192, 32768}) {
+    // Constrained run for the comparison baseline.
+    core::PipelineConfig constrained = base;
+    constrained.total_nodes = total;
+    core::HslbResult con =
+        core::run_hslb_from_samples(constrained, campaign.samples);
+    const cesm::RunResult con_run = cesm::run_case(
+        case_config, con.allocation.as_layout(constrained.layout),
+        constrained.seed + 1);
+
+    // Unconstrained solve.
+    core::PipelineConfig unconstrained = constrained;
+    unconstrained.constrain_ocean = false;
+    core::HslbResult unc =
+        core::run_hslb_from_samples(unconstrained, campaign.samples);
+    const cesm::Layout unc_layout =
+        unc.allocation.as_layout(unconstrained.layout);
+    const cesm::RunResult unc_run =
+        cesm::run_case(case_config, unc_layout, unconstrained.seed + 1);
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      unc.components[kind].actual_seconds =
+          unc_run.component_seconds.at(kind);
+    }
+    unc.actual_total = unc_run.model_seconds;
+
+    std::cout << "\n--- 1/8-degree, " << total
+              << " nodes, unconstrained ocean ---\n"
+              << core::render_table3_block(unc);
+
+    std::cout << "constrained HSLB actual : "
+              << common::format_fixed(con_run.model_seconds, 3) << " s\n"
+              << "unconstrained predicted : "
+              << common::format_fixed(unc.predicted_total, 3) << " s  ("
+              << common::format_fixed(
+                     100.0 * (1.0 - unc.predicted_total /
+                                        con.predicted_total),
+                     1)
+              << " % better than constrained prediction; paper: ~40 % at "
+                 "32768)\n"
+              << "unconstrained actual    : "
+              << common::format_fixed(unc.actual_total, 3)
+              << " s  (above prediction: POP pays a penalty off its tuned "
+                 "counts)\n"
+              << "improvement vs constrained actual: "
+              << common::format_fixed(
+                     100.0 * (1.0 - unc.actual_total / con_run.model_seconds),
+                     1)
+              << " %   (paper: ~25 % at 32768)\n";
+
+    // "Tuned actual": the paper chose the final allocation "based on the
+    // HSLB predicted nodes but adjusting node counts toward known component
+    // sweet spots".  Candidates: the raw prediction and the adjacent
+    // preferred ocean counts; keep whichever the fitted models predict to
+    // be fastest, then execute it.
+    const int predicted_ocn =
+        unc.components.at(cesm::ComponentKind::kOcn).nodes;
+    const auto preferred = cesm::ocn_allowed_eighth_degree(total);
+    std::vector<int> candidates{predicted_ocn};
+    int below = -1;
+    int above = -1;
+    for (const int p : preferred) {
+      if (p <= predicted_ocn && (below < 0 || p > below)) {
+        below = p;
+      }
+      if (p >= predicted_ocn && (above < 0 || p < above)) {
+        above = p;
+      }
+    }
+    for (const int candidate : {below, above}) {
+      if (candidate > 0 && candidate != predicted_ocn) {
+        candidates.push_back(candidate);
+      }
+    }
+
+    const auto predict_total = [&](const cesm::Layout& layout) {
+      double ice = 0.0, lnd = 0.0, atm = 0.0, ocn = 0.0;
+      ice = unc.fits.at(cesm::ComponentKind::kIce)
+                .model(layout.at(cesm::ComponentKind::kIce));
+      lnd = unc.fits.at(cesm::ComponentKind::kLnd)
+                .model(layout.at(cesm::ComponentKind::kLnd));
+      atm = unc.fits.at(cesm::ComponentKind::kAtm)
+                .model(layout.at(cesm::ComponentKind::kAtm));
+      ocn = unc.fits.at(cesm::ComponentKind::kOcn)
+                .model(layout.at(cesm::ComponentKind::kOcn));
+      return cesm::combine_times(layout.kind, ice, lnd, atm, ocn);
+    };
+
+    cesm::Layout tuned = unc_layout;
+    double tuned_prediction = predict_total(unc_layout);
+    for (const int candidate : candidates) {
+      cesm::Layout trial = unc_layout;
+      const int delta = predicted_ocn - candidate;
+      trial.nodes[cesm::ComponentKind::kOcn] = candidate;
+      trial.nodes[cesm::ComponentKind::kAtm] += delta;  // reuse freed nodes
+      trial.nodes[cesm::ComponentKind::kIce] += delta;
+      if (trial.nodes.at(cesm::ComponentKind::kAtm) < 1 ||
+          trial.nodes.at(cesm::ComponentKind::kIce) < 1 ||
+          trial.invalid_reason(total)) {
+        continue;
+      }
+      const double prediction = predict_total(trial);
+      if (prediction < tuned_prediction) {
+        tuned_prediction = prediction;
+        tuned = trial;
+      }
+    }
+    const cesm::RunResult tuned_run =
+        cesm::run_case(case_config, tuned, unconstrained.seed + 2);
+    std::cout << "tuned allocation        : ocn " << predicted_ocn << " -> "
+              << tuned.at(cesm::ComponentKind::kOcn) << ", predicted "
+              << common::format_fixed(tuned_prediction, 3) << " s, actual "
+              << common::format_fixed(tuned_run.model_seconds, 3) << " s\n";
+  }
+  return 0;
+}

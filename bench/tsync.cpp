@@ -1,0 +1,65 @@
+// Section III-A Tsync remark: "additional constraints, like Tsync, may
+// actually result in reduced performance of the algorithm because it
+// imposes additional synchronization constraints on the solution".
+// Sweep the tolerance and watch the optimum degrade as it tightens.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+  bench::banner("Section III-A -- Tsync tolerance sweep",
+                "Alexeev et al., IPDPSW'14, section III-A");
+
+  const cesm::CaseConfig case_config = cesm::one_degree_case();
+  core::PipelineConfig base =
+      bench::make_config(case_config, 512, bench::one_degree_totals());
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, base.layout, base.gather_totals, base.seed);
+
+  common::Table table({"machine", "Tsync,s", "predicted T,s", "ice nodes",
+                       "lnd nodes", "pred |Ti-Tl|,s", "B&B nodes"});
+  for (const int total : {96, 512}) {
+    for (const double tsync :
+         {lp::kInf, 30.0, 8.0, 2.0, 1.0, 0.5, 0.2, 0.05}) {
+      core::PipelineConfig config = base;
+      config.total_nodes = total;
+      config.tsync = std::isfinite(tsync) ? tsync : 1e9;
+      table.add_row();
+      table.cell(static_cast<long long>(total));
+      table.cell(std::isfinite(tsync) ? common::format_fixed(tsync, 2)
+                                      : std::string("inf"));
+      try {
+        const core::HslbResult result =
+            core::run_hslb_from_samples(config, campaign.samples);
+        const double gap = std::fabs(
+            result.allocation.predicted_seconds.at(
+                cesm::ComponentKind::kIce) -
+            result.allocation.predicted_seconds.at(
+                cesm::ComponentKind::kLnd));
+        table.cell(result.predicted_total, 3);
+        table.cell(static_cast<long long>(
+            result.allocation.nodes.at(cesm::ComponentKind::kIce)));
+        table.cell(static_cast<long long>(
+            result.allocation.nodes.at(cesm::ComponentKind::kLnd)));
+        table.cell(gap, 3);
+        table.cell(static_cast<long long>(
+            result.solver_result.stats.nodes_explored));
+      } catch (const Error&) {
+        table.cell(std::string("infeasible"));
+        table.cell_missing();
+        table.cell_missing();
+        table.cell_missing();
+        table.cell_missing();
+      }
+    }
+  }
+  std::cout << '\n' << table;
+  std::cout << "\nShape check (paper III-A): the optimum is monotonically "
+               "non-decreasing as Tsync tightens -- synchronization "
+               "constraints can only cost time.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Auto-tune a simulated CESM case end to end and compare against the
+// manual-expert baseline -- the paper's headline workflow as a CLI tool.
+//
+//   $ ./autotune_cesm [1deg|eighth] [total_nodes] [--unconstrained-ocean]
+//
+// Examples:
+//   ./autotune_cesm                      # 1-degree case at 128 nodes
+//   ./autotune_cesm eighth 32768         # the paper's largest experiment
+//   ./autotune_cesm eighth 32768 --unconstrained-ocean
+//   ./autotune_cesm 1deg 512 --tune-ice        # learn CICE decompositions first
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hslb/hslb/manual_tuner.hpp"
+#include "hslb/hslb/objectives.hpp"
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hslb;
+
+  std::string case_name = "1deg";
+  int total_nodes = 128;
+  bool constrain_ocean = true;
+  bool tune_ice = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--unconstrained-ocean") == 0) {
+      constrain_ocean = false;
+    } else if (std::strcmp(argv[i], "--tune-ice") == 0) {
+      tune_ice = true;
+    } else if (std::isdigit(static_cast<unsigned char>(argv[i][0])) != 0) {
+      total_nodes = std::atoi(argv[i]);
+    } else {
+      case_name = argv[i];
+    }
+  }
+
+  core::PipelineConfig config;
+  if (case_name == "eighth" || case_name == "1/8") {
+    config.case_config = cesm::eighth_degree_case();
+    config.gather_totals = {4096, 8192, 16384, 24576, 32768};
+    if (total_nodes == 128) {
+      total_nodes = 8192;  // a sensible default for the large case
+    }
+  } else {
+    config.case_config = cesm::one_degree_case();
+    config.gather_totals = {128, 256, 512, 1024, 2048};
+  }
+  config.total_nodes = total_nodes;
+  config.constrain_ocean = constrain_ocean;
+  config.tune_ice_decomposition = tune_ice;
+
+  std::cout << "case        : " << config.case_config.name << '\n'
+            << "machine     : " << config.case_config.machine.name << '\n'
+            << "target size : " << total_nodes << " nodes ("
+            << config.case_config.machine.cores(total_nodes) << " cores)\n"
+            << "ocean counts: "
+            << (constrain_ocean ? "restricted to the hard-coded set"
+                                : "unconstrained (any integer)")
+            << '\n'
+            << "ice tuning  : "
+            << (tune_ice ? "ML decomposition policy (ref. [10])"
+                         : "CICE defaults")
+            << "\n\n";
+
+  const core::HslbResult hslb = core::run_hslb(config);
+
+  core::ManualTunerConfig manual_config;
+  manual_config.total_nodes = total_nodes;
+  manual_config.constrain_ocean = constrain_ocean;
+  const core::ManualResult manual =
+      core::run_manual(config.case_config, manual_config, hslb.samples);
+
+  std::cout << "Table III style comparison:\n"
+            << core::render_table3_block(manual, hslb) << '\n';
+
+  const double gain = 100.0 * (1.0 - hslb.actual_total / manual.actual_total);
+  std::cout << "HSLB vs manual: "
+            << common::format_fixed(gain, 1) << " % "
+            << (gain >= 0 ? "faster" : "slower") << '\n';
+
+  std::cout << "throughput    : "
+            << common::format_fixed(
+                   core::simulated_years_per_day(
+                       config.case_config.simulated_days, hslb.actual_total),
+                   2)
+            << " simulated years/day (HSLB) vs "
+            << common::format_fixed(
+                   core::simulated_years_per_day(
+                       config.case_config.simulated_days,
+                       manual.actual_total),
+                   2)
+            << " (manual)\n";
+
+  std::cout << "\nTiming file of the tuned run:\n"
+            << cesm::render_timing_file(config.case_config, hslb.run);
+  return 0;
+}

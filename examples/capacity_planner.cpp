@@ -1,0 +1,84 @@
+// Section IV-C: "prediction of the optimal layout and number of nodes to a
+// job".  Sweep the machine-slice size, predict throughput and cost, and
+// report both the cost-efficient point (where parallel efficiency drops
+// below a threshold) and the fastest configuration.
+//
+//   $ ./capacity_planner [efficiency_threshold_percent]
+#include <cstdlib>
+#include <iostream>
+
+#include "hslb/hslb/objectives.hpp"
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hslb;
+
+  double efficiency_floor = 0.60;
+  if (argc > 1) {
+    efficiency_floor = std::atof(argv[1]) / 100.0;
+  }
+
+  core::PipelineConfig base;
+  base.case_config = cesm::one_degree_case();
+  base.gather_totals = {128, 256, 512, 1024, 2048};
+  base.total_nodes = 128;
+
+  std::cout << "Capacity planning for " << base.case_config.name << "\n"
+            << "(efficiency floor " << efficiency_floor * 100.0 << " %)\n\n";
+
+  // One gather pass serves every size.
+  const auto campaign = cesm::gather_benchmarks(
+      base.case_config, base.layout, base.gather_totals, base.seed);
+
+  common::Table table({"nodes", "predicted T,s", "sim-years/day",
+                       "node-seconds", "efficiency,%"});
+  double t_ref = 0.0;
+  int n_ref = 0;
+  int best_efficient = 0;
+  double best_efficient_time = 0.0;
+  int fastest = 0;
+  double fastest_time = lp::kInf;
+
+  for (int total = 64; total <= 2048; total *= 2) {
+    core::PipelineConfig config = base;
+    config.total_nodes = total;
+    const core::HslbResult result =
+        core::run_hslb_from_samples(config, campaign.samples);
+    const double t = result.predicted_total;
+    if (n_ref == 0) {
+      n_ref = total;
+      t_ref = t;
+    }
+    // Parallel efficiency relative to the smallest size: speedup / (n/n0).
+    const double efficiency =
+        (t_ref / t) / (static_cast<double>(total) / n_ref);
+    table.add_row();
+    table.cell(static_cast<long long>(total));
+    table.cell(t, 2);
+    table.cell(core::simulated_years_per_day(
+                   base.case_config.simulated_days, t),
+               2);
+    table.cell(static_cast<double>(total) * t, 0);
+    table.cell(100.0 * efficiency, 1);
+    if (efficiency >= efficiency_floor) {
+      best_efficient = total;
+      best_efficient_time = t;
+    }
+    if (t < fastest_time) {
+      fastest_time = t;
+      fastest = total;
+    }
+  }
+  std::cout << table << '\n';
+
+  std::cout << "cost-efficient choice : " << best_efficient << " nodes ("
+            << common::format_fixed(best_efficient_time, 1)
+            << " s predicted; last size above the efficiency floor)\n";
+  std::cout << "fastest choice        : " << fastest << " nodes ("
+            << common::format_fixed(fastest_time, 1) << " s predicted)\n";
+  std::cout << "\nAs the paper notes (IV-C), 'optimal' depends on the goal: "
+               "shortest time to solution, or core-hours per simulated "
+               "year.\n";
+  return 0;
+}

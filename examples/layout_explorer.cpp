@@ -1,0 +1,65 @@
+// Explore the three Figure 1 layouts at a chosen machine size: optimize
+// each with HSLB, draw the area diagrams, and rank them -- the paper's
+// Figure 4 experiment as an interactive tool.
+//
+//   $ ./layout_explorer [total_nodes]
+#include <algorithm>
+#include <cstdlib>
+#include <cmath>
+#include <iostream>
+
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hslb;
+
+  const int total_nodes = argc > 1 ? std::atoi(argv[1]) : 256;
+
+  core::PipelineConfig base;
+  base.case_config = cesm::one_degree_case();
+  base.gather_totals = {128, 256, 512, 1024, 2048};
+  base.total_nodes = total_nodes;
+
+  std::cout << "Optimizing all three component layouts at " << total_nodes
+            << " nodes...\n";
+  const auto campaign = cesm::gather_benchmarks(
+      base.case_config, cesm::LayoutKind::kHybrid, base.gather_totals,
+      base.seed);
+
+  struct Entry {
+    cesm::LayoutKind kind;
+    double predicted;
+    double actual;
+  };
+  std::vector<Entry> ranking;
+
+  for (const cesm::LayoutKind kind :
+       {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+        cesm::LayoutKind::kFullySequential}) {
+    core::PipelineConfig config = base;
+    config.layout = kind;
+    const core::HslbResult result =
+        core::run_hslb_from_samples(config, campaign.samples);
+    const cesm::Layout layout = result.allocation.as_layout(kind);
+    const cesm::RunResult run =
+        cesm::run_case(base.case_config, layout, base.seed + 1);
+
+    std::cout << '\n'
+              << core::render_layout_ascii(
+                     layout, result.allocation.predicted_seconds)
+              << "  predicted " << common::format_fixed(result.predicted_total, 1)
+              << " s, measured " << common::format_fixed(run.model_seconds, 1)
+              << " s\n";
+    ranking.push_back({kind, result.predicted_total, run.model_seconds});
+  }
+
+  std::cout << "\nRanking (fastest first):\n";
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Entry& a, const Entry& b) { return a.actual < b.actual; });
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    std::cout << "  " << i + 1 << ". " << to_string(ranking[i].kind) << " -- "
+              << common::format_fixed(ranking[i].actual, 1) << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The MINLP toolkit as a general-purpose library (the MINOTAUR role):
+// build and solve a custom allocation problem that has nothing to do with
+// CESM -- three services sharing a cluster, one restricted to
+// power-of-two replica counts.
+//
+//   $ ./minlp_playground [cluster_nodes]
+#include <cstdlib>
+#include <cmath>
+#include <iostream>
+
+#include "hslb/common/table.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hslb;
+
+  const double cluster = argc > 1 ? std::atof(argv[1]) : 96.0;
+
+  // Latency laws for three services: L_i(n) = a_i / n + d_i  (seconds).
+  struct Service {
+    const char* name;
+    double a, d;
+  };
+  const Service services[] = {
+      {"ingest", 4000.0, 2.0},
+      {"index", 2500.0, 1.0},
+      {"query", 6000.0, 4.0},
+  };
+
+  minlp::Model model;
+  const auto T = model.add_variable("T", minlp::VarType::kContinuous, 0.0,
+                                    lp::kInf);
+  std::vector<std::size_t> n_vars;
+  std::vector<std::size_t> t_vars;
+  std::vector<std::pair<std::size_t, double>> budget;
+  for (const Service& service : services) {
+    const auto n = model.add_variable(std::string("n_") + service.name,
+                                      minlp::VarType::kInteger, 1.0, cluster);
+    const auto t = model.add_variable(std::string("t_") + service.name,
+                                      minlp::VarType::kContinuous, 0.0,
+                                      lp::kInf);
+    const double a = service.a;
+    const double d = service.d;
+    auto fn = minlp::make_univariate(
+        [a, d](double nodes) { return a / nodes + d; },
+        [a](double nodes) { return -a / (nodes * nodes); },
+        minlp::Curvature::kConvex);
+    fn.as_expr = [a, d](const expr::Expr& nodes) { return a / nodes + d; };
+    model.add_link(t, n, fn, service.name);
+    // min-max objective: T >= every service latency.
+    model.add_linear({{T, 1.0}, {t, -1.0}}, 0.0, lp::kInf);
+    budget.emplace_back(n, 1.0);
+    n_vars.push_back(n);
+    t_vars.push_back(t);
+  }
+  model.add_linear(budget, -lp::kInf, cluster, "cluster budget");
+
+  // The index tier only scales at power-of-two replica counts.
+  std::vector<double> powers;
+  for (double p = 1.0; p <= cluster; p *= 2.0) {
+    powers.push_back(p);
+  }
+  model.restrict_to_set(n_vars[1], powers, /*use_sos=*/true, "index_replicas");
+
+  model.minimize(model.var(T));
+
+  const minlp::MinlpResult result = minlp::solve(model);
+  std::cout << "status    : " << to_string(result.status) << '\n'
+            << "worst lat.: " << common::format_fixed(result.objective, 3)
+            << " s\n"
+            << "solver    : " << result.stats.nodes_explored
+            << " B&B nodes, " << result.stats.lp_solves << " LPs, "
+            << result.stats.cuts_added << " cuts, "
+            << common::format_fixed(result.stats.wall_seconds * 1e3, 2)
+            << " ms\n\n";
+
+  common::Table table({"service", "nodes", "latency,s"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    table.add_row();
+    table.cell(std::string(services[i].name));
+    table.cell(static_cast<long long>(
+        std::llround(result.x[n_vars[i]])));
+    table.cell(result.x[t_vars[i]], 3);
+  }
+  std::cout << table;
+  std::cout << "\n(The index tier lands on a power of two; the other tiers "
+               "take whatever balances the worst-case latency.)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the four HSLB steps on a small simulated CESM case.
+//
+//   $ ./quickstart
+//
+// 1. Gather   -- benchmark the coupled model at five machine sizes.
+// 2. Fit      -- Table II least squares per component.
+// 3. Solve    -- the Table I MINLP for a 128-node slice.
+// 4. Execute  -- run at the optimal allocation and compare.
+#include <cmath>
+#include <iostream>
+
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/report.hpp"
+
+int main() {
+  using namespace hslb;
+
+  core::PipelineConfig config;
+  config.case_config = cesm::one_degree_case();   // simulated CESM 1.1.1, 1 degree
+  config.total_nodes = 128;                       // the machine slice to tune
+  config.gather_totals = {128, 256, 512, 1024, 2048};
+
+  std::cout << "Running the HSLB pipeline on " << config.case_config.name
+            << " targeting " << config.total_nodes << " nodes...\n";
+  const core::HslbResult result = core::run_hslb(config);
+
+  std::cout << "\nStep 2 -- fitted performance functions:\n"
+            << core::render_fit_summary(result.fits);
+
+  std::cout << "\nStep 3 -- optimal allocation (solver explored "
+            << result.solver_result.stats.nodes_explored
+            << " branch-and-bound nodes in "
+            << common::format_fixed(
+                   result.solver_result.stats.wall_seconds * 1e3, 1)
+            << " ms):\n";
+  common::Table alloc({"component", "nodes", "predicted,s", "actual,s"});
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    const core::ComponentOutcome& outcome = result.components.at(kind);
+    alloc.add_row();
+    alloc.cell(std::string(cesm::to_string(kind)));
+    alloc.cell(static_cast<long long>(outcome.nodes));
+    alloc.cell(outcome.predicted_seconds, 3);
+    alloc.cell(outcome.actual_seconds, 3);
+  }
+  std::cout << alloc;
+
+  std::cout << "\nStep 4 -- totals: predicted "
+            << common::format_fixed(result.predicted_total, 3)
+            << " s, actual "
+            << common::format_fixed(result.actual_total, 3) << " s ("
+            << common::format_fixed(
+                   100.0 * std::fabs(result.actual_total -
+                                     result.predicted_total) /
+                       result.actual_total,
+                   1)
+            << " % prediction error)\n";
+
+  std::cout << "\nThe resulting layout:\n"
+            << core::render_layout_ascii(
+                   result.allocation.as_layout(config.layout),
+                   result.allocation.predicted_seconds);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Section IV-C what-if studies as a tool: constraint cost, component swaps,
+// scaling forecasts toward machines that do not exist yet, and node-count
+// recommendation -- all from one set of fitted curves, no further runs.
+//
+//   $ ./whatif_studies
+#include <iostream>
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/common/table.hpp"
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/whatif.hpp"
+
+int main() {
+  using namespace hslb;
+
+  const cesm::CaseConfig case_config = cesm::one_degree_case();
+  std::cout << "Fitting component curves for " << case_config.name
+            << "...\n";
+  const auto campaign = cesm::gather_benchmarks(
+      case_config, cesm::LayoutKind::kHybrid,
+      std::vector<int>{128, 256, 512, 1024, 2048}, 2014);
+
+  core::LayoutModelSpec spec;
+  spec.layout = cesm::LayoutKind::kHybrid;
+  spec.total_nodes = 512;
+  spec.min_nodes = case_config.min_nodes;
+  spec.atm_allowed = case_config.atm_allowed;
+  spec.ocn_allowed = case_config.ocn_allowed;
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    const cesm::Series series = cesm::series_for(campaign.samples, kind);
+    spec.perf[kind] = perf::fit(series.nodes, series.seconds).model;
+  }
+
+  // --- 1. What do the allocation-set constraints cost? -----------------------
+  const core::ConstraintEffect effect = core::constraint_effect(spec);
+  std::cout << "\n[1] Cost of the hard-coded allocation sets at 512 nodes:\n"
+            << "    constrained optimum  : "
+            << common::format_fixed(effect.constrained_total, 2) << " s\n"
+            << "    unconstrained optimum: "
+            << common::format_fixed(effect.unconstrained_total, 2) << " s\n"
+            << "    relative cost        : "
+            << common::format_fixed(100.0 * effect.relative_cost, 2)
+            << " %\n";
+
+  // --- 2. What if the ocean model got 2x faster? -----------------------------
+  const perf::PerfParams ocean_params =
+      spec.perf.at(cesm::ComponentKind::kOcn).params();
+  const perf::PerfModel faster_ocean(perf::PerfParams{
+      ocean_params.a / 2.0, ocean_params.b, ocean_params.c,
+      ocean_params.d / 2.0});
+  double swapped_total = 0.0;
+  const core::Allocation swapped = core::swap_component(
+      spec, cesm::ComponentKind::kOcn, faster_ocean, &swapped_total);
+  std::cout << "\n[2] Swapping in a 2x faster ocean model:\n"
+            << "    baseline optimum : "
+            << common::format_fixed(effect.constrained_total, 2) << " s\n"
+            << "    with fast ocean  : "
+            << common::format_fixed(swapped_total, 2) << " s, ocean gets "
+            << swapped.nodes.at(cesm::ComponentKind::kOcn)
+            << " nodes instead of "
+            << effect.constrained.nodes.at(cesm::ComponentKind::kOcn)
+            << "\n";
+
+  // --- 3. Forecast scaling to sizes never benchmarked. ------------------------
+  std::cout << "\n[3] Scaling forecast (benchmarked up to 2048 nodes; the "
+               "rest is model prediction):\n";
+  const std::vector<int> sizes{128, 512, 2048, 8192, 32768};
+  common::Table forecast({"nodes", "predicted T,s", "efficiency,%"});
+  for (const core::ScalingPoint& point :
+       core::scaling_forecast(spec, sizes)) {
+    forecast.add_row();
+    forecast.cell(static_cast<long long>(point.total_nodes));
+    forecast.cell(point.predicted_total, 2);
+    forecast.cell(100.0 * point.efficiency, 1);
+  }
+  std::cout << forecast;
+
+  // --- 4. Predict scaling on hardware that does not exist yet. ----------------
+  // (Section IV-C's "more exotic" application.)  Hypothesis: a successor
+  // machine with 4x faster nodes.  Prediction: scale the fitted curves and
+  // re-solve.  Validation: simulate the actual new machine.
+  {
+    const double speedup = 4.0;
+    core::LayoutModelSpec next_gen = spec;
+    for (auto& [kind, model] : next_gen.perf) {
+      const perf::PerfParams p = model.params();
+      model = perf::PerfModel(perf::PerfParams{p.a / speedup, p.b / speedup,
+                                               p.c, p.d / speedup});
+    }
+    core::LayoutModelVars vars;
+    const auto predicted =
+        minlp::solve(core::build_layout_model(next_gen, &vars));
+    const core::Allocation alloc =
+        core::extract_allocation(next_gen, vars, predicted);
+
+    const cesm::CaseConfig future = cesm::scaled_hardware_case(
+        case_config, "Mira-like successor", speedup, 49152, 16);
+    const cesm::RunResult run =
+        cesm::run_case(future, alloc.as_layout(next_gen.layout), 99);
+    std::cout << "\n[4] New-hardware forecast (4x faster nodes) at 512 "
+                 "nodes:\n"
+              << "    predicted on paper : "
+              << common::format_fixed(alloc.predicted_total, 2) << " s\n"
+              << "    simulated 'actual' : "
+              << common::format_fixed(run.model_seconds, 2) << " s\n";
+  }
+
+  // --- 5. How many nodes should this job ask for? -----------------------------
+  const std::vector<int> sweep{64, 128, 256, 512, 1024, 2048, 4096};
+  const core::SizeRecommendation rec =
+      core::recommend_size(spec, sweep, 0.6);
+  std::cout << "\n[5] Node-count recommendation (60 % efficiency floor):\n"
+            << "    cost-efficient: " << rec.cost_efficient_nodes
+            << " nodes ("
+            << common::format_fixed(rec.cost_efficient_total, 1) << " s)\n"
+            << "    fastest       : " << rec.fastest_nodes << " nodes ("
+            << common::format_fixed(rec.fastest_total, 1) << " s)\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "hslb/cesm/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+/// Largest member of `allowed` that is <= limit, or the smallest member if
+/// none fits (caller validates against the machine afterwards).
+int snap_down(const std::vector<int>& allowed, int limit) {
+  HSLB_REQUIRE(!allowed.empty(), "empty allowed set");
+  int best = -1;
+  for (const int v : allowed) {
+    if (v <= limit) {
+      best = std::max(best, v);
+    }
+  }
+  return best > 0 ? best : *std::min_element(allowed.begin(), allowed.end());
+}
+
+/// Member of `allowed` nearest to target (ties: smaller).
+int snap_nearest(const std::vector<int>& allowed, int target) {
+  HSLB_REQUIRE(!allowed.empty(), "empty allowed set");
+  int best = allowed.front();
+  for (const int v : allowed) {
+    if (std::abs(v - target) < std::abs(best - target)) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Layout reference_layout(const CaseConfig& config, LayoutKind kind, int total) {
+  HSLB_REQUIRE(total >= 8, "campaign totals must be at least 8 nodes");
+
+  const int min_ocn = config.min_nodes_for(ComponentKind::kOcn);
+  const int min_atm = config.min_nodes_for(ComponentKind::kAtm);
+  const int min_ice = config.min_nodes_for(ComponentKind::kIce);
+  const int min_lnd = config.min_nodes_for(ComponentKind::kLnd);
+
+  int ocn = snap_nearest(config.ocn_allowed,
+                         std::max(min_ocn, static_cast<int>(total * 0.2)));
+  if (ocn > total - min_atm) {
+    ocn = snap_down(config.ocn_allowed, total - min_atm);
+  }
+  int atm = snap_down(config.atm_allowed, total - ocn);
+  atm = std::max(atm, min_atm);
+
+  int ice = std::max(min_ice, static_cast<int>(std::lround(atm * 0.6)));
+  int lnd = atm - ice;
+  if (lnd < min_lnd) {
+    lnd = min_lnd;
+    ice = atm - lnd;
+  }
+  HSLB_REQUIRE(ice >= 1 && lnd >= 1, "total too small for a reference layout");
+
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      return Layout::hybrid(ice, lnd, atm, ocn);
+    case LayoutKind::kSequentialGroup:
+      return Layout::sequential_group(ice, lnd, atm, ocn);
+    case LayoutKind::kFullySequential:
+      return Layout::fully_sequential(ice, lnd, atm, ocn);
+  }
+  throw InvalidArgument("unknown layout kind");
+}
+
+CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
+                                 std::span<const int> totals,
+                                 std::uint64_t seed) {
+  HSLB_REQUIRE(!totals.empty(), "campaign needs at least one total");
+
+  CampaignResult out;
+  out.runs.resize(totals.size());
+
+  // Each run gets an independent deterministic seed so the loop can execute
+  // in any order (and in parallel) without changing results.
+  std::vector<std::uint64_t> run_seeds(totals.size());
+  {
+    common::Rng seeder(seed);
+    for (auto& s : run_seeds) {
+      s = seeder.next_u64();
+    }
+  }
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(totals.size()); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Layout layout = reference_layout(config, kind, totals[idx]);
+    out.runs[idx] = run_case(config, layout, run_seeds[idx]);
+  }
+
+  for (const RunResult& run : out.runs) {
+    for (const ComponentKind component : kModeledComponents) {
+      out.samples.push_back(BenchmarkSample{
+          component, run.layout.at(component),
+          run.component_seconds.at(component)});
+    }
+  }
+  return out;
+}
+
+std::string samples_to_csv(const std::vector<BenchmarkSample>& samples) {
+  std::ostringstream os;
+  os << "component,nodes,seconds\n";
+  os.precision(17);
+  for (const BenchmarkSample& sample : samples) {
+    os << to_string(sample.kind) << ',' << sample.nodes << ','
+       << sample.seconds << '\n';
+  }
+  return os.str();
+}
+
+std::vector<BenchmarkSample> samples_from_csv(const std::string& csv) {
+  std::vector<BenchmarkSample> out;
+  std::istringstream lines(csv);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty() || line == "component,nodes,seconds" ||
+        line.rfind("component,", 0) == 0) {
+      continue;
+    }
+    const auto first = line.find(',');
+    const auto second = line.find(',', first + 1);
+    HSLB_REQUIRE(first != std::string::npos && second != std::string::npos,
+                 "samples CSV line " + std::to_string(line_number) +
+                     " is malformed");
+    const std::string name = line.substr(0, first);
+    BenchmarkSample sample;
+    bool known = false;
+    for (const ComponentKind kind : kModeledComponents) {
+      if (name == to_string(kind)) {
+        sample.kind = kind;
+        known = true;
+      }
+    }
+    HSLB_REQUIRE(known, "samples CSV line " + std::to_string(line_number) +
+                            ": unknown component '" + name + "'");
+    sample.nodes = std::stoi(line.substr(first + 1, second - first - 1));
+    sample.seconds = std::stod(line.substr(second + 1));
+    HSLB_REQUIRE(sample.nodes > 0 && sample.seconds > 0.0,
+                 "samples CSV line " + std::to_string(line_number) +
+                     ": values must be positive");
+    out.push_back(sample);
+  }
+  return out;
+}
+
+Series series_for(const std::vector<BenchmarkSample>& samples,
+                  ComponentKind kind) {
+  Series out;
+  for (const BenchmarkSample& s : samples) {
+    if (s.kind == kind) {
+      out.nodes.push_back(s.nodes);
+      out.seconds.push_back(s.seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace hslb::cesm

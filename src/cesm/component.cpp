@@ -1,0 +1,104 @@
+#include "hslb/cesm/component.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/cesm/decomposition.hpp"
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+
+const char* to_string(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kAtm:
+      return "atm";
+    case ComponentKind::kOcn:
+      return "ocn";
+    case ComponentKind::kIce:
+      return "ice";
+    case ComponentKind::kLnd:
+      return "lnd";
+    case ComponentKind::kRof:
+      return "rof";
+    case ComponentKind::kCpl:
+      return "cpl";
+  }
+  return "???";
+}
+
+const char* long_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kAtm:
+      return "Community Atmosphere Model (CAM)";
+    case ComponentKind::kOcn:
+      return "Parallel Ocean Program (POP)";
+    case ComponentKind::kIce:
+      return "Community Ice Code (CICE)";
+    case ComponentKind::kLnd:
+      return "Community Land Model (CLM)";
+    case ComponentKind::kRof:
+      return "River Transport Model (RTM)";
+    case ComponentKind::kCpl:
+      return "Coupler (CPL7)";
+  }
+  return "unknown";
+}
+
+Component::Component(ComponentKind kind, TruthParams truth)
+    : kind_(kind), truth_(std::move(truth)), base_(truth_.base) {}
+
+double Component::penalty_factor(int nodes) const {
+  HSLB_REQUIRE(nodes >= 1, "node count must be positive");
+  double factor = 1.0;
+
+  if (!truth_.preferred_counts.empty() && truth_.off_preferred_penalty > 0.0) {
+    // Relative distance to the nearest preferred count; full efficiency at a
+    // preferred count, saturating slowdown far from all of them.
+    double rel = std::numeric_limits<double>::infinity();
+    for (const int p : truth_.preferred_counts) {
+      rel = std::min(rel, std::fabs(nodes - p) / static_cast<double>(p));
+    }
+    factor *= 1.0 + truth_.off_preferred_penalty * (1.0 - std::exp(-3.0 * rel));
+  }
+
+  if (truth_.decomposition_noise) {
+    const IceDecomposition decomp = default_ice_decomposition(nodes);
+    factor /= ice_decomposition_efficiency(decomp, nodes);
+  }
+  return factor;
+}
+
+double Component::true_time(int nodes) const {
+  return base_(static_cast<double>(nodes)) * penalty_factor(nodes);
+}
+
+double Component::measured_time(int nodes, common::Rng& rng) const {
+  return true_time(nodes) * rng.lognormal_noise(truth_.noise_cv);
+}
+
+double Component::true_time_with(int nodes, int decomposition) const {
+  if (!truth_.decomposition_noise) {
+    return true_time(nodes);
+  }
+  HSLB_REQUIRE(decomposition >= 0 && decomposition < kNumIceDecompositions,
+               "unknown decomposition strategy");
+  double factor = 1.0;
+  if (!truth_.preferred_counts.empty() && truth_.off_preferred_penalty > 0.0) {
+    factor = penalty_factor(nodes) *
+             ice_decomposition_efficiency(default_ice_decomposition(nodes),
+                                          nodes);
+    // penalty_factor folds in the default decomposition; strip it above and
+    // apply the requested strategy below.
+  }
+  factor /= ice_decomposition_efficiency(
+      static_cast<IceDecomposition>(decomposition), nodes);
+  return base_(static_cast<double>(nodes)) * factor;
+}
+
+double Component::measured_time_with(int nodes, int decomposition,
+                                     common::Rng& rng) const {
+  return true_time_with(nodes, decomposition) *
+         rng.lognormal_noise(truth_.noise_cv);
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,163 @@
+// Ground-truth calibration.
+//
+// The hidden Table II laws below were derived by inverting the paper's own
+// Table III timings (two measured points per component determine a and d;
+// b, c are small increasing terms as the paper observed on Intrepid):
+//   1 degree    atm: 104 -> ~307 s, 1664 -> ~62 s      =>  a ~ 2.7e4, d ~ 45
+//               ocn:  24 -> ~366 s,  384 -> ~62 s      =>  a ~ 7.8e3, d ~ 42
+//               ice:  80 -> ~109 s, 1280 -> ~18 s      =>  a ~ 7.8e3, d ~ 12
+//               lnd:  15 -> ~101 s,  384 -> ~5.8 s     =>  a ~ 1.5e3, d ~ 2
+//   1/8 degree  atm: 5836 -> ~2534 s, 26644 -> ~787 s  =>  a ~ 1.3e7, d ~ 297
+//               ocn: 2356 -> ~3785 s, 19460 -> ~712 s  =>  a ~ 8.2e6, d ~ 289
+//               ice: 5350 -> ~476 s, 24424 -> ~214 s   =>  a ~ 1.8e6, d ~ 141
+//               lnd:  138 -> ~488 s,  2220 -> ~44 s    =>  a ~ 6.5e4, d ~ 15
+#include "hslb/cesm/configs.hpp"
+
+#include "hslb/cesm/decomposition.hpp"
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+
+const Component& CaseConfig::component(ComponentKind kind) const {
+  const auto it = components.find(kind);
+  HSLB_REQUIRE(it != components.end(), "case has no such component");
+  return it->second;
+}
+
+int CaseConfig::min_nodes_for(ComponentKind kind) const {
+  const auto it = min_nodes.find(kind);
+  return it == min_nodes.end() ? 1 : it->second;
+}
+
+namespace {
+
+Component make_component(ComponentKind kind, double a, double b, double c,
+                         double d, double noise_cv = 0.015) {
+  TruthParams truth;
+  truth.base = perf::PerfParams{a, b, c, d};
+  truth.noise_cv = noise_cv;
+  return Component(kind, truth);
+}
+
+}  // namespace
+
+CaseConfig one_degree_case() {
+  CaseConfig config;
+  config.name = "1deg (CESM1.1.1, f09 FV atm/lnd, gx1 ocn/ice)";
+  config.machine = intrepid();
+  config.atm_grid = fv_one_degree();
+  config.lnd_grid = fv_one_degree();
+  config.ocn_grid = pop_gx1();
+  config.ice_grid = pop_gx1();
+
+  config.components[ComponentKind::kAtm] =
+      make_component(ComponentKind::kAtm, 2.72e4, 3.0e-4, 1.15, 44.0);
+  config.components[ComponentKind::kOcn] =
+      make_component(ComponentKind::kOcn, 7.78e3, 2.0e-4, 1.1, 41.0);
+  {
+    // CICE: default decompositions make the measured curve lumpy (IV-A).
+    TruthParams ice;
+    ice.base = perf::PerfParams{7.4e3, 1.0e-4, 1.1, 10.0};
+    ice.noise_cv = 0.02;
+    ice.decomposition_noise = true;
+    config.components[ComponentKind::kIce] =
+        Component(ComponentKind::kIce, ice);
+  }
+  config.components[ComponentKind::kLnd] =
+      make_component(ComponentKind::kLnd, 1.48e3, 1.0e-4, 1.1, 1.8);
+  // Small players, excluded from the HSLB models but present in runs.
+  config.components[ComponentKind::kRof] =
+      make_component(ComponentKind::kRof, 6.0e1, 0.0, 1.0, 0.6);
+  config.components[ComponentKind::kCpl] =
+      make_component(ComponentKind::kCpl, 2.4e2, 1.0e-4, 1.1, 2.0);
+
+  config.atm_allowed = atm_allowed_one_degree(config.machine.total_nodes);
+  config.ocn_allowed = ocn_allowed_one_degree(config.machine.total_nodes);
+  config.min_nodes = {{ComponentKind::kAtm, 8},
+                      {ComponentKind::kOcn, 2},
+                      {ComponentKind::kIce, 4},
+                      {ComponentKind::kLnd, 2}};
+  return config;
+}
+
+CaseConfig eighth_degree_case() {
+  CaseConfig config;
+  config.name = "1/8deg (CESM1.2, ne240 SE atm, 1/4deg lnd, tx0.1 ocn/ice)";
+  config.machine = intrepid();
+  config.atm_grid = se_ne240();
+  config.lnd_grid = fv_quarter_degree();
+  config.ocn_grid = pop_tx01();
+  config.ice_grid = pop_tx01();
+
+  config.components[ComponentKind::kAtm] =
+      make_component(ComponentKind::kAtm, 1.305e7, 1.0e-4, 1.1, 290.0);
+  {
+    // POP at 1/10 degree: efficient only near its tuned decompositions; an
+    // arbitrary count pays up to ~28% (the "not captured by the fit" effect
+    // behind the unconstrained-ocean entries of Table III).
+    TruthParams ocn;
+    ocn.base = perf::PerfParams{8.24e6, 2.0e-4, 1.1, 280.0};
+    ocn.noise_cv = 0.015;
+    ocn.preferred_counts = ocn_allowed_eighth_degree(40960);
+    ocn.off_preferred_penalty = 0.28;
+    config.components[ComponentKind::kOcn] =
+        Component(ComponentKind::kOcn, ocn);
+  }
+  {
+    TruthParams ice;
+    ice.base = perf::PerfParams{1.75e6, 2.0e-4, 1.1, 135.0};
+    ice.noise_cv = 0.02;
+    ice.decomposition_noise = true;
+    config.components[ComponentKind::kIce] =
+        Component(ComponentKind::kIce, ice);
+  }
+  config.components[ComponentKind::kLnd] =
+      make_component(ComponentKind::kLnd, 6.5e4, 2.0e-4, 1.1, 14.0);
+  config.components[ComponentKind::kRof] =
+      make_component(ComponentKind::kRof, 1.2e3, 0.0, 1.0, 3.0);
+  config.components[ComponentKind::kCpl] =
+      make_component(ComponentKind::kCpl, 2.0e4, 1.0e-3, 1.1, 18.0);
+
+  config.atm_allowed = atm_allowed_eighth_degree(config.machine.total_nodes);
+  config.ocn_allowed = ocn_allowed_eighth_degree(config.machine.total_nodes);
+  config.min_nodes = {{ComponentKind::kAtm, 256},
+                      {ComponentKind::kOcn, 480},
+                      {ComponentKind::kIce, 128},
+                      {ComponentKind::kLnd, 32}};
+  return config;
+}
+
+CaseConfig scaled_hardware_case(const CaseConfig& base, std::string name,
+                                double node_speedup, int total_nodes,
+                                int cores_per_node) {
+  HSLB_REQUIRE(node_speedup > 0.0, "node speedup must be positive");
+  HSLB_REQUIRE(total_nodes >= 8 && cores_per_node >= 1,
+               "machine must have at least 8 nodes and 1 core per node");
+  CaseConfig out = base;
+  out.name = std::move(name);
+  out.machine.name = out.name + " (hypothetical)";
+  out.machine.total_nodes = total_nodes;
+  out.machine.cores_per_node = cores_per_node;
+  out.machine.threads_per_task = cores_per_node;
+
+  for (auto& [kind, component] : out.components) {
+    TruthParams truth = component.truth();
+    // Every time term shrinks by the per-node speedup; the shape of the
+    // scaling law (and therefore the layout problem) is preserved.
+    truth.base.a /= node_speedup;
+    truth.base.b /= node_speedup;
+    truth.base.d /= node_speedup;
+    component = Component(kind, truth);
+  }
+
+  // Keep only allowed counts that fit the new machine.
+  std::erase_if(out.atm_allowed,
+                [total_nodes](int n) { return n > total_nodes; });
+  std::erase_if(out.ocn_allowed,
+                [total_nodes](int n) { return n > total_nodes; });
+  HSLB_REQUIRE(!out.atm_allowed.empty() && !out.ocn_allowed.empty(),
+               "no allowed allocation fits the scaled machine");
+  return out;
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,166 @@
+#include "hslb/cesm/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/table.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+/// One component's per-day busy time: the 5-day truth law divided across
+/// days with independent per-day jitter (so day-to-day imbalance shows up in
+/// the component timers and in the sync waits, as on the real machine).
+double day_time(const Component& component, int nodes, int days,
+                common::Rng& rng) {
+  const double per_day = component.true_time(nodes) / days;
+  return per_day * rng.lognormal_noise(component.truth().noise_cv);
+}
+
+/// Sea-ice day time honoring an optional learned decomposition policy.
+double ice_day_time(const Component& ice, int nodes, int days,
+                    common::Rng& rng, const IceDecompositionPolicy& policy) {
+  if (!policy || !ice.truth().decomposition_noise) {
+    return day_time(ice, nodes, days, rng);
+  }
+  const int decomposition = static_cast<int>(policy(nodes));
+  const double per_day = ice.true_time_with(nodes, decomposition) / days;
+  return per_day * rng.lognormal_noise(ice.truth().noise_cv);
+}
+
+}  // namespace
+
+RunResult run_case(const CaseConfig& config, const Layout& layout,
+                   std::uint64_t seed) {
+  if (const auto why = layout.invalid_reason(config.machine.total_nodes)) {
+    throw InvalidArgument("layout does not fit the machine: " + *why);
+  }
+  const int days = config.simulated_days;
+  HSLB_REQUIRE(days >= 1, "need at least one simulated day");
+  const int steps = config.coupling_steps_per_day;
+  HSLB_REQUIRE(steps >= 1, "need at least one coupling step per day");
+
+  common::Rng rng(seed);
+  RunResult out;
+  out.layout = layout;
+
+  const int n_ice = layout.at(ComponentKind::kIce);
+  const int n_lnd = layout.at(ComponentKind::kLnd);
+  const int n_atm = layout.at(ComponentKind::kAtm);
+  const int n_ocn = layout.at(ComponentKind::kOcn);
+
+  const Component& ice = config.component(ComponentKind::kIce);
+  const Component& lnd = config.component(ComponentKind::kLnd);
+  const Component& atm = config.component(ComponentKind::kAtm);
+  const Component& ocn = config.component(ComponentKind::kOcn);
+  const Component& rof = config.component(ComponentKind::kRof);
+  const Component& cpl = config.component(ComponentKind::kCpl);
+
+  std::map<ComponentKind, double>& timers = out.component_seconds;
+
+  double model_total = 0.0;
+  double wall_total = 0.0;
+  const int day_slices = days * steps;
+  for (int day = 0; day < days; ++day) {
+    // The ocean advances a whole day between couplings; the atmosphere
+    // group exchanges `steps` times within the day, each step paying the
+    // synchronization of its own noise draw.
+    const double t_ocn = day_time(ocn, n_ocn, days, rng);
+
+    double t_ice = 0.0;
+    double t_lnd = 0.0;
+    double t_atm = 0.0;
+    double t_rof = 0.0;
+    double t_cpl = 0.0;
+    double atm_side_day = 0.0;  // layouts 1-2: elapsed time of the group
+    double serial_day = 0.0;    // layout 3: everything sequential
+    for (int step = 0; step < steps; ++step) {
+      const double s_ice = ice_day_time(ice, n_ice, day_slices, rng,
+                                        config.ice_decomposition_policy);
+      const double s_lnd = day_time(lnd, n_lnd, day_slices, rng);
+      const double s_atm = day_time(atm, n_atm, day_slices, rng);
+      // River shares the land group; coupler shares the atmosphere group.
+      const double s_rof = day_time(rof, n_lnd, day_slices, rng);
+      const double s_cpl = day_time(cpl, n_atm, day_slices, rng);
+      t_ice += s_ice;
+      t_lnd += s_lnd;
+      t_atm += s_atm;
+      t_rof += s_rof;
+      t_cpl += s_cpl;
+      switch (layout.kind) {
+        case LayoutKind::kHybrid:
+          atm_side_day += std::max(s_ice, s_lnd + s_rof) + s_atm;
+          break;
+        case LayoutKind::kSequentialGroup:
+          atm_side_day += s_ice + s_lnd + s_rof + s_atm;
+          break;
+        case LayoutKind::kFullySequential:
+          serial_day += s_ice + s_lnd + s_rof + s_atm;
+          break;
+      }
+    }
+
+    timers[ComponentKind::kIce] += t_ice;
+    timers[ComponentKind::kLnd] += t_lnd;
+    timers[ComponentKind::kAtm] += t_atm;
+    timers[ComponentKind::kOcn] += t_ocn;
+    timers[ComponentKind::kRof] += t_rof;
+    timers[ComponentKind::kCpl] += t_cpl;
+
+    model_total += combine_times(layout.kind, t_ice, t_lnd, t_atm, t_ocn);
+    double wall_day = 0.0;
+    switch (layout.kind) {
+      case LayoutKind::kHybrid:
+      case LayoutKind::kSequentialGroup:
+        wall_day = std::max(atm_side_day, t_ocn);
+        break;
+      case LayoutKind::kFullySequential:
+        wall_day = serial_day + t_ocn;
+        break;
+    }
+    wall_total += wall_day + t_cpl;
+  }
+
+  out.model_seconds = model_total;
+  out.total_seconds = wall_total;
+  return out;
+}
+
+std::string render_timing_file(const CaseConfig& config,
+                               const RunResult& result) {
+  std::ostringstream os;
+  os << "---------------- CESM timing summary (simulated) ----------------\n";
+  os << "  case        : " << config.name << '\n';
+  os << "  machine     : " << config.machine.name << '\n';
+  os << "  layout      : " << to_string(result.layout.kind) << '\n';
+  os << "  run length  : " << config.simulated_days << " simulated days\n\n";
+
+  common::Table table({"component", "nodes", "cores", "seconds", "sec/day"});
+  for (const auto& [kind, seconds] : result.component_seconds) {
+    table.add_row();
+    table.cell(std::string(to_string(kind)));
+    int nodes = 0;
+    if (result.layout.nodes.count(kind) != 0) {
+      nodes = result.layout.nodes.at(kind);
+    } else if (kind == ComponentKind::kRof) {
+      nodes = result.layout.at(ComponentKind::kLnd);
+    } else if (kind == ComponentKind::kCpl) {
+      nodes = result.layout.at(ComponentKind::kAtm);
+    }
+    table.cell(static_cast<long long>(nodes));
+    table.cell(static_cast<long long>(config.machine.cores(nodes)));
+    table.cell(seconds, 3);
+    table.cell(seconds / config.simulated_days, 3);
+  }
+  os << table.to_text();
+  os << '\n';
+  os << "  model time (4 components, layout-combined): "
+     << common::format_fixed(result.model_seconds, 3) << " s\n";
+  os << "  total wall clock (incl. cpl/rof)          : "
+     << common::format_fixed(result.total_seconds, 3) << " s\n";
+  return os.str();
+}
+
+}  // namespace hslb::cesm

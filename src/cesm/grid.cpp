@@ -1,0 +1,41 @@
+#include "hslb/cesm/grid.hpp"
+
+namespace hslb::cesm {
+
+const char* to_string(GridKind kind) {
+  switch (kind) {
+    case GridKind::kFiniteVolume:
+      return "finite-volume";
+    case GridKind::kSpectralElement:
+      return "spectral-element";
+    case GridKind::kDisplacedPole:
+      return "displaced-pole";
+    case GridKind::kTripole:
+      return "tripole";
+  }
+  return "unknown";
+}
+
+Grid fv_one_degree() {
+  return Grid{GridKind::kFiniteVolume, "f09 (0.9x1.25 FV)", 288, 192};
+}
+
+Grid fv_quarter_degree() {
+  return Grid{GridKind::kFiniteVolume, "quarter-degree FV", 1152, 768};
+}
+
+Grid se_ne240() {
+  // 6 cube faces x ne^2 elements, ne = 240.
+  return Grid{GridKind::kSpectralElement, "ne240 (1/8 deg HOMME-SE)", 240,
+              6 * 240};
+}
+
+Grid pop_gx1() {
+  return Grid{GridKind::kDisplacedPole, "gx1 (1 deg displaced pole)", 320, 384};
+}
+
+Grid pop_tx01() {
+  return Grid{GridKind::kTripole, "tx0.1 (1/10 deg tripole)", 3600, 2400};
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,146 @@
+#include "hslb/cesm/ice_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/perf/sample_design.hpp"
+
+namespace hslb::cesm {
+
+std::vector<IceTrainingSample> gather_ice_training(
+    const Component& ice, const IceTunerOptions& options) {
+  HSLB_REQUIRE(ice.truth().decomposition_noise,
+               "training only makes sense for a decomposition-sensitive "
+               "component (the sea ice model)");
+  HSLB_REQUIRE(options.counts >= 2 && options.repeats >= 1,
+               "need at least two counts and one repeat");
+
+  common::Rng rng(options.seed);
+  std::vector<IceTrainingSample> samples;
+  for (const int n : perf::design_benchmark_nodes(
+           options.min_nodes, options.max_nodes, options.counts)) {
+    for (int d = 0; d < kNumIceDecompositions; ++d) {
+      for (int r = 0; r < options.repeats; ++r) {
+        samples.push_back(IceTrainingSample{
+            n, static_cast<IceDecomposition>(d),
+            ice.measured_time_with(n, d, rng)});
+      }
+    }
+  }
+  return samples;
+}
+
+IceDecompositionTuner::IceDecompositionTuner(
+    std::vector<IceTrainingSample> samples, int knn)
+    : knn_(std::max(1, knn)) {
+  // Bucket by (strategy, node count), averaging repeats.
+  struct Bucket {
+    double node_count = 0.0;
+    double total = 0.0;
+    int observations = 0;
+  };
+  std::vector<std::vector<Bucket>> buckets(kNumIceDecompositions);
+  std::sort(samples.begin(), samples.end(),
+            [](const IceTrainingSample& a, const IceTrainingSample& b) {
+              return std::tie(a.decomposition, a.nodes) <
+                     std::tie(b.decomposition, b.nodes);
+            });
+  for (const IceTrainingSample& sample : samples) {
+    HSLB_REQUIRE(sample.nodes > 0 && sample.seconds > 0.0,
+                 "training samples must be positive");
+    auto& strategy_buckets =
+        buckets[static_cast<std::size_t>(sample.decomposition)];
+    if (!strategy_buckets.empty() &&
+        strategy_buckets.back().node_count == sample.nodes) {
+      strategy_buckets.back().total += sample.seconds;
+      ++strategy_buckets.back().observations;
+    } else {
+      strategy_buckets.push_back(Bucket{static_cast<double>(sample.nodes),
+                                        sample.seconds, 1});
+    }
+  }
+
+  for (int d = 0; d < kNumIceDecompositions; ++d) {
+    const auto& strategy_buckets = buckets[static_cast<std::size_t>(d)];
+    HSLB_REQUIRE(strategy_buckets.size() >= 2,
+                 "every strategy needs samples at >= 2 node counts");
+    StrategyModel& model = models_[d];
+    std::vector<double> nodes;
+    std::vector<double> seconds;
+    for (const Bucket& bucket : strategy_buckets) {
+      const double mean = bucket.total / bucket.observations;
+      model.log_nodes.push_back(std::log(bucket.node_count));
+      model.log_seconds.push_back(std::log(mean));
+      nodes.push_back(bucket.node_count);
+      seconds.push_back(mean);
+    }
+    if (nodes.size() >= 3) {
+      model.fit = perf::fit(nodes, seconds);
+    }
+  }
+}
+
+double IceDecompositionTuner::predicted_seconds(
+    int nodes, IceDecomposition decomposition) const {
+  HSLB_REQUIRE(nodes >= 1, "node count must be positive");
+  const StrategyModel& model =
+      models_[static_cast<std::size_t>(decomposition)];
+  const double x = std::log(static_cast<double>(nodes));
+
+  // Outside the trained range, trust the smooth Table II fit if we have one.
+  if ((x < model.log_nodes.front() || x > model.log_nodes.back()) &&
+      model.fit.converged) {
+    return model.fit.model(nodes);
+  }
+
+  // k-nearest-neighbor inverse-distance interpolation in log space.
+  std::vector<std::pair<double, double>> by_distance;  // (distance, log t)
+  for (std::size_t i = 0; i < model.log_nodes.size(); ++i) {
+    by_distance.emplace_back(std::fabs(model.log_nodes[i] - x),
+                             model.log_seconds[i]);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(knn_),
+                            by_distance.size());
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (by_distance[i].first + 1e-9);
+    weight_sum += w;
+    value += w * by_distance[i].second;
+  }
+  return std::exp(value / weight_sum);
+}
+
+IceDecomposition IceDecompositionTuner::best_for(int nodes) const {
+  IceDecomposition best = IceDecomposition::kCartesian;
+  double best_time = lp::kInf;
+  for (int d = 0; d < kNumIceDecompositions; ++d) {
+    const double t =
+        predicted_seconds(nodes, static_cast<IceDecomposition>(d));
+    if (t < best_time) {
+      best_time = t;
+      best = static_cast<IceDecomposition>(d);
+    }
+  }
+  return best;
+}
+
+double IceDecompositionTuner::tuned_seconds(int nodes) const {
+  return predicted_seconds(nodes, best_for(nodes));
+}
+
+IceDecompositionPolicy IceDecompositionTuner::policy() const {
+  // Copy the tuner into the closure so the policy outlives it.
+  const IceDecompositionTuner copy = *this;
+  return [copy](int nodes) { return copy.best_for(nodes); };
+}
+
+const perf::FitResult& IceDecompositionTuner::strategy_fit(
+    IceDecomposition decomposition) const {
+  return models_[static_cast<std::size_t>(decomposition)].fit;
+}
+
+}  // namespace hslb::cesm

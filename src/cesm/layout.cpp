@@ -1,0 +1,132 @@
+#include "hslb/cesm/layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+
+const char* to_string(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      return "layout-1 (hybrid)";
+    case LayoutKind::kSequentialGroup:
+      return "layout-2 (sequential group + ocean)";
+    case LayoutKind::kFullySequential:
+      return "layout-3 (fully sequential)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Layout make(LayoutKind kind, int ice, int lnd, int atm, int ocn) {
+  HSLB_REQUIRE(ice >= 1 && lnd >= 1 && atm >= 1 && ocn >= 1,
+               "every component needs at least one node");
+  Layout layout;
+  layout.kind = kind;
+  layout.nodes = {{ComponentKind::kIce, ice},
+                  {ComponentKind::kLnd, lnd},
+                  {ComponentKind::kAtm, atm},
+                  {ComponentKind::kOcn, ocn}};
+  return layout;
+}
+
+}  // namespace
+
+Layout Layout::hybrid(int ice, int lnd, int atm, int ocn) {
+  return make(LayoutKind::kHybrid, ice, lnd, atm, ocn);
+}
+
+Layout Layout::sequential_group(int ice, int lnd, int atm, int ocn) {
+  return make(LayoutKind::kSequentialGroup, ice, lnd, atm, ocn);
+}
+
+Layout Layout::fully_sequential(int ice, int lnd, int atm, int ocn) {
+  return make(LayoutKind::kFullySequential, ice, lnd, atm, ocn);
+}
+
+int Layout::at(ComponentKind component) const {
+  const auto it = nodes.find(component);
+  HSLB_REQUIRE(it != nodes.end(), "layout has no allocation for component");
+  return it->second;
+}
+
+std::optional<std::string> Layout::invalid_reason(int total_nodes) const {
+  const int ice = at(ComponentKind::kIce);
+  const int lnd = at(ComponentKind::kLnd);
+  const int atm = at(ComponentKind::kAtm);
+  const int ocn = at(ComponentKind::kOcn);
+  std::ostringstream why;
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      // Table I lines 20-21: ice + lnd nest under atm; atm + ocn <= N.
+      if (ice + lnd > atm) {
+        why << "ice+lnd (" << ice + lnd << ") exceeds atm group (" << atm
+            << ")";
+        return why.str();
+      }
+      if (atm + ocn > total_nodes) {
+        why << "atm+ocn (" << atm + ocn << ") exceeds machine ("
+            << total_nodes << ")";
+        return why.str();
+      }
+      return std::nullopt;
+    case LayoutKind::kSequentialGroup:
+      // Table I lines 24-26: each of ice/lnd/atm fits beside the ocean.
+      for (const auto& [component, n] :
+           {std::pair{ComponentKind::kIce, ice},
+            std::pair{ComponentKind::kLnd, lnd},
+            std::pair{ComponentKind::kAtm, atm}}) {
+        if (n > total_nodes - ocn) {
+          why << to_string(component) << " (" << n << ") exceeds N - ocn ("
+              << total_nodes - ocn << ")";
+          return why.str();
+        }
+      }
+      return std::nullopt;
+    case LayoutKind::kFullySequential:
+      // Table I line 28: every component fits on the machine.
+      for (const auto& [component, n] : nodes) {
+        if (n > total_nodes) {
+          why << to_string(component) << " (" << n << ") exceeds machine ("
+              << total_nodes << ")";
+          return why.str();
+        }
+      }
+      return std::nullopt;
+  }
+  return "unknown layout kind";
+}
+
+int Layout::footprint() const {
+  const int ice = at(ComponentKind::kIce);
+  const int lnd = at(ComponentKind::kLnd);
+  const int atm = at(ComponentKind::kAtm);
+  const int ocn = at(ComponentKind::kOcn);
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      return std::max(atm, ice + lnd) + ocn;
+    case LayoutKind::kSequentialGroup:
+      return std::max({ice, lnd, atm}) + ocn;
+    case LayoutKind::kFullySequential:
+      return std::max({ice, lnd, atm, ocn});
+  }
+  return 0;
+}
+
+double combine_times(LayoutKind kind, double ice, double lnd, double atm,
+                     double ocn) {
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      return std::max(std::max(ice, lnd) + atm, ocn);
+    case LayoutKind::kSequentialGroup:
+      return std::max(ice + lnd + atm, ocn);
+    case LayoutKind::kFullySequential:
+      return ice + lnd + atm + ocn;
+  }
+  return 0.0;
+}
+
+}  // namespace hslb::cesm

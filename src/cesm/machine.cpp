@@ -1,0 +1,15 @@
+#include "hslb/cesm/machine.hpp"
+
+namespace hslb::cesm {
+
+Machine intrepid() {
+  Machine m;
+  m.name = "Intrepid (IBM Blue Gene/P)";
+  m.total_nodes = 40960;
+  m.cores_per_node = 4;
+  m.mpi_tasks_per_node = 1;
+  m.threads_per_task = 4;
+  return m;
+}
+
+}  // namespace hslb::cesm

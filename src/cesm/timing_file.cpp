@@ -1,0 +1,130 @@
+#include "hslb/cesm/timing_file.hpp"
+
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// "  key : value" -> value; the key must be the first word of the line
+/// (so "model time (..., layout-combined): ..." does not match "layout").
+std::string value_of(const std::string& line, const std::string& key) {
+  const std::string trimmed = trim(line);
+  if (trimmed.rfind(key, 0) != 0) {
+    return "";
+  }
+  const auto colon = trimmed.find(':', key.size());
+  if (colon == std::string::npos) {
+    return "";
+  }
+  return trim(trimmed.substr(colon + 1));
+}
+
+/// Last numeric token of a "...: 123.456 s" summary line.
+double trailing_seconds(const std::string& line) {
+  std::istringstream words(line.substr(line.find(':') + 1));
+  double value = 0.0;
+  words >> value;
+  HSLB_REQUIRE(static_cast<bool>(words), "malformed summary line: " + line);
+  return value;
+}
+
+bool is_known_component(const std::string& name) {
+  for (const char* known : {"atm", "ocn", "ice", "lnd", "rof", "cpl"}) {
+    if (name == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ParsedTimingFile::Row> ParsedTimingFile::find(
+    const std::string& component) const {
+  for (const Row& row : rows) {
+    if (row.component == component) {
+      return row;
+    }
+  }
+  return std::nullopt;
+}
+
+ParsedTimingFile parse_timing_file(const std::string& text) {
+  ParsedTimingFile out;
+  bool saw_header = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("CESM timing summary") != std::string::npos) {
+      saw_header = true;
+      continue;
+    }
+    if (const std::string v = value_of(line, "case"); !v.empty()) {
+      out.case_name = v;
+      continue;
+    }
+    if (const std::string v = value_of(line, "machine"); !v.empty()) {
+      out.machine = v;
+      continue;
+    }
+    if (const std::string v = value_of(line, "layout"); !v.empty()) {
+      out.layout = v;
+      continue;
+    }
+    if (const std::string v = value_of(line, "run length"); !v.empty()) {
+      std::istringstream words(v);
+      words >> out.simulated_days;
+      continue;
+    }
+    if (line.find("model time") != std::string::npos) {
+      out.model_seconds = trailing_seconds(line);
+      continue;
+    }
+    if (line.find("total wall clock") != std::string::npos) {
+      out.total_seconds = trailing_seconds(line);
+      continue;
+    }
+    // Component table row: "<name> <nodes> <cores> <seconds> <sec/day>".
+    std::istringstream words(line);
+    ParsedTimingFile::Row row;
+    if (words >> row.component >> row.nodes >> row.cores >> row.seconds >>
+            row.seconds_per_day &&
+        is_known_component(row.component)) {
+      out.rows.push_back(row);
+    }
+  }
+
+  HSLB_REQUIRE(saw_header, "not a CESM timing summary");
+  HSLB_REQUIRE(!out.rows.empty(), "timing summary contains no components");
+  HSLB_REQUIRE(out.simulated_days > 0, "timing summary lacks the run length");
+  return out;
+}
+
+std::vector<BenchmarkSample> samples_from_timing(
+    const std::vector<ParsedTimingFile>& files) {
+  std::vector<BenchmarkSample> samples;
+  for (const ParsedTimingFile& file : files) {
+    for (const ComponentKind kind : kModeledComponents) {
+      const auto row = file.find(to_string(kind));
+      HSLB_REQUIRE(row.has_value(),
+                   std::string("timing file lacks component ") +
+                       to_string(kind));
+      samples.push_back(BenchmarkSample{kind, row->nodes, row->seconds});
+    }
+  }
+  return samples;
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,124 @@
+#include "hslb/common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::common {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HSLB_REQUIRE(!headers_.empty(), "a table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  HSLB_REQUIRE(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row() {
+  rows_.emplace_back();
+}
+
+void Table::cell(std::string value) {
+  HSLB_REQUIRE(!rows_.empty(), "call add_row() before cell()");
+  HSLB_REQUIRE(rows_.back().size() < headers_.size(),
+               "row already has a cell for every column");
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::cell(double value, int precision) {
+  cell(format_fixed(value, precision));
+}
+
+void Table::cell(long long value) {
+  cell(std::to_string(value));
+}
+
+void Table::cell_missing() {
+  cell(std::string("-"));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t c) {
+    const std::size_t fill = widths[c] - std::min(widths[c], text.size());
+    return aligns_[c] == Align::kLeft ? text + std::string(fill, ' ')
+                                      : std::string(fill, ' ') + text;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << pad(headers_[c], c);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "" : "  ") << pad(text, c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  const auto quote = [](const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) {
+      return text;
+    }
+    std::string out = "\"";
+    for (char ch : text) {
+      if (ch == '"') {
+        out += '"';
+      }
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+}  // namespace hslb::common

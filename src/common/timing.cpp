@@ -1,0 +1,3 @@
+// Intentionally header-only; this translation unit anchors the library and
+// gives the header a home for any future out-of-line additions.
+#include "hslb/common/timing.hpp"

@@ -1,0 +1,289 @@
+// Evaluation and derivative propagation.
+//
+// Derivatives use dense forward propagation of (value, gradient, Hessian)
+// triples through the DAG with per-node memoization.  For the model sizes in
+// this library (tens of variables) this is simpler and no slower than
+// taped reverse mode, and it yields exact Hessians for the barrier solver.
+#include <cmath>
+#include <unordered_map>
+
+#include "hslb/common/error.hpp"
+#include "hslb/expr/expr.hpp"
+
+namespace hslb::expr {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Rank-one symmetric update: H += s * (a b^T + b a^T).
+void add_sym_outer(Matrix& h, double s, const Vector& a, const Vector& b) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0.0 && b[i] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      h(i, j) += s * (a[i] * b[j] + b[i] * a[j]);
+    }
+  }
+}
+
+/// H += s * g g^T.
+void add_outer(Matrix& h, double s, const Vector& g) {
+  const std::size_t n = g.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g[i] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      h(i, j) += s * g[i] * g[j];
+    }
+  }
+}
+
+/// Value-only evaluator with memoization over shared nodes.
+class ValueEvaluator {
+ public:
+  explicit ValueEvaluator(std::span<const double> x) : x_(x) {}
+
+  double visit(const Node& node) {
+    if (const auto it = memo_.find(&node); it != memo_.end()) {
+      return it->second;
+    }
+    const double v = compute(node);
+    memo_.emplace(&node, v);
+    return v;
+  }
+
+ private:
+  double compute(const Node& node) {
+    switch (node.op) {
+      case Op::kConst:
+        return node.value;
+      case Op::kVar:
+        HSLB_REQUIRE(node.var_index < x_.size(),
+                     "variable index out of range of evaluation point");
+        return x_[node.var_index];
+      case Op::kAdd: {
+        double sum = 0.0;
+        for (const auto& child : node.children) {
+          sum += visit(*child);
+        }
+        return sum;
+      }
+      case Op::kMul:
+        return visit(*node.children[0]) * visit(*node.children[1]);
+      case Op::kDiv:
+        return visit(*node.children[0]) / visit(*node.children[1]);
+      case Op::kPow:
+        return std::pow(visit(*node.children[0]), node.value);
+      case Op::kNeg:
+        return -visit(*node.children[0]);
+      case Op::kLog:
+        return std::log(visit(*node.children[0]));
+      case Op::kExp:
+        return std::exp(visit(*node.children[0]));
+    }
+    throw InternalError("unhandled expression op");
+  }
+
+  std::span<const double> x_;
+  std::unordered_map<const Node*, double> memo_;
+};
+
+struct Triple {
+  double value = 0.0;
+  Vector grad;
+  Matrix hess;
+};
+
+/// (value, gradient, Hessian) evaluator with memoization.  `want_hess`
+/// controls whether second derivatives are propagated.
+class DerivEvaluator {
+ public:
+  DerivEvaluator(std::span<const double> x, std::size_t nvars, bool want_hess)
+      : x_(x), nvars_(nvars), want_hess_(want_hess) {}
+
+  const Triple& visit(const Node& node) {
+    if (const auto it = memo_.find(&node); it != memo_.end()) {
+      return it->second;
+    }
+    return memo_.emplace(&node, compute(node)).first->second;
+  }
+
+ private:
+  Triple blank() const {
+    Triple t;
+    t.grad.assign(nvars_, 0.0);
+    if (want_hess_) {
+      t.hess = Matrix(nvars_, nvars_);
+    }
+    return t;
+  }
+
+  Triple compute(const Node& node) {
+    switch (node.op) {
+      case Op::kConst: {
+        Triple t = blank();
+        t.value = node.value;
+        return t;
+      }
+      case Op::kVar: {
+        HSLB_REQUIRE(node.var_index < nvars_,
+                     "variable index exceeds declared variable count");
+        Triple t = blank();
+        t.value = x_[node.var_index];
+        t.grad[node.var_index] = 1.0;
+        return t;
+      }
+      case Op::kAdd: {
+        Triple t = blank();
+        for (const auto& child : node.children) {
+          const Triple& c = visit(*child);
+          t.value += c.value;
+          for (std::size_t i = 0; i < nvars_; ++i) {
+            t.grad[i] += c.grad[i];
+          }
+          if (want_hess_) {
+            t.hess += c.hess;
+          }
+        }
+        return t;
+      }
+      case Op::kNeg: {
+        const Triple& c = visit(*node.children[0]);
+        Triple t = blank();
+        t.value = -c.value;
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = -c.grad[i];
+        }
+        if (want_hess_) {
+          t.hess = c.hess;
+          t.hess *= -1.0;
+        }
+        return t;
+      }
+      case Op::kMul: {
+        const Triple& u = visit(*node.children[0]);
+        const Triple& v = visit(*node.children[1]);
+        Triple t = blank();
+        t.value = u.value * v.value;
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = u.grad[i] * v.value + v.grad[i] * u.value;
+        }
+        if (want_hess_) {
+          t.hess = u.hess;
+          t.hess *= v.value;
+          Matrix hv = v.hess;
+          hv *= u.value;
+          t.hess += hv;
+          add_sym_outer(t.hess, 1.0, u.grad, v.grad);
+        }
+        return t;
+      }
+      case Op::kDiv: {
+        const Triple& u = visit(*node.children[0]);
+        const Triple& v = visit(*node.children[1]);
+        const double inv = 1.0 / v.value;
+        Triple t = blank();
+        t.value = u.value * inv;
+        // grad = gu/v - u gv / v^2
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = u.grad[i] * inv - u.value * v.grad[i] * inv * inv;
+        }
+        if (want_hess_) {
+          // H(u/v) = Hu/v - u Hv/v^2 - (gu gv^T + gv gu^T)/v^2
+          //          + 2 u gv gv^T / v^3
+          t.hess = u.hess;
+          t.hess *= inv;
+          Matrix hv = v.hess;
+          hv *= -u.value * inv * inv;
+          t.hess += hv;
+          add_sym_outer(t.hess, -inv * inv, u.grad, v.grad);
+          add_outer(t.hess, 2.0 * u.value * inv * inv * inv, v.grad);
+        }
+        return t;
+      }
+      case Op::kPow: {
+        const Triple& u = visit(*node.children[0]);
+        const double p = node.value;
+        const double up = std::pow(u.value, p);
+        const double up1 = std::pow(u.value, p - 1.0);
+        const double up2 = std::pow(u.value, p - 2.0);
+        Triple t = blank();
+        t.value = up;
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = p * up1 * u.grad[i];
+        }
+        if (want_hess_) {
+          t.hess = u.hess;
+          t.hess *= p * up1;
+          add_outer(t.hess, p * (p - 1.0) * up2, u.grad);
+        }
+        return t;
+      }
+      case Op::kLog: {
+        const Triple& u = visit(*node.children[0]);
+        const double inv = 1.0 / u.value;
+        Triple t = blank();
+        t.value = std::log(u.value);
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = u.grad[i] * inv;
+        }
+        if (want_hess_) {
+          t.hess = u.hess;
+          t.hess *= inv;
+          add_outer(t.hess, -inv * inv, u.grad);
+        }
+        return t;
+      }
+      case Op::kExp: {
+        const Triple& u = visit(*node.children[0]);
+        const double val = std::exp(u.value);
+        Triple t = blank();
+        t.value = val;
+        for (std::size_t i = 0; i < nvars_; ++i) {
+          t.grad[i] = val * u.grad[i];
+        }
+        if (want_hess_) {
+          t.hess = u.hess;
+          add_outer(t.hess, 1.0, u.grad);
+          t.hess *= val;
+        }
+        return t;
+      }
+    }
+    throw InternalError("unhandled expression op");
+  }
+
+  std::span<const double> x_;
+  std::size_t nvars_;
+  bool want_hess_;
+  std::unordered_map<const Node*, Triple> memo_;
+};
+
+}  // namespace
+
+double eval(const Expr& e, std::span<const double> x) {
+  ValueEvaluator evaluator(x);
+  return evaluator.visit(e.node());
+}
+
+ValGrad eval_grad(const Expr& e, std::span<const double> x,
+                  std::size_t nvars) {
+  HSLB_REQUIRE(x.size() >= nvars, "evaluation point smaller than nvars");
+  DerivEvaluator evaluator(x, nvars, /*want_hess=*/false);
+  const Triple& t = evaluator.visit(e.node());
+  return ValGrad{t.value, t.grad};
+}
+
+ValGradHess eval_hess(const Expr& e, std::span<const double> x,
+                      std::size_t nvars) {
+  HSLB_REQUIRE(x.size() >= nvars, "evaluation point smaller than nvars");
+  DerivEvaluator evaluator(x, nvars, /*want_hess=*/true);
+  const Triple& t = evaluator.visit(e.node());
+  return ValGradHess{t.value, t.grad, t.hess};
+}
+
+}  // namespace hslb::expr

@@ -1,0 +1,255 @@
+#include "hslb/hslb/layout_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::core {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kMinMax:
+      return "min-max (eq. 1)";
+    case Objective::kMaxMin:
+      return "max-min (eq. 2)";
+    case Objective::kMinSum:
+      return "min-sum (eq. 3)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Keep only set members inside [lo, hi].
+std::vector<double> filter_set(const std::vector<int>& values, int lo,
+                               int hi) {
+  std::vector<double> out;
+  for (const int v : values) {
+    if (v >= lo && v <= hi) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+minlp::Model build_layout_model(const LayoutModelSpec& spec,
+                                LayoutModelVars* vars_out) {
+  HSLB_REQUIRE(spec.total_nodes >= 4, "need at least 4 nodes to lay out");
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    HSLB_REQUIRE(spec.perf.count(kind) == 1,
+                 "spec needs a fitted performance model for every component");
+  }
+
+  minlp::Model model;
+  LayoutModelVars vars;
+
+  const int N = spec.total_nodes;
+  const auto floor_of = [&](ComponentKind kind) {
+    const auto it = spec.min_nodes.find(kind);
+    return it == spec.min_nodes.end() ? 1 : std::max(1, it->second);
+  };
+
+  // T and (for layout 1) T_icelnd.
+  vars.total_time = model.add_variable("T", minlp::VarType::kContinuous, 0.0,
+                                       lp::kInf);
+  if (spec.layout == LayoutKind::kHybrid) {
+    vars.icelnd_time = model.add_variable(
+        "T_icelnd", minlp::VarType::kContinuous, 0.0, lp::kInf);
+  } else {
+    vars.icelnd_time = vars.total_time;
+  }
+
+  // n_j and t_j with the defined-time links t_j == T_j(n_j).
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const std::string tag = cesm::to_string(kind);
+    const int lo = floor_of(kind);
+    HSLB_REQUIRE(lo <= N, "memory floor exceeds machine size");
+    vars.nodes[kind] = model.add_variable("n_" + tag, minlp::VarType::kInteger,
+                                          lo, N);
+    vars.times[kind] = model.add_variable("t_" + tag,
+                                          minlp::VarType::kContinuous, 0.0,
+                                          lp::kInf);
+    model.add_link(vars.times[kind], vars.nodes[kind],
+                   spec.perf.at(kind).as_univariate(), "T_" + tag);
+  }
+
+  const std::size_t T = vars.total_time;
+  const std::size_t Til = vars.icelnd_time;
+  const std::size_t ni = vars.nodes.at(ComponentKind::kIce);
+  const std::size_t nl = vars.nodes.at(ComponentKind::kLnd);
+  const std::size_t na = vars.nodes.at(ComponentKind::kAtm);
+  const std::size_t no = vars.nodes.at(ComponentKind::kOcn);
+  const std::size_t ti = vars.times.at(ComponentKind::kIce);
+  const std::size_t tl = vars.times.at(ComponentKind::kLnd);
+  const std::size_t ta = vars.times.at(ComponentKind::kAtm);
+  const std::size_t to = vars.times.at(ComponentKind::kOcn);
+
+  // --- Temporal constraints (Table I lines 14-19, 22-23, 27). --------------
+  switch (spec.layout) {
+    case LayoutKind::kHybrid:
+      model.add_linear({{Til, 1.0}, {ti, -1.0}}, 0.0, lp::kInf,
+                       "Ticelnd>=Ti");
+      model.add_linear({{Til, 1.0}, {tl, -1.0}}, 0.0, lp::kInf,
+                       "Ticelnd>=Tl");
+      model.add_linear({{T, 1.0}, {Til, -1.0}, {ta, -1.0}}, 0.0, lp::kInf,
+                       "T>=Ticelnd+Ta");
+      model.add_linear({{T, 1.0}, {to, -1.0}}, 0.0, lp::kInf, "T>=To");
+      if (std::isfinite(spec.tsync)) {
+        HSLB_REQUIRE(spec.tsync >= 0.0, "Tsync must be nonnegative");
+        // Tl >= Ti - Tsync and Tl <= Ti + Tsync (lines 18-19).
+        model.add_linear({{tl, 1.0}, {ti, -1.0}}, -spec.tsync, spec.tsync,
+                         "|Tl-Ti|<=Tsync");
+      }
+      break;
+    case LayoutKind::kSequentialGroup:
+      model.add_linear({{T, 1.0}, {ti, -1.0}, {tl, -1.0}, {ta, -1.0}}, 0.0,
+                       lp::kInf, "T>=Ti+Tl+Ta");
+      model.add_linear({{T, 1.0}, {to, -1.0}}, 0.0, lp::kInf, "T>=To");
+      break;
+    case LayoutKind::kFullySequential:
+      model.add_linear(
+          {{T, 1.0}, {ti, -1.0}, {tl, -1.0}, {ta, -1.0}, {to, -1.0}}, 0.0,
+          lp::kInf, "T>=Ti+Tl+Ta+To");
+      break;
+  }
+
+  // --- Node constraints (Table I lines 20-21, 24-26, 28). ------------------
+  // Under the max-min objective (eq. 2) the node rows become equalities:
+  // maximizing the minimum component time only makes sense when every node
+  // must be used, otherwise starving all components is "optimal".
+  const double slack_lo =
+      spec.objective == Objective::kMaxMin ? 0.0 : -lp::kInf;
+  switch (spec.layout) {
+    case LayoutKind::kHybrid:
+      model.add_linear({{na, 1.0}, {no, 1.0}},
+                       spec.objective == Objective::kMaxMin ? N : slack_lo, N,
+                       "na+no<=N");
+      model.add_linear({{ni, 1.0}, {nl, 1.0}, {na, -1.0}}, slack_lo, 0.0,
+                       "ni+nl<=na");
+      break;
+    case LayoutKind::kSequentialGroup:
+      model.add_linear({{ni, 1.0}, {no, 1.0}}, slack_lo == 0.0 ? N : slack_lo,
+                       N, "ni<=N-no");
+      model.add_linear({{nl, 1.0}, {no, 1.0}}, slack_lo == 0.0 ? N : slack_lo,
+                       N, "nl<=N-no");
+      model.add_linear({{na, 1.0}, {no, 1.0}}, slack_lo == 0.0 ? N : slack_lo,
+                       N, "na<=N-no");
+      break;
+    case LayoutKind::kFullySequential:
+      if (spec.objective == Objective::kMaxMin) {
+        for (const std::size_t nj : {ni, nl, na, no}) {
+          model.add_linear({{nj, 1.0}}, N, N, "n==N");
+        }
+      }
+      break;  // otherwise n_j <= N is enforced by the variable bounds
+  }
+
+  // --- Allocation sets (Table I lines 5-6, 12, 29-31). ---------------------
+  if (!spec.ocn_allowed.empty()) {
+    const auto values = filter_set(spec.ocn_allowed,
+                                   floor_of(ComponentKind::kOcn), N);
+    HSLB_REQUIRE(!values.empty(), "no allowed ocean count fits the machine");
+    model.restrict_to_set(no, values, spec.use_sos, "O");
+  }
+  if (!spec.atm_allowed.empty()) {
+    const auto values = filter_set(spec.atm_allowed,
+                                   floor_of(ComponentKind::kAtm), N);
+    HSLB_REQUIRE(!values.empty(), "no allowed atm count fits the machine");
+    model.restrict_to_set(na, values, spec.use_sos, "A");
+  }
+
+  // --- Objective (section III-D). -------------------------------------------
+  switch (spec.objective) {
+    case Objective::kMinMax:
+      model.minimize(model.var(T));
+      break;
+    case Objective::kMaxMin: {
+      // max min_j t_j  ==  min -M with M <= t_j for all j.
+      const std::size_t M = model.add_variable(
+          "M", minlp::VarType::kContinuous, 0.0, lp::kInf);
+      for (const ComponentKind kind : cesm::kModeledComponents) {
+        model.add_linear({{M, 1.0}, {vars.times.at(kind), -1.0}}, -lp::kInf,
+                         0.0, "M<=t");
+      }
+      model.minimize(-model.var(M));
+      break;
+    }
+    case Objective::kMinSum: {
+      expr::Expr total = expr::constant(0.0);
+      for (const ComponentKind kind : cesm::kModeledComponents) {
+        total += model.var(vars.times.at(kind));
+      }
+      model.minimize(total);
+      break;
+    }
+  }
+
+  if (vars_out != nullptr) {
+    *vars_out = vars;
+  }
+  return model;
+}
+
+cesm::Layout Allocation::as_layout(LayoutKind kind) const {
+  const int ice = nodes.at(ComponentKind::kIce);
+  const int lnd = nodes.at(ComponentKind::kLnd);
+  const int atm = nodes.at(ComponentKind::kAtm);
+  const int ocn = nodes.at(ComponentKind::kOcn);
+  switch (kind) {
+    case LayoutKind::kHybrid:
+      return cesm::Layout::hybrid(ice, lnd, atm, ocn);
+    case LayoutKind::kSequentialGroup:
+      return cesm::Layout::sequential_group(ice, lnd, atm, ocn);
+    case LayoutKind::kFullySequential:
+      return cesm::Layout::fully_sequential(ice, lnd, atm, ocn);
+  }
+  throw InvalidArgument("unknown layout kind");
+}
+
+Allocation extract_allocation(const LayoutModelSpec& spec,
+                              const LayoutModelVars& vars,
+                              const minlp::MinlpResult& result) {
+  HSLB_REQUIRE(result.status == minlp::MinlpStatus::kOptimal ||
+                   result.status == minlp::MinlpStatus::kNodeLimit,
+               "solver did not produce a usable solution");
+  HSLB_REQUIRE(!result.x.empty(), "solver result has no point");
+
+  Allocation out;
+  double ice = 0.0;
+  double lnd = 0.0;
+  double atm = 0.0;
+  double ocn = 0.0;
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const int n = static_cast<int>(
+        std::llround(result.x[vars.nodes.at(kind)]));
+    out.nodes[kind] = n;
+    const double t = spec.perf.at(kind)(n);
+    out.predicted_seconds[kind] = t;
+    switch (kind) {
+      case ComponentKind::kIce:
+        ice = t;
+        break;
+      case ComponentKind::kLnd:
+        lnd = t;
+        break;
+      case ComponentKind::kAtm:
+        atm = t;
+        break;
+      case ComponentKind::kOcn:
+        ocn = t;
+        break;
+      default:
+        break;
+    }
+  }
+  out.predicted_total = cesm::combine_times(spec.layout, ice, lnd, atm, ocn);
+  return out;
+}
+
+}  // namespace hslb::core

@@ -1,0 +1,229 @@
+#include "hslb/hslb/manual_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::core {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+ScalingCurve::ScalingCurve(std::vector<double> nodes,
+                           std::vector<double> seconds) {
+  HSLB_REQUIRE(nodes.size() == seconds.size() && nodes.size() >= 2,
+               "scaling curve needs at least two samples");
+  // Sort by node count and average duplicate counts (repeated benchmarks).
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    HSLB_REQUIRE(nodes[i] > 0.0 && seconds[i] > 0.0,
+                 "scaling samples must be positive");
+    points.emplace_back(nodes[i], seconds[i]);
+  }
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double t_sum = points[i].second;
+    std::size_t count = 1;
+    while (i + 1 < points.size() && points[i + 1].first == points[i].first) {
+      ++i;
+      t_sum += points[i].second;
+      ++count;
+    }
+    log_n_.push_back(std::log(points[i].first));
+    log_t_.push_back(std::log(t_sum / static_cast<double>(count)));
+  }
+  HSLB_REQUIRE(log_n_.size() >= 2,
+               "scaling curve needs two distinct node counts");
+}
+
+double ScalingCurve::operator()(double nodes) const {
+  HSLB_REQUIRE(nodes > 0.0, "scaling curve read needs nodes > 0");
+  const double x = std::log(nodes);
+  std::size_t hi = 1;
+  while (hi + 1 < log_n_.size() && log_n_[hi] < x) {
+    ++hi;
+  }
+  const std::size_t lo = hi - 1;
+  const double f = (x - log_n_[lo]) / (log_n_[hi] - log_n_[lo]);
+  return std::exp(log_t_[lo] + f * (log_t_[hi] - log_t_[lo]));
+}
+
+namespace {
+
+int round_to_multiple(double value, int multiple) {
+  const int m = std::max(1, multiple);
+  return std::max(m, static_cast<int>(std::lround(value / m)) * m);
+}
+
+/// Allowed-set member that is nearest the target, preferring "round"
+/// numbers (multiples of `rounding`) when one is close.
+int human_snap(const std::vector<int>& allowed, int target, int rounding) {
+  HSLB_REQUIRE(!allowed.empty(), "empty allowed set");
+  int nearest = allowed.front();
+  int nearest_round = -1;
+  for (const int v : allowed) {
+    if (std::abs(v - target) < std::abs(nearest - target)) {
+      nearest = v;
+    }
+    if (v % std::max(1, rounding) == 0 &&
+        (nearest_round < 0 ||
+         std::abs(v - target) < std::abs(nearest_round - target))) {
+      nearest_round = v;
+    }
+  }
+  // Prefer the round value if it costs at most ~15% extra distance.
+  if (nearest_round > 0 &&
+      std::abs(nearest_round - target) <=
+          std::max(2.0, 0.15 * target + std::abs(nearest - target))) {
+    return nearest_round;
+  }
+  return nearest;
+}
+
+}  // namespace
+
+ManualResult run_manual(const cesm::CaseConfig& case_config,
+                        const ManualTunerConfig& config,
+                        const std::vector<cesm::BenchmarkSample>& samples) {
+  HSLB_REQUIRE(config.total_nodes >= 8, "machine slice too small");
+  const int N = config.total_nodes;
+
+  // Read the plots: one interpolated curve per component.
+  std::map<ComponentKind, ScalingCurve> curves;
+  std::map<ComponentKind, double> max_sampled;
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const cesm::Series series = cesm::series_for(samples, kind);
+    curves.emplace(kind, ScalingCurve(series.nodes, series.seconds));
+    max_sampled[kind] =
+        *std::max_element(series.nodes.begin(), series.nodes.end());
+  }
+  const auto read = [&](ComponentKind kind, int nodes) {
+    return curves.at(kind)(nodes);
+  };
+
+  const int min_ice = case_config.min_nodes_for(ComponentKind::kIce);
+  const int min_lnd = case_config.min_nodes_for(ComponentKind::kLnd);
+  const int min_atm = case_config.min_nodes_for(ComponentKind::kAtm);
+  const int min_ocn = case_config.min_nodes_for(ComponentKind::kOcn);
+
+  // An expert does not allocate (far) beyond the benchmarked range: curve
+  // reads out there would be extrapolation, which they rightly distrust.
+  const int ocn_cap = static_cast<int>(
+      std::min<double>(N - min_atm, max_sampled[ComponentKind::kOcn] * 1.25));
+
+  // Candidate ocean allocations: a handful of fractions of the machine.
+  std::vector<int> ocn_candidates;
+  for (int k = 0; k < std::max(2, config.candidate_rounds); ++k) {
+    const double frac =
+        0.08 + (0.30 - 0.08) * k / std::max(1, config.candidate_rounds - 1);
+    int target = static_cast<int>(frac * N);
+    target = std::clamp(target, min_ocn, std::max(min_ocn, ocn_cap));
+    int choice;
+    if (config.constrain_ocean && !case_config.ocn_allowed.empty()) {
+      std::vector<int> feasible;
+      for (const int v : case_config.ocn_allowed) {
+        if (v >= min_ocn && v <= ocn_cap) {
+          feasible.push_back(v);
+        }
+      }
+      if (feasible.empty()) {
+        continue;
+      }
+      choice = human_snap(feasible, target, config.rounding);
+    } else {
+      choice = std::clamp(round_to_multiple(target, config.rounding), min_ocn,
+                          std::max(min_ocn, ocn_cap));
+    }
+    if (std::find(ocn_candidates.begin(), ocn_candidates.end(), choice) ==
+        ocn_candidates.end()) {
+      ocn_candidates.push_back(choice);
+    }
+  }
+  HSLB_REQUIRE(!ocn_candidates.empty(), "no feasible ocean candidate");
+
+  // Evaluate each candidate off the plots and keep the best-looking one.
+  ManualResult best;
+  best.estimated_total = lp::kInf;
+  for (const int ocn : ocn_candidates) {
+    const int atm_budget = N - ocn;
+    if (atm_budget < min_atm) {
+      continue;
+    }
+    int atm;
+    if (!case_config.atm_allowed.empty()) {
+      std::vector<int> feasible;
+      for (const int v : case_config.atm_allowed) {
+        if (v >= min_atm && v <= atm_budget) {
+          feasible.push_back(v);
+        }
+      }
+      if (feasible.empty()) {
+        continue;
+      }
+      atm = human_snap(feasible, atm_budget, config.rounding);
+    } else {
+      atm = std::clamp(round_to_multiple(atm_budget, config.rounding),
+                       min_atm, atm_budget);
+    }
+
+    // Split the atmosphere group between ice and land, balancing the two
+    // curve reads at human granularity (layout 1); the other layouts give
+    // each sequential component the whole group.
+    int ice = 0;
+    int lnd = 0;
+    if (config.layout == LayoutKind::kHybrid) {
+      double best_gap = lp::kInf;
+      const int step = std::max(1, config.rounding);
+      for (int trial_ice = min_ice; trial_ice <= atm - min_lnd;
+           trial_ice += step) {
+        const int trial_lnd = atm - trial_ice;
+        const double gap = std::fabs(read(ComponentKind::kIce, trial_ice) -
+                                     read(ComponentKind::kLnd, trial_lnd));
+        if (gap < best_gap) {
+          best_gap = gap;
+          ice = trial_ice;
+          lnd = trial_lnd;
+        }
+      }
+      if (ice == 0) {
+        continue;  // group too small to split
+      }
+    } else {
+      ice = lnd = atm;
+    }
+
+    const double t_ice = read(ComponentKind::kIce, ice);
+    const double t_lnd = read(ComponentKind::kLnd, lnd);
+    const double t_atm = read(ComponentKind::kAtm, atm);
+    const double t_ocn = read(ComponentKind::kOcn, ocn);
+    const double total =
+        cesm::combine_times(config.layout, t_ice, t_lnd, t_atm, t_ocn);
+    if (total < best.estimated_total) {
+      best.estimated_total = total;
+      best.nodes = {{ComponentKind::kIce, ice},
+                    {ComponentKind::kLnd, lnd},
+                    {ComponentKind::kAtm, atm},
+                    {ComponentKind::kOcn, ocn}};
+      best.estimated_seconds = {{ComponentKind::kIce, t_ice},
+                                {ComponentKind::kLnd, t_lnd},
+                                {ComponentKind::kAtm, t_atm},
+                                {ComponentKind::kOcn, t_ocn}};
+    }
+  }
+  HSLB_REQUIRE(std::isfinite(best.estimated_total),
+               "manual tuner found no feasible layout");
+
+  // Submit the chosen layout.
+  Allocation allocation;
+  allocation.nodes = best.nodes;
+  const cesm::Layout layout = allocation.as_layout(config.layout);
+  best.run = cesm::run_case(case_config, layout, config.seed);
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    best.actual_seconds[kind] = best.run.component_seconds.at(kind);
+  }
+  best.actual_total = best.run.model_seconds;
+  return best;
+}
+
+}  // namespace hslb::core

@@ -1,0 +1,64 @@
+#include "hslb/hslb/objectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::core {
+
+using cesm::ComponentKind;
+
+BalanceMetrics evaluate_balance(
+    cesm::LayoutKind layout, const std::map<ComponentKind, int>& nodes,
+    const std::map<ComponentKind, double>& seconds) {
+  BalanceMetrics out;
+  out.min_component = lp::kInf;
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    HSLB_REQUIRE(seconds.count(kind) == 1,
+                 "evaluate_balance needs a time for every component");
+    const double t = seconds.at(kind);
+    out.max_component = std::max(out.max_component, t);
+    out.min_component = std::min(out.min_component, t);
+    out.sum_components += t;
+  }
+  out.combined_total = cesm::combine_times(
+      layout, seconds.at(ComponentKind::kIce), seconds.at(ComponentKind::kLnd),
+      seconds.at(ComponentKind::kAtm), seconds.at(ComponentKind::kOcn));
+  out.imbalance =
+      out.min_component > 0.0 ? out.max_component / out.min_component - 1.0
+                              : lp::kInf;
+  out.icelnd_gap = std::fabs(seconds.at(ComponentKind::kIce) -
+                             seconds.at(ComponentKind::kLnd));
+
+  int footprint = 0;
+  if (!nodes.empty()) {
+    const int ice = nodes.at(ComponentKind::kIce);
+    const int lnd = nodes.at(ComponentKind::kLnd);
+    const int atm = nodes.at(ComponentKind::kAtm);
+    const int ocn = nodes.at(ComponentKind::kOcn);
+    switch (layout) {
+      case cesm::LayoutKind::kHybrid:
+        footprint = std::max(atm, ice + lnd) + ocn;
+        break;
+      case cesm::LayoutKind::kSequentialGroup:
+        footprint = std::max({ice, lnd, atm}) + ocn;
+        break;
+      case cesm::LayoutKind::kFullySequential:
+        footprint = std::max({ice, lnd, atm, ocn});
+        break;
+    }
+  }
+  out.node_seconds = footprint * out.combined_total;
+  return out;
+}
+
+double simulated_years_per_day(int days, double seconds) {
+  HSLB_REQUIRE(days >= 1 && seconds > 0.0,
+               "throughput needs positive days and seconds");
+  const double model_years = days / 365.0;
+  const double wall_days = seconds / 86400.0;
+  return model_years / wall_days;
+}
+
+}  // namespace hslb::core

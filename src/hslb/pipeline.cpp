@@ -1,0 +1,130 @@
+#include "hslb/hslb/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/cesm/ice_tuner.hpp"
+#include "hslb/perf/sample_design.hpp"
+
+namespace hslb::core {
+
+using cesm::ComponentKind;
+
+std::vector<int> default_gather_totals(int total_nodes) {
+  HSLB_REQUIRE(total_nodes >= 32, "target machine slice too small");
+  const int lo = std::max(32, total_nodes / 16);
+  return perf::design_benchmark_nodes(lo, total_nodes, 5);
+}
+
+namespace {
+
+HslbResult solve_and_execute(const PipelineConfig& config,
+                             std::vector<cesm::BenchmarkSample> samples,
+                             bool execute) {
+  HSLB_REQUIRE(config.total_nodes >= 8, "target machine slice too small");
+  HslbResult out;
+  out.samples = std::move(samples);
+
+  // --- Step 2: fit (four least-squares problems, Table II). ----------------
+  LayoutModelSpec spec;
+  spec.layout = config.layout;
+  spec.total_nodes = config.total_nodes;
+  spec.objective = config.objective;
+  spec.use_sos = config.use_sos;
+  spec.min_nodes = config.case_config.min_nodes;
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const cesm::Series series = cesm::series_for(out.samples, kind);
+    HSLB_REQUIRE(series.nodes.size() >= 3,
+                 "need at least 3 samples per component to fit");
+    out.fits[kind] = perf::fit(series.nodes, series.seconds,
+                               config.fit_options);
+    spec.perf[kind] = out.fits.at(kind).model;
+  }
+
+  // --- Step 3: solve the Table I MINLP. -------------------------------------
+  if (config.constrain_atm) {
+    spec.atm_allowed = config.case_config.atm_allowed;
+  }
+  if (config.constrain_ocean) {
+    spec.ocn_allowed = config.case_config.ocn_allowed;
+  }
+  if (config.tsync >= 0.0) {
+    spec.tsync = config.tsync;
+  } else {
+    // Auto tolerance: 25% of the fitted sea-ice time at a mid-size ice
+    // allocation -- loose enough to always admit a solution, tight enough
+    // to force the ice/land balance of Table I lines 18-19.
+    const double ref = spec.perf.at(ComponentKind::kIce)(
+        std::max(1.0, config.total_nodes / 2.0));
+    spec.tsync = std::max(1.0, 0.25 * ref);
+  }
+  out.tsync_used = spec.tsync;
+
+  LayoutModelVars vars;
+  const minlp::Model model = build_layout_model(spec, &vars);
+  out.solver_result = minlp::solve(model, config.solver);
+  // A node-limited solve with an incumbent is still a usable allocation
+  // (callers bound max_nodes for the expensive objective ablations).
+  const bool usable =
+      out.solver_result.status == minlp::MinlpStatus::kOptimal ||
+      (out.solver_result.status == minlp::MinlpStatus::kNodeLimit &&
+       !out.solver_result.x.empty());
+  HSLB_REQUIRE(usable, std::string("MINLP solve failed: ") +
+                           minlp::to_string(out.solver_result.status));
+  out.allocation = extract_allocation(spec, vars, out.solver_result);
+  out.predicted_total = out.allocation.predicted_total;
+
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    ComponentOutcome outcome;
+    outcome.nodes = out.allocation.nodes.at(kind);
+    outcome.predicted_seconds = out.allocation.predicted_seconds.at(kind);
+    out.components[kind] = outcome;
+  }
+
+  // --- Step 4: execute at the optimal allocation. ---------------------------
+  if (execute) {
+    const cesm::Layout layout = out.allocation.as_layout(config.layout);
+    out.run = cesm::run_case(config.case_config, layout, config.seed + 1);
+    for (const ComponentKind kind : cesm::kModeledComponents) {
+      out.components[kind].actual_seconds =
+          out.run.component_seconds.at(kind);
+    }
+    out.actual_total = out.run.model_seconds;
+  }
+  return out;
+}
+
+}  // namespace
+
+HslbResult run_hslb(const PipelineConfig& config) {
+  // --- Step 0 (optional): learn a sea-ice decomposition policy. --------------
+  PipelineConfig effective = config;
+  if (config.tune_ice_decomposition) {
+    cesm::IceTunerOptions tuner_options;
+    tuner_options.max_nodes = config.total_nodes;
+    tuner_options.seed = config.seed ^ 0x1CEDECull;
+    const auto training = cesm::gather_ice_training(
+        config.case_config.component(cesm::ComponentKind::kIce),
+        tuner_options);
+    const cesm::IceDecompositionTuner tuner(training);
+    effective.case_config.ice_decomposition_policy = tuner.policy();
+  }
+
+  // --- Step 1: gather. -------------------------------------------------------
+  std::vector<int> totals = effective.gather_totals;
+  if (totals.empty()) {
+    totals = default_gather_totals(effective.total_nodes);
+  }
+  const cesm::CampaignResult campaign = cesm::gather_benchmarks(
+      effective.case_config, effective.layout, totals, effective.seed);
+  return solve_and_execute(effective, campaign.samples, /*execute=*/true);
+}
+
+HslbResult run_hslb_from_samples(
+    const PipelineConfig& config,
+    const std::vector<cesm::BenchmarkSample>& samples) {
+  return solve_and_execute(config, samples, /*execute=*/false);
+}
+
+}  // namespace hslb::core

@@ -1,0 +1,160 @@
+#include "hslb/hslb/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::core {
+
+using cesm::ComponentKind;
+
+common::Table render_table3_block(const ManualResult& manual,
+                                  const HslbResult& hslb) {
+  common::Table table({"components", "manual #nodes", "manual time,s",
+                       "HSLB #nodes", "HSLB pred,s", "HSLB actual,s"});
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    table.add_row();
+    table.cell(std::string(cesm::to_string(kind)));
+    table.cell(static_cast<long long>(manual.nodes.at(kind)));
+    table.cell(manual.actual_seconds.at(kind), 3);
+    table.cell(static_cast<long long>(hslb.components.at(kind).nodes));
+    table.cell(hslb.components.at(kind).predicted_seconds, 3);
+    table.cell(hslb.components.at(kind).actual_seconds, 3);
+  }
+  table.add_row();
+  table.cell(std::string("Total time"));
+  table.cell_missing();
+  table.cell(manual.actual_total, 3);
+  table.cell_missing();
+  table.cell(hslb.predicted_total, 3);
+  table.cell(hslb.actual_total, 3);
+  return table;
+}
+
+common::Table render_table3_block(const HslbResult& hslb) {
+  common::Table table(
+      {"components", "HSLB #nodes", "HSLB pred,s", "HSLB actual,s"});
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    table.add_row();
+    table.cell(std::string(cesm::to_string(kind)));
+    table.cell(static_cast<long long>(hslb.components.at(kind).nodes));
+    table.cell(hslb.components.at(kind).predicted_seconds, 3);
+    table.cell(hslb.components.at(kind).actual_seconds, 3);
+  }
+  table.add_row();
+  table.cell(std::string("Total time"));
+  table.cell_missing();
+  table.cell(hslb.predicted_total, 3);
+  table.cell(hslb.actual_total, 3);
+  return table;
+}
+
+std::string render_layout_ascii(
+    const cesm::Layout& layout,
+    const std::map<ComponentKind, double>& seconds, int width, int height) {
+  HSLB_REQUIRE(width >= 20 && height >= 6, "diagram too small");
+  const int ice = layout.at(ComponentKind::kIce);
+  const int lnd = layout.at(ComponentKind::kLnd);
+  const int atm = layout.at(ComponentKind::kAtm);
+  const int ocn = layout.at(ComponentKind::kOcn);
+  const double t_ice = seconds.at(ComponentKind::kIce);
+  const double t_lnd = seconds.at(ComponentKind::kLnd);
+  const double t_atm = seconds.at(ComponentKind::kAtm);
+  const double t_ocn = seconds.at(ComponentKind::kOcn);
+
+  const double total_time = cesm::combine_times(layout.kind, t_ice, t_lnd,
+                                                t_atm, t_ocn);
+  const int total_nodes = layout.footprint();
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+  const auto col = [&](double nodes) {
+    return std::clamp(static_cast<int>(std::lround(nodes / total_nodes *
+                                                   (width - 1))),
+                      0, width - 1);
+  };
+  const auto row = [&](double time) {
+    return std::clamp(static_cast<int>(std::lround(time / total_time *
+                                                   (height - 1))),
+                      0, height - 1);
+  };
+  const auto box = [&](int c0, int c1, int r0, int r1, char fill) {
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        canvas[static_cast<std::size_t>(height - 1 - r)]
+              [static_cast<std::size_t>(c)] = fill;
+      }
+    }
+  };
+
+  switch (layout.kind) {
+    case cesm::LayoutKind::kHybrid: {
+      // Left group: ice | lnd side by side at the bottom, atm stacked above;
+      // right group: ocn full height of its own time.
+      const int group_w = col(std::max(atm, ice + lnd));
+      const double phase = std::max(t_ice, t_lnd);
+      box(0, std::max(0, col(ice) - 1), 0, row(phase), 'I');
+      box(col(ice), group_w, 0, row(phase), 'L');
+      box(0, group_w, std::min(height - 1, row(phase) + 1),
+          row(phase + t_atm), 'A');
+      box(std::min(width - 1, group_w + 2), width - 1, 0, row(t_ocn), 'O');
+      break;
+    }
+    case cesm::LayoutKind::kSequentialGroup: {
+      const int group_w = col(std::max({ice, lnd, atm}));
+      box(0, group_w, 0, row(t_ice), 'I');
+      box(0, group_w, std::min(height - 1, row(t_ice) + 1),
+          row(t_ice + t_lnd), 'L');
+      box(0, group_w, std::min(height - 1, row(t_ice + t_lnd) + 1),
+          row(t_ice + t_lnd + t_atm), 'A');
+      box(std::min(width - 1, group_w + 2), width - 1, 0, row(t_ocn), 'O');
+      break;
+    }
+    case cesm::LayoutKind::kFullySequential: {
+      box(0, width - 1, 0, row(t_ice), 'I');
+      box(0, width - 1, std::min(height - 1, row(t_ice) + 1),
+          row(t_ice + t_lnd), 'L');
+      box(0, width - 1, std::min(height - 1, row(t_ice + t_lnd) + 1),
+          row(t_ice + t_lnd + t_atm), 'A');
+      box(0, width - 1,
+          std::min(height - 1, row(t_ice + t_lnd + t_atm) + 1),
+          height - 1, 'O');
+      break;
+    }
+  }
+
+  std::ostringstream os;
+  os << to_string(layout.kind) << "   (width = nodes, height = time)\n";
+  for (const std::string& line : canvas) {
+    os << "  |" << line << "|\n";
+  }
+  os << "  I=ice(" << ice << ") L=lnd(" << lnd << ") A=atm(" << atm
+     << ") O=ocn(" << ocn << "), total "
+     << common::format_fixed(total_time, 1) << " s on " << total_nodes
+     << " nodes\n";
+  return os.str();
+}
+
+common::Table render_fit_summary(
+    const std::map<ComponentKind, perf::FitResult>& fits) {
+  common::Table table({"component", "a", "b", "c", "d", "R^2", "RMSE,s"});
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const auto it = fits.find(kind);
+    HSLB_REQUIRE(it != fits.end(), "missing fit for component");
+    const perf::PerfParams& p = it->second.model.params();
+    table.add_row();
+    table.cell(std::string(cesm::to_string(kind)));
+    table.cell(p.a, 2);
+    table.cell(p.b, 6);
+    table.cell(p.c, 3);
+    table.cell(p.d, 3);
+    table.cell(it->second.r_squared, 5);
+    table.cell(it->second.rmse, 3);
+  }
+  return table;
+}
+
+}  // namespace hslb::core

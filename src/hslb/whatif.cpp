@@ -1,0 +1,102 @@
+#include "hslb/hslb/whatif.hpp"
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::core {
+namespace {
+
+/// Solve a spec and extract the allocation; throws if the solve fails.
+Allocation solve_spec(const LayoutModelSpec& spec,
+                      const minlp::SolverOptions& options) {
+  LayoutModelVars vars;
+  const minlp::Model model = build_layout_model(spec, &vars);
+  const minlp::MinlpResult result = minlp::solve(model, options);
+  HSLB_REQUIRE(result.status == minlp::MinlpStatus::kOptimal,
+               std::string("what-if solve failed: ") +
+                   minlp::to_string(result.status));
+  return extract_allocation(spec, vars, result);
+}
+
+}  // namespace
+
+ConstraintEffect constraint_effect(const LayoutModelSpec& spec,
+                                   const minlp::SolverOptions& options) {
+  ConstraintEffect out;
+  out.constrained = solve_spec(spec, options);
+  out.constrained_total = out.constrained.predicted_total;
+
+  LayoutModelSpec free_spec = spec;
+  free_spec.atm_allowed.clear();
+  free_spec.ocn_allowed.clear();
+  out.unconstrained = solve_spec(free_spec, options);
+  out.unconstrained_total = out.unconstrained.predicted_total;
+
+  out.relative_cost =
+      out.constrained_total / out.unconstrained_total - 1.0;
+  return out;
+}
+
+std::vector<ScalingPoint> scaling_forecast(
+    const LayoutModelSpec& spec, std::span<const int> sizes,
+    const minlp::SolverOptions& options) {
+  HSLB_REQUIRE(!sizes.empty(), "scaling forecast needs at least one size");
+  std::vector<ScalingPoint> out;
+  double t_ref = 0.0;
+  int n_ref = 0;
+  for (const int total : sizes) {
+    LayoutModelSpec sized = spec;
+    sized.total_nodes = total;
+    ScalingPoint point;
+    point.total_nodes = total;
+    point.allocation = solve_spec(sized, options);
+    point.predicted_total = point.allocation.predicted_total;
+    if (n_ref == 0) {
+      n_ref = total;
+      t_ref = point.predicted_total;
+    }
+    point.efficiency = (t_ref / point.predicted_total) /
+                       (static_cast<double>(total) / n_ref);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+Allocation swap_component(const LayoutModelSpec& spec,
+                          cesm::ComponentKind kind,
+                          const perf::PerfModel& replacement,
+                          double* new_total,
+                          const minlp::SolverOptions& options) {
+  LayoutModelSpec swapped = spec;
+  swapped.perf[kind] = replacement;
+  Allocation allocation = solve_spec(swapped, options);
+  if (new_total != nullptr) {
+    *new_total = allocation.predicted_total;
+  }
+  return allocation;
+}
+
+SizeRecommendation recommend_size(const LayoutModelSpec& spec,
+                                  std::span<const int> sizes,
+                                  double efficiency_floor,
+                                  const minlp::SolverOptions& options) {
+  HSLB_REQUIRE(efficiency_floor > 0.0 && efficiency_floor <= 1.0,
+               "efficiency floor must be in (0, 1]");
+  SizeRecommendation out;
+  out.sweep = scaling_forecast(spec, sizes, options);
+  out.fastest_total = lp::kInf;
+  for (const ScalingPoint& point : out.sweep) {
+    if (point.efficiency >= efficiency_floor) {
+      out.cost_efficient_nodes = point.total_nodes;
+      out.cost_efficient_total = point.predicted_total;
+    }
+    if (point.predicted_total < out.fastest_total) {
+      out.fastest_total = point.predicted_total;
+      out.fastest_nodes = point.total_nodes;
+    }
+  }
+  HSLB_REQUIRE(out.cost_efficient_nodes > 0,
+               "no swept size satisfies the efficiency floor");
+  return out;
+}
+
+}  // namespace hslb::core

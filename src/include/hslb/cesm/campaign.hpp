@@ -1,0 +1,57 @@
+// Benchmark campaigns: the HSLB "Gather Data" step.
+//
+// A campaign runs the coupled model at several total node counts using a
+// plausible first-guess layout at each size, and harvests per-component
+// (nodes, seconds) samples for the fitting step -- the simulator equivalent
+// of the paper's "perform a CESM simulation for the intended layout D times
+// using varied numbers of nodes".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hslb/cesm/driver.hpp"
+
+namespace hslb::cesm {
+
+/// One benchmark observation of one component.
+struct BenchmarkSample {
+  ComponentKind kind = ComponentKind::kAtm;
+  int nodes = 0;
+  double seconds = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<BenchmarkSample> samples;
+  std::vector<RunResult> runs;
+};
+
+/// A sensible first-guess layout for a machine slice of `total` nodes:
+/// ~20% ocean (snapped to the allowed set), the rest atmosphere (snapped to
+/// the allowed set), with ice taking ~60% of the atmosphere group and land
+/// the remainder -- the "typical setup" described in section II.
+Layout reference_layout(const CaseConfig& config, LayoutKind kind, int total);
+
+/// Run the campaign at each total in `totals`.  Runs are independent and
+/// execute in parallel (OpenMP) when available; results are deterministic
+/// in (config, totals, seed) regardless of thread count.
+CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
+                                 std::span<const int> totals,
+                                 std::uint64_t seed);
+
+/// Extract the (nodes, seconds) series of one component from the samples.
+struct Series {
+  std::vector<double> nodes;
+  std::vector<double> seconds;
+};
+Series series_for(const std::vector<BenchmarkSample>& samples,
+                  ComponentKind kind);
+
+/// Persist samples as CSV ("component,nodes,seconds" with a header row) and
+/// read them back -- the interchange format for feeding HSLB from archived
+/// benchmark data, per the paper's note that the gather step "can be
+/// avoided altogether if reliable benchmarks are already available".
+std::string samples_to_csv(const std::vector<BenchmarkSample>& samples);
+std::vector<BenchmarkSample> samples_from_csv(const std::string& csv);
+
+}  // namespace hslb::cesm

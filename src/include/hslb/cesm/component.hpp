@@ -1,0 +1,74 @@
+// Component performance oracles.
+//
+// Each simulated component carries a hidden ground-truth timing law -- the
+// stand-in for running the real CESM component on Intrepid.  The law is a
+// Table II curve (calibrated to the paper's measured timings) composed with
+//   * a "preferred count" penalty: POP at 1/10 degree only performs well at
+//     its hard-coded node counts; arbitrary counts pay up to ~28% (this is
+//     what made the paper's unconstrained-ocean prediction optimistic),
+//   * CICE's decomposition-strategy efficiency (deterministic scatter), and
+//   * multiplicative lognormal measurement noise on each benchmark run.
+// HSLB never sees these laws; it only sees measured run times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hslb/common/rng.hpp"
+#include "hslb/perf/perf_model.hpp"
+
+namespace hslb::cesm {
+
+enum class ComponentKind { kAtm, kOcn, kIce, kLnd, kRof, kCpl };
+
+const char* to_string(ComponentKind kind);
+const char* long_name(ComponentKind kind);
+
+/// The four components HSLB optimizes (runoff and coupler are excluded from
+/// the models in the paper because their cost is small).
+inline constexpr ComponentKind kModeledComponents[] = {
+    ComponentKind::kLnd, ComponentKind::kIce, ComponentKind::kAtm,
+    ComponentKind::kOcn};
+
+/// Hidden truth for one component.
+struct TruthParams {
+  perf::PerfParams base;            ///< 5-day wall-clock law (seconds)
+  double noise_cv = 0.015;          ///< per-run lognormal measurement noise
+  std::vector<int> preferred_counts;  ///< counts with full efficiency
+  double off_preferred_penalty = 0.0; ///< max relative slowdown elsewhere
+  bool decomposition_noise = false;   ///< CICE default-decomposition scatter
+};
+
+class Component {
+ public:
+  Component() = default;
+  Component(ComponentKind kind, TruthParams truth);
+
+  ComponentKind kind() const { return kind_; }
+  const TruthParams& truth() const { return truth_; }
+
+  /// Deterministic ground-truth wall-clock seconds for a 5-day run on
+  /// `nodes` nodes (penalties and decomposition effects included, noise not).
+  double true_time(int nodes) const;
+
+  /// One measured benchmark run: true time with measurement noise.
+  double measured_time(int nodes, common::Rng& rng) const;
+
+  /// The slowdown factor (>= 1) paid at this count relative to the smooth
+  /// Table II law (preferred-count penalty x decomposition inefficiency).
+  double penalty_factor(int nodes) const;
+
+  /// Ground-truth / measured time under an explicitly chosen decomposition
+  /// strategy (only meaningful for components with decomposition_noise,
+  /// i.e. the sea ice model; others ignore the choice).
+  double true_time_with(int nodes, int decomposition) const;
+  double measured_time_with(int nodes, int decomposition,
+                            common::Rng& rng) const;
+
+ private:
+  ComponentKind kind_ = ComponentKind::kAtm;
+  TruthParams truth_;
+  perf::PerfModel base_;
+};
+
+}  // namespace hslb::cesm

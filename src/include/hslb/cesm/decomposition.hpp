@@ -1,0 +1,68 @@
+// Domain decomposition rules and "sweet spot" generators.
+//
+// Each CESM component accepts only certain processor counts, or performs
+// best at counts that decompose its grid evenly (section III-A).  These
+// helpers generate the allowed/preferred count sets the MINLP models use as
+// special ordered sets, and model CICE's seven decomposition strategies
+// whose default choice injects noise into the sea-ice scaling curve
+// (section IV-A).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hslb/cesm/grid.hpp"
+
+namespace hslb::cesm {
+
+/// Node counts (1..max_nodes) whose busiest-rank load exceeds the average by
+/// at most `imbalance_tol` when `cells` grid cells are distributed over
+/// `cores_per_node * n` cores in contiguous chunks.
+std::vector<int> even_decomposition_counts(std::int64_t cells, int max_nodes,
+                                           int cores_per_node,
+                                           double imbalance_tol = 0.02);
+
+/// The paper's 1-degree CAM-FV atmosphere allocation set:
+/// A = {1, 2, ..., 1638, 1664}, truncated to max_nodes.
+std::vector<int> atm_allowed_one_degree(int max_nodes);
+
+/// Synthetic 1/8-degree HOMME-SE allocation set: multiples of 4 nodes from
+/// 16 up to max_nodes (quasi-dense, as the paper describes a "large number
+/// of discrete choices for the atmospheric partition").
+std::vector<int> atm_allowed_eighth_degree(int max_nodes);
+
+/// The paper's 1-degree POP ocean set: O = {2, 4, ..., 480, 768},
+/// truncated to max_nodes.
+std::vector<int> ocn_allowed_one_degree(int max_nodes);
+
+/// The paper's hard-coded 1/10-degree POP node counts:
+/// {480, 512, 2356, 3136, 4564, 6124, 19460}, truncated to max_nodes.
+std::vector<int> ocn_allowed_eighth_degree(int max_nodes);
+
+/// CICE supports seven decomposition strategies (section IV-A).  The default
+/// choice for a given node count is a deterministic but irregular function
+/// of the count -- which is what made the paper's sea-ice curve noisy.
+enum class IceDecomposition {
+  kCartesian,
+  kSlenderX1,
+  kSlenderX2,
+  kRoundRobin,
+  kSectRobin,
+  kSpaceCurve,
+  kBlkRobin,
+};
+constexpr int kNumIceDecompositions = 7;
+
+/// The default decomposition CICE would pick for `nodes` (deterministic).
+IceDecomposition default_ice_decomposition(int nodes);
+
+/// A pluggable strategy-selection policy (node count -> decomposition);
+/// the ML tuner produces one, the driver consumes it.
+using IceDecompositionPolicy = std::function<IceDecomposition(int nodes)>;
+
+/// Relative efficiency in (0, 1] of a decomposition at a node count;
+/// multiplies the sea-ice run time by 1/efficiency.
+double ice_decomposition_efficiency(IceDecomposition decomposition,
+                                    int nodes);
+
+}  // namespace hslb::cesm

@@ -1,0 +1,41 @@
+// The coupled-model driver: executes a layout day by day, the simulator
+// stand-in for "submit CESM to the Intrepid queue and read the timing file".
+//
+// Each simulated day every component advances one day of model time on its
+// node group; the coupler synchronizes the groups according to the layout's
+// sequencing (Figure 1).  Per-day noise means intra-component imbalance is
+// reflected in the component timers, exactly as the paper describes for the
+// real timers.  The river model shares the land group and the coupler the
+// atmosphere group; both are excluded from the HSLB-comparable time but are
+// present in the full run time.
+#pragma once
+
+#include <map>
+
+#include "hslb/cesm/configs.hpp"
+#include "hslb/cesm/layout.hpp"
+
+namespace hslb::cesm {
+
+struct RunResult {
+  Layout layout;
+  /// Component timer values (sum of that component's own busy time over all
+  /// days), keyed by component -- what the "timing file" reports.
+  std::map<ComponentKind, double> component_seconds;
+  /// Layout-combined time over the four modeled components (comparable to
+  /// the HSLB model's T).
+  double model_seconds = 0.0;
+  /// Full run wall clock including coupler and river overhead.
+  double total_seconds = 0.0;
+};
+
+/// Execute one benchmark run of `days` simulated days (defaults to the
+/// case's setting).  Deterministic in (config, layout, seed).
+RunResult run_case(const CaseConfig& config, const Layout& layout,
+                   std::uint64_t seed);
+
+/// Render a CESM-style timing summary for a run.
+std::string render_timing_file(const CaseConfig& config,
+                               const RunResult& result);
+
+}  // namespace hslb::cesm

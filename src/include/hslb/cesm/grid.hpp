@@ -1,0 +1,46 @@
+// Model grids of the simulated earth system components.
+//
+// The paper's experiments use the 1 degree finite-volume atmosphere/land
+// grid with 1 degree displaced-pole ocean/ice (CESM 1.1.1), and the 1/8
+// degree HOMME spectral-element atmosphere with 1/4 degree FV land and
+// 1/10 degree tripole ocean/ice (pre-release CESM 1.2).  The simulator only
+// needs grid *sizes* (they set workload scale and decomposition evenness),
+// not geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hslb::cesm {
+
+enum class GridKind {
+  kFiniteVolume,     ///< lat x lon finite volume (CAM-FV, CLM)
+  kSpectralElement,  ///< cubed-sphere spectral elements (CAM HOMME-SE)
+  kDisplacedPole,    ///< POP/CICE displaced-pole (gx1v6-like)
+  kTripole,          ///< POP/CICE tripole (tx0.1-like)
+};
+
+const char* to_string(GridKind kind);
+
+/// A 2-D model grid.  For spectral-element grids, nx x ny counts *elements*
+/// (6 * ne * ne over the cube faces).
+struct Grid {
+  GridKind kind = GridKind::kFiniteVolume;
+  std::string name;
+  int nx = 0;  ///< columns (longitude / elements per band)
+  int ny = 0;  ///< rows (latitude / bands)
+
+  std::int64_t cells() const {
+    return static_cast<std::int64_t>(nx) * static_cast<std::int64_t>(ny);
+  }
+};
+
+// --- Factories for the grids used in the paper -----------------------------
+
+Grid fv_one_degree();        ///< CAM-FV 0.9x1.25 ("f09"): 288 x 192
+Grid fv_quarter_degree();    ///< CLM 1/4 degree FV: 1152 x 768
+Grid se_ne240();             ///< HOMME-SE ne240 (1/8 degree): 345,600 elements
+Grid pop_gx1();              ///< POP/CICE displaced pole 1 degree: 320 x 384
+Grid pop_tx01();             ///< POP/CICE tripole 1/10 degree: 3600 x 2400
+
+}  // namespace hslb::cesm

@@ -1,0 +1,76 @@
+// Machine-learning-based sea-ice decomposition tuning.
+//
+// The paper's section IV-A traces the noisy CICE scaling curve to the
+// default choice among seven decomposition strategies, and points to a
+// companion machine-learning effort (Balaprakash et al., reference [10]) as
+// the fix.  This module implements that companion idea:
+//   * benchmark the ice component under *every* strategy at a handful of
+//     node counts (the training set),
+//   * learn a per-strategy predictor of run time vs node count
+//     (k-nearest-neighbor interpolation in log space, backed by a fitted
+//     Table II curve for extrapolation),
+//   * at any node count, pick the strategy with the smallest prediction.
+// Feeding the learned policy back into the driver smooths the ice scaling
+// curve, which tightens the Table II fit and the MINLP's predictions.
+#pragma once
+
+#include <vector>
+
+#include "hslb/cesm/component.hpp"
+#include "hslb/cesm/decomposition.hpp"
+#include "hslb/perf/fit.hpp"
+
+namespace hslb::cesm {
+
+/// One training observation.
+struct IceTrainingSample {
+  int nodes = 0;
+  IceDecomposition decomposition = IceDecomposition::kCartesian;
+  double seconds = 0.0;
+};
+
+struct IceTunerOptions {
+  int min_nodes = 8;
+  int max_nodes = 2048;
+  int counts = 8;            ///< log-spaced node counts to benchmark
+  int repeats = 2;           ///< benchmark repetitions per (count, strategy)
+  int knn = 2;               ///< neighbors for the log-space interpolation
+  std::uint64_t seed = 2014;
+};
+
+/// Benchmark `ice` under every strategy over the configured design.
+std::vector<IceTrainingSample> gather_ice_training(
+    const Component& ice, const IceTunerOptions& options);
+
+/// Per-strategy run-time predictor + strategy selector.
+class IceDecompositionTuner {
+ public:
+  /// Train from samples (every strategy must appear at >= 2 node counts).
+  IceDecompositionTuner(std::vector<IceTrainingSample> samples, int knn = 2);
+
+  /// Predicted seconds for running on `nodes` with `decomposition`.
+  double predicted_seconds(int nodes, IceDecomposition decomposition) const;
+
+  /// The strategy with the best prediction at this count.
+  IceDecomposition best_for(int nodes) const;
+
+  /// Predicted seconds under the learned policy (= the best strategy).
+  double tuned_seconds(int nodes) const;
+
+  /// The learned policy as a callable (plugs into CaseConfig).
+  IceDecompositionPolicy policy() const;
+
+  /// The smooth Table II fit of the per-strategy curve (for reporting).
+  const perf::FitResult& strategy_fit(IceDecomposition decomposition) const;
+
+ private:
+  struct StrategyModel {
+    std::vector<double> log_nodes;   // sorted
+    std::vector<double> log_seconds; // averaged per count
+    perf::FitResult fit;             // smooth backup / extrapolation
+  };
+  StrategyModel models_[kNumIceDecompositions];
+  int knn_ = 2;
+};
+
+}  // namespace hslb::cesm

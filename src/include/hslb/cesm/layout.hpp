@@ -1,0 +1,51 @@
+// Component layouts (Figure 1 of the paper).
+//
+// Layout 1 ("hybrid", the common production setup): the atmosphere runs
+// sequentially after the concurrent ice+land pair on one processor group
+// while the ocean runs concurrently on a disjoint group.  The coupler
+// shares the atmosphere's processors and the river model shares the land's.
+// Layout 2: ice, land, atmosphere strictly sequential on one group, ocean
+// concurrent.  Layout 3: everything sequential across all processors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hslb/cesm/component.hpp"
+
+namespace hslb::cesm {
+
+enum class LayoutKind {
+  kHybrid = 1,         ///< Figure 1 (1): max(max(ice,lnd)+atm, ocn)
+  kSequentialGroup = 2,///< Figure 1 (2): max(ice+lnd+atm, ocn)
+  kFullySequential = 3,///< Figure 1 (3): ice+lnd+atm+ocn
+};
+
+const char* to_string(LayoutKind kind);
+
+/// A concrete node allocation for the four modeled components.
+struct Layout {
+  LayoutKind kind = LayoutKind::kHybrid;
+  std::map<ComponentKind, int> nodes;
+
+  static Layout hybrid(int ice, int lnd, int atm, int ocn);
+  static Layout sequential_group(int ice, int lnd, int atm, int ocn);
+  static Layout fully_sequential(int ice, int lnd, int atm, int ocn);
+
+  int at(ComponentKind kind) const;
+
+  /// Check the layout's node-nesting constraints against a machine size
+  /// (Table I node constraints).  Returns an explanation on failure.
+  std::optional<std::string> invalid_reason(int total_nodes) const;
+
+  /// Total nodes occupied (the concurrent groups' footprint).
+  int footprint() const;
+};
+
+/// Combine per-component times into the layout's total time (the Table I
+/// "Minimize" expressions), excluding coupler overhead.
+double combine_times(LayoutKind kind, double ice, double lnd, double atm,
+                     double ocn);
+
+}  // namespace hslb::cesm

@@ -1,0 +1,24 @@
+// Machine model.  The paper allocates *nodes* (Intrepid: 4 cores per node,
+// run as 1 MPI task x 4 OpenMP threads per node); the allocation unit here
+// is the node for the same reason.
+#pragma once
+
+#include <string>
+
+namespace hslb::cesm {
+
+struct Machine {
+  std::string name;
+  int total_nodes = 0;
+  int cores_per_node = 4;
+  int mpi_tasks_per_node = 1;
+  int threads_per_task = 4;
+
+  int total_cores() const { return total_nodes * cores_per_node; }
+  int cores(int nodes) const { return nodes * cores_per_node; }
+};
+
+/// Intrepid, the ALCF IBM Blue Gene/P: 40,960 quad-core nodes.
+Machine intrepid();
+
+}  // namespace hslb::cesm

@@ -1,0 +1,49 @@
+// CESM-style timing file parsing.
+//
+// The production HSLB consumed the timing summaries CESM writes after every
+// run.  This module closes that loop for the simulator: the driver renders
+// a timing file (render_timing_file), and this parser reads one back --
+// so the fitting pipeline can be fed from persisted files exactly the way
+// the paper's automated pipeline was.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hslb/cesm/campaign.hpp"
+
+namespace hslb::cesm {
+
+/// A parsed timing summary.
+struct ParsedTimingFile {
+  std::string case_name;
+  std::string machine;
+  std::string layout;
+  int simulated_days = 0;
+
+  struct Row {
+    std::string component;
+    int nodes = 0;
+    int cores = 0;
+    double seconds = 0.0;
+    double seconds_per_day = 0.0;
+  };
+  std::vector<Row> rows;
+
+  double model_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Row for a component name ("atm", "ocn", ...), if present.
+  std::optional<Row> find(const std::string& component) const;
+};
+
+/// Parse a timing summary produced by render_timing_file.
+/// Throws InvalidArgument on malformed input.
+ParsedTimingFile parse_timing_file(const std::string& text);
+
+/// Extract fitting samples (the four modeled components) from parsed files.
+std::vector<BenchmarkSample> samples_from_timing(
+    const std::vector<ParsedTimingFile>& files);
+
+}  // namespace hslb::cesm

@@ -1,0 +1,53 @@
+// Error handling primitives shared by every hslb module.
+//
+// Philosophy (C++ Core Guidelines E.2/E.3): exceptions signal *programmer or
+// model-construction errors* (indexing a variable that does not exist,
+// building a constraint with mismatched dimensions).  Expected algorithmic
+// outcomes -- an infeasible LP, a fit that did not converge -- are reported
+// through status enums on the result structs, never through exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hslb {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an API precondition is violated (bad index, bad size, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// HSLB_REQUIRE(cond, msg): precondition check that throws InvalidArgument.
+/// Kept enabled in release builds -- these guard the public API surface and
+/// the cost is negligible next to the numerical work.
+#define HSLB_REQUIRE(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      throw ::hslb::InvalidArgument(std::string("precondition `") + \
+                                    #cond + "` failed: " + (msg));  \
+    }                                                               \
+  } while (false)
+
+/// HSLB_ASSERT(cond, msg): internal invariant check (library bug if it fires).
+#define HSLB_ASSERT(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw ::hslb::InternalError(std::string("invariant `") +    \
+                                  #cond + "` violated: " + (msg)); \
+    }                                                             \
+  } while (false)
+
+}  // namespace hslb

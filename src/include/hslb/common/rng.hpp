@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the library (benchmark noise, multi-start
+// fitting, decomposition jitter) draws from this generator so that a run is
+// fully reproducible from a single seed.  The engine is xoshiro256**, seeded
+// through SplitMix64, which is both faster and of higher statistical quality
+// than std::mt19937 and -- unlike the standard distributions -- produces
+// identical streams across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hslb::common {
+
+/// xoshiro256** engine with SplitMix64 seeding and portable distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the full state from a single 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle etc.).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative noise factor with E[x] = 1 and the given
+  /// coefficient of variation; the natural shape for timing jitter, which is
+  /// positive and right-skewed.
+  double lognormal_noise(double cv);
+
+  /// Split off an independent stream (for per-thread / per-component use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace hslb::common

@@ -1,0 +1,65 @@
+// Plain-text table rendering used by the report generators and the
+// paper-reproduction benchmarks (Table III et al.).  Produces aligned
+// monospace tables and CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hslb::common {
+
+/// Column alignment for rendered tables.
+enum class Align { kLeft, kRight };
+
+/// A small row/column text table with aligned rendering.
+///
+/// Values are stored as strings; helpers format numbers consistently
+/// (fixed precision, `-` for missing).  This is intentionally simple --
+/// benchmark output, not a spreadsheet.
+class Table {
+ public:
+  /// Create a table with the given column headers (left-aligned header for
+  /// the first column, right-aligned for the rest by default).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Override alignment of one column.
+  void set_align(std::size_t column, Align align);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  void add_row();
+
+  /// Append a string cell to the current row.
+  void cell(std::string value);
+
+  /// Append a numeric cell with fixed `precision` decimals.
+  void cell(double value, int precision = 3);
+
+  /// Append an integer cell.
+  void cell(long long value);
+
+  /// Append an empty-marker cell ("-").
+  void cell_missing();
+
+  /// Number of completed + current rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned monospace table with a header underline.
+  std::string to_text() const;
+
+  /// Render as CSV (RFC-4180-ish quoting of commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (shared helper, also used by cells).
+std::string format_fixed(double value, int precision);
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace hslb::common

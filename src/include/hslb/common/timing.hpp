@@ -1,0 +1,29 @@
+// Wall-clock timing helper for solver statistics and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace hslb::common {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Reset the epoch to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hslb::common

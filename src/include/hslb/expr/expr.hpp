@@ -1,0 +1,166 @@
+// Expression DSL with automatic differentiation.
+//
+// This module plays the role AMPL plays in the paper: optimization models
+// are written as algebraic expressions over decision variables, and exact
+// first and second derivatives are produced automatically for the NLP and
+// MINLP solvers.
+//
+// Expressions are immutable DAGs of shared nodes.  Building is cheap
+// (constant folding happens at construction), evaluation memoizes per-node
+// results so shared subexpressions are evaluated once.
+//
+//   using namespace hslb::expr;
+//   Expr n = variable(0, "n");
+//   Expr t = 27000.0 / n + 0.001 * pow(n, 1.1) + 45.0;   // Table II model
+//   double v = eval(t, {128.0});
+//
+// Variables are identified by a dense index into the evaluation point.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hslb/linalg/matrix.hpp"
+
+namespace hslb::expr {
+
+/// Node operation kinds.  `pow` with a non-constant exponent is rewritten to
+/// exp(v * log(u)) at construction, so kPow always has a constant exponent.
+enum class Op {
+  kConst,
+  kVar,
+  kAdd,   // n-ary sum
+  kMul,   // binary product
+  kDiv,   // binary quotient
+  kPow,   // base^exponent, exponent constant
+  kNeg,
+  kLog,
+  kExp,
+};
+
+class Expr;  // fwd
+
+/// Immutable expression node.  Never constructed directly; use the factory
+/// functions and operators below.
+struct Node {
+  Op op = Op::kConst;
+  double value = 0.0;            // kConst payload, or kPow exponent
+  std::size_t var_index = 0;     // kVar payload
+  std::string var_name;          // kVar payload (for printing)
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+/// Structural linearity classification.
+enum class Linearity { kConstant, kLinear, kNonlinear };
+
+/// Value-semantic handle to an immutable expression DAG.
+class Expr {
+ public:
+  /// Default: the constant 0.
+  Expr();
+
+  /// Implicit from double: the constant `c` (lets `x + 1.0` just work).
+  Expr(double c);  // NOLINT(google-explicit-constructor)
+
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  const Node& node() const { return *node_; }
+  const std::shared_ptr<const Node>& ptr() const { return node_; }
+
+  /// True if this expression is the constant node (after folding).
+  bool is_constant() const { return node_->op == Op::kConst; }
+
+  /// The constant value; requires is_constant().
+  double constant_value() const;
+
+  /// Structural linearity in the decision variables.
+  Linearity linearity() const;
+
+ private:
+  std::shared_ptr<const Node> node_;
+};
+
+// --- Factories --------------------------------------------------------------
+
+/// The decision variable with the given index (and optional display name).
+Expr variable(std::size_t index, std::string name = {});
+
+/// The constant `c` (also available implicitly).
+Expr constant(double c);
+
+// --- Operators (all constant-fold when every operand is constant) -----------
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+
+Expr& operator+=(Expr& a, const Expr& b);
+Expr& operator-=(Expr& a, const Expr& b);
+
+/// base^exponent.  A non-constant exponent is rewritten as exp(e * log(b)),
+/// which requires base > 0 at evaluation points.
+Expr pow(const Expr& base, const Expr& exponent);
+
+/// Natural logarithm (evaluation requires a positive argument).
+Expr log(const Expr& x);
+
+/// Exponential.
+Expr exp(const Expr& x);
+
+/// Sum of a list of expressions (flattened n-ary add).
+Expr sum(std::span<const Expr> terms);
+
+// --- Evaluation --------------------------------------------------------------
+
+/// Evaluate at point x (x[i] is the value of variable i).
+double eval(const Expr& e, std::span<const double> x);
+
+/// Value and gradient with respect to variables 0..nvars-1.
+struct ValGrad {
+  double value = 0.0;
+  linalg::Vector grad;
+};
+ValGrad eval_grad(const Expr& e, std::span<const double> x, std::size_t nvars);
+
+/// Value, gradient, and dense Hessian.
+struct ValGradHess {
+  double value = 0.0;
+  linalg::Vector grad;
+  linalg::Matrix hess;
+};
+ValGradHess eval_hess(const Expr& e, std::span<const double> x,
+                      std::size_t nvars);
+
+/// If the expression is structurally affine, extract it as
+/// constant + sum_i coeff[i] * x_i.  Returns nullopt for nonlinear exprs.
+struct AffineForm {
+  double constant = 0.0;
+  linalg::Vector coeffs;  // size nvars
+};
+std::optional<AffineForm> as_affine(const Expr& e, std::size_t nvars);
+
+/// Largest variable index referenced, or nullopt for a constant expression.
+std::optional<std::size_t> max_var_index(const Expr& e);
+
+/// Sorted, deduplicated indices of every variable referenced.
+std::vector<std::size_t> variables_of(const Expr& e);
+
+/// Rebuild the expression with each variable i replaced by variable
+/// mapping[i] (names preserved).  Every referenced index must be mapped.
+Expr remap_variables(const Expr& e, std::span<const std::size_t> mapping);
+
+/// Rebuild the expression with variable `index` replaced by `replacement`
+/// (other variables untouched).
+Expr substitute(const Expr& e, std::size_t index, const Expr& replacement);
+
+// --- Printing ----------------------------------------------------------------
+
+/// Render in infix AMPL-like notation, e.g. "27000 / n + 45".
+std::string to_string(const Expr& e);
+
+}  // namespace hslb::expr

@@ -1,0 +1,77 @@
+// Table I: the MINLP allocation models for layouts (1)-(3).
+//
+// Decision variables (per component j in {ice, lnd, atm, ocn}):
+//   n_j  -- nodes allocated (positive integer, memory floor .. machine size)
+//   t_j  -- defined time t_j == T_j(n_j) via a univariate link
+//   T    -- total wall-clock time; T_icelnd -- the ice/land phase (layout 1)
+//
+// Layout 1 (Table I lines 14-21):
+//   T_icelnd >= t_i,  T_icelnd >= t_l,  T >= T_icelnd + t_a,  T >= t_o,
+//   t_l >= t_i - Tsync,  t_l <= t_i + Tsync,
+//   n_a + n_o <= N,  n_i + n_l <= n_a
+// Layout 2 (lines 22-26):  T >= t_i + t_l + t_a,  T >= t_o,
+//   n_i <= N - n_o,  n_l <= N - n_o,  n_a <= N - n_o
+// Layout 3 (lines 27-28):  T >= t_i + t_l + t_a + t_o,  n_j <= N
+// All layouts (lines 29-31): the ocean and atmosphere allocations may be
+// restricted to explicit sets O and A via binary selections z_k, branched as
+// special ordered sets.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hslb/cesm/component.hpp"
+#include "hslb/cesm/layout.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/perf/perf_model.hpp"
+
+namespace hslb::core {
+
+/// Objective choices of section III-D, equations (1)-(3).
+enum class Objective {
+  kMinMax,  ///< minimize the layout-combined total time (the paper's choice)
+  kMaxMin,  ///< maximize the minimum component time
+  kMinSum,  ///< minimize the sum of component times
+};
+
+const char* to_string(Objective objective);
+
+struct LayoutModelSpec {
+  cesm::LayoutKind layout = cesm::LayoutKind::kHybrid;
+  int total_nodes = 0;  ///< N
+  std::map<cesm::ComponentKind, perf::PerfModel> perf;  ///< fitted T_j
+  std::vector<int> atm_allowed;  ///< set A (empty: any integer count)
+  std::vector<int> ocn_allowed;  ///< set O (empty: any integer count)
+  std::map<cesm::ComponentKind, int> min_nodes;  ///< memory floors
+  double tsync = lp::kInf;  ///< ice/land sync tolerance; inf disables
+  Objective objective = Objective::kMinMax;
+  bool use_sos = true;  ///< SOS1 branching on the allocation sets
+};
+
+/// Variable indices of a built layout model.
+struct LayoutModelVars {
+  std::size_t total_time = 0;    ///< T
+  std::size_t icelnd_time = 0;   ///< T_icelnd (layout 1 only; == total_time otherwise)
+  std::map<cesm::ComponentKind, std::size_t> nodes;  ///< n_j
+  std::map<cesm::ComponentKind, std::size_t> times;  ///< t_j
+};
+
+/// Build the MINLP of Table I for the spec.  `vars` receives the indices.
+[[nodiscard]] minlp::Model build_layout_model(const LayoutModelSpec& spec,
+                                              LayoutModelVars* vars);
+
+/// A solved node allocation with model-predicted component times.
+struct Allocation {
+  std::map<cesm::ComponentKind, int> nodes;
+  std::map<cesm::ComponentKind, double> predicted_seconds;
+  double predicted_total = 0.0;  ///< layout-combined predicted time
+
+  cesm::Layout as_layout(cesm::LayoutKind kind) const;
+};
+
+/// Read an allocation out of a solver result.
+Allocation extract_allocation(const LayoutModelSpec& spec,
+                              const LayoutModelVars& vars,
+                              const minlp::MinlpResult& result);
+
+}  // namespace hslb::core

@@ -1,0 +1,52 @@
+// The "manual" baseline: a codified version of the expert tuning procedure
+// the paper compares against (section II / IV):
+//   * run the model at about five node counts and plot per-component scaling,
+//   * read times off the plotted curves (log-log interpolation between the
+//     sampled points -- an expert does not have the fitted law),
+//   * iterate a handful of candidate layouts by hand, preferring round
+//     numbers and known component sweet spots,
+//   * submit the best-looking candidate.
+#pragma once
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/hslb/layout_model.hpp"
+
+namespace hslb::core {
+
+struct ManualTunerConfig {
+  cesm::LayoutKind layout = cesm::LayoutKind::kHybrid;
+  int total_nodes = 0;
+  bool constrain_ocean = true;   ///< restrict to the case's allowed set
+  int candidate_rounds = 8;      ///< layouts the expert is willing to try
+  int rounding = 8;              ///< humans pick multiples of this
+  std::uint64_t seed = 77;
+};
+
+struct ManualResult {
+  std::map<cesm::ComponentKind, int> nodes;
+  std::map<cesm::ComponentKind, double> estimated_seconds;  ///< off the plots
+  std::map<cesm::ComponentKind, double> actual_seconds;     ///< measured
+  double estimated_total = 0.0;
+  double actual_total = 0.0;
+  cesm::RunResult run;
+};
+
+/// Tune by hand from existing scaling runs, then execute the chosen layout.
+[[nodiscard]] ManualResult run_manual(
+    const cesm::CaseConfig& case_config, const ManualTunerConfig& config,
+    const std::vector<cesm::BenchmarkSample>& samples);
+
+/// Piecewise log-log interpolation through (nodes, seconds) samples, the
+/// way an expert reads a scaling plot.  Extrapolates with the end slopes.
+class ScalingCurve {
+ public:
+  ScalingCurve(std::vector<double> nodes, std::vector<double> seconds);
+
+  double operator()(double nodes) const;
+
+ private:
+  std::vector<double> log_n_;
+  std::vector<double> log_t_;
+};
+
+}  // namespace hslb::core

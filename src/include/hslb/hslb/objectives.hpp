@@ -1,0 +1,32 @@
+// Allocation quality metrics, used to compare the objective choices of
+// section III-D (equations (1)-(3)) and to report load balance.
+#pragma once
+
+#include "hslb/hslb/layout_model.hpp"
+
+namespace hslb::core {
+
+/// Balance diagnostics of an allocation under a set of performance models.
+struct BalanceMetrics {
+  double combined_total = 0.0;   ///< layout-combined wall clock
+  double max_component = 0.0;    ///< slowest component
+  double min_component = 0.0;    ///< fastest component
+  double sum_components = 0.0;   ///< total component CPU-time
+  double imbalance = 0.0;        ///< max/min - 1
+  double node_seconds = 0.0;     ///< cost proxy: footprint * combined_total
+  double icelnd_gap = 0.0;       ///< |T_ice - T_lnd| (layout-1 sync quality)
+};
+
+/// Evaluate an allocation against per-component performance models (pass
+/// the fitted models for predicted metrics, or the case's truth laws via
+/// predicted-time maps for actual metrics).
+BalanceMetrics evaluate_balance(
+    cesm::LayoutKind layout,
+    const std::map<cesm::ComponentKind, int>& nodes,
+    const std::map<cesm::ComponentKind, double>& seconds);
+
+/// Simulated-years-per-day throughput for a run of `days` simulated days
+/// that took `seconds` of wall clock: the CESM community's headline metric.
+double simulated_years_per_day(int days, double seconds);
+
+}  // namespace hslb::core

@@ -1,0 +1,67 @@
+// The four-step HSLB pipeline (section III-F):
+//   1. Gather -- benchmark the coupled model at several node counts.
+//   2. Fit    -- four least-squares problems, one per component (Table II).
+//   3. Solve  -- the Table I MINLP for the target machine size.
+//   4. Execute-- run the model at the optimal allocation and compare.
+#pragma once
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/hslb/layout_model.hpp"
+#include "hslb/perf/fit.hpp"
+
+namespace hslb::core {
+
+struct PipelineConfig {
+  cesm::CaseConfig case_config;
+  cesm::LayoutKind layout = cesm::LayoutKind::kHybrid;
+  int total_nodes = 0;            ///< target machine slice N
+  std::vector<int> gather_totals; ///< campaign sizes (step 1)
+  perf::FitOptions fit_options;   ///< step 2 options
+  double tsync = -1.0;  ///< ice/land sync tolerance (s); < 0: auto (5% of
+                        ///< the fitted ice time at the target size)
+  bool constrain_ocean = true;  ///< use the case's allowed ocean set
+  bool constrain_atm = true;    ///< use the case's allowed atm set
+  bool use_sos = true;
+  Objective objective = Objective::kMinMax;
+  minlp::SolverOptions solver;
+  std::uint64_t seed = 2014;
+  /// Learn a sea-ice decomposition policy (the reference-[10] companion
+  /// method) before gathering, and run every benchmark and the final
+  /// execution under it.  Smooths the ice curve and tightens the fit.
+  bool tune_ice_decomposition = false;
+};
+
+/// Outcome for one component: planned nodes, model-predicted time, and the
+/// time measured in the execute step.
+struct ComponentOutcome {
+  int nodes = 0;
+  double predicted_seconds = 0.0;
+  double actual_seconds = 0.0;
+};
+
+struct HslbResult {
+  std::map<cesm::ComponentKind, perf::FitResult> fits;
+  std::vector<cesm::BenchmarkSample> samples;
+  Allocation allocation;
+  std::map<cesm::ComponentKind, ComponentOutcome> components;
+  double predicted_total = 0.0;  ///< model-predicted layout-combined time
+  double actual_total = 0.0;     ///< measured layout-combined time
+  double tsync_used = 0.0;
+  minlp::MinlpResult solver_result;
+  cesm::RunResult run;
+};
+
+/// Run all four steps.  Deterministic in the config (including seed).
+[[nodiscard]] HslbResult run_hslb(const PipelineConfig& config);
+
+/// Steps 2-3 only, from existing samples (the paper notes step 1 can be
+/// skipped when benchmarks already exist).  No execute step.
+[[nodiscard]] HslbResult run_hslb_from_samples(
+    const PipelineConfig& config,
+    const std::vector<cesm::BenchmarkSample>& samples);
+
+/// Default campaign sizes for a target machine slice: five log-spaced totals
+/// from max(32, N/16) to N (the paper benchmarks at about five core counts).
+std::vector<int> default_gather_totals(int total_nodes);
+
+}  // namespace hslb::core

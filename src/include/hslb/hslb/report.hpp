@@ -1,0 +1,33 @@
+// Report rendering: Table III blocks, Figure 1 layout diagrams, and scaling
+// curve series, in the same shape the paper presents them.
+#pragma once
+
+#include <string>
+
+#include "hslb/common/table.hpp"
+#include "hslb/hslb/manual_tuner.hpp"
+#include "hslb/hslb/pipeline.hpp"
+
+namespace hslb::core {
+
+/// One Table III block: per-component manual vs HSLB (predicted + actual)
+/// node counts and timings, plus the total-time row.
+common::Table render_table3_block(const ManualResult& manual,
+                                  const HslbResult& hslb);
+
+/// Variant without a manual baseline (the unconstrained-ocean blocks report
+/// predicted vs tuned-actual only).
+common::Table render_table3_block(const HslbResult& hslb);
+
+/// Figure 1-style ASCII area diagram of a layout: component width is the
+/// node share, height is the time share.
+std::string render_layout_ascii(const cesm::Layout& layout,
+                                const std::map<cesm::ComponentKind, double>&
+                                    seconds,
+                                int width = 60, int height = 12);
+
+/// Per-component fitted-parameter summary (the Figure 2 inset).
+common::Table render_fit_summary(
+    const std::map<cesm::ComponentKind, perf::FitResult>& fits);
+
+}  // namespace hslb::core

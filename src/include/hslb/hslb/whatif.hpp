@@ -1,0 +1,66 @@
+// What-if studies (section IV-C): once the mathematical model exists, HSLB
+// can answer questions beyond "tune this machine slice":
+//   * the cost of allocation-set constraints and sweet spots,
+//   * which layout scales better,
+//   * the effect of swapping one component implementation for another,
+//   * predicted scaling at machine sizes never benchmarked (e.g. the next
+//     machine), and
+//   * the optimal number of nodes for a job under a cost-efficiency goal.
+#pragma once
+
+#include "hslb/hslb/layout_model.hpp"
+
+namespace hslb::core {
+
+/// Effect of the discrete allocation sets (Table I lines 29-31).
+struct ConstraintEffect {
+  Allocation constrained;
+  Allocation unconstrained;
+  double constrained_total = 0.0;
+  double unconstrained_total = 0.0;
+  /// Fractional slowdown caused by the sets: constrained/unconstrained - 1.
+  double relative_cost = 0.0;
+};
+
+/// Solve the spec with and without its allocation sets.
+ConstraintEffect constraint_effect(const LayoutModelSpec& spec,
+                                   const minlp::SolverOptions& options = {});
+
+/// One point of a predicted scaling curve.
+struct ScalingPoint {
+  int total_nodes = 0;
+  double predicted_total = 0.0;
+  Allocation allocation;
+  /// Parallel efficiency relative to the first (smallest) swept size.
+  double efficiency = 1.0;
+};
+
+/// Predicted optimal time at each machine size (spec.total_nodes ignored).
+std::vector<ScalingPoint> scaling_forecast(
+    const LayoutModelSpec& spec, std::span<const int> sizes,
+    const minlp::SolverOptions& options = {});
+
+/// Re-solve with one component's performance model replaced ("how replacing
+/// one component with another will affect scaling").  Returns the new
+/// allocation; `new_total` receives the predicted total.
+Allocation swap_component(const LayoutModelSpec& spec,
+                          cesm::ComponentKind kind,
+                          const perf::PerfModel& replacement,
+                          double* new_total,
+                          const minlp::SolverOptions& options = {});
+
+/// Node-count recommendation under a parallel-efficiency floor.
+struct SizeRecommendation {
+  int cost_efficient_nodes = 0;   ///< largest size above the floor
+  double cost_efficient_total = 0.0;
+  int fastest_nodes = 0;          ///< global minimum of predicted time
+  double fastest_total = 0.0;
+  std::vector<ScalingPoint> sweep;
+};
+
+SizeRecommendation recommend_size(const LayoutModelSpec& spec,
+                                  std::span<const int> sizes,
+                                  double efficiency_floor = 0.6,
+                                  const minlp::SolverOptions& options = {});
+
+}  // namespace hslb::core

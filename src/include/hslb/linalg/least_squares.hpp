@@ -1,0 +1,22 @@
+// Householder-QR linear least squares, used by the Levenberg-Marquardt
+// inner step and by linear calibration utilities.
+#pragma once
+
+#include "hslb/linalg/matrix.hpp"
+
+namespace hslb::linalg {
+
+/// Result of an unconstrained linear least-squares solve min ||Ax - b||^2.
+struct LeastSquaresResult {
+  Vector x;            ///< minimizer
+  double residual_norm = 0.0;  ///< ||A x - b||
+  bool full_rank = true;       ///< false if A was rank-deficient (minimum-norm-ish fallback used)
+};
+
+/// Solve min ||A x - b||_2 via Householder QR with column norm checks.
+/// Requires rows >= cols.  On rank deficiency, small pivots are regularized
+/// and `full_rank` is cleared.
+LeastSquaresResult solve_least_squares(const Matrix& a,
+                                       std::span<const double> b);
+
+}  // namespace hslb::linalg

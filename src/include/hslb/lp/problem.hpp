@@ -1,0 +1,67 @@
+// Linear program container.
+//
+// The LP layer plays the role of CLP inside MINOTAUR: it solves the MILP /
+// LP relaxations produced by the outer-approximation branch-and-bound.
+// Problems are stored dense (rows are full coefficient vectors) -- every LP
+// in this library has at most a few dozen rows and a couple thousand
+// columns, so density is the simple and fast choice.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hslb/linalg/matrix.hpp"
+
+namespace hslb::lp {
+
+/// +infinity sentinel for unbounded row/column limits.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A linear constraint: lower <= coeffs . x <= upper.
+struct Row {
+  linalg::Vector coeffs;
+  double lower = -kInf;
+  double upper = kInf;
+  std::string name;
+};
+
+/// Minimization LP:  min c.x + offset  s.t.  row bounds and column bounds.
+class LpProblem {
+ public:
+  LpProblem() = default;
+
+  /// Add a variable; returns its column index.
+  std::size_t add_variable(double lower, double upper, double cost,
+                           std::string name = {});
+
+  /// Add a constraint row; `coeffs` must have one entry per variable
+  /// (add all variables first).  Returns the row index.
+  std::size_t add_row(linalg::Vector coeffs, double lower, double upper,
+                      std::string name = {});
+
+  std::size_t num_vars() const { return cost_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  const linalg::Vector& cost() const { return cost_; }
+  double objective_offset() const { return offset_; }
+  void set_objective_offset(double offset) { offset_ = offset; }
+  void set_cost(std::size_t var, double cost);
+
+  const linalg::Vector& col_lower() const { return col_lower_; }
+  const linalg::Vector& col_upper() const { return col_upper_; }
+  void set_col_bounds(std::size_t var, double lower, double upper);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::string& var_name(std::size_t var) const { return names_[var]; }
+
+ private:
+  linalg::Vector cost_;
+  linalg::Vector col_lower_;
+  linalg::Vector col_upper_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+  double offset_ = 0.0;
+};
+
+}  // namespace hslb::lp

@@ -1,0 +1,39 @@
+// Bounded-variable primal simplex.
+//
+// Two-phase dense revised simplex with implicit handling of variable bounds
+// (nonbasic variables rest at a finite bound and may "bound flip" without a
+// basis change) and artificial variables for Phase I.  Dantzig pricing with
+// a Bland's-rule fallback guarantees termination.
+#pragma once
+
+#include "hslb/lp/problem.hpp"
+
+namespace hslb::lp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* to_string(LpStatus status);
+
+struct SimplexOptions {
+  double feasibility_tol = 1e-7;   ///< bound/row violation tolerance
+  double optimality_tol = 1e-8;    ///< reduced-cost tolerance
+  int max_iterations = 50000;      ///< across both phases
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;       ///< includes the problem's objective offset
+  linalg::Vector x;             ///< primal point (structural variables only)
+  int iterations = 0;           ///< simplex pivots performed
+};
+
+/// Solve the LP by two-phase bounded-variable primal simplex.
+[[nodiscard]] LpSolution solve(const LpProblem& problem,
+                               const SimplexOptions& options = {});
+
+}  // namespace hslb::lp

@@ -1,0 +1,48 @@
+// AMPL-lite: a textual model format.
+//
+// The paper's optimization models were written in AMPL and solved through
+// MINOTAUR; this module gives the reimplemented stack the same kind of
+// declarative surface.  A compact dialect covers everything the Table I
+// models need:
+//
+//   # comments run to end of line
+//   var n_atm integer >= 8 <= 40960;
+//   var T >= 0;
+//   minimize obj: T;
+//   s.t. time_atm: t_atm = 27000 / n_atm + 45;        # becomes a link
+//   s.t. nesting: n_ice + n_lnd <= n_atm;
+//   s.t. sync: -5 <= t_lnd - t_ice <= 5;              # range row
+//   set ocean_counts: n_ocn in {2, 4, 8, 480, 768};   # SOS1 allocation set
+//
+// Semantics:
+//   * affine constraints become linear rows;
+//   * an equality "t = f(n)" whose right side references exactly one other
+//     variable becomes a univariate link (derivatives via autodiff);
+//   * any other nonlinear constraint goes in as g(x) <= 0 (convexity is the
+//     modeler's promise, as with the outer-approximation solver itself);
+//   * "set" lines call Model::restrict_to_set with SOS1 branching.
+//
+// write_ampl() emits this dialect; parse_ampl() reads it back.  Round trips
+// preserve the optimum (see tests/ampl_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "hslb/minlp/model.hpp"
+
+namespace hslb::minlp {
+
+/// Render the model as AMPL-lite text.  Every link must carry a symbolic
+/// form (fn.as_expr); SOS1 sets are written over their binary variables.
+std::string write_ampl(const Model& model);
+
+/// Parse AMPL-lite text into a model.  Throws InvalidArgument with a line
+/// number on malformed input.
+[[nodiscard]] Model parse_ampl(const std::string& text);
+
+/// Parse a single arithmetic expression over the given variable names
+/// (exposed for tests and tooling).
+expr::Expr parse_expression(const std::string& text,
+                            const std::vector<std::string>& variable_names);
+
+}  // namespace hslb::minlp

@@ -1,0 +1,79 @@
+// LP relaxation construction for the outer-approximation branch-and-bound.
+//
+// The master LP over the model's variables contains
+//   * every linear constraint of the model,
+//   * a growing pool of globally valid linearization cuts
+//     (tangents of convex link functions / OA cuts of convex constraints),
+//   * node-local chord (secant) rows for each univariate link, computed from
+//     the node's current bounds -- the standard convex-envelope treatment of
+//     a univariate nonlinearity, exact once the variable's interval closes.
+#pragma once
+
+#include <vector>
+
+#include "hslb/linalg/matrix.hpp"
+#include "hslb/lp/problem.hpp"
+#include "hslb/minlp/model.hpp"
+
+namespace hslb::minlp {
+
+/// A linear row over model variables, used for pooled cuts.
+struct CutRow {
+  std::vector<std::pair<std::size_t, double>> terms;
+  double lower = -lp::kInf;
+  double upper = lp::kInf;
+};
+
+/// Pool of globally valid linearizations.
+class CutPool {
+ public:
+  /// Tangent of link `link_index` at `point`:
+  ///   convex fn  ->  t >= fn(p) + fn'(p) (n - p)   (lower support)
+  ///   concave fn ->  t <= fn(p) + fn'(p) (n - p)   (upper support)
+  /// Duplicate points (within a relative tolerance) are skipped.
+  /// Returns true if a cut was added.
+  bool add_link_tangent(const Model& model,
+                        const std::vector<Curvature>& curvature,
+                        std::size_t link_index, double point);
+
+  /// OA cut for nonlinear constraint `nc_index` (convex g <= ub) at `x`:
+  ///   g(x0) + grad g(x0) . (x - x0) <= ub.
+  void add_nonlinear_cut(const Model& model, std::size_t nc_index,
+                         std::span<const double> x);
+
+  const std::vector<CutRow>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<CutRow> rows_;
+  // (link_index, point) pairs already linearized, for dedup.
+  std::vector<std::pair<std::size_t, double>> tangent_points_;
+};
+
+/// Resolve each link's curvature (declared or sampled over variable bounds).
+std::vector<Curvature> resolve_curvatures(const Model& model);
+
+/// Build the master LP for a node.
+///   node_lower/node_upper: per-variable bounds for this node.
+///   For each link the node-local chord over [lo(n), up(n)] is added; when
+///   the interval has closed (lo == up) the link variable t is pinned to the
+///   exact fn value instead.
+[[nodiscard]] lp::LpProblem build_master_lp(
+    const Model& model, const CutPool& pool,
+    const std::vector<Curvature>& curvature,
+    std::span<const double> node_lower, std::span<const double> node_upper);
+
+/// Completion solve: fix every integer variable to its (rounded) value in
+/// `x`, pin every link variable to the exact fn value, and re-solve the LP
+/// for the remaining continuous variables.  Returns the completed point and
+/// true objective, or nullopt if the fixed problem is infeasible.
+struct Completion {
+  linalg::Vector x;
+  double objective = 0.0;
+};
+std::optional<Completion> complete_integer_point(
+    const Model& model, const CutPool& pool,
+    const std::vector<Curvature>& curvature, std::span<const double> x,
+    std::span<const double> node_lower, std::span<const double> node_upper);
+
+}  // namespace hslb::minlp

@@ -1,0 +1,24 @@
+// Non-negative least squares (Lawson-Hanson active set).
+//
+// Used by the variable-projection fitter: for a fixed exponent c, the
+// Table II model  T(n) = a/n + b n^c + d  is linear in (a, b, d) with the
+// paper's positivity constraint a, b, d >= 0 -- exactly an NNLS problem.
+#pragma once
+
+#include "hslb/linalg/matrix.hpp"
+
+namespace hslb::nlp {
+
+struct NnlsResult {
+  linalg::Vector x;            ///< minimizer, elementwise >= 0
+  double residual_norm = 0.0;  ///< ||A x - b||_2
+  bool converged = true;       ///< false only if the iteration cap was hit
+  int iterations = 0;
+};
+
+/// Solve  min ||A x - b||_2  subject to  x >= 0.
+[[nodiscard]] NnlsResult solve_nnls(const linalg::Matrix& a,
+                                    std::span<const double> b,
+                                    int max_iterations = 200);
+
+}  // namespace hslb::nlp

@@ -1,0 +1,61 @@
+// The paper's performance model (Table II):
+//
+//   T_j(n) = T^sca(n) + T^nln(n) + T^ser
+//          = a_j / n  +  b_j n^c_j  +  d_j,        a, b, c, d >= 0
+//
+// T^sca is the perfectly scaling part, T^ser the serial floor, and T^nln the
+// partially parallel / communication part (increasing on Intrepid).
+#pragma once
+
+#include "hslb/expr/expr.hpp"
+#include "hslb/minlp/model.hpp"
+
+namespace hslb::perf {
+
+/// Fitted coefficients of the Table II function.
+struct PerfParams {
+  double a = 0.0;  ///< scalable numerator: T^sca(n) = a / n
+  double b = 0.0;  ///< nonlinear scale:    T^nln(n) = b * n^c
+  double c = 1.0;  ///< nonlinear exponent
+  double d = 0.0;  ///< serial floor:       T^ser    = d
+};
+
+/// Evaluatable performance function with term-level introspection.
+class PerfModel {
+ public:
+  PerfModel() = default;
+  explicit PerfModel(PerfParams params);
+
+  const PerfParams& params() const { return params_; }
+
+  /// T(n); requires n > 0.
+  double operator()(double n) const;
+
+  /// dT/dn.
+  double deriv(double n) const;
+
+  /// The three Table II terms at n.
+  double scalable_term(double n) const;   ///< a / n
+  double nonlinear_term(double n) const;  ///< b n^c
+  double serial_term() const;             ///< d
+
+  /// Symbolic form T applied to an expression (for NLP relaxations).
+  expr::Expr as_expr(const expr::Expr& n) const;
+
+  /// Solver-facing function object.  The curvature is declared from the
+  /// parameters: convex when the nonlinear term is convex (c >= 1) or
+  /// negligible; otherwise left to interval auto-detection.
+  minlp::UnivariateFn as_univariate() const;
+
+  /// True if T is convex on (0, inf): b == 0 or c >= 1 (a/n and d always are).
+  bool is_convex() const;
+
+ private:
+  PerfParams params_;
+};
+
+/// Coefficient of determination R^2 between observations and predictions.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+}  // namespace hslb::perf

@@ -1,0 +1,21 @@
+// Benchmark sample design (the paper's section III-C recommendations):
+// run at the smallest node count memory allows, at the largest available,
+// and a few log-spaced points in between to capture the curvature -- so the
+// optimizer always interpolates rather than extrapolates.
+#pragma once
+
+#include <vector>
+
+namespace hslb::perf {
+
+/// Log-spaced node counts in [min_nodes, max_nodes], endpoints included,
+/// deduplicated after rounding to integers.  `count` >= 2.
+std::vector<int> design_benchmark_nodes(int min_nodes, int max_nodes,
+                                        int count);
+
+/// Snap each designed count to the nearest member of an allowed set
+/// (e.g. the hard-coded POP node counts).  Preserves order, deduplicates.
+std::vector<int> snap_to_allowed(const std::vector<int>& designed,
+                                 const std::vector<int>& allowed);
+
+}  // namespace hslb::perf

@@ -1,0 +1,391 @@
+// Two-phase bounded-variable primal simplex.
+//
+// Internal standard form: one slack per row turns `rlo <= a.x <= rup` into
+// `a.x - s = 0, s in [rlo, rup]`, and Phase I adds one artificial column per
+// row with a +/-1 coefficient chosen so the artificial starts nonnegative.
+// The basis inverse is applied through a fresh LU factorization each pivot;
+// problems here are tiny (m <= ~60), so robustness wins over speed.
+#include "hslb/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/linalg/factor.hpp"
+
+namespace hslb::lp {
+namespace {
+
+using linalg::LuFactor;
+using linalg::Matrix;
+using linalg::Vector;
+
+enum class VarStatus { kBasic, kAtLower, kAtUpper, kFree, kFixed };
+
+/// Full simplex working state over structural + slack + artificial columns.
+class Simplex {
+ public:
+  Simplex(const LpProblem& problem, const SimplexOptions& options)
+      : problem_(problem), opts_(options) {
+    n_ = problem.num_vars();
+    m_ = problem.num_rows();
+    total_ = n_ + 2 * m_;  // structural | slack | artificial
+
+    lower_.assign(total_, -kInf);
+    upper_.assign(total_, kInf);
+    for (std::size_t j = 0; j < n_; ++j) {
+      lower_[j] = problem.col_lower()[j];
+      upper_[j] = problem.col_upper()[j];
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      lower_[n_ + i] = problem.rows()[i].lower;
+      upper_[n_ + i] = problem.rows()[i].upper;
+      lower_[n_ + m_ + i] = 0.0;  // artificials
+    }
+
+    // Column-access helper matrix: rows of [A | -I | G] where G is the
+    // artificial sign matrix, filled in by init_basis().
+    art_sign_.assign(m_, 1.0);
+
+    status_.assign(total_, VarStatus::kAtLower);
+    value_.assign(total_, 0.0);
+    for (std::size_t j = 0; j < total_; ++j) {
+      init_nonbasic(j);
+    }
+
+    init_basis();
+  }
+
+  LpSolution run() {
+    LpSolution out;
+
+    // ---- Phase I: minimize the sum of artificial values. ----
+    Vector phase1_cost(total_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      phase1_cost[n_ + m_ + i] = 1.0;
+    }
+    const LpStatus st1 = optimize(phase1_cost);
+    if (st1 == LpStatus::kIterationLimit) {
+      out.status = st1;
+      out.iterations = iterations_;
+      return out;
+    }
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      infeasibility += value_[n_ + m_ + i];
+    }
+    if (infeasibility > opts_.feasibility_tol * std::max<double>(1.0, static_cast<double>(m_))) {
+      out.status = LpStatus::kInfeasible;
+      out.iterations = iterations_;
+      return out;
+    }
+
+    // Freeze artificials at zero for Phase II.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t a = n_ + m_ + i;
+      lower_[a] = upper_[a] = 0.0;
+      if (status_[a] != VarStatus::kBasic) {
+        status_[a] = VarStatus::kFixed;
+        value_[a] = 0.0;
+      }
+    }
+
+    // ---- Phase II: the real objective. ----
+    Vector cost(total_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      cost[j] = problem_.cost()[j];
+    }
+    const LpStatus st2 = optimize(cost);
+    out.status = st2;
+    out.iterations = iterations_;
+    if (st2 == LpStatus::kOptimal) {
+      out.x.assign(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n_));
+      out.objective = problem_.objective_offset();
+      for (std::size_t j = 0; j < n_; ++j) {
+        out.objective += problem_.cost()[j] * out.x[j];
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// Coefficient of column j in row i of [A | -I | G].
+  double coeff(std::size_t i, std::size_t j) const {
+    if (j < n_) {
+      return problem_.rows()[i].coeffs[j];
+    }
+    if (j < n_ + m_) {
+      return j - n_ == i ? -1.0 : 0.0;
+    }
+    return j - n_ - m_ == i ? art_sign_[i] : 0.0;
+  }
+
+  /// Place a freshly created nonbasic variable at its natural resting value.
+  void init_nonbasic(std::size_t j) {
+    const double lo = lower_[j];
+    const double hi = upper_[j];
+    if (lo == hi) {
+      status_[j] = VarStatus::kFixed;
+      value_[j] = lo;
+    } else if (std::isfinite(lo) && std::isfinite(hi)) {
+      const bool lower_closer = std::fabs(lo) <= std::fabs(hi);
+      status_[j] = lower_closer ? VarStatus::kAtLower : VarStatus::kAtUpper;
+      value_[j] = lower_closer ? lo : hi;
+    } else if (std::isfinite(lo)) {
+      status_[j] = VarStatus::kAtLower;
+      value_[j] = lo;
+    } else if (std::isfinite(hi)) {
+      status_[j] = VarStatus::kAtUpper;
+      value_[j] = hi;
+    } else {
+      status_[j] = VarStatus::kFree;
+      value_[j] = 0.0;
+    }
+  }
+
+  /// Choose artificial signs so every artificial starts >= 0, and make the
+  /// artificials the initial basis.
+  void init_basis() {
+    basis_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      // Row residual with artificial at zero: sum over structural + slack.
+      double v = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        v += problem_.rows()[i].coeffs[j] * value_[j];
+      }
+      v -= value_[n_ + i];  // slack column is -1
+      // Need v + g * t = 0 with t >= 0  =>  g = -sign(v), t = |v|.
+      art_sign_[i] = v > 0.0 ? -1.0 : 1.0;
+      const std::size_t a = n_ + m_ + i;
+      basis_[i] = a;
+      status_[a] = VarStatus::kBasic;
+      value_[a] = std::fabs(v);
+    }
+  }
+
+  /// Recompute basic variable values from the nonbasic resting values:
+  /// solve B x_B = -N x_N  (the rhs of every row is zero).
+  bool refresh_basics(const LuFactor& lu) {
+    Vector rhs(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (std::size_t j = 0; j < total_; ++j) {
+        if (status_[j] != VarStatus::kBasic && value_[j] != 0.0) {
+          v += coeff(i, j) * value_[j];
+        }
+      }
+      rhs[i] = -v;
+    }
+    const Vector xb = lu.solve(rhs);
+    for (std::size_t i = 0; i < m_; ++i) {
+      value_[basis_[i]] = xb[i];
+    }
+    return true;
+  }
+
+  std::optional<LuFactor> factor_basis() const {
+    Matrix b(m_, m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t k = 0; k < m_; ++k) {
+        b(i, k) = coeff(i, basis_[k]);
+      }
+    }
+    return LuFactor::compute(b);
+  }
+
+  LpStatus optimize(const Vector& cost) {
+    const int bland_threshold =
+        5 * static_cast<int>(total_ + m_) + 200;
+    int phase_iterations = 0;
+
+    for (;;) {
+      if (iterations_ >= opts_.max_iterations) {
+        return LpStatus::kIterationLimit;
+      }
+      const bool bland = phase_iterations > bland_threshold;
+
+      auto lu = factor_basis();
+      HSLB_ASSERT(lu.has_value(), "singular simplex basis");
+      refresh_basics(*lu);
+
+      // Pricing: y = B^{-T} c_B, then reduced costs on nonbasics.
+      Vector cb(m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        cb[i] = cost[basis_[i]];
+      }
+      // Solve B^T y = c_B by factoring B^T (m is tiny; clarity first).
+      Matrix bt(m_, m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        for (std::size_t k = 0; k < m_; ++k) {
+          bt(i, k) = coeff(k, basis_[i]);
+        }
+      }
+      auto lut = LuFactor::compute(bt);
+      HSLB_ASSERT(lut.has_value(), "singular transposed simplex basis");
+      const Vector y = lut->solve(cb);
+
+      std::size_t entering = total_;
+      int direction = 0;  // +1 increase, -1 decrease
+      double best_score = opts_.optimality_tol;
+      for (std::size_t j = 0; j < total_; ++j) {
+        const VarStatus st = status_[j];
+        if (st == VarStatus::kBasic || st == VarStatus::kFixed) {
+          continue;
+        }
+        double d = cost[j];
+        for (std::size_t i = 0; i < m_; ++i) {
+          const double a = coeff(i, j);
+          if (a != 0.0) {
+            d -= y[i] * a;
+          }
+        }
+        int dir = 0;
+        if ((st == VarStatus::kAtLower || st == VarStatus::kFree) &&
+            d < -opts_.optimality_tol) {
+          dir = +1;
+        } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFree) &&
+                   d > opts_.optimality_tol) {
+          dir = -1;
+        }
+        if (dir == 0) {
+          continue;
+        }
+        if (bland) {
+          entering = j;
+          direction = dir;
+          break;  // smallest eligible index
+        }
+        if (std::fabs(d) > best_score) {
+          best_score = std::fabs(d);
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering == total_) {
+        return LpStatus::kOptimal;
+      }
+
+      // Direction through the basics: w = B^{-1} A_e.
+      Vector ae(m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        ae[i] = coeff(i, entering);
+      }
+      const Vector w = lu->solve(ae);
+
+      // Ratio test.  x_B(t) = x_B - t * direction * w;  entering moves by
+      // +/- t from its current bound, capped by its own bound span.
+      double t_max = kInf;
+      if (std::isfinite(lower_[entering]) && std::isfinite(upper_[entering])) {
+        t_max = upper_[entering] - lower_[entering];
+      }
+      std::ptrdiff_t leaving = -1;  // -1 => bound flip
+      bool leaving_to_upper = false;
+      double leaving_pivot_mag = 0.0;
+      const double pivot_tol = 1e-9;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double rate = direction * w[i];  // basic i decreases at `rate`
+        const std::size_t bj = basis_[i];
+        double limit = kInf;
+        bool to_upper = false;
+        if (rate > pivot_tol) {
+          if (std::isfinite(lower_[bj])) {
+            limit = (value_[bj] - lower_[bj]) / rate;
+          }
+        } else if (rate < -pivot_tol) {
+          if (std::isfinite(upper_[bj])) {
+            limit = (value_[bj] - upper_[bj]) / rate;
+            to_upper = true;
+          }
+        } else {
+          continue;
+        }
+        limit = std::max(limit, 0.0);  // degeneracy snap
+        const bool better =
+            limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 && std::fabs(w[i]) > leaving_pivot_mag);
+        if (better && limit <= t_max + 1e-12) {
+          t_max = std::min(t_max, limit);
+          leaving = static_cast<std::ptrdiff_t>(i);
+          leaving_to_upper = to_upper;
+          leaving_pivot_mag = std::fabs(w[i]);
+        }
+      }
+
+      if (!std::isfinite(t_max)) {
+        return LpStatus::kUnbounded;
+      }
+
+      // Apply the step.
+      for (std::size_t i = 0; i < m_; ++i) {
+        value_[basis_[i]] -= t_max * direction * w[i];
+      }
+      value_[entering] += direction * t_max;
+
+      if (leaving < 0) {
+        // Bound flip: entering traverses its whole span, basis unchanged.
+        status_[entering] = direction > 0 ? VarStatus::kAtUpper
+                                          : VarStatus::kAtLower;
+        value_[entering] = direction > 0 ? upper_[entering] : lower_[entering];
+      } else {
+        const std::size_t out_var = basis_[static_cast<std::size_t>(leaving)];
+        status_[out_var] =
+            leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        value_[out_var] = leaving_to_upper ? upper_[out_var] : lower_[out_var];
+        basis_[static_cast<std::size_t>(leaving)] = entering;
+        status_[entering] = VarStatus::kBasic;
+      }
+
+      ++iterations_;
+      ++phase_iterations;
+    }
+  }
+
+  const LpProblem& problem_;
+  SimplexOptions opts_;
+  std::size_t n_ = 0;      // structural columns
+  std::size_t m_ = 0;      // rows (== slack count == artificial count)
+  std::size_t total_ = 0;  // n + 2m
+  Vector lower_, upper_, value_;
+  Vector art_sign_;
+  std::vector<VarStatus> status_;
+  std::vector<std::size_t> basis_;
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
+  if (problem.num_vars() == 0) {
+    LpSolution out;
+    out.status = LpStatus::kOptimal;
+    out.objective = problem.objective_offset();
+    return out;
+  }
+  // Reject inconsistent fixed bounds early (the simplex would report them as
+  // Phase-I infeasible anyway, but this gives a crisper answer).
+  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+    if (problem.col_lower()[j] > problem.col_upper()[j]) {
+      LpSolution out;
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+  }
+  Simplex simplex(problem, options);
+  return simplex.run();
+}
+
+}  // namespace hslb::lp

@@ -1,0 +1,713 @@
+#include "hslb/minlp/ampl.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kSymbol,  // one of + - * / ^ ( ) { } , : =
+    kLe,      // <=
+    kGe,      // >=
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Tokenize one statement (up to ';' or end of input).  Returns false at
+  /// end of input.
+  bool next_statement(std::vector<Token>& out) {
+    out.clear();
+    skip_space_and_comments();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      skip_space_and_comments();
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char c = text_[pos_];
+      if (c == ';') {
+        ++pos_;
+        break;
+      }
+      out.push_back(lex_token());
+    }
+    return !out.empty();
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_token() {
+    Token token;
+    token.line = line_;
+    const char c = text_[pos_];
+    // AMPL's constraint keyword "s.t." is one token.
+    if (text_.compare(pos_, 4, "s.t.") == 0) {
+      token.kind = Token::Kind::kIdent;
+      token.text = "s.t.";
+      pos_ += 4;
+      return token;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) != 0 ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      token.kind = Token::Kind::kIdent;
+      token.text = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      std::size_t consumed = 0;
+      token.kind = Token::Kind::kNumber;
+      token.number = std::stod(text_.substr(pos_), &consumed);
+      token.text = text_.substr(pos_, consumed);
+      pos_ += consumed;
+      return token;
+    }
+    if (c == '<' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      token.kind = Token::Kind::kLe;
+      token.text = "<=";
+      pos_ += 2;
+      return token;
+    }
+    if (c == '>' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      token.kind = Token::Kind::kGe;
+      token.text = ">=";
+      pos_ += 2;
+      return token;
+    }
+    if (std::string("+-*/^(){},:=").find(c) != std::string::npos) {
+      token.kind = Token::Kind::kSymbol;
+      token.text = std::string(1, c);
+      ++pos_;
+      return token;
+    }
+    throw InvalidArgument("AMPL-lite: unexpected character '" +
+                          std::string(1, c) + "' on line " +
+                          std::to_string(line_ + 1));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expression parser (recursive descent over a token stream)
+// ---------------------------------------------------------------------------
+
+class ExprParser {
+ public:
+  ExprParser(std::span<const Token> tokens,
+             const std::map<std::string, std::size_t>& variables)
+      : tokens_(tokens), variables_(variables) {}
+
+  expr::Expr parse() {
+    expr::Expr result = parse_sum();
+    HSLB_REQUIRE(pos_ == tokens_.size(),
+                 "AMPL-lite: trailing tokens in expression near '" +
+                     (pos_ < tokens_.size() ? tokens_[pos_].text : "") + "'");
+    return result;
+  }
+
+  /// Parse stopping position (for callers that parse a prefix).
+  expr::Expr parse_prefix(std::size_t* consumed) {
+    expr::Expr result = parse_sum();
+    *consumed = pos_;
+    return result;
+  }
+
+ private:
+  const Token& peek() const {
+    static const Token kEnd{};
+    return pos_ < tokens_.size() ? tokens_[pos_] : kEnd;
+  }
+  bool accept_symbol(const std::string& s) {
+    if (peek().kind == Token::Kind::kSymbol && peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  expr::Expr parse_sum() {
+    expr::Expr left =
+        accept_symbol("-") ? -parse_product() : parse_product();
+    for (;;) {
+      if (accept_symbol("+")) {
+        left = left + parse_product();
+      } else if (accept_symbol("-")) {
+        left = left - parse_product();
+      } else {
+        return left;
+      }
+    }
+  }
+
+  expr::Expr parse_product() {
+    expr::Expr left = parse_power();
+    for (;;) {
+      if (accept_symbol("*")) {
+        left = left * parse_power();
+      } else if (accept_symbol("/")) {
+        left = left / parse_power();
+      } else {
+        return left;
+      }
+    }
+  }
+
+  expr::Expr parse_power() {
+    const expr::Expr base = parse_primary();
+    if (accept_symbol("^")) {
+      const expr::Expr exponent = parse_power();  // right associative
+      return expr::pow(base, exponent);
+    }
+    return base;
+  }
+
+  expr::Expr parse_primary() {
+    const Token token = peek();
+    if (token.kind == Token::Kind::kNumber) {
+      ++pos_;
+      return expr::constant(token.number);
+    }
+    if (accept_symbol("-")) {
+      return -parse_primary();
+    }
+    if (accept_symbol("(")) {
+      const expr::Expr inner = parse_sum();
+      HSLB_REQUIRE(accept_symbol(")"),
+                   "AMPL-lite: missing ')' on line " +
+                       std::to_string(token.line + 1));
+      return inner;
+    }
+    if (token.kind == Token::Kind::kIdent) {
+      ++pos_;
+      if (token.text == "log" || token.text == "exp") {
+        HSLB_REQUIRE(accept_symbol("("),
+                     "AMPL-lite: expected '(' after " + token.text);
+        const expr::Expr argument = parse_sum();
+        HSLB_REQUIRE(accept_symbol(")"),
+                     "AMPL-lite: missing ')' after " + token.text);
+        return token.text == "log" ? expr::log(argument)
+                                   : expr::exp(argument);
+      }
+      const auto it = variables_.find(token.text);
+      HSLB_REQUIRE(it != variables_.end(),
+                   "AMPL-lite: unknown identifier '" + token.text +
+                       "' on line " + std::to_string(token.line + 1));
+      return expr::variable(it->second, token.text);
+    }
+    throw InvalidArgument("AMPL-lite: unexpected token '" + token.text +
+                          "' on line " + std::to_string(token.line + 1));
+  }
+
+  std::span<const Token> tokens_;
+  const std::map<std::string, std::size_t>& variables_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Statement handling
+// ---------------------------------------------------------------------------
+
+/// Split "lhs REL rhs [REL rhs2]" at top-level relational tokens.
+struct Relation {
+  std::vector<std::vector<Token>> parts;  // 2 or 3 expression chunks
+  std::vector<Token::Kind> rels;          // kLe / kGe or '=' (as kSymbol)
+};
+
+Relation split_relations(std::span<const Token> tokens) {
+  Relation out;
+  std::vector<Token> current;
+  for (const Token& token : tokens) {
+    const bool is_rel =
+        token.kind == Token::Kind::kLe || token.kind == Token::Kind::kGe ||
+        (token.kind == Token::Kind::kSymbol && token.text == "=");
+    if (is_rel) {
+      out.parts.push_back(std::move(current));
+      current.clear();
+      out.rels.push_back(token.kind == Token::Kind::kSymbol
+                             ? Token::Kind::kSymbol
+                             : token.kind);
+    } else {
+      current.push_back(token);
+    }
+  }
+  out.parts.push_back(std::move(current));
+  return out;
+}
+
+/// Try to interpret an equality "t == rhs(n)" as a univariate link.
+bool try_add_link(Model& model, const expr::Expr& lhs, const expr::Expr& rhs,
+                  const std::string& name) {
+  const auto as_link = [&](const expr::Expr& var_side,
+                           const expr::Expr& fn_side) {
+    if (var_side.node().op != expr::Op::kVar) {
+      return false;
+    }
+    const std::size_t t_var = var_side.node().var_index;
+    const auto fn_vars = expr::variables_of(fn_side);
+    if (fn_vars.size() != 1 || fn_vars[0] == t_var) {
+      return false;
+    }
+    if (fn_side.linearity() != expr::Linearity::kNonlinear) {
+      return false;  // affine equalities stay linear rows
+    }
+    const std::size_t n_var = fn_vars[0];
+    // One-variable form of the function, with variable index 0.
+    const std::vector<std::size_t> to_zero(n_var + 1, 0);
+    const expr::Expr unary = expr::remap_variables(fn_side, to_zero);
+    UnivariateFn fn;
+    fn.value = [unary](double v) {
+      const linalg::Vector point{v};
+      return expr::eval(unary, point);
+    };
+    fn.deriv = [unary](double v) {
+      const linalg::Vector point{v};
+      return expr::eval_grad(unary, point, 1).grad[0];
+    };
+    fn.as_expr = [unary](const expr::Expr& n) {
+      return expr::substitute(unary, 0, n);
+    };
+    model.add_link(t_var, n_var, std::move(fn), name);
+    return true;
+  };
+  return as_link(lhs, rhs) || as_link(rhs, lhs);
+}
+
+/// Add "g REL bound" to the model, preferring linear rows.
+void add_relational(Model& model, const expr::Expr& lhs,
+                    const expr::Expr& rhs, Token::Kind rel,
+                    const std::string& name) {
+  const expr::Expr g = lhs - rhs;
+  const auto affine = expr::as_affine(g, model.num_vars());
+  if (affine) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < model.num_vars(); ++j) {
+      if (affine->coeffs[j] != 0.0) {
+        terms.emplace_back(j, affine->coeffs[j]);
+      }
+    }
+    const double rhs_value = -affine->constant;
+    switch (rel) {
+      case Token::Kind::kLe:
+        model.add_linear(std::move(terms), -lp::kInf, rhs_value, name);
+        return;
+      case Token::Kind::kGe:
+        model.add_linear(std::move(terms), rhs_value, lp::kInf, name);
+        return;
+      default:
+        model.add_linear(std::move(terms), rhs_value, rhs_value, name);
+        return;
+    }
+  }
+  switch (rel) {
+    case Token::Kind::kLe:
+      model.add_nonlinear(g, 0.0, name);
+      return;
+    case Token::Kind::kGe:
+      model.add_nonlinear(-g, 0.0, name);
+      return;
+    default:
+      if (try_add_link(model, lhs, rhs, name)) {
+        return;
+      }
+      // General nonlinear equality: two one-sided constraints.
+      model.add_nonlinear(g, 0.0, name + "_ub");
+      model.add_nonlinear(-g, 0.0, name + "_lb");
+      return;
+  }
+}
+
+std::string sanitize(const std::string& name, std::size_t fallback_index) {
+  std::string out;
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')
+               ? c
+               : '_';
+  }
+  if (out.empty() ||
+      std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out = "c" + std::to_string(fallback_index) + "_" + out;
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string write_ampl(const Model& model) {
+  std::ostringstream os;
+  os << "# AMPL-lite model (hslb::minlp)\n";
+
+  for (const Variable& v : model.variables()) {
+    os << "var " << v.name;
+    if (v.type == VarType::kInteger) {
+      os << " integer";
+    } else if (v.type == VarType::kBinary) {
+      os << " binary";
+    }
+    if (std::isfinite(v.lower)) {
+      os << " >= " << format_number(v.lower);
+    }
+    if (std::isfinite(v.upper)) {
+      os << " <= " << format_number(v.upper);
+    }
+    os << ";\n";
+  }
+
+  os << "minimize obj:";
+  bool first = true;
+  if (model.objective_offset() != 0.0) {
+    os << ' ' << format_number(model.objective_offset());
+    first = false;
+  }
+  for (std::size_t j = 0; j < model.num_vars(); ++j) {
+    const double c = model.objective_coeffs()[j];
+    if (c == 0.0) {
+      continue;
+    }
+    os << (first ? " " : " + ") << format_number(c) << " * "
+       << model.variables()[j].name;
+    first = false;
+  }
+  if (first) {
+    os << " 0";
+  }
+  os << ";\n";
+
+  std::size_t row_index = 0;
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    ++row_index;
+    os << "s.t. " << sanitize(c.name.empty() ? "row" : c.name, row_index)
+       << "_" << row_index << ": ";
+    std::ostringstream body;
+    bool lead = true;
+    for (const auto& [v, a] : c.terms) {
+      if (a == 0.0) {
+        continue;
+      }
+      body << (lead ? "" : " + ") << format_number(a) << " * "
+           << model.variables()[v].name;
+      lead = false;
+    }
+    if (lead) {
+      body << "0";
+    }
+    if (c.lower == c.upper) {
+      os << body.str() << " = " << format_number(c.lower);
+    } else if (std::isfinite(c.lower) && std::isfinite(c.upper)) {
+      os << format_number(c.lower) << " <= " << body.str() << " <= "
+         << format_number(c.upper);
+    } else if (std::isfinite(c.upper)) {
+      os << body.str() << " <= " << format_number(c.upper);
+    } else {
+      os << body.str() << " >= " << format_number(c.lower);
+    }
+    os << ";\n";
+  }
+
+  for (const UnivariateLink& link : model.links()) {
+    HSLB_REQUIRE(static_cast<bool>(link.fn.as_expr),
+                 "write_ampl: link '" + link.name +
+                     "' has no symbolic form");
+    const expr::Expr body =
+        link.fn.as_expr(model.var(link.n_var));
+    ++row_index;
+    os << "s.t. " << sanitize(link.name.empty() ? "link" : link.name,
+                              row_index)
+       << "_" << row_index << ": " << model.variables()[link.t_var].name
+       << " = " << expr::to_string(body) << ";\n";
+  }
+
+  for (const NonlinearConstraint& c : model.nonlinear_constraints()) {
+    ++row_index;
+    os << "s.t. " << sanitize(c.name.empty() ? "nl" : c.name, row_index)
+       << "_" << row_index << ": " << expr::to_string(c.g) << " <= "
+       << format_number(c.upper) << ";\n";
+  }
+
+  std::size_t sos_index = 0;
+  for (const Sos1Set& set : model.sos1_sets()) {
+    ++sos_index;
+    os << "sos1 " << sanitize(set.name.empty() ? "sos" : set.name, sos_index)
+       << "_" << sos_index << ":";
+    for (const std::size_t v : set.vars) {
+      os << ' ' << model.variables()[v].name;
+    }
+    os << " weights";
+    for (const double w : set.weights) {
+      os << ' ' << format_number(w);
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+expr::Expr parse_expression(const std::string& text,
+                            const std::vector<std::string>& variable_names) {
+  std::map<std::string, std::size_t> variables;
+  for (std::size_t j = 0; j < variable_names.size(); ++j) {
+    variables[variable_names[j]] = j;
+  }
+  Lexer lexer(text);
+  std::vector<Token> tokens;
+  HSLB_REQUIRE(lexer.next_statement(tokens), "empty expression");
+  return ExprParser(tokens, variables).parse();
+}
+
+Model parse_ampl(const std::string& text) {
+  Model model;
+  std::map<std::string, std::size_t> variables;
+
+  Lexer lexer(text);
+  std::vector<Token> tokens;
+  while (lexer.next_statement(tokens)) {
+    const int line = tokens.front().line + 1;
+    const auto fail = [line](const std::string& why) -> void {
+      throw InvalidArgument("AMPL-lite line " + std::to_string(line) + ": " +
+                            why);
+    };
+    const std::string& head = tokens.front().text;
+
+    if (head == "var") {
+      if (tokens.size() < 2 || tokens[1].kind != Token::Kind::kIdent) {
+        fail("expected 'var <name> ...'");
+      }
+      const std::string name = tokens[1].text;
+      if (variables.count(name) != 0) {
+        fail("duplicate variable '" + name + "'");
+      }
+      VarType type = VarType::kContinuous;
+      double lo = -lp::kInf;
+      double hi = lp::kInf;
+      std::size_t i = 2;
+      while (i < tokens.size()) {
+        if (tokens[i].kind == Token::Kind::kIdent &&
+            tokens[i].text == "integer") {
+          type = VarType::kInteger;
+          ++i;
+        } else if (tokens[i].kind == Token::Kind::kIdent &&
+                   tokens[i].text == "binary") {
+          type = VarType::kBinary;
+          lo = std::max(lo, 0.0);
+          hi = std::min(hi, 1.0);
+          ++i;
+        } else if (tokens[i].kind == Token::Kind::kGe ||
+                   tokens[i].kind == Token::Kind::kLe) {
+          const bool is_lower = tokens[i].kind == Token::Kind::kGe;
+          ++i;
+          double sign = 1.0;
+          if (i < tokens.size() && tokens[i].kind == Token::Kind::kSymbol &&
+              tokens[i].text == "-") {
+            sign = -1.0;
+            ++i;
+          }
+          if (i >= tokens.size() || tokens[i].kind != Token::Kind::kNumber) {
+            fail("expected a number after bound relation");
+          }
+          (is_lower ? lo : hi) = sign * tokens[i].number;
+          ++i;
+        } else {
+          fail("unexpected token '" + tokens[i].text +
+               "' in var declaration");
+        }
+      }
+      if (type == VarType::kBinary) {
+        lo = std::max(lo, 0.0);
+        hi = std::min(hi, 1.0);
+      }
+      variables[name] = model.add_variable(name, type, lo, hi);
+      continue;
+    }
+
+    if (head == "minimize") {
+      // minimize <name> : <expr>
+      std::size_t colon = 0;
+      while (colon < tokens.size() &&
+             !(tokens[colon].kind == Token::Kind::kSymbol &&
+               tokens[colon].text == ":")) {
+        ++colon;
+      }
+      if (colon + 1 >= tokens.size()) {
+        fail("expected 'minimize <name>: <expr>'");
+      }
+      const std::span<const Token> body(tokens.data() + colon + 1,
+                                        tokens.size() - colon - 1);
+      model.minimize(ExprParser(body, variables).parse());
+      continue;
+    }
+
+    if (head == "s.t" || head == "s.t." || head == "subject") {
+      std::size_t colon = 0;
+      while (colon < tokens.size() &&
+             !(tokens[colon].kind == Token::Kind::kSymbol &&
+               tokens[colon].text == ":")) {
+        ++colon;
+      }
+      if (colon + 1 >= tokens.size() || colon < 2) {
+        fail("expected 's.t. <name>: <relation>'");
+      }
+      const std::string name = tokens[colon - 1].text;
+      const std::span<const Token> body(tokens.data() + colon + 1,
+                                        tokens.size() - colon - 1);
+      const Relation relation = split_relations(body);
+      if (relation.rels.empty()) {
+        fail("constraint '" + name + "' has no relational operator");
+      }
+      if (relation.rels.size() == 1) {
+        const expr::Expr lhs =
+            ExprParser(relation.parts[0], variables).parse();
+        const expr::Expr rhs =
+            ExprParser(relation.parts[1], variables).parse();
+        add_relational(model, lhs, rhs, relation.rels[0], name);
+      } else if (relation.rels.size() == 2 &&
+                 relation.rels[0] == relation.rels[1] &&
+                 relation.rels[0] == Token::Kind::kLe) {
+        // lo <= expr <= hi range row.
+        const expr::Expr lo_expr =
+            ExprParser(relation.parts[0], variables).parse();
+        const expr::Expr mid =
+            ExprParser(relation.parts[1], variables).parse();
+        const expr::Expr hi_expr =
+            ExprParser(relation.parts[2], variables).parse();
+        if (!lo_expr.is_constant() || !hi_expr.is_constant()) {
+          fail("range bounds must be constants");
+        }
+        const auto affine = expr::as_affine(mid, model.num_vars());
+        if (!affine) {
+          fail("range rows must be affine");
+        }
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < model.num_vars(); ++j) {
+          if (affine->coeffs[j] != 0.0) {
+            terms.emplace_back(j, affine->coeffs[j]);
+          }
+        }
+        model.add_linear(std::move(terms),
+                         lo_expr.constant_value() - affine->constant,
+                         hi_expr.constant_value() - affine->constant, name);
+      } else {
+        fail("unsupported relation chain in '" + name + "'");
+      }
+      continue;
+    }
+
+    if (head == "set") {
+      // set <name>: <var> in { v1, v2, ... };
+      if (tokens.size() < 7) {
+        fail("expected 'set <name>: <var> in { ... }'");
+      }
+      const std::string var_name = tokens[3].text;
+      const auto it = variables.find(var_name);
+      if (it == variables.end()) {
+        fail("unknown variable '" + var_name + "' in set");
+      }
+      std::vector<double> values;
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        if (tokens[i].kind == Token::Kind::kNumber) {
+          values.push_back(tokens[i].number);
+        }
+      }
+      if (values.empty()) {
+        fail("empty value set");
+      }
+      model.restrict_to_set(it->second, values, /*use_sos=*/true,
+                            tokens[1].text);
+      continue;
+    }
+
+    if (head == "sos1") {
+      // sos1 <name>: z1 z2 ... weights w1 w2 ...;
+      std::vector<std::size_t> members;
+      std::vector<double> weights;
+      bool in_weights = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        if (tokens[i].kind == Token::Kind::kIdent &&
+            tokens[i].text == "weights") {
+          in_weights = true;
+        } else if (!in_weights && tokens[i].kind == Token::Kind::kIdent) {
+          const auto it = variables.find(tokens[i].text);
+          if (it == variables.end()) {
+            fail("unknown variable '" + tokens[i].text + "' in sos1");
+          }
+          members.push_back(it->second);
+        } else if (in_weights && tokens[i].kind == Token::Kind::kNumber) {
+          weights.push_back(tokens[i].number);
+        }
+      }
+      if (members.size() != weights.size() || members.size() < 2) {
+        fail("sos1 needs matching members and weights (>= 2)");
+      }
+      model.add_sos1(std::move(members), std::move(weights), tokens[1].text);
+      continue;
+    }
+
+    fail("unknown statement '" + head + "'");
+  }
+
+  HSLB_REQUIRE(model.num_vars() > 0, "AMPL-lite: model declares no variables");
+  return model;
+}
+
+}  // namespace hslb::minlp

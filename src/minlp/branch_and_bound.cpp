@@ -1,0 +1,579 @@
+#include "hslb/minlp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/timing.hpp"
+#include "hslb/lp/simplex.hpp"
+#include "hslb/minlp/presolve.hpp"
+#include "hslb/minlp/relaxation.hpp"
+#include "hslb/nlp/barrier.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+using linalg::Vector;
+
+struct Node {
+  Vector lower;
+  Vector upper;
+  double bound = -lp::kInf;  // inherited LP bound (valid lower bound)
+  int depth = 0;
+};
+
+/// Open-node container honoring the selection policy.
+class NodeQueue {
+ public:
+  explicit NodeQueue(NodeSelection selection) : selection_(selection) {}
+
+  void push(Node node) { nodes_.push_back(std::move(node)); }
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  Node pop() {
+    HSLB_ASSERT(!nodes_.empty(), "pop from empty node queue");
+    std::size_t pick = nodes_.size() - 1;  // depth-first: LIFO
+    if (selection_ == NodeSelection::kBestBound) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].bound < nodes_[pick].bound) {
+          pick = i;
+        }
+      }
+    }
+    Node node = std::move(nodes_[pick]);
+    nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(pick));
+    return node;
+  }
+
+  /// Smallest bound among open nodes (-inf when empty is not meaningful).
+  double best_open_bound() const {
+    double best = lp::kInf;
+    for (const Node& n : nodes_) {
+      best = std::min(best, n.bound);
+    }
+    return best;
+  }
+
+  /// Drop nodes whose bound cannot beat the incumbent.
+  void prune_above(double cutoff) {
+    std::erase_if(nodes_, [cutoff](const Node& n) { return n.bound >= cutoff; });
+  }
+
+ private:
+  NodeSelection selection_;
+  std::deque<Node> nodes_;
+};
+
+/// Geometric (log-spaced when possible) tangent seed points on [lo, hi].
+std::vector<double> seed_points(double lo, double hi, int count) {
+  std::vector<double> pts;
+  if (!(std::isfinite(lo) && std::isfinite(hi)) || hi <= lo || count <= 0) {
+    return pts;
+  }
+  if (count == 1) {
+    pts.push_back(0.5 * (lo + hi));
+    return pts;
+  }
+  if (lo > 0.0) {
+    const double llo = std::log(lo);
+    const double lhi = std::log(hi);
+    for (int i = 0; i < count; ++i) {
+      pts.push_back(std::exp(llo + (lhi - llo) * i / (count - 1)));
+    }
+  } else {
+    for (int i = 0; i < count; ++i) {
+      pts.push_back(lo + (hi - lo) * i / (count - 1));
+    }
+  }
+  return pts;
+}
+
+/// Solve the one-sided continuous NLP relaxation to seed linearizations.
+/// Requires every link to carry a symbolic form.
+///
+/// The NLP is built over the *non-binary* variables only: the SOS selection
+/// binaries (and the rows tying them) are pure integer bookkeeping, and
+/// dropping them yields a looser but valid continuous relaxation with a
+/// nonempty strict interior -- and a Hessian whose size does not scale with
+/// the allocation-set cardinality.  Returns a full-space point (binaries 0).
+std::optional<Vector> solve_root_nlp(const Model& model, SolveStats& stats) {
+  for (const UnivariateLink& link : model.links()) {
+    if (!link.fn.as_expr) {
+      return std::nullopt;
+    }
+  }
+  const std::size_t n_full = model.num_vars();
+
+  // Compact index map over non-binary variables.
+  constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> to_compact(n_full, kUnmapped);
+  std::vector<std::size_t> to_full;
+  for (std::size_t j = 0; j < n_full; ++j) {
+    if (model.variables()[j].type != VarType::kBinary) {
+      to_compact[j] = to_full.size();
+      to_full.push_back(j);
+    }
+  }
+  const auto cvar = [&](std::size_t full_index) {
+    return expr::variable(to_compact[full_index],
+                          model.variables()[full_index].name);
+  };
+
+  nlp::NlpProblem relax;
+  relax.num_vars = to_full.size();
+  relax.lower.resize(relax.num_vars);
+  relax.upper.resize(relax.num_vars);
+  for (std::size_t k = 0; k < to_full.size(); ++k) {
+    relax.lower[k] = model.variables()[to_full[k]].lower;
+    relax.upper[k] = model.variables()[to_full[k]].upper;
+  }
+
+  expr::Expr obj = expr::constant(model.objective_offset());
+  for (std::size_t j = 0; j < n_full; ++j) {
+    if (model.objective_coeffs()[j] != 0.0) {
+      if (to_compact[j] == kUnmapped) {
+        return std::nullopt;  // objective on a binary: cannot drop it
+      }
+      obj += model.objective_coeffs()[j] * cvar(j);
+    }
+  }
+  relax.objective = obj;
+
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    bool touches_binary = false;
+    for (const auto& [v, coef] : c.terms) {
+      (void)coef;
+      if (to_compact[v] == kUnmapped) {
+        touches_binary = true;
+        break;
+      }
+    }
+    if (touches_binary) {
+      continue;
+    }
+    expr::Expr row = expr::constant(0.0);
+    for (const auto& [v, coef] : c.terms) {
+      row += coef * cvar(v);
+    }
+    // Widen equality rows by a hair so a strict interior exists.
+    const double slack =
+        c.lower == c.upper ? 1e-6 * (1.0 + std::fabs(c.upper)) : 0.0;
+    if (std::isfinite(c.upper)) {
+      relax.constraints.push_back(row - (c.upper + slack));
+    }
+    if (std::isfinite(c.lower)) {
+      relax.constraints.push_back((c.lower - slack) - row);
+    }
+  }
+  for (const UnivariateLink& link : model.links()) {
+    // One-sided: fn(n) - t <= 0 (the binding direction for min-time models).
+    relax.constraints.push_back(link.fn.as_expr(cvar(link.n_var)) -
+                                cvar(link.t_var));
+  }
+  for (const NonlinearConstraint& c : model.nonlinear_constraints()) {
+    bool touches_binary = false;
+    for (const std::size_t v : expr::variables_of(c.g)) {
+      if (to_compact[v] == kUnmapped) {
+        touches_binary = true;
+        break;
+      }
+    }
+    if (touches_binary) {
+      continue;
+    }
+    relax.constraints.push_back(
+        expr::remap_variables(c.g, to_compact) - c.upper);
+  }
+
+  nlp::BarrierOptions nlp_opts;
+  nlp_opts.gap_tol = 1e-7;  // a rough center suffices for cut seeding
+  const nlp::NlpResult r = nlp::solve_barrier(relax, std::nullopt, nlp_opts);
+  ++stats.nlp_solves;
+  if (r.status != nlp::NlpStatus::kOptimal) {
+    return std::nullopt;
+  }
+  Vector full(n_full, 0.0);
+  for (std::size_t k = 0; k < to_full.size(); ++k) {
+    full[to_full[k]] = r.x[k];
+  }
+  return full;
+}
+
+struct Fractionality {
+  std::ptrdiff_t var = -1;
+  double frac = 0.0;  // distance to nearest integer
+};
+
+Fractionality most_fractional(const Model& model, const Vector& x,
+                              double tol) {
+  Fractionality out;
+  for (std::size_t j = 0; j < model.num_vars(); ++j) {
+    if (model.variables()[j].type == VarType::kContinuous) {
+      continue;
+    }
+    const double f = std::fabs(x[j] - std::round(x[j]));
+    if (f > tol && f > out.frac) {
+      out.frac = f;
+      out.var = static_cast<std::ptrdiff_t>(j);
+    }
+  }
+  return out;
+}
+
+/// First SOS1 set with two or more members above tolerance.
+std::ptrdiff_t violated_sos(const Model& model, const Vector& x, double tol) {
+  for (std::size_t s = 0; s < model.sos1_sets().size(); ++s) {
+    int nonzero = 0;
+    for (const std::size_t v : model.sos1_sets()[s].vars) {
+      if (x[v] > tol) {
+        ++nonzero;
+      }
+    }
+    if (nonzero >= 2) {
+      return static_cast<std::ptrdiff_t>(s);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* to_string(MinlpStatus status) {
+  switch (status) {
+    case MinlpStatus::kOptimal:
+      return "optimal";
+    case MinlpStatus::kInfeasible:
+      return "infeasible";
+    case MinlpStatus::kNodeLimit:
+      return "node-limit";
+    case MinlpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+MinlpResult solve(const Model& model, const SolverOptions& opts) {
+  common::WallTimer timer;
+  MinlpResult out;
+  SolveStats& stats = out.stats;
+  const auto log = [&opts](const std::string& line) {
+    if (opts.logger) {
+      opts.logger(line);
+    }
+  };
+
+  const std::size_t n = model.num_vars();
+  HSLB_REQUIRE(n > 0, "cannot solve an empty model");
+
+  const std::vector<Curvature> curvature = resolve_curvatures(model);
+
+  // --- Presolve: FBBT bound tightening. --------------------------------------
+  Vector root_lower(n);
+  Vector root_upper(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    root_lower[j] = model.variables()[j].lower;
+    root_upper[j] = model.variables()[j].upper;
+  }
+  if (opts.use_presolve) {
+    const PresolveResult pre = presolve(model);
+    if (pre.infeasible) {
+      out.status = MinlpStatus::kInfeasible;
+      out.stats.wall_seconds = timer.seconds();
+      return out;
+    }
+    root_lower = pre.lower;
+    root_upper = pre.upper;
+    stats.presolve_tightenings = pre.tightenings;
+    if (opts.logger) {
+      std::ostringstream os;
+      os << "presolve: " << pre.tightenings << " bounds tightened in "
+         << pre.rounds << " rounds";
+      log(os.str());
+    }
+  }
+
+  // --- Seed the cut pool. ---------------------------------------------------
+  CutPool pool;
+  for (std::size_t li = 0; li < model.links().size(); ++li) {
+    const UnivariateLink& link = model.links()[li];
+    for (const double p :
+         seed_points(root_lower[link.n_var], root_upper[link.n_var],
+                     opts.initial_tangents_per_link)) {
+      if (pool.add_link_tangent(model, curvature, li, p)) {
+        ++stats.cuts_added;
+      }
+    }
+  }
+  if (opts.use_root_nlp) {
+    if (const auto x_nlp = solve_root_nlp(model, stats)) {
+      for (std::size_t li = 0; li < model.links().size(); ++li) {
+        if (pool.add_link_tangent(model, curvature, li,
+                                  (*x_nlp)[model.links()[li].n_var])) {
+          ++stats.cuts_added;
+        }
+      }
+      for (std::size_t ci = 0; ci < model.nonlinear_constraints().size();
+           ++ci) {
+        pool.add_nonlinear_cut(model, ci, *x_nlp);
+        ++stats.cuts_added;
+      }
+    }
+  }
+
+  // --- Branch and bound. ------------------------------------------------------
+  Node root;
+  root.lower = root_lower;
+  root.upper = root_upper;
+
+  NodeQueue queue(opts.node_selection);
+  queue.push(std::move(root));
+
+  bool have_incumbent = false;
+  double incumbent_obj = lp::kInf;
+  Vector incumbent_x;
+  bool hit_node_limit = false;
+
+  const auto cutoff = [&]() {
+    if (!have_incumbent) {
+      return lp::kInf;
+    }
+    const double gap = std::max(1e-9, opts.rel_gap * std::fabs(incumbent_obj));
+    return incumbent_obj - gap;
+  };
+
+  while (!queue.empty()) {
+    if (stats.nodes_explored >= opts.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    Node node = queue.pop();
+    ++stats.nodes_explored;
+    if (opts.logger && opts.log_every_nodes > 0 &&
+        stats.nodes_explored % opts.log_every_nodes == 0) {
+      std::ostringstream os;
+      os << "node " << stats.nodes_explored << ": open " << queue.size()
+         << ", incumbent "
+         << (have_incumbent ? std::to_string(incumbent_obj) : "none");
+      log(os.str());
+    }
+    if (node.bound >= cutoff()) {
+      continue;
+    }
+
+    bool node_done = false;
+    for (int round = 0; round <= opts.cut_rounds_per_node && !node_done;
+         ++round) {
+      const lp::LpProblem master =
+          build_master_lp(model, pool, curvature, node.lower, node.upper);
+      const lp::LpSolution sol = lp::solve(master);
+      ++stats.lp_solves;
+      stats.simplex_iterations += sol.iterations;
+
+      if (sol.status == lp::LpStatus::kInfeasible) {
+        node_done = true;
+        break;
+      }
+      if (sol.status == lp::LpStatus::kUnbounded) {
+        out.status = MinlpStatus::kUnbounded;
+        out.stats.wall_seconds = timer.seconds();
+        return out;
+      }
+      HSLB_ASSERT(sol.status == lp::LpStatus::kOptimal,
+                  "unexpected LP status in branch-and-bound");
+      node.bound = std::max(node.bound, sol.objective);
+      if (node.bound >= cutoff()) {
+        node_done = true;
+        break;
+      }
+
+      // Branch on SOS violation first (when enabled).
+      if (opts.use_sos_branching) {
+        const std::ptrdiff_t s = violated_sos(model, sol.x, opts.integer_tol);
+        if (s >= 0) {
+          const Sos1Set& set = model.sos1_sets()[static_cast<std::size_t>(s)];
+          double position = 0.0;
+          for (std::size_t k = 0; k < set.vars.size(); ++k) {
+            position += set.weights[k] * sol.x[set.vars[k]];
+          }
+          // Partition members by weight around the weighted position.
+          std::vector<std::size_t> left;
+          std::vector<std::size_t> right;
+          for (std::size_t k = 0; k < set.vars.size(); ++k) {
+            (set.weights[k] <= position ? left : right).push_back(set.vars[k]);
+          }
+          if (left.empty() || right.empty()) {
+            // Degenerate partition; split at the median member instead.
+            left.clear();
+            right.clear();
+            for (std::size_t k = 0; k < set.vars.size(); ++k) {
+              (k < set.vars.size() / 2 ? left : right).push_back(set.vars[k]);
+            }
+          }
+          Node child_a = node;    // zero out the right part
+          Node child_b = node;    // zero out the left part
+          for (const std::size_t v : right) {
+            child_a.upper[v] = 0.0;
+          }
+          for (const std::size_t v : left) {
+            child_b.upper[v] = 0.0;
+          }
+          child_a.depth = child_b.depth = node.depth + 1;
+          queue.push(std::move(child_a));
+          queue.push(std::move(child_b));
+          node_done = true;
+          break;
+        }
+      }
+
+      // Then on fractional integer variables.
+      const Fractionality frac =
+          most_fractional(model, sol.x, opts.integer_tol);
+      if (frac.var >= 0) {
+        const auto j = static_cast<std::size_t>(frac.var);
+        Node down = node;
+        Node up = node;
+        down.upper[j] = std::floor(sol.x[j]);
+        up.lower[j] = std::ceil(sol.x[j]);
+        down.depth = up.depth = node.depth + 1;
+        if (down.lower[j] <= down.upper[j]) {
+          queue.push(std::move(down));
+        }
+        if (up.lower[j] <= up.upper[j]) {
+          queue.push(std::move(up));
+        }
+        node_done = true;
+        break;
+      }
+
+      // Integral (and SOS-feasible) master solution: lazily tighten the
+      // linearization where the true nonlinearities are violated.
+      bool added_cut = false;
+      for (std::size_t ci = 0; ci < model.nonlinear_constraints().size();
+           ++ci) {
+        const NonlinearConstraint& c = model.nonlinear_constraints()[ci];
+        const double g = expr::eval(c.g, sol.x);
+        if (g > c.upper + 1e-7 * std::max(1.0, std::fabs(c.upper))) {
+          pool.add_nonlinear_cut(model, ci, sol.x);
+          ++stats.cuts_added;
+          added_cut = true;
+        }
+      }
+      for (std::size_t li = 0; li < model.links().size(); ++li) {
+        const UnivariateLink& link = model.links()[li];
+        const double t = sol.x[link.t_var];
+        const double f = link.fn.value(sol.x[link.n_var]);
+        const double tol = 1e-7 * std::max(1.0, std::fabs(f));
+        const bool below = t < f - tol;
+        const bool above = t > f + tol;
+        if ((curvature[li] == Curvature::kConvex && below) ||
+            (curvature[li] == Curvature::kConcave && above)) {
+          if (pool.add_link_tangent(model, curvature, li,
+                                    sol.x[link.n_var])) {
+            ++stats.cuts_added;
+            added_cut = true;
+          }
+        }
+      }
+      if (added_cut && round < opts.cut_rounds_per_node) {
+        continue;  // re-solve this node against the tightened master
+      }
+
+      // Candidate: complete the integer point to a true feasible solution.
+      const auto completion = complete_integer_point(
+          model, pool, curvature, sol.x, node.lower, node.upper);
+      ++stats.lp_solves;
+      if (completion && completion->objective < incumbent_obj) {
+        incumbent_obj = completion->objective;
+        incumbent_x = completion->x;
+        have_incumbent = true;
+        queue.prune_above(cutoff());
+        if (opts.logger) {
+          std::ostringstream os;
+          os << "incumbent " << incumbent_obj << " at node "
+             << stats.nodes_explored;
+          log(os.str());
+        }
+      }
+
+      const double gap_here =
+          completion ? completion->objective - node.bound : lp::kInf;
+      if (completion &&
+          gap_here <= std::max(1e-9, opts.rel_gap *
+                                         std::fabs(completion->objective))) {
+        node_done = true;  // node solved exactly
+        break;
+      }
+
+      // The relaxation still under-estimates this node (chord gap on the
+      // "t <= fn" side, or the completion is infeasible).  Branch spatially
+      // on the link variable with the largest chord error.
+      std::ptrdiff_t branch_var = -1;
+      double worst_err = 1e-7;
+      for (const UnivariateLink& link : model.links()) {
+        const double width =
+            node.upper[link.n_var] - node.lower[link.n_var];
+        if (width < 1.0) {
+          continue;
+        }
+        const double err =
+            std::fabs(sol.x[link.t_var] - link.fn.value(sol.x[link.n_var]));
+        if (err > worst_err) {
+          worst_err = err;
+          branch_var = static_cast<std::ptrdiff_t>(link.n_var);
+        }
+      }
+      if (branch_var < 0) {
+        // No refinable link interval left: pick any unfixed integer so the
+        // children eventually close every interval.
+        for (const UnivariateLink& link : model.links()) {
+          if (node.upper[link.n_var] - node.lower[link.n_var] >= 1.0) {
+            branch_var = static_cast<std::ptrdiff_t>(link.n_var);
+            break;
+          }
+        }
+      }
+      if (branch_var < 0) {
+        node_done = true;  // node fully resolved; nothing better inside
+        break;
+      }
+      const auto j = static_cast<std::size_t>(branch_var);
+      const double split =
+          std::clamp(std::round(sol.x[j]), node.lower[j], node.upper[j] - 1.0);
+      Node left = node;
+      Node right = node;
+      left.upper[j] = split;
+      right.lower[j] = split + 1.0;
+      left.depth = right.depth = node.depth + 1;
+      queue.push(std::move(left));
+      queue.push(std::move(right));
+      node_done = true;
+      break;
+    }
+  }
+
+  stats.wall_seconds = timer.seconds();
+  stats.best_bound = queue.empty() ? incumbent_obj
+                                   : std::min(queue.best_open_bound(),
+                                              incumbent_obj);
+  if (opts.logger) {
+    std::ostringstream os;
+    os << "done: " << stats.nodes_explored << " nodes, " << stats.lp_solves
+       << " LPs, " << stats.cuts_added << " cuts, "
+       << (have_incumbent ? "objective " + std::to_string(incumbent_obj)
+                          : std::string("no incumbent"));
+    log(os.str());
+  }
+  if (have_incumbent) {
+    out.status = hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kOptimal;
+    out.x = std::move(incumbent_x);
+    out.objective = incumbent_obj;
+  } else {
+    out.status = hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kInfeasible;
+  }
+  return out;
+}
+
+}  // namespace hslb::minlp

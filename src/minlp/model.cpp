@@ -1,0 +1,214 @@
+#include "hslb/minlp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::minlp {
+
+std::size_t Model::add_variable(std::string name, VarType type, double lower,
+                                double upper) {
+  HSLB_REQUIRE(lower <= upper, "variable bounds crossed");
+  if (type == VarType::kBinary) {
+    HSLB_REQUIRE(lower >= 0.0 && upper <= 1.0, "binary bounds must be in [0,1]");
+  }
+  vars_.push_back(Variable{std::move(name), type, lower, upper});
+  obj_coeffs_.push_back(0.0);
+  return vars_.size() - 1;
+}
+
+expr::Expr Model::var(std::size_t index) const {
+  HSLB_REQUIRE(index < vars_.size(), "variable index out of range");
+  return expr::variable(index, vars_[index].name);
+}
+
+void Model::minimize(const expr::Expr& objective) {
+  const auto affine = expr::as_affine(objective, num_vars());
+  if (affine) {
+    obj_coeffs_ = affine->coeffs;
+    obj_offset_ = affine->constant;
+    return;
+  }
+  // Epigraph reformulation: min eta  s.t.  f(x) - eta <= 0.
+  const std::size_t eta =
+      add_variable("_objective_eta", VarType::kContinuous, -lp::kInf, lp::kInf);
+  add_nonlinear(objective - var(eta), 0.0, "_objective_epigraph");
+  obj_coeffs_.assign(num_vars(), 0.0);
+  obj_coeffs_[eta] = 1.0;
+  obj_offset_ = 0.0;
+}
+
+std::size_t Model::add_linear(
+    std::vector<std::pair<std::size_t, double>> terms, double lower,
+    double upper, std::string name) {
+  HSLB_REQUIRE(lower <= upper, "linear constraint bounds crossed");
+  for (const auto& [v, c] : terms) {
+    HSLB_REQUIRE(v < num_vars(), "linear term references unknown variable");
+    (void)c;
+  }
+  linear_.push_back(
+      LinearConstraint{std::move(terms), lower, upper, std::move(name)});
+  return linear_.size() - 1;
+}
+
+std::size_t Model::add_link(std::size_t t_var, std::size_t n_var,
+                            UnivariateFn fn, std::string name) {
+  HSLB_REQUIRE(t_var < num_vars() && n_var < num_vars(),
+               "link references unknown variable");
+  HSLB_REQUIRE(static_cast<bool>(fn.value) && static_cast<bool>(fn.deriv),
+               "link function needs value and derivative callables");
+  links_.push_back(UnivariateLink{t_var, n_var, std::move(fn), std::move(name)});
+  return links_.size() - 1;
+}
+
+std::size_t Model::add_nonlinear(expr::Expr g, double upper, std::string name) {
+  const auto max_var = expr::max_var_index(g);
+  HSLB_REQUIRE(!max_var || *max_var < num_vars(),
+               "nonlinear constraint references unknown variable");
+  nonlinear_.push_back(NonlinearConstraint{std::move(g), upper, std::move(name)});
+  return nonlinear_.size() - 1;
+}
+
+void Model::restrict_to_set(std::size_t target,
+                            const std::vector<double>& values, bool use_sos,
+                            const std::string& name) {
+  HSLB_REQUIRE(target < num_vars(), "restrict_to_set: unknown variable");
+  HSLB_REQUIRE(!values.empty(), "restrict_to_set: empty value set");
+
+  std::vector<std::size_t> binaries;
+  binaries.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    binaries.push_back(add_variable(
+        (name.empty() ? vars_[target].name : name) + "_z" + std::to_string(k),
+        VarType::kBinary, 0.0, 1.0));
+  }
+
+  // Convexity row: sum z_k = 1.
+  std::vector<std::pair<std::size_t, double>> convexity;
+  for (const std::size_t z : binaries) {
+    convexity.emplace_back(z, 1.0);
+  }
+  add_linear(std::move(convexity), 1.0, 1.0, name + "_choose_one");
+
+  // Link row: sum z_k * v_k - target = 0.
+  std::vector<std::pair<std::size_t, double>> link;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    link.emplace_back(binaries[k], values[k]);
+  }
+  link.emplace_back(target, -1.0);
+  add_linear(std::move(link), 0.0, 0.0, name + "_select_value");
+
+  if (use_sos) {
+    add_sos1(std::move(binaries), values, name);
+  }
+}
+
+void Model::add_sos1(std::vector<std::size_t> set_vars,
+                     std::vector<double> weights, std::string name) {
+  HSLB_REQUIRE(set_vars.size() == weights.size(),
+               "SOS1 weights must match member count");
+  HSLB_REQUIRE(set_vars.size() >= 2, "SOS1 set needs at least two members");
+  sos1_.push_back(Sos1Set{std::move(set_vars), std::move(weights), std::move(name)});
+}
+
+double Model::objective_value(std::span<const double> x) const {
+  HSLB_REQUIRE(x.size() >= num_vars(), "point smaller than variable count");
+  double v = obj_offset_;
+  for (std::size_t j = 0; j < num_vars(); ++j) {
+    v += obj_coeffs_[j] * x[j];
+  }
+  return v;
+}
+
+std::optional<std::string> Model::check_feasible(std::span<const double> x,
+                                                 double tol) const {
+  HSLB_REQUIRE(x.size() >= num_vars(), "point smaller than variable count");
+  std::ostringstream why;
+  for (std::size_t j = 0; j < num_vars(); ++j) {
+    const Variable& v = vars_[j];
+    if (x[j] < v.lower - tol || x[j] > v.upper + tol) {
+      why << "variable " << v.name << " = " << x[j] << " outside ["
+          << v.lower << ", " << v.upper << "]";
+      return why.str();
+    }
+    if (v.type != VarType::kContinuous &&
+        std::fabs(x[j] - std::round(x[j])) > tol) {
+      why << "variable " << v.name << " = " << x[j] << " not integral";
+      return why.str();
+    }
+  }
+  for (const LinearConstraint& c : linear_) {
+    double s = 0.0;
+    for (const auto& [v, coef] : c.terms) {
+      s += coef * x[v];
+    }
+    const double scale = std::max(1.0, std::fabs(s));
+    if (s < c.lower - tol * scale || s > c.upper + tol * scale) {
+      why << "linear constraint " << c.name << ": " << s << " outside ["
+          << c.lower << ", " << c.upper << "]";
+      return why.str();
+    }
+  }
+  for (const UnivariateLink& link : links_) {
+    const double t = x[link.t_var];
+    const double fn = link.fn.value(x[link.n_var]);
+    if (std::fabs(t - fn) > tol * std::max(1.0, std::fabs(fn))) {
+      why << "link " << link.name << ": t = " << t << " but fn(n) = " << fn;
+      return why.str();
+    }
+  }
+  for (const NonlinearConstraint& c : nonlinear_) {
+    const double g = expr::eval(c.g, x);
+    if (g > c.upper + tol * std::max(1.0, std::fabs(c.upper))) {
+      why << "nonlinear constraint " << c.name << ": " << g << " > " << c.upper;
+      return why.str();
+    }
+  }
+  return std::nullopt;
+}
+
+UnivariateFn make_univariate(std::function<double(double)> value,
+                             std::function<double(double)> deriv,
+                             Curvature curvature) {
+  UnivariateFn fn;
+  fn.value = std::move(value);
+  fn.deriv = std::move(deriv);
+  fn.curvature = curvature;
+  return fn;
+}
+
+Curvature detect_curvature(const UnivariateFn& fn, double lo, double hi) {
+  HSLB_REQUIRE(lo < hi, "detect_curvature needs a nonempty interval");
+  // Sample midpoint convexity: convex iff f((a+b)/2) <= (f(a)+f(b))/2.
+  constexpr int kSamples = 48;
+  bool convex_ok = true;
+  bool concave_ok = true;
+  for (int i = 0; i < kSamples; ++i) {
+    const double a = lo + (hi - lo) * i / kSamples;
+    const double b = lo + (hi - lo) * (i + 2.0) / (kSamples + 1.0);
+    if (b <= a) {
+      continue;
+    }
+    const double mid = 0.5 * (a + b);
+    const double chord = 0.5 * (fn.value(a) + fn.value(b));
+    const double f = fn.value(mid);
+    const double slack = 1e-9 * (1.0 + std::fabs(f));
+    if (f > chord + slack) {
+      convex_ok = false;
+    }
+    if (f < chord - slack) {
+      concave_ok = false;
+    }
+  }
+  // A linear function passes both tests; call it convex (either is valid).
+  if (convex_ok) {
+    return Curvature::kConvex;
+  }
+  HSLB_REQUIRE(concave_ok,
+               "link function has mixed curvature on the variable's range; "
+               "declare a tighter range or refit with a one-signed model");
+  return Curvature::kConcave;
+}
+
+}  // namespace hslb::minlp

@@ -1,0 +1,218 @@
+#include "hslb/minlp/nlp_bb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/timing.hpp"
+#include "hslb/minlp/relaxation.hpp"
+#include "hslb/nlp/barrier.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+using linalg::Vector;
+
+struct Node {
+  Vector lower;
+  Vector upper;
+  double bound = -lp::kInf;
+  int depth = 0;
+};
+
+/// Continuous relaxation NLP over the node's box.
+nlp::NlpProblem build_node_nlp(const Model& model, const Vector& lo,
+                               const Vector& up) {
+  nlp::NlpProblem relax;
+  const std::size_t n = model.num_vars();
+  relax.num_vars = n;
+  relax.lower = lo;
+  relax.upper = up;
+
+  expr::Expr obj = expr::constant(model.objective_offset());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (model.objective_coeffs()[j] != 0.0) {
+      obj += model.objective_coeffs()[j] * model.var(j);
+    }
+  }
+  relax.objective = obj;
+
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    expr::Expr row = expr::constant(0.0);
+    for (const auto& [v, coef] : c.terms) {
+      row += coef * model.var(v);
+    }
+    const double slack =
+        c.lower == c.upper ? 1e-7 * (1.0 + std::fabs(c.upper)) : 0.0;
+    if (std::isfinite(c.upper)) {
+      relax.constraints.push_back(row - (c.upper + slack));
+    }
+    if (std::isfinite(c.lower)) {
+      relax.constraints.push_back((c.lower - slack) - row);
+    }
+  }
+  for (const UnivariateLink& link : model.links()) {
+    relax.constraints.push_back(link.fn.as_expr(model.var(link.n_var)) -
+                                model.var(link.t_var));
+  }
+  for (const NonlinearConstraint& c : model.nonlinear_constraints()) {
+    relax.constraints.push_back(c.g - c.upper);
+  }
+  return relax;
+}
+
+}  // namespace
+
+MinlpResult solve_nlp_bb(const Model& model, const NlpBbOptions& opts) {
+  HSLB_REQUIRE(model.sos1_sets().empty(),
+               "NLP-BB does not support SOS1 sets; use minlp::solve");
+  for (const UnivariateLink& link : model.links()) {
+    HSLB_REQUIRE(static_cast<bool>(link.fn.as_expr),
+                 "NLP-BB needs a symbolic form for every link");
+  }
+
+  common::WallTimer timer;
+  MinlpResult out;
+  SolveStats& stats = out.stats;
+
+  const std::size_t n = model.num_vars();
+  const std::vector<Curvature> curvature = resolve_curvatures(model);
+  const CutPool empty_pool;
+
+  Node root;
+  root.lower.resize(n);
+  root.upper.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    root.lower[j] = model.variables()[j].lower;
+    root.upper[j] = model.variables()[j].upper;
+  }
+
+  std::deque<Node> stack;
+  stack.push_back(std::move(root));
+
+  bool have_incumbent = false;
+  double incumbent_obj = lp::kInf;
+  Vector incumbent_x;
+  bool hit_node_limit = false;
+
+  const auto cutoff = [&]() {
+    if (!have_incumbent) {
+      return lp::kInf;
+    }
+    return incumbent_obj -
+           std::max(1e-9, opts.rel_gap * std::fabs(incumbent_obj));
+  };
+
+  while (!stack.empty()) {
+    if (stats.nodes_explored >= opts.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++stats.nodes_explored;
+    if (node.bound >= cutoff()) {
+      continue;
+    }
+
+    const nlp::NlpProblem relax = build_node_nlp(model, node.lower, node.upper);
+    const nlp::NlpResult sol = nlp::solve_barrier(relax);
+    ++stats.nlp_solves;
+    if (sol.status == nlp::NlpStatus::kInfeasible) {
+      continue;
+    }
+    if (sol.status != nlp::NlpStatus::kOptimal) {
+      continue;  // treat a failed node solve as pruned (conservative)
+    }
+    node.bound = sol.objective;
+    if (node.bound >= cutoff()) {
+      continue;
+    }
+
+    // Most fractional integer variable.
+    std::ptrdiff_t branch_var = -1;
+    double worst_frac = opts.integer_tol;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (model.variables()[j].type == VarType::kContinuous) {
+        continue;
+      }
+      const double f = std::fabs(sol.x[j] - std::round(sol.x[j]));
+      if (f > worst_frac) {
+        worst_frac = f;
+        branch_var = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: complete exactly and try as incumbent.
+      const auto completion = complete_integer_point(
+          model, empty_pool, curvature, sol.x, node.lower, node.upper);
+      ++stats.lp_solves;
+      if (completion && completion->objective < incumbent_obj) {
+        incumbent_obj = completion->objective;
+        incumbent_x = completion->x;
+        have_incumbent = true;
+      }
+      const bool exact =
+          completion &&
+          completion->objective - node.bound <=
+              std::max(1e-9, opts.rel_gap * std::fabs(completion->objective));
+      if (exact) {
+        continue;
+      }
+      // Residual gap: tighten by splitting the widest link interval.
+      std::ptrdiff_t widest = -1;
+      double width = 0.999;
+      for (const UnivariateLink& link : model.links()) {
+        const double w = node.upper[link.n_var] - node.lower[link.n_var];
+        if (w > width) {
+          width = w;
+          widest = static_cast<std::ptrdiff_t>(link.n_var);
+        }
+      }
+      if (widest < 0) {
+        continue;  // node fully resolved
+      }
+      const auto j = static_cast<std::size_t>(widest);
+      const double split = std::clamp(std::round(sol.x[j]), node.lower[j],
+                                      node.upper[j] - 1.0);
+      Node left = node;
+      Node right = node;
+      left.upper[j] = split;
+      right.lower[j] = split + 1.0;
+      left.depth = right.depth = node.depth + 1;
+      stack.push_back(std::move(left));
+      stack.push_back(std::move(right));
+      continue;
+    }
+
+    const auto j = static_cast<std::size_t>(branch_var);
+    Node down = node;
+    Node up = node;
+    down.upper[j] = std::floor(sol.x[j]);
+    up.lower[j] = std::ceil(sol.x[j]);
+    down.depth = up.depth = node.depth + 1;
+    if (down.lower[j] <= down.upper[j]) {
+      stack.push_back(std::move(down));
+    }
+    if (up.lower[j] <= up.upper[j]) {
+      stack.push_back(std::move(up));
+    }
+  }
+
+  stats.wall_seconds = timer.seconds();
+  stats.best_bound = incumbent_obj;
+  if (have_incumbent) {
+    out.status =
+        hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kOptimal;
+    out.x = std::move(incumbent_x);
+    out.objective = incumbent_obj;
+  } else {
+    out.status =
+        hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kInfeasible;
+  }
+  return out;
+}
+
+}  // namespace hslb::minlp

@@ -1,0 +1,222 @@
+#include "hslb/minlp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/minlp/relaxation.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+/// Round an integer variable's bounds inward.
+void round_integer_bounds(const Variable& var, double& lo, double& hi) {
+  if (var.type == VarType::kContinuous) {
+    return;
+  }
+  if (std::isfinite(lo)) {
+    lo = std::ceil(lo - 1e-9);
+  }
+  if (std::isfinite(hi)) {
+    hi = std::floor(hi + 1e-9);
+  }
+}
+
+/// Apply a candidate new bound; returns true if it tightened meaningfully.
+bool tighten(double& bound, double candidate, bool is_lower) {
+  const double improvement = is_lower ? candidate - bound : bound - candidate;
+  if (improvement > 1e-9 * (1.0 + std::fabs(candidate))) {
+    bound = candidate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FnRange univariate_range(const UnivariateFn& fn, Curvature curvature,
+                         double lo, double hi) {
+  HSLB_REQUIRE(lo <= hi, "univariate_range needs lo <= hi");
+  const double f_lo = fn.value(lo);
+  const double f_hi = fn.value(hi);
+  FnRange range;
+  range.min = std::min(f_lo, f_hi);
+  range.max = std::max(f_lo, f_hi);
+  if (hi - lo < 1e-12) {
+    return range;
+  }
+
+  // One-signed curvature: the only interior extremum is a minimum (convex)
+  // or a maximum (concave); golden-section search finds it.
+  constexpr double kGolden = 0.6180339887498949;
+  const bool seek_min = curvature == Curvature::kConvex;
+  double a = lo;
+  double b = hi;
+  for (int it = 0; it < 80 && b - a > 1e-9 * (1.0 + std::fabs(b)); ++it) {
+    const double x1 = b - kGolden * (b - a);
+    const double x2 = a + kGolden * (b - a);
+    const double f1 = fn.value(x1);
+    const double f2 = fn.value(x2);
+    const bool keep_left = seek_min ? f1 <= f2 : f1 >= f2;
+    if (keep_left) {
+      b = x2;
+    } else {
+      a = x1;
+    }
+  }
+  const double f_star = fn.value(0.5 * (a + b));
+  if (seek_min) {
+    range.min = std::min(range.min, f_star);
+  } else {
+    range.max = std::max(range.max, f_star);
+  }
+  return range;
+}
+
+PresolveResult presolve(const Model& model, int max_rounds) {
+  const std::size_t n = model.num_vars();
+  PresolveResult out;
+  out.lower.resize(n);
+  out.upper.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.lower[j] = model.variables()[j].lower;
+    out.upper[j] = model.variables()[j].upper;
+    round_integer_bounds(model.variables()[j], out.lower[j], out.upper[j]);
+    if (out.lower[j] > out.upper[j] + kFeasTol) {
+      out.infeasible = true;
+      return out;
+    }
+  }
+
+  const std::vector<Curvature> curvature = resolve_curvatures(model);
+
+  for (int round = 0; round < max_rounds; ++round) {
+    out.rounds = round + 1;
+    bool changed = false;
+
+    // --- Activity-based propagation over linear rows. -----------------------
+    for (const LinearConstraint& c : model.linear_constraints()) {
+      // Row activity bounds from current variable bounds.
+      double min_activity = 0.0;
+      double max_activity = 0.0;
+      int min_infinities = 0;
+      int max_infinities = 0;
+      for (const auto& [v, a] : c.terms) {
+        const double lo_contrib = a > 0.0 ? a * out.lower[v] : a * out.upper[v];
+        const double hi_contrib = a > 0.0 ? a * out.upper[v] : a * out.lower[v];
+        if (std::isfinite(lo_contrib)) {
+          min_activity += lo_contrib;
+        } else {
+          ++min_infinities;
+        }
+        if (std::isfinite(hi_contrib)) {
+          max_activity += hi_contrib;
+        } else {
+          ++max_infinities;
+        }
+      }
+      // Infeasibility: the whole row's best case violates a side.
+      if (min_infinities == 0 && min_activity > c.upper + 1e-7 *
+                                                    (1.0 + std::fabs(c.upper))) {
+        out.infeasible = true;
+        return out;
+      }
+      if (max_infinities == 0 && max_activity < c.lower - 1e-7 *
+                                                    (1.0 + std::fabs(c.lower))) {
+        out.infeasible = true;
+        return out;
+      }
+
+      // Per-variable tightening.
+      for (const auto& [v, a] : c.terms) {
+        if (a == 0.0) {
+          continue;
+        }
+        const double lo_contrib =
+            a > 0.0 ? a * out.lower[v] : a * out.upper[v];
+        const double hi_contrib =
+            a > 0.0 ? a * out.upper[v] : a * out.lower[v];
+
+        // Residual activity of the other variables.
+        const bool rest_min_finite =
+            min_infinities == 0 ||
+            (min_infinities == 1 && !std::isfinite(lo_contrib));
+        const bool rest_max_finite =
+            max_infinities == 0 ||
+            (max_infinities == 1 && !std::isfinite(hi_contrib));
+        const double rest_min =
+            min_activity - (std::isfinite(lo_contrib) ? lo_contrib : 0.0);
+        const double rest_max =
+            max_activity - (std::isfinite(hi_contrib) ? hi_contrib : 0.0);
+
+        double new_lo = out.lower[v];
+        double new_hi = out.upper[v];
+        if (std::isfinite(c.upper) && rest_min_finite) {
+          // a * x <= U - rest_min.
+          const double slack = c.upper - rest_min;
+          if (a > 0.0) {
+            new_hi = std::min(new_hi, slack / a);
+          } else {
+            new_lo = std::max(new_lo, slack / a);
+          }
+        }
+        if (std::isfinite(c.lower) && rest_max_finite) {
+          // a * x >= L - rest_max.
+          const double slack = c.lower - rest_max;
+          if (a > 0.0) {
+            new_lo = std::max(new_lo, slack / a);
+          } else {
+            new_hi = std::min(new_hi, slack / a);
+          }
+        }
+        round_integer_bounds(model.variables()[v], new_lo, new_hi);
+        changed |= tighten(out.lower[v], new_lo, /*is_lower=*/true);
+        changed |= tighten(out.upper[v], new_hi, /*is_lower=*/false);
+        if (out.lower[v] > out.upper[v] + kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+      }
+    }
+
+    // --- Forward propagation through links: t in fn([lo(n), up(n)]). --------
+    for (std::size_t li = 0; li < model.links().size(); ++li) {
+      const UnivariateLink& link = model.links()[li];
+      const double n_lo = out.lower[link.n_var];
+      const double n_hi = out.upper[link.n_var];
+      if (!std::isfinite(n_lo) || !std::isfinite(n_hi)) {
+        continue;
+      }
+      const FnRange range =
+          univariate_range(link.fn, curvature[li], n_lo, n_hi);
+      if (!std::isfinite(range.min) || !std::isfinite(range.max)) {
+        continue;
+      }
+      changed |= tighten(out.lower[link.t_var], range.min, /*is_lower=*/true);
+      changed |= tighten(out.upper[link.t_var], range.max, /*is_lower=*/false);
+      if (out.lower[link.t_var] > out.upper[link.t_var] + kFeasTol) {
+        out.infeasible = true;
+        return out;
+      }
+    }
+
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Count the final tightenings against the original model bounds.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (out.lower[j] > model.variables()[j].lower + 1e-12) {
+      ++out.tightenings;
+    }
+    if (out.upper[j] < model.variables()[j].upper - 1e-12) {
+      ++out.tightenings;
+    }
+  }
+  return out;
+}
+
+}  // namespace hslb::minlp

@@ -1,0 +1,148 @@
+#include "hslb/nlp/levenberg_marquardt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/linalg/factor.hpp"
+
+namespace hslb::nlp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector clamp_to_box(std::span<const double> x, std::span<const double> lo,
+                    std::span<const double> up) {
+  Vector out(x.begin(), x.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::clamp(out[i], lo[i], up[i]);
+  }
+  return out;
+}
+
+/// Forward-difference Jacobian fallback.
+void numeric_jacobian(const ResidualFn& fn, std::span<const double> theta,
+                      const Vector& r0, Matrix& jac) {
+  Vector perturbed(theta.begin(), theta.end());
+  Vector r(r0.size());
+  for (std::size_t j = 0; j < theta.size(); ++j) {
+    const double h = 1e-7 * std::max(1.0, std::fabs(theta[j]));
+    perturbed[j] = theta[j] + h;
+    fn(perturbed, r, nullptr);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      jac(i, j) = (r[i] - r0[i]) / h;
+    }
+    perturbed[j] = theta[j];
+  }
+}
+
+}  // namespace
+
+LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
+                     std::span<const double> lower,
+                     std::span<const double> upper,
+                     std::size_t num_residuals, const LmOptions& options) {
+  const std::size_t n = theta0.size();
+  HSLB_REQUIRE(lower.size() == n && upper.size() == n,
+               "LM bound sizes must match parameter count");
+  HSLB_REQUIRE(num_residuals >= 1, "LM needs at least one residual");
+
+  LmResult out;
+  out.theta = clamp_to_box(theta0, lower, upper);
+
+  Vector r(num_residuals);
+  Matrix jac(num_residuals, n);
+
+  // Detect whether the callback provides an analytic Jacobian: call once
+  // with a poisoned matrix and see if it was written.
+  bool analytic = true;
+  {
+    Matrix probe(num_residuals, n,
+                 std::numeric_limits<double>::quiet_NaN());
+    fn(out.theta, r, &probe);
+    analytic = !std::isnan(probe(0, 0));
+    if (analytic) {
+      jac = probe;
+    } else {
+      numeric_jacobian(fn, out.theta, r, jac);
+    }
+  }
+  out.cost = 0.5 * linalg::dot(r, r);
+
+  double lambda = options.initial_lambda;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+
+    const Vector grad = linalg::matvec_t(jac, r);  // J^T r
+    if (linalg::norm_inf(grad) < options.gradient_tol) {
+      out.converged = true;
+      break;
+    }
+
+    const Matrix jtj = linalg::gram(jac);
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 30 && !stepped; ++attempt) {
+      // Solve (J^T J + lambda * diag(J^T J)) delta = -J^T r.
+      Matrix damped = jtj;
+      for (std::size_t i = 0; i < n; ++i) {
+        damped(i, i) += lambda * std::max(jtj(i, i), 1e-12);
+      }
+      const auto chol = linalg::CholeskyFactor::compute(damped);
+      if (!chol) {
+        lambda *= 10.0;
+        continue;
+      }
+      Vector delta = chol->solve(grad);
+      for (double& d : delta) {
+        d = -d;
+      }
+
+      Vector trial(out.theta);
+      linalg::axpy(1.0, delta, trial);
+      trial = clamp_to_box(trial, lower, upper);
+
+      Vector step = linalg::subtract(trial, out.theta);
+      if (linalg::norm2(step) <
+          options.step_tol * (1.0 + linalg::norm2(out.theta))) {
+        out.converged = true;
+        stepped = true;
+        break;
+      }
+
+      Vector r_trial(num_residuals);
+      fn(trial, r_trial, nullptr);
+      const double cost_trial = 0.5 * linalg::dot(r_trial, r_trial);
+
+      if (cost_trial < out.cost) {
+        out.theta = trial;
+        out.cost = cost_trial;
+        r = r_trial;
+        if (analytic) {
+          fn(out.theta, r, &jac);
+        } else {
+          numeric_jacobian(fn, out.theta, r, jac);
+        }
+        lambda = std::max(lambda * 0.3, 1e-12);
+        stepped = true;
+      } else {
+        lambda *= 10.0;
+        if (lambda > 1e14) {
+          out.converged = true;  // damping saturated: local minimum
+          stepped = true;
+        }
+      }
+    }
+    if (out.converged) {
+      break;
+    }
+    if (!stepped) {
+      break;  // could not make progress
+    }
+  }
+  return out;
+}
+
+}  // namespace hslb::nlp

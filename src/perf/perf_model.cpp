@@ -1,0 +1,85 @@
+#include "hslb/perf/perf_model.hpp"
+
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::perf {
+
+PerfModel::PerfModel(PerfParams params) : params_(params) {
+  HSLB_REQUIRE(params.a >= 0.0 && params.b >= 0.0 && params.d >= 0.0,
+               "performance parameters a, b, d must be nonnegative (Table II)");
+  HSLB_REQUIRE(params.c >= 0.0, "exponent c must be nonnegative (Table II)");
+}
+
+double PerfModel::operator()(double n) const {
+  HSLB_REQUIRE(n > 0.0, "performance model needs n > 0");
+  return scalable_term(n) + nonlinear_term(n) + serial_term();
+}
+
+double PerfModel::deriv(double n) const {
+  HSLB_REQUIRE(n > 0.0, "performance model needs n > 0");
+  double d = -params_.a / (n * n);
+  if (params_.b > 0.0) {
+    d += params_.b * params_.c * std::pow(n, params_.c - 1.0);
+  }
+  return d;
+}
+
+double PerfModel::scalable_term(double n) const {
+  return params_.a / n;
+}
+
+double PerfModel::nonlinear_term(double n) const {
+  return params_.b == 0.0 ? 0.0 : params_.b * std::pow(n, params_.c);
+}
+
+double PerfModel::serial_term() const {
+  return params_.d;
+}
+
+expr::Expr PerfModel::as_expr(const expr::Expr& n) const {
+  expr::Expr t = params_.a / n + params_.d;
+  if (params_.b > 0.0) {
+    t += params_.b * expr::pow(n, params_.c);
+  }
+  return t;
+}
+
+minlp::UnivariateFn PerfModel::as_univariate() const {
+  minlp::UnivariateFn fn;
+  const PerfModel copy = *this;
+  fn.value = [copy](double n) { return copy(n); };
+  fn.deriv = [copy](double n) { return copy.deriv(n); };
+  fn.as_expr = [copy](const expr::Expr& n) { return copy.as_expr(n); };
+  fn.curvature =
+      is_convex() ? minlp::Curvature::kConvex : minlp::Curvature::kAuto;
+  return fn;
+}
+
+bool PerfModel::is_convex() const {
+  return params_.b == 0.0 || params_.c >= 1.0;
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  HSLB_REQUIRE(observed.size() == predicted.size() && !observed.empty(),
+               "r_squared needs matching nonempty series");
+  double mean = 0.0;
+  for (const double y : observed) {
+    mean += y;
+  }
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace hslb::perf

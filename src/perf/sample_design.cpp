@@ -1,0 +1,59 @@
+#include "hslb/perf/sample_design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::perf {
+
+std::vector<int> design_benchmark_nodes(int min_nodes, int max_nodes,
+                                        int count) {
+  HSLB_REQUIRE(min_nodes >= 1, "min_nodes must be >= 1");
+  HSLB_REQUIRE(max_nodes >= min_nodes, "max_nodes must be >= min_nodes");
+  HSLB_REQUIRE(count >= 2, "need at least two design points");
+
+  std::vector<int> nodes;
+  const double llo = std::log(static_cast<double>(min_nodes));
+  const double lhi = std::log(static_cast<double>(max_nodes));
+  for (int i = 0; i < count; ++i) {
+    const double f = count == 1 ? 0.0 : static_cast<double>(i) / (count - 1);
+    nodes.push_back(
+        static_cast<int>(std::lround(std::exp(llo + (lhi - llo) * f))));
+  }
+  nodes.front() = min_nodes;
+  nodes.back() = max_nodes;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<int> snap_to_allowed(const std::vector<int>& designed,
+                                 const std::vector<int>& allowed) {
+  HSLB_REQUIRE(!allowed.empty(), "allowed set must be nonempty");
+  std::vector<int> sorted_allowed = allowed;
+  std::sort(sorted_allowed.begin(), sorted_allowed.end());
+
+  std::vector<int> out;
+  for (const int n : designed) {
+    const auto it =
+        std::lower_bound(sorted_allowed.begin(), sorted_allowed.end(), n);
+    int best;
+    if (it == sorted_allowed.end()) {
+      best = sorted_allowed.back();
+    } else if (it == sorted_allowed.begin()) {
+      best = sorted_allowed.front();
+    } else {
+      const int above = *it;
+      const int below = *(it - 1);
+      best = (std::abs(above - n) < std::abs(n - below)) ? above : below;
+    }
+    out.push_back(best);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace hslb::perf

@@ -1,0 +1,190 @@
+// Tests for the AMPL-lite reader/writer.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/layout_model.hpp"
+#include "hslb/minlp/ampl.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+TEST(AmplExpr, ParsesArithmetic) {
+  const std::vector<std::string> vars{"x", "y"};
+  const linalg::Vector at{3.0, 2.0};
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("2 * x + y", vars), at), 8.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("x - y - 1", vars), at), 0.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("x * (y + 1)", vars), at),
+                   9.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("x / y", vars), at), 1.5);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("x ^ 2", vars), at), 9.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("-x + 5", vars), at), 2.0);
+  EXPECT_NEAR(expr::eval(parse_expression("exp(log(x))", vars), at), 3.0,
+              1e-12);
+}
+
+TEST(AmplExpr, PrecedenceAndAssociativity) {
+  const std::vector<std::string> vars{"x"};
+  const linalg::Vector at{2.0};
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("1 + 2 * x", vars), at), 5.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("8 / 2 / x", vars), at), 2.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("2 ^ 3 ^ 1", vars), at), 8.0);
+  EXPECT_DOUBLE_EQ(expr::eval(parse_expression("10 - 2 - 3", vars), at), 5.0);
+}
+
+TEST(AmplExpr, ScientificNotation) {
+  const std::vector<std::string> vars{};
+  EXPECT_DOUBLE_EQ(
+      expr::eval(parse_expression("1.5e3 + 2.5e-1", vars), linalg::Vector{}),
+      1500.25);
+}
+
+TEST(AmplExpr, Errors) {
+  const std::vector<std::string> vars{"x"};
+  EXPECT_THROW((void)parse_expression("x + unknown", vars), InvalidArgument);
+  EXPECT_THROW((void)parse_expression("(x + 1", vars), InvalidArgument);
+  EXPECT_THROW((void)parse_expression("x 3", vars), InvalidArgument);
+}
+
+TEST(AmplModel, ParsesTheQuickstartModel) {
+  const std::string text = R"(
+    # min T s.t. T >= 100/n + 0.5 n, n integer
+    var T >= 0;
+    var n integer >= 1 <= 100;
+    var t >= 0;
+    minimize obj: T;
+    s.t. time_law: t = 100 / n + 0.5 * n;   # becomes a link
+    s.t. bound: T >= t;
+  )";
+  Model model = parse_ampl(text);
+  EXPECT_EQ(model.num_vars(), 3u);
+  ASSERT_EQ(model.links().size(), 1u);
+  EXPECT_EQ(model.linear_constraints().size(), 1u);
+
+  const auto result = solve(model);
+  ASSERT_EQ(result.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 100.0 / 14.0 + 7.0, 1e-6);
+}
+
+TEST(AmplModel, LinkDetectionRequiresSingleForeignVariable) {
+  const std::string text = R"(
+    var a >= 0 <= 10;
+    var b >= 0 <= 10;
+    var c >= 0 <= 10;
+    minimize obj: a;
+    s.t. not_a_link: a = b * c;   # two foreign vars: stays nonlinear
+  )";
+  const Model model = parse_ampl(text);
+  EXPECT_TRUE(model.links().empty());
+  EXPECT_EQ(model.nonlinear_constraints().size(), 2u);  // both sides
+}
+
+TEST(AmplModel, RangeRowsAndSetStatement) {
+  const std::string text = R"(
+    var x integer >= 0 <= 100;
+    var y integer >= 0 <= 100;
+    minimize obj: x + y;
+    s.t. band: 3 <= x + y <= 9;
+    set xs: x in {2, 5, 11};
+  )";
+  Model model = parse_ampl(text);
+  // restrict_to_set adds binaries + convexity/value rows + SOS.
+  EXPECT_EQ(model.sos1_sets().size(), 1u);
+  const auto result = solve(model);
+  ASSERT_EQ(result.status, MinlpStatus::kOptimal);
+  // Optimum: x = 2 (smallest member), y = 1 to reach the band floor.
+  EXPECT_NEAR(result.objective, 3.0, 1e-7);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-6);
+}
+
+TEST(AmplModel, NegativeBoundsParse) {
+  const std::string text = R"(
+    var x >= -5 <= -1;
+    minimize obj: x;
+  )";
+  const Model model = parse_ampl(text);
+  EXPECT_DOUBLE_EQ(model.variables()[0].lower, -5.0);
+  EXPECT_DOUBLE_EQ(model.variables()[0].upper, -1.0);
+}
+
+TEST(AmplModel, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_ampl("var x >= 0;\nnonsense y;\n");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)parse_ampl(""), InvalidArgument);
+  EXPECT_THROW((void)parse_ampl("var x >= 0; var x <= 1;"), InvalidArgument);
+}
+
+TEST(AmplRoundTrip, SimpleMinlp) {
+  Model original;
+  const auto T =
+      original.add_variable("T", VarType::kContinuous, 0.0, 1e9);
+  const auto n = original.add_variable("n", VarType::kInteger, 1.0, 100.0);
+  const auto t =
+      original.add_variable("t", VarType::kContinuous, 0.0, 1e9);
+  auto fn = make_univariate(
+      [](double v) { return 100.0 / v + 0.5 * v; },
+      [](double v) { return -100.0 / (v * v) + 0.5; }, Curvature::kConvex);
+  fn.as_expr = [](const expr::Expr& v) { return 100.0 / v + 0.5 * v; };
+  original.add_link(t, n, fn, "law");
+  original.add_linear({{T, 1.0}, {t, -1.0}}, 0.0, lp::kInf, "T>=t");
+  original.minimize(original.var(T));
+
+  const std::string text = write_ampl(original);
+  Model reparsed = parse_ampl(text);
+  EXPECT_EQ(reparsed.num_vars(), original.num_vars());
+  EXPECT_EQ(reparsed.links().size(), original.links().size());
+
+  const auto r1 = solve(original);
+  const auto r2 = solve(reparsed);
+  ASSERT_EQ(r1.status, MinlpStatus::kOptimal);
+  ASSERT_EQ(r2.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-7);
+}
+
+TEST(AmplRoundTrip, FullLayoutModel) {
+  // The paper's actual Table I model survives a write/parse/solve loop.
+  core::LayoutModelSpec spec;
+  spec.layout = cesm::LayoutKind::kHybrid;
+  spec.total_nodes = 64;
+  spec.perf[cesm::ComponentKind::kAtm] =
+      perf::PerfModel(perf::PerfParams{27000.0, 0.0, 1.0, 45.0});
+  spec.perf[cesm::ComponentKind::kOcn] =
+      perf::PerfModel(perf::PerfParams{7800.0, 0.0, 1.0, 41.0});
+  spec.perf[cesm::ComponentKind::kIce] =
+      perf::PerfModel(perf::PerfParams{7400.0, 0.0, 1.0, 12.0});
+  spec.perf[cesm::ComponentKind::kLnd] =
+      perf::PerfModel(perf::PerfParams{1480.0, 0.0, 1.0, 2.0});
+  spec.ocn_allowed = {4, 8, 16, 24};
+  spec.tsync = 30.0;
+  const minlp::Model original = core::build_layout_model(spec, nullptr);
+
+  const std::string text = write_ampl(original);
+  Model reparsed = parse_ampl(text);
+
+  const auto r1 = solve(original);
+  const auto r2 = solve(reparsed);
+  ASSERT_EQ(r1.status, MinlpStatus::kOptimal);
+  ASSERT_EQ(r2.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-5 * (1.0 + r1.objective));
+}
+
+TEST(AmplWriter, OutputMentionsEveryVariable) {
+  Model m;
+  (void)m.add_variable("alpha", VarType::kContinuous, 0.0, 1.0);
+  (void)m.add_variable("beta", VarType::kBinary, 0.0, 1.0);
+  m.minimize(m.var(0));
+  const std::string text = write_ampl(m);
+  EXPECT_NE(text.find("var alpha"), std::string::npos);
+  EXPECT_NE(text.find("var beta binary"), std::string::npos);
+  EXPECT_NE(text.find("minimize obj"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hslb::minlp

@@ -1,0 +1,229 @@
+// Tests for layouts, the coupled driver, and benchmark campaigns.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/cesm/driver.hpp"
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+TEST(Layout, FactoryAndAccess) {
+  const Layout l = Layout::hybrid(80, 24, 104, 24);
+  EXPECT_EQ(l.kind, LayoutKind::kHybrid);
+  EXPECT_EQ(l.at(ComponentKind::kIce), 80);
+  EXPECT_EQ(l.at(ComponentKind::kOcn), 24);
+  EXPECT_EQ(l.footprint(), 128);
+}
+
+TEST(Layout, HybridNestingConstraints) {
+  // ice + lnd must fit under atm; atm + ocn must fit the machine.
+  EXPECT_FALSE(Layout::hybrid(80, 24, 104, 24).invalid_reason(128));
+  EXPECT_TRUE(Layout::hybrid(90, 24, 104, 24).invalid_reason(128));
+  EXPECT_TRUE(Layout::hybrid(80, 24, 110, 24).invalid_reason(128));
+}
+
+TEST(Layout, SequentialGroupConstraints) {
+  EXPECT_FALSE(Layout::sequential_group(100, 100, 100, 28).invalid_reason(128));
+  EXPECT_TRUE(Layout::sequential_group(101, 100, 100, 28).invalid_reason(128));
+}
+
+TEST(Layout, FullySequentialConstraints) {
+  EXPECT_FALSE(
+      Layout::fully_sequential(128, 128, 128, 128).invalid_reason(128));
+  EXPECT_TRUE(
+      Layout::fully_sequential(129, 128, 128, 128).invalid_reason(128));
+}
+
+TEST(Layout, RejectsZeroNodes) {
+  EXPECT_THROW((void)Layout::hybrid(0, 1, 2, 1), InvalidArgument);
+}
+
+TEST(CombineTimes, MatchesTableIExpressions) {
+  // Layout 1: max(max(ice, lnd) + atm, ocn).
+  EXPECT_DOUBLE_EQ(combine_times(LayoutKind::kHybrid, 10, 8, 30, 35), 40.0);
+  EXPECT_DOUBLE_EQ(combine_times(LayoutKind::kHybrid, 10, 8, 30, 45), 45.0);
+  // Layout 2: max(ice + lnd + atm, ocn).
+  EXPECT_DOUBLE_EQ(combine_times(LayoutKind::kSequentialGroup, 10, 8, 30, 45),
+                   48.0);
+  // Layout 3: plain sum.
+  EXPECT_DOUBLE_EQ(combine_times(LayoutKind::kFullySequential, 10, 8, 30, 45),
+                   93.0);
+}
+
+TEST(Driver, DeterministicInSeed) {
+  const CaseConfig config = one_degree_case();
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+  const RunResult a = run_case(config, layout, 42);
+  const RunResult b = run_case(config, layout, 42);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.model_seconds, b.model_seconds);
+  const RunResult c = run_case(config, layout, 43);
+  EXPECT_NE(a.total_seconds, c.total_seconds);
+}
+
+TEST(Driver, ComponentTimersNearTruth) {
+  const CaseConfig config = one_degree_case();
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+  const RunResult run = run_case(config, layout, 7);
+  for (const ComponentKind kind : kModeledComponents) {
+    const double truth = config.component(kind).true_time(layout.at(kind));
+    EXPECT_NEAR(run.component_seconds.at(kind), truth, 0.08 * truth)
+        << to_string(kind);
+  }
+}
+
+TEST(Driver, ModelTimeMatchesCombinedTimers) {
+  // Day-level synchronization means model_seconds >= the combination of the
+  // component totals (waits absorb the per-day scatter), but only slightly.
+  const CaseConfig config = one_degree_case();
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+  const RunResult run = run_case(config, layout, 11);
+  const double combined = combine_times(
+      layout.kind, run.component_seconds.at(ComponentKind::kIce),
+      run.component_seconds.at(ComponentKind::kLnd),
+      run.component_seconds.at(ComponentKind::kAtm),
+      run.component_seconds.at(ComponentKind::kOcn));
+  EXPECT_GE(run.model_seconds, combined - 1e-9);
+  EXPECT_LE(run.model_seconds, combined * 1.10);
+}
+
+TEST(Driver, TotalIncludesCouplerOverhead) {
+  const CaseConfig config = one_degree_case();
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+  const RunResult run = run_case(config, layout, 3);
+  EXPECT_GT(run.total_seconds, run.model_seconds);
+  EXPECT_GT(run.component_seconds.at(ComponentKind::kCpl), 0.0);
+  EXPECT_GT(run.component_seconds.at(ComponentKind::kRof), 0.0);
+}
+
+TEST(Driver, RejectsOverfullLayout) {
+  const CaseConfig config = one_degree_case();
+  const Layout layout = Layout::hybrid(80, 24, 104, 99999);
+  EXPECT_THROW((void)run_case(config, layout, 1), InvalidArgument);
+}
+
+TEST(Driver, MoreNodesFasterRun) {
+  const CaseConfig config = one_degree_case();
+  const RunResult small = run_case(config, Layout::hybrid(60, 20, 80, 24), 5);
+  const RunResult large =
+      run_case(config, Layout::hybrid(600, 200, 800, 240), 5);
+  EXPECT_LT(large.model_seconds, small.model_seconds);
+}
+
+TEST(Driver, SubDailyCouplingCostsSyncTime) {
+  // With 48 exchanges per day (the real CESM cadence), every step's noise
+  // becomes a synchronization point, so the wall clock can only grow while
+  // the component timers stay near the same totals.
+  CaseConfig coarse = one_degree_case();
+  CaseConfig fine = one_degree_case();
+  fine.coupling_steps_per_day = 48;
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+
+  double coarse_total = 0.0;
+  double fine_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    coarse_total += run_case(coarse, layout, seed).total_seconds;
+    fine_total += run_case(fine, layout, seed).total_seconds;
+  }
+  EXPECT_GT(fine_total, coarse_total);
+  EXPECT_LT(fine_total, coarse_total * 1.10) << "sync waste stays small";
+
+  // Component busy-time totals stay statistically unchanged.
+  const RunResult fine_run = run_case(fine, layout, 3);
+  for (const ComponentKind kind : kModeledComponents) {
+    const double truth = fine.component(kind).true_time(layout.at(kind));
+    EXPECT_NEAR(fine_run.component_seconds.at(kind), truth, 0.05 * truth);
+  }
+}
+
+TEST(Driver, RejectsNonpositiveCouplingSteps) {
+  CaseConfig config = one_degree_case();
+  config.coupling_steps_per_day = 0;
+  EXPECT_THROW((void)run_case(config, Layout::hybrid(80, 24, 104, 24), 1),
+               InvalidArgument);
+}
+
+TEST(Driver, TimingFileRendersAllComponents) {
+  const CaseConfig config = one_degree_case();
+  const RunResult run = run_case(config, Layout::hybrid(80, 24, 104, 24), 1);
+  const std::string text = render_timing_file(config, run);
+  for (const char* name : {"atm", "ocn", "ice", "lnd", "rof", "cpl"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("layout-1"), std::string::npos);
+}
+
+// --- Campaigns -----------------------------------------------------------------
+
+TEST(Campaign, ReferenceLayoutIsValid) {
+  const CaseConfig config = one_degree_case();
+  for (const int total : {64, 128, 512, 2048}) {
+    const Layout layout =
+        reference_layout(config, LayoutKind::kHybrid, total);
+    EXPECT_FALSE(layout.invalid_reason(total))
+        << "total=" << total << ": "
+        << *layout.invalid_reason(total);
+  }
+}
+
+TEST(Campaign, GathersSamplesForEveryComponent) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 256, 512, 1024, 2048};
+  const CampaignResult campaign =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 9);
+  EXPECT_EQ(campaign.runs.size(), totals.size());
+  for (const ComponentKind kind : kModeledComponents) {
+    const Series series = series_for(campaign.samples, kind);
+    EXPECT_EQ(series.nodes.size(), totals.size()) << to_string(kind);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossCalls) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 512, 2048};
+  const auto a = gather_benchmarks(config, LayoutKind::kHybrid, totals, 4);
+  const auto b = gather_benchmarks(config, LayoutKind::kHybrid, totals, 4);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].seconds, b.samples[i].seconds);
+  }
+}
+
+TEST(Campaign, CsvRoundTrip) {
+  const CaseConfig config = one_degree_case();
+  const auto campaign = gather_benchmarks(config, LayoutKind::kHybrid,
+                                          std::vector<int>{128, 512}, 4);
+  const std::string csv = samples_to_csv(campaign.samples);
+  EXPECT_NE(csv.find("component,nodes,seconds"), std::string::npos);
+  const auto parsed = samples_from_csv(csv);
+  ASSERT_EQ(parsed.size(), campaign.samples.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, campaign.samples[i].kind);
+    EXPECT_EQ(parsed[i].nodes, campaign.samples[i].nodes);
+    EXPECT_DOUBLE_EQ(parsed[i].seconds, campaign.samples[i].seconds);
+  }
+}
+
+TEST(Campaign, CsvRejectsMalformedInput) {
+  EXPECT_THROW((void)samples_from_csv("atm,12"), InvalidArgument);
+  EXPECT_THROW((void)samples_from_csv("mars,12,1.5"), InvalidArgument);
+  EXPECT_THROW((void)samples_from_csv("atm,-3,1.5"), InvalidArgument);
+  EXPECT_TRUE(samples_from_csv("component,nodes,seconds\n").empty());
+}
+
+TEST(Campaign, SamplesSpanTheRange) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 2048};
+  const auto campaign =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 4);
+  const Series atm = series_for(campaign.samples, ComponentKind::kAtm);
+  const double lo = *std::min_element(atm.nodes.begin(), atm.nodes.end());
+  const double hi = *std::max_element(atm.nodes.begin(), atm.nodes.end());
+  EXPECT_GT(hi / lo, 8.0) << "atm samples must cover a wide node range";
+}
+
+}  // namespace
+}  // namespace hslb::cesm

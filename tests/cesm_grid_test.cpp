@@ -1,0 +1,121 @@
+// Tests for grids, decompositions, and the machine model.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "hslb/cesm/decomposition.hpp"
+#include "hslb/cesm/grid.hpp"
+#include "hslb/cesm/machine.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+TEST(Grid, PaperGridSizes) {
+  EXPECT_EQ(fv_one_degree().cells(), 288 * 192);
+  EXPECT_EQ(pop_gx1().cells(), 320 * 384);
+  EXPECT_EQ(pop_tx01().cells(), 3600LL * 2400LL);
+  EXPECT_EQ(se_ne240().cells(), 6LL * 240LL * 240LL);
+  EXPECT_EQ(se_ne240().kind, GridKind::kSpectralElement);
+}
+
+TEST(Grid, KindNames) {
+  EXPECT_STREQ(to_string(GridKind::kFiniteVolume), "finite-volume");
+  EXPECT_STREQ(to_string(GridKind::kTripole), "tripole");
+}
+
+TEST(Machine, IntrepidShape) {
+  const Machine m = intrepid();
+  EXPECT_EQ(m.total_nodes, 40960);
+  EXPECT_EQ(m.cores_per_node, 4);
+  EXPECT_EQ(m.total_cores(), 163840);  // the paper's 131,072 run used 32,768 nodes
+  EXPECT_EQ(m.cores(32768), 131072);
+  EXPECT_EQ(m.mpi_tasks_per_node * m.threads_per_task, m.cores_per_node);
+}
+
+TEST(Decomposition, OneDegreeAtmSetMatchesPaper) {
+  // A = {1, 2, ..., 1638, 1664}.
+  const auto a = atm_allowed_one_degree(40960);
+  ASSERT_EQ(a.size(), 1639u);
+  EXPECT_EQ(a.front(), 1);
+  EXPECT_EQ(a[1637], 1638);
+  EXPECT_EQ(a.back(), 1664);
+  // Truncation keeps only members that fit.
+  const auto small = atm_allowed_one_degree(100);
+  EXPECT_EQ(small.back(), 100);
+}
+
+TEST(Decomposition, OneDegreeOcnSetMatchesPaper) {
+  // O = {2, 4, ..., 480, 768}.
+  const auto o = ocn_allowed_one_degree(40960);
+  EXPECT_EQ(o.front(), 2);
+  EXPECT_EQ(o[o.size() - 2], 480);
+  EXPECT_EQ(o.back(), 768);
+  for (std::size_t i = 0; i + 1 < o.size(); ++i) {
+    EXPECT_EQ(o[i] % 2, 0);
+  }
+}
+
+TEST(Decomposition, EighthDegreeOcnSetMatchesPaper) {
+  const auto o = ocn_allowed_eighth_degree(40960);
+  EXPECT_EQ(o, (std::vector<int>{480, 512, 2356, 3136, 4564, 6124, 19460}));
+  // Truncated at 8192 the large counts disappear.
+  const auto o_small = ocn_allowed_eighth_degree(8192);
+  EXPECT_EQ(o_small.back(), 6124);
+}
+
+TEST(Decomposition, EighthDegreeAtmSetQuasiDense) {
+  const auto a = atm_allowed_eighth_degree(32768);
+  EXPECT_GE(a.size(), 1000u);
+  for (const int v : a) {
+    EXPECT_EQ(v % 4, 0);
+    EXPECT_LE(v, 32768);
+  }
+}
+
+TEST(Decomposition, EvenDecompositionCounts) {
+  // 96 cells over 4-core nodes: n=1 (24/core), n=2 (12/core), n=3 (8/core),
+  // n=4 (6/core), n=6, n=8, n=12, n=24 are exactly even.
+  const auto counts = even_decomposition_counts(96, 24, 4, 0.0);
+  for (const int n : {1, 2, 3, 4, 6, 8, 12, 24}) {
+    EXPECT_NE(std::find(counts.begin(), counts.end(), n), counts.end())
+        << "n=" << n;
+  }
+  // n=5 -> 96/20 = 4.8, ceil 5, imbalance 4%: excluded at tol 0.
+  EXPECT_EQ(std::find(counts.begin(), counts.end(), 5), counts.end());
+}
+
+TEST(Decomposition, EvenDecompositionStopsAtCellCount) {
+  const auto counts = even_decomposition_counts(16, 100, 4, 0.5);
+  // More cores than cells is never allowed: max n = 4 (16 cells / 4 cores).
+  EXPECT_LE(counts.back(), 4);
+}
+
+TEST(IceDecomposition, DefaultIsDeterministic) {
+  for (const int n : {10, 100, 1000}) {
+    EXPECT_EQ(default_ice_decomposition(n), default_ice_decomposition(n));
+  }
+}
+
+TEST(IceDecomposition, DefaultVariesAcrossCounts) {
+  // Over many counts, several strategies must appear (this is what makes
+  // the sea-ice curve noisy in the paper).
+  std::set<IceDecomposition> seen;
+  for (int n = 1; n <= 200; ++n) {
+    seen.insert(default_ice_decomposition(n));
+  }
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(IceDecomposition, EfficiencyInUnitRange) {
+  for (int d = 0; d < kNumIceDecompositions; ++d) {
+    for (const int n : {1, 7, 64, 999}) {
+      const double e =
+          ice_decomposition_efficiency(static_cast<IceDecomposition>(d), n);
+      EXPECT_GT(e, 0.5);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hslb::cesm

@@ -1,0 +1,202 @@
+// Unit tests for hslb::common -- RNG determinism/statistics and tables.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+#include "hslb/common/table.hpp"
+#include "hslb/common/timing.hpp"
+
+namespace hslb::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(17);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsCrossedBounds) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), InvalidArgument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalNoiseHasUnitMean) {
+  Rng rng(23);
+  for (const double cv : {0.01, 0.05, 0.2}) {
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += rng.lognormal_noise(cv);
+    }
+    EXPECT_NEAR(sum / kDraws, 1.0, 5.0 * cv / std::sqrt(kDraws) + 0.005)
+        << "cv=" << cv;
+  }
+}
+
+TEST(Rng, LognormalNoiseZeroCvIsExactlyOne) {
+  Rng rng(29);
+  EXPECT_EQ(rng.lognormal_noise(0.0), 1.0);
+}
+
+TEST(Rng, LognormalNoiseIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.lognormal_noise(0.5), 0.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(37);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row();
+  t.cell(std::string("alpha"));
+  t.cell(static_cast<long long>(42));
+  t.add_row();
+  t.cell(std::string("b"));
+  t.cell(3.14159, 2);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, MissingCellMarker) {
+  Table t({"a", "b"});
+  t.add_row();
+  t.cell_missing();
+  t.cell_missing();
+  EXPECT_NE(t.to_text().find('-'), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"x"});
+  t.add_row();
+  t.cell(std::string("va,lue\"q"));
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"va,lue\"\"q\""), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.add_row();
+  t.cell(std::string("one"));
+  EXPECT_THROW(t.cell(std::string("two")), InvalidArgument);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"only"});
+  EXPECT_THROW(t.cell(std::string("x")), InvalidArgument);
+}
+
+TEST(FormatFixed, Rounds) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.235, 2), "1.24");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");  // iostream fixed rounding
+}
+
+TEST(WallTimer, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds());  // ms >= s numerically
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    HSLB_REQUIRE(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hslb::common

@@ -1,0 +1,142 @@
+// Tests for the ML-based sea-ice decomposition tuner (the paper's
+// companion work, reference [10]).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/cesm/configs.hpp"
+#include "hslb/cesm/driver.hpp"
+#include "hslb/cesm/ice_tuner.hpp"
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+class IceTunerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = one_degree_case();
+    const Component& ice = config_.component(ComponentKind::kIce);
+    options_.min_nodes = 8;
+    options_.max_nodes = 2048;
+    options_.counts = 8;
+    samples_ = gather_ice_training(ice, options_);
+  }
+  CaseConfig config_;
+  IceTunerOptions options_;
+  std::vector<IceTrainingSample> samples_;
+};
+
+TEST_F(IceTunerFixture, GatherCoversEveryStrategyAndCount) {
+  int per_strategy[kNumIceDecompositions] = {};
+  for (const IceTrainingSample& sample : samples_) {
+    ASSERT_GT(sample.seconds, 0.0);
+    ++per_strategy[static_cast<int>(sample.decomposition)];
+  }
+  for (int d = 0; d < kNumIceDecompositions; ++d) {
+    EXPECT_GE(per_strategy[d], options_.counts) << "strategy " << d;
+  }
+}
+
+TEST_F(IceTunerFixture, GatherIsDeterministic) {
+  const Component& ice = config_.component(ComponentKind::kIce);
+  const auto again = gather_ice_training(ice, options_);
+  ASSERT_EQ(again.size(), samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].seconds, samples_[i].seconds);
+  }
+}
+
+TEST_F(IceTunerFixture, RejectsNonIceComponent) {
+  const Component& atm = config_.component(ComponentKind::kAtm);
+  EXPECT_THROW((void)gather_ice_training(atm, options_), InvalidArgument);
+}
+
+TEST_F(IceTunerFixture, PredictionsTrackGroundTruth) {
+  const IceDecompositionTuner tuner(samples_);
+  const Component& ice = config_.component(ComponentKind::kIce);
+  for (const int n : {16, 64, 256, 1024}) {
+    for (int d = 0; d < kNumIceDecompositions; ++d) {
+      const double predicted =
+          tuner.predicted_seconds(n, static_cast<IceDecomposition>(d));
+      const double truth = ice.true_time_with(n, d);
+      EXPECT_NEAR(predicted, truth, 0.15 * truth + 0.5)
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST_F(IceTunerFixture, BestStrategyBeatsDefaultOnAverage) {
+  const IceDecompositionTuner tuner(samples_);
+  const Component& ice = config_.component(ComponentKind::kIce);
+  double tuned_total = 0.0;
+  double default_total = 0.0;
+  int wins = 0;
+  int counts = 0;
+  for (int n = 12; n <= 2048; n = static_cast<int>(n * 1.37) + 1) {
+    const double tuned =
+        ice.true_time_with(n, static_cast<int>(tuner.best_for(n)));
+    const double fallback = ice.true_time(n);
+    tuned_total += tuned;
+    default_total += fallback;
+    wins += tuned <= fallback + 1e-9;
+    ++counts;
+  }
+  EXPECT_LT(tuned_total, default_total) << "tuning must help on aggregate";
+  EXPECT_GE(wins, counts * 2 / 3) << "tuning should win on most counts";
+}
+
+TEST_F(IceTunerFixture, TunedPolicySmoothsTheScalingCurve) {
+  // The paper's point: default decompositions make the ice curve noisy;
+  // the learned policy should fit a Table II curve better.
+  const IceDecompositionTuner tuner(samples_);
+  const Component& ice = config_.component(ComponentKind::kIce);
+
+  std::vector<double> nodes;
+  std::vector<double> default_times;
+  std::vector<double> tuned_times;
+  for (int n = 12; n <= 2048; n = static_cast<int>(n * 1.6) + 1) {
+    nodes.push_back(n);
+    default_times.push_back(ice.true_time(n));
+    tuned_times.push_back(
+        ice.true_time_with(n, static_cast<int>(tuner.best_for(n))));
+  }
+  const auto fit_default = perf::fit(nodes, default_times);
+  const auto fit_tuned = perf::fit(nodes, tuned_times);
+  EXPECT_GE(fit_tuned.r_squared, fit_default.r_squared - 1e-6);
+  EXPECT_LT(fit_tuned.rmse, fit_default.rmse + 1e-9);
+}
+
+TEST_F(IceTunerFixture, PolicyPlugsIntoTheDriver) {
+  const IceDecompositionTuner tuner(samples_);
+  CaseConfig tuned_config = config_;
+  tuned_config.ice_decomposition_policy = tuner.policy();
+
+  const Layout layout = Layout::hybrid(80, 24, 104, 24);
+  const RunResult default_run = run_case(config_, layout, 7);
+  const RunResult tuned_run = run_case(tuned_config, layout, 7);
+  // Same seed, same layout: only the ice time may differ, and it should
+  // not get worse.
+  EXPECT_LE(tuned_run.component_seconds.at(ComponentKind::kIce),
+            default_run.component_seconds.at(ComponentKind::kIce) * 1.02);
+}
+
+TEST_F(IceTunerFixture, RequiresTwoCountsPerStrategy) {
+  std::vector<IceTrainingSample> thin;
+  for (int d = 0; d < kNumIceDecompositions; ++d) {
+    thin.push_back({64, static_cast<IceDecomposition>(d), 10.0});
+  }
+  EXPECT_THROW(IceDecompositionTuner tuner(thin), InvalidArgument);
+}
+
+TEST_F(IceTunerFixture, ExtrapolationFallsBackToFit) {
+  const IceDecompositionTuner tuner(samples_);
+  // Far outside the trained range, predictions come from the smooth fit and
+  // must remain positive and finite.
+  const double far = tuner.tuned_seconds(16384);
+  EXPECT_GT(far, 0.0);
+  EXPECT_TRUE(std::isfinite(far));
+}
+
+}  // namespace
+}  // namespace hslb::cesm

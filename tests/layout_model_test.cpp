@@ -1,0 +1,221 @@
+// Tests for the Table I layout MINLP models: constraint structure, solver
+// solutions, Tsync behavior, objectives, and allocation extraction.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/layout_model.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+/// A clean synthetic spec with known analytic structure.
+LayoutModelSpec synthetic_spec(LayoutKind layout, int total_nodes) {
+  LayoutModelSpec spec;
+  spec.layout = layout;
+  spec.total_nodes = total_nodes;
+  spec.perf[ComponentKind::kAtm] =
+      perf::PerfModel(perf::PerfParams{27000.0, 0.0, 1.0, 45.0});
+  spec.perf[ComponentKind::kOcn] =
+      perf::PerfModel(perf::PerfParams{7800.0, 0.0, 1.0, 41.0});
+  spec.perf[ComponentKind::kIce] =
+      perf::PerfModel(perf::PerfParams{7400.0, 0.0, 1.0, 12.0});
+  spec.perf[ComponentKind::kLnd] =
+      perf::PerfModel(perf::PerfParams{1480.0, 0.0, 1.0, 2.0});
+  spec.min_nodes = {{ComponentKind::kAtm, 8},
+                    {ComponentKind::kOcn, 2},
+                    {ComponentKind::kIce, 4},
+                    {ComponentKind::kLnd, 2}};
+  return spec;
+}
+
+/// Brute-force layout-1 optimum (no Tsync, no allocation sets).
+double brute_force_layout1(const LayoutModelSpec& spec) {
+  double best = lp::kInf;
+  const int N = spec.total_nodes;
+  const auto t = [&](ComponentKind k, int n) { return spec.perf.at(k)(n); };
+  for (int no = 2; no < N - 8; ++no) {
+    const int na = N - no;
+    const double to = t(ComponentKind::kOcn, no);
+    const double ta = t(ComponentKind::kAtm, na);
+    for (int ni = 4; ni <= na - 2; ++ni) {
+      const int nl = na - ni;
+      const double icelnd = std::max(t(ComponentKind::kIce, ni),
+                                     t(ComponentKind::kLnd, nl));
+      best = std::min(best, std::max(icelnd + ta, to));
+    }
+  }
+  return best;
+}
+
+TEST(LayoutModel, Layout1SolvesToBruteForceOptimum) {
+  const LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 64);
+  LayoutModelVars vars;
+  const minlp::Model model = build_layout_model(spec, &vars);
+  const auto result = minlp::solve(model);
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, brute_force_layout1(spec), 1e-4);
+}
+
+TEST(LayoutModel, SolutionSatisfiesTableIConstraints) {
+  LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 128);
+  spec.tsync = 20.0;
+  LayoutModelVars vars;
+  const minlp::Model model = build_layout_model(spec, &vars);
+  const auto result = minlp::solve(model);
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+
+  const Allocation alloc = extract_allocation(spec, vars, result);
+  const int ni = alloc.nodes.at(ComponentKind::kIce);
+  const int nl = alloc.nodes.at(ComponentKind::kLnd);
+  const int na = alloc.nodes.at(ComponentKind::kAtm);
+  const int no = alloc.nodes.at(ComponentKind::kOcn);
+  EXPECT_LE(ni + nl, na);                     // line 21
+  EXPECT_LE(na + no, spec.total_nodes);       // line 20
+  const double ti = alloc.predicted_seconds.at(ComponentKind::kIce);
+  const double tl = alloc.predicted_seconds.at(ComponentKind::kLnd);
+  EXPECT_LE(std::fabs(ti - tl), spec.tsync + 1e-6);  // lines 18-19
+  // T = max(max(ti, tl) + ta, to)  (line 13).
+  EXPECT_NEAR(alloc.predicted_total,
+              std::max(std::max(ti, tl) +
+                           alloc.predicted_seconds.at(ComponentKind::kAtm),
+                       alloc.predicted_seconds.at(ComponentKind::kOcn)),
+              1e-9);
+}
+
+TEST(LayoutModel, TsyncTighteningNeverImproves) {
+  // The paper notes extra synchronization constraints may reduce
+  // performance: T*(tight Tsync) >= T*(loose Tsync).
+  double prev = -1.0;
+  for (const double tsync : {100.0, 20.0, 5.0, 1.0}) {
+    LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 96);
+    spec.tsync = tsync;
+    const minlp::Model model = build_layout_model(spec, nullptr);
+    const auto result = minlp::solve(model);
+    ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal) << tsync;
+    if (prev >= 0.0) {
+      EXPECT_GE(result.objective, prev - 1e-7) << "tsync=" << tsync;
+    }
+    prev = result.objective;
+  }
+}
+
+TEST(LayoutModel, AllocationSetsRestrictSolution) {
+  LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 128);
+  spec.ocn_allowed = {8, 16, 24, 32};
+  spec.atm_allowed = {64, 96, 104, 112};
+  LayoutModelVars vars;
+  const minlp::Model model = build_layout_model(spec, &vars);
+  const auto result = minlp::solve(model);
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+  const Allocation alloc = extract_allocation(spec, vars, result);
+  const int no = alloc.nodes.at(ComponentKind::kOcn);
+  const int na = alloc.nodes.at(ComponentKind::kAtm);
+  EXPECT_TRUE(no == 8 || no == 16 || no == 24 || no == 32) << no;
+  EXPECT_TRUE(na == 64 || na == 96 || na == 104 || na == 112) << na;
+}
+
+TEST(LayoutModel, SetRestrictionNeverImprovesOptimum) {
+  const LayoutModelSpec free_spec = synthetic_spec(LayoutKind::kHybrid, 128);
+  const auto free_result =
+      minlp::solve(build_layout_model(free_spec, nullptr));
+  LayoutModelSpec restricted = free_spec;
+  restricted.ocn_allowed = {8, 24};
+  const auto restricted_result =
+      minlp::solve(build_layout_model(restricted, nullptr));
+  ASSERT_EQ(free_result.status, minlp::MinlpStatus::kOptimal);
+  ASSERT_EQ(restricted_result.status, minlp::MinlpStatus::kOptimal);
+  EXPECT_GE(restricted_result.objective, free_result.objective - 1e-7);
+}
+
+TEST(LayoutModel, LayoutOrderingMatchesPaperFigure4) {
+  // Layout 3 (fully sequential) must be the worst; layouts 1 and 2 similar.
+  std::map<LayoutKind, double> optima;
+  for (const LayoutKind kind :
+       {LayoutKind::kHybrid, LayoutKind::kSequentialGroup,
+        LayoutKind::kFullySequential}) {
+    const LayoutModelSpec spec = synthetic_spec(kind, 128);
+    const auto result = minlp::solve(build_layout_model(spec, nullptr));
+    ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+    optima[kind] = result.objective;
+  }
+  EXPECT_GT(optima[LayoutKind::kFullySequential],
+            optima[LayoutKind::kHybrid]);
+  EXPECT_GT(optima[LayoutKind::kFullySequential],
+            optima[LayoutKind::kSequentialGroup]);
+  EXPECT_NEAR(optima[LayoutKind::kHybrid],
+              optima[LayoutKind::kSequentialGroup],
+              0.35 * optima[LayoutKind::kHybrid]);
+}
+
+TEST(LayoutModel, Layout3UsesWholeMachinePerComponent) {
+  const LayoutModelSpec spec =
+      synthetic_spec(LayoutKind::kFullySequential, 64);
+  LayoutModelVars vars;
+  const auto result = minlp::solve(build_layout_model(spec, &vars));
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+  const Allocation alloc = extract_allocation(spec, vars, result);
+  // With everything sequential, each component takes all 64 nodes.
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    EXPECT_EQ(alloc.nodes.at(kind), 64) << cesm::to_string(kind);
+  }
+}
+
+TEST(LayoutModel, ObjectiveVariantsOrdering) {
+  // min-max gives the best total time; min-sum the worst (eq. 3 is "out of
+  // consideration" per the paper).
+  std::map<Objective, double> totals;
+  for (const Objective obj :
+       {Objective::kMinMax, Objective::kMaxMin, Objective::kMinSum}) {
+    LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 96);
+    spec.objective = obj;
+    LayoutModelVars vars;
+    const auto result = minlp::solve(build_layout_model(spec, &vars));
+    ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal)
+        << to_string(obj);
+    const Allocation alloc = extract_allocation(spec, vars, result);
+    totals[obj] = alloc.predicted_total;
+  }
+  EXPECT_LE(totals[Objective::kMinMax], totals[Objective::kMaxMin] + 1e-6);
+  EXPECT_LE(totals[Objective::kMinMax], totals[Objective::kMinSum] + 1e-6);
+}
+
+TEST(LayoutModel, ExtractAllocationConsistent) {
+  const LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 64);
+  LayoutModelVars vars;
+  const auto result = minlp::solve(build_layout_model(spec, &vars));
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+  const Allocation alloc = extract_allocation(spec, vars, result);
+  // Predicted total equals the solver objective (min-max).
+  EXPECT_NEAR(alloc.predicted_total, result.objective, 1e-6);
+  // Times are the perf models evaluated at the node counts.
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    EXPECT_NEAR(alloc.predicted_seconds.at(kind),
+                spec.perf.at(kind)(alloc.nodes.at(kind)), 1e-9);
+  }
+  // as_layout round-trips the node counts.
+  const cesm::Layout layout = alloc.as_layout(spec.layout);
+  EXPECT_EQ(layout.at(ComponentKind::kAtm),
+            alloc.nodes.at(ComponentKind::kAtm));
+}
+
+TEST(LayoutModel, RejectsIncompleteSpec) {
+  LayoutModelSpec spec;
+  spec.total_nodes = 64;
+  EXPECT_THROW((void)build_layout_model(spec, nullptr), InvalidArgument);
+}
+
+TEST(LayoutModel, InfeasibleWhenFloorsExceedMachine) {
+  LayoutModelSpec spec = synthetic_spec(LayoutKind::kHybrid, 16);
+  spec.min_nodes[ComponentKind::kAtm] = 14;
+  spec.min_nodes[ComponentKind::kOcn] = 14;
+  const auto result = minlp::solve(build_layout_model(spec, nullptr));
+  EXPECT_EQ(result.status, minlp::MinlpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace hslb::core

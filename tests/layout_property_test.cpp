@@ -1,0 +1,171 @@
+// Property tests for the Table I layout models: randomized performance
+// curves cross-checked against exhaustive enumeration of the feasible set,
+// and AMPL-lite expression round trips.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/rng.hpp"
+#include "hslb/hslb/layout_model.hpp"
+#include "hslb/minlp/ampl.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+perf::PerfModel random_model(common::Rng& rng) {
+  perf::PerfParams p;
+  p.a = rng.uniform(100.0, 5000.0);
+  if (rng.uniform() < 0.3) {
+    p.b = rng.uniform(0.0, 0.05);
+    p.c = rng.uniform(1.0, 1.5);
+  } else {
+    p.b = 0.0;
+    p.c = 1.0;
+  }
+  p.d = rng.uniform(0.0, 20.0);
+  return perf::PerfModel(p);
+}
+
+LayoutModelSpec random_spec(common::Rng& rng, int total_nodes) {
+  LayoutModelSpec spec;
+  spec.layout = LayoutKind::kHybrid;
+  spec.total_nodes = total_nodes;
+  spec.perf[ComponentKind::kAtm] = random_model(rng);
+  spec.perf[ComponentKind::kOcn] = random_model(rng);
+  spec.perf[ComponentKind::kIce] = random_model(rng);
+  spec.perf[ComponentKind::kLnd] = random_model(rng);
+  spec.min_nodes = {{ComponentKind::kAtm, 2},
+                    {ComponentKind::kOcn, 1},
+                    {ComponentKind::kIce, 1},
+                    {ComponentKind::kLnd, 1}};
+  if (rng.uniform() < 0.5) {
+    spec.tsync = rng.uniform(1.0, 50.0);
+  }
+  return spec;
+}
+
+/// Exhaustive layout-1 optimum over the Table I feasible set.
+double brute_force_layout1(const LayoutModelSpec& spec) {
+  const int N = spec.total_nodes;
+  const auto time_of = [&](ComponentKind kind, int n) {
+    return spec.perf.at(kind)(n);
+  };
+  double best = lp::kInf;
+  for (int no = 1; no <= N - 2; ++no) {
+    const double t_ocn = time_of(ComponentKind::kOcn, no);
+    for (int na = 2; na + no <= N; ++na) {
+      const double t_atm = time_of(ComponentKind::kAtm, na);
+      if (t_atm + 0.0 >= best && t_ocn >= best) {
+        continue;  // cheap dominance cut
+      }
+      for (int ni = 1; ni < na; ++ni) {
+        const double t_ice = time_of(ComponentKind::kIce, ni);
+        // Under a tight Tsync, filling the whole group with land is not
+        // always admissible, so nl must be enumerated too.
+        for (int nl = 1; ni + nl <= na; ++nl) {
+          const double t_lnd = time_of(ComponentKind::kLnd, nl);
+          if (std::isfinite(spec.tsync) &&
+              std::fabs(t_ice - t_lnd) > spec.tsync) {
+            continue;
+          }
+          const double total =
+              std::max(std::max(t_ice, t_lnd) + t_atm, t_ocn);
+          best = std::min(best, total);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+class LayoutBruteForceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutBruteForceProperty, SolverMatchesEnumeration) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7127 + 3);
+  const int total = static_cast<int>(rng.uniform_int(8, 28));
+  const LayoutModelSpec spec = random_spec(rng, total);
+  const double expected = brute_force_layout1(spec);
+
+  const auto result = minlp::solve(build_layout_model(spec, nullptr));
+  if (!std::isfinite(expected)) {
+    EXPECT_EQ(result.status, minlp::MinlpStatus::kInfeasible);
+    return;
+  }
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal)
+      << "N=" << total << " tsync=" << spec.tsync;
+  EXPECT_NEAR(result.objective, expected, 1e-5 * (1.0 + expected))
+      << "N=" << total << " tsync=" << spec.tsync;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpecs, LayoutBruteForceProperty,
+                         ::testing::Range(0, 30));
+
+// The solver's allocation must itself satisfy Table I (not merely match the
+// optimal value).
+class LayoutFeasibilityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutFeasibilityProperty, AllocationIsFeasible) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 77);
+  const int total = static_cast<int>(rng.uniform_int(16, 200));
+  LayoutModelSpec spec = random_spec(rng, total);
+  if (rng.uniform() < 0.5) {
+    // Random ocean allocation set.
+    std::vector<int> allowed;
+    for (int v = 1; v <= total; v += static_cast<int>(rng.uniform_int(1, 5))) {
+      allowed.push_back(v);
+    }
+    spec.ocn_allowed = allowed;
+  }
+  LayoutModelVars vars;
+  const auto result = minlp::solve(build_layout_model(spec, &vars));
+  if (result.status != minlp::MinlpStatus::kOptimal) {
+    return;  // tight Tsync can make random instances infeasible; fine
+  }
+  const Allocation alloc = extract_allocation(spec, vars, result);
+  const cesm::Layout layout = alloc.as_layout(spec.layout);
+  EXPECT_FALSE(layout.invalid_reason(total));
+  if (!spec.ocn_allowed.empty()) {
+    const int ocn = alloc.nodes.at(ComponentKind::kOcn);
+    bool member = false;
+    for (const int v : spec.ocn_allowed) {
+      member = member || v == ocn;
+    }
+    EXPECT_TRUE(member) << ocn;
+  }
+  if (std::isfinite(spec.tsync)) {
+    EXPECT_LE(std::fabs(alloc.predicted_seconds.at(ComponentKind::kIce) -
+                        alloc.predicted_seconds.at(ComponentKind::kLnd)),
+              spec.tsync + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpecs, LayoutFeasibilityProperty,
+                         ::testing::Range(0, 25));
+
+// AMPL-lite round trip: the printed form of the model's expressions must
+// parse back to the same function.
+class AmplExprRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmplExprRoundTrip, PrintParseEvalAgree) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const perf::PerfModel model = random_model(rng);
+  const expr::Expr original = model.as_expr(expr::variable(0, "n"));
+  const std::string text = expr::to_string(original);
+  const expr::Expr reparsed =
+      minlp::parse_expression(text, std::vector<std::string>{"n"});
+  for (int i = 0; i < 8; ++i) {
+    const linalg::Vector at{rng.uniform(1.0, 500.0)};
+    const double a = expr::eval(original, at);
+    const double b = expr::eval(reparsed, at);
+    EXPECT_NEAR(a, b, 1e-6 * (1.0 + std::fabs(a))) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCurves, AmplExprRoundTrip,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hslb::core

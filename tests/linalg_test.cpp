@@ -1,0 +1,188 @@
+// Unit tests for dense linear algebra: factorizations and least squares.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+#include "hslb/linalg/factor.hpp"
+#include "hslb/linalg/least_squares.hpp"
+#include "hslb/linalg/matrix.hpp"
+
+namespace hslb::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t(0, 2), 5.0);
+  EXPECT_EQ(t(1, 0), 2.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1, 2, 3};
+  const Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{-7, 2}), 7.0);
+  Vector y{1, 1, 1};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const Vector a{1, 2};
+  const Vector b{1};
+  EXPECT_THROW((void)dot(a, b), InvalidArgument);
+  EXPECT_THROW((void)subtract(a, b), InvalidArgument);
+}
+
+TEST(MatrixOps, MatvecAndGram) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Vector x{1, 1};
+  const Vector y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const Matrix g = gram(a);  // A^T A
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+}
+
+TEST(MatrixOps, MatmulAgainstHand) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 12));
+    Matrix a = random_matrix(n, n, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, i) += 3.0;  // keep well-conditioned
+    }
+    Vector x_true(n);
+    for (auto& v : x_true) {
+      v = rng.uniform(-2.0, 2.0);
+    }
+    const Vector b = matvec(a, x_true);
+    const auto lu = LuFactor::compute(a);
+    ASSERT_TRUE(lu.has_value());
+    const Vector x = lu->solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(LuFactor::compute(a).has_value());
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const Matrix a = Matrix::from_rows({{2, 0}, {0, 3}});
+  const auto lu = LuFactor::compute(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), 6.0, 1e-12);
+  // Permutation flips sign correctly.
+  const Matrix b = Matrix::from_rows({{0, 1}, {1, 0}});
+  EXPECT_NEAR(LuFactor::compute(b)->determinant(), -1.0, 1e-12);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  common::Rng rng(7);
+  const std::size_t n = 6;
+  const Matrix m = random_matrix(n, n, rng);
+  Matrix spd = gram(m);  // PSD
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += 1.0;  // PD
+  }
+  Vector x_true(n, 1.5);
+  const Vector b = matvec(spd, x_true);
+  const auto chol = CholeskyFactor::compute(spd);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_EQ(chol->shift(), 0.0);
+  const Vector x = chol->solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], 1.5, 1e-8);
+  }
+}
+
+TEST(Cholesky, RegularizesIndefinite) {
+  Matrix indef = Matrix::from_rows({{1, 0}, {0, -1}});
+  const auto chol = CholeskyFactor::compute(indef);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_GT(chol->shift(), 1.0 - 1e-9);  // must shift past the -1 eigenvalue
+}
+
+TEST(Cholesky, GivesUpBeyondMaxShift) {
+  Matrix indef = Matrix::from_rows({{-1e12, 0}, {0, -1e12}});
+  EXPECT_FALSE(CholeskyFactor::compute(indef, 0.0, 1e3).has_value());
+}
+
+TEST(LeastSquares, ExactOnSquareSystem) {
+  const Matrix a = Matrix::from_rows({{2, 1}, {1, 3}});
+  const Vector b{5, 10};
+  const auto r = solve_least_squares(a, b);
+  EXPECT_TRUE(r.full_rank);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-10);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedMatchesNormalEquations) {
+  common::Rng rng(3);
+  const Matrix a = random_matrix(20, 4, rng);
+  Vector b(20);
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const auto r = solve_least_squares(a, b);
+  // At the LS optimum, A^T (A x - b) = 0.
+  const Vector resid = subtract(matvec(a, r.x), b);
+  const Vector grad = matvec_t(a, resid);
+  EXPECT_LT(norm_inf(grad), 1e-10);
+}
+
+TEST(LeastSquares, FlagsRankDeficiency) {
+  const Matrix a = Matrix::from_rows({{1, 1}, {1, 1}, {1, 1}});
+  const Vector b{1, 2, 3};
+  const auto r = solve_least_squares(a, b);
+  EXPECT_FALSE(r.full_rank);
+  // Residual must still be the LS-optimal one (projection onto span{(1,1)}).
+  EXPECT_NEAR(r.residual_norm, std::sqrt(2.0), 1e-6);
+}
+
+TEST(LeastSquares, RequiresRowsGeCols) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}});
+  const Vector b{1};
+  EXPECT_THROW((void)solve_least_squares(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hslb::linalg

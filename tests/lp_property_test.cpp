@@ -1,0 +1,187 @@
+// Property-based tests for the simplex: random instances are checked for
+// feasibility of the returned point, consistency against known feasible
+// points, and (in two dimensions) against brute-force vertex enumeration.
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/rng.hpp"
+#include "hslb/lp/simplex.hpp"
+
+namespace hslb::lp {
+namespace {
+
+using linalg::Vector;
+
+bool satisfies(const LpProblem& p, const Vector& x, double tol = 1e-6) {
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    if (x[j] < p.col_lower()[j] - tol || x[j] > p.col_upper()[j] + tol) {
+      return false;
+    }
+  }
+  for (const Row& row : p.rows()) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      v += row.coeffs[j] * x[j];
+    }
+    const double scale = 1.0 + std::fabs(v);
+    if (v < row.lower - tol * scale || v > row.upper + tol * scale) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double objective_at(const LpProblem& p, const Vector& x) {
+  double v = p.objective_offset();
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    v += p.cost()[j] * x[j];
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Feasible-by-construction instances: solution must be feasible and at least
+// as good as the seed point.
+// ---------------------------------------------------------------------------
+
+class SimplexFeasibleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexFeasibleProperty, OptimalBeatsSeedPoint) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 7));
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 9));
+
+  LpProblem p;
+  Vector seed(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-5.0, 0.0);
+    const double hi = lo + rng.uniform(0.5, 10.0);
+    p.add_variable(lo, hi, rng.uniform(-2.0, 2.0));
+    seed[j] = rng.uniform(lo, hi);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector coeffs(n);
+    double at_seed = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      coeffs[j] = rng.uniform(-2.0, 2.0);
+      at_seed += coeffs[j] * seed[j];
+    }
+    // Row passes through the seed with slack on both sides.
+    p.add_row(std::move(coeffs), at_seed - rng.uniform(0.0, 3.0),
+              at_seed + rng.uniform(0.0, 3.0));
+  }
+
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal)
+      << "seed-feasible LP must be solvable";
+  EXPECT_TRUE(satisfies(p, s.x)) << "returned point must be feasible";
+  EXPECT_LE(s.objective, objective_at(p, seed) + 1e-6)
+      << "optimum cannot be worse than a known feasible point";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFeasible, SimplexFeasibleProperty,
+                         ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// 2-D instances vs brute-force vertex enumeration.
+// ---------------------------------------------------------------------------
+
+std::optional<Vector> intersect(const Vector& a1, double b1, const Vector& a2,
+                                double b2) {
+  const double det = a1[0] * a2[1] - a1[1] * a2[0];
+  if (std::fabs(det) < 1e-9) {
+    return std::nullopt;
+  }
+  return Vector{(b1 * a2[1] - b2 * a1[1]) / det,
+                (a1[0] * b2 - a2[0] * b1) / det};
+}
+
+class SimplexBruteForce2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexBruteForce2D, MatchesVertexEnumeration) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+
+  LpProblem p;
+  for (int j = 0; j < 2; ++j) {
+    p.add_variable(rng.uniform(-3.0, 0.0), rng.uniform(0.5, 4.0),
+                   rng.uniform(-2.0, 2.0));
+  }
+  const int m = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < m; ++i) {
+    p.add_row({rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)},
+              -lp::kInf, rng.uniform(-1.0, 4.0));
+  }
+
+  // Candidate vertices: intersections of all pairs of "lines" (rows at their
+  // bound + box edges).
+  std::vector<std::pair<Vector, double>> lines;
+  for (const Row& row : p.rows()) {
+    lines.push_back({row.coeffs, row.upper});
+  }
+  lines.push_back({{1.0, 0.0}, p.col_lower()[0]});
+  lines.push_back({{1.0, 0.0}, p.col_upper()[0]});
+  lines.push_back({{0.0, 1.0}, p.col_lower()[1]});
+  lines.push_back({{0.0, 1.0}, p.col_upper()[1]});
+
+  double brute = lp::kInf;
+  bool any_feasible = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const auto v = intersect(lines[i].first, lines[i].second,
+                               lines[j].first, lines[j].second);
+      if (v && satisfies(p, *v, 1e-7)) {
+        any_feasible = true;
+        brute = std::min(brute, objective_at(p, *v));
+      }
+    }
+  }
+
+  const auto s = solve(p);
+  if (!any_feasible) {
+    // Either truly infeasible or the optimum is interior-free; the simplex
+    // must agree with infeasibility when no vertex exists.
+    if (s.status == LpStatus::kOptimal) {
+      EXPECT_TRUE(satisfies(p, s.x));
+    }
+    return;
+  }
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_TRUE(satisfies(p, s.x));
+  EXPECT_NEAR(s.objective, brute, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random2D, SimplexBruteForce2D,
+                         ::testing::Range(0, 60));
+
+// Scaling property: doubling the cost vector doubles the optimal value of a
+// problem with zero offset.
+class SimplexScalingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexScalingProperty, CostScalingScalesObjective) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  LpProblem p;
+  const std::size_t n = 3;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_variable(0.0, rng.uniform(1.0, 5.0), rng.uniform(-1.0, 1.0));
+  }
+  p.add_row({1.0, 1.0, 1.0}, 0.5, 4.0);
+
+  const auto s1 = solve(p);
+  ASSERT_EQ(s1.status, LpStatus::kOptimal);
+  LpProblem doubled = p;
+  for (std::size_t j = 0; j < n; ++j) {
+    doubled.set_cost(j, 2.0 * p.cost()[j]);
+  }
+  const auto s2 = solve(doubled);
+  ASSERT_EQ(s2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s2.objective, 2.0 * s1.objective, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scaling, SimplexScalingProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hslb::lp

@@ -1,0 +1,137 @@
+// Tests for the codified "manual" expert baseline.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/manual_tuner.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+TEST(ScalingCurve, InterpolatesLogLog) {
+  // Perfect 1/n scaling: T(10) = 100, T(1000) = 1.
+  const ScalingCurve curve({10.0, 100.0, 1000.0}, {100.0, 10.0, 1.0});
+  EXPECT_NEAR(curve(10.0), 100.0, 1e-9);
+  EXPECT_NEAR(curve(1000.0), 1.0, 1e-9);
+  // Log-log linearity makes mid-range reads exact for power laws.
+  EXPECT_NEAR(curve(31.6227766), 31.6227766, 1e-3);
+}
+
+TEST(ScalingCurve, ExtrapolatesWithEndSlopes) {
+  const ScalingCurve curve({10.0, 100.0}, {100.0, 10.0});
+  EXPECT_NEAR(curve(1000.0), 1.0, 1e-6);   // continues the 1/n slope
+  EXPECT_NEAR(curve(1.0), 1000.0, 1e-6);
+}
+
+TEST(ScalingCurve, AveragesDuplicateCounts) {
+  const ScalingCurve curve({10.0, 10.0, 100.0}, {90.0, 110.0, 10.0});
+  // Repeated benchmarks at one count are averaged (arithmetically, like a
+  // human averaging two plotted points): (90 + 110) / 2 = 100.
+  EXPECT_NEAR(curve(10.0), 100.0, 1e-6);
+}
+
+TEST(ScalingCurve, RejectsDegenerateInput) {
+  EXPECT_THROW(ScalingCurve({10.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(ScalingCurve({10.0, 10.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(ScalingCurve({10.0, -1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+class ManualTunerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = cesm::one_degree_case();
+    campaign_ = cesm::gather_benchmarks(config_, LayoutKind::kHybrid,
+                                        std::vector<int>{128, 256, 512, 1024,
+                                                         2048},
+                                        2014);
+  }
+  cesm::CaseConfig config_;
+  cesm::CampaignResult campaign_;
+};
+
+TEST_F(ManualTunerFixture, ProducesValidLayout) {
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 128;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  cesm::Layout layout = cesm::Layout::hybrid(
+      result.nodes.at(ComponentKind::kIce),
+      result.nodes.at(ComponentKind::kLnd),
+      result.nodes.at(ComponentKind::kAtm),
+      result.nodes.at(ComponentKind::kOcn));
+  EXPECT_FALSE(layout.invalid_reason(128));
+  EXPECT_GT(result.actual_total, 0.0);
+  EXPECT_GT(result.estimated_total, 0.0);
+}
+
+TEST_F(ManualTunerFixture, PrefersRoundNumbers) {
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 128;
+  tuner.rounding = 8;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  // At least the ice/land split uses human granularity.
+  EXPECT_EQ(result.nodes.at(ComponentKind::kOcn) % 2, 0);
+}
+
+TEST_F(ManualTunerFixture, EstimateIsSaneVsActual) {
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 256;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  // Curve reads should be within ~25% of the measured run.
+  EXPECT_NEAR(result.estimated_total, result.actual_total,
+              0.25 * result.actual_total);
+}
+
+TEST_F(ManualTunerFixture, RespectsAllowedOceanSet) {
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 512;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  const int ocn = result.nodes.at(ComponentKind::kOcn);
+  bool member = false;
+  for (const int v : config_.ocn_allowed) {
+    member = member || v == ocn;
+  }
+  EXPECT_TRUE(member) << "ocn=" << ocn;
+}
+
+TEST_F(ManualTunerFixture, IceLandRoughlyBalanced) {
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 1024;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  const double ti = result.estimated_seconds.at(ComponentKind::kIce);
+  const double tl = result.estimated_seconds.at(ComponentKind::kLnd);
+  // The expert balances the pair off the plots; allow generous slack for
+  // the human granularity.
+  EXPECT_LT(std::fabs(ti - tl), 0.5 * std::max(ti, tl) + 5.0);
+}
+
+TEST_F(ManualTunerFixture, DoesNotExtrapolateOcean) {
+  // The expert must never allocate far beyond the benchmarked ocean range.
+  ManualTunerConfig tuner;
+  tuner.total_nodes = 2048;
+  const ManualResult result = run_manual(config_, tuner, campaign_.samples);
+  double max_sampled = 0.0;
+  for (const auto& s : campaign_.samples) {
+    if (s.kind == ComponentKind::kOcn) {
+      max_sampled = std::max(max_sampled, static_cast<double>(s.nodes));
+    }
+  }
+  EXPECT_LE(result.nodes.at(ComponentKind::kOcn), max_sampled * 1.25 + 1.0);
+}
+
+TEST_F(ManualTunerFixture, MoreCandidatesNeverHurtEstimate) {
+  ManualTunerConfig few;
+  few.total_nodes = 512;
+  few.candidate_rounds = 3;
+  ManualTunerConfig many = few;
+  many.candidate_rounds = 12;
+  const auto r_few = run_manual(config_, few, campaign_.samples);
+  const auto r_many = run_manual(config_, many, campaign_.samples);
+  EXPECT_LE(r_many.estimated_total, r_few.estimated_total + 1e-9);
+}
+
+}  // namespace
+}  // namespace hslb::core

@@ -1,0 +1,304 @@
+// Tests for the MINLP layer: model construction, the LP/NLP-based
+// branch-and-bound, SOS1 handling, and the NLP-BB alternative.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/minlp/nlp_bb.hpp"
+#include "hslb/minlp/relaxation.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+/// Convex performance-like link: 100/n + 0.5 n (minimum near n = 14.14).
+UnivariateFn convex_link() {
+  auto fn = make_univariate(
+      [](double n) { return 100.0 / n + 0.5 * n; },
+      [](double n) { return -100.0 / (n * n) + 0.5; }, Curvature::kConvex);
+  fn.as_expr = [](const expr::Expr& n) { return 100.0 / n + 0.5 * n; };
+  return fn;
+}
+
+/// Minimal "min T s.t. T >= fn(n)" model over integer n in [lo, hi].
+struct TinyModel {
+  Model model;
+  std::size_t T = 0;
+  std::size_t n = 0;
+  std::size_t t = 0;
+};
+
+TinyModel tiny_model(double lo, double hi) {
+  TinyModel tm;
+  tm.T = tm.model.add_variable("T", VarType::kContinuous, 0.0, 1e9);
+  tm.n = tm.model.add_variable("n", VarType::kInteger, lo, hi);
+  tm.t = tm.model.add_variable("t", VarType::kContinuous, 0.0, 1e9);
+  tm.model.add_link(tm.t, tm.n, convex_link(), "link");
+  tm.model.add_linear({{tm.T, 1.0}, {tm.t, -1.0}}, 0.0, lp::kInf, "T>=t");
+  tm.model.minimize(tm.model.var(tm.T));
+  return tm;
+}
+
+TEST(Model, VariablesAndObjective) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kContinuous, 0.0, 10.0);
+  const auto y = m.add_variable("y", VarType::kInteger, 0.0, 5.0);
+  m.minimize(2.0 * m.var(x) - m.var(y) + 3.0);
+  EXPECT_EQ(m.num_vars(), 2u);
+  EXPECT_DOUBLE_EQ(m.objective_coeffs()[x], 2.0);
+  EXPECT_DOUBLE_EQ(m.objective_coeffs()[y], -1.0);
+  EXPECT_DOUBLE_EQ(m.objective_offset(), 3.0);
+  const linalg::Vector point{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.objective_value(point), 3.0);
+}
+
+TEST(Model, NonlinearObjectiveGetsEpigraph) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kContinuous, -5.0, 5.0);
+  m.minimize(m.var(x) * m.var(x));
+  // One extra variable (eta) and one nonlinear constraint appear.
+  EXPECT_EQ(m.num_vars(), 2u);
+  EXPECT_EQ(m.nonlinear_constraints().size(), 1u);
+  (void)x;
+}
+
+TEST(Model, CheckFeasibleReportsViolations) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 10.0);
+  m.add_linear({{x, 1.0}}, 2.0, 4.0, "range");
+  linalg::Vector bad_integral{2.5};
+  EXPECT_TRUE(m.check_feasible(bad_integral).has_value());
+  linalg::Vector bad_row{9.0};
+  EXPECT_TRUE(m.check_feasible(bad_row).has_value());
+  linalg::Vector good{3.0};
+  EXPECT_FALSE(m.check_feasible(good).has_value());
+}
+
+TEST(Model, RestrictToSetAddsMachinery) {
+  Model m;
+  const auto n = m.add_variable("n", VarType::kInteger, 2.0, 64.0);
+  m.restrict_to_set(n, {2, 4, 8, 16, 32, 64}, /*use_sos=*/true, "set");
+  EXPECT_EQ(m.num_vars(), 7u);          // n + 6 binaries
+  EXPECT_EQ(m.linear_constraints().size(), 2u);  // convexity + value rows
+  EXPECT_EQ(m.sos1_sets().size(), 1u);
+}
+
+TEST(DetectCurvature, ClassifiesCorrectly) {
+  const auto convex = make_univariate([](double x) { return x * x; },
+                                      [](double x) { return 2.0 * x; });
+  EXPECT_EQ(detect_curvature(convex, 0.1, 10.0), Curvature::kConvex);
+  const auto concave = make_univariate([](double x) { return std::sqrt(x); },
+                                       [](double x) {
+                                         return 0.5 / std::sqrt(x);
+                                       });
+  EXPECT_EQ(detect_curvature(concave, 0.1, 10.0), Curvature::kConcave);
+  const auto linear = make_univariate([](double x) { return 2.0 * x + 1.0; },
+                                      [](double) { return 2.0; });
+  EXPECT_EQ(detect_curvature(linear, 0.0, 1.0), Curvature::kConvex);
+  const auto mixed = make_univariate([](double x) { return std::sin(x); },
+                                     [](double x) { return std::cos(x); });
+  EXPECT_THROW((void)detect_curvature(mixed, 0.0, 6.0), InvalidArgument);
+}
+
+TEST(BranchAndBound, UnivariateMinimum) {
+  TinyModel tm = tiny_model(1, 100);
+  const auto r = solve(tm.model);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  // True integer optimum: f(14) = 100/14 + 7 = 14.142857...
+  EXPECT_NEAR(r.x[tm.n], 14.0, 1e-6);
+  EXPECT_NEAR(r.objective, 100.0 / 14.0 + 7.0, 1e-6);
+}
+
+TEST(BranchAndBound, RespectsTightBounds) {
+  TinyModel tm = tiny_model(20, 100);  // unconstrained optimum excluded
+  const auto r = solve(tm.model);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[tm.n], 20.0, 1e-6);
+}
+
+TEST(BranchAndBound, SosSetSelectsBestMember) {
+  TinyModel tm = tiny_model(2, 64);
+  tm.model.restrict_to_set(tm.n, {2, 4, 8, 16, 32, 64}, true, "nset");
+  const auto r = solve(tm.model);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  // f(8)=16.5, f(16)=14.25, f(32)=19.125 -> 16.
+  EXPECT_NEAR(r.x[tm.n], 16.0, 1e-6);
+  EXPECT_NEAR(r.objective, 14.25, 1e-6);
+}
+
+TEST(BranchAndBound, BinaryBranchingFindsSameOptimum) {
+  TinyModel tm = tiny_model(2, 64);
+  tm.model.restrict_to_set(tm.n, {2, 4, 8, 16, 32, 64}, false, "nset");
+  SolverOptions opts;
+  opts.use_sos_branching = false;
+  const auto r = solve(tm.model, opts);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 14.25, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleModel) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 10.0);
+  m.add_linear({{x, 1.0}}, 2.2, 2.8, "no integer in range");
+  m.minimize(m.var(x));
+  EXPECT_EQ(solve(m).status, MinlpStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, PureMilp) {
+  // Knapsack: max 10a + 6b + 4c, 5a + 4b + 3c <= 10, binaries.
+  Model m;
+  const auto a = m.add_variable("a", VarType::kBinary, 0.0, 1.0);
+  const auto b = m.add_variable("b", VarType::kBinary, 0.0, 1.0);
+  const auto c = m.add_variable("c", VarType::kBinary, 0.0, 1.0);
+  m.add_linear({{a, 5.0}, {b, 4.0}, {c, 3.0}}, -lp::kInf, 10.0, "cap");
+  m.minimize(-10.0 * m.var(a) - 6.0 * m.var(b) - 4.0 * m.var(c));
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-7);  // a + b
+  EXPECT_NEAR(r.x[a], 1.0, 1e-7);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-7);
+  EXPECT_NEAR(r.x[c], 0.0, 1e-7);
+}
+
+TEST(BranchAndBound, ConvexNonlinearConstraint) {
+  // min -x - y  s.t.  x^2 + y^2 <= 4, x integer, y continuous.
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 3.0);
+  const auto y = m.add_variable("y", VarType::kContinuous, 0.0, 3.0);
+  m.add_nonlinear(m.var(x) * m.var(x) + m.var(y) * m.var(y), 4.0, "disk");
+  m.minimize(-m.var(x) - m.var(y));
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  // Candidates: x=0,y=2 (-2); x=1,y=sqrt3 (-2.732); x=2,y=0 (-2).
+  EXPECT_NEAR(r.x[x], 1.0, 1e-6);
+  EXPECT_NEAR(r.objective, -(1.0 + std::sqrt(3.0)), 1e-4);
+}
+
+TEST(BranchAndBound, ConcaveLinkHandledBySecants) {
+  // t == sqrt(n) (concave), min T with T >= 20 - t: pushes t UP, so the
+  // concave upper side binds and the tangent/chord roles flip.
+  Model m;
+  const auto T = m.add_variable("T", VarType::kContinuous, 0.0, 1e9);
+  const auto n = m.add_variable("n", VarType::kInteger, 1.0, 100.0);
+  const auto t = m.add_variable("t", VarType::kContinuous, 0.0, 1e9);
+  auto fn = make_univariate(
+      [](double v) { return std::sqrt(v); },
+      [](double v) { return 0.5 / std::sqrt(v); }, Curvature::kConcave);
+  m.add_link(t, n, fn, "sqrt");
+  m.add_linear({{T, 1.0}, {t, 1.0}}, 20.0, lp::kInf, "T+t>=20");
+  m.minimize(m.var(T));
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  // Optimum: n = 100, t = 10, T = 10.
+  EXPECT_NEAR(r.x[n], 100.0, 1e-6);
+  EXPECT_NEAR(r.objective, 10.0, 1e-6);
+}
+
+TEST(BranchAndBound, TwoLinksCoupledByBudget) {
+  // min T, T >= f(n1), T >= f(n2), n1 + n2 <= 40: balanced split optimal.
+  Model m;
+  const auto T = m.add_variable("T", VarType::kContinuous, 0.0, 1e9);
+  const auto n1 = m.add_variable("n1", VarType::kInteger, 1.0, 100.0);
+  const auto n2 = m.add_variable("n2", VarType::kInteger, 1.0, 100.0);
+  const auto t1 = m.add_variable("t1", VarType::kContinuous, 0.0, 1e9);
+  const auto t2 = m.add_variable("t2", VarType::kContinuous, 0.0, 1e9);
+  m.add_link(t1, n1, convex_link(), "l1");
+  m.add_link(t2, n2, convex_link(), "l2");
+  m.add_linear({{T, 1.0}, {t1, -1.0}}, 0.0, lp::kInf);
+  m.add_linear({{T, 1.0}, {t2, -1.0}}, 0.0, lp::kInf);
+  m.add_linear({{n1, 1.0}, {n2, 1.0}}, -lp::kInf, 40.0, "budget");
+  m.minimize(m.var(T));
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  // Symmetric problem: optimum n1 = n2 = 14 (interior minimum fits budget).
+  EXPECT_NEAR(r.objective, 100.0 / 14.0 + 7.0, 1e-6);
+}
+
+TEST(BranchAndBound, DepthFirstMatchesBestBound) {
+  TinyModel tm1 = tiny_model(1, 100);
+  SolverOptions dfs;
+  dfs.node_selection = NodeSelection::kDepthFirst;
+  const auto r1 = solve(tm1.model, dfs);
+  TinyModel tm2 = tiny_model(1, 100);
+  const auto r2 = solve(tm2.model);
+  ASSERT_EQ(r1.status, MinlpStatus::kOptimal);
+  ASSERT_EQ(r2.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-9);
+}
+
+TEST(BranchAndBound, StatsArePopulated) {
+  TinyModel tm = tiny_model(1, 100);
+  const auto r = solve(tm.model);
+  EXPECT_GT(r.stats.nodes_explored, 0);
+  EXPECT_GT(r.stats.lp_solves, 0);
+  EXPECT_GT(r.stats.cuts_added, 0);
+  EXPECT_GE(r.stats.wall_seconds, 0.0);
+  EXPECT_LE(r.stats.best_bound, r.objective + 1e-6);
+}
+
+TEST(BranchAndBound, LoggerReceivesProgress) {
+  TinyModel tm = tiny_model(1, 100);
+  std::vector<std::string> lines;
+  SolverOptions opts;
+  opts.logger = [&lines](const std::string& line) { lines.push_back(line); };
+  opts.log_every_nodes = 1;
+  const auto r = solve(tm.model, opts);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  ASSERT_FALSE(lines.empty());
+  bool saw_presolve = false;
+  bool saw_incumbent = false;
+  bool saw_done = false;
+  for (const std::string& line : lines) {
+    saw_presolve |= line.rfind("presolve:", 0) == 0;
+    saw_incumbent |= line.rfind("incumbent", 0) == 0;
+    saw_done |= line.rfind("done:", 0) == 0;
+  }
+  EXPECT_TRUE(saw_presolve);
+  EXPECT_TRUE(saw_incumbent);
+  EXPECT_TRUE(saw_done);
+}
+
+TEST(NlpBb, MatchesLpNlpBb) {
+  TinyModel tm1 = tiny_model(1, 100);
+  const auto r_oa = solve(tm1.model);
+  TinyModel tm2 = tiny_model(1, 100);
+  const auto r_nlp = solve_nlp_bb(tm2.model);
+  ASSERT_EQ(r_nlp.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r_nlp.objective, r_oa.objective, 1e-5);
+}
+
+TEST(NlpBb, RejectsSosModels) {
+  TinyModel tm = tiny_model(2, 64);
+  tm.model.restrict_to_set(tm.n, {2, 4, 8}, true, "s");
+  EXPECT_THROW((void)solve_nlp_bb(tm.model), InvalidArgument);
+}
+
+TEST(Relaxation, ChordPinsClosedInterval) {
+  TinyModel tm = tiny_model(5, 5);  // n fixed by bounds
+  const auto curvature = resolve_curvatures(tm.model);
+  CutPool pool;
+  linalg::Vector lo{0.0, 5.0, 0.0};
+  linalg::Vector hi{1e9, 5.0, 1e9};
+  const auto master = build_master_lp(tm.model, pool, curvature, lo, hi);
+  // t is pinned to f(5) = 22.5 exactly.
+  EXPECT_NEAR(master.col_lower()[tm.t], 22.5, 1e-9);
+  EXPECT_NEAR(master.col_upper()[tm.t], 22.5, 1e-9);
+}
+
+TEST(Relaxation, CompletionRoundsAndSolves) {
+  TinyModel tm = tiny_model(1, 100);
+  const auto curvature = resolve_curvatures(tm.model);
+  CutPool pool;
+  linalg::Vector lo{0.0, 1.0, 0.0};
+  linalg::Vector hi{1e9, 100.0, 1e9};
+  linalg::Vector x{0.0, 14.2, 0.0};  // fractional n
+  const auto comp = complete_integer_point(tm.model, pool, curvature, x, lo,
+                                           hi);
+  ASSERT_TRUE(comp.has_value());
+  EXPECT_NEAR(comp->x[tm.n], 14.0, 1e-9);
+  EXPECT_NEAR(comp->objective, 100.0 / 14.0 + 7.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace hslb::minlp

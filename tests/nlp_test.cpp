@@ -1,0 +1,239 @@
+// Tests for the NLP layer: NNLS, Levenberg-Marquardt, and the barrier
+// interior-point solver.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/rng.hpp"
+#include "hslb/nlp/barrier.hpp"
+#include "hslb/nlp/levenberg_marquardt.hpp"
+#include "hslb/nlp/nnls.hpp"
+
+namespace hslb::nlp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// --- NNLS -------------------------------------------------------------------
+
+TEST(Nnls, UnconstrainedInteriorSolution) {
+  // Least squares solution already nonnegative: NNLS must find it exactly.
+  const Matrix a = Matrix::from_rows({{1, 0}, {0, 1}, {1, 1}});
+  const Vector b{1, 2, 3};
+  const auto r = solve_nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-9);
+}
+
+TEST(Nnls, ClampsNegativeCoordinates) {
+  const Matrix a = Matrix::from_rows({{1, 0}, {0, 1}, {1, 1}});
+  const Vector b{-1, 2, 1};
+  const auto r = solve_nnls(a, b);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-10);
+  EXPECT_NEAR(r.x[1], 1.5, 1e-9);
+}
+
+TEST(Nnls, AllZeroWhenGradientNonpositive) {
+  const Matrix a = Matrix::from_rows({{1.0}, {1.0}});
+  const Vector b{-1, -2};
+  const auto r = solve_nnls(a, b);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-12);
+}
+
+class NnlsKktProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnlsKktProperty, SatisfiesKktConditions) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 3);
+  const std::size_t m = 4 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  Matrix a(m, n);
+  Vector b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    b[i] = rng.uniform(-1.0, 1.0);
+  }
+  const auto r = solve_nnls(a, b);
+  ASSERT_TRUE(r.converged);
+  // KKT: grad = A^T (A x - b); x_j > 0 => grad_j == 0; x_j == 0 => grad_j >= 0.
+  const Vector resid = linalg::subtract(linalg::matvec(a, r.x), b);
+  const Vector grad = linalg::matvec_t(a, resid);
+  for (std::size_t j = 0; j < n; ++j) {
+    ASSERT_GE(r.x[j], -1e-12);
+    if (r.x[j] > 1e-8) {
+      EXPECT_NEAR(grad[j], 0.0, 1e-6) << "active coordinate gradient";
+    } else {
+      EXPECT_GE(grad[j], -1e-6) << "inactive coordinate multiplier sign";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNnls, NnlsKktProperty, ::testing::Range(0, 30));
+
+// --- Levenberg-Marquardt ----------------------------------------------------
+
+TEST(Lm, FitsExponentialDecay) {
+  // y = p0 * exp(-p1 * t), recover (2, 0.5) from clean data.
+  std::vector<double> t;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(0.2 * i);
+    y.push_back(2.0 * std::exp(-0.5 * 0.2 * i));
+  }
+  const auto fn = [&](std::span<const double> theta, Vector& r, Matrix* jac) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double e = std::exp(-theta[1] * t[i]);
+      r[i] = theta[0] * e - y[i];
+      if (jac) {
+        (*jac)(i, 0) = e;
+        (*jac)(i, 1) = -theta[0] * t[i] * e;
+      }
+    }
+  };
+  const Vector start{1.0, 1.0};
+  const Vector lo{0.0, 0.0};
+  const Vector hi{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+  const auto r = minimize_lm(fn, start, lo, hi, t.size());
+  EXPECT_NEAR(r.theta[0], 2.0, 1e-5);
+  EXPECT_NEAR(r.theta[1], 0.5, 1e-5);
+  EXPECT_LT(r.cost, 1e-12);
+}
+
+TEST(Lm, RespectsBoxBounds) {
+  // min (x - 5)^2 with x <= 2: LM must stop at the bound.
+  const auto fn = [](std::span<const double> theta, Vector& r, Matrix* jac) {
+    r[0] = theta[0] - 5.0;
+    if (jac) {
+      (*jac)(0, 0) = 1.0;
+    }
+  };
+  const Vector start{0.0};
+  const Vector lo{-10.0};
+  const Vector hi{2.0};
+  const auto r = minimize_lm(fn, start, lo, hi, 1);
+  EXPECT_NEAR(r.theta[0], 2.0, 1e-8);
+}
+
+TEST(Lm, NumericJacobianFallback) {
+  // Callback never fills the Jacobian: forward differences must kick in.
+  const auto fn = [](std::span<const double> theta, Vector& r, Matrix*) {
+    r[0] = theta[0] * theta[0] - 4.0;
+  };
+  const Vector start{1.0};
+  const Vector lo{0.0};
+  const Vector hi{10.0};
+  const auto r = minimize_lm(fn, start, lo, hi, 1);
+  EXPECT_NEAR(r.theta[0], 2.0, 1e-5);
+}
+
+// --- Barrier solver ----------------------------------------------------------
+
+TEST(Barrier, UnconstrainedQuadratic) {
+  NlpProblem p;
+  p.num_vars = 2;
+  const auto x = expr::variable(0);
+  const auto y = expr::variable(1);
+  p.objective = (x - 1.0) * (x - 1.0) + 2.0 * (y + 0.5) * (y + 0.5);
+  p.lower = {-10.0, -10.0};
+  p.upper = {10.0, 10.0};
+  const auto r = solve_barrier(p);
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -0.5, 1e-4);
+}
+
+TEST(Barrier, ActiveInequality) {
+  // min (x-2)^2  s.t.  x <= 1  ->  x = 1.
+  NlpProblem p;
+  p.num_vars = 1;
+  const auto x = expr::variable(0);
+  p.objective = (x - 2.0) * (x - 2.0);
+  p.constraints.push_back(x - 1.0);
+  p.lower = {-100.0};
+  p.upper = {100.0};
+  const auto r = solve_barrier(p);
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.objective, 1.0, 1e-3);
+}
+
+TEST(Barrier, ActiveBoxBound) {
+  NlpProblem p;
+  p.num_vars = 1;
+  const auto x = expr::variable(0);
+  p.objective = -x;  // push up
+  p.lower = {0.0};
+  p.upper = {3.0};
+  const auto r = solve_barrier(p);
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+}
+
+TEST(Barrier, DetectsInfeasible) {
+  // x <= -1 and x >= 1 cannot both hold.
+  NlpProblem p;
+  p.num_vars = 1;
+  const auto x = expr::variable(0);
+  p.objective = x;
+  p.constraints.push_back(x + 1.0);   // x <= -1
+  p.constraints.push_back(1.0 - x);   // x >= 1
+  p.lower = {-10.0};
+  p.upper = {10.0};
+  EXPECT_EQ(solve_barrier(p).status, NlpStatus::kInfeasible);
+}
+
+TEST(Barrier, LayoutRelaxationShape) {
+  // A miniature continuous layout-1 relaxation:
+  //   min T  s.t.  T >= 1000/na + 5,  T >= 800/no + 3,  na + no <= 100.
+  NlpProblem p;
+  p.num_vars = 3;  // T, na, no
+  const auto T = expr::variable(0);
+  const auto na = expr::variable(1);
+  const auto no = expr::variable(2);
+  p.objective = T;
+  p.constraints.push_back(1000.0 / na + 5.0 - T);
+  p.constraints.push_back(800.0 / no + 3.0 - T);
+  p.constraints.push_back(na + no - 100.0);
+  p.lower = {0.0, 1.0, 1.0};
+  p.upper = {1e6, 100.0, 100.0};
+  const auto r = solve_barrier(p);
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  // Optimality: both time constraints active and nodes exhausted.
+  EXPECT_NEAR(r.x[1] + r.x[2], 100.0, 1e-3);
+  EXPECT_NEAR(1000.0 / r.x[1] + 5.0, r.objective, 1e-2);
+  EXPECT_NEAR(800.0 / r.x[2] + 3.0, r.objective, 1e-2);
+}
+
+TEST(Barrier, StartPointUsedWhenInterior) {
+  NlpProblem p;
+  p.num_vars = 1;
+  const auto x = expr::variable(0);
+  p.objective = x * x;
+  p.lower = {-5.0};
+  p.upper = {5.0};
+  const auto r = solve_barrier(p, linalg::Vector{2.0});
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-4);
+}
+
+TEST(Barrier, FixedVariableHandledByWidening) {
+  NlpProblem p;
+  p.num_vars = 2;
+  const auto x = expr::variable(0);
+  const auto y = expr::variable(1);
+  p.objective = (x - 3.0) * (x - 3.0) + y * y;
+  p.lower = {2.0, -1.0};
+  p.upper = {2.0, 1.0};  // x fixed at 2
+  const auto r = solve_barrier(p);
+  ASSERT_EQ(r.status, NlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace hslb::nlp

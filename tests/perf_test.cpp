@@ -1,0 +1,273 @@
+// Tests for the Table II performance model and the fitting pipeline.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+#include "hslb/perf/fit.hpp"
+#include "hslb/perf/perf_model.hpp"
+#include "hslb/perf/sample_design.hpp"
+
+namespace hslb::perf {
+namespace {
+
+TEST(PerfModel, EvaluatesTableIIFunction) {
+  const PerfModel m(PerfParams{1000.0, 0.01, 1.2, 5.0});
+  const double n = 64.0;
+  EXPECT_NEAR(m(n), 1000.0 / 64.0 + 0.01 * std::pow(64.0, 1.2) + 5.0, 1e-12);
+  EXPECT_NEAR(m.scalable_term(n), 1000.0 / 64.0, 1e-12);
+  EXPECT_NEAR(m.nonlinear_term(n), 0.01 * std::pow(64.0, 1.2), 1e-12);
+  EXPECT_DOUBLE_EQ(m.serial_term(), 5.0);
+}
+
+TEST(PerfModel, DerivativeMatchesFiniteDifference) {
+  const PerfModel m(PerfParams{500.0, 0.002, 1.4, 3.0});
+  for (const double n : {2.0, 16.0, 200.0}) {
+    const double h = 1e-5 * n;
+    const double fd = (m(n + h) - m(n - h)) / (2.0 * h);
+    EXPECT_NEAR(m.deriv(n), fd, 1e-5 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST(PerfModel, SerialFloorDominatesAtScale) {
+  // Amdahl shape: as n grows, T approaches d from above.
+  const PerfModel m(PerfParams{1.0e4, 0.0, 1.0, 7.0});
+  EXPECT_GT(m(10.0), m(100.0));
+  EXPECT_GT(m(100.0), m(10000.0));
+  EXPECT_NEAR(m(1.0e8), 7.0, 1e-3);
+}
+
+TEST(PerfModel, RejectsNegativeParameters) {
+  EXPECT_THROW(PerfModel(PerfParams{-1.0, 0.0, 1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(PerfModel(PerfParams{1.0, -1.0, 1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(PerfModel(PerfParams{1.0, 0.0, 1.0, -2.0}), InvalidArgument);
+  EXPECT_THROW((void)PerfModel(PerfParams{1.0, 0.0, 1.0, 0.0})(0.0),
+               InvalidArgument);
+}
+
+TEST(PerfModel, ConvexityFlag) {
+  EXPECT_TRUE(PerfModel(PerfParams{1.0, 0.0, 0.5, 0.0}).is_convex());
+  EXPECT_TRUE(PerfModel(PerfParams{1.0, 0.1, 1.5, 0.0}).is_convex());
+  EXPECT_FALSE(PerfModel(PerfParams{1.0, 0.1, 0.5, 0.0}).is_convex());
+}
+
+TEST(PerfModel, ExprFormMatchesDirectEvaluation) {
+  const PerfModel m(PerfParams{123.0, 0.02, 1.3, 4.0});
+  const expr::Expr n = expr::variable(0, "n");
+  const expr::Expr t = m.as_expr(n);
+  for (const double v : {1.0, 17.0, 333.0}) {
+    EXPECT_NEAR(expr::eval(t, linalg::Vector{v}), m(v), 1e-10);
+  }
+}
+
+TEST(PerfModel, UnivariateFormConsistent) {
+  const PerfModel m(PerfParams{123.0, 0.0, 1.0, 4.0});
+  const auto fn = m.as_univariate();
+  EXPECT_NEAR(fn.value(10.0), m(10.0), 1e-12);
+  EXPECT_NEAR(fn.deriv(10.0), m.deriv(10.0), 1e-12);
+  EXPECT_EQ(fn.curvature, minlp::Curvature::kConvex);
+  ASSERT_TRUE(static_cast<bool>(fn.as_expr));
+}
+
+TEST(RSquared, PerfectAndPoorFits) {
+  const linalg::Vector obs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+  const linalg::Vector mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(obs, mean_pred), 0.0, 1e-12);
+}
+
+// --- Fitting ------------------------------------------------------------------
+
+TEST(Fit, RecoversCleanParameters) {
+  const PerfParams truth{5000.0, 0.0, 1.0, 12.0};
+  const PerfModel model(truth);
+  std::vector<double> nodes{8, 16, 32, 64, 128, 256, 512};
+  std::vector<double> times;
+  for (const double n : nodes) {
+    times.push_back(model(n));
+  }
+  const auto fit_result = fit(nodes, times);
+  EXPECT_GT(fit_result.r_squared, 0.99999);
+  EXPECT_NEAR(fit_result.model.params().a, truth.a, 0.02 * truth.a);
+  EXPECT_NEAR(fit_result.model.params().d, truth.d, 0.05 * truth.d + 0.5);
+  // Predictions must match truth everywhere in range.
+  for (const double n : {10.0, 100.0, 400.0}) {
+    EXPECT_NEAR(fit_result.model(n), model(n), 0.02 * model(n) + 0.1);
+  }
+}
+
+class FitRecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitRecoveryProperty, RecoversNoisyCurves) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 31);
+  const PerfParams truth{rng.uniform(1.0e3, 1.0e5), 0.0, 1.0,
+                         rng.uniform(1.0, 100.0)};
+  const PerfModel model(truth);
+
+  std::vector<double> nodes;
+  std::vector<double> times;
+  for (const int n : design_benchmark_nodes(8, 2048, 6)) {
+    nodes.push_back(n);
+    times.push_back(model(n) * rng.lognormal_noise(0.02));
+  }
+  // Plain SSE (the paper's objective) overweights the large absolute times
+  // at small node counts, so mid-range relative error can reach ~20%.
+  const auto fit_result = fit(nodes, times);
+  EXPECT_GT(fit_result.r_squared, 0.99) << "a=" << truth.a << " d=" << truth.d;
+  for (const double n : {16.0, 128.0, 1024.0}) {
+    EXPECT_NEAR(fit_result.model(n), model(n), 0.20 * model(n) + 0.5);
+  }
+
+  // Relative weighting distributes accuracy across the range: 10% holds.
+  FitOptions rel;
+  rel.relative_weighting = true;
+  const auto rel_result = fit(nodes, times, rel);
+  for (const double n : {16.0, 128.0, 1024.0}) {
+    EXPECT_NEAR(rel_result.model(n), model(n), 0.10 * model(n) + 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoisyCurves, FitRecoveryProperty,
+                         ::testing::Range(0, 25));
+
+TEST(Fit, ConvexExponentFloorRespected) {
+  const PerfModel truth(PerfParams{1000.0, 2.0, 0.4, 1.0});  // concave term
+  std::vector<double> nodes{4, 8, 16, 32, 64, 128};
+  std::vector<double> times;
+  for (const double n : nodes) {
+    times.push_back(truth(n));
+  }
+  FitOptions opts;  // default c_min = 1.0
+  const auto r = fit(nodes, times, opts);
+  EXPECT_GE(r.model.params().c, 1.0 - 1e-9);
+  EXPECT_TRUE(r.model.is_convex());
+
+  FitOptions free_opts;
+  free_opts.c_min = 0.1;
+  const auto r_free = fit(nodes, times, free_opts);
+  EXPECT_GE(r.sse, r_free.sse - 1e-9)
+      << "the unconstrained fit cannot be worse";
+}
+
+TEST(Fit, MultistartDoesNotDegrade) {
+  std::vector<double> nodes{8, 32, 128, 512};
+  std::vector<double> times{100.0, 30.0, 12.0, 8.0};
+  FitOptions plain;
+  const auto base = fit(nodes, times, plain);
+  FitOptions multi = plain;
+  multi.multistart = 8;
+  const auto better = fit(nodes, times, multi);
+  EXPECT_LE(better.sse, base.sse + 1e-9);
+}
+
+TEST(Fit, RejectsBadInputs) {
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)fit(two, two), InvalidArgument);
+  const std::vector<double> nodes{1.0, 2.0, -3.0};
+  const std::vector<double> times{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fit(nodes, times), InvalidArgument);
+}
+
+// --- Prediction intervals -------------------------------------------------------
+
+TEST(PredictionInterval, ZeroForNoiselessOverdeterminedFit) {
+  const PerfModel truth(PerfParams{5000.0, 0.0, 1.0, 12.0});
+  std::vector<double> nodes{8, 16, 32, 64, 128, 256};
+  std::vector<double> times;
+  for (const double n : nodes) {
+    times.push_back(truth(n));
+  }
+  const auto r = fit(nodes, times);
+  EXPECT_GT(r.degrees_of_freedom, 0);
+  EXPECT_LT(prediction_stddev(r, 64.0), 1e-3);
+}
+
+TEST(PredictionInterval, GrowsWithNoiseAndExtrapolation) {
+  const PerfModel truth(PerfParams{5000.0, 0.0, 1.0, 12.0});
+  common::Rng rng(5);
+  std::vector<double> nodes{8, 16, 32, 64, 128, 256};
+  std::vector<double> clean;
+  std::vector<double> noisy;
+  for (const double n : nodes) {
+    clean.push_back(truth(n));
+    noisy.push_back(truth(n) * rng.lognormal_noise(0.05));
+  }
+  const auto fit_clean = fit(nodes, clean);
+  const auto fit_noisy = fit(nodes, noisy);
+  EXPECT_GT(prediction_stddev(fit_noisy, 64.0),
+            prediction_stddev(fit_clean, 64.0));
+  // Extrapolating far past the data is less certain than interpolating.
+  EXPECT_GT(prediction_stddev(fit_noisy, 4096.0),
+            prediction_stddev(fit_noisy, 64.0) * 0.5);
+}
+
+TEST(PredictionInterval, CoversTruthMostOfTheTime) {
+  // ~2-sigma intervals should cover the true curve at interpolated counts.
+  const PerfModel truth(PerfParams{20000.0, 0.0, 1.0, 30.0});
+  int covered = 0;
+  int total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    common::Rng rng(100 + static_cast<std::uint64_t>(trial));
+    std::vector<double> nodes{8, 16, 32, 64, 128, 256, 512};
+    std::vector<double> times;
+    for (const double n : nodes) {
+      times.push_back(truth(n) * rng.lognormal_noise(0.02));
+    }
+    const auto r = fit(nodes, times);
+    for (const double n : {24.0, 96.0, 384.0}) {
+      const double err = std::fabs(r.model(n) - truth(n));
+      covered += err <= 3.0 * prediction_stddev(r, n) + 1e-9;
+      ++total;
+    }
+  }
+  EXPECT_GE(covered, total * 7 / 10) << covered << "/" << total;
+}
+
+TEST(PredictionInterval, EmptyWhenExactlyDetermined) {
+  const PerfModel truth(PerfParams{5000.0, 1.0, 1.2, 12.0});
+  std::vector<double> nodes{8, 32, 128};  // 3 samples, 4 parameters
+  std::vector<double> times;
+  for (const double n : nodes) {
+    times.push_back(truth(n));
+  }
+  const auto r = fit(nodes, times);
+  EXPECT_LE(r.degrees_of_freedom, 0);
+  EXPECT_DOUBLE_EQ(prediction_stddev(r, 64.0), 0.0);
+}
+
+// --- Sample design --------------------------------------------------------------
+
+TEST(SampleDesign, EndpointsIncludedAndSorted) {
+  const auto nodes = design_benchmark_nodes(8, 2048, 5);
+  ASSERT_GE(nodes.size(), 2u);
+  EXPECT_EQ(nodes.front(), 8);
+  EXPECT_EQ(nodes.back(), 2048);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i], nodes[i - 1]);
+  }
+}
+
+TEST(SampleDesign, LogSpacing) {
+  const auto nodes = design_benchmark_nodes(10, 10000, 4);
+  ASSERT_EQ(nodes.size(), 4u);
+  // Ratios roughly constant for log spacing.
+  const double r1 = static_cast<double>(nodes[1]) / nodes[0];
+  const double r2 = static_cast<double>(nodes[2]) / nodes[1];
+  EXPECT_NEAR(r1, r2, 0.2 * r1);
+}
+
+TEST(SampleDesign, DegenerateRange) {
+  const auto nodes = design_benchmark_nodes(64, 64, 5);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 64);
+}
+
+TEST(SampleDesign, SnapToAllowed) {
+  const std::vector<int> allowed{2, 4, 8, 480, 768};
+  const auto snapped = snap_to_allowed({3, 100, 500, 9000}, allowed);
+  EXPECT_EQ(snapped, (std::vector<int>{2, 8, 480, 768}));
+}
+
+}  // namespace
+}  // namespace hslb::perf

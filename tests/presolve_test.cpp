@@ -1,0 +1,141 @@
+// Tests for the FBBT presolve.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/minlp/presolve.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+TEST(Presolve, TightensFromLinearRows) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kContinuous, 0.0, 100.0);
+  const auto y = m.add_variable("y", VarType::kContinuous, 0.0, 100.0);
+  m.add_linear({{x, 1.0}, {y, 1.0}}, -lp::kInf, 10.0, "sum");
+  m.add_linear({{y, 1.0}}, 3.0, lp::kInf, "ymin");
+  const auto result = presolve(m);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_NEAR(result.upper[x], 7.0, 1e-9);  // x <= 10 - y_min
+  EXPECT_NEAR(result.upper[y], 10.0, 1e-9);
+  EXPECT_NEAR(result.lower[y], 3.0, 1e-9);
+  EXPECT_GE(result.tightenings, 2);
+}
+
+TEST(Presolve, RoundsIntegerBounds) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 100.0);
+  m.add_linear({{x, 2.0}}, 3.1, 9.9, "range");
+  const auto result = presolve(m);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_DOUBLE_EQ(result.lower[x], 2.0);  // ceil(1.55)
+  EXPECT_DOUBLE_EQ(result.upper[x], 4.0);  // floor(4.95)
+}
+
+TEST(Presolve, DetectsRowInfeasibility) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kContinuous, 0.0, 1.0);
+  m.add_linear({{x, 1.0}}, 5.0, 6.0, "unreachable");
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, DetectsEmptyIntegerRange) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 10.0);
+  m.add_linear({{x, 1.0}}, 2.2, 2.8, "no integer");
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, PropagatesThroughLinks) {
+  Model m;
+  const auto n = m.add_variable("n", VarType::kInteger, 10.0, 100.0);
+  const auto t = m.add_variable("t", VarType::kContinuous, 0.0, 1e9);
+  auto fn = make_univariate(
+      [](double v) { return 1000.0 / v + 5.0; },
+      [](double v) { return -1000.0 / (v * v); }, Curvature::kConvex);
+  m.add_link(t, n, fn, "link");
+  const auto result = presolve(m);
+  ASSERT_FALSE(result.infeasible);
+  // t in [f(100), f(10)] = [15, 105].
+  EXPECT_NEAR(result.lower[t], 15.0, 1e-6);
+  EXPECT_NEAR(result.upper[t], 105.0, 1e-6);
+}
+
+TEST(Presolve, LinkRangeFindsInteriorMinimum) {
+  const auto fn = make_univariate(
+      [](double v) { return 100.0 / v + 0.5 * v; },
+      [](double v) { return -100.0 / (v * v) + 0.5; }, Curvature::kConvex);
+  const FnRange range = univariate_range(fn, Curvature::kConvex, 1.0, 100.0);
+  // Interior minimum at sqrt(200) ~ 14.142: f* = 2 sqrt(50) ~ 14.142.
+  EXPECT_NEAR(range.min, 2.0 * std::sqrt(50.0), 1e-4);
+  EXPECT_NEAR(range.max, 100.5, 1e-9);  // f(1) = 100.5
+}
+
+TEST(Presolve, LinkRangeConcave) {
+  const auto fn = make_univariate(
+      [](double v) { return std::sqrt(v); },
+      [](double v) { return 0.5 / std::sqrt(v); }, Curvature::kConcave);
+  const FnRange range = univariate_range(fn, Curvature::kConcave, 4.0, 25.0);
+  EXPECT_NEAR(range.min, 2.0, 1e-9);
+  EXPECT_NEAR(range.max, 5.0, 1e-9);
+}
+
+TEST(Presolve, FixpointConvergesThroughChains) {
+  // x <= y, y <= z, z <= 5: the chain must propagate to x within rounds.
+  Model m;
+  const auto x = m.add_variable("x", VarType::kContinuous, 0.0, 100.0);
+  const auto y = m.add_variable("y", VarType::kContinuous, 0.0, 100.0);
+  const auto z = m.add_variable("z", VarType::kContinuous, 0.0, 100.0);
+  m.add_linear({{x, 1.0}, {y, -1.0}}, -lp::kInf, 0.0);
+  m.add_linear({{y, 1.0}, {z, -1.0}}, -lp::kInf, 0.0);
+  m.add_linear({{z, 1.0}}, -lp::kInf, 5.0);
+  const auto result = presolve(m);
+  EXPECT_NEAR(result.upper[x], 5.0, 1e-9);
+  EXPECT_NEAR(result.upper[y], 5.0, 1e-9);
+  EXPECT_GE(result.rounds, 2);
+}
+
+TEST(Presolve, SolverUsesPresolve) {
+  // The solve must agree with and without presolve; with it, the stats
+  // should report tightenings on a model with propagation opportunities.
+  const auto build = [] {
+    Model m;
+    const auto T = m.add_variable("T", VarType::kContinuous, 0.0, 1e9);
+    const auto n = m.add_variable("n", VarType::kInteger, 1.0, 1000.0);
+    const auto t = m.add_variable("t", VarType::kContinuous, 0.0, 1e9);
+    auto fn = make_univariate(
+        [](double v) { return 100.0 / v + 0.5 * v; },
+        [](double v) { return -100.0 / (v * v) + 0.5; },
+        Curvature::kConvex);
+    m.add_link(t, n, fn, "link");
+    m.add_linear({{T, 1.0}, {t, -1.0}}, 0.0, lp::kInf);
+    m.add_linear({{n, 1.0}}, -lp::kInf, 40.0, "budget");
+    m.minimize(m.var(T));
+    return m;
+  };
+  Model with = build();
+  const auto r_with = solve(with);
+  Model without = build();
+  SolverOptions opts;
+  opts.use_presolve = false;
+  const auto r_without = solve(without, opts);
+  ASSERT_EQ(r_with.status, MinlpStatus::kOptimal);
+  ASSERT_EQ(r_without.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r_with.objective, r_without.objective, 1e-7);
+  EXPECT_GT(r_with.stats.presolve_tightenings, 0);
+  EXPECT_EQ(r_without.stats.presolve_tightenings, 0);
+}
+
+TEST(Presolve, InfeasibleModelShortCircuitsSolve) {
+  Model m;
+  const auto x = m.add_variable("x", VarType::kInteger, 0.0, 10.0);
+  m.add_linear({{x, 1.0}}, 2.2, 2.8, "no integer");
+  m.minimize(m.var(x));
+  const auto result = solve(m);
+  EXPECT_EQ(result.status, MinlpStatus::kInfeasible);
+  EXPECT_EQ(result.stats.lp_solves, 0) << "presolve should prove it alone";
+}
+
+}  // namespace
+}  // namespace hslb::minlp

@@ -1,0 +1,96 @@
+// Tests for report rendering: Table III blocks, Figure 1 diagrams, fit
+// summaries.
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/report.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PipelineConfig config;
+    config.case_config = cesm::one_degree_case();
+    config.total_nodes = 128;
+    config.gather_totals = {128, 512, 2048};
+    hslb_ = run_hslb(config);
+
+    ManualTunerConfig manual_config;
+    manual_config.total_nodes = 128;
+    manual_ = run_manual(config.case_config, manual_config, hslb_.samples);
+  }
+  HslbResult hslb_;
+  ManualResult manual_;
+};
+
+TEST_F(ReportFixture, Table3BlockHasAllComponentsAndTotal) {
+  const common::Table table = render_table3_block(manual_, hslb_);
+  const std::string text = table.to_text();
+  for (const char* name : {"lnd", "ice", "atm", "ocn", "Total time"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(table.rows(), 5u);
+  // The header mirrors the paper's column structure.
+  EXPECT_NE(text.find("manual"), std::string::npos);
+  EXPECT_NE(text.find("pred"), std::string::npos);
+  EXPECT_NE(text.find("actual"), std::string::npos);
+}
+
+TEST_F(ReportFixture, Table3BlockWithoutManual) {
+  const common::Table table = render_table3_block(hslb_);
+  EXPECT_EQ(table.rows(), 5u);
+  EXPECT_EQ(table.to_text().find("manual"), std::string::npos);
+}
+
+TEST_F(ReportFixture, FitSummaryShowsParametersAndR2) {
+  const common::Table table = render_fit_summary(hslb_.fits);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("R^2"), std::string::npos);
+  EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST_F(ReportFixture, LayoutAsciiDiagramContainsEveryComponent) {
+  const cesm::Layout layout = hslb_.allocation.as_layout(
+      cesm::LayoutKind::kHybrid);
+  const std::string art =
+      render_layout_ascii(layout, hslb_.allocation.predicted_seconds);
+  EXPECT_NE(art.find('I'), std::string::npos);
+  EXPECT_NE(art.find('L'), std::string::npos);
+  EXPECT_NE(art.find('A'), std::string::npos);
+  EXPECT_NE(art.find('O'), std::string::npos);
+  EXPECT_NE(art.find("layout-1"), std::string::npos);
+}
+
+TEST_F(ReportFixture, LayoutAsciiAllThreeKinds) {
+  std::map<ComponentKind, double> seconds{{ComponentKind::kIce, 100.0},
+                                          {ComponentKind::kLnd, 95.0},
+                                          {ComponentKind::kAtm, 300.0},
+                                          {ComponentKind::kOcn, 390.0}};
+  for (const auto kind :
+       {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+        cesm::LayoutKind::kFullySequential}) {
+    cesm::Layout layout;
+    layout.kind = kind;
+    layout.nodes = {{ComponentKind::kIce, 80},
+                    {ComponentKind::kLnd, 24},
+                    {ComponentKind::kAtm, 104},
+                    {ComponentKind::kOcn, 24}};
+    const std::string art = render_layout_ascii(layout, seconds);
+    EXPECT_GT(art.size(), 100u) << to_string(kind);
+  }
+}
+
+TEST_F(ReportFixture, RejectsTinyCanvas) {
+  const cesm::Layout layout = hslb_.allocation.as_layout(
+      cesm::LayoutKind::kHybrid);
+  EXPECT_THROW((void)render_layout_ascii(
+                   layout, hslb_.allocation.predicted_seconds, 5, 2),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hslb::core

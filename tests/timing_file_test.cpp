@@ -1,0 +1,89 @@
+// Tests for the timing-file renderer/parser round trip.
+#include <gtest/gtest.h>
+
+#include "hslb/cesm/driver.hpp"
+#include "hslb/cesm/timing_file.hpp"
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/pipeline.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+class TimingFileFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = one_degree_case();
+    run_ = run_case(config_, Layout::hybrid(80, 24, 104, 24), 42);
+    text_ = render_timing_file(config_, run_);
+  }
+  CaseConfig config_;
+  RunResult run_;
+  std::string text_;
+};
+
+TEST_F(TimingFileFixture, RoundTripsMetadata) {
+  const ParsedTimingFile parsed = parse_timing_file(text_);
+  EXPECT_EQ(parsed.case_name, config_.name);
+  EXPECT_EQ(parsed.machine, config_.machine.name);
+  EXPECT_EQ(parsed.simulated_days, config_.simulated_days);
+  EXPECT_NE(parsed.layout.find("layout-1"), std::string::npos);
+}
+
+TEST_F(TimingFileFixture, RoundTripsComponentRows) {
+  const ParsedTimingFile parsed = parse_timing_file(text_);
+  EXPECT_EQ(parsed.rows.size(), 6u);  // 4 modeled + rof + cpl
+  for (const ComponentKind kind : kModeledComponents) {
+    const auto row = parsed.find(to_string(kind));
+    ASSERT_TRUE(row.has_value()) << to_string(kind);
+    EXPECT_NEAR(row->seconds, run_.component_seconds.at(kind), 1e-3);
+    EXPECT_EQ(row->nodes, run_.layout.at(kind));
+    EXPECT_EQ(row->cores, config_.machine.cores(row->nodes));
+  }
+}
+
+TEST_F(TimingFileFixture, RoundTripsTotals) {
+  const ParsedTimingFile parsed = parse_timing_file(text_);
+  EXPECT_NEAR(parsed.model_seconds, run_.model_seconds, 1e-3);
+  EXPECT_NEAR(parsed.total_seconds, run_.total_seconds, 1e-3);
+}
+
+TEST_F(TimingFileFixture, RejectsGarbage) {
+  EXPECT_THROW((void)parse_timing_file("not a timing file"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_timing_file(""), InvalidArgument);
+}
+
+TEST_F(TimingFileFixture, SamplesFeedThePipeline) {
+  // Render timing files for the usual gather campaign, parse them back, and
+  // run HSLB from the parsed samples: the full production loop.
+  std::vector<ParsedTimingFile> files;
+  for (const int total : {128, 256, 512, 1024, 2048}) {
+    const Layout layout =
+        reference_layout(config_, LayoutKind::kHybrid, total);
+    const RunResult run = run_case(config_, layout, 1000 + total);
+    files.push_back(parse_timing_file(render_timing_file(config_, run)));
+  }
+  const auto samples = samples_from_timing(files);
+  EXPECT_EQ(samples.size(), 5u * 4u);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.case_config = config_;
+  pipeline_config.total_nodes = 128;
+  const core::HslbResult result =
+      core::run_hslb_from_samples(pipeline_config, samples);
+  EXPECT_GT(result.predicted_total, 0.0);
+  for (const ComponentKind kind : kModeledComponents) {
+    EXPECT_GT(result.fits.at(kind).r_squared, 0.95);
+  }
+}
+
+TEST_F(TimingFileFixture, SamplesRequireAllComponents) {
+  ParsedTimingFile incomplete = parse_timing_file(text_);
+  std::erase_if(incomplete.rows, [](const ParsedTimingFile::Row& row) {
+    return row.component == "ocn";
+  });
+  EXPECT_THROW((void)samples_from_timing({incomplete}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hslb::cesm

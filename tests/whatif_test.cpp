@@ -1,0 +1,132 @@
+// Tests for the what-if studies of section IV-C.
+#include <gtest/gtest.h>
+
+#include "hslb/common/error.hpp"
+#include "hslb/cesm/configs.hpp"
+#include "hslb/hslb/whatif.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+using cesm::LayoutKind;
+
+LayoutModelSpec spec_for_tests(int total_nodes) {
+  LayoutModelSpec spec;
+  spec.layout = LayoutKind::kHybrid;
+  spec.total_nodes = total_nodes;
+  spec.perf[ComponentKind::kAtm] =
+      perf::PerfModel(perf::PerfParams{27000.0, 0.0, 1.0, 45.0});
+  spec.perf[ComponentKind::kOcn] =
+      perf::PerfModel(perf::PerfParams{7800.0, 0.0, 1.0, 41.0});
+  spec.perf[ComponentKind::kIce] =
+      perf::PerfModel(perf::PerfParams{7400.0, 0.0, 1.0, 12.0});
+  spec.perf[ComponentKind::kLnd] =
+      perf::PerfModel(perf::PerfParams{1480.0, 0.0, 1.0, 2.0});
+  spec.min_nodes = {{ComponentKind::kAtm, 8},
+                    {ComponentKind::kOcn, 2},
+                    {ComponentKind::kIce, 4},
+                    {ComponentKind::kLnd, 2}};
+  return spec;
+}
+
+TEST(WhatIf, ConstraintEffectIsNonnegative) {
+  LayoutModelSpec spec = spec_for_tests(128);
+  spec.ocn_allowed = {8, 32};  // a deliberately poor set
+  spec.atm_allowed = {64, 96};
+  const ConstraintEffect effect = constraint_effect(spec);
+  EXPECT_GE(effect.relative_cost, -1e-9)
+      << "restricting the sets cannot make the optimum better";
+  EXPECT_GE(effect.constrained_total, effect.unconstrained_total - 1e-6);
+  // The constrained solution is in the sets.
+  const int ocn = effect.constrained.nodes.at(ComponentKind::kOcn);
+  EXPECT_TRUE(ocn == 8 || ocn == 32);
+}
+
+TEST(WhatIf, ConstraintEffectZeroWhenSetsContainOptimum) {
+  LayoutModelSpec spec = spec_for_tests(128);
+  const ConstraintEffect no_sets = constraint_effect(spec);
+  EXPECT_NEAR(no_sets.relative_cost, 0.0, 1e-6);
+}
+
+TEST(WhatIf, ScalingForecastIsMonotone) {
+  const LayoutModelSpec spec = spec_for_tests(64);
+  const std::vector<int> sizes{64, 128, 256, 512, 1024};
+  const auto forecast = scaling_forecast(spec, sizes);
+  ASSERT_EQ(forecast.size(), sizes.size());
+  for (std::size_t i = 1; i < forecast.size(); ++i) {
+    EXPECT_LE(forecast[i].predicted_total,
+              forecast[i - 1].predicted_total + 1e-6)
+        << "more nodes can only help";
+  }
+  EXPECT_NEAR(forecast.front().efficiency, 1.0, 1e-9);
+  // Efficiency decays as the serial floor bites (Amdahl).
+  EXPECT_LT(forecast.back().efficiency, forecast.front().efficiency);
+}
+
+TEST(WhatIf, SwapComponentFasterOceanHelps) {
+  const LayoutModelSpec spec = spec_for_tests(96);
+  LayoutModelVars vars;
+  const auto base = minlp::solve(build_layout_model(spec, &vars));
+  ASSERT_EQ(base.status, minlp::MinlpStatus::kOptimal);
+
+  // A 2x faster ocean ("replacing one component with another").
+  const perf::PerfModel faster_ocean(
+      perf::PerfParams{3900.0, 0.0, 1.0, 20.5});
+  double new_total = 0.0;
+  const Allocation swapped = swap_component(
+      spec, ComponentKind::kOcn, faster_ocean, &new_total);
+  EXPECT_LT(new_total, base.objective + 1e-9);
+  EXPECT_GE(swapped.nodes.at(ComponentKind::kOcn), 1);
+}
+
+TEST(WhatIf, SwapComponentSlowerAtmosphereHurts) {
+  const LayoutModelSpec spec = spec_for_tests(96);
+  LayoutModelVars vars;
+  const auto base = minlp::solve(build_layout_model(spec, &vars));
+  const perf::PerfModel slower_atm(
+      perf::PerfParams{54000.0, 0.0, 1.0, 90.0});
+  double new_total = 0.0;
+  (void)swap_component(spec, ComponentKind::kAtm, slower_atm, &new_total);
+  EXPECT_GT(new_total, base.objective - 1e-9);
+}
+
+TEST(WhatIf, RecommendSizeFindsBothPoints) {
+  const LayoutModelSpec spec = spec_for_tests(64);
+  const std::vector<int> sizes{64, 128, 256, 512, 1024, 2048};
+  const SizeRecommendation rec = recommend_size(spec, sizes, 0.5);
+  EXPECT_GT(rec.cost_efficient_nodes, 0);
+  EXPECT_GT(rec.fastest_nodes, 0);
+  EXPECT_GE(rec.fastest_nodes, rec.cost_efficient_nodes)
+      << "the fastest size is at least as large as the efficient one";
+  EXPECT_LE(rec.fastest_total, rec.cost_efficient_total + 1e-9);
+  EXPECT_EQ(rec.sweep.size(), sizes.size());
+}
+
+TEST(WhatIf, ScaledHardwareCasePreservesShape) {
+  const cesm::CaseConfig base = cesm::one_degree_case();
+  const cesm::CaseConfig fast =
+      cesm::scaled_hardware_case(base, "2x machine", 2.0, 8192, 16);
+  EXPECT_EQ(fast.machine.total_nodes, 8192);
+  EXPECT_EQ(fast.machine.cores_per_node, 16);
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    const double before = base.component(kind).true_time(64);
+    const double after = fast.component(kind).true_time(64);
+    EXPECT_NEAR(after, before / 2.0, 1e-9 * before) << cesm::to_string(kind);
+  }
+  // Allowed sets truncated to the machine.
+  for (const int n : fast.atm_allowed) {
+    EXPECT_LE(n, 8192);
+  }
+  EXPECT_THROW((void)cesm::scaled_hardware_case(base, "bad", -1.0, 100, 4),
+               InvalidArgument);
+}
+
+TEST(WhatIf, RecommendSizeRejectsImpossibleFloor) {
+  const LayoutModelSpec spec = spec_for_tests(64);
+  const std::vector<int> sizes{64, 2048};
+  EXPECT_THROW((void)recommend_size(spec, sizes, 2.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hslb::core
