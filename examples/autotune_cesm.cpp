@@ -2,13 +2,16 @@
 // manual-expert baseline -- the paper's headline workflow as a CLI tool.
 //
 //   $ ./autotune_cesm [1deg|eighth] [total_nodes] [--unconstrained-ocean]
+//                     [--trace-out=<file.json>] [--metrics]
 //
 // Examples:
 //   ./autotune_cesm                      # 1-degree case at 128 nodes
 //   ./autotune_cesm eighth 32768         # the paper's largest experiment
 //   ./autotune_cesm eighth 32768 --unconstrained-ocean
 //   ./autotune_cesm 1deg 512 --tune-ice        # learn CICE decompositions first
+//   ./autotune_cesm 1deg 512 --trace-out=hslb.json --metrics
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -24,11 +27,17 @@ int main(int argc, char** argv) {
   int total_nodes = 128;
   bool constrain_ocean = true;
   bool tune_ice = false;
+  std::string trace_out;
+  bool show_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--unconstrained-ocean") == 0) {
       constrain_ocean = false;
     } else if (std::strcmp(argv[i], "--tune-ice") == 0) {
       tune_ice = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      show_metrics = true;
     } else if (std::isdigit(static_cast<unsigned char>(argv[i][0])) != 0) {
       total_nodes = std::atoi(argv[i]);
     } else {
@@ -50,6 +59,15 @@ int main(int argc, char** argv) {
   config.total_nodes = total_nodes;
   config.constrain_ocean = constrain_ocean;
   config.tune_ice_decomposition = tune_ice;
+
+  obs::TraceSession trace;
+  obs::Registry metrics;
+  if (!trace_out.empty()) {
+    config.obs.trace = &trace;
+  }
+  if (show_metrics || !trace_out.empty()) {
+    config.obs.metrics = &metrics;
+  }
 
   std::cout << "case        : " << config.case_config.name << '\n'
             << "machine     : " << config.case_config.machine.name << '\n'
@@ -95,5 +113,21 @@ int main(int argc, char** argv) {
 
   std::cout << "\nTiming file of the tuned run:\n"
             << cesm::render_timing_file(config.case_config, hslb.run);
+
+  if (show_metrics) {
+    std::cout << '\n' << core::render_metrics_block(metrics);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write trace to " << trace_out << '\n';
+      return 1;
+    }
+    out << trace.to_chrome_json();
+    std::cout << "\nTrace written to " << trace_out
+              << " (open in chrome://tracing or ui.perfetto.dev)\n"
+              << "Flame summary:\n"
+              << trace.flame_summary();
+  }
   return 0;
 }

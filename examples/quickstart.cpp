@@ -1,24 +1,54 @@
 // Quickstart: the four HSLB steps on a small simulated CESM case.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace-out=<file.json>] [--metrics]
 //
 // 1. Gather   -- benchmark the coupled model at five machine sizes.
 // 2. Fit      -- Table II least squares per component.
 // 3. Solve    -- the Table I MINLP for a 128-node slice.
 // 4. Execute  -- run at the optimal allocation and compare.
+//
+// --trace-out writes a Chrome trace_event JSON of the whole run (open it in
+// chrome://tracing or https://ui.perfetto.dev) and prints a flame summary;
+// --metrics prints the solver/fitter counters next to the results.
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "hslb/hslb/pipeline.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
+
+  std::string trace_out;
+  bool show_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else {
+      std::cerr << "usage: quickstart [--trace-out=<file.json>] [--metrics]\n";
+      return 2;
+    }
+  }
 
   core::PipelineConfig config;
   config.case_config = cesm::one_degree_case();   // simulated CESM 1.1.1, 1 degree
   config.total_nodes = 128;                       // the machine slice to tune
   config.gather_totals = {128, 256, 512, 1024, 2048};
+
+  obs::TraceSession trace;
+  obs::Registry metrics;
+  if (!trace_out.empty()) {
+    config.obs.trace = &trace;
+  }
+  if (show_metrics || !trace_out.empty()) {
+    config.obs.metrics = &metrics;
+  }
 
   std::cout << "Running the HSLB pipeline on " << config.case_config.name
             << " targeting " << config.total_nodes << " nodes...\n";
@@ -59,5 +89,21 @@ int main() {
             << core::render_layout_ascii(
                    result.allocation.as_layout(config.layout),
                    result.allocation.predicted_seconds);
+
+  if (show_metrics) {
+    std::cout << '\n' << core::render_metrics_block(metrics);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write trace to " << trace_out << '\n';
+      return 1;
+    }
+    out << trace.to_chrome_json();
+    std::cout << "\nTrace written to " << trace_out
+              << " (open in chrome://tracing or ui.perfetto.dev)\n"
+              << "Flame summary:\n"
+              << trace.flame_summary();
+  }
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# One-command correctness gate: sanitized Debug build, full test suite, and
+# an observability-enabled smoke run of the quickstart example.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (Debug + ASan/UBSan) -> ${build_dir}"
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "== build"
+cmake --build "${build_dir}" -j "${jobs}"
+
+echo "== ctest"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+echo "== observability smoke run (quickstart --trace-out --metrics)"
+trace_file="${build_dir}/check-trace.json"
+"${build_dir}/examples/quickstart" --trace-out="${trace_file}" --metrics
+
+# The trace must be a loadable Chrome trace with all four phase spans.
+for phase in hslb.gather hslb.fit hslb.solve hslb.execute; do
+  grep -q "\"name\":\"${phase}\"" "${trace_file}" \
+    || { echo "missing phase span ${phase} in ${trace_file}" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${trace_file}"
+else
+  echo "note: python3 unavailable, JSON well-formedness check skipped"
+fi
+
+echo "== OK: build, tests, and observability smoke run all passed"

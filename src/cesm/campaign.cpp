@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "hslb/common/error.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::cesm {
 namespace {
@@ -93,8 +94,13 @@ CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
   for (std::ptrdiff_t i = 0;
        i < static_cast<std::ptrdiff_t>(totals.size()); ++i) {
     const auto idx = static_cast<std::size_t>(i);
+    obs::ScopedSpan span("cesm.gather.benchmark");
+    if (span.active()) {
+      span.arg("total_nodes", static_cast<long long>(totals[idx]));
+    }
     const Layout layout = reference_layout(config, kind, totals[idx]);
     out.runs[idx] = run_case(config, layout, run_seeds[idx]);
+    HSLB_COUNT("cesm.gather.benchmarks", 1);
   }
 
   for (const RunResult& run : out.runs) {

@@ -6,9 +6,46 @@
 
 #include "hslb/common/error.hpp"
 #include "hslb/common/table.hpp"
+#include "hslb/common/timing.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::cesm {
 namespace {
+
+/// Log-spaced edges for per-day *simulated* component seconds.
+std::vector<double> day_seconds_bounds() {
+  return {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0};
+}
+
+/// Cached per-run instruments (null members when no registry installed).
+struct DriverMetrics {
+  obs::Histogram* day_ice = nullptr;
+  obs::Histogram* day_lnd = nullptr;
+  obs::Histogram* day_atm = nullptr;
+  obs::Histogram* day_ocn = nullptr;
+  obs::Histogram* day_wall_ms = nullptr;
+  obs::Counter* wait_atm_group = nullptr;
+  obs::Counter* wait_ocn_group = nullptr;
+  obs::Counter* days = nullptr;
+
+  explicit DriverMetrics(obs::Registry* registry) {
+    if (registry == nullptr) {
+      return;
+    }
+    day_ice = &registry->histogram("cesm.day_seconds.ice",
+                                   day_seconds_bounds());
+    day_lnd = &registry->histogram("cesm.day_seconds.lnd",
+                                   day_seconds_bounds());
+    day_atm = &registry->histogram("cesm.day_seconds.atm",
+                                   day_seconds_bounds());
+    day_ocn = &registry->histogram("cesm.day_seconds.ocn",
+                                   day_seconds_bounds());
+    day_wall_ms = &registry->histogram("cesm.day_driver_ms");
+    wait_atm_group = &registry->counter("cesm.sync_wait_s.atm_group");
+    wait_ocn_group = &registry->counter("cesm.sync_wait_s.ocn_group");
+    days = &registry->counter("cesm.days_simulated");
+  }
+};
 
 /// One component's per-day busy time: the 5-day truth law divided across
 /// days with independent per-day jitter (so day-to-day imbalance shows up in
@@ -41,6 +78,15 @@ RunResult run_case(const CaseConfig& config, const Layout& layout,
   HSLB_REQUIRE(days >= 1, "need at least one simulated day");
   const int steps = config.coupling_steps_per_day;
   HSLB_REQUIRE(steps >= 1, "need at least one coupling step per day");
+
+  obs::ScopedSpan run_span("cesm.run_case");
+  if (run_span.active()) {
+    run_span.arg("layout", std::string(to_string(layout.kind)));
+    run_span.arg("nodes", static_cast<long long>(layout.footprint()));
+    run_span.arg("days", static_cast<long long>(config.simulated_days));
+  }
+  const DriverMetrics metrics(obs::current_metrics());
+  common::WallTimer day_timer;
 
   common::Rng rng(seed);
   RunResult out;
@@ -121,6 +167,22 @@ RunResult run_case(const CaseConfig& config, const Layout& layout,
         break;
     }
     wall_total += wall_day + t_cpl;
+
+    if (metrics.days != nullptr) {
+      metrics.days->add(1.0);
+      metrics.day_ice->observe(t_ice);
+      metrics.day_lnd->observe(t_lnd);
+      metrics.day_atm->observe(t_atm);
+      metrics.day_ocn->observe(t_ocn);
+      // Real (driver) wall time spent computing this simulated day.
+      metrics.day_wall_ms->observe(day_timer.lap() * 1e3);
+      // Sync wait: the layout group that finishes early idles until the
+      // other side's coupling point (zero for the fully sequential layout).
+      if (layout.kind != LayoutKind::kFullySequential) {
+        metrics.wait_atm_group->add(wall_day - atm_side_day);
+        metrics.wait_ocn_group->add(wall_day - t_ocn);
+      }
+    }
   }
 
   out.model_seconds = model_total;

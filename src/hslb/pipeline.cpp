@@ -33,13 +33,20 @@ HslbResult solve_and_execute(const PipelineConfig& config,
   spec.objective = config.objective;
   spec.use_sos = config.use_sos;
   spec.min_nodes = config.case_config.min_nodes;
-  for (const ComponentKind kind : cesm::kModeledComponents) {
-    const cesm::Series series = cesm::series_for(out.samples, kind);
-    HSLB_REQUIRE(series.nodes.size() >= 3,
-                 "need at least 3 samples per component to fit");
-    out.fits[kind] = perf::fit(series.nodes, series.seconds,
-                               config.fit_options);
-    spec.perf[kind] = out.fits.at(kind).model;
+  {
+    HSLB_SPAN("hslb.fit");
+    for (const ComponentKind kind : cesm::kModeledComponents) {
+      obs::ScopedSpan span("hslb.fit.component");
+      if (span.active()) {
+        span.arg("component", std::string(cesm::to_string(kind)));
+      }
+      const cesm::Series series = cesm::series_for(out.samples, kind);
+      HSLB_REQUIRE(series.nodes.size() >= 3,
+                   "need at least 3 samples per component to fit");
+      out.fits[kind] = perf::fit(series.nodes, series.seconds,
+                                 config.fit_options);
+      spec.perf[kind] = out.fits.at(kind).model;
+    }
   }
 
   // --- Step 3: solve the Table I MINLP. -------------------------------------
@@ -62,8 +69,11 @@ HslbResult solve_and_execute(const PipelineConfig& config,
   out.tsync_used = spec.tsync;
 
   LayoutModelVars vars;
-  const minlp::Model model = build_layout_model(spec, &vars);
-  out.solver_result = minlp::solve(model, config.solver);
+  {
+    HSLB_SPAN("hslb.solve");
+    const minlp::Model model = build_layout_model(spec, &vars);
+    out.solver_result = minlp::solve(model, config.solver);
+  }
   // A node-limited solve with an incumbent is still a usable allocation
   // (callers bound max_nodes for the expensive objective ablations).
   const bool usable =
@@ -84,6 +94,7 @@ HslbResult solve_and_execute(const PipelineConfig& config,
 
   // --- Step 4: execute at the optimal allocation. ---------------------------
   if (execute) {
+    HSLB_SPAN("hslb.execute");
     const cesm::Layout layout = out.allocation.as_layout(config.layout);
     out.run = cesm::run_case(config.case_config, layout, config.seed + 1);
     for (const ComponentKind kind : cesm::kModeledComponents) {
@@ -98,9 +109,12 @@ HslbResult solve_and_execute(const PipelineConfig& config,
 }  // namespace
 
 HslbResult run_hslb(const PipelineConfig& config) {
+  const obs::Install install(config.obs);
+
   // --- Step 0 (optional): learn a sea-ice decomposition policy. --------------
   PipelineConfig effective = config;
   if (config.tune_ice_decomposition) {
+    HSLB_SPAN("hslb.tune_ice");
     cesm::IceTunerOptions tuner_options;
     tuner_options.max_nodes = config.total_nodes;
     tuner_options.seed = config.seed ^ 0x1CEDECull;
@@ -116,14 +130,20 @@ HslbResult run_hslb(const PipelineConfig& config) {
   if (totals.empty()) {
     totals = default_gather_totals(effective.total_nodes);
   }
-  const cesm::CampaignResult campaign = cesm::gather_benchmarks(
-      effective.case_config, effective.layout, totals, effective.seed);
+  cesm::CampaignResult campaign;
+  {
+    HSLB_SPAN("hslb.gather");
+    campaign = cesm::gather_benchmarks(effective.case_config,
+                                       effective.layout, totals,
+                                       effective.seed);
+  }
   return solve_and_execute(effective, campaign.samples, /*execute=*/true);
 }
 
 HslbResult run_hslb_from_samples(
     const PipelineConfig& config,
     const std::vector<cesm::BenchmarkSample>& samples) {
+  const obs::Install install(config.obs);
   return solve_and_execute(config, samples, /*execute=*/false);
 }
 

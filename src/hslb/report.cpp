@@ -138,6 +138,17 @@ std::string render_layout_ascii(
   return os.str();
 }
 
+std::string render_metrics_block(const obs::Registry& registry) {
+  std::ostringstream os;
+  os << "Observability metrics\n";
+  os << registry.counters_table().to_text();
+  const common::Table histograms = registry.histograms_table();
+  if (histograms.rows() > 0) {
+    os << '\n' << histograms.to_text();
+  }
+  return os.str();
+}
+
 common::Table render_fit_summary(
     const std::map<ComponentKind, perf::FitResult>& fits) {
   common::Table table({"component", "a", "b", "c", "d", "R^2", "RMSE,s"});

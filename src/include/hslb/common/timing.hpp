@@ -8,10 +8,10 @@ namespace hslb::common {
 /// Monotonic wall-clock stopwatch.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(Clock::now()), lap_(start_) {}
 
-  /// Reset the epoch to now.
-  void restart() { start_ = Clock::now(); }
+  /// Reset the epoch (and the lap epoch) to now.
+  void restart() { start_ = Clock::now(); lap_ = start_; }
 
   /// Seconds elapsed since construction or the last restart().
   double seconds() const {
@@ -21,9 +21,19 @@ class WallTimer {
   /// Milliseconds elapsed.
   double milliseconds() const { return seconds() * 1e3; }
 
+  /// Seconds since the last lap() (or construction/restart()), resetting
+  /// the lap epoch -- per-iteration splits without a second timer.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace hslb::common

@@ -7,6 +7,7 @@
 
 #include "hslb/cesm/campaign.hpp"
 #include "hslb/hslb/layout_model.hpp"
+#include "hslb/obs/obs.hpp"
 #include "hslb/perf/fit.hpp"
 
 namespace hslb::core {
@@ -29,6 +30,13 @@ struct PipelineConfig {
   /// method) before gathering, and run every benchmark and the final
   /// execution under it.  Smooths the ice curve and tightens the fit.
   bool tune_ice_decomposition = false;
+  /// Observability wiring: borrowed trace-session/metrics-registry pointers
+  /// installed (obs::Install) for the duration of the run.  The pipeline
+  /// emits one span per phase (gather/fit/solve/execute) with nested
+  /// solver/fitter/driver spans; metrics accumulate in the registry for
+  /// core::render_metrics_block.  Null members leave the current context
+  /// untouched.
+  obs::Options obs;
 };
 
 /// Outcome for one component: planned nodes, model-predicted time, and the

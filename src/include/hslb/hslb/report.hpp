@@ -30,4 +30,9 @@ std::string render_layout_ascii(const cesm::Layout& layout,
 common::Table render_fit_summary(
     const std::map<cesm::ComponentKind, perf::FitResult>& fits);
 
+/// Observability block printed next to the Table III output: solver/fitter
+/// counters and gauges followed by the histogram table.  Empty registry
+/// renders headers only.
+std::string render_metrics_block(const obs::Registry& registry);
+
 }  // namespace hslb::core

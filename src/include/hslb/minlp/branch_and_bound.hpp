@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "hslb/minlp/model.hpp"
 
@@ -31,6 +32,33 @@ const char* to_string(MinlpStatus status);
 
 enum class NodeSelection { kBestBound, kDepthFirst };
 
+/// One structured solver progress event.  The solver emits these through
+/// SolverOptions::event_sink; `to_line()` renders the legacy text format
+/// that the plain-string `logger` used to receive.
+struct SolverEvent {
+  enum class Kind {
+    kPresolve,   ///< after FBBT: tightenings/rounds filled
+    kProgress,   ///< periodic node-count heartbeat
+    kIncumbent,  ///< a new best feasible solution was accepted
+    kDone,       ///< final summary
+  };
+  Kind kind = Kind::kProgress;
+  long node = 0;               ///< nodes explored when the event fired
+  std::size_t open_nodes = 0;  ///< size of the open-node queue
+  bool have_incumbent = false;
+  double incumbent = 0.0;      ///< objective of the best solution so far
+  double best_bound = 0.0;     ///< valid global lower bound (kDone only)
+  int presolve_tightenings = 0;
+  int presolve_rounds = 0;
+  long lp_solves = 0;
+  long cuts_added = 0;
+
+  /// Render in the legacy one-line logger format.
+  std::string to_line() const;
+};
+
+using SolverEventSink = std::function<void(const SolverEvent&)>;
+
 struct SolverOptions {
   bool use_sos_branching = true;   ///< false: branch binaries individually
   bool use_root_nlp = true;        ///< seed cuts from a barrier NLP solve
@@ -41,10 +69,15 @@ struct SolverOptions {
   long max_nodes = 2'000'000;
   int cut_rounds_per_node = 8;     ///< OA re-solve rounds per node
   int initial_tangents_per_link = 5;
-  /// Optional progress sink: receives one line per logged event (presolve
-  /// summary, incumbent updates, periodic node counts, final summary).
+  /// Structured progress sink (presolve summary, incumbent updates,
+  /// periodic node counts, final summary).
+  SolverEventSink event_sink;
+  /// Legacy plain-text sink, kept for back compatibility: receives
+  /// SolverEvent::to_line() for every event the sink above would see.
   std::function<void(const std::string&)> logger;
-  long log_every_nodes = 100;      ///< node-count cadence for progress lines
+  /// Node-count cadence for kProgress events.  The first heartbeat fires
+  /// at node 1 (so short solves still produce one), then every multiple.
+  long log_every_nodes = 100;
 };
 
 struct SolveStats {
@@ -54,6 +87,10 @@ struct SolveStats {
   long nlp_solves = 0;
   long cuts_added = 0;
   long simplex_iterations = 0;
+  long incumbent_updates = 0;
+  long pruned_by_bound = 0;    ///< nodes discarded against the cutoff
+  long pruned_infeasible = 0;  ///< nodes whose master LP was infeasible
+  double lp_seconds = 0.0;     ///< wall time inside master-LP solves
   double wall_seconds = 0.0;
   double best_bound = -lp::kInf;
 };

@@ -1,0 +1,108 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry hands out stable references (instruments never move once
+// created), so hot loops look a counter up once and then update it through
+// the pointer with a single relaxed atomic add.  Snapshots and the
+// common::Table renderers are for end-of-run reporting next to the Table III
+// output, not for live scraping.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hslb/common/table.hpp"
+
+namespace hslb::obs {
+
+/// Monotonically increasing value (double so time-in-seconds accumulates
+/// without scaling tricks).  Thread-safe.
+class Counter {
+ public:
+  void add(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins scalar.  Thread-safe.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges;
+/// one implicit overflow bucket catches everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<long long> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long long>> buckets_;
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every instrument, for rendering or assertions.
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    long long count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;
+    std::vector<long long> buckets;
+  };
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+/// Named-instrument registry.  Lookup is mutex-guarded; the returned
+/// references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get or create; `bounds` are only used on first creation.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_time_bounds());
+
+  MetricsSnapshot snapshot() const;
+
+  /// Counters and gauges, one row each, sorted by name.
+  common::Table counters_table() const;
+  /// Histograms: count / sum / mean plus a compact bucket column.
+  common::Table histograms_table() const;
+
+  /// Log-spaced edges suited to per-call wall times in milliseconds.
+  static std::vector<double> default_time_bounds();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hslb::obs

@@ -1,0 +1,98 @@
+// Span-based tracer exporting Chrome trace_event JSON.
+//
+// A TraceSession collects complete ("ph":"X") span events and counter
+// ("ph":"C") samples from any thread; ScopedSpan is the RAII recorder.  The
+// JSON loads directly in chrome://tracing or https://ui.perfetto.dev, and
+// flame_summary() renders an aggregated per-span table for terminals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hslb::obs {
+
+/// One closed span.  Timestamps are microseconds since the session epoch;
+/// `depth` is the nesting level at open time (0 = top level) on its thread.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  int thread_id = 0;
+  int depth = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// One counter sample (rendered as a Chrome counter track).
+struct CounterSample {
+  std::string name;
+  double timestamp_us = 0.0;
+  double value = 0.0;
+  int thread_id = 0;
+};
+
+/// Thread-safe trace collector.  Create one per run, install it with
+/// obs::Install (or pass it to ScopedSpan directly), then export.
+class TraceSession {
+ public:
+  TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds since the session was constructed.
+  double now_us() const;
+
+  void record(TraceEvent event);
+  void record_counter(const std::string& name, double value);
+
+  /// Copy of all closed spans, ordered by start time.
+  std::vector<TraceEvent> events() const;
+  std::vector<CounterSample> counter_samples() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string to_chrome_json() const;
+
+  /// Aggregate per-span-name table (count, total/mean/max ms), widest first.
+  std::string flame_summary() const;
+
+  /// Dense id for the calling thread (0 for the first thread seen).
+  int thread_id_for_current_thread();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<CounterSample> counters_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span.  The no-session constructors consult the installed context
+/// (obs::current_trace()); an inactive span costs one atomic load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string category = "hslb");
+  ScopedSpan(TraceSession* session, std::string name,
+             std::string category = "hslb");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value argument shown in the trace viewer's detail pane.
+  void arg(std::string key, std::string value);
+  void arg(std::string key, double value);
+  void arg(std::string key, long long value);
+
+  bool active() const { return session_ != nullptr; }
+
+ private:
+  TraceSession* session_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace hslb::obs

@@ -12,6 +12,7 @@
 
 #include "hslb/common/error.hpp"
 #include "hslb/linalg/factor.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::lp {
 namespace {
@@ -385,7 +386,15 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
     }
   }
   Simplex simplex(problem, options);
-  return simplex.run();
+  LpSolution out = simplex.run();
+  // Counters only (no span): B&B issues thousands of tiny LP solves and a
+  // span per solve would swamp the trace.
+  if (obs::Registry* metrics = obs::current_metrics()) {
+    metrics->counter("lp.simplex.solves").add(1.0);
+    metrics->counter("lp.simplex.pivots")
+        .add(static_cast<double>(out.iterations));
+  }
+  return out;
 }
 
 }  // namespace hslb::lp

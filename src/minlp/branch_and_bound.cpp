@@ -8,6 +8,7 @@
 #include "hslb/common/error.hpp"
 #include "hslb/common/timing.hpp"
 #include "hslb/lp/simplex.hpp"
+#include "hslb/obs/obs.hpp"
 #include "hslb/minlp/presolve.hpp"
 #include "hslb/minlp/relaxation.hpp"
 #include "hslb/nlp/barrier.hpp"
@@ -239,7 +240,58 @@ std::ptrdiff_t violated_sos(const Model& model, const Vector& x, double tol) {
   return -1;
 }
 
+/// Cached per-solve metrics instruments (null when no registry installed).
+struct SolveMetrics {
+  obs::Counter* nodes = nullptr;
+  obs::Counter* lp_solves = nullptr;
+  obs::Counter* cuts = nullptr;
+  obs::Counter* incumbents = nullptr;
+  obs::Counter* pruned_bound = nullptr;
+  obs::Counter* pruned_infeasible = nullptr;
+  obs::Counter* lp_seconds = nullptr;
+  obs::Histogram* lp_solve_ms = nullptr;
+
+  explicit SolveMetrics(obs::Registry* registry) {
+    if (registry == nullptr) {
+      return;
+    }
+    nodes = &registry->counter("minlp.nodes_explored");
+    lp_solves = &registry->counter("minlp.lp_solves");
+    cuts = &registry->counter("minlp.cuts_added");
+    incumbents = &registry->counter("minlp.incumbent_updates");
+    pruned_bound = &registry->counter("minlp.pruned.bound");
+    pruned_infeasible = &registry->counter("minlp.pruned.infeasible");
+    lp_seconds = &registry->counter("minlp.lp_seconds");
+    lp_solve_ms = &registry->histogram("minlp.lp_solve_ms");
+  }
+};
+
 }  // namespace
+
+std::string SolverEvent::to_line() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kPresolve:
+      os << "presolve: " << presolve_tightenings << " bounds tightened in "
+         << presolve_rounds << " rounds";
+      break;
+    case Kind::kProgress:
+      os << "node " << node << ": open " << open_nodes << ", incumbent "
+         << (have_incumbent ? std::to_string(incumbent)
+                            : std::string("none"));
+      break;
+    case Kind::kIncumbent:
+      os << "incumbent " << incumbent << " at node " << node;
+      break;
+    case Kind::kDone:
+      os << "done: " << node << " nodes, " << lp_solves << " LPs, "
+         << cuts_added << " cuts, "
+         << (have_incumbent ? "objective " + std::to_string(incumbent)
+                            : std::string("no incumbent"));
+      break;
+  }
+  return os.str();
+}
 
 const char* to_string(MinlpStatus status) {
   switch (status) {
@@ -257,11 +309,18 @@ const char* to_string(MinlpStatus status) {
 
 MinlpResult solve(const Model& model, const SolverOptions& opts) {
   common::WallTimer timer;
+  HSLB_SPAN("minlp.solve");
+  const SolveMetrics metrics(obs::current_metrics());
   MinlpResult out;
   SolveStats& stats = out.stats;
-  const auto log = [&opts](const std::string& line) {
+  const bool want_events =
+      static_cast<bool>(opts.event_sink) || static_cast<bool>(opts.logger);
+  const auto emit = [&opts](const SolverEvent& event) {
+    if (opts.event_sink) {
+      opts.event_sink(event);
+    }
     if (opts.logger) {
-      opts.logger(line);
+      opts.logger(event.to_line());
     }
   };
 
@@ -278,6 +337,7 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     root_upper[j] = model.variables()[j].upper;
   }
   if (opts.use_presolve) {
+    HSLB_SPAN("minlp.presolve");
     const PresolveResult pre = presolve(model);
     if (pre.infeasible) {
       out.status = MinlpStatus::kInfeasible;
@@ -287,11 +347,12 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     root_lower = pre.lower;
     root_upper = pre.upper;
     stats.presolve_tightenings = pre.tightenings;
-    if (opts.logger) {
-      std::ostringstream os;
-      os << "presolve: " << pre.tightenings << " bounds tightened in "
-         << pre.rounds << " rounds";
-      log(os.str());
+    if (want_events) {
+      SolverEvent event;
+      event.kind = SolverEvent::Kind::kPresolve;
+      event.presolve_tightenings = pre.tightenings;
+      event.presolve_rounds = pre.rounds;
+      emit(event);
     }
   }
 
@@ -308,6 +369,7 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     }
   }
   if (opts.use_root_nlp) {
+    HSLB_SPAN("minlp.root_nlp");
     if (const auto x_nlp = solve_root_nlp(model, stats)) {
       for (std::size_t li = 0; li < model.links().size(); ++li) {
         if (pool.add_link_tangent(model, curvature, li,
@@ -351,15 +413,25 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     }
     Node node = queue.pop();
     ++stats.nodes_explored;
-    if (opts.logger && opts.log_every_nodes > 0 &&
-        stats.nodes_explored % opts.log_every_nodes == 0) {
-      std::ostringstream os;
-      os << "node " << stats.nodes_explored << ": open " << queue.size()
-         << ", incumbent "
-         << (have_incumbent ? std::to_string(incumbent_obj) : "none");
-      log(os.str());
+    if (metrics.nodes != nullptr) {
+      metrics.nodes->add(1.0);
+    }
+    if (want_events && opts.log_every_nodes > 0 &&
+        (stats.nodes_explored == 1 ||
+         stats.nodes_explored % opts.log_every_nodes == 0)) {
+      SolverEvent event;
+      event.kind = SolverEvent::Kind::kProgress;
+      event.node = stats.nodes_explored;
+      event.open_nodes = queue.size();
+      event.have_incumbent = have_incumbent;
+      event.incumbent = incumbent_obj;
+      emit(event);
     }
     if (node.bound >= cutoff()) {
+      ++stats.pruned_by_bound;
+      if (metrics.pruned_bound != nullptr) {
+        metrics.pruned_bound->add(1.0);
+      }
       continue;
     }
 
@@ -368,11 +440,23 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
          ++round) {
       const lp::LpProblem master =
           build_master_lp(model, pool, curvature, node.lower, node.upper);
+      common::WallTimer lp_timer;
       const lp::LpSolution sol = lp::solve(master);
+      const double lp_elapsed = lp_timer.seconds();
+      stats.lp_seconds += lp_elapsed;
       ++stats.lp_solves;
       stats.simplex_iterations += sol.iterations;
+      if (metrics.lp_solves != nullptr) {
+        metrics.lp_solves->add(1.0);
+        metrics.lp_seconds->add(lp_elapsed);
+        metrics.lp_solve_ms->observe(lp_elapsed * 1e3);
+      }
 
       if (sol.status == lp::LpStatus::kInfeasible) {
+        ++stats.pruned_infeasible;
+        if (metrics.pruned_infeasible != nullptr) {
+          metrics.pruned_infeasible->add(1.0);
+        }
         node_done = true;
         break;
       }
@@ -485,16 +569,26 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
       const auto completion = complete_integer_point(
           model, pool, curvature, sol.x, node.lower, node.upper);
       ++stats.lp_solves;
+      if (metrics.lp_solves != nullptr) {
+        metrics.lp_solves->add(1.0);
+      }
       if (completion && completion->objective < incumbent_obj) {
         incumbent_obj = completion->objective;
         incumbent_x = completion->x;
         have_incumbent = true;
+        ++stats.incumbent_updates;
+        if (metrics.incumbents != nullptr) {
+          metrics.incumbents->add(1.0);
+        }
         queue.prune_above(cutoff());
-        if (opts.logger) {
-          std::ostringstream os;
-          os << "incumbent " << incumbent_obj << " at node "
-             << stats.nodes_explored;
-          log(os.str());
+        if (want_events) {
+          SolverEvent event;
+          event.kind = SolverEvent::Kind::kIncumbent;
+          event.node = stats.nodes_explored;
+          event.open_nodes = queue.size();
+          event.have_incumbent = true;
+          event.incumbent = incumbent_obj;
+          emit(event);
         }
       }
 
@@ -558,13 +652,20 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   stats.best_bound = queue.empty() ? incumbent_obj
                                    : std::min(queue.best_open_bound(),
                                               incumbent_obj);
-  if (opts.logger) {
-    std::ostringstream os;
-    os << "done: " << stats.nodes_explored << " nodes, " << stats.lp_solves
-       << " LPs, " << stats.cuts_added << " cuts, "
-       << (have_incumbent ? "objective " + std::to_string(incumbent_obj)
-                          : std::string("no incumbent"));
-    log(os.str());
+  if (want_events) {
+    SolverEvent event;
+    event.kind = SolverEvent::Kind::kDone;
+    event.node = stats.nodes_explored;
+    event.open_nodes = queue.size();
+    event.have_incumbent = have_incumbent;
+    event.incumbent = incumbent_obj;
+    event.best_bound = stats.best_bound;
+    event.lp_solves = stats.lp_solves;
+    event.cuts_added = stats.cuts_added;
+    emit(event);
+  }
+  if (metrics.cuts != nullptr) {
+    metrics.cuts->add(static_cast<double>(stats.cuts_added));
   }
   if (have_incumbent) {
     out.status = hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kOptimal;

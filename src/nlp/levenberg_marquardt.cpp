@@ -5,6 +5,7 @@
 
 #include "hslb/common/error.hpp"
 #include "hslb/linalg/factor.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::nlp {
 namespace {
@@ -48,6 +49,20 @@ LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
                "LM bound sizes must match parameter count");
   HSLB_REQUIRE(num_residuals >= 1, "LM needs at least one residual");
 
+  HSLB_SPAN("nlp.lm");
+  obs::Registry* metrics = obs::current_metrics();
+  obs::Counter* c_iterations =
+      metrics != nullptr ? &metrics->counter("nlp.lm.iterations") : nullptr;
+  obs::Counter* c_lambda_up = metrics != nullptr
+                                  ? &metrics->counter("nlp.lm.lambda_increases")
+                                  : nullptr;
+  obs::Counter* c_steps =
+      metrics != nullptr ? &metrics->counter("nlp.lm.steps_accepted") : nullptr;
+  obs::TraceSession* trace = obs::current_trace();
+  if (metrics != nullptr) {
+    metrics->counter("nlp.lm.calls").add(1.0);
+  }
+
   LmResult out;
   out.theta = clamp_to_box(theta0, lower, upper);
 
@@ -74,6 +89,15 @@ LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     out.iterations = iter + 1;
+    if (c_iterations != nullptr) {
+      c_iterations->add(1.0);
+    }
+    if (trace != nullptr) {
+      // Residual-norm / damping trajectories as Chrome counter tracks.
+      trace->record_counter("nlp.lm.residual_norm",
+                            std::sqrt(2.0 * out.cost));
+      trace->record_counter("nlp.lm.lambda", lambda);
+    }
 
     const Vector grad = linalg::matvec_t(jac, r);  // J^T r
     if (linalg::norm_inf(grad) < options.gradient_tol) {
@@ -93,6 +117,9 @@ LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
       const auto chol = linalg::CholeskyFactor::compute(damped);
       if (!chol) {
         lambda *= 10.0;
+        if (c_lambda_up != nullptr) {
+          c_lambda_up->add(1.0);
+        }
         continue;
       }
       Vector delta = chol->solve(grad);
@@ -127,8 +154,14 @@ LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
         }
         lambda = std::max(lambda * 0.3, 1e-12);
         stepped = true;
+        if (c_steps != nullptr) {
+          c_steps->add(1.0);
+        }
       } else {
         lambda *= 10.0;
+        if (c_lambda_up != nullptr) {
+          c_lambda_up->add(1.0);
+        }
         if (lambda > 1e14) {
           out.converged = true;  // damping saturated: local minimum
           stepped = true;

@@ -1,0 +1,153 @@
+#include "hslb/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HSLB_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const long long n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+std::vector<long long> Histogram::bucket_counts() const {
+  std::vector<long long> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = histogram->count();
+    row.sum = histogram->sum();
+    row.bounds = histogram->bounds();
+    row.buckets = histogram->bucket_counts();
+    out.histograms.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Integral counters print without decimals; times etc. keep three.
+std::string format_metric(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return common::format_fixed(value, 3);
+}
+
+}  // namespace
+
+common::Table Registry::counters_table() const {
+  const MetricsSnapshot snap = snapshot();
+  common::Table table({"metric", "kind", "value"});
+  for (const auto& [name, value] : snap.counters) {
+    table.add_row();
+    table.cell(name);
+    table.cell(std::string("counter"));
+    table.cell(format_metric(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    table.add_row();
+    table.cell(name);
+    table.cell(std::string("gauge"));
+    table.cell(format_metric(value));
+  }
+  return table;
+}
+
+common::Table Registry::histograms_table() const {
+  const MetricsSnapshot snap = snapshot();
+  common::Table table({"histogram", "count", "sum", "mean", "buckets"});
+  for (const auto& row : snap.histograms) {
+    table.add_row();
+    table.cell(row.name);
+    table.cell(static_cast<long long>(row.count));
+    table.cell(row.sum, 3);
+    table.cell(row.count > 0 ? row.sum / static_cast<double>(row.count) : 0.0,
+               4);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+      if (row.buckets[i] == 0) {
+        continue;
+      }
+      if (os.tellp() > 0) {
+        os << ' ';
+      }
+      if (i < row.bounds.size()) {
+        os << "<=" << common::format_fixed(row.bounds[i], row.bounds[i] < 1.0 ? 3 : 0)
+           << ":" << row.buckets[i];
+      } else {
+        os << ">last:" << row.buckets[i];
+      }
+    }
+    table.cell(os.tellp() > 0 ? os.str() : std::string("-"));
+  }
+  return table;
+}
+
+std::vector<double> Registry::default_time_bounds() {
+  // Log-spaced milliseconds: 10us .. 10s.
+  return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+}  // namespace hslb::obs

@@ -7,6 +7,7 @@
 #include "hslb/linalg/factor.hpp"
 #include "hslb/nlp/levenberg_marquardt.hpp"
 #include "hslb/nlp/nnls.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::perf {
 namespace {
@@ -61,6 +62,9 @@ FitResult fit(std::span<const double> nodes, std::span<const double> times,
   for (const double n : nodes) {
     HSLB_REQUIRE(n > 0.0, "fit: node counts must be positive");
   }
+
+  HSLB_SPAN("perf.fit");
+  HSLB_COUNT("perf.fit.calls", 1);
 
   // Residual weights: 1 (plain SSE, the paper's choice) or 1/y_i.
   Vector weights(nodes.size(), 1.0);

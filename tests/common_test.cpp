@@ -188,6 +188,50 @@ TEST(WallTimer, MeasuresForwardTime) {
   EXPECT_GE(t.milliseconds(), t.seconds());  // ms >= s numerically
 }
 
+TEST(WallTimer, LapReturnsSplitAndResetsLapEpoch) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  const double first = t.lap();
+  EXPECT_GT(first, 0.0);
+  // The lap epoch was reset: an immediate second lap is (much) shorter than
+  // the total elapsed time, and never negative.
+  const double second = t.lap();
+  EXPECT_GE(second, 0.0);
+  EXPECT_LE(second, t.seconds());
+}
+
+TEST(WallTimer, LapsSumToTotalElapsed) {
+  WallTimer t;
+  double laps = 0.0;
+  volatile double sink = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 10000; ++i) {
+      sink = sink + i;
+    }
+    laps += t.lap();
+  }
+  const double total = t.seconds();
+  EXPECT_LE(laps, total);
+  // The tail after the last lap is the only part not covered by the laps.
+  EXPECT_LE(total - laps, total);
+  EXPECT_GE(laps, 0.0);
+}
+
+TEST(WallTimer, RestartResetsLapEpoch) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  t.restart();
+  // A lap right after restart() measures from the restart, not from the
+  // original construction.
+  EXPECT_LE(t.lap(), t.seconds() + 1e-3);
+}
+
 TEST(Error, RequireThrowsWithMessage) {
   try {
     HSLB_REQUIRE(false, "custom context");

@@ -259,6 +259,96 @@ TEST(BranchAndBound, LoggerReceivesProgress) {
   EXPECT_TRUE(saw_done);
 }
 
+TEST(BranchAndBound, EventSinkEmitsStructuredEvents) {
+  TinyModel tm = tiny_model(1, 100);
+  std::vector<SolverEvent> events;
+  SolverOptions opts;
+  opts.event_sink = [&events](const SolverEvent& e) { events.push_back(e); };
+  opts.log_every_nodes = 1;
+  const auto r = solve(tm.model, opts);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  ASSERT_FALSE(events.empty());
+
+  // The last event is the final summary and matches the returned stats.
+  const SolverEvent& done = events.back();
+  EXPECT_EQ(done.kind, SolverEvent::Kind::kDone);
+  EXPECT_EQ(done.node, r.stats.nodes_explored);
+  EXPECT_EQ(done.lp_solves, r.stats.lp_solves);
+  EXPECT_TRUE(done.have_incumbent);
+  EXPECT_NEAR(done.incumbent, r.objective, 1e-9);
+
+  // Every incumbent event improves on the previous one.
+  double last_incumbent = lp::kInf;
+  for (const SolverEvent& e : events) {
+    if (e.kind == SolverEvent::Kind::kIncumbent) {
+      EXPECT_LT(e.incumbent, last_incumbent);
+      last_incumbent = e.incumbent;
+    }
+  }
+}
+
+// Regression: the first progress heartbeat fires at node 1 (not node 0, and
+// not only once log_every_nodes nodes have passed), so short solves still
+// produce one progress line.
+TEST(BranchAndBound, FirstProgressEventFiresAtNodeOne) {
+  TinyModel tm = tiny_model(1, 100);
+  std::vector<SolverEvent> events;
+  SolverOptions opts;
+  opts.event_sink = [&events](const SolverEvent& e) { events.push_back(e); };
+  opts.log_every_nodes = 1000000;  // cadence far beyond this solve's tree
+  const auto r = solve(tm.model, opts);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  ASSERT_LT(r.stats.nodes_explored, opts.log_every_nodes);
+
+  std::vector<long> progress_nodes;
+  for (const SolverEvent& e : events) {
+    if (e.kind == SolverEvent::Kind::kProgress) {
+      progress_nodes.push_back(e.node);
+    }
+  }
+  ASSERT_EQ(progress_nodes.size(), 1u);
+  EXPECT_EQ(progress_nodes[0], 1);
+}
+
+TEST(BranchAndBound, ProgressCadenceRespectsLogEveryNodes) {
+  TinyModel tm = tiny_model(1, 100);
+  std::vector<SolverEvent> events;
+  SolverOptions opts;
+  opts.event_sink = [&events](const SolverEvent& e) { events.push_back(e); };
+  opts.log_every_nodes = 2;
+  (void)solve(tm.model, opts);
+  for (const SolverEvent& e : events) {
+    if (e.kind == SolverEvent::Kind::kProgress) {
+      EXPECT_TRUE(e.node == 1 || e.node % 2 == 0) << "node " << e.node;
+      EXPECT_GE(e.node, 1);
+    }
+  }
+}
+
+TEST(BranchAndBound, LegacyLoggerMatchesEventToLine) {
+  TinyModel tm1 = tiny_model(1, 100);
+  std::vector<std::string> lines;
+  std::vector<std::string> rendered;
+  SolverOptions opts;
+  opts.logger = [&lines](const std::string& line) { lines.push_back(line); };
+  opts.event_sink = [&rendered](const SolverEvent& e) {
+    rendered.push_back(e.to_line());
+  };
+  opts.log_every_nodes = 1;
+  (void)solve(tm1.model, opts);
+  EXPECT_EQ(lines, rendered);
+}
+
+TEST(BranchAndBound, PruneStatsAndLpTimeArePopulated) {
+  TinyModel tm = tiny_model(1, 100);
+  const auto r = solve(tm.model);
+  EXPECT_GE(r.stats.lp_seconds, 0.0);
+  EXPECT_LE(r.stats.lp_seconds, r.stats.wall_seconds + 1e-6);
+  EXPECT_GE(r.stats.incumbent_updates, 1);
+  EXPECT_GE(r.stats.pruned_by_bound, 0);
+  EXPECT_GE(r.stats.pruned_infeasible, 0);
+}
+
 TEST(NlpBb, MatchesLpNlpBb) {
   TinyModel tm1 = tiny_model(1, 100);
   const auto r_oa = solve(tm1.model);

@@ -1,0 +1,34 @@
+// HSLB_OBS_DISABLE compiles the instrumentation macros down to nothing:
+// even with a session and registry installed, HSLB_SPAN / HSLB_COUNT in
+// this translation unit must record zero events and zero counts.
+#define HSLB_OBS_DISABLE
+
+#include <gtest/gtest.h>
+
+#include "hslb/obs/obs.hpp"
+
+namespace hslb::obs {
+namespace {
+
+TEST(ObsDisabled, MacrosCompileToNoOps) {
+  TraceSession session;
+  Registry registry;
+  {
+    Install install(&session, &registry);
+    {
+      HSLB_SPAN("disabled.span");
+      HSLB_COUNT("disabled.count", 7);
+    }
+    // The context itself still works (only the macros are compiled out)...
+    EXPECT_EQ(current_trace(), &session);
+  }
+  // ...but nothing was recorded by the macros above.
+  EXPECT_TRUE(session.events().empty());
+  EXPECT_DOUBLE_EQ(registry.counter("disabled.count").value(), 0.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);  // the probe lookup just above
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, 0.0);
+}
+
+}  // namespace
+}  // namespace hslb::obs

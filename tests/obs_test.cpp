@@ -1,0 +1,430 @@
+// Tests for hslb::obs -- tracer (span nesting, Chrome JSON export, counter
+// tracks), metrics (counters/gauges/histograms, registry tables), and the
+// installable context the HSLB_* macros record through.
+#include <cctype>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hslb/obs/obs.hpp"
+
+namespace hslb::obs {
+namespace {
+
+// --- A minimal recursive-descent JSON validator. ---------------------------
+// Accepts the RFC-8259 grammar (sufficient for the exporter's output) and
+// returns false on any syntax error.  Values are not materialized; we only
+// care that chrome://tracing's parser would accept the document.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') {
+        ++pos_;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start && s_[start] != '-' ? true : pos_ > start + 1;
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<TraceEvent> find_event(const std::vector<TraceEvent>& events,
+                                     const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name == name) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Tracer. ----------------------------------------------------------------
+
+TEST(Trace, SpansNestByDepthAndTime) {
+  TraceSession session;
+  {
+    ScopedSpan outer(&session, "outer");
+    {
+      ScopedSpan inner(&session, "inner");
+    }
+    {
+      ScopedSpan sibling(&session, "sibling");
+    }
+  }
+  const std::vector<TraceEvent> events = session.events();
+  ASSERT_EQ(events.size(), 3u);
+
+  const auto outer = find_event(events, "outer");
+  const auto inner = find_event(events, "inner");
+  const auto sibling = find_event(events, "sibling");
+  ASSERT_TRUE(outer && inner && sibling);
+
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(sibling->depth, 1);
+
+  // Containment: the children start after the parent and end before it.
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->duration_us,
+            outer->start_us + outer->duration_us + 1e-6);
+  // Siblings do not overlap.
+  EXPECT_GE(sibling->start_us, inner->start_us + inner->duration_us - 1e-6);
+}
+
+TEST(Trace, DepthRestoredAfterScope) {
+  TraceSession session;
+  {
+    ScopedSpan a(&session, "a");
+  }
+  {
+    ScopedSpan b(&session, "b");
+  }
+  const std::vector<TraceEvent> events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(Trace, ChromeJsonParses) {
+  TraceSession session;
+  {
+    ScopedSpan span(&session, "phase \"quoted\"\nname");  // escaping
+    span.arg("component", std::string("atm"));
+    span.arg("nodes", static_cast<long long>(128));
+    span.arg("seconds", 1.5);
+    ScopedSpan nested(&session, "nested");
+  }
+  session.record_counter("residual", 42.5);
+
+  const std::string json = session.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Trace, EmptySessionStillExportsValidJson) {
+  TraceSession session;
+  EXPECT_TRUE(JsonChecker(session.to_chrome_json()).valid());
+}
+
+TEST(Trace, FlameSummaryAggregates) {
+  TraceSession session;
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span(&session, "repeated");
+  }
+  const std::string summary = session.flame_summary();
+  EXPECT_NE(summary.find("repeated"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);
+}
+
+TEST(Trace, ThreadsGetDistinctIds) {
+  TraceSession session;
+  {
+    ScopedSpan main_span(&session, "main");
+  }
+  std::thread worker([&session] { ScopedSpan span(&session, "worker"); });
+  worker.join();
+  const std::vector<TraceEvent> events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto main_event = find_event(events, "main");
+  const auto worker_event = find_event(events, "worker");
+  ASSERT_TRUE(main_event && worker_event);
+  EXPECT_NE(main_event->thread_id, worker_event->thread_id);
+}
+
+// --- Metrics. ---------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketCountsAreExact) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (inclusive upper edge)
+  histogram.observe(1.5);   // <= 2
+  histogram.observe(4.0);   // <= 5
+  histogram.observe(5.0);   // <= 5
+  histogram.observe(100.0);  // overflow
+
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 112.0);
+  const std::vector<long long> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 2);
+  EXPECT_EQ(buckets[3], 1);
+}
+
+TEST(Metrics, CounterIsExactUnderConcurrency) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_DOUBLE_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, RegistryHandsOutStableInstruments) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(registry.counter("x").value(), 2.0);
+
+  registry.gauge("g").set(3.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 3.5);
+
+  Histogram& h = registry.histogram("h", {1.0});
+  h.observe(0.5);
+  EXPECT_EQ(registry.histogram("h").count(), 1);
+}
+
+TEST(Metrics, SnapshotAndTablesRender) {
+  Registry registry;
+  registry.counter("minlp.nodes_explored").add(42.0);
+  registry.gauge("minlp.best_bound").set(13.25);
+  registry.histogram("lp_ms", {1.0, 10.0}).observe(2.5);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "minlp.nodes_explored");
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, 42.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+
+  const std::string counters = registry.counters_table().to_text();
+  EXPECT_NE(counters.find("minlp.nodes_explored"), std::string::npos);
+  EXPECT_NE(counters.find("42"), std::string::npos);
+  const std::string histograms = registry.histograms_table().to_text();
+  EXPECT_NE(histograms.find("lp_ms"), std::string::npos);
+}
+
+// --- Context install + macros. ----------------------------------------------
+
+TEST(Context, InstallOverlaysAndRestores) {
+  ASSERT_EQ(current_trace(), nullptr);
+  TraceSession outer_session;
+  Registry outer_registry;
+  {
+    Install outer(&outer_session, &outer_registry);
+    EXPECT_EQ(current_trace(), &outer_session);
+    EXPECT_EQ(current_metrics(), &outer_registry);
+    {
+      // Null members leave the outer context in place.
+      Install noop(Options{});
+      EXPECT_EQ(current_trace(), &outer_session);
+      EXPECT_EQ(current_metrics(), &outer_registry);
+      TraceSession inner_session;
+      Install inner(&inner_session, nullptr);
+      EXPECT_EQ(current_trace(), &inner_session);
+      EXPECT_EQ(current_metrics(), &outer_registry);
+    }
+    EXPECT_EQ(current_trace(), &outer_session);
+  }
+  EXPECT_EQ(current_trace(), nullptr);
+  EXPECT_EQ(current_metrics(), nullptr);
+}
+
+TEST(Context, MacrosRecordThroughInstalledContext) {
+  TraceSession session;
+  Registry registry;
+  {
+    Install install(&session, &registry);
+    HSLB_SPAN("macro.span");
+    HSLB_COUNT("macro.count", 3);
+    HSLB_COUNT("macro.count", 2);
+  }
+  EXPECT_EQ(session.events().size(), 1u);
+  EXPECT_EQ(session.events()[0].name, "macro.span");
+  EXPECT_DOUBLE_EQ(registry.counter("macro.count").value(), 5.0);
+}
+
+TEST(Context, MacrosAreInertWithoutContext) {
+  ASSERT_EQ(current_trace(), nullptr);
+  HSLB_SPAN("nobody.listens");
+  HSLB_COUNT("nobody.counts", 1);
+  // Nothing to assert beyond "did not crash": no session exists.
+}
+
+}  // namespace
+}  // namespace hslb::obs

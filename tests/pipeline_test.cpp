@@ -1,6 +1,8 @@
 // Integration tests: the full four-step HSLB pipeline against the simulated
 // CESM cases, including the paper's headline comparisons.
 #include <cmath>
+#include <map>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -137,6 +139,68 @@ TEST(Pipeline, FromSamplesSkipsGatherAndExecute) {
   EXPECT_NEAR(replay.predicted_total, full.predicted_total,
               1e-6 * full.predicted_total);
   EXPECT_EQ(replay.actual_total, 0.0);  // no execute step
+}
+
+TEST(Pipeline, ObservabilityCapturesAllFourPhases) {
+  PipelineConfig config;
+  config.case_config = cesm::one_degree_case();
+  config.total_nodes = 128;
+  config.gather_totals = {128, 512, 2048};
+
+  obs::TraceSession trace;
+  obs::Registry metrics;
+  config.obs.trace = &trace;
+  config.obs.metrics = &metrics;
+  const HslbResult result = run_hslb(config);
+  ASSERT_GT(result.predicted_total, 0.0);
+
+  // One top-level span per pipeline phase...
+  std::map<std::string, int> top_level;
+  std::map<std::string, int> all;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.depth == 0) {
+      ++top_level[e.name];
+    }
+    ++all[e.name];
+  }
+  EXPECT_EQ(top_level["hslb.gather"], 1);
+  EXPECT_EQ(top_level["hslb.fit"], 1);
+  EXPECT_EQ(top_level["hslb.solve"], 1);
+  EXPECT_EQ(top_level["hslb.execute"], 1);
+  // ...with nested per-campaign-size, per-component, and solver spans.
+  EXPECT_EQ(all["cesm.gather.benchmark"], 3);
+  EXPECT_EQ(all["hslb.fit.component"], 4);
+  EXPECT_GE(all["minlp.solve"], 1);
+  EXPECT_GE(all["nlp.lm"], 4);
+  EXPECT_GE(all["cesm.run_case"], 4);  // 3 gather runs + 1 execute run
+
+  // The metrics registry saw the solver and the fitter do real work.
+  EXPECT_GT(metrics.counter("minlp.nodes_explored").value(), 0.0);
+  EXPECT_GT(metrics.counter("minlp.lp_solves").value(), 0.0);
+  EXPECT_GT(metrics.counter("nlp.lm.iterations").value(), 0.0);
+  EXPECT_GT(metrics.counter("lp.simplex.pivots").value(), 0.0);
+  EXPECT_GT(metrics.counter("cesm.days_simulated").value(), 0.0);
+  EXPECT_GT(metrics.histogram("minlp.lp_solve_ms").count(), 0);
+
+  // After the run the context is restored: nothing is installed.
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  EXPECT_EQ(obs::current_metrics(), nullptr);
+
+  // The exported trace is non-trivial and mentions the phases.
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("hslb.gather"), std::string::npos);
+  EXPECT_NE(json.find("hslb.execute"), std::string::npos);
+}
+
+TEST(Pipeline, ObservabilityOffRecordsNothing) {
+  PipelineConfig config;
+  config.case_config = cesm::one_degree_case();
+  config.total_nodes = 128;
+  config.gather_totals = {128, 512, 2048};
+  const HslbResult result = run_hslb(config);  // no obs members set
+  ASSERT_GT(result.predicted_total, 0.0);
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  EXPECT_EQ(obs::current_metrics(), nullptr);
 }
 
 TEST(Pipeline, DeterministicInSeed) {
