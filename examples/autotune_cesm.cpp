@@ -3,6 +3,8 @@
 //
 //   $ ./autotune_cesm [1deg|eighth] [total_nodes] [--unconstrained-ocean]
 //                     [--trace-out=<file.json>] [--metrics]
+//                     [--fault-rate=<p>] [--fault-seed=<n>]
+//                     [--solver-budget=<seconds>]
 //
 // Examples:
 //   ./autotune_cesm                      # 1-degree case at 128 nodes
@@ -10,6 +12,7 @@
 //   ./autotune_cesm eighth 32768 --unconstrained-ocean
 //   ./autotune_cesm 1deg 512 --tune-ice        # learn CICE decompositions first
 //   ./autotune_cesm 1deg 512 --trace-out=hslb.json --metrics
+//   ./autotune_cesm 1deg 512 --fault-rate=0.2  # faulty campaign, resilient run
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -29,6 +32,9 @@ int main(int argc, char** argv) {
   bool tune_ice = false;
   std::string trace_out;
   bool show_metrics = false;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
+  double solver_budget = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--unconstrained-ocean") == 0) {
       constrain_ocean = false;
@@ -38,6 +44,12 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       show_metrics = true;
+    } else if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      fault_rate = std::stod(std::string(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      fault_seed = std::stoull(std::string(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--solver-budget=", 16) == 0) {
+      solver_budget = std::stod(std::string(argv[i] + 16));
     } else if (std::isdigit(static_cast<unsigned char>(argv[i][0])) != 0) {
       total_nodes = std::atoi(argv[i]);
     } else {
@@ -59,6 +71,10 @@ int main(int argc, char** argv) {
   config.total_nodes = total_nodes;
   config.constrain_ocean = constrain_ocean;
   config.tune_ice_decomposition = tune_ice;
+  if (fault_rate > 0.0) {
+    config.faults = cesm::FaultSpec::uniform(fault_rate, fault_seed);
+  }
+  config.solver.max_wall_seconds = solver_budget;
 
   obs::TraceSession trace;
   obs::Registry metrics;
@@ -113,6 +129,11 @@ int main(int argc, char** argv) {
 
   std::cout << "\nTiming file of the tuned run:\n"
             << cesm::render_timing_file(config.case_config, hslb.run);
+
+  const std::string resilience = core::render_resilience_block(hslb);
+  if (!resilience.empty()) {
+    std::cout << '\n' << resilience;
+  }
 
   if (show_metrics) {
     std::cout << '\n' << core::render_metrics_block(metrics);

@@ -1,6 +1,8 @@
 // Quickstart: the four HSLB steps on a small simulated CESM case.
 //
 //   $ ./quickstart [--trace-out=<file.json>] [--metrics]
+//                  [--fault-rate=<p>] [--fault-seed=<n>]
+//                  [--solver-budget=<seconds>]
 //
 // 1. Gather   -- benchmark the coupled model at five machine sizes.
 // 2. Fit      -- Table II least squares per component.
@@ -10,6 +12,10 @@
 // --trace-out writes a Chrome trace_event JSON of the whole run (open it in
 // chrome://tracing or https://ui.perfetto.dev) and prints a flame summary;
 // --metrics prints the solver/fitter counters next to the results.
+// --fault-rate injects benchmark faults (launch failures, hangs,
+// stragglers, corrupt timing files, noise spikes) at the given per-run
+// probability and engages the resilience layer; --fault-seed varies the
+// fault stream; --solver-budget bounds the MINLP wall clock in seconds.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -24,14 +30,25 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   bool show_metrics = false;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
+  double solver_budget = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     } else if (arg == "--metrics") {
       show_metrics = true;
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_rate = std::stod(arg.substr(std::strlen("--fault-rate=")));
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      fault_seed = std::stoull(arg.substr(std::strlen("--fault-seed=")));
+    } else if (arg.rfind("--solver-budget=", 0) == 0) {
+      solver_budget = std::stod(arg.substr(std::strlen("--solver-budget=")));
     } else {
-      std::cerr << "usage: quickstart [--trace-out=<file.json>] [--metrics]\n";
+      std::cerr << "usage: quickstart [--trace-out=<file.json>] [--metrics]"
+                   " [--fault-rate=<p>] [--fault-seed=<n>]"
+                   " [--solver-budget=<seconds>]\n";
       return 2;
     }
   }
@@ -40,6 +57,10 @@ int main(int argc, char** argv) {
   config.case_config = cesm::one_degree_case();   // simulated CESM 1.1.1, 1 degree
   config.total_nodes = 128;                       // the machine slice to tune
   config.gather_totals = {128, 256, 512, 1024, 2048};
+  if (fault_rate > 0.0) {
+    config.faults = cesm::FaultSpec::uniform(fault_rate, fault_seed);
+  }
+  config.solver.max_wall_seconds = solver_budget;
 
   obs::TraceSession trace;
   obs::Registry metrics;
@@ -89,6 +110,11 @@ int main(int argc, char** argv) {
             << core::render_layout_ascii(
                    result.allocation.as_layout(config.layout),
                    result.allocation.predicted_seconds);
+
+  const std::string resilience = core::render_resilience_block(result);
+  if (!resilience.empty()) {
+    std::cout << '\n' << resilience;
+  }
 
   if (show_metrics) {
     std::cout << '\n' << core::render_metrics_block(metrics);

@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
+#include "hslb/cesm/timing_file.hpp"
 #include "hslb/common/error.hpp"
 #include "hslb/obs/obs.hpp"
 
 namespace hslb::cesm {
-namespace {
 
-/// Largest member of `allowed` that is <= limit, or the smallest member if
-/// none fits (caller validates against the machine afterwards).
-int snap_down(const std::vector<int>& allowed, int limit) {
+SnapResult snap_down(const std::vector<int>& allowed, int limit) {
   HSLB_REQUIRE(!allowed.empty(), "empty allowed set");
   int best = -1;
   for (const int v : allowed) {
@@ -20,10 +19,14 @@ int snap_down(const std::vector<int>& allowed, int limit) {
       best = std::max(best, v);
     }
   }
-  return best > 0 ? best : *std::min_element(allowed.begin(), allowed.end());
+  if (best > 0) {
+    return SnapResult{best, true};
+  }
+  // No member fits below the limit: fall back to the smallest member, which
+  // exceeds it.  The flag makes the overshoot explicit to the caller.
+  return SnapResult{*std::min_element(allowed.begin(), allowed.end()), false};
 }
 
-/// Member of `allowed` nearest to target (ties: smaller).
 int snap_nearest(const std::vector<int>& allowed, int target) {
   HSLB_REQUIRE(!allowed.empty(), "empty allowed set");
   int best = allowed.front();
@@ -34,8 +37,6 @@ int snap_nearest(const std::vector<int>& allowed, int target) {
   }
   return best;
 }
-
-}  // namespace
 
 Layout reference_layout(const CaseConfig& config, LayoutKind kind, int total) {
   HSLB_REQUIRE(total >= 8, "campaign totals must be at least 8 nodes");
@@ -48,10 +49,29 @@ Layout reference_layout(const CaseConfig& config, LayoutKind kind, int total) {
   int ocn = snap_nearest(config.ocn_allowed,
                          std::max(min_ocn, static_cast<int>(total * 0.2)));
   if (ocn > total - min_atm) {
-    ocn = snap_down(config.ocn_allowed, total - min_atm);
+    const SnapResult snapped = snap_down(config.ocn_allowed, total - min_atm);
+    if (!snapped.fits) {
+      // Even the smallest allowed ocean overshoots the atmosphere floor;
+      // the layout cannot fit this machine slice.  Fail loudly instead of
+      // handing back an over-limit count for the driver to reject later.
+      HSLB_COUNT("cesm.campaign.snap_fallbacks", 1);
+      throw InvalidArgument(
+          "no allowed ocean count fits " + std::to_string(total) +
+          " total nodes (smallest allowed is " +
+          std::to_string(snapped.value) + ", atmosphere floor is " +
+          std::to_string(min_atm) + ")");
+    }
+    ocn = snapped.value;
   }
-  int atm = snap_down(config.atm_allowed, total - ocn);
-  atm = std::max(atm, min_atm);
+  const SnapResult atm_snapped = snap_down(config.atm_allowed, total - ocn);
+  if (!atm_snapped.fits) {
+    HSLB_COUNT("cesm.campaign.snap_fallbacks", 1);
+    throw InvalidArgument(
+        "no allowed atmosphere count fits the " + std::to_string(total - ocn) +
+        " nodes left beside the ocean (smallest allowed is " +
+        std::to_string(atm_snapped.value) + ")");
+  }
+  int atm = std::max(atm_snapped.value, min_atm);
 
   int ice = std::max(min_ice, static_cast<int>(std::lround(atm * 0.6)));
   int lnd = atm - ice;
@@ -72,6 +92,129 @@ Layout reference_layout(const CaseConfig& config, LayoutKind kind, int total) {
   throw InvalidArgument("unknown layout kind");
 }
 
+namespace {
+
+/// Deterministic per-run seeds so the gather loop can execute in any order
+/// (and in parallel) without changing results.
+std::vector<std::uint64_t> make_run_seeds(std::size_t count,
+                                          std::uint64_t seed) {
+  std::vector<std::uint64_t> run_seeds(count);
+  common::Rng seeder(seed);
+  for (auto& s : run_seeds) {
+    s = seeder.next_u64();
+  }
+  return run_seeds;
+}
+
+/// The four modeled-component samples of one completed run.
+std::vector<BenchmarkSample> samples_of(const RunResult& run) {
+  std::vector<BenchmarkSample> out;
+  for (const ComponentKind component : kModeledComponents) {
+    out.push_back(BenchmarkSample{component, run.layout.at(component),
+                                  run.component_seconds.at(component)});
+  }
+  return out;
+}
+
+/// Outcome of one fault-injected benchmark run.
+struct FaultedRun {
+  std::optional<RunResult> run;          ///< empty when the run gave up
+  std::vector<BenchmarkSample> samples;  ///< empty when the run gave up
+  RunFaultLog log;
+};
+
+/// Execute one benchmark run under fault injection: bounded retries with
+/// exponential backoff (charged to the simulated clock), straggler slowdown
+/// threaded into the driver, timing files round-tripped -- and possibly
+/// corrupted -- through the parser.
+FaultedRun run_with_faults(const CaseConfig& config, const Layout& layout,
+                           std::uint64_t run_seed, int total,
+                           const FaultInjector& injector,
+                           const common::RetryPolicy& retry) {
+  FaultedRun out;
+  out.log.total_nodes = total;
+  common::SimClock lost;
+
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    out.log.attempts = attempt + 1;
+    if (attempt > 0) {
+      lost.advance(retry.backoff_for(attempt - 1));
+    }
+    const FaultKind fault = injector.draw(run_seed, attempt);
+    out.log.faults.push_back(fault);
+
+    if (fault == FaultKind::kLaunchFailure) {
+      HSLB_COUNT("cesm.fault.launch_failures", 1);
+      continue;  // the job never started; resubmit after backoff
+    }
+    if (fault == FaultKind::kHang) {
+      HSLB_COUNT("cesm.fault.hangs", 1);
+      lost.advance(retry.run_timeout_seconds);  // killed at the timeout
+      continue;
+    }
+
+    // The run executes.  Attempt 0 uses the campaign seed itself so a
+    // clean first try is the same run the fault-free campaign performs.
+    const std::uint64_t attempt_seed =
+        run_seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
+    RunPerturbation perturbation;
+    if (fault == FaultKind::kStraggler) {
+      HSLB_COUNT("cesm.fault.stragglers", 1);
+      perturbation.slowdown = injector.spec().straggler_multiplier;
+    }
+    RunResult run = run_case(config, layout, attempt_seed, perturbation);
+
+    if (fault == FaultKind::kNoiseSpike) {
+      HSLB_COUNT("cesm.fault.noise_spikes", 1);
+      const int target = injector.spike_target(
+          run_seed, attempt, static_cast<int>(std::size(kModeledComponents)));
+      const ComponentKind victim = kModeledComponents[target];
+      run.component_seconds.at(victim) *= injector.spec().spike_multiplier;
+    }
+
+    if (fault == FaultKind::kCorruptOutput ||
+        fault == FaultKind::kTruncatedOutput) {
+      // The job finished but its timing file is damaged: round-trip the
+      // rendered file through the hardened parser and retry on failure.
+      const std::uint64_t text_seed = injector.text_seed(run_seed, attempt);
+      std::string text = render_timing_file(config, run);
+      if (fault == FaultKind::kCorruptOutput) {
+        HSLB_COUNT("cesm.fault.corrupt_files", 1);
+        text = corrupt_text(text, text_seed);
+      } else {
+        HSLB_COUNT("cesm.fault.truncated_files", 1);
+        text = truncate_text(text, text_seed);
+      }
+      const auto parsed = try_parse_timing_file(text);
+      if (!parsed) {
+        continue;  // unusable output; rerun the benchmark
+      }
+      const auto parsed_samples = try_samples_from_timing({*parsed});
+      if (!parsed_samples) {
+        continue;
+      }
+      // The damage went unnoticed by the parser: the (possibly garbled)
+      // values enter the sample set, as they would from a real file.  MAD
+      // outlier rejection downstream is the safety net.
+      out.run = std::move(run);
+      out.samples = *parsed_samples;
+      out.log.sim_seconds_lost = lost.seconds();
+      return out;
+    }
+
+    out.samples = samples_of(run);
+    out.run = std::move(run);
+    out.log.sim_seconds_lost = lost.seconds();
+    return out;
+  }
+
+  out.log.succeeded = false;
+  out.log.sim_seconds_lost = lost.seconds();
+  return out;
+}
+
+}  // namespace
+
 CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
                                  std::span<const int> totals,
                                  std::uint64_t seed) {
@@ -80,15 +223,8 @@ CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
   CampaignResult out;
   out.runs.resize(totals.size());
 
-  // Each run gets an independent deterministic seed so the loop can execute
-  // in any order (and in parallel) without changing results.
-  std::vector<std::uint64_t> run_seeds(totals.size());
-  {
-    common::Rng seeder(seed);
-    for (auto& s : run_seeds) {
-      s = seeder.next_u64();
-    }
-  }
+  const std::vector<std::uint64_t> run_seeds =
+      make_run_seeds(totals.size(), seed);
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t i = 0;
@@ -110,6 +246,81 @@ CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
           run.component_seconds.at(component)});
     }
   }
+  return out;
+}
+
+CampaignResult gather_benchmarks(const CaseConfig& config, LayoutKind kind,
+                                 std::span<const int> totals,
+                                 std::uint64_t seed,
+                                 const GatherOptions& options) {
+  if (!options.faults.enabled()) {
+    return gather_benchmarks(config, kind, totals, seed);
+  }
+  HSLB_REQUIRE(!totals.empty(), "campaign needs at least one total");
+  HSLB_REQUIRE(options.retry.max_attempts >= 1,
+               "retry policy needs at least one attempt");
+
+  const FaultInjector injector(options.faults);
+  const std::vector<std::uint64_t> run_seeds =
+      make_run_seeds(totals.size(), seed);
+  std::vector<FaultedRun> outcomes(totals.size());
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(totals.size()); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    obs::ScopedSpan span("cesm.gather.benchmark");
+    if (span.active()) {
+      span.arg("total_nodes", static_cast<long long>(totals[idx]));
+    }
+    const Layout layout = reference_layout(config, kind, totals[idx]);
+    outcomes[idx] = run_with_faults(config, layout, run_seeds[idx],
+                                    totals[idx], injector, options.retry);
+    HSLB_COUNT("cesm.gather.benchmarks", 1);
+  }
+
+  CampaignResult out;
+  for (FaultedRun& outcome : outcomes) {
+    CampaignFaultReport& report = out.fault_report;
+    for (const FaultKind fault : outcome.log.faults) {
+      switch (fault) {
+        case FaultKind::kLaunchFailure:
+          ++report.launch_failures;
+          break;
+        case FaultKind::kHang:
+          ++report.hangs;
+          break;
+        case FaultKind::kStraggler:
+          ++report.stragglers;
+          break;
+        case FaultKind::kCorruptOutput:
+          ++report.corrupt_files;
+          break;
+        case FaultKind::kTruncatedOutput:
+          ++report.truncated_files;
+          break;
+        case FaultKind::kNoiseSpike:
+          ++report.noise_spikes;
+          break;
+        case FaultKind::kNone:
+          break;
+      }
+    }
+    report.retries += outcome.log.attempts - 1;
+    report.sim_seconds_lost += outcome.log.sim_seconds_lost;
+    if (!outcome.log.succeeded) {
+      ++report.giveups;
+    } else {
+      out.samples.insert(out.samples.end(), outcome.samples.begin(),
+                         outcome.samples.end());
+      out.runs.push_back(std::move(*outcome.run));
+    }
+    report.runs.push_back(std::move(outcome.log));
+  }
+  HSLB_COUNT("cesm.gather.retries", out.fault_report.retries);
+  HSLB_COUNT("cesm.gather.giveups", out.fault_report.giveups);
+  HSLB_COUNT("cesm.gather.sim_seconds_lost",
+             out.fault_report.sim_seconds_lost);
   return out;
 }
 

@@ -71,6 +71,13 @@ double ice_day_time(const Component& ice, int nodes, int days,
 
 RunResult run_case(const CaseConfig& config, const Layout& layout,
                    std::uint64_t seed) {
+  return run_case(config, layout, seed, RunPerturbation{});
+}
+
+RunResult run_case(const CaseConfig& config, const Layout& layout,
+                   std::uint64_t seed, const RunPerturbation& perturbation) {
+  HSLB_REQUIRE(perturbation.slowdown >= 1.0,
+               "run perturbation slowdown must be >= 1");
   if (const auto why = layout.invalid_reason(config.machine.total_nodes)) {
     throw InvalidArgument("layout does not fit the machine: " + *why);
   }
@@ -112,8 +119,10 @@ RunResult run_case(const CaseConfig& config, const Layout& layout,
   for (int day = 0; day < days; ++day) {
     // The ocean advances a whole day between couplings; the atmosphere
     // group exchanges `steps` times within the day, each step paying the
-    // synchronization of its own noise draw.
-    const double t_ocn = day_time(ocn, n_ocn, days, rng);
+    // synchronization of its own noise draw.  A straggler perturbation
+    // stretches every draw uniformly (slowdown 1.0 is exact identity).
+    const double slow = perturbation.slowdown;
+    const double t_ocn = day_time(ocn, n_ocn, days, rng) * slow;
 
     double t_ice = 0.0;
     double t_lnd = 0.0;
@@ -124,12 +133,13 @@ RunResult run_case(const CaseConfig& config, const Layout& layout,
     double serial_day = 0.0;    // layout 3: everything sequential
     for (int step = 0; step < steps; ++step) {
       const double s_ice = ice_day_time(ice, n_ice, day_slices, rng,
-                                        config.ice_decomposition_policy);
-      const double s_lnd = day_time(lnd, n_lnd, day_slices, rng);
-      const double s_atm = day_time(atm, n_atm, day_slices, rng);
+                                        config.ice_decomposition_policy) *
+                           slow;
+      const double s_lnd = day_time(lnd, n_lnd, day_slices, rng) * slow;
+      const double s_atm = day_time(atm, n_atm, day_slices, rng) * slow;
       // River shares the land group; coupler shares the atmosphere group.
-      const double s_rof = day_time(rof, n_lnd, day_slices, rng);
-      const double s_cpl = day_time(cpl, n_atm, day_slices, rng);
+      const double s_rof = day_time(rof, n_lnd, day_slices, rng) * slow;
+      const double s_cpl = day_time(cpl, n_atm, day_slices, rng) * slow;
       t_ice += s_ice;
       t_lnd += s_lnd;
       t_atm += s_atm;

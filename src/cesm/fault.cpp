@@ -1,0 +1,163 @@
+#include "hslb/cesm/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+/// SplitMix64-style mix of the identity triple into one 64-bit stream seed.
+std::uint64_t mix_key(std::uint64_t seed, std::uint64_t run_key,
+                      std::uint64_t salt) {
+  std::uint64_t z = seed ^ (run_key * 0x9e3779b97f4a7c15ull) ^
+                    (salt * 0xbf58476d1ce4e5b9ull);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kLaunchFailure:
+      return "launch-failure";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kCorruptOutput:
+      return "corrupt-output";
+    case FaultKind::kTruncatedOutput:
+      return "truncated-output";
+    case FaultKind::kNoiseSpike:
+      return "noise-spike";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::enabled() const { return total_rate() > 0.0; }
+
+double FaultSpec::total_rate() const {
+  return launch_failure_prob + hang_prob + straggler_prob + corrupt_prob +
+         truncate_prob + spike_prob;
+}
+
+FaultSpec FaultSpec::uniform(double rate, std::uint64_t seed) {
+  HSLB_REQUIRE(rate >= 0.0 && rate <= 1.0,
+               "fault rate must be a probability");
+  FaultSpec spec;
+  spec.launch_failure_prob = 0.30 * rate;
+  spec.hang_prob = 0.10 * rate;
+  spec.straggler_prob = 0.20 * rate;
+  spec.corrupt_prob = 0.10 * rate;
+  spec.truncate_prob = 0.10 * rate;
+  spec.spike_prob = 0.20 * rate;
+  spec.seed = seed;
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  HSLB_REQUIRE(spec_.total_rate() <= 1.0,
+               "fault probabilities must sum to at most 1");
+  HSLB_REQUIRE(spec_.straggler_multiplier >= 1.0 &&
+                   spec_.spike_multiplier >= 1.0,
+               "fault multipliers must be >= 1");
+}
+
+FaultKind FaultInjector::draw(std::uint64_t run_key, int attempt) const {
+  if (!spec_.enabled()) {
+    return FaultKind::kNone;
+  }
+  common::Rng rng(mix_key(spec_.seed, run_key,
+                          0xA7ull + static_cast<std::uint64_t>(attempt)));
+  const double u = rng.uniform();
+  double edge = spec_.launch_failure_prob;
+  if (u < edge) {
+    return FaultKind::kLaunchFailure;
+  }
+  edge += spec_.hang_prob;
+  if (u < edge) {
+    return FaultKind::kHang;
+  }
+  edge += spec_.straggler_prob;
+  if (u < edge) {
+    return FaultKind::kStraggler;
+  }
+  edge += spec_.corrupt_prob;
+  if (u < edge) {
+    return FaultKind::kCorruptOutput;
+  }
+  edge += spec_.truncate_prob;
+  if (u < edge) {
+    return FaultKind::kTruncatedOutput;
+  }
+  edge += spec_.spike_prob;
+  if (u < edge) {
+    return FaultKind::kNoiseSpike;
+  }
+  return FaultKind::kNone;
+}
+
+int FaultInjector::spike_target(std::uint64_t run_key, int attempt,
+                                int choices) const {
+  HSLB_REQUIRE(choices >= 1, "spike_target needs at least one choice");
+  common::Rng rng(mix_key(spec_.seed, run_key,
+                          0x51ull + static_cast<std::uint64_t>(attempt)));
+  return static_cast<int>(rng.uniform_int(0, choices - 1));
+}
+
+std::uint64_t FaultInjector::text_seed(std::uint64_t run_key,
+                                       int attempt) const {
+  return mix_key(spec_.seed, run_key,
+                 0x7Eull + static_cast<std::uint64_t>(attempt));
+}
+
+std::string corrupt_text(const std::string& text, std::uint64_t seed) {
+  if (text.empty()) {
+    return text;
+  }
+  common::Rng rng(seed);
+  std::string out = text;
+  const auto len = static_cast<std::int64_t>(out.size());
+  // A handful of short junk bursts, like a partially flushed buffer.
+  const int bursts = 2 + static_cast<int>(rng.uniform_int(0, 3));
+  for (int b = 0; b < bursts; ++b) {
+    const auto start =
+        static_cast<std::size_t>(rng.uniform_int(0, len - 1));
+    const auto burst_len = static_cast<std::size_t>(rng.uniform_int(3, 24));
+    for (std::size_t i = start;
+         i < std::min(out.size(), start + burst_len); ++i) {
+      out[i] = static_cast<char>(rng.uniform_int(33, 126));
+    }
+  }
+  // Scatter digit swaps so some numbers silently change value.
+  const int swaps = 4 + static_cast<int>(rng.uniform_int(0, 7));
+  for (int s = 0; s < swaps; ++s) {
+    const auto at = static_cast<std::size_t>(rng.uniform_int(0, len - 1));
+    if (std::isdigit(static_cast<unsigned char>(out[at])) != 0) {
+      out[at] = static_cast<char>('0' + rng.uniform_int(0, 9));
+    }
+  }
+  return out;
+}
+
+std::string truncate_text(const std::string& text, std::uint64_t seed) {
+  if (text.size() < 2) {
+    return "";
+  }
+  common::Rng rng(seed);
+  const double keep = rng.uniform(0.1, 0.9);
+  return text.substr(0, static_cast<std::size_t>(
+                            keep * static_cast<double>(text.size())));
+}
+
+}  // namespace hslb::cesm

@@ -30,12 +30,19 @@ std::string value_of(const std::string& line, const std::string& key) {
   return trim(trimmed.substr(colon + 1));
 }
 
-/// Last numeric token of a "...: 123.456 s" summary line.
-double trailing_seconds(const std::string& line) {
-  std::istringstream words(line.substr(line.find(':') + 1));
+/// Last numeric token of a "...: 123.456 s" summary line, or nothing when
+/// the number is garbled or missing.
+std::optional<double> trailing_seconds(const std::string& line) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) {
+    return std::nullopt;
+  }
+  std::istringstream words(line.substr(colon + 1));
   double value = 0.0;
   words >> value;
-  HSLB_REQUIRE(static_cast<bool>(words), "malformed summary line: " + line);
+  if (!words) {
+    return std::nullopt;
+  }
   return value;
 }
 
@@ -48,7 +55,28 @@ bool is_known_component(const std::string& name) {
   return false;
 }
 
+TimingParseError parse_error(std::string message, int line = 0,
+                             std::string line_text = "") {
+  TimingParseError out;
+  out.message = std::move(message);
+  out.line = line;
+  out.line_text = std::move(line_text);
+  return out;
+}
+
 }  // namespace
+
+std::string TimingParseError::to_string() const {
+  std::string out = message;
+  if (line > 0) {
+    out += " (line " + std::to_string(line);
+    if (!line_text.empty()) {
+      out += ": '" + line_text + "'";
+    }
+    out += ")";
+  }
+  return out;
+}
 
 std::optional<ParsedTimingFile::Row> ParsedTimingFile::find(
     const std::string& component) const {
@@ -60,13 +88,16 @@ std::optional<ParsedTimingFile::Row> ParsedTimingFile::find(
   return std::nullopt;
 }
 
-ParsedTimingFile parse_timing_file(const std::string& text) {
+TimingExpected<ParsedTimingFile> try_parse_timing_file(
+    const std::string& text) {
   ParsedTimingFile out;
   bool saw_header = false;
 
   std::istringstream lines(text);
   std::string line;
+  int line_number = 0;
   while (std::getline(lines, line)) {
+    ++line_number;
     if (line.find("CESM timing summary") != std::string::npos) {
       saw_header = true;
       continue;
@@ -85,15 +116,29 @@ ParsedTimingFile parse_timing_file(const std::string& text) {
     }
     if (const std::string v = value_of(line, "run length"); !v.empty()) {
       std::istringstream words(v);
-      words >> out.simulated_days;
+      if (!(words >> out.simulated_days) || out.simulated_days <= 0) {
+        return common::make_unexpected(parse_error(
+            "run length is not a positive day count", line_number, line));
+      }
       continue;
     }
     if (line.find("model time") != std::string::npos) {
-      out.model_seconds = trailing_seconds(line);
+      const auto seconds = trailing_seconds(line);
+      if (!seconds) {
+        return common::make_unexpected(
+            parse_error("malformed model-time summary line", line_number,
+                        line));
+      }
+      out.model_seconds = *seconds;
       continue;
     }
     if (line.find("total wall clock") != std::string::npos) {
-      out.total_seconds = trailing_seconds(line);
+      const auto seconds = trailing_seconds(line);
+      if (!seconds) {
+        return common::make_unexpected(parse_error(
+            "malformed wall-clock summary line", line_number, line));
+      }
+      out.total_seconds = *seconds;
       continue;
     }
     // Component table row: "<name> <nodes> <cores> <seconds> <sec/day>".
@@ -102,29 +147,68 @@ ParsedTimingFile parse_timing_file(const std::string& text) {
     if (words >> row.component >> row.nodes >> row.cores >> row.seconds >>
             row.seconds_per_day &&
         is_known_component(row.component)) {
+      if (row.nodes <= 0 || row.cores < 0 || row.seconds < 0.0) {
+        return common::make_unexpected(parse_error(
+            "component row for '" + row.component +
+                "' carries non-positive nodes or negative timings",
+            line_number, line));
+      }
       out.rows.push_back(row);
     }
   }
 
-  HSLB_REQUIRE(saw_header, "not a CESM timing summary");
-  HSLB_REQUIRE(!out.rows.empty(), "timing summary contains no components");
-  HSLB_REQUIRE(out.simulated_days > 0, "timing summary lacks the run length");
+  if (!saw_header) {
+    return common::make_unexpected(
+        parse_error("not a CESM timing summary (header line missing)"));
+  }
+  if (out.rows.empty()) {
+    return common::make_unexpected(
+        parse_error("timing summary contains no component rows"));
+  }
+  if (out.simulated_days <= 0) {
+    return common::make_unexpected(
+        parse_error("timing summary lacks the run length"));
+  }
   return out;
 }
 
-std::vector<BenchmarkSample> samples_from_timing(
+TimingExpected<std::vector<BenchmarkSample>> try_samples_from_timing(
     const std::vector<ParsedTimingFile>& files) {
   std::vector<BenchmarkSample> samples;
-  for (const ParsedTimingFile& file : files) {
+  for (std::size_t i = 0; i < files.size(); ++i) {
     for (const ComponentKind kind : kModeledComponents) {
-      const auto row = file.find(to_string(kind));
-      HSLB_REQUIRE(row.has_value(),
-                   std::string("timing file lacks component ") +
-                       to_string(kind));
+      const auto row = files[i].find(to_string(kind));
+      if (!row.has_value()) {
+        return common::make_unexpected(parse_error(
+            "timing file " + std::to_string(i + 1) + " lacks component " +
+            to_string(kind)));
+      }
+      if (row->nodes <= 0 || row->seconds <= 0.0) {
+        return common::make_unexpected(parse_error(
+            "timing file " + std::to_string(i + 1) + " component " +
+            to_string(kind) + " has non-positive nodes or seconds"));
+      }
       samples.push_back(BenchmarkSample{kind, row->nodes, row->seconds});
     }
   }
   return samples;
+}
+
+ParsedTimingFile parse_timing_file(const std::string& text) {
+  auto parsed = try_parse_timing_file(text);
+  if (!parsed) {
+    throw InvalidArgument(parsed.error().to_string());
+  }
+  return std::move(parsed.value());
+}
+
+std::vector<BenchmarkSample> samples_from_timing(
+    const std::vector<ParsedTimingFile>& files) {
+  auto samples = try_samples_from_timing(files);
+  if (!samples) {
+    throw InvalidArgument(samples.error().to_string());
+  }
+  return std::move(samples.value());
 }
 
 }  // namespace hslb::cesm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "hslb/common/error.hpp"
 #include "hslb/cesm/ice_tuner.hpp"
@@ -19,10 +21,31 @@ std::vector<int> default_gather_totals(int total_nodes) {
 
 namespace {
 
+/// Re-run the benchmark campaign for one targeted re-sampling round.
+using Resampler = std::function<cesm::CampaignResult(int round)>;
+
+void merge_fault_report(cesm::CampaignFaultReport* into,
+                        const cesm::CampaignFaultReport& extra) {
+  into->runs.insert(into->runs.end(), extra.runs.begin(), extra.runs.end());
+  into->launch_failures += extra.launch_failures;
+  into->hangs += extra.hangs;
+  into->stragglers += extra.stragglers;
+  into->corrupt_files += extra.corrupt_files;
+  into->truncated_files += extra.truncated_files;
+  into->noise_spikes += extra.noise_spikes;
+  into->retries += extra.retries;
+  into->giveups += extra.giveups;
+  into->sim_seconds_lost += extra.sim_seconds_lost;
+}
+
 HslbResult solve_and_execute(const PipelineConfig& config,
                              std::vector<cesm::BenchmarkSample> samples,
-                             bool execute) {
+                             bool execute,
+                             cesm::CampaignFaultReport campaign_report,
+                             const Resampler& resample) {
   HSLB_REQUIRE(config.total_nodes >= 8, "target machine slice too small");
+  const bool resilient =
+      config.resilience.enabled || config.faults.enabled();
   HslbResult out;
   out.samples = std::move(samples);
 
@@ -35,17 +58,75 @@ HslbResult solve_and_execute(const PipelineConfig& config,
   spec.min_nodes = config.case_config.min_nodes;
   {
     HSLB_SPAN("hslb.fit");
+
+    // Clean each component's series.  When the resilience layer is engaged
+    // this rejects MAD outliers first, and -- if a component drops below
+    // its clean-sample quorum -- spends the re-sampling budget on extra
+    // campaign rounds before conceding to a fallback fit.
+    std::map<ComponentKind, cesm::Series> clean;
+    std::map<ComponentKind, ComponentResilience> tally;
+    int rounds = 0;
+    for (;;) {
+      clean.clear();
+      bool quorum_missing = false;
+      for (const ComponentKind kind : cesm::kModeledComponents) {
+        cesm::Series series = cesm::series_for(out.samples, kind);
+        ComponentResilience& entry = tally[kind];
+        if (resilient) {
+          FilteredSeries filtered =
+              reject_outliers(series, config.resilience.outlier_threshold,
+                              config.fit_options);
+          entry.samples_rejected = filtered.rejected;
+          series = std::move(filtered.series);
+        }
+        if (static_cast<int>(series.nodes.size()) <
+            config.resilience.min_clean_samples) {
+          quorum_missing = true;
+        }
+        entry.samples_used = static_cast<int>(series.nodes.size());
+        clean[kind] = std::move(series);
+      }
+      if (!resilient || !quorum_missing || !resample ||
+          rounds >= config.resilience.max_resample_rounds) {
+        break;
+      }
+      ++rounds;
+      HSLB_COUNT("hslb.resilience.resample_rounds", 1);
+      cesm::CampaignResult extra = resample(rounds);
+      out.samples.insert(out.samples.end(), extra.samples.begin(),
+                         extra.samples.end());
+      merge_fault_report(&campaign_report, extra.fault_report);
+      for (const ComponentKind kind : cesm::kModeledComponents) {
+        tally[kind].resample_runs = rounds;
+      }
+    }
+
+    perf::FitOptions fit_options = config.fit_options;
+    if (resilient && config.resilience.robust_fit) {
+      fit_options.robust_loss = true;
+    }
     for (const ComponentKind kind : cesm::kModeledComponents) {
       obs::ScopedSpan span("hslb.fit.component");
       if (span.active()) {
         span.arg("component", std::string(cesm::to_string(kind)));
       }
-      const cesm::Series series = cesm::series_for(out.samples, kind);
-      HSLB_REQUIRE(series.nodes.size() >= 3,
-                   "need at least 3 samples per component to fit");
-      out.fits[kind] = perf::fit(series.nodes, series.seconds,
-                                 config.fit_options);
+      const cesm::Series& series = clean.at(kind);
+      if (static_cast<int>(series.nodes.size()) >= 3) {
+        out.fits[kind] =
+            perf::fit(series.nodes, series.seconds, fit_options);
+      } else if (resilient && !series.nodes.empty()) {
+        // Too few clean samples even after re-sampling: fall back to the
+        // monotone a/n + d interpolant and flag the curve as degraded.
+        out.fits[kind] = fallback_fit(series);
+        tally[kind].degraded_fit = true;
+      } else {
+        HSLB_REQUIRE(series.nodes.size() >= 3,
+                     "need at least 3 samples per component to fit");
+      }
       spec.perf[kind] = out.fits.at(kind).model;
+    }
+    if (resilient) {
+      out.resilience.components = std::move(tally);
     }
   }
 
@@ -74,15 +155,25 @@ HslbResult solve_and_execute(const PipelineConfig& config,
     const minlp::Model model = build_layout_model(spec, &vars);
     out.solver_result = minlp::solve(model, config.solver);
   }
-  // A node-limited solve with an incumbent is still a usable allocation
-  // (callers bound max_nodes for the expensive objective ablations).
+  // A node- or time-limited solve with an incumbent is still a usable
+  // allocation (callers bound max_nodes/max_wall_seconds for the expensive
+  // objective ablations and for fault-injected campaigns).
   const bool usable =
       out.solver_result.status == minlp::MinlpStatus::kOptimal ||
-      (out.solver_result.status == minlp::MinlpStatus::kNodeLimit &&
+      ((out.solver_result.status == minlp::MinlpStatus::kNodeLimit ||
+        out.solver_result.status == minlp::MinlpStatus::kTimeLimit) &&
        !out.solver_result.x.empty());
-  HSLB_REQUIRE(usable, std::string("MINLP solve failed: ") +
-                           minlp::to_string(out.solver_result.status));
-  out.allocation = extract_allocation(spec, vars, out.solver_result);
+  if (usable) {
+    out.allocation = extract_allocation(spec, vars, out.solver_result);
+  } else if (resilient) {
+    // Budget ran out without an incumbent (or the solve failed outright):
+    // degrade to the direct grid search over the allowed sets.
+    out.allocation = heuristic_allocation(spec);
+    out.resilience.solver_fallback = true;
+  } else {
+    HSLB_REQUIRE(usable, std::string("MINLP solve failed: ") +
+                             minlp::to_string(out.solver_result.status));
+  }
   out.predicted_total = out.allocation.predicted_total;
 
   for (const ComponentKind kind : cesm::kModeledComponents) {
@@ -102,6 +193,12 @@ HslbResult solve_and_execute(const PipelineConfig& config,
           out.run.component_seconds.at(kind);
     }
     out.actual_total = out.run.model_seconds;
+  }
+
+  out.resilience.campaign = std::move(campaign_report);
+  out.degraded = out.resilience.degraded();
+  if (out.degraded) {
+    HSLB_COUNT("hslb.resilience.degraded_results", 1);
   }
   return out;
 }
@@ -130,21 +227,42 @@ HslbResult run_hslb(const PipelineConfig& config) {
   if (totals.empty()) {
     totals = default_gather_totals(effective.total_nodes);
   }
+  cesm::GatherOptions gather_options;
+  gather_options.faults = effective.faults;
+  gather_options.retry = effective.resilience.retry;
   cesm::CampaignResult campaign;
   {
     HSLB_SPAN("hslb.gather");
     campaign = cesm::gather_benchmarks(effective.case_config,
                                        effective.layout, totals,
-                                       effective.seed);
+                                       effective.seed, gather_options);
   }
-  return solve_and_execute(effective, campaign.samples, /*execute=*/true);
+
+  // Targeted re-sampling: another full campaign round under a shifted seed
+  // (both for the run streams and for the fault draws, so a re-run does not
+  // replay the exact faults that starved the component in the first place).
+  const Resampler resample = [&effective, &totals,
+                              &gather_options](int round) {
+    const std::uint64_t shift =
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(round);
+    cesm::GatherOptions options = gather_options;
+    options.faults.seed += shift;
+    return cesm::gather_benchmarks(effective.case_config, effective.layout,
+                                   totals, effective.seed + shift, options);
+  };
+  return solve_and_execute(effective, std::move(campaign.samples),
+                           /*execute=*/true,
+                           std::move(campaign.fault_report), resample);
 }
 
 HslbResult run_hslb_from_samples(
     const PipelineConfig& config,
     const std::vector<cesm::BenchmarkSample>& samples) {
   const obs::Install install(config.obs);
-  return solve_and_execute(config, samples, /*execute=*/false);
+  // Archived samples cannot be re-gathered: no resampler, so a component
+  // short on clean data degrades straight to the fallback fit.
+  return solve_and_execute(config, samples, /*execute=*/false,
+                           cesm::CampaignFaultReport{}, Resampler{});
 }
 
 }  // namespace hslb::core

@@ -138,6 +138,61 @@ std::string render_layout_ascii(
   return os.str();
 }
 
+std::string render_resilience_block(const HslbResult& hslb) {
+  const ResilienceReport& report = hslb.resilience;
+  const cesm::CampaignFaultReport& campaign = report.campaign;
+
+  bool component_activity = false;
+  for (const auto& kv : report.components) {
+    const ComponentResilience& entry = kv.second;
+    if (entry.samples_rejected > 0 || entry.resample_runs > 0 ||
+        entry.degraded_fit) {
+      component_activity = true;
+    }
+  }
+  if (!campaign.any_faults() && !component_activity &&
+      !report.solver_fallback) {
+    return {};
+  }
+
+  std::ostringstream os;
+  os << "Resilience report ("
+     << (hslb.degraded ? "DEGRADED result" : "clean result") << ")\n";
+  os << "  campaign: " << campaign.launch_failures << " launch failures, "
+     << campaign.hangs << " hangs, " << campaign.stragglers
+     << " stragglers, " << campaign.corrupt_files << " corrupt + "
+     << campaign.truncated_files << " truncated timing files, "
+     << campaign.noise_spikes << " noise spikes\n";
+  os << "  retries: " << campaign.retries << " (" << campaign.giveups
+     << " runs gave up), "
+     << common::format_fixed(campaign.sim_seconds_lost, 0)
+     << " simulated seconds lost to backoff/timeouts\n";
+
+  if (!report.components.empty()) {
+    common::Table table(
+        {"component", "samples used", "rejected", "resample rounds", "fit"});
+    for (const ComponentKind kind : cesm::kModeledComponents) {
+      const auto it = report.components.find(kind);
+      if (it == report.components.end()) {
+        continue;
+      }
+      table.add_row();
+      table.cell(std::string(cesm::to_string(kind)));
+      table.cell(static_cast<long long>(it->second.samples_used));
+      table.cell(static_cast<long long>(it->second.samples_rejected));
+      table.cell(static_cast<long long>(it->second.resample_runs));
+      table.cell(std::string(it->second.degraded_fit ? "FALLBACK a/n+d"
+                                                     : "full"));
+    }
+    os << table.to_text();
+  }
+  if (report.solver_fallback) {
+    os << "  solver: budget exhausted without incumbent -- heuristic "
+          "grid-search allocation used\n";
+  }
+  return os.str();
+}
+
 std::string render_metrics_block(const obs::Registry& registry) {
   std::ostringstream os;
   os << "Observability metrics\n";

@@ -29,10 +29,22 @@ struct RunResult {
   double total_seconds = 0.0;
 };
 
+/// Environment-level perturbation of one run, as injected by a fault
+/// campaign (fault.hpp): a straggler node group slows every timer by the
+/// same factor.  The default (1.0) is exactly the unperturbed run.
+struct RunPerturbation {
+  double slowdown = 1.0;  ///< multiplies every component's busy time (>= 1)
+};
+
 /// Execute one benchmark run of `days` simulated days (defaults to the
 /// case's setting).  Deterministic in (config, layout, seed).
 RunResult run_case(const CaseConfig& config, const Layout& layout,
                    std::uint64_t seed);
+
+/// As above, under an injected perturbation.  A default-constructed
+/// perturbation reproduces run_case(config, layout, seed) bit for bit.
+RunResult run_case(const CaseConfig& config, const Layout& layout,
+                   std::uint64_t seed, const RunPerturbation& perturbation);
 
 /// Render a CESM-style timing summary for a run.
 std::string render_timing_file(const CaseConfig& config,

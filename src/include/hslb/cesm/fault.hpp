@@ -1,0 +1,95 @@
+// Deterministic fault injection for benchmark campaigns.
+//
+// The paper's Step 1 gathers 5-day timings on a real machine where jobs fail
+// to launch, hang in the queue, land on straggler nodes, or write truncated
+// timing files.  The simulator reproduces that noise here so the rest of the
+// pipeline can be hardened against it: a FaultSpec declares per-attempt
+// probabilities for each fault class, and a FaultInjector turns (run, attempt)
+// identities into reproducible fault draws.  Every draw is keyed by a hash of
+// (spec seed, run key, attempt), so campaigns stay deterministic in the seed
+// regardless of thread count or retry order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hslb/common/rng.hpp"
+
+namespace hslb::cesm {
+
+/// What the injector did to one benchmark attempt.
+enum class FaultKind {
+  kNone,             ///< the attempt proceeds cleanly
+  kLaunchFailure,    ///< the job never starts (fails fast)
+  kHang,             ///< the job hangs and is killed at the timeout
+  kStraggler,        ///< the run completes but every timer is inflated
+  kCorruptOutput,    ///< the timing file is garbled
+  kTruncatedOutput,  ///< the timing file is cut short
+  kNoiseSpike,       ///< one component's timer spikes (bad sample)
+};
+
+const char* to_string(FaultKind kind);
+
+/// Per-attempt fault probabilities.  All default to zero: a default
+/// FaultSpec is a guaranteed no-op and the campaign code takes the exact
+/// pre-fault-injection path (bit-identical results).
+struct FaultSpec {
+  double launch_failure_prob = 0.0;
+  double hang_prob = 0.0;
+  double straggler_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double truncate_prob = 0.0;
+  double spike_prob = 0.0;
+
+  /// Slowdown multiplier applied to a straggler run's timers (>= 1).
+  double straggler_multiplier = 3.0;
+  /// Multiplier applied to the spiked component's timer (>= 1).
+  double spike_multiplier = 8.0;
+
+  std::uint64_t seed = 0xFA117ull;
+
+  /// True when any fault class can fire.
+  bool enabled() const;
+  /// Total per-attempt probability that *some* fault fires.
+  double total_rate() const;
+
+  /// A spec whose fault classes sum to `rate` (the campaign-level
+  /// "--fault-rate"), split across the classes in realistic proportions:
+  /// launch failures and stragglers dominate, corruption and hangs are rare.
+  static FaultSpec uniform(double rate, std::uint64_t seed = 0xFA117ull);
+};
+
+/// Deterministic fault oracle.  Stateless between calls: each decision is a
+/// pure function of (spec, run_key, attempt), so draws can be made from any
+/// thread in any order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// The fault (or kNone) injected into attempt `attempt` of the run
+  /// identified by `run_key`.
+  FaultKind draw(std::uint64_t run_key, int attempt) const;
+
+  /// Index in [0, choices) picking which component a kNoiseSpike hits.
+  int spike_target(std::uint64_t run_key, int attempt, int choices) const;
+
+  /// Deterministic sub-seed for text corruption/truncation of this attempt.
+  std::uint64_t text_seed(std::uint64_t run_key, int attempt) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Garble a timing-file-like text: overwrite a few random spans with binary
+/// junk and shuffle some digits, deterministically in `seed`.  The result
+/// usually fails to parse; occasionally it parses into absurd values, which
+/// is exactly the bad-sample case downstream outlier rejection must catch.
+std::string corrupt_text(const std::string& text, std::uint64_t seed);
+
+/// Cut the text at a random fraction (10-90%) of its length -- the
+/// half-written timing file of a job killed mid-output.
+std::string truncate_text(const std::string& text, std::uint64_t seed);
+
+}  // namespace hslb::cesm

@@ -5,6 +5,11 @@
 // a timing file (render_timing_file), and this parser reads one back --
 // so the fitting pipeline can be fed from persisted files exactly the way
 // the paper's automated pipeline was.
+//
+// On the real machine those files are sometimes truncated or garbled (the
+// job died mid-write, the filesystem hiccuped), so parsing reports failures
+// through a typed Expected error carrying line context; the legacy throwing
+// entry points remain as thin wrappers for callers that want the abort.
 #pragma once
 
 #include <optional>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "hslb/cesm/campaign.hpp"
+#include "hslb/common/expected.hpp"
 
 namespace hslb::cesm {
 
@@ -38,11 +44,33 @@ struct ParsedTimingFile {
   std::optional<Row> find(const std::string& component) const;
 };
 
-/// Parse a timing summary produced by render_timing_file.
-/// Throws InvalidArgument on malformed input.
-ParsedTimingFile parse_timing_file(const std::string& text);
+/// Why a timing file failed to parse, with the offending line when one can
+/// be pointed at (line 0 = whole-document problem, e.g. missing header).
+struct TimingParseError {
+  std::string message;
+  int line = 0;            ///< 1-based line number, 0 when not line-specific
+  std::string line_text;   ///< the offending line, verbatim (may be empty)
+
+  std::string to_string() const;
+};
+
+template <typename T>
+using TimingExpected = common::Expected<T, TimingParseError>;
+
+/// Parse a timing summary produced by render_timing_file.  Malformed or
+/// truncated input (missing header, bad numbers, no component rows, absent
+/// run length) comes back as a TimingParseError -- never an exception.
+TimingExpected<ParsedTimingFile> try_parse_timing_file(
+    const std::string& text);
 
 /// Extract fitting samples (the four modeled components) from parsed files.
+/// Files missing a modeled component or carrying non-positive values report
+/// a typed error instead of aborting.
+TimingExpected<std::vector<BenchmarkSample>> try_samples_from_timing(
+    const std::vector<ParsedTimingFile>& files);
+
+/// Legacy wrappers: same parsing, but throw InvalidArgument on error.
+ParsedTimingFile parse_timing_file(const std::string& text);
 std::vector<BenchmarkSample> samples_from_timing(
     const std::vector<ParsedTimingFile>& files);
 

@@ -1,0 +1,72 @@
+// A minimal Expected<T, E>: the typed error channel for operations whose
+// failure is an *expected data condition* rather than a programmer error
+// (see error.hpp's philosophy note).  Parsing a truncated timing file or
+// gathering a benchmark on a flaky machine fails routinely; those paths
+// return Expected instead of tripping HSLB_REQUIRE, and the caller decides
+// whether to retry, degrade, or escalate to an exception.
+//
+// Deliberately small (no monadic sugar beyond map/error propagation): the
+// call sites read as `if (!r) { ... r.error() ... } use(r.value())`.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::common {
+
+/// Tag wrapper so Expected<T, E> can be constructed unambiguously from an
+/// error value even when T and E are convertible.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(error)};
+}
+
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> unexpected)
+      : storage_(std::in_place_index<1>, std::move(unexpected.error)) {}
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    HSLB_ASSERT(has_value(), "Expected::value() on an error");
+    return std::get<0>(storage_);
+  }
+  const T& value() const {
+    HSLB_ASSERT(has_value(), "Expected::value() on an error");
+    return std::get<0>(storage_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E& error() {
+    HSLB_ASSERT(!has_value(), "Expected::error() on a value");
+    return std::get<1>(storage_);
+  }
+  const E& error() const {
+    HSLB_ASSERT(!has_value(), "Expected::error() on a value");
+    return std::get<1>(storage_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace hslb::common

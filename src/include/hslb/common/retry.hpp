@@ -1,0 +1,42 @@
+// Retry policy with exponential backoff against a simulated clock.
+//
+// Benchmark campaigns on a real machine wait in queues, time out, and are
+// resubmitted; the simulator models the *cost* of that (simulated seconds
+// lost to backoff and hang timeouts) without sleeping.  All delays are
+// accounted against a SimClock so reports can say how much machine time the
+// fault handling consumed, and so tests stay instantaneous.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace hslb::common {
+
+struct RetryPolicy {
+  int max_attempts = 4;                ///< total tries per benchmark run
+  double base_backoff_seconds = 60.0;  ///< wait before the first retry
+  double backoff_multiplier = 2.0;     ///< exponential growth per retry
+  double max_backoff_seconds = 3600.0; ///< backoff ceiling
+  double run_timeout_seconds = 7200.0; ///< hung jobs are killed after this
+
+  /// Backoff charged before retrying after failed attempt `attempt`
+  /// (0-based): base * multiplier^attempt, clamped to the ceiling.
+  double backoff_for(int attempt) const {
+    const double raw =
+        base_backoff_seconds *
+        std::pow(backoff_multiplier, std::max(0, attempt));
+    return std::min(raw, max_backoff_seconds);
+  }
+};
+
+/// Accumulator of simulated wall-clock seconds (queue waits, timeouts).
+class SimClock {
+ public:
+  void advance(double seconds) { seconds_ += std::max(0.0, seconds); }
+  double seconds() const { return seconds_; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace hslb::common

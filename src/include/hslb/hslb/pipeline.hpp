@@ -7,6 +7,7 @@
 
 #include "hslb/cesm/campaign.hpp"
 #include "hslb/hslb/layout_model.hpp"
+#include "hslb/hslb/resilience.hpp"
 #include "hslb/obs/obs.hpp"
 #include "hslb/perf/fit.hpp"
 
@@ -30,6 +31,15 @@ struct PipelineConfig {
   /// method) before gathering, and run every benchmark and the final
   /// execution under it.  Smooths the ice curve and tightens the fit.
   bool tune_ice_decomposition = false;
+  /// Fault injection for the gather step (disabled by default: the campaign
+  /// takes the exact fault-free code path).  Enabling faults implicitly
+  /// engages the resilience layer below.
+  cesm::FaultSpec faults;
+  /// Resilience knobs: outlier rejection, robust fits, targeted
+  /// re-sampling, fallback fits/allocations.  Engaged whenever faults are
+  /// injected, or explicitly via resilience.enabled for archived noisy
+  /// samples.
+  ResilienceOptions resilience;
   /// Observability wiring: borrowed trace-session/metrics-registry pointers
   /// installed (obs::Install) for the duration of the run.  The pipeline
   /// emits one span per phase (gather/fit/solve/execute) with nested
@@ -57,6 +67,12 @@ struct HslbResult {
   double tsync_used = 0.0;
   minlp::MinlpResult solver_result;
   cesm::RunResult run;
+  /// What the resilience layer did (empty when it never engaged).
+  ResilienceReport resilience;
+  /// True when any result component is degraded: a fallback interpolant
+  /// replaced a proper fit, or a heuristic allocation replaced the MINLP
+  /// solve.  Degraded results are usable but carry wider error bars.
+  bool degraded = false;
 };
 
 /// Run all four steps.  Deterministic in the config (including seed).

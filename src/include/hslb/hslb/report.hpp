@@ -35,4 +35,10 @@ common::Table render_fit_summary(
 /// renders headers only.
 std::string render_metrics_block(const obs::Registry& registry);
 
+/// Resilience block: the campaign fault tally, per-component outlier /
+/// re-sampling / fallback outcomes, and the solver-fallback flag.  Returns
+/// an empty string when nothing happened (no faults, nothing degraded), so
+/// fault-free reports stay exactly as before.
+std::string render_resilience_block(const HslbResult& hslb);
+
 }  // namespace hslb::core

@@ -25,6 +25,7 @@ enum class MinlpStatus {
   kOptimal,
   kInfeasible,
   kNodeLimit,
+  kTimeLimit,
   kUnbounded,
 };
 
@@ -67,6 +68,11 @@ struct SolverOptions {
   double integer_tol = 1e-6;
   double rel_gap = 1e-8;           ///< relative optimality gap
   long max_nodes = 2'000'000;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.  When the budget
+  /// expires the solve stops and returns the best incumbent found so far
+  /// with status kTimeLimit (kTimeLimit without a point means no feasible
+  /// solution was found in time).
+  double max_wall_seconds = 0.0;
   int cut_rounds_per_node = 8;     ///< OA re-solve rounds per node
   int initial_tangents_per_link = 5;
   /// Structured progress sink (presolve summary, incumbent updates,

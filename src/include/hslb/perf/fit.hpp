@@ -33,6 +33,13 @@ struct FitOptions {
   /// default here; relative weighting trades accuracy at small node counts
   /// for accuracy across the whole range.
   bool relative_weighting = false;
+  /// Robust (Huber/IRLS) loss for the LM polish, bounding the influence of
+  /// corrupt samples -- the right setting for fault-injected campaigns and
+  /// the noisy CICE curves.  Off by default: plain least squares, exactly
+  /// the paper's Table II objective.
+  bool robust_loss = false;
+  /// Huber transition point in robust-sigma (MAD) units.
+  double huber_delta = 1.345;
 };
 
 struct FitResult {

@@ -301,6 +301,8 @@ const char* to_string(MinlpStatus status) {
       return "infeasible";
     case MinlpStatus::kNodeLimit:
       return "node-limit";
+    case MinlpStatus::kTimeLimit:
+      return "time-limit";
     case MinlpStatus::kUnbounded:
       return "unbounded";
   }
@@ -397,6 +399,7 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   double incumbent_obj = lp::kInf;
   Vector incumbent_x;
   bool hit_node_limit = false;
+  bool hit_time_limit = false;
 
   const auto cutoff = [&]() {
     if (!have_incumbent) {
@@ -409,6 +412,12 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   while (!queue.empty()) {
     if (stats.nodes_explored >= opts.max_nodes) {
       hit_node_limit = true;
+      break;
+    }
+    if (opts.max_wall_seconds > 0.0 &&
+        timer.seconds() >= opts.max_wall_seconds) {
+      hit_time_limit = true;
+      HSLB_COUNT("minlp.budget_exhausted", 1);
       break;
     }
     Node node = queue.pop();
@@ -667,12 +676,19 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   if (metrics.cuts != nullptr) {
     metrics.cuts->add(static_cast<double>(stats.cuts_added));
   }
+  const auto limited_status = [&] {
+    if (hit_time_limit) {
+      return MinlpStatus::kTimeLimit;
+    }
+    return hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kOptimal;
+  };
   if (have_incumbent) {
-    out.status = hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kOptimal;
+    out.status = limited_status();
     out.x = std::move(incumbent_x);
     out.objective = incumbent_obj;
   } else {
-    out.status = hit_node_limit ? MinlpStatus::kNodeLimit : MinlpStatus::kInfeasible;
+    out.status = hit_time_limit || hit_node_limit ? limited_status()
+                                                  : MinlpStatus::kInfeasible;
   }
   return out;
 }

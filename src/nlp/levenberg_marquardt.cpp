@@ -38,12 +38,36 @@ void numeric_jacobian(const ResidualFn& fn, std::span<const double> theta,
   }
 }
 
-}  // namespace
+/// Robust scale of a residual vector: 1.4826 * MAD about the median
+/// (consistent with sigma for Gaussian residuals).
+double mad_scale(const Vector& r) {
+  Vector sorted(r);
+  std::sort(sorted.begin(), sorted.end());
+  const auto median_of = [](Vector& v) {
+    const std::size_t m = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(m),
+                     v.end());
+    return v.size() % 2 == 1
+               ? v[m]
+               : 0.5 * (v[m] +
+                        *std::max_element(
+                            v.begin(),
+                            v.begin() + static_cast<std::ptrdiff_t>(m)));
+  };
+  const double med = median_of(sorted);
+  Vector deviations(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    deviations[i] = std::fabs(r[i] - med);
+  }
+  return 1.4826 * median_of(deviations);
+}
 
-LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
-                     std::span<const double> lower,
-                     std::span<const double> upper,
-                     std::size_t num_residuals, const LmOptions& options) {
+LmResult minimize_lm_core(const ResidualFn& fn,
+                          std::span<const double> theta0,
+                          std::span<const double> lower,
+                          std::span<const double> upper,
+                          std::size_t num_residuals,
+                          const LmOptions& options) {
   const std::size_t n = theta0.size();
   HSLB_REQUIRE(lower.size() == n && upper.size() == n,
                "LM bound sizes must match parameter count");
@@ -173,6 +197,72 @@ LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
     }
     if (!stepped) {
       break;  // could not make progress
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LmResult minimize_lm(const ResidualFn& fn, std::span<const double> theta0,
+                     std::span<const double> lower,
+                     std::span<const double> upper,
+                     std::size_t num_residuals, const LmOptions& options) {
+  if (options.loss == LmLoss::kLeastSquares) {
+    return minimize_lm_core(fn, theta0, lower, upper, num_residuals, options);
+  }
+
+  // Huber via IRLS: alternate a weighted least-squares LM solve with a
+  // reweighting pass.  Residuals beyond huber_delta robust-sigmas of zero
+  // get weight delta/|r| (bounded influence); inliers keep weight 1.
+  HSLB_REQUIRE(options.huber_delta > 0.0, "huber_delta must be positive");
+  HSLB_REQUIRE(options.irls_rounds >= 1, "need at least one IRLS round");
+  obs::Registry* metrics = obs::current_metrics();
+
+  Vector weights(num_residuals, 1.0);
+  Vector start(theta0.begin(), theta0.end());
+  LmOptions inner = options;
+  inner.loss = LmLoss::kLeastSquares;
+  LmResult out;
+
+  for (int round = 0; round < options.irls_rounds; ++round) {
+    if (metrics != nullptr) {
+      metrics->counter("nlp.lm.irls_rounds").add(1.0);
+    }
+    const ResidualFn weighted = [&fn, &weights](
+                                    std::span<const double> theta, Vector& r,
+                                    Matrix* jacobian) {
+      fn(theta, r, jacobian);
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        const double sw = std::sqrt(weights[i]);
+        r[i] *= sw;
+        if (jacobian != nullptr && !std::isnan((*jacobian)(0, 0))) {
+          for (std::size_t j = 0; j < jacobian->cols(); ++j) {
+            (*jacobian)(i, j) *= sw;
+          }
+        }
+      }
+    };
+    out = minimize_lm_core(weighted, start, lower, upper, num_residuals,
+                           inner);
+
+    // Reweight from the *unweighted* residuals at the new point.
+    Vector r(num_residuals);
+    fn(out.theta, r, nullptr);
+    const double sigma = mad_scale(r);
+    const double threshold =
+        options.huber_delta * std::max(sigma, 1e-12);
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < num_residuals; ++i) {
+      const double magnitude = std::fabs(r[i]);
+      const double w =
+          magnitude <= threshold ? 1.0 : threshold / magnitude;
+      max_change = std::max(max_change, std::fabs(w - weights[i]));
+      weights[i] = w;
+    }
+    start = out.theta;
+    if (max_change < 1e-6) {
+      break;  // weights settled: the robust fixed point is reached
     }
   }
   return out;

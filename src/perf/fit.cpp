@@ -51,6 +51,33 @@ double sse_of(const PerfParams& p, std::span<const double> nodes,
   return sse;
 }
 
+/// Huber cost with a MAD-adaptive transition, matching the LM fitter's IRLS
+/// weighting: candidate fits are compared under the same robust objective
+/// they were polished against.
+double huber_cost_of(const PerfParams& p, std::span<const double> nodes,
+                     std::span<const double> times,
+                     std::span<const double> weights, double delta) {
+  const PerfModel model(p);
+  Vector r(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    r[i] = weights[i] * (times[i] - model(nodes[i]));
+  }
+  Vector magnitudes(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    magnitudes[i] = std::fabs(r[i]);
+  }
+  Vector sorted(magnitudes);
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double threshold = delta * std::max(1.4826 * median, 1e-12);
+  double cost = 0.0;
+  for (const double m : magnitudes) {
+    cost += m <= threshold ? 0.5 * m * m
+                           : threshold * (m - 0.5 * threshold);
+  }
+  return cost;
+}
+
 }  // namespace
 
 FitResult fit(std::span<const double> nodes, std::span<const double> times,
@@ -144,6 +171,12 @@ FitResult fit(std::span<const double> nodes, std::span<const double> times,
     const Vector lower{0.0, 0.0, opts.c_min, 0.0};
     const Vector upper{lp::kInf, lp::kInf, opts.c_max, lp::kInf};
 
+    nlp::LmOptions lm_options;
+    if (opts.robust_loss) {
+      lm_options.loss = nlp::LmLoss::kHuber;
+      lm_options.huber_delta = opts.huber_delta;
+    }
+
     std::vector<Vector> starts;
     starts.push_back({best.a, best.b, best.c, best.d});
     common::Rng rng(opts.seed);
@@ -156,14 +189,25 @@ FitResult fit(std::span<const double> nodes, std::span<const double> times,
                         rng.uniform(opts.c_min, opts.c_max),
                         rng.uniform(0.0, y_scale)});
     }
+    // Candidates compete under the objective that was optimized: plain SSE
+    // normally, the MAD-adaptive Huber cost in robust mode (an outlier-
+    // chasing low-SSE fit must not beat a robust one there).
+    double best_score =
+        opts.robust_loss
+            ? huber_cost_of(best, nodes, times, weights, opts.huber_delta)
+            : best_sse;
     for (const Vector& start : starts) {
-      const auto lm =
-          nlp::minimize_lm(residual_fn, start, lower, upper, nodes.size());
+      const auto lm = nlp::minimize_lm(residual_fn, start, lower, upper,
+                                       nodes.size(), lm_options);
       const PerfParams p{lm.theta[0], lm.theta[1], lm.theta[2], lm.theta[3]};
-      const double sse = sse_of(p, nodes, times, weights);
-      if (sse < best_sse) {
-        best_sse = sse;
+      const double score =
+          opts.robust_loss
+              ? huber_cost_of(p, nodes, times, weights, opts.huber_delta)
+              : sse_of(p, nodes, times, weights);
+      if (score < best_score) {
+        best_score = score;
         best = p;
+        best_sse = sse_of(p, nodes, times, weights);
       }
     }
   }

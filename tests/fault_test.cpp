@@ -1,0 +1,191 @@
+// Tests for the deterministic fault-injection layer and the fault-aware
+// benchmark campaign: injector determinism, text corruption helpers, the
+// snap_down fallback contract, and disabled-faults byte-identity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/cesm/fault.hpp"
+#include "hslb/common/error.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+TEST(FaultSpec, DefaultIsDisabled) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_EQ(spec.total_rate(), 0.0);
+}
+
+TEST(FaultSpec, UniformSplitsTheRate) {
+  const FaultSpec spec = FaultSpec::uniform(0.2, 7);
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_NEAR(spec.total_rate(), 0.2, 1e-12);
+  EXPECT_GT(spec.launch_failure_prob, 0.0);
+  EXPECT_GT(spec.straggler_prob, 0.0);
+  EXPECT_GT(spec.spike_prob, 0.0);
+}
+
+TEST(FaultInjector, DisabledSpecNeverFires) {
+  const FaultInjector injector((FaultSpec()));
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(injector.draw(key, attempt), FaultKind::kNone);
+    }
+  }
+}
+
+TEST(FaultInjector, DrawsArePureFunctionsOfKeyAndAttempt) {
+  const FaultInjector a(FaultSpec::uniform(0.5, 99));
+  const FaultInjector b(FaultSpec::uniform(0.5, 99));
+  // Query b in reverse order: results must not depend on call order.
+  std::map<std::pair<std::uint64_t, int>, FaultKind> forward;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      forward[{key, attempt}] = a.draw(key, attempt);
+    }
+  }
+  for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+    EXPECT_EQ(b.draw(it->first.first, it->first.second), it->second);
+  }
+}
+
+TEST(FaultInjector, SeedChangesTheStream) {
+  const FaultInjector a(FaultSpec::uniform(0.5, 1));
+  const FaultInjector b(FaultSpec::uniform(0.5, 2));
+  int differing = 0;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    if (a.draw(key, 0) != b.draw(key, 0)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, EmpiricalRateTracksTheSpec) {
+  const FaultInjector injector(FaultSpec::uniform(0.2, 5));
+  int fired = 0;
+  const int trials = 20000;
+  for (int key = 0; key < trials; ++key) {
+    if (injector.draw(static_cast<std::uint64_t>(key), 0) !=
+        FaultKind::kNone) {
+      ++fired;
+    }
+  }
+  const double rate = static_cast<double>(fired) / trials;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultInjector, SpikeTargetStaysInRange) {
+  const FaultInjector injector(FaultSpec::uniform(1.0, 3));
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const int target = injector.spike_target(key, 1, 4);
+    EXPECT_GE(target, 0);
+    EXPECT_LT(target, 4);
+  }
+}
+
+TEST(FaultText, CorruptionIsDeterministicAndDestructive) {
+  const std::string text(400, 'x');
+  const std::string once = corrupt_text(text, 11);
+  const std::string again = corrupt_text(text, 11);
+  EXPECT_EQ(once, again);
+  EXPECT_NE(once, text);
+  EXPECT_NE(corrupt_text(text, 12), once);
+}
+
+TEST(FaultText, TruncationShortensDeterministically) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += "line " + std::to_string(i) + "\n";
+  }
+  const std::string cut = truncate_text(text, 21);
+  EXPECT_EQ(cut, truncate_text(text, 21));
+  EXPECT_LT(cut.size(), text.size());
+  EXPECT_FALSE(cut.empty());
+}
+
+TEST(SnapDown, PicksLargestMemberBelowLimit) {
+  const std::vector<int> allowed{24, 40, 80, 120};
+  EXPECT_EQ(snap_down(allowed, 100).value, 80);
+  EXPECT_TRUE(snap_down(allowed, 100).fits);
+  EXPECT_EQ(snap_down(allowed, 120).value, 120);
+  EXPECT_TRUE(snap_down(allowed, 120).fits);
+}
+
+TEST(SnapDown, FlagsTheOverLimitFallback) {
+  // No member fits below the limit: the old code silently returned the
+  // set's minimum (which exceeds the limit); the contract now reports it.
+  const std::vector<int> allowed{24, 40, 80};
+  const SnapResult snapped = snap_down(allowed, 10);
+  EXPECT_EQ(snapped.value, 24);
+  EXPECT_FALSE(snapped.fits);
+}
+
+TEST(SnapDown, ReferenceLayoutRejectsImpossibleMachines) {
+  // A machine slice smaller than the smallest allowed ocean count must fail
+  // with a clear error instead of producing an over-committed layout.
+  const CaseConfig config = one_degree_case();
+  EXPECT_THROW(
+      (void)reference_layout(config, LayoutKind::kHybrid, 2),
+      InvalidArgument);
+}
+
+TEST(GatherFaults, DisabledOptionsMatchTheFaultFreeOverload) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 256, 512};
+  const CampaignResult plain =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 77);
+  const CampaignResult optioned = gather_benchmarks(
+      config, LayoutKind::kHybrid, totals, 77, GatherOptions{});
+  ASSERT_EQ(plain.samples.size(), optioned.samples.size());
+  for (std::size_t i = 0; i < plain.samples.size(); ++i) {
+    EXPECT_EQ(plain.samples[i].kind, optioned.samples[i].kind);
+    EXPECT_EQ(plain.samples[i].nodes, optioned.samples[i].nodes);
+    EXPECT_EQ(plain.samples[i].seconds, optioned.samples[i].seconds);
+  }
+  EXPECT_FALSE(optioned.fault_report.any_faults());
+  EXPECT_TRUE(optioned.fault_report.runs.empty());
+}
+
+TEST(GatherFaults, FaultyCampaignIsDeterministicInTheSeed) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 256, 512, 1024};
+  GatherOptions options;
+  options.faults = FaultSpec::uniform(0.4, 1234);
+  const CampaignResult first =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 5, options);
+  const CampaignResult second =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 5, options);
+  ASSERT_EQ(first.samples.size(), second.samples.size());
+  for (std::size_t i = 0; i < first.samples.size(); ++i) {
+    EXPECT_EQ(first.samples[i].seconds, second.samples[i].seconds);
+  }
+  EXPECT_EQ(first.fault_report.retries, second.fault_report.retries);
+  EXPECT_EQ(first.fault_report.sim_seconds_lost,
+            second.fault_report.sim_seconds_lost);
+}
+
+TEST(GatherFaults, ReportTalliesWhatTheInjectorDid) {
+  const CaseConfig config = one_degree_case();
+  const std::vector<int> totals{128, 256, 512, 1024, 2048};
+  GatherOptions options;
+  options.faults = FaultSpec::uniform(0.6, 42);
+  const CampaignResult result =
+      gather_benchmarks(config, LayoutKind::kHybrid, totals, 9, options);
+  EXPECT_TRUE(result.fault_report.any_faults());
+  EXPECT_EQ(result.fault_report.runs.size(), totals.size());
+  // Retries are attempts beyond the first; each retry charges simulated
+  // backoff time, so lost time moves with the retry count.
+  if (result.fault_report.retries > 0) {
+    EXPECT_GT(result.fault_report.sim_seconds_lost, 0.0);
+  }
+  // Completed runs plus gave-up runs account for every total.
+  EXPECT_EQ(result.runs.size() + static_cast<std::size_t>(
+                                     result.fault_report.giveups),
+            totals.size());
+}
+
+}  // namespace
+}  // namespace hslb::cesm

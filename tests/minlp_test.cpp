@@ -110,6 +110,24 @@ TEST(BranchAndBound, UnivariateMinimum) {
   EXPECT_NEAR(r.objective, 100.0 / 14.0 + 7.0, 1e-6);
 }
 
+TEST(BranchAndBound, ExpiredWallBudgetReturnsTimeLimit) {
+  TinyModel tm = tiny_model(1, 100);
+  SolverOptions options;
+  options.max_wall_seconds = 1e-12;  // expires before the first node pops
+  const auto r = solve(tm.model, options);
+  EXPECT_EQ(r.status, MinlpStatus::kTimeLimit);
+  EXPECT_TRUE(r.x.empty());  // no incumbent was found in time
+}
+
+TEST(BranchAndBound, GenerousWallBudgetStillSolvesToOptimality) {
+  TinyModel tm = tiny_model(1, 100);
+  SolverOptions options;
+  options.max_wall_seconds = 3600.0;
+  const auto r = solve(tm.model, options);
+  ASSERT_EQ(r.status, MinlpStatus::kOptimal);
+  EXPECT_NEAR(r.x[tm.n], 14.0, 1e-6);
+}
+
 TEST(BranchAndBound, RespectsTightBounds) {
   TinyModel tm = tiny_model(20, 100);  // unconstrained optimum excluded
   const auto r = solve(tm.model);

@@ -1,0 +1,233 @@
+// Tests for the resilience layer: MAD outlier rejection, the fallback
+// interpolant, the heuristic solver fallback, and the end-to-end property
+// that a fault-injected pipeline lands within a few percent of the
+// fault-free result without ever aborting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/resilience.hpp"
+
+namespace hslb::core {
+namespace {
+
+using cesm::ComponentKind;
+
+cesm::Series synthetic_series(double a, double d, std::size_t count) {
+  cesm::Series series;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double n = 32.0 * static_cast<double>(1 << i);
+    series.nodes.push_back(n);
+    series.seconds.push_back(a / n + d);
+  }
+  return series;
+}
+
+TEST(RejectOutliers, DropsASpikedSampleAndKeepsTheRest) {
+  cesm::Series series = synthetic_series(4000.0, 30.0, 7);
+  series.seconds[3] *= 10.0;  // an injected noise spike
+  const FilteredSeries filtered =
+      reject_outliers(series, 3.5, perf::FitOptions{});
+  EXPECT_EQ(filtered.rejected, 1);
+  ASSERT_EQ(filtered.series.nodes.size(), 6u);
+  for (const double n : filtered.series.nodes) {
+    EXPECT_NE(n, series.nodes[3]);
+  }
+}
+
+TEST(RejectOutliers, KeepsACleanSeriesIntact) {
+  const cesm::Series series = synthetic_series(4000.0, 30.0, 7);
+  const FilteredSeries filtered =
+      reject_outliers(series, 3.5, perf::FitOptions{});
+  EXPECT_EQ(filtered.rejected, 0);
+  EXPECT_EQ(filtered.series.nodes.size(), series.nodes.size());
+}
+
+TEST(RejectOutliers, PassesTinySeriesThrough) {
+  cesm::Series series = synthetic_series(4000.0, 30.0, 3);
+  series.seconds[0] *= 50.0;  // would be an outlier, but no quorum
+  const FilteredSeries filtered =
+      reject_outliers(series, 3.5, perf::FitOptions{});
+  EXPECT_EQ(filtered.rejected, 0);
+  EXPECT_EQ(filtered.series.nodes.size(), 3u);
+}
+
+TEST(FallbackFit, RecoversTheMonotoneCurveFromTwoSamples) {
+  cesm::Series series;
+  series.nodes = {64.0, 512.0};
+  series.seconds = {4000.0 / 64.0 + 25.0, 4000.0 / 512.0 + 25.0};
+  const perf::FitResult fit = fallback_fit(series);
+  EXPECT_NEAR(fit.model(64.0), series.seconds[0], 1e-6);
+  EXPECT_NEAR(fit.model(512.0), series.seconds[1], 1e-6);
+  // Monotone non-increasing by construction.
+  for (double n = 32.0; n < 2048.0; n *= 2.0) {
+    EXPECT_GE(fit.model(n) + 1e-9, fit.model(2.0 * n));
+  }
+}
+
+TEST(FallbackFit, RequiresAtLeastOneSample) {
+  EXPECT_THROW((void)fallback_fit(cesm::Series{}), InvalidArgument);
+}
+
+LayoutModelSpec heuristic_spec(cesm::LayoutKind layout) {
+  LayoutModelSpec spec;
+  spec.layout = layout;
+  spec.total_nodes = 128;
+  spec.perf[ComponentKind::kAtm] =
+      perf::PerfModel({60000.0, 0.0, 1.0, 40.0});
+  spec.perf[ComponentKind::kOcn] =
+      perf::PerfModel({20000.0, 0.0, 1.0, 80.0});
+  spec.perf[ComponentKind::kIce] =
+      perf::PerfModel({9000.0, 0.0, 1.0, 15.0});
+  spec.perf[ComponentKind::kLnd] =
+      perf::PerfModel({3000.0, 0.0, 1.0, 5.0});
+  spec.ocn_allowed = {8, 16, 24, 40};
+  return spec;
+}
+
+TEST(HeuristicAllocation, HybridRespectsTheStructure) {
+  const LayoutModelSpec spec = heuristic_spec(cesm::LayoutKind::kHybrid);
+  const Allocation allocation = heuristic_allocation(spec);
+  const int ocn = allocation.nodes.at(ComponentKind::kOcn);
+  const int atm = allocation.nodes.at(ComponentKind::kAtm);
+  const int ice = allocation.nodes.at(ComponentKind::kIce);
+  const int lnd = allocation.nodes.at(ComponentKind::kLnd);
+  EXPECT_NE(std::find(spec.ocn_allowed.begin(), spec.ocn_allowed.end(), ocn),
+            spec.ocn_allowed.end());
+  EXPECT_LE(atm + ocn, spec.total_nodes);
+  EXPECT_EQ(ice + lnd, atm);
+  EXPECT_GT(allocation.predicted_total, 0.0);
+}
+
+TEST(HeuristicAllocation, CoversAllLayouts) {
+  for (const cesm::LayoutKind layout :
+       {cesm::LayoutKind::kHybrid, cesm::LayoutKind::kSequentialGroup,
+        cesm::LayoutKind::kFullySequential}) {
+    const Allocation allocation =
+        heuristic_allocation(heuristic_spec(layout));
+    EXPECT_GT(allocation.predicted_total, 0.0) << to_string(layout);
+    for (const ComponentKind kind : cesm::kModeledComponents) {
+      EXPECT_GE(allocation.nodes.at(kind), 1) << to_string(layout);
+      EXPECT_LE(allocation.nodes.at(kind), 128) << to_string(layout);
+    }
+  }
+}
+
+PipelineConfig small_config() {
+  PipelineConfig config;
+  config.case_config = cesm::one_degree_case();
+  config.total_nodes = 128;
+  config.gather_totals = {128, 256, 512, 1024, 2048};
+  return config;
+}
+
+TEST(ResilientPipeline, DisabledFaultsLeaveTheResultClean) {
+  const HslbResult result = run_hslb(small_config());
+  EXPECT_FALSE(result.degraded);
+  EXPECT_FALSE(result.resilience.campaign.any_faults());
+  EXPECT_TRUE(result.resilience.components.empty());
+}
+
+TEST(ResilientPipeline, TwentyPercentFaultsStayWithinFivePercent) {
+  const HslbResult clean = run_hslb(small_config());
+
+  PipelineConfig faulty = small_config();
+  faulty.faults = cesm::FaultSpec::uniform(0.2, 2026);
+  const HslbResult result = run_hslb(faulty);  // must not throw
+
+  EXPECT_LE(std::fabs(result.predicted_total - clean.predicted_total),
+            0.05 * clean.predicted_total);
+  EXPECT_LE(std::fabs(result.actual_total - clean.actual_total),
+            0.05 * clean.actual_total);
+  EXPECT_FALSE(result.resilience.components.empty());
+}
+
+TEST(ResilientPipeline, SameSeedSameFaultsSameAnswer) {
+  PipelineConfig config = small_config();
+  config.faults = cesm::FaultSpec::uniform(0.25, 555);
+  const HslbResult first = run_hslb(config);
+  const HslbResult second = run_hslb(config);
+  EXPECT_EQ(first.predicted_total, second.predicted_total);
+  EXPECT_EQ(first.actual_total, second.actual_total);
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    EXPECT_EQ(first.allocation.nodes.at(kind),
+              second.allocation.nodes.at(kind));
+  }
+  EXPECT_EQ(first.resilience.campaign.retries,
+            second.resilience.campaign.retries);
+}
+
+TEST(ResilientPipeline, RobustFromSamplesShrugsOffInjectedSpikes) {
+  PipelineConfig config = small_config();
+  const HslbResult clean = run_hslb(config);
+
+  std::vector<cesm::BenchmarkSample> samples = clean.samples;
+  int spiked = 0;
+  for (std::size_t i = 0; i < samples.size(); i += 7) {
+    samples[i].seconds *= 9.0;  // corrupt every 7th sample
+    ++spiked;
+  }
+  config.resilience.enabled = true;
+  const HslbResult result = run_hslb_from_samples(config, samples);
+  int rejected = 0;
+  for (const auto& kv : result.resilience.components) {
+    rejected += kv.second.samples_rejected;
+  }
+  EXPECT_GT(rejected, 0);
+  // MAD rejection may shed a borderline clean sample alongside the spikes;
+  // what matters is that the prediction is unharmed.
+  EXPECT_LE(rejected, spiked + 2);
+  EXPECT_LE(std::fabs(result.predicted_total - clean.predicted_total),
+            0.05 * clean.predicted_total);
+}
+
+TEST(ResilientPipeline, ExhaustedSolverBudgetFallsBackHeuristically) {
+  PipelineConfig config = small_config();
+  config.resilience.enabled = true;
+  config.solver.max_wall_seconds = 1e-12;  // expires before the first node
+  const HslbResult result = run_hslb(config);
+  EXPECT_TRUE(result.resilience.solver_fallback);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GT(result.predicted_total, 0.0);
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    EXPECT_GE(result.allocation.nodes.at(kind), 1);
+  }
+}
+
+TEST(ResilientPipeline, ExhaustedBudgetWithoutResilienceStillThrows) {
+  PipelineConfig config = small_config();
+  config.solver.max_wall_seconds = 1e-12;
+  EXPECT_THROW((void)run_hslb(config), InvalidArgument);
+}
+
+TEST(ResilientPipeline, TooFewSamplesDegradeInsteadOfAborting) {
+  PipelineConfig config = small_config();
+  const HslbResult clean = run_hslb(config);
+
+  // Starve the ocean curve: keep only two of its samples.  Without the
+  // resilience layer this is a hard error; with it the component falls back
+  // to the monotone interpolant and the result is flagged degraded.
+  std::vector<cesm::BenchmarkSample> samples;
+  int ocean_kept = 0;
+  for (const cesm::BenchmarkSample& sample : clean.samples) {
+    if (sample.kind == ComponentKind::kOcn && ++ocean_kept > 2) {
+      continue;
+    }
+    samples.push_back(sample);
+  }
+  EXPECT_THROW((void)run_hslb_from_samples(small_config(), samples),
+               InvalidArgument);
+
+  config.resilience.enabled = true;
+  const HslbResult result = run_hslb_from_samples(config, samples);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(
+      result.resilience.components.at(ComponentKind::kOcn).degraded_fit);
+  EXPECT_GT(result.predicted_total, 0.0);
+}
+
+}  // namespace
+}  // namespace hslb::core

@@ -1,7 +1,9 @@
-// Tests for the timing-file renderer/parser round trip.
+// Tests for the timing-file renderer/parser round trip, the typed parse
+// errors, and parser robustness against corrupted/truncated inputs.
 #include <gtest/gtest.h>
 
 #include "hslb/cesm/driver.hpp"
+#include "hslb/cesm/fault.hpp"
 #include "hslb/cesm/timing_file.hpp"
 #include "hslb/common/error.hpp"
 #include "hslb/hslb/pipeline.hpp"
@@ -83,6 +85,61 @@ TEST_F(TimingFileFixture, SamplesRequireAllComponents) {
     return row.component == "ocn";
   });
   EXPECT_THROW((void)samples_from_timing({incomplete}), InvalidArgument);
+}
+
+TEST_F(TimingFileFixture, TypedErrorsCarryLineContext) {
+  // Break one component row's node count and check the error names the line.
+  std::string broken = text_;
+  const std::size_t pos = broken.find("\nocn");  // the component row, not metadata
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t digits = broken.find_first_of("0123456789", pos);
+  ASSERT_NE(digits, std::string::npos);
+  broken[digits] = '-';
+  const TimingExpected<ParsedTimingFile> parsed = try_parse_timing_file(broken);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_GT(parsed.error().line, 0);
+  EXPECT_FALSE(parsed.error().line_text.empty());
+  EXPECT_NE(parsed.error().to_string().find("line"), std::string::npos);
+}
+
+TEST_F(TimingFileFixture, TryParseMatchesThrowingParser) {
+  const TimingExpected<ParsedTimingFile> parsed = try_parse_timing_file(text_);
+  ASSERT_TRUE(parsed.has_value());
+  const ParsedTimingFile reference = parse_timing_file(text_);
+  EXPECT_EQ(parsed->case_name, reference.case_name);
+  EXPECT_EQ(parsed->rows.size(), reference.rows.size());
+  EXPECT_EQ(parsed->model_seconds, reference.model_seconds);
+
+  const TimingExpected<ParsedTimingFile> garbage =
+      try_parse_timing_file("not a timing file");
+  EXPECT_FALSE(garbage.has_value());
+  EXPECT_THROW((void)parse_timing_file("not a timing file"),
+               InvalidArgument);
+}
+
+TEST_F(TimingFileFixture, SurvivesCorruptedAndTruncatedInputs) {
+  // Fuzz-ish sweep: mangle a real timing file under many seeds.  The parser
+  // must either produce a value or a typed error -- never crash or throw.
+  int parsed_anyway = 0;
+  int rejected = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    for (const std::string& mangled :
+         {corrupt_text(text_, seed), truncate_text(text_, seed)}) {
+      const TimingExpected<ParsedTimingFile> result =
+          try_parse_timing_file(mangled);
+      if (result.has_value()) {
+        ++parsed_anyway;
+      } else {
+        ++rejected;
+        EXPECT_FALSE(result.error().message.empty());
+      }
+    }
+  }
+  // Both outcomes must occur across 400 manglings for the sweep to mean
+  // anything: most corruptions break the file, while truncations that cut
+  // after the last needed section still parse.
+  EXPECT_GT(rejected, 100);
+  EXPECT_GT(parsed_anyway, 0);
 }
 
 }  // namespace
