@@ -1,0 +1,262 @@
+// Load generator for the allocation service: request throughput and cache
+// behaviour at 1 / 4 / 16 worker threads.
+//
+//   $ ./bench_svc_throughput [--out=BENCH_svc.json] [--requests=<n>]
+//                            [--warm-requests=<n>]
+//
+// Two phases per worker count:
+//   cold -- every request is a distinct question (unique machine-slice
+//           size), so the cache never hits and each request costs a full
+//           MINLP solve: this measures how solver throughput scales with
+//           the worker pool.
+//   warm -- the same few questions asked over and over: after the first
+//           wave everything is a cache hit, and each answer is checked
+//           byte-for-byte against a fresh solve from a cold service.
+//
+// Results (req/s, p50/p99 latency, hit rate, byte-identity) are printed as
+// a table and written as JSON for CI artifact upload.
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hslb/common/table.hpp"
+#include "hslb/common/timing.hpp"
+#include "hslb/svc/service.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hslb;
+
+std::map<cesm::ComponentKind, perf::PerfModel> bench_fits() {
+  using cesm::ComponentKind;
+  std::map<ComponentKind, perf::PerfModel> fits;
+  fits[ComponentKind::kAtm] =
+      perf::PerfModel(perf::PerfParams{40000.0, 0.001, 1.2, 10.0});
+  fits[ComponentKind::kOcn] =
+      perf::PerfModel(perf::PerfParams{25000.0, 0.002, 1.1, 20.0});
+  fits[ComponentKind::kIce] =
+      perf::PerfModel(perf::PerfParams{8000.0, 0.0, 1.0, 5.0});
+  fits[ComponentKind::kLnd] =
+      perf::PerfModel(perf::PerfParams{3000.0, 0.0, 1.0, 2.0});
+  return fits;
+}
+
+svc::AllocationRequest make_request(int total_nodes) {
+  svc::AllocationRequest request;
+  request.total_nodes = total_nodes;
+  request.fits = bench_fits();
+  return request;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct PhaseResult {
+  int workers = 0;
+  long long requests = 0;
+  double seconds = 0.0;
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;  ///< fraction of requests served from the cache
+  long long solves = 0;
+};
+
+/// Drive `requests` solve() calls from `clients` threads, each request built
+/// by `question(i)` over a round-robin of request indices.
+template <typename QuestionFn>
+PhaseResult run_phase(int workers, int clients, long long requests,
+                      const QuestionFn& question) {
+  svc::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = static_cast<std::size_t>(requests) + 16;
+  svc::AllocationService service(config);
+
+  std::mutex latencies_mutex;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(requests));
+  std::atomic<long long> next{0};
+  std::atomic<long long> failures{0};
+
+  const common::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<double> local;
+      for (;;) {
+        const long long i = next.fetch_add(1);
+        if (i >= requests) {
+          break;
+        }
+        const svc::AllocationRequest request = question(i);
+        const common::WallTimer one;
+        const svc::SolveOutcome outcome = service.solve(request);
+        local.push_back(one.milliseconds());
+        if (!outcome.has_value()) {
+          failures.fetch_add(1);
+        }
+      }
+      const std::lock_guard<std::mutex> lock(latencies_mutex);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  PhaseResult result;
+  result.workers = workers;
+  result.requests = requests;
+  result.seconds = timer.seconds();
+  result.req_per_s = static_cast<double>(requests) / result.seconds;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  const svc::ServiceStats stats = service.stats();
+  result.hit_rate = static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(std::max(1LL, stats.submitted));
+  result.solves = stats.solved;
+  if (failures.load() != 0) {
+    std::cerr << "warning: " << failures.load() << " requests failed\n";
+  }
+  return result;
+}
+
+std::string json_row(const PhaseResult& r) {
+  std::string out = "{";
+  out += "\"workers\":" + std::to_string(r.workers);
+  out += ",\"requests\":" + std::to_string(r.requests);
+  out += ",\"req_per_s\":" + svc::canonical_double(r.req_per_s);
+  out += ",\"p50_ms\":" + svc::canonical_double(r.p50_ms);
+  out += ",\"p99_ms\":" + svc::canonical_double(r.p99_ms);
+  out += ",\"hit_rate\":" + svc::canonical_double(r.hit_rate);
+  out += ",\"solves\":" + std::to_string(r.solves);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_svc.json";
+  long long cold_requests = 48;
+  long long warm_requests = 400;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      cold_requests = std::stoll(arg.substr(std::strlen("--requests=")));
+    } else if (arg.rfind("--warm-requests=", 0) == 0) {
+      warm_requests = std::stoll(arg.substr(std::strlen("--warm-requests=")));
+    } else {
+      std::cerr << "usage: bench_svc_throughput [--out=<file.json>]"
+                   " [--requests=<n>] [--warm-requests=<n>]\n";
+      return 2;
+    }
+  }
+
+  bench::banner("Allocation-service throughput (cache cold and warm)",
+                "the svc worker-pool front end; hardware-dependent");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << " (worker scaling needs cores; single-core machines serialize"
+               " the pool)\n";
+
+  // Cold: every request a distinct question -> zero cache hits by design.
+  const auto cold_question = [](long long i) {
+    return make_request(64 + 8 * static_cast<int>(i));
+  };
+  std::vector<PhaseResult> cold;
+  for (const int workers : {1, 4, 16}) {
+    cold.push_back(run_phase(workers, /*clients=*/std::max(2, workers),
+                             cold_requests, cold_question));
+  }
+
+  // Warm: four recurring questions -> everything past the first wave hits.
+  const std::vector<int> warm_sizes = {128, 192, 256, 320};
+  const auto warm_question = [&warm_sizes](long long i) {
+    return make_request(
+        warm_sizes[static_cast<std::size_t>(i) % warm_sizes.size()]);
+  };
+  const PhaseResult warm =
+      run_phase(/*workers=*/4, /*clients=*/4, warm_requests, warm_question);
+
+  // Byte-identity: each warm answer vs a fresh solve on a cold service.
+  bool byte_identical = true;
+  {
+    svc::ServiceConfig config;
+    config.workers = 1;
+    svc::AllocationService warm_service(config);
+    for (const int nodes : warm_sizes) {
+      const svc::AllocationRequest request = make_request(nodes);
+      const svc::SolveOutcome first = warm_service.solve(request);
+      const svc::AllocationService::Ticket again = warm_service.submit(request);
+      const svc::SolveOutcome cached = again.future.get();
+      svc::AllocationService fresh_service(config);
+      const svc::SolveOutcome fresh = fresh_service.solve(request);
+      if (!first.has_value() || !cached.has_value() || !fresh.has_value() ||
+          !again.cache_hit ||
+          svc::to_json(cached.value()) != svc::to_json(fresh.value())) {
+        byte_identical = false;
+      }
+    }
+  }
+
+  common::Table table(
+      {"phase", "workers", "requests", "req/s", "p50,ms", "p99,ms", "hit%"});
+  const auto add = [&table](const std::string& phase, const PhaseResult& r) {
+    table.add_row();
+    table.cell(phase);
+    table.cell(static_cast<long long>(r.workers));
+    table.cell(r.requests);
+    table.cell(r.req_per_s, 1);
+    table.cell(r.p50_ms, 2);
+    table.cell(r.p99_ms, 2);
+    table.cell(100.0 * r.hit_rate, 1);
+  };
+  for (const PhaseResult& r : cold) {
+    add("cold", r);
+  }
+  add("warm", warm);
+  std::cout << table;
+
+  const double speedup = cold[1].req_per_s / cold[0].req_per_s;
+  std::cout << "cold speedup, 4 vs 1 workers: "
+            << common::format_fixed(speedup, 2) << "x\n"
+            << "warm hit rate: " << common::format_fixed(
+                   100.0 * warm.hit_rate, 1)
+            << " % (cached answers byte-identical to fresh solves: "
+            << (byte_identical ? "yes" : "NO") << ")\n";
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << "{\"bench\":\"svc_throughput\",\"hardware_threads\":"
+      << std::thread::hardware_concurrency() << ",\"cold\":[";
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    out << (i > 0 ? "," : "") << json_row(cold[i]);
+  }
+  out << "],\"cold_speedup_4_vs_1\":" << svc::canonical_double(speedup)
+      << ",\"warm\":" << json_row(warm)
+      << ",\"warm_byte_identical\":" << (byte_identical ? "true" : "false")
+      << "}\n";
+  std::cout << "JSON written to " << out_path << '\n';
+  return byte_identical ? 0 : 1;
+}

@@ -1,0 +1,169 @@
+// An in-process "allocation server": the svc front end (solve cache ->
+// coalescer -> worker pool -> HSLB pipeline) under a synthetic client load.
+//
+//   $ ./allocation_server [--workers=<n>] [--clients=<n>] [--requests=<n>]
+//                         [--distinct=<n>] [--ttl=<seconds>] [--metrics]
+//                         [--smoke]
+//
+// <clients> threads issue <requests> allocation requests each, drawn from
+// <distinct> distinct questions (different machine-slice sizes over one set
+// of fitted Table II curves), then the serving counters are printed: how
+// many requests hit the cache, how many coalesced onto an in-flight solve,
+// and how many times the MINLP actually ran.  --smoke shrinks the workload
+// to a CI-friendly size and asserts the invariants (exit 1 on violation).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hslb/common/table.hpp"
+#include "hslb/common/timing.hpp"
+#include "hslb/hslb/report.hpp"
+#include "hslb/svc/service.hpp"
+
+namespace {
+
+std::map<hslb::cesm::ComponentKind, hslb::perf::PerfModel> demo_fits() {
+  using hslb::cesm::ComponentKind;
+  using hslb::perf::PerfModel;
+  using hslb::perf::PerfParams;
+  std::map<ComponentKind, PerfModel> fits;
+  fits[ComponentKind::kAtm] = PerfModel(PerfParams{40000.0, 0.001, 1.2, 10.0});
+  fits[ComponentKind::kOcn] = PerfModel(PerfParams{25000.0, 0.002, 1.1, 20.0});
+  fits[ComponentKind::kIce] = PerfModel(PerfParams{8000.0, 0.0, 1.0, 5.0});
+  fits[ComponentKind::kLnd] = PerfModel(PerfParams{3000.0, 0.0, 1.0, 2.0});
+  return fits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hslb;
+
+  int workers = 4;
+  int clients = 4;
+  int requests_per_client = 32;
+  int distinct = 8;
+  double ttl_seconds = 0.0;
+  bool show_metrics = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::stoi(arg.substr(std::strlen("--workers=")));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = std::stoi(arg.substr(std::strlen("--clients=")));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests_per_client = std::stoi(arg.substr(std::strlen("--requests=")));
+    } else if (arg.rfind("--distinct=", 0) == 0) {
+      distinct = std::stoi(arg.substr(std::strlen("--distinct=")));
+    } else if (arg.rfind("--ttl=", 0) == 0) {
+      ttl_seconds = std::stod(arg.substr(std::strlen("--ttl=")));
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: allocation_server [--workers=<n>] [--clients=<n>]"
+                   " [--requests=<n>] [--distinct=<n>] [--ttl=<seconds>]"
+                   " [--metrics] [--smoke]\n";
+      return 2;
+    }
+  }
+  if (smoke) {
+    workers = 2;
+    clients = 3;
+    requests_per_client = 12;
+    distinct = 4;
+  }
+
+  obs::Registry registry;
+  svc::ServiceConfig config;
+  config.workers = workers;
+  config.cache.ttl_seconds = ttl_seconds;
+  config.obs.metrics = &registry;
+  svc::AllocationService service(config);
+
+  const auto fits = demo_fits();
+  std::cout << "allocation server: " << workers << " workers, " << clients
+            << " clients x " << requests_per_client << " requests over "
+            << distinct << " distinct questions\n";
+
+  const common::WallTimer timer;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        svc::AllocationRequest request;
+        request.fits = fits;
+        // Walk the distinct questions in a client-specific order so the
+        // very first wave already collides across clients.
+        request.total_nodes = 64 + 32 * ((i + c) % distinct);
+        const svc::SolveOutcome outcome = service.solve(request);
+        if (!outcome.has_value()) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double elapsed = timer.seconds();
+
+  const svc::ServiceStats stats = service.stats();
+  const svc::CacheStats cache = service.cache_stats();
+  int failed = 0;
+  for (const int f : failures) {
+    failed += f;
+  }
+
+  common::Table table({"counter", "value"});
+  const auto row = [&table](const std::string& name, long long value) {
+    table.add_row();
+    table.cell(name);
+    table.cell(value);
+  };
+  row("requests submitted", stats.submitted);
+  row("cache hits", stats.cache_hits);
+  row("coalesced onto in-flight solves", stats.coalesced);
+  row("solver executions", stats.solved);
+  row("shed (queue full)", stats.shed_queue_full);
+  row("shed (deadline)", stats.shed_deadline);
+  row("failed", failed);
+  std::cout << table;
+
+  const long long total = stats.submitted;
+  const double hit_rate =
+      total > 0 ? 100.0 * static_cast<double>(cache.hits) /
+                      static_cast<double>(total)
+                : 0.0;
+  std::cout << "throughput : "
+            << common::format_fixed(
+                   static_cast<double>(total) / elapsed, 1)
+            << " req/s (" << common::format_fixed(elapsed * 1e3, 1)
+            << " ms total)\n"
+            << "hit rate   : " << common::format_fixed(hit_rate, 1)
+            << " % of all requests served from the cache\n";
+  if (show_metrics) {
+    std::cout << '\n' << core::render_metrics_block(registry);
+  }
+
+  if (smoke) {
+    // Invariants the service guarantees regardless of scheduling: every
+    // request resolves, and distinct questions bound the solver executions.
+    const long long expected =
+        static_cast<long long>(clients) * requests_per_client;
+    if (failed != 0 || stats.submitted != expected ||
+        stats.solved > distinct ||
+        stats.cache_hits + stats.coalesced + stats.solved < expected) {
+      std::cerr << "smoke check failed\n";
+      return 1;
+    }
+    std::cout << "smoke check passed\n";
+  }
+  return 0;
+}

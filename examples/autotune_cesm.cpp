@@ -5,6 +5,7 @@
 //                     [--trace-out=<file.json>] [--metrics]
 //                     [--fault-rate=<p>] [--fault-seed=<n>]
 //                     [--solver-budget=<seconds>]
+//                     [--threads=<n>] [--repeat=<n>]
 //
 // Examples:
 //   ./autotune_cesm                      # 1-degree case at 128 nodes
@@ -13,15 +14,22 @@
 //   ./autotune_cesm 1deg 512 --tune-ice        # learn CICE decompositions first
 //   ./autotune_cesm 1deg 512 --trace-out=hslb.json --metrics
 //   ./autotune_cesm 1deg 512 --fault-rate=0.2  # faulty campaign, resilient run
+//   ./autotune_cesm 1deg 512 --threads=4 --repeat=32  # service path: replay
+//                                        # the solve through the allocation
+//                                        # service and report the hit rate
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "hslb/hslb/manual_tuner.hpp"
 #include "hslb/hslb/objectives.hpp"
 #include "hslb/hslb/pipeline.hpp"
 #include "hslb/hslb/report.hpp"
+#include "hslb/svc/service.hpp"
 
 int main(int argc, char** argv) {
   using namespace hslb;
@@ -35,6 +43,8 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
   double solver_budget = 0.0;
+  int service_threads = 0;
+  int service_repeat = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--unconstrained-ocean") == 0) {
       constrain_ocean = false;
@@ -50,6 +60,10 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(std::string(argv[i] + 13));
     } else if (std::strncmp(argv[i], "--solver-budget=", 16) == 0) {
       solver_budget = std::stod(std::string(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      service_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      service_repeat = std::atoi(argv[i] + 9);
     } else if (std::isdigit(static_cast<unsigned char>(argv[i][0])) != 0) {
       total_nodes = std::atoi(argv[i]);
     } else {
@@ -133,6 +147,54 @@ int main(int argc, char** argv) {
   const std::string resilience = core::render_resilience_block(hslb);
   if (!resilience.empty()) {
     std::cout << '\n' << resilience;
+  }
+
+  if (service_threads > 0 || service_repeat > 0) {
+    // Replay the tuned question through the allocation service, carrying the
+    // fitted curves in the request: the MINLP runs once, every other repeat
+    // is served from the cache or coalesced onto the in-flight solve.
+    const int threads = service_threads > 0 ? service_threads : 4;
+    const int repeat = service_repeat > 0 ? service_repeat : 32;
+    svc::ServiceConfig service_config;
+    service_config.workers = threads;
+    svc::AllocationService service(service_config);
+
+    svc::AllocationRequest request;
+    request.case_name =
+        config.case_config.name == cesm::eighth_degree_case().name ? "eighth"
+                                                                   : "1deg";
+    request.total_nodes = total_nodes;
+    request.constrain_ocean = constrain_ocean;
+    request.max_wall_seconds = solver_budget;
+    for (const auto& [kind, fit] : hslb.fits) {
+      request.fits[kind] = fit.model;
+    }
+
+    std::vector<std::thread> clients;
+    std::atomic<int> agree{0};
+    clients.reserve(static_cast<std::size_t>(threads));
+    const int per_client = (repeat + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < per_client; ++i) {
+          const svc::SolveOutcome outcome = service.solve(request);
+          if (outcome.has_value() &&
+              outcome.value().allocation.nodes == hslb.allocation.nodes) {
+            agree.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) {
+      client.join();
+    }
+    const svc::ServiceStats stats = service.stats();
+    std::cout << "\nAllocation service (" << threads << " workers, "
+              << stats.submitted << " identical requests): "
+              << stats.solved << " solver run(s), " << stats.cache_hits
+              << " cache hits, " << stats.coalesced << " coalesced; "
+              << agree.load() << "/" << stats.submitted
+              << " answers match the direct solve\n";
   }
 
   if (show_metrics) {

@@ -3,6 +3,7 @@
 //   $ ./quickstart [--trace-out=<file.json>] [--metrics]
 //                  [--fault-rate=<p>] [--fault-seed=<n>]
 //                  [--solver-budget=<seconds>]
+//                  [--threads=<n>] [--repeat=<n>]
 //
 // 1. Gather   -- benchmark the coupled model at five machine sizes.
 // 2. Fit      -- Table II least squares per component.
@@ -16,14 +17,21 @@
 // stragglers, corrupt timing files, noise spikes) at the given per-run
 // probability and engages the resilience layer; --fault-seed varies the
 // fault stream; --solver-budget bounds the MINLP wall clock in seconds.
+// --threads/--repeat re-ask the solve through the allocation service
+// (svc::AllocationService) with <threads> workers, <repeat> times, and
+// report the cache hit rate plus agreement with the direct answer.
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "hslb/hslb/pipeline.hpp"
 #include "hslb/hslb/report.hpp"
+#include "hslb/svc/service.hpp"
 
 int main(int argc, char** argv) {
   using namespace hslb;
@@ -33,6 +41,8 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
   double solver_budget = 0.0;
+  int service_threads = 0;
+  int service_repeat = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -45,10 +55,15 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(arg.substr(std::strlen("--fault-seed=")));
     } else if (arg.rfind("--solver-budget=", 0) == 0) {
       solver_budget = std::stod(arg.substr(std::strlen("--solver-budget=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      service_threads = std::stoi(arg.substr(std::strlen("--threads=")));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      service_repeat = std::stoi(arg.substr(std::strlen("--repeat=")));
     } else {
       std::cerr << "usage: quickstart [--trace-out=<file.json>] [--metrics]"
                    " [--fault-rate=<p>] [--fault-seed=<n>]"
-                   " [--solver-budget=<seconds>]\n";
+                   " [--solver-budget=<seconds>]"
+                   " [--threads=<n>] [--repeat=<n>]\n";
       return 2;
     }
   }
@@ -114,6 +129,50 @@ int main(int argc, char** argv) {
   const std::string resilience = core::render_resilience_block(result);
   if (!resilience.empty()) {
     std::cout << '\n' << resilience;
+  }
+
+  if (service_threads > 0 || service_repeat > 0) {
+    // Re-ask the solved question through the allocation service: the fitted
+    // curves ride along in the request, so only step 3 runs -- once.  Every
+    // repeat after the first is a cache hit (or coalesces onto the first).
+    const int threads = service_threads > 0 ? service_threads : 4;
+    const int repeat = service_repeat > 0 ? service_repeat : 16;
+    svc::ServiceConfig service_config;
+    service_config.workers = threads;
+    svc::AllocationService service(service_config);
+
+    svc::AllocationRequest request;
+    request.total_nodes = config.total_nodes;
+    request.max_wall_seconds = config.solver.max_wall_seconds;
+    for (const auto& [kind, fit] : result.fits) {
+      request.fits[kind] = fit.model;
+    }
+
+    std::vector<std::thread> clients;
+    std::atomic<int> agree{0};
+    clients.reserve(static_cast<std::size_t>(threads));
+    const int per_client = (repeat + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < per_client; ++i) {
+          const svc::SolveOutcome outcome = service.solve(request);
+          if (outcome.has_value() &&
+              outcome.value().allocation.nodes == result.allocation.nodes) {
+            agree.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) {
+      client.join();
+    }
+    const svc::ServiceStats stats = service.stats();
+    std::cout << "\nAllocation service (" << threads << " workers, "
+              << stats.submitted << " identical requests): "
+              << stats.solved << " solver run(s), " << stats.cache_hits
+              << " cache hits, " << stats.coalesced << " coalesced; "
+              << agree.load() << "/" << stats.submitted
+              << " answers match the direct solve\n";
   }
 
   if (show_metrics) {

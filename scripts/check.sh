@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# One-command correctness gate: sanitized Debug build, full test suite, and
-# an observability-enabled smoke run of the quickstart example.
+# One-command correctness gate: sanitized Debug build, full test suite, an
+# observability-enabled smoke run of the quickstart example, and a
+# ThreadSanitizer pass over the concurrent subsystems (svc + obs).
+#
+# ASan and TSan cannot share a process, so the TSan pass uses its own build
+# tree (build-tsan) and rebuilds only the suites that exercise threads.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
+tsan_dir="${repo_root}/build-tsan"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== configure (Debug + ASan/UBSan) -> ${build_dir}"
@@ -36,4 +41,18 @@ else
   echo "note: python3 unavailable, JSON well-formedness check skipped"
 fi
 
-echo "== OK: build, tests, and observability smoke run all passed"
+echo "== configure (Debug + TSan) -> ${tsan_dir}"
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+
+echo "== build (TSan: concurrent suites only)"
+cmake --build "${tsan_dir}" -j "${jobs}" \
+  --target test_svc test_obs allocation_server
+
+echo "== ctest (TSan: svc + obs + service smoke)"
+ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+  -R 'test_svc|test_obs|smoke_allocation_server'
+
+echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

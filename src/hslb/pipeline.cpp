@@ -38,6 +38,65 @@ void merge_fault_report(cesm::CampaignFaultReport* into,
   into->sim_seconds_lost += extra.sim_seconds_lost;
 }
 
+/// The shared step-3 core: finish the spec (allowed sets, tsync), solve the
+/// Table I MINLP, and fill the allocation + per-component outcomes.  `spec`
+/// must already carry the fitted performance functions.  All state lives in
+/// the arguments -- the function is reentrant across threads.
+void solve_step(const PipelineConfig& config, LayoutModelSpec& spec,
+                bool resilient, HslbResult* out) {
+  if (config.constrain_atm) {
+    spec.atm_allowed = config.case_config.atm_allowed;
+  }
+  if (config.constrain_ocean) {
+    spec.ocn_allowed = config.case_config.ocn_allowed;
+  }
+  if (config.tsync >= 0.0) {
+    spec.tsync = config.tsync;
+  } else {
+    // Auto tolerance: 25% of the fitted sea-ice time at a mid-size ice
+    // allocation -- loose enough to always admit a solution, tight enough
+    // to force the ice/land balance of Table I lines 18-19.
+    const double ref = spec.perf.at(ComponentKind::kIce)(
+        std::max(1.0, config.total_nodes / 2.0));
+    spec.tsync = std::max(1.0, 0.25 * ref);
+  }
+  out->tsync_used = spec.tsync;
+
+  LayoutModelVars vars;
+  {
+    HSLB_SPAN("hslb.solve");
+    const minlp::Model model = build_layout_model(spec, &vars);
+    out->solver_result = minlp::solve(model, config.solver);
+  }
+  // A node- or time-limited solve with an incumbent is still a usable
+  // allocation (callers bound max_nodes/max_wall_seconds for the expensive
+  // objective ablations and for fault-injected campaigns).
+  const bool usable =
+      out->solver_result.status == minlp::MinlpStatus::kOptimal ||
+      ((out->solver_result.status == minlp::MinlpStatus::kNodeLimit ||
+        out->solver_result.status == minlp::MinlpStatus::kTimeLimit) &&
+       !out->solver_result.x.empty());
+  if (usable) {
+    out->allocation = extract_allocation(spec, vars, out->solver_result);
+  } else if (resilient) {
+    // Budget ran out without an incumbent (or the solve failed outright):
+    // degrade to the direct grid search over the allowed sets.
+    out->allocation = heuristic_allocation(spec);
+    out->resilience.solver_fallback = true;
+  } else {
+    HSLB_REQUIRE(usable, std::string("MINLP solve failed: ") +
+                             minlp::to_string(out->solver_result.status));
+  }
+  out->predicted_total = out->allocation.predicted_total;
+
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    ComponentOutcome outcome;
+    outcome.nodes = out->allocation.nodes.at(kind);
+    outcome.predicted_seconds = out->allocation.predicted_seconds.at(kind);
+    out->components[kind] = outcome;
+  }
+}
+
 HslbResult solve_and_execute(const PipelineConfig& config,
                              std::vector<cesm::BenchmarkSample> samples,
                              bool execute,
@@ -131,57 +190,7 @@ HslbResult solve_and_execute(const PipelineConfig& config,
   }
 
   // --- Step 3: solve the Table I MINLP. -------------------------------------
-  if (config.constrain_atm) {
-    spec.atm_allowed = config.case_config.atm_allowed;
-  }
-  if (config.constrain_ocean) {
-    spec.ocn_allowed = config.case_config.ocn_allowed;
-  }
-  if (config.tsync >= 0.0) {
-    spec.tsync = config.tsync;
-  } else {
-    // Auto tolerance: 25% of the fitted sea-ice time at a mid-size ice
-    // allocation -- loose enough to always admit a solution, tight enough
-    // to force the ice/land balance of Table I lines 18-19.
-    const double ref = spec.perf.at(ComponentKind::kIce)(
-        std::max(1.0, config.total_nodes / 2.0));
-    spec.tsync = std::max(1.0, 0.25 * ref);
-  }
-  out.tsync_used = spec.tsync;
-
-  LayoutModelVars vars;
-  {
-    HSLB_SPAN("hslb.solve");
-    const minlp::Model model = build_layout_model(spec, &vars);
-    out.solver_result = minlp::solve(model, config.solver);
-  }
-  // A node- or time-limited solve with an incumbent is still a usable
-  // allocation (callers bound max_nodes/max_wall_seconds for the expensive
-  // objective ablations and for fault-injected campaigns).
-  const bool usable =
-      out.solver_result.status == minlp::MinlpStatus::kOptimal ||
-      ((out.solver_result.status == minlp::MinlpStatus::kNodeLimit ||
-        out.solver_result.status == minlp::MinlpStatus::kTimeLimit) &&
-       !out.solver_result.x.empty());
-  if (usable) {
-    out.allocation = extract_allocation(spec, vars, out.solver_result);
-  } else if (resilient) {
-    // Budget ran out without an incumbent (or the solve failed outright):
-    // degrade to the direct grid search over the allowed sets.
-    out.allocation = heuristic_allocation(spec);
-    out.resilience.solver_fallback = true;
-  } else {
-    HSLB_REQUIRE(usable, std::string("MINLP solve failed: ") +
-                             minlp::to_string(out.solver_result.status));
-  }
-  out.predicted_total = out.allocation.predicted_total;
-
-  for (const ComponentKind kind : cesm::kModeledComponents) {
-    ComponentOutcome outcome;
-    outcome.nodes = out.allocation.nodes.at(kind);
-    outcome.predicted_seconds = out.allocation.predicted_seconds.at(kind);
-    out.components[kind] = outcome;
-  }
+  solve_step(config, spec, resilient, &out);
 
   // --- Step 4: execute at the optimal allocation. ---------------------------
   if (execute) {
@@ -263,6 +272,39 @@ HslbResult run_hslb_from_samples(
   // short on clean data degrades straight to the fallback fit.
   return solve_and_execute(config, samples, /*execute=*/false,
                            cesm::CampaignFaultReport{}, Resampler{});
+}
+
+HslbResult run_hslb_from_fits(
+    const PipelineConfig& config,
+    const std::map<cesm::ComponentKind, perf::PerfModel>& fits) {
+  const obs::Install install(config.obs);
+  HSLB_REQUIRE(config.total_nodes >= 8, "target machine slice too small");
+
+  HslbResult out;
+  LayoutModelSpec spec;
+  spec.layout = config.layout;
+  spec.total_nodes = config.total_nodes;
+  spec.objective = config.objective;
+  spec.use_sos = config.use_sos;
+  spec.min_nodes = config.case_config.min_nodes;
+  for (const ComponentKind kind : cesm::kModeledComponents) {
+    HSLB_REQUIRE(fits.count(kind) != 0,
+                 std::string("missing fitted curve for component ") +
+                     cesm::to_string(kind));
+    spec.perf[kind] = fits.at(kind);
+    // Wrap the given model so HslbResult carries the same shape as the
+    // fitted paths; no residual statistics exist for a shipped curve.
+    perf::FitResult wrapped;
+    wrapped.model = fits.at(kind);
+    wrapped.converged = true;
+    out.fits[kind] = std::move(wrapped);
+  }
+
+  const bool resilient =
+      config.resilience.enabled || config.faults.enabled();
+  solve_step(config, spec, resilient, &out);
+  out.degraded = out.resilience.degraded();
+  return out;
 }
 
 }  // namespace hslb::core

@@ -84,6 +84,19 @@ struct HslbResult {
     const PipelineConfig& config,
     const std::vector<cesm::BenchmarkSample>& samples);
 
+/// Step 3 only, from already-fitted performance functions -- the path the
+/// allocation service takes when a client ships precomputed fit curves.
+/// Requires a fit for every modeled component.  No gather/fit/execute steps;
+/// the returned FitResults wrap the given models verbatim.
+///
+/// Reentrancy contract: this function (like the two above) keeps all state
+/// on the stack and in the result -- no shared mutable globals -- so any
+/// number of calls may run concurrently on different threads, each with its
+/// own config (including per-call obs sinks and solver event sinks).
+[[nodiscard]] HslbResult run_hslb_from_fits(
+    const PipelineConfig& config,
+    const std::map<cesm::ComponentKind, perf::PerfModel>& fits);
+
 /// Default campaign sizes for a target machine slice: five log-spaced totals
 /// from max(32, N/16) to N (the paper benchmarks at about five core counts).
 std::vector<int> default_gather_totals(int total_nodes);

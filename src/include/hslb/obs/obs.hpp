@@ -1,10 +1,15 @@
 // Observability context and instrumentation macros.
 //
-// Library code is instrumented against a process-wide context (one trace
-// session pointer + one metrics registry pointer, both atomics).  When
-// nothing is installed every instrumentation point degenerates to a relaxed
-// atomic load and a not-taken branch; defining HSLB_OBS_DISABLE at compile
-// time removes the macros entirely.
+// Library code is instrumented against a *thread-local* context (one trace
+// session pointer + one metrics registry pointer).  Per-thread installs make
+// Install reentrant: concurrent pipelines -- the allocation service runs one
+// per worker thread -- each see only their own sinks, and nested installs
+// restore correctly without cross-thread races.  Code that fans work out to
+// other threads captures obs::current_context() and re-installs it on the
+// worker (see the OpenMP campaign loops).  When nothing is installed every
+// instrumentation point degenerates to a thread-local load and a not-taken
+// branch; defining HSLB_OBS_DISABLE at compile time removes the macros
+// entirely.
 //
 // Usage:
 //   obs::TraceSession trace;
@@ -30,11 +35,17 @@ struct Options {
   bool enabled() const { return trace != nullptr || metrics != nullptr; }
 };
 
-/// Currently installed sinks (null when observability is off).
+/// Currently installed sinks on *this thread* (null when observability is
+/// off).  TraceSession and Registry are themselves thread-safe, so the same
+/// session may be installed on many threads at once.
 TraceSession* current_trace();
 Registry* current_metrics();
 
-/// RAII overlay of the process-wide context.  Only non-null members
+/// Both current sinks as an Options bundle -- capture this before handing
+/// work to another thread, then Install it there.
+Options current_context();
+
+/// RAII overlay of the calling thread's context.  Only non-null members
 /// override; the previous context is restored on destruction, so nested
 /// installs (pipeline inside an instrumented harness) compose.
 class Install {

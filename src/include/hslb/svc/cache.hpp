@@ -1,0 +1,100 @@
+// Sharded LRU solve cache with TTL.
+//
+// Keys are canonical request strings (request.hpp); values are full
+// AllocationResponses.  The key is hashed onto one of `shards` independent
+// LRU maps, each behind its own mutex, so concurrent workers rarely
+// contend.  Entries expire `ttl_seconds` after insertion (0 = never); a
+// lookup that finds an expired entry removes it and reports a miss.
+//
+// Time is passed in explicitly (steady_clock time_points) rather than read
+// inside, so TTL behaviour is testable without sleeping; the service layer
+// passes the real clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hslb/obs/metrics.hpp"
+#include "hslb/svc/request.hpp"
+
+namespace hslb::svc {
+
+struct CacheConfig {
+  std::size_t capacity = 1024;  ///< total entries across all shards
+  std::size_t shards = 8;       ///< independent LRU maps (>= 1)
+  double ttl_seconds = 0.0;     ///< entry lifetime; <= 0 means no expiry
+};
+
+/// Point-in-time tally (monotonic except `size`).
+struct CacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;    ///< LRU-capacity removals
+  long long expirations = 0;  ///< TTL removals
+  std::size_t size = 0;       ///< entries currently resident
+};
+
+class SolveCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `metrics` is optional and borrowed: when set, hit/miss/evict/expire
+  /// counters are bumped in the registry (svc.cache.*) alongside the
+  /// internal tally.  Instrument pointers are resolved once here -- the
+  /// registry hands out stable references -- so the hot path never takes
+  /// the registry lock.
+  explicit SolveCache(CacheConfig config, obs::Registry* metrics = nullptr);
+
+  /// The cached response, refreshing its LRU position; nullopt on miss or
+  /// TTL expiry (the expired entry is removed).
+  std::optional<AllocationResponse> get(const std::string& key,
+                                        Clock::time_point now);
+
+  /// Insert or overwrite.  Overwriting refreshes both the value and the
+  /// insertion time; capacity overflow evicts the shard's LRU tail.
+  void put(const std::string& key, AllocationResponse response,
+           Clock::time_point now);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    AllocationResponse response;
+    Clock::time_point inserted;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+  bool expired(const Entry& entry, Clock::time_point now) const;
+
+  CacheConfig config_;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+  std::atomic<long long> expirations_{0};
+
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* evict_counter_ = nullptr;
+  obs::Counter* expire_counter_ = nullptr;
+  obs::Gauge* size_gauge_ = nullptr;
+};
+
+}  // namespace hslb::svc

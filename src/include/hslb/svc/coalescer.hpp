@@ -1,0 +1,59 @@
+// In-flight request coalescing (single-flight).
+//
+// When N identical requests are in flight at once, exactly one -- the
+// *leader*, the first to join -- executes the solver; the other N-1
+// (*followers*) attach to the leader's slot and receive a copy of the same
+// outcome through a shared_future.  Combined with the solve cache this
+// closes the classic stampede window: a miss storm on one hot key costs one
+// solver run, not N.
+//
+// The coalescer owns no threads and runs no solver code; the service layer
+// decides what a leader does and calls complete() with the outcome.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/svc/request.hpp"
+
+namespace hslb::svc {
+
+/// What a request resolves to: the response, or a typed service error.
+using SolveOutcome = common::Expected<AllocationResponse, Error>;
+using ResponseFuture = std::shared_future<SolveOutcome>;
+
+class Coalescer {
+ public:
+  struct Slot {
+    std::promise<SolveOutcome> promise;
+    ResponseFuture future;
+    int followers = 0;  ///< requests coalesced onto this slot (not the leader)
+  };
+
+  struct Join {
+    std::shared_ptr<Slot> slot;
+    bool leader = false;  ///< true: caller must eventually call complete()
+  };
+
+  /// Attach to the in-flight slot for `key`, creating it (leader) if absent.
+  Join join(const std::string& key);
+
+  /// Resolve `key`'s slot with `outcome`, waking every attached future, and
+  /// retire it so the next identical request starts a fresh flight.  The
+  /// promise is fulfilled outside the lock: a future continuation must not
+  /// be able to re-enter join() against a held mutex.
+  void complete(const std::string& key, SolveOutcome outcome);
+
+  std::size_t in_flight() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace hslb::svc

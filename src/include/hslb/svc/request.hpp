@@ -1,0 +1,102 @@
+// Allocation-service wire types: the question a client asks (which layout
+// should this machine slice run?), the answer the service returns, the typed
+// error channel, and the canonical request key the solve cache and the
+// in-flight coalescer share.
+//
+// Requests are *data only* -- no callbacks, no borrowed pointers -- so that
+// two requests asking the same question canonicalize to the same key no
+// matter how the caller assembled them.  Serving-time knobs that do not
+// change the answer (the queue deadline) are deliberately excluded from the
+// key; everything that feeds the solver is included.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hslb/cesm/campaign.hpp"
+#include "hslb/hslb/layout_model.hpp"
+#include "hslb/perf/fit.hpp"
+
+namespace hslb::svc {
+
+/// Why a request was not answered.  These are expected service outcomes
+/// (load shedding, bad input), reported through common::Expected -- the
+/// service never aborts on a request it cannot serve.
+enum class ErrorCode {
+  kQueueFull,         ///< bounded submission queue was full (shed at submit)
+  kDeadlineExceeded,  ///< deadline expired before a worker picked it up
+  kShutdown,          ///< service stopping; request not accepted/completed
+  kUnknownCase,       ///< case_name not in the service catalog
+  kBadRequest,        ///< malformed request (no timing data, missing fits...)
+  kSolveFailed,       ///< pipeline rejected the request (solver error, ...)
+};
+
+const char* to_string(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+/// One allocation question.  Timing data comes in exactly one of two forms:
+///   * `samples`  -- raw benchmark observations; the service runs fit+solve
+///     (core::run_hslb_from_samples), or
+///   * `fits`     -- precomputed Table II curves per component; the service
+///     runs solve only (core::run_hslb_from_fits).
+/// When both are present the fits win (they are what the solver consumes).
+struct AllocationRequest {
+  std::string case_name = "1deg";  ///< catalog key (machine + constraint sets)
+  cesm::LayoutKind layout = cesm::LayoutKind::kHybrid;
+  core::Objective objective = core::Objective::kMinMax;
+  int total_nodes = 0;   ///< target machine slice N
+  double tsync = -1.0;   ///< ice/land sync tolerance; < 0: pipeline auto rule
+  bool constrain_atm = true;
+  bool constrain_ocean = true;
+  bool use_sos = true;
+  /// MINLP wall-clock budget in seconds (SolverOptions::max_wall_seconds);
+  /// <= 0 means unlimited.  Part of the cache key: the budget can change the
+  /// answer (time-limited incumbent), so differently-budgeted requests must
+  /// not share a cache line.
+  double max_wall_seconds = 0.0;
+  long max_nodes = 2'000'000;  ///< B&B node budget (SolverOptions::max_nodes)
+  /// Queue + wait deadline in seconds; <= 0 falls back to the service
+  /// default.  A request still queued when it expires is shed with
+  /// kDeadlineExceeded.  NOT part of the cache key: it bounds waiting, not
+  /// the answer.
+  double deadline_seconds = 0.0;
+  /// Fit knobs used when solving from `samples` (ignored with `fits`).
+  perf::FitOptions fit_options;
+  std::vector<cesm::BenchmarkSample> samples;
+  std::map<cesm::ComponentKind, perf::PerfModel> fits;
+};
+
+/// The answer: a solved allocation plus enough solver provenance to audit
+/// it.  Responses are value types; the cache stores and fans out copies.
+/// Everything here is deterministic in the request, which is what makes a
+/// cache hit byte-identical (see to_json) to a fresh solve.
+struct AllocationResponse {
+  core::Allocation allocation;
+  double tsync_used = 0.0;
+  minlp::MinlpStatus solver_status = minlp::MinlpStatus::kInfeasible;
+  long nodes_explored = 0;
+  bool degraded = false;
+};
+
+/// Canonical cache/coalescing key.  Invariant to how the caller assembled
+/// the request: samples are sorted (component, nodes, seconds) before
+/// serialization, map fields iterate in key order, and every float is
+/// printed through a normalizing formatter (-0 folds to 0, shortest
+/// round-trip form) so numerically equal requests collide.
+std::string canonical_key(const AllocationRequest& request);
+
+/// Canonical response serialization -- the byte-identity surface for cache
+/// verification (a warm hit must serialize identically to a cold solve).
+std::string to_json(const AllocationResponse& response);
+
+/// The normalizing float formatter canonical_key/to_json use (shortest
+/// round-trip decimal via %.17g with a -0.0 fold).  Exposed for tests.
+std::string canonical_double(double value);
+
+}  // namespace hslb::svc

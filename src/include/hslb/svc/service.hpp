@@ -1,0 +1,139 @@
+// The in-process allocation service: solve cache -> in-flight coalescer ->
+// bounded worker pool -> HSLB pipeline.
+//
+//   submit(request)
+//     |-- canonical_key(request)
+//     |-- SolveCache.get ----------------- hit: ready future, no queueing
+//     |-- Coalescer.join ----------------- follower: leader's future
+//     `-- bounded queue -> worker pool --- leader: solve, cache, fan out
+//
+// Backpressure is explicit and typed: a full queue sheds at submit time
+// (kQueueFull), a request whose deadline expires while queued is shed when
+// dequeued (kDeadlineExceeded), and shutdown resolves everything still
+// queued (kShutdown).  Nothing aborts; every submitted future resolves.
+//
+// The workers run the ordinary pipeline entry points, which are reentrant:
+// all state lives in the per-call config/result, and the obs context is
+// thread-local, so each worker installs the service's sinks for exactly the
+// requests it runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hslb/cesm/configs.hpp"
+#include "hslb/obs/obs.hpp"
+#include "hslb/svc/cache.hpp"
+#include "hslb/svc/coalescer.hpp"
+#include "hslb/svc/request.hpp"
+
+namespace hslb::svc {
+
+struct ServiceConfig {
+  int workers = 4;
+  std::size_t queue_capacity = 256;
+  /// Applied when a request carries no deadline of its own; <= 0: none.
+  double default_deadline_seconds = 0.0;
+  CacheConfig cache;
+  /// Borrowed observability sinks, installed on each worker around each
+  /// solve (thread-local, so concurrent workers do not interfere).  The
+  /// registry also receives the service counters (svc.requests, svc.cache.*,
+  /// svc.coalesced, svc.shed.*, svc.solves) and per-solve latency
+  /// histograms.  Null: service-level metrics are still tallied in stats().
+  obs::Options obs;
+  /// Register the two paper cases ("1deg", "eighth") at construction.
+  bool register_builtin_cases = true;
+};
+
+/// Monotonic service tallies (also mirrored into the obs registry).
+struct ServiceStats {
+  long long submitted = 0;
+  long long cache_hits = 0;
+  long long coalesced = 0;   ///< follower requests (no queue entry)
+  long long solved = 0;      ///< solver executions completed by workers
+  long long shed_queue_full = 0;
+  long long shed_deadline = 0;
+  long long failed = 0;      ///< kBadRequest/kUnknownCase/kSolveFailed
+};
+
+class AllocationService {
+ public:
+  /// How submit() disposed of a request -- serving metadata that lives
+  /// outside the response payload so cached/coalesced answers stay
+  /// byte-identical to cold solves.
+  struct Ticket {
+    ResponseFuture future;
+    std::string key;          ///< canonical request key
+    bool cache_hit = false;   ///< resolved immediately from the cache
+    bool coalesced = false;   ///< attached to an identical in-flight request
+  };
+
+  explicit AllocationService(ServiceConfig config);
+  ~AllocationService();
+  AllocationService(const AllocationService&) = delete;
+  AllocationService& operator=(const AllocationService&) = delete;
+
+  /// Add (or replace) a case the catalog serves under `key`.
+  void register_case(const std::string& key, cesm::CaseConfig config);
+
+  /// Enqueue a request.  Never blocks on solver work; the returned future
+  /// always resolves (response, or typed error on shed/shutdown/bad input).
+  Ticket submit(const AllocationRequest& request);
+
+  /// submit() + wait: the blocking convenience wrapper.
+  SolveOutcome solve(const AllocationRequest& request);
+
+  /// Stop accepting work, resolve everything still queued with kShutdown,
+  /// and join the workers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    std::string key;
+    AllocationRequest request;
+    std::shared_ptr<Coalescer::Slot> slot;
+    std::chrono::steady_clock::time_point submitted;
+    double deadline_seconds = 0.0;  ///< resolved (request or default); <=0 none
+  };
+
+  void worker_loop();
+  SolveOutcome execute(const Job& job);
+  std::shared_ptr<const cesm::CaseConfig> find_case(
+      const std::string& name) const;
+
+  ServiceConfig config_;
+  SolveCache cache_;
+  Coalescer coalescer_;
+
+  mutable std::mutex catalog_mutex_;
+  std::map<std::string, std::shared_ptr<const cesm::CaseConfig>> catalog_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<long long> submitted_{0};
+  std::atomic<long long> cache_hits_{0};
+  std::atomic<long long> coalesced_{0};
+  std::atomic<long long> solved_{0};
+  std::atomic<long long> shed_queue_full_{0};
+  std::atomic<long long> shed_deadline_{0};
+  std::atomic<long long> failed_{0};
+};
+
+}  // namespace hslb::svc

@@ -1,7 +1,6 @@
 #include "hslb/obs/obs.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -214,36 +213,40 @@ void ScopedSpan::arg(std::string key, long long value) {
 
 namespace {
 
-std::atomic<TraceSession*> g_trace{nullptr};
-std::atomic<Registry*> g_metrics{nullptr};
+// The installed context is per-thread.  It used to be a pair of process-wide
+// atomics, which made concurrent Install/restore pairs from different threads
+// (the allocation service's workers, each running a pipeline with its own
+// sinks) corrupt each other's saved "previous" pointers.  Thread-local slots
+// make Install reentrant by construction; code that fans work out to other
+// threads (the OpenMP campaign loops, the service worker pool) captures
+// current_context() and re-installs it on the worker.
+thread_local TraceSession* t_trace = nullptr;
+thread_local Registry* t_metrics = nullptr;
 
 }  // namespace
 
-TraceSession* current_trace() {
-  return g_trace.load(std::memory_order_relaxed);
-}
+TraceSession* current_trace() { return t_trace; }
 
-Registry* current_metrics() {
-  return g_metrics.load(std::memory_order_relaxed);
-}
+Registry* current_metrics() { return t_metrics; }
+
+Options current_context() { return Options{t_trace, t_metrics}; }
 
 Install::Install(const Options& options)
     : Install(options.trace, options.metrics) {}
 
 Install::Install(TraceSession* trace, Registry* metrics)
-    : previous_trace_(g_trace.load(std::memory_order_relaxed)),
-      previous_metrics_(g_metrics.load(std::memory_order_relaxed)) {
+    : previous_trace_(t_trace), previous_metrics_(t_metrics) {
   if (trace != nullptr) {
-    g_trace.store(trace, std::memory_order_release);
+    t_trace = trace;
   }
   if (metrics != nullptr) {
-    g_metrics.store(metrics, std::memory_order_release);
+    t_metrics = metrics;
   }
 }
 
 Install::~Install() {
-  g_trace.store(previous_trace_, std::memory_order_release);
-  g_metrics.store(previous_metrics_, std::memory_order_release);
+  t_trace = previous_trace_;
+  t_metrics = previous_metrics_;
 }
 
 }  // namespace hslb::obs

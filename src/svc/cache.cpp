@@ -1,0 +1,138 @@
+#include "hslb/svc/cache.hpp"
+
+#include <functional>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::svc {
+
+SolveCache::SolveCache(CacheConfig config, obs::Registry* metrics)
+    : config_(config) {
+  HSLB_REQUIRE(config_.capacity >= 1, "cache capacity must be positive");
+  if (config_.shards < 1) {
+    config_.shards = 1;
+  }
+  if (config_.shards > config_.capacity) {
+    config_.shards = config_.capacity;  // every shard can hold an entry
+  }
+  per_shard_capacity_ =
+      (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (metrics != nullptr) {
+    hit_counter_ = &metrics->counter("svc.cache.hits");
+    miss_counter_ = &metrics->counter("svc.cache.misses");
+    evict_counter_ = &metrics->counter("svc.cache.evictions");
+    expire_counter_ = &metrics->counter("svc.cache.expirations");
+    size_gauge_ = &metrics->gauge("svc.cache.size");
+  }
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool SolveCache::expired(const Entry& entry, Clock::time_point now) const {
+  if (config_.ttl_seconds <= 0.0) {
+    return false;
+  }
+  return std::chrono::duration<double>(now - entry.inserted).count() >
+         config_.ttl_seconds;
+}
+
+std::optional<AllocationResponse> SolveCache::get(const std::string& key,
+                                                  Clock::time_point now) {
+  Shard& shard = shard_for(key);
+  std::optional<AllocationResponse> out;
+  bool was_expired = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (expired(*it->second, now)) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        was_expired = true;
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        out = it->second->response;
+      }
+    }
+  }
+  if (out.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_counter_ != nullptr) {
+      hit_counter_->add(1.0);
+    }
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (miss_counter_ != nullptr) {
+      miss_counter_->add(1.0);
+    }
+    if (was_expired) {
+      expirations_.fetch_add(1, std::memory_order_relaxed);
+      if (expire_counter_ != nullptr) {
+        expire_counter_->add(1.0);
+      }
+    }
+  }
+  if (size_gauge_ != nullptr) {
+    size_gauge_->set(static_cast<double>(size()));
+  }
+  return out;
+}
+
+void SolveCache::put(const std::string& key, AllocationResponse response,
+                     Clock::time_point now) {
+  Shard& shard = shard_for(key);
+  long long evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->response = std::move(response);
+      it->second->inserted = now;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(response), now});
+      shard.index[key] = shard.lru.begin();
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (evict_counter_ != nullptr) {
+      evict_counter_->add(static_cast<double>(evicted));
+    }
+  }
+  if (size_gauge_ != nullptr) {
+    size_gauge_->set(static_cast<double>(size()));
+  }
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.expirations = expirations_.load(std::memory_order_relaxed);
+  out.size = size();
+  return out;
+}
+
+std::size_t SolveCache::size() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace hslb::svc

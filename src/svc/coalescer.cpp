@@ -1,0 +1,39 @@
+#include "hslb/svc/coalescer.hpp"
+
+#include <utility>
+
+namespace hslb::svc {
+
+Coalescer::Join Coalescer::join(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    ++it->second->followers;
+    return Join{it->second, /*leader=*/false};
+  }
+  auto slot = std::make_shared<Slot>();
+  slot->future = slot->promise.get_future().share();
+  slots_[key] = slot;
+  return Join{std::move(slot), /*leader=*/true};
+}
+
+void Coalescer::complete(const std::string& key, SolveOutcome outcome) {
+  std::shared_ptr<Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      return;  // already completed (defensive; leaders complete exactly once)
+    }
+    slot = std::move(it->second);
+    slots_.erase(it);
+  }
+  slot->promise.set_value(std::move(outcome));
+}
+
+std::size_t Coalescer::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace hslb::svc

@@ -1,0 +1,134 @@
+#include "hslb/svc/request.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hslb::svc {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kQueueFull:
+      return "queue_full";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kShutdown:
+      return "shutdown";
+    case ErrorCode::kUnknownCase:
+      return "unknown_case";
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kSolveFailed:
+      return "solve_failed";
+  }
+  return "unknown";
+}
+
+std::string canonical_double(double value) {
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (value == 0.0) {
+    return "0";  // folds -0.0 into +0.0
+  }
+  // Shortest of the three precisions that round-trips the exact double, so
+  // 0.5 prints "0.5" (not "0.50000000000000000") while every distinct value
+  // still gets a distinct string.
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+namespace {
+
+void append_fit_options(std::ostringstream& os,
+                        const perf::FitOptions& options) {
+  os << "fit{c=" << canonical_double(options.c_min) << ','
+     << canonical_double(options.c_max) << ",grid=" << options.c_grid
+     << ",lm=" << options.lm_polish << ",ms=" << options.multistart
+     << ",seed=" << options.seed << ",rel=" << options.relative_weighting
+     << ",rob=" << options.robust_loss
+     << ",huber=" << canonical_double(options.huber_delta) << '}';
+}
+
+}  // namespace
+
+std::string canonical_key(const AllocationRequest& request) {
+  std::ostringstream os;
+  os << "case=" << request.case_name
+     << ";layout=" << static_cast<int>(request.layout)
+     << ";obj=" << core::to_string(request.objective)
+     << ";N=" << request.total_nodes
+     << ";tsync=" << canonical_double(request.tsync)
+     << ";catm=" << request.constrain_atm
+     << ";cocn=" << request.constrain_ocean << ";sos=" << request.use_sos
+     << ";wall=" << canonical_double(request.max_wall_seconds)
+     << ";nodes=" << request.max_nodes << ';';
+
+  if (!request.fits.empty()) {
+    // The solver consumes the fits; the fit options and samples are inert.
+    os << "fits{";
+    for (const auto& [kind, model] : request.fits) {  // std::map: key order
+      const perf::PerfParams& p = model.params();
+      os << cesm::to_string(kind) << ":a=" << canonical_double(p.a)
+         << ",b=" << canonical_double(p.b) << ",c=" << canonical_double(p.c)
+         << ",d=" << canonical_double(p.d) << ';';
+    }
+    os << '}';
+    return os.str();
+  }
+
+  append_fit_options(os, request.fit_options);
+  // Sample order is an artifact of how the campaign ran, not part of the
+  // question: canonicalize by sorting before serialization.
+  std::vector<cesm::BenchmarkSample> sorted = request.samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const cesm::BenchmarkSample& a, const cesm::BenchmarkSample& b) {
+              if (a.kind != b.kind) {
+                return a.kind < b.kind;
+              }
+              if (a.nodes != b.nodes) {
+                return a.nodes < b.nodes;
+              }
+              return a.seconds < b.seconds;
+            });
+  os << ";samples{";
+  for (const cesm::BenchmarkSample& sample : sorted) {
+    os << cesm::to_string(sample.kind) << ',' << sample.nodes << ','
+       << canonical_double(sample.seconds) << ';';
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string to_json(const AllocationResponse& response) {
+  std::ostringstream os;
+  os << "{\"allocation\":{";
+  bool first = true;
+  for (const auto& [kind, nodes] : response.allocation.nodes) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << '"' << cesm::to_string(kind) << "\":{\"nodes\":" << nodes
+       << ",\"predicted_seconds\":"
+       << canonical_double(response.allocation.predicted_seconds.at(kind))
+       << '}';
+  }
+  os << "},\"predicted_total\":"
+     << canonical_double(response.allocation.predicted_total)
+     << ",\"tsync_used\":" << canonical_double(response.tsync_used)
+     << ",\"solver_status\":\"" << minlp::to_string(response.solver_status)
+     << "\",\"nodes_explored\":" << response.nodes_explored
+     << ",\"degraded\":" << (response.degraded ? "true" : "false") << '}';
+  return os.str();
+}
+
+}  // namespace hslb::svc

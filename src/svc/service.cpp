@@ -1,0 +1,327 @@
+#include "hslb/svc/service.hpp"
+
+#include <utility>
+
+#include "hslb/common/error.hpp"
+#include "hslb/hslb/pipeline.hpp"
+
+namespace hslb::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// An already-resolved future for answers that never touch the queue
+/// (cache hits, validation failures, shutdown).
+ResponseFuture ready(SolveOutcome outcome) {
+  std::promise<SolveOutcome> promise;
+  promise.set_value(std::move(outcome));
+  return promise.get_future().share();
+}
+
+SolveOutcome fail(ErrorCode code, std::string message) {
+  return common::make_unexpected(Error{code, std::move(message)});
+}
+
+}  // namespace
+
+AllocationService::AllocationService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache, config_.obs.metrics) {
+  HSLB_REQUIRE(config_.workers >= 1, "service needs at least one worker");
+  HSLB_REQUIRE(config_.queue_capacity >= 1,
+               "service needs a positive queue capacity");
+  if (config_.register_builtin_cases) {
+    register_case("1deg", cesm::one_degree_case());
+    register_case("eighth", cesm::eighth_degree_case());
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AllocationService::~AllocationService() { shutdown(); }
+
+void AllocationService::register_case(const std::string& key,
+                                      cesm::CaseConfig config) {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  catalog_[key] =
+      std::make_shared<const cesm::CaseConfig>(std::move(config));
+}
+
+std::shared_ptr<const cesm::CaseConfig> AllocationService::find_case(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  const auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : it->second;
+}
+
+AllocationService::Ticket AllocationService::submit(
+    const AllocationRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->counter("svc.requests").add(1.0);
+  }
+
+  Ticket ticket;
+  ticket.key = canonical_key(request);
+
+  // --- Validate: typed errors resolve immediately, nothing queues. ---------
+  if (request.total_nodes < 8) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    ticket.future = ready(fail(ErrorCode::kBadRequest,
+                               "total_nodes must be at least 8"));
+    return ticket;
+  }
+  if (request.fits.empty() && request.samples.empty()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    ticket.future = ready(fail(
+        ErrorCode::kBadRequest,
+        "request carries neither benchmark samples nor fitted curves"));
+    return ticket;
+  }
+  if (!request.fits.empty()) {
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      if (request.fits.count(kind) == 0) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        ticket.future = ready(fail(
+            ErrorCode::kBadRequest,
+            std::string("fits are missing component ") +
+                cesm::to_string(kind)));
+        return ticket;
+      }
+    }
+  }
+  if (find_case(request.case_name) == nullptr) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    ticket.future = ready(fail(ErrorCode::kUnknownCase,
+                               "no case registered under '" +
+                                   request.case_name + "'"));
+    return ticket;
+  }
+
+  // --- Cache. ---------------------------------------------------------------
+  const Clock::time_point now = Clock::now();
+  if (std::optional<AllocationResponse> cached = cache_.get(ticket.key, now)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    ticket.cache_hit = true;
+    ticket.future = ready(SolveOutcome(std::move(*cached)));
+    return ticket;
+  }
+
+  // --- Coalesce. ------------------------------------------------------------
+  Coalescer::Join join = coalescer_.join(ticket.key);
+  ticket.future = join.slot->future;
+  if (!join.leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->counter("svc.coalesced").add(1.0);
+    }
+    ticket.coalesced = true;
+    return ticket;
+  }
+
+  // --- Leader: enqueue, shedding on a full queue or a stopped service. ------
+  Job job;
+  job.key = ticket.key;
+  job.request = request;
+  job.slot = join.slot;
+  job.submitted = now;
+  job.deadline_seconds = request.deadline_seconds > 0.0
+                             ? request.deadline_seconds
+                             : config_.default_deadline_seconds;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      lock.unlock();
+      coalescer_.complete(ticket.key,
+                          fail(ErrorCode::kShutdown,
+                               "service is shutting down"));
+      return ticket;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      lock.unlock();
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->counter("svc.shed.queue_full").add(1.0);
+      }
+      coalescer_.complete(
+          ticket.key,
+          fail(ErrorCode::kQueueFull,
+               "submission queue is full (" +
+                   std::to_string(config_.queue_capacity) + " pending)"));
+      return ticket;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+SolveOutcome AllocationService::solve(const AllocationRequest& request) {
+  return submit(request).future.get();
+}
+
+void AllocationService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const Clock::time_point start = Clock::now();
+    const double waited_seconds =
+        std::chrono::duration<double>(start - job.submitted).count();
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->histogram("svc.queue.ms")
+          .observe(ms_between(job.submitted, start));
+    }
+    if (job.deadline_seconds > 0.0 && waited_seconds > job.deadline_seconds) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->counter("svc.shed.deadline").add(1.0);
+      }
+      coalescer_.complete(
+          job.key, fail(ErrorCode::kDeadlineExceeded,
+                        "request waited " + std::to_string(waited_seconds) +
+                            " s against a " +
+                            std::to_string(job.deadline_seconds) +
+                            " s deadline"));
+      continue;
+    }
+
+    // A leader that queued behind an identical flight which completed in the
+    // meantime finds the answer already cached: serve it without re-solving.
+    if (std::optional<AllocationResponse> cached =
+            cache_.get(job.key, start)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      coalescer_.complete(job.key, SolveOutcome(std::move(*cached)));
+      continue;
+    }
+
+    SolveOutcome outcome = execute(job);
+    if (outcome.has_value()) {
+      solved_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->counter("svc.solves").add(1.0);
+        config_.obs.metrics->histogram("svc.solve.ms")
+            .observe(ms_between(start, Clock::now()));
+      }
+      cache_.put(job.key, outcome.value(), Clock::now());
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->counter("svc.solve_failures").add(1.0);
+      }
+    }
+    coalescer_.complete(job.key, std::move(outcome));
+  }
+}
+
+SolveOutcome AllocationService::execute(const Job& job) {
+  const std::shared_ptr<const cesm::CaseConfig> case_config =
+      find_case(job.request.case_name);
+  if (case_config == nullptr) {
+    return fail(ErrorCode::kUnknownCase,
+                "no case registered under '" + job.request.case_name + "'");
+  }
+
+  // Per-call wiring only: the worker installs the service sinks around this
+  // solve (thread-local), and every knob below lives in the call's own
+  // config -- the reentrancy contract the pipeline documents.
+  const obs::Install install(config_.obs);
+  obs::ScopedSpan span("svc.solve");
+  if (span.active()) {
+    span.arg("case", job.request.case_name);
+    span.arg("total_nodes", static_cast<long long>(job.request.total_nodes));
+  }
+
+  core::PipelineConfig config;
+  config.case_config = *case_config;
+  config.layout = job.request.layout;
+  config.objective = job.request.objective;
+  config.total_nodes = job.request.total_nodes;
+  config.tsync = job.request.tsync;
+  config.constrain_atm = job.request.constrain_atm;
+  config.constrain_ocean = job.request.constrain_ocean;
+  config.use_sos = job.request.use_sos;
+  config.fit_options = job.request.fit_options;
+  config.solver.max_wall_seconds = job.request.max_wall_seconds;
+  config.solver.max_nodes = job.request.max_nodes;
+
+  core::HslbResult result;
+  try {
+    if (!job.request.fits.empty()) {
+      result = core::run_hslb_from_fits(config, job.request.fits);
+    } else {
+      result = core::run_hslb_from_samples(config, job.request.samples);
+    }
+  } catch (const std::exception& e) {
+    // hslb::Error covers the library's own rejections (bad sample counts,
+    // infeasible models); the broader net keeps a worker alive no matter
+    // what a request provokes.
+    return fail(ErrorCode::kSolveFailed, e.what());
+  }
+
+  AllocationResponse response;
+  response.allocation = result.allocation;
+  response.tsync_used = result.tsync_used;
+  response.solver_status = result.solver_result.status;
+  response.nodes_explored = result.solver_result.stats.nodes_explored;
+  response.degraded = result.degraded;
+  return SolveOutcome(std::move(response));
+}
+
+void AllocationService::shutdown() {
+  std::deque<Job> drained;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && queue_.empty() && workers_.empty()) {
+      return;
+    }
+    stopping_ = true;
+    drained.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (Job& job : drained) {
+    coalescer_.complete(job.key, fail(ErrorCode::kShutdown,
+                                      "service shut down before the "
+                                      "request was served"));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+ServiceStats AllocationService::stats() const {
+  ServiceStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.solved = solved_.load(std::memory_order_relaxed);
+  out.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  out.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t AllocationService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+}  // namespace hslb::svc
