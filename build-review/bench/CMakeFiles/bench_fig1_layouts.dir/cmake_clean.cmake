@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_layouts.dir/fig1_layouts.cpp.o"
+  "CMakeFiles/bench_fig1_layouts.dir/fig1_layouts.cpp.o.d"
+  "bench_fig1_layouts"
+  "bench_fig1_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

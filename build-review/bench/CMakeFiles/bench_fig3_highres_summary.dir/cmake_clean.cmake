@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_highres_summary.dir/fig3_highres_summary.cpp.o"
+  "CMakeFiles/bench_fig3_highres_summary.dir/fig3_highres_summary.cpp.o.d"
+  "bench_fig3_highres_summary"
+  "bench_fig3_highres_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_highres_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fitting.dir/fitting.cpp.o"
+  "CMakeFiles/bench_fitting.dir/fitting.cpp.o.d"
+  "bench_fitting"
+  "bench_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

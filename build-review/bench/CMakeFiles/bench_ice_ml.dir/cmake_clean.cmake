@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ice_ml.dir/ice_ml.cpp.o"
+  "CMakeFiles/bench_ice_ml.dir/ice_ml.cpp.o.d"
+  "bench_ice_ml"
+  "bench_ice_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ice_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minlp_solver.dir/minlp_solver.cpp.o"
+  "CMakeFiles/bench_minlp_solver.dir/minlp_solver.cpp.o.d"
+  "bench_minlp_solver"
+  "bench_minlp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minlp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_objectives.dir/objectives.cpp.o"
+  "CMakeFiles/bench_objectives.dir/objectives.cpp.o.d"
+  "bench_objectives"
+  "bench_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_1deg.dir/table3_1deg.cpp.o"
+  "CMakeFiles/bench_table3_1deg.dir/table3_1deg.cpp.o.d"
+  "bench_table3_1deg"
+  "bench_table3_1deg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_1deg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_eighth.dir/table3_eighth.cpp.o"
+  "CMakeFiles/bench_table3_eighth.dir/table3_eighth.cpp.o.d"
+  "bench_table3_eighth"
+  "bench_table3_eighth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_eighth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_unconstrained.dir/table3_unconstrained.cpp.o"
+  "CMakeFiles/bench_table3_unconstrained.dir/table3_unconstrained.cpp.o.d"
+  "bench_table3_unconstrained"
+  "bench_table3_unconstrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_unconstrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

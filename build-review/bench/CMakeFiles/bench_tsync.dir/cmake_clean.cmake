@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tsync.dir/tsync.cpp.o"
+  "CMakeFiles/bench_tsync.dir/tsync.cpp.o.d"
+  "bench_tsync"
+  "bench_tsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_server.dir/allocation_server.cpp.o"
+  "CMakeFiles/allocation_server.dir/allocation_server.cpp.o.d"
+  "allocation_server"
+  "allocation_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_cesm.dir/autotune_cesm.cpp.o"
+  "CMakeFiles/autotune_cesm.dir/autotune_cesm.cpp.o.d"
+  "autotune_cesm"
+  "autotune_cesm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_cesm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_playground.dir/minlp_playground.cpp.o"
+  "CMakeFiles/minlp_playground.dir/minlp_playground.cpp.o.d"
+  "minlp_playground"
+  "minlp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

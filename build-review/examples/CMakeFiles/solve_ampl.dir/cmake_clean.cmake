@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_ampl.dir/solve_ampl.cpp.o"
+  "CMakeFiles/solve_ampl.dir/solve_ampl.cpp.o.d"
+  "solve_ampl"
+  "solve_ampl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_ampl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for solve_ampl.
+# This may be replaced when dependencies are built.

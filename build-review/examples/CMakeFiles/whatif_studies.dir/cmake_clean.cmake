@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_studies.dir/whatif_studies.cpp.o"
+  "CMakeFiles/whatif_studies.dir/whatif_studies.cpp.o.d"
+  "whatif_studies"
+  "whatif_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cesm/campaign.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/campaign.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/campaign.cpp.o.d"
+  "/root/repo/src/cesm/component.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/component.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/component.cpp.o.d"
+  "/root/repo/src/cesm/configs.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/configs.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/configs.cpp.o.d"
+  "/root/repo/src/cesm/decomposition.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/decomposition.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/decomposition.cpp.o.d"
+  "/root/repo/src/cesm/driver.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/driver.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/driver.cpp.o.d"
+  "/root/repo/src/cesm/fault.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/fault.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/fault.cpp.o.d"
+  "/root/repo/src/cesm/grid.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/grid.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/grid.cpp.o.d"
+  "/root/repo/src/cesm/ice_tuner.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/ice_tuner.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/ice_tuner.cpp.o.d"
+  "/root/repo/src/cesm/layout.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/layout.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/layout.cpp.o.d"
+  "/root/repo/src/cesm/machine.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/machine.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/machine.cpp.o.d"
+  "/root/repo/src/cesm/timing_file.cpp" "src/CMakeFiles/hslb_cesm.dir/cesm/timing_file.cpp.o" "gcc" "src/CMakeFiles/hslb_cesm.dir/cesm/timing_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

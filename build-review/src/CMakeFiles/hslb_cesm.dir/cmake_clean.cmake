@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_cesm.dir/cesm/campaign.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/campaign.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/component.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/component.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/configs.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/configs.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/decomposition.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/decomposition.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/driver.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/driver.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/fault.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/fault.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/grid.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/grid.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/ice_tuner.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/ice_tuner.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/layout.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/layout.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/machine.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/machine.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/cesm/timing_file.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/cesm/timing_file.cpp.o.d"
+  "libhslb_cesm.a"
+  "libhslb_cesm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_cesm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

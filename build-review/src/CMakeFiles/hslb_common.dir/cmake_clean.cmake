@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hslb_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/common/table.cpp.o"
+  "CMakeFiles/hslb_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/common/timing.cpp.o"
+  "CMakeFiles/hslb_common.dir/common/timing.cpp.o.d"
+  "libhslb_common.a"
+  "libhslb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hslb/layout_model.cpp" "src/CMakeFiles/hslb_core.dir/hslb/layout_model.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/layout_model.cpp.o.d"
+  "/root/repo/src/hslb/manual_tuner.cpp" "src/CMakeFiles/hslb_core.dir/hslb/manual_tuner.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/manual_tuner.cpp.o.d"
+  "/root/repo/src/hslb/objectives.cpp" "src/CMakeFiles/hslb_core.dir/hslb/objectives.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/objectives.cpp.o.d"
+  "/root/repo/src/hslb/pipeline.cpp" "src/CMakeFiles/hslb_core.dir/hslb/pipeline.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/pipeline.cpp.o.d"
+  "/root/repo/src/hslb/report.cpp" "src/CMakeFiles/hslb_core.dir/hslb/report.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/report.cpp.o.d"
+  "/root/repo/src/hslb/resilience.cpp" "src/CMakeFiles/hslb_core.dir/hslb/resilience.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/resilience.cpp.o.d"
+  "/root/repo/src/hslb/whatif.cpp" "src/CMakeFiles/hslb_core.dir/hslb/whatif.cpp.o" "gcc" "src/CMakeFiles/hslb_core.dir/hslb/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_minlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_cesm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_core.dir/hslb/layout_model.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/layout_model.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/manual_tuner.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/manual_tuner.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/objectives.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/objectives.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/pipeline.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/pipeline.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/report.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/report.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/resilience.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/resilience.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/hslb/whatif.cpp.o"
+  "CMakeFiles/hslb_core.dir/hslb/whatif.cpp.o.d"
+  "libhslb_core.a"
+  "libhslb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/eval.cpp" "src/CMakeFiles/hslb_expr.dir/expr/eval.cpp.o" "gcc" "src/CMakeFiles/hslb_expr.dir/expr/eval.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/CMakeFiles/hslb_expr.dir/expr/expr.cpp.o" "gcc" "src/CMakeFiles/hslb_expr.dir/expr/expr.cpp.o.d"
+  "/root/repo/src/expr/print.cpp" "src/CMakeFiles/hslb_expr.dir/expr/print.cpp.o" "gcc" "src/CMakeFiles/hslb_expr.dir/expr/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_expr.dir/expr/eval.cpp.o"
+  "CMakeFiles/hslb_expr.dir/expr/eval.cpp.o.d"
+  "CMakeFiles/hslb_expr.dir/expr/expr.cpp.o"
+  "CMakeFiles/hslb_expr.dir/expr/expr.cpp.o.d"
+  "CMakeFiles/hslb_expr.dir/expr/print.cpp.o"
+  "CMakeFiles/hslb_expr.dir/expr/print.cpp.o.d"
+  "libhslb_expr.a"
+  "libhslb_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

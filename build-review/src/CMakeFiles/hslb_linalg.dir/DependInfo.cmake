@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/factor.cpp" "src/CMakeFiles/hslb_linalg.dir/linalg/factor.cpp.o" "gcc" "src/CMakeFiles/hslb_linalg.dir/linalg/factor.cpp.o.d"
+  "/root/repo/src/linalg/least_squares.cpp" "src/CMakeFiles/hslb_linalg.dir/linalg/least_squares.cpp.o" "gcc" "src/CMakeFiles/hslb_linalg.dir/linalg/least_squares.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/hslb_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/hslb_linalg.dir/linalg/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

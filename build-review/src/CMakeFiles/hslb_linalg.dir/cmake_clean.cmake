@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_linalg.dir/linalg/factor.cpp.o"
+  "CMakeFiles/hslb_linalg.dir/linalg/factor.cpp.o.d"
+  "CMakeFiles/hslb_linalg.dir/linalg/least_squares.cpp.o"
+  "CMakeFiles/hslb_linalg.dir/linalg/least_squares.cpp.o.d"
+  "CMakeFiles/hslb_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/hslb_linalg.dir/linalg/matrix.cpp.o.d"
+  "libhslb_linalg.a"
+  "libhslb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_lp.dir/lp/problem.cpp.o"
+  "CMakeFiles/hslb_lp.dir/lp/problem.cpp.o.d"
+  "CMakeFiles/hslb_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/hslb_lp.dir/lp/simplex.cpp.o.d"
+  "libhslb_lp.a"
+  "libhslb_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minlp/ampl.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/ampl.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/ampl.cpp.o.d"
+  "/root/repo/src/minlp/branch_and_bound.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/minlp/model.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/model.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/model.cpp.o.d"
+  "/root/repo/src/minlp/nlp_bb.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/nlp_bb.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/nlp_bb.cpp.o.d"
+  "/root/repo/src/minlp/presolve.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/presolve.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/presolve.cpp.o.d"
+  "/root/repo/src/minlp/relaxation.cpp" "src/CMakeFiles/hslb_minlp.dir/minlp/relaxation.cpp.o" "gcc" "src/CMakeFiles/hslb_minlp.dir/minlp/relaxation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_minlp.dir/minlp/ampl.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/ampl.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/minlp/branch_and_bound.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/minlp/model.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/model.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/minlp/nlp_bb.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/nlp_bb.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/minlp/presolve.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/presolve.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/minlp/relaxation.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/minlp/relaxation.cpp.o.d"
+  "libhslb_minlp.a"
+  "libhslb_minlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_minlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

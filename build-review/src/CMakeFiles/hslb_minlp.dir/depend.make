@@ -1,0 +1,2 @@
+# Empty dependencies file for hslb_minlp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/barrier.cpp" "src/CMakeFiles/hslb_nlp.dir/nlp/barrier.cpp.o" "gcc" "src/CMakeFiles/hslb_nlp.dir/nlp/barrier.cpp.o.d"
+  "/root/repo/src/nlp/levenberg_marquardt.cpp" "src/CMakeFiles/hslb_nlp.dir/nlp/levenberg_marquardt.cpp.o" "gcc" "src/CMakeFiles/hslb_nlp.dir/nlp/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/nlp/nnls.cpp" "src/CMakeFiles/hslb_nlp.dir/nlp/nnls.cpp.o" "gcc" "src/CMakeFiles/hslb_nlp.dir/nlp/nnls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

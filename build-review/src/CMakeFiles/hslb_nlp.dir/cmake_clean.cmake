@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_nlp.dir/nlp/barrier.cpp.o"
+  "CMakeFiles/hslb_nlp.dir/nlp/barrier.cpp.o.d"
+  "CMakeFiles/hslb_nlp.dir/nlp/levenberg_marquardt.cpp.o"
+  "CMakeFiles/hslb_nlp.dir/nlp/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/hslb_nlp.dir/nlp/nnls.cpp.o"
+  "CMakeFiles/hslb_nlp.dir/nlp/nnls.cpp.o.d"
+  "libhslb_nlp.a"
+  "libhslb_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_obs.dir/obs/metrics.cpp.o"
+  "CMakeFiles/hslb_obs.dir/obs/metrics.cpp.o.d"
+  "CMakeFiles/hslb_obs.dir/obs/trace.cpp.o"
+  "CMakeFiles/hslb_obs.dir/obs/trace.cpp.o.d"
+  "libhslb_obs.a"
+  "libhslb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

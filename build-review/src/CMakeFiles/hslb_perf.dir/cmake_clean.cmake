@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_perf.dir/perf/fit.cpp.o"
+  "CMakeFiles/hslb_perf.dir/perf/fit.cpp.o.d"
+  "CMakeFiles/hslb_perf.dir/perf/perf_model.cpp.o"
+  "CMakeFiles/hslb_perf.dir/perf/perf_model.cpp.o.d"
+  "CMakeFiles/hslb_perf.dir/perf/sample_design.cpp.o"
+  "CMakeFiles/hslb_perf.dir/perf/sample_design.cpp.o.d"
+  "libhslb_perf.a"
+  "libhslb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

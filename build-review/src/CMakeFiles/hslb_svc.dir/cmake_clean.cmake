@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_svc.dir/svc/cache.cpp.o"
+  "CMakeFiles/hslb_svc.dir/svc/cache.cpp.o.d"
+  "CMakeFiles/hslb_svc.dir/svc/coalescer.cpp.o"
+  "CMakeFiles/hslb_svc.dir/svc/coalescer.cpp.o.d"
+  "CMakeFiles/hslb_svc.dir/svc/request.cpp.o"
+  "CMakeFiles/hslb_svc.dir/svc/request.cpp.o.d"
+  "CMakeFiles/hslb_svc.dir/svc/service.cpp.o"
+  "CMakeFiles/hslb_svc.dir/svc/service.cpp.o.d"
+  "libhslb_svc.a"
+  "libhslb_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ampl.dir/ampl_test.cpp.o"
+  "CMakeFiles/test_ampl.dir/ampl_test.cpp.o.d"
+  "test_ampl"
+  "test_ampl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ampl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cesm_component.dir/cesm_component_test.cpp.o"
+  "CMakeFiles/test_cesm_component.dir/cesm_component_test.cpp.o.d"
+  "test_cesm_component"
+  "test_cesm_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cesm_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cesm_driver.dir/cesm_driver_test.cpp.o"
+  "CMakeFiles/test_cesm_driver.dir/cesm_driver_test.cpp.o.d"
+  "test_cesm_driver"
+  "test_cesm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cesm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

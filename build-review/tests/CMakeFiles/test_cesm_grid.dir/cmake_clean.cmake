@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cesm_grid.dir/cesm_grid_test.cpp.o"
+  "CMakeFiles/test_cesm_grid.dir/cesm_grid_test.cpp.o.d"
+  "test_cesm_grid"
+  "test_cesm_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cesm_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

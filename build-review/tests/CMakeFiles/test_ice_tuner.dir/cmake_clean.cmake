@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ice_tuner.dir/ice_tuner_test.cpp.o"
+  "CMakeFiles/test_ice_tuner.dir/ice_tuner_test.cpp.o.d"
+  "test_ice_tuner"
+  "test_ice_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ice_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

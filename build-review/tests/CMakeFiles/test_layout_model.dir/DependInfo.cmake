@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layout_model_test.cpp" "tests/CMakeFiles/test_layout_model.dir/layout_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_layout_model.dir/layout_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/hslb_svc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_cesm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_minlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_model.dir/layout_model_test.cpp.o"
+  "CMakeFiles/test_layout_model.dir/layout_model_test.cpp.o.d"
+  "test_layout_model"
+  "test_layout_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp.dir/lp_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp_test.cpp.o.d"
+  "test_lp"
+  "test_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

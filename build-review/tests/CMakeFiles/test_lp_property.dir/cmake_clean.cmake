@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_property.dir/lp_property_test.cpp.o"
+  "CMakeFiles/test_lp_property.dir/lp_property_test.cpp.o.d"
+  "test_lp_property"
+  "test_lp_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

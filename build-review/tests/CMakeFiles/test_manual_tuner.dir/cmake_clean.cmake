@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manual_tuner.dir/manual_tuner_test.cpp.o"
+  "CMakeFiles/test_manual_tuner.dir/manual_tuner_test.cpp.o.d"
+  "test_manual_tuner"
+  "test_manual_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manual_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minlp.dir/minlp_test.cpp.o"
+  "CMakeFiles/test_minlp.dir/minlp_test.cpp.o.d"
+  "test_minlp"
+  "test_minlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

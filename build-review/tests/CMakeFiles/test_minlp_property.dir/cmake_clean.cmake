@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minlp_property.dir/minlp_property_test.cpp.o"
+  "CMakeFiles/test_minlp_property.dir/minlp_property_test.cpp.o.d"
+  "test_minlp_property"
+  "test_minlp_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minlp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

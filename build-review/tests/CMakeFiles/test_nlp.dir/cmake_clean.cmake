@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp.dir/nlp_test.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp_test.cpp.o.d"
+  "test_nlp"
+  "test_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_file.dir/timing_file_test.cpp.o"
+  "CMakeFiles/test_timing_file.dir/timing_file_test.cpp.o.d"
+  "test_timing_file"
+  "test_timing_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whatif.dir/whatif_test.cpp.o"
+  "CMakeFiles/test_whatif.dir/whatif_test.cpp.o.d"
+  "test_whatif"
+  "test_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
