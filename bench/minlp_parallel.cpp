@@ -1,0 +1,382 @@
+// Parallel branch-and-bound scaling on the Table I layout MINLPs.
+//
+//   $ ./bench_minlp_parallel [--out=BENCH_minlp.json] [--repeats=<n>]
+//                            [--smoke]
+//
+// For each Table I layout case the harness solves the same model
+//   * once with the pre-PR serial configuration
+//     {threads=1, epoch_batch=1, warm_start_lp=false} -- the exact classic
+//     node loop -- as the baseline, and
+//   * with the default parallel configuration at 1 / 2 / 4 / 8 worker
+//     threads.
+// The parallel runs must be *byte-identical* across thread counts: the
+// incumbent point, objective, bound, and every deterministic stats field
+// are fingerprinted bit-for-bit and the binary exits nonzero on any
+// mismatch.  Speedups (4-thread vs 1-thread, and 1-thread vs the serial
+// baseline) are printed and written as JSON for CI artifact upload.
+//
+// --smoke shrinks the cases and node budgets so CI can run the identity
+// check in seconds; timing numbers in smoke mode are not meaningful and the
+// speedup fields are reported but not expected to clear any bar.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hslb/common/table.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/svc/request.hpp"
+
+namespace {
+
+using namespace hslb;
+
+/// Fits + layout-model spec for one Table I case (mirrors bench_minlp_solver).
+struct Setup {
+  cesm::CaseConfig case_config = cesm::one_degree_case();
+  core::LayoutModelSpec spec;
+
+  Setup(cesm::LayoutKind layout, int total_nodes, bool use_sos) {
+    const auto campaign = cesm::gather_benchmarks(
+        case_config, layout, std::vector<int>{128, 512, 2048, 8192, 32768},
+        2014);
+    spec.layout = layout;
+    spec.total_nodes = total_nodes;
+    spec.min_nodes = case_config.min_nodes;
+    spec.use_sos = use_sos;
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      const cesm::Series series = cesm::series_for(campaign.samples, kind);
+      spec.perf[kind] = perf::fit(series.nodes, series.seconds).model;
+    }
+    spec.atm_allowed = case_config.atm_allowed;
+    spec.ocn_allowed = case_config.ocn_allowed;
+  }
+};
+
+struct CaseSpec {
+  std::string name;
+  cesm::LayoutKind layout = cesm::LayoutKind::kHybrid;
+  int total_nodes = 0;
+  bool sos_branching = true;  ///< false: the paper's slow binary-branching mode
+};
+
+std::string bits(double value) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(value));
+  std::memcpy(&u, &value, sizeof(u));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(u));
+  return buf;
+}
+
+/// Bit-exact fingerprint of everything deterministic in a MinlpResult: the
+/// incumbent point, objective, bound, and all stats except the wall-time
+/// fields.  Two parallel runs at different thread counts must produce the
+/// same string.
+std::string fingerprint(const minlp::MinlpResult& r) {
+  std::string out;
+  out += std::to_string(static_cast<int>(r.status));
+  out += '|' + bits(r.objective);
+  out += '|' + bits(r.stats.best_bound);
+  out += "|x:";
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    out += bits(r.x[i]) + ',';
+  }
+  const minlp::SolveStats& s = r.stats;
+  for (const long v :
+       {static_cast<long>(s.presolve_tightenings), s.nodes_explored,
+        s.lp_solves, s.nlp_solves, s.cuts_added, s.simplex_iterations,
+        s.incumbent_updates, s.pruned_by_bound, s.pruned_infeasible, s.epochs,
+        s.warm_lp_solves, s.warm_phase1_skips, s.warm_simplex_iterations,
+        s.cold_simplex_iterations}) {
+    out += '|' + std::to_string(v);
+  }
+  return out;
+}
+
+struct Run {
+  int threads = 0;
+  double seconds = 0.0;  ///< best-of-repeats solver wall time
+  minlp::MinlpResult result;
+};
+
+int g_epoch_batch = 0;   ///< 0: solver default
+int g_warm_start = -1;   ///< -1: solver default
+
+minlp::SolverOptions parallel_options(int threads, bool smoke) {
+  minlp::SolverOptions options;
+  options.threads = threads;
+  if (g_epoch_batch > 0) {
+    options.epoch_batch = g_epoch_batch;
+  }
+  if (g_warm_start >= 0) {
+    options.warm_start_lp = g_warm_start != 0;
+  }
+  if (smoke) {
+    options.max_nodes = 4000;
+  }
+  return options;
+}
+
+minlp::SolverOptions serial_baseline_options(bool smoke) {
+  minlp::SolverOptions options = parallel_options(1, smoke);
+  options.epoch_batch = 1;
+  options.warm_start_lp = false;
+  return options;
+}
+
+Run timed_solve(const core::LayoutModelSpec& spec,
+                const minlp::SolverOptions& options, int repeats) {
+  Run run;
+  run.threads = options.threads;
+  run.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const minlp::Model model = core::build_layout_model(spec, nullptr);
+    minlp::MinlpResult result = minlp::solve(model, options);
+    run.seconds = std::min(run.seconds, result.stats.wall_seconds);
+    if (r == 0) {
+      run.result = std::move(result);
+    } else if (fingerprint(result) != fingerprint(run.result)) {
+      // Repeat-to-repeat nondeterminism is just as fatal as thread-count
+      // dependence; flag it through the same channel.
+      run.result.status = minlp::MinlpStatus::kInfeasible;
+    }
+  }
+  return run;
+}
+
+struct CaseResult {
+  CaseSpec spec;
+  double serial_seconds = 0.0;
+  long serial_nodes = 0;
+  double serial_objective = 0.0;
+  std::vector<Run> runs;  ///< parallel config at 1 / 2 / 4 / 8 threads
+  bool byte_identical = true;
+  bool matches_serial = true;  ///< same optimum as the serial baseline
+  double speedup_4_vs_1 = 0.0;
+  double one_thread_vs_serial = 0.0;  ///< > 1: parallel config at 1 thread wins
+};
+
+std::string json_run(const Run& r) {
+  const minlp::SolveStats& s = r.result.stats;
+  std::string out = "{";
+  out += "\"threads\":" + std::to_string(r.threads);
+  out += ",\"seconds\":" + svc::canonical_double(r.seconds);
+  out += ",\"nodes\":" + std::to_string(s.nodes_explored);
+  out += ",\"nodes_per_s\":" +
+         svc::canonical_double(static_cast<double>(s.nodes_explored) /
+                               std::max(1e-12, r.seconds));
+  out += ",\"epochs\":" + std::to_string(s.epochs);
+  out += ",\"lp_solves\":" + std::to_string(s.lp_solves);
+  out += ",\"warm_lp_solves\":" + std::to_string(s.warm_lp_solves);
+  out += ",\"warm_phase1_skips\":" + std::to_string(s.warm_phase1_skips);
+  out += ",\"warm_simplex_iterations\":" +
+         std::to_string(s.warm_simplex_iterations);
+  out += ",\"cold_simplex_iterations\":" +
+         std::to_string(s.cold_simplex_iterations);
+  out += ",\"objective\":" + svc::canonical_double(r.result.objective);
+  out += "}";
+  return out;
+}
+
+std::string json_case(const CaseResult& c) {
+  std::string out = "{";
+  out += "\"case\":\"" + c.spec.name + "\"";
+  out += ",\"total_nodes\":" + std::to_string(c.spec.total_nodes);
+  out += ",\"sos_branching\":" +
+         std::string(c.spec.sos_branching ? "true" : "false");
+  out += ",\"serial_seconds\":" + svc::canonical_double(c.serial_seconds);
+  out += ",\"serial_nodes\":" + std::to_string(c.serial_nodes);
+  out += ",\"serial_objective\":" + svc::canonical_double(c.serial_objective);
+  out += ",\"runs\":[";
+  for (std::size_t i = 0; i < c.runs.size(); ++i) {
+    out += (i > 0 ? "," : "") + json_run(c.runs[i]);
+  }
+  out += "],\"speedup_4_vs_1\":" + svc::canonical_double(c.speedup_4_vs_1);
+  out += ",\"one_thread_vs_serial\":" +
+         svc::canonical_double(c.one_thread_vs_serial);
+  out += ",\"byte_identical\":" +
+         std::string(c.byte_identical ? "true" : "false");
+  out += ",\"matches_serial\":" +
+         std::string(c.matches_serial ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_minlp.json";
+  int repeats = 3;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      repeats = std::stoi(arg.substr(std::strlen("--repeats=")));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--epoch-batch=", 0) == 0) {
+      g_epoch_batch = std::stoi(arg.substr(std::strlen("--epoch-batch=")));
+    } else if (arg.rfind("--warm=", 0) == 0) {
+      g_warm_start = std::stoi(arg.substr(std::strlen("--warm=")));
+    } else {
+      std::cerr << "usage: bench_minlp_parallel [--out=<file.json>]"
+                   " [--repeats=<n>] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  bench::banner("Parallel branch-and-bound scaling (Table I layout MINLPs)",
+                "deterministic epoch-parallel solver; hardware-dependent");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << (smoke ? "  [smoke mode: tiny node budgets, timings are"
+                        " not meaningful]"
+                      : "")
+            << '\n';
+
+  // The three Figure 1 / Table I layouts, plus the hybrid layout under
+  // individual-binary branching -- the mode the paper reports as two orders
+  // of magnitude slower, and therefore the hardest (most node-rich) case.
+  const int big = smoke ? 512 : 40960;
+  const int binary_total = smoke ? 128 : 2048;
+  const std::vector<CaseSpec> cases = {
+      {"hybrid", cesm::LayoutKind::kHybrid, big, true},
+      {"sequential_group", cesm::LayoutKind::kSequentialGroup, big, true},
+      {"fully_sequential", cesm::LayoutKind::kFullySequential, big, true},
+      {"hybrid_binary", cesm::LayoutKind::kHybrid, binary_total, false},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  bool all_identical = true;
+  std::vector<CaseResult> results;
+  for (const CaseSpec& spec : cases) {
+    Setup setup(spec.layout, spec.total_nodes, /*use_sos=*/true);
+    CaseResult cr;
+    cr.spec = spec;
+
+    minlp::SolverOptions serial = serial_baseline_options(smoke);
+    serial.use_sos_branching = spec.sos_branching;
+    {
+      // Warm-up solve so the first timed run does not pay first-touch costs.
+      const minlp::Model model = core::build_layout_model(setup.spec, nullptr);
+      (void)minlp::solve(model, parallel_options(1, /*smoke=*/true));
+    }
+    std::cerr << "  " << spec.name << ": serial baseline\n";
+    const Run serial_run = timed_solve(setup.spec, serial, repeats);
+    cr.serial_seconds = serial_run.seconds;
+    cr.serial_nodes = serial_run.result.stats.nodes_explored;
+    cr.serial_objective = serial_run.result.objective;
+
+    std::string reference;
+    for (const int threads : thread_counts) {
+      std::cerr << "  " << spec.name << ": " << threads << " thread(s)\n";
+      minlp::SolverOptions options = parallel_options(threads, smoke);
+      options.use_sos_branching = spec.sos_branching;
+      Run run = timed_solve(setup.spec, options, repeats);
+      const std::string fp = fingerprint(run.result);
+      if (reference.empty()) {
+        reference = fp;
+      } else if (fp != reference) {
+        cr.byte_identical = false;
+      }
+      cr.runs.push_back(std::move(run));
+    }
+
+    // The answer (not the search path) must also agree with the serial
+    // baseline: same status and the same optimum.  Tolerance, not bit,
+    // comparison: the parallel config searches a different tree (epoch
+    // batches, warm-started vertices), so it may return a different point
+    // of the same quality -- any solver run only promises the optimum to
+    // rel_gap.  Bit-identity is required, and checked above, across thread
+    // counts within the one configuration.
+    const double serial_obj = serial_run.result.objective;
+    const double parallel_obj = cr.runs[0].result.objective;
+    cr.matches_serial =
+        serial_run.result.status == cr.runs[0].result.status &&
+        std::fabs(parallel_obj - serial_obj) <=
+            1e-6 * std::max(1.0, std::fabs(serial_obj));
+
+    cr.speedup_4_vs_1 = cr.runs[0].seconds / std::max(1e-12, cr.runs[2].seconds);
+    cr.one_thread_vs_serial =
+        cr.serial_seconds / std::max(1e-12, cr.runs[0].seconds);
+    all_identical = all_identical && cr.byte_identical && cr.matches_serial;
+    results.push_back(std::move(cr));
+  }
+
+  common::Table table({"case", "threads", "time,ms", "nodes", "nodes/s",
+                       "warm LPs", "phase-1 skips", "speedup"});
+  for (const CaseResult& c : results) {
+    table.add_row();
+    table.cell(c.spec.name);
+    table.cell(std::string("serial"));
+    table.cell(c.serial_seconds * 1e3, 2);
+    table.cell(static_cast<long long>(c.serial_nodes));
+    table.cell(static_cast<double>(c.serial_nodes) /
+                   std::max(1e-12, c.serial_seconds),
+               0);
+    table.cell(0LL);
+    table.cell(0LL);
+    table.cell(1.0, 2);
+    for (const Run& r : c.runs) {
+      table.add_row();
+      table.cell(std::string(""));
+      table.cell(static_cast<long long>(r.threads));
+      table.cell(r.seconds * 1e3, 2);
+      table.cell(static_cast<long long>(r.result.stats.nodes_explored));
+      table.cell(static_cast<double>(r.result.stats.nodes_explored) /
+                     std::max(1e-12, r.seconds),
+                 0);
+      table.cell(static_cast<long long>(r.result.stats.warm_lp_solves));
+      table.cell(static_cast<long long>(r.result.stats.warm_phase1_skips));
+      table.cell(c.runs[0].seconds / std::max(1e-12, r.seconds), 2);
+    }
+  }
+  std::cout << table;
+
+  // The hardest case (longest serial solve) carries the headline speedup.
+  const CaseResult* hardest = &results[0];
+  for (const CaseResult& c : results) {
+    if (c.serial_seconds > hardest->serial_seconds) {
+      hardest = &c;
+    }
+  }
+  std::cout << "hardest case: " << hardest->spec.name << " -- 4-thread speedup "
+            << common::format_fixed(hardest->speedup_4_vs_1, 2)
+            << "x over 1 thread; 1-thread parallel config runs at "
+            << common::format_fixed(100.0 * hardest->one_thread_vs_serial, 1)
+            << " % of the serial baseline's pace\n"
+            << "byte-identical across 1/2/4/8 threads and vs the serial "
+               "baseline: "
+            << (all_identical ? "yes" : "NO") << '\n';
+  if (!smoke && hardest->speedup_4_vs_1 < 2.0) {
+    std::cout << "warning: 4-thread speedup below 2x on the hardest case"
+                 " (shared or small machine?)\n";
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << "{\"bench\":\"minlp_parallel\",\"hardware_threads\":"
+      << std::thread::hardware_concurrency()
+      << ",\"smoke\":" << (smoke ? "true" : "false") << ",\"cases\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << (i > 0 ? "," : "") << json_case(results[i]);
+  }
+  out << "],\"hardest_case\":\"" << hardest->spec.name
+      << "\",\"hardest_speedup_4_vs_1\":"
+      << svc::canonical_double(hardest->speedup_4_vs_1)
+      << ",\"byte_identical\":" << (all_identical ? "true" : "false") << "}\n";
+  std::cout << "JSON written to " << out_path << '\n';
+  return all_identical ? 0 : 1;
+}

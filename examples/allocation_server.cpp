@@ -2,8 +2,8 @@
 // coalescer -> worker pool -> HSLB pipeline) under a synthetic client load.
 //
 //   $ ./allocation_server [--workers=<n>] [--clients=<n>] [--requests=<n>]
-//                         [--distinct=<n>] [--ttl=<seconds>] [--metrics]
-//                         [--smoke]
+//                         [--distinct=<n>] [--ttl=<seconds>]
+//                         [--solver-threads=<n>] [--metrics] [--smoke]
 //
 // <clients> threads issue <requests> allocation requests each, drawn from
 // <distinct> distinct questions (different machine-slice sizes over one set
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   int requests_per_client = 32;
   int distinct = 8;
   double ttl_seconds = 0.0;
+  int solver_threads = 1;
   bool show_metrics = false;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
       distinct = std::stoi(arg.substr(std::strlen("--distinct=")));
     } else if (arg.rfind("--ttl=", 0) == 0) {
       ttl_seconds = std::stod(arg.substr(std::strlen("--ttl=")));
+    } else if (arg.rfind("--solver-threads=", 0) == 0) {
+      solver_threads = std::stoi(arg.substr(std::strlen("--solver-threads=")));
     } else if (arg == "--metrics") {
       show_metrics = true;
     } else if (arg == "--smoke") {
@@ -67,7 +70,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: allocation_server [--workers=<n>] [--clients=<n>]"
                    " [--requests=<n>] [--distinct=<n>] [--ttl=<seconds>]"
-                   " [--metrics] [--smoke]\n";
+                   " [--solver-threads=<n>] [--metrics] [--smoke]\n";
       return 2;
     }
   }
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
       for (int i = 0; i < requests_per_client; ++i) {
         svc::AllocationRequest request;
         request.fits = fits;
+        request.solver_threads = solver_threads;
         // Walk the distinct questions in a client-specific order so the
         // very first wave already collides across clients.
         request.total_nodes = 64 + 32 * ((i + c) % distinct);

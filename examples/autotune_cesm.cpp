@@ -4,7 +4,7 @@
 //   $ ./autotune_cesm [1deg|eighth] [total_nodes] [--unconstrained-ocean]
 //                     [--trace-out=<file.json>] [--metrics]
 //                     [--fault-rate=<p>] [--fault-seed=<n>]
-//                     [--solver-budget=<seconds>]
+//                     [--solver-budget=<seconds>] [--solver-threads=<n>]
 //                     [--threads=<n>] [--repeat=<n>]
 //
 // Examples:
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
   double solver_budget = 0.0;
+  int solver_threads = 1;
   int service_threads = 0;
   int service_repeat = 0;
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(std::string(argv[i] + 13));
     } else if (std::strncmp(argv[i], "--solver-budget=", 16) == 0) {
       solver_budget = std::stod(std::string(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--solver-threads=", 17) == 0) {
+      solver_threads = std::atoi(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       service_threads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
     config.faults = cesm::FaultSpec::uniform(fault_rate, fault_seed);
   }
   config.solver.max_wall_seconds = solver_budget;
+  config.solver.threads = solver_threads;
 
   obs::TraceSession trace;
   obs::Registry metrics;
@@ -166,6 +170,7 @@ int main(int argc, char** argv) {
     request.total_nodes = total_nodes;
     request.constrain_ocean = constrain_ocean;
     request.max_wall_seconds = solver_budget;
+    request.solver_threads = solver_threads;
     for (const auto& [kind, fit] : hslb.fits) {
       request.fits[kind] = fit.model;
     }

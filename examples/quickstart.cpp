@@ -2,7 +2,7 @@
 //
 //   $ ./quickstart [--trace-out=<file.json>] [--metrics]
 //                  [--fault-rate=<p>] [--fault-seed=<n>]
-//                  [--solver-budget=<seconds>]
+//                  [--solver-budget=<seconds>] [--solver-threads=<n>]
 //                  [--threads=<n>] [--repeat=<n>]
 //
 // 1. Gather   -- benchmark the coupled model at five machine sizes.
@@ -16,7 +16,9 @@
 // --fault-rate injects benchmark faults (launch failures, hangs,
 // stragglers, corrupt timing files, noise spikes) at the given per-run
 // probability and engages the resilience layer; --fault-seed varies the
-// fault stream; --solver-budget bounds the MINLP wall clock in seconds.
+// fault stream; --solver-budget bounds the MINLP wall clock in seconds;
+// --solver-threads runs the deterministic parallel branch-and-bound with
+// that many workers (the answer is byte-identical for every thread count).
 // --threads/--repeat re-ask the solve through the allocation service
 // (svc::AllocationService) with <threads> workers, <repeat> times, and
 // report the cache hit rate plus agreement with the direct answer.
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = cesm::FaultSpec{}.seed;
   double solver_budget = 0.0;
+  int solver_threads = 1;
   int service_threads = 0;
   int service_repeat = 0;
   for (int i = 1; i < argc; ++i) {
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(arg.substr(std::strlen("--fault-seed=")));
     } else if (arg.rfind("--solver-budget=", 0) == 0) {
       solver_budget = std::stod(arg.substr(std::strlen("--solver-budget=")));
+    } else if (arg.rfind("--solver-threads=", 0) == 0) {
+      solver_threads = std::stoi(arg.substr(std::strlen("--solver-threads=")));
     } else if (arg.rfind("--threads=", 0) == 0) {
       service_threads = std::stoi(arg.substr(std::strlen("--threads=")));
     } else if (arg.rfind("--repeat=", 0) == 0) {
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: quickstart [--trace-out=<file.json>] [--metrics]"
                    " [--fault-rate=<p>] [--fault-seed=<n>]"
-                   " [--solver-budget=<seconds>]"
+                   " [--solver-budget=<seconds>] [--solver-threads=<n>]"
                    " [--threads=<n>] [--repeat=<n>]\n";
       return 2;
     }
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
     config.faults = cesm::FaultSpec::uniform(fault_rate, fault_seed);
   }
   config.solver.max_wall_seconds = solver_budget;
+  config.solver.threads = solver_threads;
 
   obs::TraceSession trace;
   obs::Registry metrics;
@@ -144,6 +150,7 @@ int main(int argc, char** argv) {
     svc::AllocationRequest request;
     request.total_nodes = config.total_nodes;
     request.max_wall_seconds = config.solver.max_wall_seconds;
+    request.solver_threads = solver_threads;
     for (const auto& [kind, fit] : result.fits) {
       request.fits[kind] = fit.model;
     }

@@ -41,6 +41,10 @@ else
   echo "note: python3 unavailable, JSON well-formedness check skipped"
 fi
 
+echo "== parallel-solver bench smoke run (identity check, tiny node budget)"
+"${build_dir}/bench/bench_minlp_parallel" --smoke --repeats=1 \
+  --out="${build_dir}/BENCH_minlp.json"
+
 echo "== configure (Debug + TSan) -> ${tsan_dir}"
 cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -49,10 +53,10 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
-  --target test_svc test_obs allocation_server
+  --target test_svc test_obs test_minlp_parallel allocation_server
 
-echo "== ctest (TSan: svc + obs + service smoke)"
+echo "== ctest (TSan: svc + obs + parallel solver + service smoke)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_obs|smoke_allocation_server'
+  -R 'test_svc|test_obs|test_minlp_parallel|smoke_allocation_server'
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

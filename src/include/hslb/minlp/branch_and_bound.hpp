@@ -84,6 +84,31 @@ struct SolverOptions {
   /// Node-count cadence for kProgress events.  The first heartbeat fires
   /// at node 1 (so short solves still produce one), then every multiple.
   long log_every_nodes = 100;
+
+  // --- Parallel tree search (deterministic) --------------------------------
+  /// Worker threads processing nodes; <= 0 picks hardware concurrency.  The
+  /// result is byte-identical for every thread count: each epoch pops a
+  /// fixed-size batch of nodes in heap order, workers evaluate them against
+  /// an immutable snapshot of the cut pool and cutoff, and the results merge
+  /// back in batch order.  Which thread ran a node never affects the answer.
+  int threads = 1;
+  /// Nodes popped per epoch.  Thread-count INDEPENDENT by design: changing
+  /// `epoch_batch` changes the search (batch members do not see each
+  /// other's cuts or incumbents), changing `threads` does not.  1 reproduces
+  /// the classic serial node loop exactly.  Each epoch takes half its picks
+  /// by the configured node selection and half as dives to the deepest open
+  /// nodes, so incumbents keep arriving even though a batch shares one
+  /// snapshot.  Larger batches expose more parallelism but search with
+  /// staler cuts/cutoffs and so explore more nodes; 4 measured best on the
+  /// Table I cases (bench_minlp_parallel sweeps this).
+  int epoch_batch = 4;
+  /// Warm-start every node LP from the parent's captured simplex basis
+  /// (remapped by stable row keys).  Deterministic: the warm basis a node
+  /// inherits depends only on the epoch structure, never on thread count.
+  bool warm_start_lp = true;
+  /// Cap on pooled cuts; the oldest non-root cuts age out at epoch
+  /// boundaries (a deterministic point) when the pool exceeds this.
+  std::size_t max_pool_cuts = 512;
 };
 
 struct SolveStats {
@@ -96,6 +121,11 @@ struct SolveStats {
   long incumbent_updates = 0;
   long pruned_by_bound = 0;    ///< nodes discarded against the cutoff
   long pruned_infeasible = 0;  ///< nodes whose master LP was infeasible
+  long epochs = 0;             ///< parallel-search epochs (merge points)
+  long warm_lp_solves = 0;     ///< LP solves that used a warm basis
+  long warm_phase1_skips = 0;  ///< warm solves whose basis reuse skipped Phase I
+  long warm_simplex_iterations = 0;  ///< pivots inside warm-started solves
+  long cold_simplex_iterations = 0;  ///< pivots inside cold solves
   double lp_seconds = 0.0;     ///< wall time inside master-LP solves
   double wall_seconds = 0.0;
   double best_bound = -lp::kInf;

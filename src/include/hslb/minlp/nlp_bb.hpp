@@ -20,6 +20,13 @@ struct NlpBbOptions {
   double integer_tol = 1e-6;
   double rel_gap = 1e-6;
   long max_nodes = 100000;
+  /// Worker threads for node NLP solves; <= 0 picks hardware concurrency.
+  /// Same deterministic epoch scheme as SolverOptions: the result is
+  /// byte-identical for every thread count.
+  int threads = 1;
+  /// Nodes per epoch; thread-count independent.  1 reproduces the classic
+  /// serial DFS loop exactly.
+  int epoch_batch = 4;
 };
 
 /// Solve by NLP-based branch-and-bound.  Every link must provide `as_expr`.

@@ -7,21 +7,48 @@
 //   * node-local chord (secant) rows for each univariate link, computed from
 //     the node's current bounds -- the standard convex-envelope treatment of
 //     a univariate nonlinearity, exact once the variable's interval closes.
+//
+// Cuts carry stable IDs so that (a) worker-local cut deltas merge into the
+// shared pool deterministically and without duplicates, and (b) master-LP
+// rows can be named by stable keys (see row_key below) for warm-start basis
+// remapping across parent/child LPs whose row sets differ.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hslb/linalg/matrix.hpp"
 #include "hslb/lp/problem.hpp"
+#include "hslb/lp/simplex.hpp"
 #include "hslb/minlp/model.hpp"
 
 namespace hslb::minlp {
+
+/// Stable identifiers for master-LP rows, used as lp::map_basis keys.  The
+/// top byte tags the row family so indices can never collide across
+/// families.
+namespace row_key {
+constexpr std::uint64_t linear(std::size_t index) {
+  return (1ULL << 56) | static_cast<std::uint64_t>(index);
+}
+constexpr std::uint64_t cut(std::uint64_t cut_id) { return (2ULL << 56) | cut_id; }
+constexpr std::uint64_t chord(std::size_t link_index) {
+  return (3ULL << 56) | static_cast<std::uint64_t>(link_index);
+}
+}  // namespace row_key
 
 /// A linear row over model variables, used for pooled cuts.
 struct CutRow {
   std::vector<std::pair<std::size_t, double>> terms;
   double lower = -lp::kInf;
   double upper = lp::kInf;
+  /// Stable, deterministic identity (assigned by the solver; see
+  /// branch_and_bound.cpp).  Feeds row_key::cut() for basis remapping and
+  /// keeps pool merges idempotent.
+  std::uint64_t id = 0;
+  /// For link tangents: the (link, point) dedup key.  -1 for other cuts.
+  int link = -1;
+  double point = 0.0;
 };
 
 /// Pool of globally valid linearizations.
@@ -34,20 +61,35 @@ class CutPool {
   /// Returns true if a cut was added.
   bool add_link_tangent(const Model& model,
                         const std::vector<Curvature>& curvature,
-                        std::size_t link_index, double point);
+                        std::size_t link_index, double point,
+                        std::uint64_t id = 0);
 
   /// OA cut for nonlinear constraint `nc_index` (convex g <= ub) at `x`:
   ///   g(x0) + grad g(x0) . (x - x0) <= ub.
   void add_nonlinear_cut(const Model& model, std::size_t nc_index,
-                         std::span<const double> x);
+                         std::span<const double> x, std::uint64_t id = 0);
+
+  /// True when a (numerically) identical tangent is already pooled.
+  bool has_link_tangent(std::size_t link_index, double point) const;
+
+  /// Merge another pool's rows into this one.  Link tangents that duplicate
+  /// an existing point are dropped; rows whose id is already present are
+  /// dropped (idempotent re-merge).  Returns the number of rows added.
+  /// Merge order is the delta's row order, so merging deltas in a fixed
+  /// sequence yields a deterministic pool.
+  std::size_t absorb(const CutPool& delta);
+
+  /// Deterministic aging: when the pool exceeds `max_rows`, drop the oldest
+  /// non-root cuts (root seed cuts -- id < 1<<16 -- are always kept) until
+  /// the size is back under the cap.  Called only at deterministic points
+  /// (epoch boundaries), so the pool contents never depend on thread count.
+  void age_to(std::size_t max_rows);
 
   const std::vector<CutRow>& rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }
 
  private:
   std::vector<CutRow> rows_;
-  // (link_index, point) pairs already linearized, for dedup.
-  std::vector<std::pair<std::size_t, double>> tangent_points_;
 };
 
 /// Resolve each link's curvature (declared or sampled over variable bounds).
@@ -58,15 +100,24 @@ std::vector<Curvature> resolve_curvatures(const Model& model);
 ///   For each link the node-local chord over [lo(n), up(n)] is added; when
 ///   the interval has closed (lo == up) the link variable t is pinned to the
 ///   exact fn value instead.
+///   `extra`, when non-null, is a second pool appended after `pool`'s rows
+///   (worker-local cuts not yet merged into the shared pool).
+///   `row_keys`, when non-null, receives one row_key per LP row in order,
+///   for lp::map_basis.
 [[nodiscard]] lp::LpProblem build_master_lp(
     const Model& model, const CutPool& pool,
     const std::vector<Curvature>& curvature,
-    std::span<const double> node_lower, std::span<const double> node_upper);
+    std::span<const double> node_lower, std::span<const double> node_upper,
+    const CutPool* extra = nullptr,
+    std::vector<std::uint64_t>* row_keys = nullptr);
 
 /// Completion solve: fix every integer variable to its (rounded) value in
 /// `x`, pin every link variable to the exact fn value, and re-solve the LP
 /// for the remaining continuous variables.  Returns the completed point and
 /// true objective, or nullopt if the fixed problem is infeasible.
+/// When `warm` is non-empty it is remapped (via `warm_keys`, the row keys of
+/// the LP it was captured on) onto the completion LP and used as a warm
+/// start.
 struct Completion {
   linalg::Vector x;
   double objective = 0.0;
@@ -74,6 +125,8 @@ struct Completion {
 std::optional<Completion> complete_integer_point(
     const Model& model, const CutPool& pool,
     const std::vector<Curvature>& curvature, std::span<const double> x,
-    std::span<const double> node_lower, std::span<const double> node_upper);
+    std::span<const double> node_lower, std::span<const double> node_upper,
+    const CutPool* extra = nullptr, const lp::Basis* warm = nullptr,
+    std::span<const std::uint64_t> warm_keys = {});
 
 }  // namespace hslb::minlp

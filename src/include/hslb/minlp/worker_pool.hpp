@@ -1,0 +1,68 @@
+// Fixed-size fork-join worker pool for epoch-parallel tree search.
+//
+// A deliberately small alternative to OpenMP for the solver's inner loop:
+// plain std::thread workers are ThreadSanitizer-friendly (no runtime false
+// positives) and let us propagate the calling thread's observability context
+// (obs::current_context()) into every worker, so counters bumped inside
+// worker-side LP solves land in the installed registry.
+//
+// run(count, fn) executes fn(0..count-1) across the pool; items are handed
+// out dynamically (atomic counter), which is safe for deterministic solves
+// because every item writes only its own result slot -- WHICH worker runs an
+// item never affects WHAT the item computes.  The calling thread
+// participates as worker 0, so a pool of size 1 adds no synchronization at
+// all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hslb/obs/obs.hpp"
+
+namespace hslb::minlp {
+
+class WorkerPool {
+ public:
+  /// `threads` = total participants including the calling thread; spawns
+  /// threads-1 helpers.  Captures the caller's obs context for the helpers.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run fn(i) for every i in [0, count); returns when all are done.  The
+  /// calling thread participates.  Not reentrant.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  int size() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  /// Items processed per worker (index 0 = calling thread), accumulated
+  /// across run() calls.  Only valid between run() calls.
+  const std::vector<long>& items_per_worker() const { return items_; }
+
+ private:
+  void helper_loop(std::size_t worker_index);
+  void drain(std::size_t worker_index, std::size_t count,
+             const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> helpers_;
+  std::vector<long> items_;
+  obs::Options obs_context_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hslb::minlp

@@ -6,8 +6,10 @@
 // Requests are *data only* -- no callbacks, no borrowed pointers -- so that
 // two requests asking the same question canonicalize to the same key no
 // matter how the caller assembled them.  Serving-time knobs that do not
-// change the answer (the queue deadline) are deliberately excluded from the
-// key; everything that feeds the solver is included.
+// change the answer (the queue deadline, the solver thread count -- the
+// solver's deterministic epoch scheme guarantees thread-count-invariant
+// answers) are deliberately excluded from the key; everything that can
+// change the solver's output is included.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +63,11 @@ struct AllocationRequest {
   /// not share a cache line.
   double max_wall_seconds = 0.0;
   long max_nodes = 2'000'000;  ///< B&B node budget (SolverOptions::max_nodes)
+  /// Worker threads for the MINLP solve (SolverOptions::threads); <= 0 picks
+  /// hardware concurrency.  NOT part of the cache key: the solver's epoch
+  /// scheme makes the answer byte-identical across thread counts, so
+  /// requests that differ only here can safely share a cache line.
+  int solver_threads = 1;
   /// Queue + wait deadline in seconds; <= 0 falls back to the service
   /// default.  A request still queued when it expires is shed with
   /// kDeadlineExceeded.  NOT part of the cache key: it bounds waiting, not

@@ -4,11 +4,27 @@
 // `a.x - s = 0, s in [rlo, rup]`, and Phase I adds one artificial column per
 // row with a +/-1 coefficient chosen so the artificial starts nonnegative.
 // The basis inverse is applied through a fresh LU factorization each pivot;
-// problems here are tiny (m <= ~60), so robustness wins over speed.
+// problems here are tiny (m <= ~60), so robustness wins over speed.  B and
+// B^T are singular together mathematically, but the absolute pivot
+// threshold can reject one orientation of a badly row-scaled basis while
+// accepting the other; wherever both orientations are needed, the
+// factorization of B is the authority and B^T systems fall back to
+// LuFactor::solve_transposed on it.
+//
+// Warm starts (resolve_from_basis) reuse a captured basis when it is still
+// complete and factorizable.  If the basis is also primal feasible, Phase I
+// is skipped outright; if not (the branch-and-bound norm: a child's bound
+// change or a new cut exists precisely to cut off the parent's optimum), a
+// dual-simplex repair phase pivots the violated basics out until the basis
+// is primal feasible again, and only then does Phase II run.  The repair
+// phase needs no dual-feasibility precondition for correctness: any valid
+// basis change sequence that ends primal feasible is a legitimate Phase-II
+// start, and its iteration cap sends everything else to the cold path.
 #include "hslb/lp/simplex.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "hslb/common/error.hpp"
 #include "hslb/linalg/factor.hpp"
@@ -22,6 +38,13 @@ using linalg::Matrix;
 using linalg::Vector;
 
 enum class VarStatus { kBasic, kAtLower, kAtUpper, kFree, kFixed };
+
+/// How a warm basis was absorbed into the working state.
+enum class WarmMode {
+  kCold,        ///< no usable warm data; all-artificial start
+  kReuse,       ///< warm basis primal feasible; Phase I skipped
+  kDualRepair,  ///< warm basis repaired by dual pivots; Phase I skipped
+};
 
 /// Full simplex working state over structural + slack + artificial columns.
 class Simplex {
@@ -57,28 +80,45 @@ class Simplex {
     init_basis();
   }
 
-  LpSolution run() {
+  LpSolution run(const Basis* warm) {
     LpSolution out;
 
-    // ---- Phase I: minimize the sum of artificial values. ----
-    Vector phase1_cost(total_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      phase1_cost[n_ + m_ + i] = 1.0;
+    // The Phase-II objective, also used to price the dual repair pivots.
+    Vector cost(total_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      cost[j] = problem_.cost()[j];
     }
-    const LpStatus st1 = optimize(phase1_cost);
-    if (st1 == LpStatus::kIterationLimit) {
-      out.status = st1;
-      out.iterations = iterations_;
-      return out;
+
+    WarmMode mode = WarmMode::kCold;
+    if (warm != nullptr && !warm->empty()) {
+      mode = prepare_warm(*warm, cost);
     }
-    double infeasibility = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) {
-      infeasibility += value_[n_ + m_ + i];
-    }
-    if (infeasibility > opts_.feasibility_tol * std::max<double>(1.0, static_cast<double>(m_))) {
-      out.status = LpStatus::kInfeasible;
-      out.iterations = iterations_;
-      return out;
+    out.warm_used = mode != WarmMode::kCold;
+    out.warm_phase1_skipped = mode != WarmMode::kCold;
+
+    if (mode == WarmMode::kCold) {
+      // ---- Phase I: minimize the sum of artificial values. ----
+      Vector phase1_cost(total_, 0.0);
+      for (std::size_t i = 0; i < m_; ++i) {
+        phase1_cost[n_ + m_ + i] = 1.0;
+      }
+      const LpStatus st1 = optimize(phase1_cost);
+      out.phase1_iterations = iterations_;
+      if (st1 == LpStatus::kIterationLimit) {
+        out.status = st1;
+        out.iterations = iterations_;
+        return out;
+      }
+      double infeasibility = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        infeasibility += value_[n_ + m_ + i];
+      }
+      if (infeasibility >
+          opts_.feasibility_tol * std::max<double>(1.0, static_cast<double>(m_))) {
+        out.status = LpStatus::kInfeasible;
+        out.iterations = iterations_;
+        return out;
+      }
     }
 
     // Freeze artificials at zero for Phase II.
@@ -92,10 +132,6 @@ class Simplex {
     }
 
     // ---- Phase II: the real objective. ----
-    Vector cost(total_, 0.0);
-    for (std::size_t j = 0; j < n_; ++j) {
-      cost[j] = problem_.cost()[j];
-    }
     const LpStatus st2 = optimize(cost);
     out.status = st2;
     out.iterations = iterations_;
@@ -104,6 +140,9 @@ class Simplex {
       out.objective = problem_.objective_offset();
       for (std::size_t j = 0; j < n_; ++j) {
         out.objective += problem_.cost()[j] * out.x[j];
+      }
+      if (opts_.capture_basis) {
+        capture_basis(out.basis);
       }
     }
     return out;
@@ -164,6 +203,289 @@ class Simplex {
     }
   }
 
+  /// Absorb a warm basis.  The warm basic set must be complete and
+  /// factorizable; if it is also primal feasible, Phase I is skipped
+  /// outright (kReuse), and if not, a dual-simplex repair phase pivots the
+  /// violated basics out (kDualRepair) -- the branch-and-bound norm, since
+  /// a child's bound change or a fresh cut exists precisely to cut off the
+  /// parent's optimum, at which the captured basis rests.  On any failure
+  /// the working state is reset to the cold all-artificial start.  (An
+  /// earlier revision fell back to a "crash" start that seeded Phase I from
+  /// the warm nonbasic placements; measured on the branch-and-bound
+  /// workload it *increased* Phase I pivots by ~50% -- after branching the
+  /// parent's resting point is exactly the vertex the child excludes -- so
+  /// the fallback is now a clean cold start.)
+  WarmMode prepare_warm(const Basis& warm, const Vector& phase2_cost) {
+    if (warm.cols.size() != n_ || warm.row_slacks.size() != m_) {
+      return WarmMode::kCold;
+    }
+    std::vector<std::size_t> candidates;
+    candidates.reserve(m_);
+    for (std::size_t j = 0; j < n_ + m_; ++j) {
+      const BasisStatus s =
+          j < n_ ? warm.cols[j] : warm.row_slacks[j - n_];
+      switch (s) {
+        case BasisStatus::kBasic:
+          candidates.push_back(j);
+          break;
+        case BasisStatus::kAtLower:
+          if (std::isfinite(lower_[j]) && lower_[j] != upper_[j]) {
+            status_[j] = VarStatus::kAtLower;
+            value_[j] = lower_[j];
+          }
+          break;
+        case BasisStatus::kAtUpper:
+          if (std::isfinite(upper_[j]) && lower_[j] != upper_[j]) {
+            status_[j] = VarStatus::kAtUpper;
+            value_[j] = upper_[j];
+          }
+          break;
+        case BasisStatus::kFree:
+          if (!std::isfinite(lower_[j]) && !std::isfinite(upper_[j])) {
+            status_[j] = VarStatus::kFree;
+            value_[j] = 0.0;
+          }
+          break;
+        case BasisStatus::kFixed:
+        case BasisStatus::kUnset:
+          break;  // keep the constructor's resting placement
+      }
+    }
+
+    if (candidates.size() == m_) {
+      basis_ = candidates;
+      for (const std::size_t c : candidates) {
+        status_[c] = VarStatus::kBasic;
+      }
+      // Artificials out of the basis, resting at zero.
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t a = n_ + m_ + i;
+        status_[a] = VarStatus::kAtLower;
+        value_[a] = 0.0;
+      }
+      if (const auto lu = factor_basis()) {
+        // Require both orientations to factor before accepting the basis:
+        // a warm basis that only factors as B is too ill-conditioned to
+        // price reliably (see dual_repair), so it goes to the cold start.
+        Matrix bt(m_, m_);
+        for (std::size_t i = 0; i < m_; ++i) {
+          for (std::size_t k = 0; k < m_; ++k) {
+            bt(i, k) = coeff(k, basis_[i]);
+          }
+        }
+        if (LuFactor::compute(bt).has_value()) {
+          refresh_basics(*lu);
+          if (basics_feasible()) {
+            return WarmMode::kReuse;
+          }
+          if (dual_repair(phase2_cost)) {
+            return WarmMode::kDualRepair;
+          }
+        }
+      }
+    }
+    // No reuse: rebuild the cold start from scratch (the scan above and a
+    // failed repair may have moved placements and the basis around).
+    for (std::size_t j = 0; j < total_; ++j) {
+      init_nonbasic(j);
+    }
+    init_basis();
+    return WarmMode::kCold;
+  }
+
+  bool basics_feasible() const {
+    // Absolute tolerance: Phase II never pulls a basic back inside its
+    // bound (the ratio test only blocks further excursions), so any slack
+    // granted here survives to the reported vertex.  A relative tolerance
+    // was measured to let values ~1e4 sit ~1e-3 outside their bounds,
+    // yielding super-optimal LP bounds that stall branch-and-bound pruning.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t bj = basis_[i];
+      const double v = value_[bj];
+      if (v < lower_[bj] - opts_.feasibility_tol ||
+          v > upper_[bj] + opts_.feasibility_tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Dual-simplex repair for the warm path: starting from a complete,
+  /// factorizable basis whose basic values violate their bounds, pivot the
+  /// most-violated basic out to its nearest bound and bring in the nonbasic
+  /// column winning the dual ratio test (|reduced cost| / |pivot|, priced
+  /// against the Phase-II objective), until every basic value is within
+  /// bounds.  Correctness does not rest on the pricing: any valid basis
+  /// change sequence that ends primal feasible is a legitimate Phase-II
+  /// start, so a stall, a singular basis, or the iteration cap simply
+  /// reports failure and the caller falls back to the cold start.  All
+  /// choices tie-break on the smallest index, so the repair is
+  /// deterministic.
+  bool dual_repair(const Vector& cost) {
+    // A repair that has not restored feasibility within ~m pivots is
+    // churning on degeneracy; the cold start is cheaper than letting it
+    // run (measured: pathological repairs averaged ~200 pivots under a
+    // 20m cap where a cold solve takes ~40).
+    const int cap = std::min(opts_.max_iterations - iterations_,
+                             static_cast<int>(m_) + 10);
+    // Stricter than the primal ratio test's 1e-9: a tiny repair pivot
+    // leaves a near-singular basis that Phase II inherits.  Refusing the
+    // pivot bails to the cold start instead.
+    const double pivot_tol = 1e-7;
+    for (int it = 0;; ++it) {
+      const auto lu = factor_basis();
+      if (!lu) {
+        return false;
+      }
+      refresh_basics(*lu);
+
+      // Leaving row: the most-violated basic (smallest row on ties).
+      std::ptrdiff_t r = -1;
+      bool above = false;
+      double worst = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t bj = basis_[i];
+        const double v = value_[bj];
+        // Absolute tolerance, matching basics_feasible(): the repair must
+        // hand Phase II a vertex whose residual violations are too small
+        // to show up in the objective.
+        if (v < lower_[bj] - opts_.feasibility_tol && lower_[bj] - v > worst) {
+          worst = lower_[bj] - v;
+          r = static_cast<std::ptrdiff_t>(i);
+          above = false;
+        } else if (v > upper_[bj] + opts_.feasibility_tol &&
+                   v - upper_[bj] > worst) {
+          worst = v - upper_[bj];
+          r = static_cast<std::ptrdiff_t>(i);
+          above = true;
+        }
+      }
+      // Row r of B^{-1}A and the duals, via one factorization of B^T.
+      // Factored before the feasibility exit so success also certifies a
+      // well-conditioned basis in both orientations: repairs that end on a
+      // basis B^T refuses to factor were measured to leave Phase II at
+      // slightly sub-optimal vertices, whose too-low bounds then stall
+      // branch-and-bound pruning.  Bailing to the cold start is cheaper.
+      Matrix bt(m_, m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        for (std::size_t k = 0; k < m_; ++k) {
+          bt(i, k) = coeff(k, basis_[i]);
+        }
+      }
+      const auto lut = LuFactor::compute(bt);
+      if (!lut) {
+        return false;
+      }
+      if (r < 0) {
+        return true;  // primal feasible: ready for Phase II
+      }
+      if (it >= cap) {
+        return false;
+      }
+      Vector er(m_, 0.0);
+      er[static_cast<std::size_t>(r)] = 1.0;
+      const Vector w = lut->solve(er);
+      Vector cb(m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        cb[i] = cost[basis_[i]];
+      }
+      const Vector y = lut->solve(cb);
+
+      // Entering column: the leaving basic must move toward its violated
+      // bound, which fixes the sign of the pivot element each nonbasic may
+      // contribute.  Artificials never re-enter.
+      std::size_t entering = total_;
+      double best_ratio = kInf;
+      double best_alpha = 0.0;
+      for (std::size_t j = 0; j < n_ + m_; ++j) {
+        const VarStatus st = status_[j];
+        if (st == VarStatus::kBasic || st == VarStatus::kFixed) {
+          continue;
+        }
+        double alpha = 0.0;
+        double d = cost[j];
+        for (std::size_t i = 0; i < m_; ++i) {
+          const double a = coeff(i, j);
+          if (a != 0.0) {
+            alpha += w[i] * a;
+            d -= y[i] * a;
+          }
+        }
+        if (std::fabs(alpha) <= pivot_tol) {
+          continue;
+        }
+        // x_Br moves by -alpha * dj_step.  To DECREASE x_Br (above its
+        // upper bound) an at-lower column needs alpha > 0 (it can only
+        // increase) and an at-upper column alpha < 0; mirrored when x_Br
+        // must increase.  Free columns may move either way.
+        bool eligible = st == VarStatus::kFree;
+        if (!eligible && st == VarStatus::kAtLower) {
+          eligible = above ? alpha > 0.0 : alpha < 0.0;
+        }
+        if (!eligible && st == VarStatus::kAtUpper) {
+          eligible = above ? alpha < 0.0 : alpha > 0.0;
+        }
+        if (!eligible) {
+          continue;
+        }
+        const double ratio = std::fabs(d) / std::fabs(alpha);
+        // Stability tie-break: among (near-)equal ratios take the largest
+        // pivot element.  Strict >, so exact ties keep the smallest index
+        // and the repair stays deterministic.
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && std::fabs(alpha) > best_alpha)) {
+          best_ratio = std::min(best_ratio, ratio);
+          best_alpha = std::fabs(alpha);
+          entering = j;
+        }
+      }
+      if (entering == total_) {
+        return false;  // no eligible pivot: likely primal infeasible
+      }
+
+      const std::size_t out_var = basis_[static_cast<std::size_t>(r)];
+      status_[out_var] = above ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      value_[out_var] = above ? upper_[out_var] : lower_[out_var];
+      basis_[static_cast<std::size_t>(r)] = entering;
+      status_[entering] = VarStatus::kBasic;
+      ++iterations_;
+    }
+  }
+
+  /// Read the final statuses into a reusable Basis.  A basis that still
+  /// contains an artificial (degenerate Phase-I leftover) is not reusable
+  /// and is reported as empty.
+  void capture_basis(Basis& out) const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (status_[n_ + m_ + i] == VarStatus::kBasic) {
+        return;
+      }
+    }
+    const auto to_basis = [](VarStatus s) {
+      switch (s) {
+        case VarStatus::kBasic:
+          return BasisStatus::kBasic;
+        case VarStatus::kAtLower:
+          return BasisStatus::kAtLower;
+        case VarStatus::kAtUpper:
+          return BasisStatus::kAtUpper;
+        case VarStatus::kFree:
+          return BasisStatus::kFree;
+        case VarStatus::kFixed:
+          return BasisStatus::kFixed;
+      }
+      return BasisStatus::kUnset;
+    };
+    out.cols.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      out.cols[j] = to_basis(status_[j]);
+    }
+    out.row_slacks.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      out.row_slacks[i] = to_basis(status_[n_ + i]);
+    }
+  }
+
   /// Recompute basic variable values from the nonbasic resting values:
   /// solve B x_B = -N x_N  (the rhs of every row is zero).
   bool refresh_basics(const LuFactor& lu) {
@@ -206,24 +528,35 @@ class Simplex {
       const bool bland = phase_iterations > bland_threshold;
 
       auto lu = factor_basis();
-      HSLB_ASSERT(lu.has_value(), "singular simplex basis");
+      if (!lu.has_value()) {
+        // A cold start never produces this (asserted by the caller); a
+        // warm-started trajectory can pivot into a numerically singular
+        // basis, and the caller then retries the whole solve cold.
+        numeric_failure_ = true;
+        return LpStatus::kIterationLimit;
+      }
       refresh_basics(*lu);
 
-      // Pricing: y = B^{-T} c_B, then reduced costs on nonbasics.
+      // Pricing: y = B^{-T} c_B, then reduced costs on nonbasics.  B^T is
+      // factored directly when it can be, but an absolute pivot threshold
+      // can declare B^T singular even though B factored fine: a badly
+      // scaled cut row (tiny coefficients) is a tiny *column* of B^T.  The
+      // two orientations are singular together mathematically, so in that
+      // case the pricing system is solved through the factorization of B
+      // instead of failing the solve.
       Vector cb(m_);
       for (std::size_t i = 0; i < m_; ++i) {
         cb[i] = cost[basis_[i]];
       }
-      // Solve B^T y = c_B by factoring B^T (m is tiny; clarity first).
       Matrix bt(m_, m_);
       for (std::size_t i = 0; i < m_; ++i) {
         for (std::size_t k = 0; k < m_; ++k) {
           bt(i, k) = coeff(k, basis_[i]);
         }
       }
-      auto lut = LuFactor::compute(bt);
-      HSLB_ASSERT(lut.has_value(), "singular transposed simplex basis");
-      const Vector y = lut->solve(cb);
+      const auto lut = LuFactor::compute(bt);
+      const Vector y = lut.has_value() ? lut->solve(cb)
+                                       : lu->solve_transposed(cb);
 
       std::size_t entering = total_;
       int direction = 0;  // +1 increase, -1 decrease
@@ -341,6 +674,12 @@ class Simplex {
     }
   }
 
+ public:
+  /// True when a pivot reached a numerically singular basis.  Possible only
+  /// on warm-started trajectories; the caller retries the solve cold.
+  bool numeric_failure() const { return numeric_failure_; }
+
+ private:
   const LpProblem& problem_;
   SimplexOptions opts_;
   std::size_t n_ = 0;      // structural columns
@@ -351,7 +690,51 @@ class Simplex {
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
   int iterations_ = 0;
+  bool numeric_failure_ = false;
 };
+
+LpSolution solve_impl(const LpProblem& problem, const SimplexOptions& options,
+                      const Basis* warm) {
+  if (problem.num_vars() == 0) {
+    LpSolution out;
+    out.status = LpStatus::kOptimal;
+    out.objective = problem.objective_offset();
+    return out;
+  }
+  // Reject inconsistent fixed bounds early (the simplex would report them as
+  // Phase-I infeasible anyway, but this gives a crisper answer).
+  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+    if (problem.col_lower()[j] > problem.col_upper()[j]) {
+      LpSolution out;
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+  }
+  Simplex simplex(problem, options);
+  LpSolution out = simplex.run(warm);
+  if (simplex.numeric_failure()) {
+    // Only a warm-started trajectory can pivot into a singular basis; for a
+    // cold solve this is a genuine invariant violation.
+    HSLB_ASSERT(warm != nullptr && !warm->empty(), "singular simplex basis");
+    Simplex retry(problem, options);
+    out = retry.run(nullptr);
+    HSLB_ASSERT(!retry.numeric_failure(), "singular simplex basis");
+  }
+  // Counters only (no span): B&B issues thousands of tiny LP solves and a
+  // span per solve would swamp the trace.
+  if (obs::Registry* metrics = obs::current_metrics()) {
+    metrics->counter("lp.simplex.solves").add(1.0);
+    metrics->counter("lp.simplex.pivots")
+        .add(static_cast<double>(out.iterations));
+    if (out.warm_used) {
+      metrics->counter("lp.simplex.warm_solves").add(1.0);
+      if (out.warm_phase1_skipped) {
+        metrics->counter("lp.simplex.warm_phase1_skips").add(1.0);
+      }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -369,32 +752,39 @@ const char* to_string(LpStatus status) {
   return "unknown";
 }
 
-LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
-  if (problem.num_vars() == 0) {
-    LpSolution out;
-    out.status = LpStatus::kOptimal;
-    out.objective = problem.objective_offset();
-    return out;
+Basis map_basis(const Basis& from, std::span<const std::uint64_t> from_keys,
+                std::span<const std::uint64_t> to_keys) {
+  Basis out;
+  out.cols = from.cols;
+  // Rows with no match in the source basis are NEW rows: their slack enters
+  // the basis (the textbook basis extension).  If the new row holds at the
+  // warm point the extended basis is still primal feasible and Phase I is
+  // skipped; if it cuts the point off, prepare_warm's feasibility check
+  // rejects the basis and the solve falls back to a cold start.  kUnset here
+  // would instead leave the basis short one member and force the cold path
+  // for every added cut.
+  out.row_slacks.assign(to_keys.size(), BasisStatus::kBasic);
+  std::unordered_map<std::uint64_t, BasisStatus> by_key;
+  const std::size_t known = std::min(from_keys.size(), from.row_slacks.size());
+  by_key.reserve(known);
+  for (std::size_t i = 0; i < known; ++i) {
+    by_key.emplace(from_keys[i], from.row_slacks[i]);  // first wins
   }
-  // Reject inconsistent fixed bounds early (the simplex would report them as
-  // Phase-I infeasible anyway, but this gives a crisper answer).
-  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
-    if (problem.col_lower()[j] > problem.col_upper()[j]) {
-      LpSolution out;
-      out.status = LpStatus::kInfeasible;
-      return out;
+  for (std::size_t i = 0; i < to_keys.size(); ++i) {
+    if (const auto it = by_key.find(to_keys[i]); it != by_key.end()) {
+      out.row_slacks[i] = it->second;
     }
   }
-  Simplex simplex(problem, options);
-  LpSolution out = simplex.run();
-  // Counters only (no span): B&B issues thousands of tiny LP solves and a
-  // span per solve would swamp the trace.
-  if (obs::Registry* metrics = obs::current_metrics()) {
-    metrics->counter("lp.simplex.solves").add(1.0);
-    metrics->counter("lp.simplex.pivots")
-        .add(static_cast<double>(out.iterations));
-  }
   return out;
+}
+
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
+  return solve_impl(problem, options, nullptr);
+}
+
+LpSolution resolve_from_basis(const LpProblem& problem, const Basis& warm,
+                              const SimplexOptions& options) {
+  return solve_impl(problem, options, &warm);
 }
 
 }  // namespace hslb::lp

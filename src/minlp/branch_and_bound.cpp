@@ -1,9 +1,24 @@
+// Deterministic epoch-parallel LP/NLP-based branch-and-bound.
+//
+// Parallel scheme (see DESIGN.md "Parallel solve"): the search advances in
+// epochs.  Each epoch pops up to SolverOptions::epoch_batch nodes from the
+// heap in deterministic order, evaluates them in parallel against an
+// immutable snapshot of the cut pool and the cutoff, and merges the results
+// (incumbents, cuts, children, stats) back in batch order on the main
+// thread.  Node evaluation is a pure function of (node, snapshot, options),
+// so the incumbent, bound, and every deterministic stat are byte-identical
+// across thread counts and runs; `threads` only changes wall time.
+// epoch_batch == 1 reproduces the classic serial node loop exactly.
 #include "hslb/minlp/branch_and_bound.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <cstdint>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <thread>
+#include <tuple>
 
 #include "hslb/common/error.hpp"
 #include "hslb/common/timing.hpp"
@@ -11,6 +26,7 @@
 #include "hslb/obs/obs.hpp"
 #include "hslb/minlp/presolve.hpp"
 #include "hslb/minlp/relaxation.hpp"
+#include "hslb/minlp/worker_pool.hpp"
 #include "hslb/nlp/barrier.hpp"
 
 namespace hslb::minlp {
@@ -23,49 +39,97 @@ struct Node {
   Vector upper;
   double bound = -lp::kInf;  // inherited LP bound (valid lower bound)
   int depth = 0;
+  /// Stable ID, assigned in merge order at push time (root = 0).  Ties the
+  /// heap order, names the node's cuts, and is thread-count independent.
+  std::uint64_t id = 0;
+  /// Parent's final simplex basis + the row keys of the LP it was captured
+  /// on, for warm-starting this node's first LP solve.
+  lp::Basis warm;
+  std::vector<std::uint64_t> warm_keys;
 };
 
-/// Open-node container honoring the selection policy.
+/// Open-node container honoring the selection policy: a binary heap ordered
+/// by (bound, id) for best-bound / by id (LIFO) for depth-first, plus a
+/// multiset of open bounds so best_open_bound() is O(1) instead of the old
+/// linear scan per gap report.
 class NodeQueue {
  public:
   explicit NodeQueue(NodeSelection selection) : selection_(selection) {}
 
-  void push(Node node) { nodes_.push_back(std::move(node)); }
-  bool empty() const { return nodes_.empty(); }
-  std::size_t size() const { return nodes_.size(); }
+  /// Comparator for std::push_heap: "a has lower priority than b".
+  auto lower_priority() const {
+    const NodeSelection sel = selection_;
+    return [sel](const Node& a, const Node& b) {
+      if (sel == NodeSelection::kBestBound) {
+        // Min (bound, id): older nodes win ties for reproducibility.
+        return std::tie(a.bound, a.id) > std::tie(b.bound, b.id);
+      }
+      return a.id < b.id;  // depth-first: newest node first (LIFO)
+    };
+  }
+
+  void push(Node node) {
+    bounds_.insert(node.bound);
+    heap_.push_back(std::move(node));
+    std::push_heap(heap_.begin(), heap_.end(), lower_priority());
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   Node pop() {
-    HSLB_ASSERT(!nodes_.empty(), "pop from empty node queue");
-    std::size_t pick = nodes_.size() - 1;  // depth-first: LIFO
-    if (selection_ == NodeSelection::kBestBound) {
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].bound < nodes_[pick].bound) {
-          pick = i;
-        }
-      }
-    }
-    Node node = std::move(nodes_[pick]);
-    nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(pick));
+    HSLB_ASSERT(!heap_.empty(), "pop from empty node queue");
+    std::pop_heap(heap_.begin(), heap_.end(), lower_priority());
+    Node node = std::move(heap_.back());
+    heap_.pop_back();
+    bounds_.erase(bounds_.find(node.bound));
     return node;
   }
 
-  /// Smallest bound among open nodes (-inf when empty is not meaningful).
-  double best_open_bound() const {
-    double best = lp::kInf;
-    for (const Node& n : nodes_) {
-      best = std::min(best, n.bound);
+  /// Remove and return the deepest open node (max (depth, id)).  Epoch
+  /// batches mix these "dive" picks with the configured selection: a batch
+  /// shares one immutable snapshot, so pure best-bound batches would spend
+  /// every slot widening the frontier while the incumbent -- the thing that
+  /// prunes the frontier -- only ever arrives at the end of a deep chain.
+  /// Linear scan + re-heapify; epoch batches are small and nodes cost LPs.
+  Node pop_deepest() {
+    HSLB_ASSERT(!heap_.empty(), "pop from empty node queue");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (std::tie(heap_[i].depth, heap_[i].id) >
+          std::tie(heap_[best].depth, heap_[best].id)) {
+        best = i;
+      }
     }
-    return best;
+    Node node = std::move(heap_[best]);
+    heap_.erase(heap_.begin() + static_cast<std::ptrdiff_t>(best));
+    std::make_heap(heap_.begin(), heap_.end(), lower_priority());
+    bounds_.erase(bounds_.find(node.bound));
+    return node;
+  }
+
+  /// Smallest bound among open nodes (+inf when empty).
+  double best_open_bound() const {
+    return bounds_.empty() ? lp::kInf : *bounds_.begin();
   }
 
   /// Drop nodes whose bound cannot beat the incumbent.
   void prune_above(double cutoff) {
-    std::erase_if(nodes_, [cutoff](const Node& n) { return n.bound >= cutoff; });
+    const std::size_t before = heap_.size();
+    std::erase_if(heap_, [cutoff](const Node& n) { return n.bound >= cutoff; });
+    if (heap_.size() != before) {
+      std::make_heap(heap_.begin(), heap_.end(), lower_priority());
+      bounds_.clear();
+      for (const Node& n : heap_) {
+        bounds_.insert(n.bound);
+      }
+    }
   }
 
  private:
   NodeSelection selection_;
-  std::deque<Node> nodes_;
+  std::vector<Node> heap_;
+  std::multiset<double> bounds_;
 };
 
 /// Geometric (log-spaced when possible) tangent seed points on [lo, hi].
@@ -249,7 +313,13 @@ struct SolveMetrics {
   obs::Counter* pruned_bound = nullptr;
   obs::Counter* pruned_infeasible = nullptr;
   obs::Counter* lp_seconds = nullptr;
+  obs::Counter* epochs = nullptr;
+  obs::Counter* warm_lp_solves = nullptr;
+  obs::Counter* warm_phase1_skips = nullptr;
+  obs::Counter* warm_iterations = nullptr;
+  obs::Counter* cold_iterations = nullptr;
   obs::Histogram* lp_solve_ms = nullptr;
+  obs::Histogram* epoch_batch = nullptr;
 
   explicit SolveMetrics(obs::Registry* registry) {
     if (registry == nullptr) {
@@ -262,9 +332,260 @@ struct SolveMetrics {
     pruned_bound = &registry->counter("minlp.pruned.bound");
     pruned_infeasible = &registry->counter("minlp.pruned.infeasible");
     lp_seconds = &registry->counter("minlp.lp_seconds");
+    epochs = &registry->counter("minlp.epochs");
+    warm_lp_solves = &registry->counter("minlp.lp_solves.warm");
+    warm_phase1_skips = &registry->counter("minlp.lp_solves.warm_phase1_skip");
+    warm_iterations = &registry->counter("minlp.simplex_iterations.warm");
+    cold_iterations = &registry->counter("minlp.simplex_iterations.cold");
     lp_solve_ms = &registry->histogram("minlp.lp_solve_ms");
+    epoch_batch = &registry->histogram("minlp.epoch_batch");
   }
 };
+
+/// Everything one node evaluation produces, merged on the main thread in
+/// batch order.  Filling this is a pure function of (node, pool snapshot,
+/// cutoff snapshot, options) -- no shared mutable state -- which is what
+/// makes the parallel search deterministic.
+struct NodeResult {
+  bool pruned_by_bound = false;
+  bool pruned_infeasible = false;
+  bool unbounded = false;
+  double bound = -lp::kInf;
+  std::vector<Node> children;  // ids assigned at merge time
+  CutPool cuts;                // worker-local cuts, deterministic ids
+  std::optional<Completion> completion;
+  long lp_solves = 0;
+  long simplex_iterations = 0;
+  long warm_lp_solves = 0;
+  long warm_phase1_skips = 0;
+  long warm_simplex_iterations = 0;
+  long cold_simplex_iterations = 0;
+  double lp_seconds = 0.0;
+  std::vector<double> lp_solve_ms;  // per-LP wall times (metrics only)
+};
+
+/// Evaluate one node against the epoch snapshot: cut rounds on the master
+/// LP, branching, and incumbent-candidate completion.  Reads the shared cut
+/// pool and the model, writes only its own NodeResult.
+NodeResult process_node(const Model& model, const SolverOptions& opts,
+                        const std::vector<Curvature>& curvature,
+                        const CutPool& pool, double cutoff_snapshot,
+                        Node node) {
+  NodeResult r;
+  if (node.bound >= cutoff_snapshot) {
+    r.pruned_by_bound = true;
+    return r;
+  }
+
+  std::uint64_t cut_seq = 0;
+  const std::uint64_t cut_base = (node.id + 1) << 16;
+  lp::Basis warm = std::move(node.warm);
+  std::vector<std::uint64_t> warm_keys = std::move(node.warm_keys);
+  lp::SimplexOptions lp_opts;
+  lp_opts.capture_basis = opts.warm_start_lp;
+  std::vector<std::uint64_t> keys;
+
+  const auto inherit = [&](Node&& child) {
+    child.depth = node.depth + 1;
+    if (opts.warm_start_lp) {
+      child.warm = warm;
+      child.warm_keys = warm_keys;
+    }
+    r.children.push_back(std::move(child));
+  };
+
+  for (int round = 0; round <= opts.cut_rounds_per_node; ++round) {
+    const lp::LpProblem master =
+        build_master_lp(model, pool, curvature, node.lower, node.upper,
+                        &r.cuts, opts.warm_start_lp ? &keys : nullptr);
+    common::WallTimer lp_timer;
+    lp::LpSolution sol;
+    if (opts.warm_start_lp && !warm.empty()) {
+      sol = lp::resolve_from_basis(
+          master, lp::map_basis(warm, warm_keys, keys), lp_opts);
+    } else {
+      sol = lp::solve(master, lp_opts);
+    }
+    const double lp_elapsed = lp_timer.seconds();
+    r.lp_seconds += lp_elapsed;
+    r.lp_solve_ms.push_back(lp_elapsed * 1e3);
+    ++r.lp_solves;
+    r.simplex_iterations += sol.iterations;
+    if (sol.warm_used) {
+      ++r.warm_lp_solves;
+      r.warm_simplex_iterations += sol.iterations;
+      if (sol.warm_phase1_skipped) {
+        ++r.warm_phase1_skips;
+      }
+    } else {
+      r.cold_simplex_iterations += sol.iterations;
+    }
+
+    if (sol.status == lp::LpStatus::kInfeasible) {
+      r.pruned_infeasible = true;
+      break;
+    }
+    if (sol.status == lp::LpStatus::kUnbounded) {
+      r.unbounded = true;
+      break;
+    }
+    HSLB_ASSERT(sol.status == lp::LpStatus::kOptimal,
+                "unexpected LP status in branch-and-bound");
+    if (opts.warm_start_lp && !sol.basis.empty()) {
+      warm = sol.basis;
+      warm_keys = keys;
+    }
+    node.bound = std::max(node.bound, sol.objective);
+    if (node.bound >= cutoff_snapshot) {
+      break;
+    }
+
+    // Branch on SOS violation first (when enabled).
+    if (opts.use_sos_branching) {
+      const std::ptrdiff_t s = violated_sos(model, sol.x, opts.integer_tol);
+      if (s >= 0) {
+        const Sos1Set& set = model.sos1_sets()[static_cast<std::size_t>(s)];
+        double position = 0.0;
+        for (std::size_t k = 0; k < set.vars.size(); ++k) {
+          position += set.weights[k] * sol.x[set.vars[k]];
+        }
+        // Partition members by weight around the weighted position.
+        std::vector<std::size_t> left;
+        std::vector<std::size_t> right;
+        for (std::size_t k = 0; k < set.vars.size(); ++k) {
+          (set.weights[k] <= position ? left : right).push_back(set.vars[k]);
+        }
+        if (left.empty() || right.empty()) {
+          // Degenerate partition; split at the median member instead.
+          left.clear();
+          right.clear();
+          for (std::size_t k = 0; k < set.vars.size(); ++k) {
+            (k < set.vars.size() / 2 ? left : right).push_back(set.vars[k]);
+          }
+        }
+        Node child_a = node;    // zero out the right part
+        Node child_b = node;    // zero out the left part
+        for (const std::size_t v : right) {
+          child_a.upper[v] = 0.0;
+        }
+        for (const std::size_t v : left) {
+          child_b.upper[v] = 0.0;
+        }
+        inherit(std::move(child_a));
+        inherit(std::move(child_b));
+        break;
+      }
+    }
+
+    // Then on fractional integer variables.
+    const Fractionality frac = most_fractional(model, sol.x, opts.integer_tol);
+    if (frac.var >= 0) {
+      const auto j = static_cast<std::size_t>(frac.var);
+      Node down = node;
+      Node up = node;
+      down.upper[j] = std::floor(sol.x[j]);
+      up.lower[j] = std::ceil(sol.x[j]);
+      if (down.lower[j] <= down.upper[j]) {
+        inherit(std::move(down));
+      }
+      if (up.lower[j] <= up.upper[j]) {
+        inherit(std::move(up));
+      }
+      break;
+    }
+
+    // Integral (and SOS-feasible) master solution: lazily tighten the
+    // linearization where the true nonlinearities are violated.
+    bool added_cut = false;
+    for (std::size_t ci = 0; ci < model.nonlinear_constraints().size(); ++ci) {
+      const NonlinearConstraint& c = model.nonlinear_constraints()[ci];
+      const double g = expr::eval(c.g, sol.x);
+      if (g > c.upper + 1e-7 * std::max(1.0, std::fabs(c.upper))) {
+        r.cuts.add_nonlinear_cut(model, ci, sol.x, cut_base | cut_seq);
+        ++cut_seq;
+        added_cut = true;
+      }
+    }
+    for (std::size_t li = 0; li < model.links().size(); ++li) {
+      const UnivariateLink& link = model.links()[li];
+      const double t = sol.x[link.t_var];
+      const double f = link.fn.value(sol.x[link.n_var]);
+      const double tol = 1e-7 * std::max(1.0, std::fabs(f));
+      const bool below = t < f - tol;
+      const bool above = t > f + tol;
+      if ((curvature[li] == Curvature::kConvex && below) ||
+          (curvature[li] == Curvature::kConcave && above)) {
+        if (!pool.has_link_tangent(li, sol.x[link.n_var]) &&
+            r.cuts.add_link_tangent(model, curvature, li, sol.x[link.n_var],
+                                    cut_base | cut_seq)) {
+          ++cut_seq;
+          added_cut = true;
+        }
+      }
+    }
+    if (added_cut && round < opts.cut_rounds_per_node) {
+      continue;  // re-solve this node against the tightened master
+    }
+
+    // Candidate: complete the integer point to a true feasible solution.
+    r.completion = complete_integer_point(
+        model, pool, curvature, sol.x, node.lower, node.upper, &r.cuts,
+        opts.warm_start_lp ? &warm : nullptr, warm_keys);
+    ++r.lp_solves;
+
+    const double gap_here =
+        r.completion ? r.completion->objective - node.bound : lp::kInf;
+    if (r.completion &&
+        gap_here <= std::max(1e-9, opts.rel_gap *
+                                       std::fabs(r.completion->objective))) {
+      break;  // node solved exactly
+    }
+
+    // The relaxation still under-estimates this node (chord gap on the
+    // "t <= fn" side, or the completion is infeasible).  Branch spatially
+    // on the link variable with the largest chord error.
+    std::ptrdiff_t branch_var = -1;
+    double worst_err = 1e-7;
+    for (const UnivariateLink& link : model.links()) {
+      const double width = node.upper[link.n_var] - node.lower[link.n_var];
+      if (width < 1.0) {
+        continue;
+      }
+      const double err =
+          std::fabs(sol.x[link.t_var] - link.fn.value(sol.x[link.n_var]));
+      if (err > worst_err) {
+        worst_err = err;
+        branch_var = static_cast<std::ptrdiff_t>(link.n_var);
+      }
+    }
+    if (branch_var < 0) {
+      // No refinable link interval left: pick any unfixed integer so the
+      // children eventually close every interval.
+      for (const UnivariateLink& link : model.links()) {
+        if (node.upper[link.n_var] - node.lower[link.n_var] >= 1.0) {
+          branch_var = static_cast<std::ptrdiff_t>(link.n_var);
+          break;
+        }
+      }
+    }
+    if (branch_var < 0) {
+      break;  // node fully resolved; nothing better inside
+    }
+    const auto j = static_cast<std::size_t>(branch_var);
+    const double split =
+        std::clamp(std::round(sol.x[j]), node.lower[j], node.upper[j] - 1.0);
+    Node left = node;
+    Node right = node;
+    left.upper[j] = split;
+    right.lower[j] = split + 1.0;
+    inherit(std::move(left));
+    inherit(std::move(right));
+    break;
+  }
+
+  r.bound = node.bound;
+  return r;
+}
 
 }  // namespace
 
@@ -358,14 +679,16 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     }
   }
 
-  // --- Seed the cut pool. ---------------------------------------------------
+  // --- Seed the cut pool (root cuts: ids below 1<<16, never aged out). ------
   CutPool pool;
+  std::uint64_t root_cut_seq = 0;
   for (std::size_t li = 0; li < model.links().size(); ++li) {
     const UnivariateLink& link = model.links()[li];
     for (const double p :
          seed_points(root_lower[link.n_var], root_upper[link.n_var],
                      opts.initial_tangents_per_link)) {
-      if (pool.add_link_tangent(model, curvature, li, p)) {
+      if (pool.add_link_tangent(model, curvature, li, p, root_cut_seq)) {
+        ++root_cut_seq;
         ++stats.cuts_added;
       }
     }
@@ -375,22 +698,27 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     if (const auto x_nlp = solve_root_nlp(model, stats)) {
       for (std::size_t li = 0; li < model.links().size(); ++li) {
         if (pool.add_link_tangent(model, curvature, li,
-                                  (*x_nlp)[model.links()[li].n_var])) {
+                                  (*x_nlp)[model.links()[li].n_var],
+                                  root_cut_seq)) {
+          ++root_cut_seq;
           ++stats.cuts_added;
         }
       }
       for (std::size_t ci = 0; ci < model.nonlinear_constraints().size();
            ++ci) {
-        pool.add_nonlinear_cut(model, ci, *x_nlp);
+        pool.add_nonlinear_cut(model, ci, *x_nlp, root_cut_seq);
+        ++root_cut_seq;
         ++stats.cuts_added;
       }
     }
   }
 
-  // --- Branch and bound. ------------------------------------------------------
+  // --- Branch and bound (epoch-parallel; see file comment). ------------------
   Node root;
   root.lower = root_lower;
   root.upper = root_upper;
+  root.id = 0;
+  std::uint64_t next_node_id = 1;
 
   NodeQueue queue(opts.node_selection);
   queue.push(std::move(root));
@@ -409,6 +737,19 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     return incumbent_obj - gap;
   };
 
+  const int requested_threads =
+      opts.threads > 0 ? opts.threads
+                       : static_cast<int>(std::thread::hardware_concurrency());
+  const int num_threads = std::max(1, requested_threads);
+  const std::size_t epoch_batch =
+      static_cast<std::size_t>(std::max(1, opts.epoch_batch));
+  std::optional<WorkerPool> workers;
+  if (num_threads > 1) {
+    workers.emplace(num_threads);
+  }
+
+  std::vector<Node> batch;
+  std::vector<NodeResult> results;
   while (!queue.empty()) {
     if (stats.nodes_explored >= opts.max_nodes) {
       hit_node_limit = true;
@@ -420,170 +761,104 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
       HSLB_COUNT("minlp.budget_exhausted", 1);
       break;
     }
-    Node node = queue.pop();
-    ++stats.nodes_explored;
-    if (metrics.nodes != nullptr) {
-      metrics.nodes->add(1.0);
+
+    // Pop this epoch's batch in deterministic heap order.  The batch size
+    // depends only on queue size and node budget, never on thread count.
+    const std::size_t batch_size = std::min(
+        {epoch_batch, queue.size(),
+         static_cast<std::size_t>(opts.max_nodes - stats.nodes_explored)});
+    batch.clear();
+    // Half the batch follows the configured selection (advancing the bound),
+    // half dives to the deepest open nodes (hunting the incumbent whose
+    // cutoff prunes the frontier).  Pure best-bound batches were measured to
+    // inflate the tree several-fold: the incumbent sits at the end of a deep
+    // chain that advances only one node per epoch while every other slot
+    // widens the frontier against a stale +inf cutoff.
+    const std::size_t bound_picks = (batch_size + 1) / 2;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(i < bound_picks ? queue.pop() : queue.pop_deepest());
     }
-    if (want_events && opts.log_every_nodes > 0 &&
-        (stats.nodes_explored == 1 ||
-         stats.nodes_explored % opts.log_every_nodes == 0)) {
-      SolverEvent event;
-      event.kind = SolverEvent::Kind::kProgress;
-      event.node = stats.nodes_explored;
-      event.open_nodes = queue.size();
-      event.have_incumbent = have_incumbent;
-      event.incumbent = incumbent_obj;
-      emit(event);
-    }
-    if (node.bound >= cutoff()) {
-      ++stats.pruned_by_bound;
-      if (metrics.pruned_bound != nullptr) {
-        metrics.pruned_bound->add(1.0);
+    const double cutoff_snapshot = cutoff();
+    results.assign(batch_size, NodeResult{});
+    const auto evaluate = [&](std::size_t i) {
+      results[i] = process_node(model, opts, curvature, pool, cutoff_snapshot,
+                                std::move(batch[i]));
+    };
+    if (workers && batch_size > 1) {
+      workers->run(batch_size, evaluate);
+    } else {
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        evaluate(i);
       }
-      continue;
+    }
+    ++stats.epochs;
+    if (metrics.epochs != nullptr) {
+      metrics.epochs->add(1.0);
+      metrics.epoch_batch->observe(static_cast<double>(batch_size));
     }
 
-    bool node_done = false;
-    for (int round = 0; round <= opts.cut_rounds_per_node && !node_done;
-         ++round) {
-      const lp::LpProblem master =
-          build_master_lp(model, pool, curvature, node.lower, node.upper);
-      common::WallTimer lp_timer;
-      const lp::LpSolution sol = lp::solve(master);
-      const double lp_elapsed = lp_timer.seconds();
-      stats.lp_seconds += lp_elapsed;
-      ++stats.lp_solves;
-      stats.simplex_iterations += sol.iterations;
-      if (metrics.lp_solves != nullptr) {
-        metrics.lp_solves->add(1.0);
-        metrics.lp_seconds->add(lp_elapsed);
-        metrics.lp_solve_ms->observe(lp_elapsed * 1e3);
-      }
-
-      if (sol.status == lp::LpStatus::kInfeasible) {
-        ++stats.pruned_infeasible;
-        if (metrics.pruned_infeasible != nullptr) {
-          metrics.pruned_infeasible->add(1.0);
+    // Merge in batch order -- the deterministic serialization point.
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      NodeResult& r = results[i];
+      ++stats.nodes_explored;
+      if (metrics.nodes != nullptr) {
+        metrics.nodes->add(1.0);
+        if (metrics.lp_solves != nullptr && r.lp_solves > 0) {
+          metrics.lp_solves->add(static_cast<double>(r.lp_solves));
+          metrics.lp_seconds->add(r.lp_seconds);
+          for (const double ms : r.lp_solve_ms) {
+            metrics.lp_solve_ms->observe(ms);
+          }
         }
-        node_done = true;
-        break;
+        metrics.warm_lp_solves->add(static_cast<double>(r.warm_lp_solves));
+        metrics.warm_phase1_skips->add(
+            static_cast<double>(r.warm_phase1_skips));
+        metrics.warm_iterations->add(
+            static_cast<double>(r.warm_simplex_iterations));
+        metrics.cold_iterations->add(
+            static_cast<double>(r.cold_simplex_iterations));
       }
-      if (sol.status == lp::LpStatus::kUnbounded) {
+      stats.lp_solves += r.lp_solves;
+      stats.simplex_iterations += r.simplex_iterations;
+      stats.warm_lp_solves += r.warm_lp_solves;
+      stats.warm_phase1_skips += r.warm_phase1_skips;
+      stats.warm_simplex_iterations += r.warm_simplex_iterations;
+      stats.cold_simplex_iterations += r.cold_simplex_iterations;
+      stats.lp_seconds += r.lp_seconds;
+      if (want_events && opts.log_every_nodes > 0 &&
+          (stats.nodes_explored == 1 ||
+           stats.nodes_explored % opts.log_every_nodes == 0)) {
+        SolverEvent event;
+        event.kind = SolverEvent::Kind::kProgress;
+        event.node = stats.nodes_explored;
+        event.open_nodes = queue.size();
+        event.have_incumbent = have_incumbent;
+        event.incumbent = incumbent_obj;
+        emit(event);
+      }
+      if (r.unbounded) {
         out.status = MinlpStatus::kUnbounded;
         out.stats.wall_seconds = timer.seconds();
         return out;
       }
-      HSLB_ASSERT(sol.status == lp::LpStatus::kOptimal,
-                  "unexpected LP status in branch-and-bound");
-      node.bound = std::max(node.bound, sol.objective);
-      if (node.bound >= cutoff()) {
-        node_done = true;
-        break;
-      }
-
-      // Branch on SOS violation first (when enabled).
-      if (opts.use_sos_branching) {
-        const std::ptrdiff_t s = violated_sos(model, sol.x, opts.integer_tol);
-        if (s >= 0) {
-          const Sos1Set& set = model.sos1_sets()[static_cast<std::size_t>(s)];
-          double position = 0.0;
-          for (std::size_t k = 0; k < set.vars.size(); ++k) {
-            position += set.weights[k] * sol.x[set.vars[k]];
-          }
-          // Partition members by weight around the weighted position.
-          std::vector<std::size_t> left;
-          std::vector<std::size_t> right;
-          for (std::size_t k = 0; k < set.vars.size(); ++k) {
-            (set.weights[k] <= position ? left : right).push_back(set.vars[k]);
-          }
-          if (left.empty() || right.empty()) {
-            // Degenerate partition; split at the median member instead.
-            left.clear();
-            right.clear();
-            for (std::size_t k = 0; k < set.vars.size(); ++k) {
-              (k < set.vars.size() / 2 ? left : right).push_back(set.vars[k]);
-            }
-          }
-          Node child_a = node;    // zero out the right part
-          Node child_b = node;    // zero out the left part
-          for (const std::size_t v : right) {
-            child_a.upper[v] = 0.0;
-          }
-          for (const std::size_t v : left) {
-            child_b.upper[v] = 0.0;
-          }
-          child_a.depth = child_b.depth = node.depth + 1;
-          queue.push(std::move(child_a));
-          queue.push(std::move(child_b));
-          node_done = true;
-          break;
+      if (r.pruned_by_bound) {
+        ++stats.pruned_by_bound;
+        if (metrics.pruned_bound != nullptr) {
+          metrics.pruned_bound->add(1.0);
         }
+        continue;
       }
-
-      // Then on fractional integer variables.
-      const Fractionality frac =
-          most_fractional(model, sol.x, opts.integer_tol);
-      if (frac.var >= 0) {
-        const auto j = static_cast<std::size_t>(frac.var);
-        Node down = node;
-        Node up = node;
-        down.upper[j] = std::floor(sol.x[j]);
-        up.lower[j] = std::ceil(sol.x[j]);
-        down.depth = up.depth = node.depth + 1;
-        if (down.lower[j] <= down.upper[j]) {
-          queue.push(std::move(down));
+      stats.cuts_added += static_cast<long>(pool.absorb(r.cuts));
+      if (r.pruned_infeasible) {
+        ++stats.pruned_infeasible;
+        if (metrics.pruned_infeasible != nullptr) {
+          metrics.pruned_infeasible->add(1.0);
         }
-        if (up.lower[j] <= up.upper[j]) {
-          queue.push(std::move(up));
-        }
-        node_done = true;
-        break;
+        continue;
       }
-
-      // Integral (and SOS-feasible) master solution: lazily tighten the
-      // linearization where the true nonlinearities are violated.
-      bool added_cut = false;
-      for (std::size_t ci = 0; ci < model.nonlinear_constraints().size();
-           ++ci) {
-        const NonlinearConstraint& c = model.nonlinear_constraints()[ci];
-        const double g = expr::eval(c.g, sol.x);
-        if (g > c.upper + 1e-7 * std::max(1.0, std::fabs(c.upper))) {
-          pool.add_nonlinear_cut(model, ci, sol.x);
-          ++stats.cuts_added;
-          added_cut = true;
-        }
-      }
-      for (std::size_t li = 0; li < model.links().size(); ++li) {
-        const UnivariateLink& link = model.links()[li];
-        const double t = sol.x[link.t_var];
-        const double f = link.fn.value(sol.x[link.n_var]);
-        const double tol = 1e-7 * std::max(1.0, std::fabs(f));
-        const bool below = t < f - tol;
-        const bool above = t > f + tol;
-        if ((curvature[li] == Curvature::kConvex && below) ||
-            (curvature[li] == Curvature::kConcave && above)) {
-          if (pool.add_link_tangent(model, curvature, li,
-                                    sol.x[link.n_var])) {
-            ++stats.cuts_added;
-            added_cut = true;
-          }
-        }
-      }
-      if (added_cut && round < opts.cut_rounds_per_node) {
-        continue;  // re-solve this node against the tightened master
-      }
-
-      // Candidate: complete the integer point to a true feasible solution.
-      const auto completion = complete_integer_point(
-          model, pool, curvature, sol.x, node.lower, node.upper);
-      ++stats.lp_solves;
-      if (metrics.lp_solves != nullptr) {
-        metrics.lp_solves->add(1.0);
-      }
-      if (completion && completion->objective < incumbent_obj) {
-        incumbent_obj = completion->objective;
-        incumbent_x = completion->x;
+      if (r.completion && r.completion->objective < incumbent_obj) {
+        incumbent_obj = r.completion->objective;
+        incumbent_x = r.completion->x;
         have_incumbent = true;
         ++stats.incumbent_updates;
         if (metrics.incumbents != nullptr) {
@@ -600,61 +875,12 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
           emit(event);
         }
       }
-
-      const double gap_here =
-          completion ? completion->objective - node.bound : lp::kInf;
-      if (completion &&
-          gap_here <= std::max(1e-9, opts.rel_gap *
-                                         std::fabs(completion->objective))) {
-        node_done = true;  // node solved exactly
-        break;
+      for (Node& child : r.children) {
+        child.id = next_node_id++;
+        queue.push(std::move(child));
       }
-
-      // The relaxation still under-estimates this node (chord gap on the
-      // "t <= fn" side, or the completion is infeasible).  Branch spatially
-      // on the link variable with the largest chord error.
-      std::ptrdiff_t branch_var = -1;
-      double worst_err = 1e-7;
-      for (const UnivariateLink& link : model.links()) {
-        const double width =
-            node.upper[link.n_var] - node.lower[link.n_var];
-        if (width < 1.0) {
-          continue;
-        }
-        const double err =
-            std::fabs(sol.x[link.t_var] - link.fn.value(sol.x[link.n_var]));
-        if (err > worst_err) {
-          worst_err = err;
-          branch_var = static_cast<std::ptrdiff_t>(link.n_var);
-        }
-      }
-      if (branch_var < 0) {
-        // No refinable link interval left: pick any unfixed integer so the
-        // children eventually close every interval.
-        for (const UnivariateLink& link : model.links()) {
-          if (node.upper[link.n_var] - node.lower[link.n_var] >= 1.0) {
-            branch_var = static_cast<std::ptrdiff_t>(link.n_var);
-            break;
-          }
-        }
-      }
-      if (branch_var < 0) {
-        node_done = true;  // node fully resolved; nothing better inside
-        break;
-      }
-      const auto j = static_cast<std::size_t>(branch_var);
-      const double split =
-          std::clamp(std::round(sol.x[j]), node.lower[j], node.upper[j] - 1.0);
-      Node left = node;
-      Node right = node;
-      left.upper[j] = split;
-      right.lower[j] = split + 1.0;
-      left.depth = right.depth = node.depth + 1;
-      queue.push(std::move(left));
-      queue.push(std::move(right));
-      node_done = true;
-      break;
     }
+    pool.age_to(opts.max_pool_cuts);
   }
 
   stats.wall_seconds = timer.seconds();
@@ -675,6 +901,18 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   }
   if (metrics.cuts != nullptr) {
     metrics.cuts->add(static_cast<double>(stats.cuts_added));
+    if (stats.wall_seconds > 0.0) {
+      obs::Registry* registry = obs::current_metrics();
+      registry->gauge("minlp.nodes_per_sec")
+          .set(static_cast<double>(stats.nodes_explored) / stats.wall_seconds);
+      if (workers) {
+        const std::vector<long>& per_worker = workers->items_per_worker();
+        for (std::size_t w = 0; w < per_worker.size(); ++w) {
+          registry->gauge("minlp.worker." + std::to_string(w) + ".nodes")
+              .set(static_cast<double>(per_worker[w]));
+        }
+      }
+    }
   }
   const auto limited_status = [&] {
     if (hit_time_limit) {

@@ -1,12 +1,21 @@
+// NLP-based branch-and-bound with the same deterministic epoch-parallel
+// scheme as branch_and_bound.cpp: each epoch pops a fixed-size batch of
+// nodes from the DFS stack (LIFO order), solves their barrier NLPs in
+// parallel against a snapshot of the cutoff, and merges results in batch
+// order.  Node evaluation is pure, so the result is byte-identical across
+// thread counts; epoch_batch == 1 reproduces the classic serial loop.
 #include "hslb/minlp/nlp_bb.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
+#include <thread>
 
 #include "hslb/common/error.hpp"
 #include "hslb/common/timing.hpp"
 #include "hslb/minlp/relaxation.hpp"
+#include "hslb/minlp/worker_pool.hpp"
 #include "hslb/nlp/barrier.hpp"
 
 namespace hslb::minlp {
@@ -62,6 +71,108 @@ nlp::NlpProblem build_node_nlp(const Model& model, const Vector& lo,
   return relax;
 }
 
+/// Output of one node evaluation, merged in batch order on the main thread.
+struct NodeResult {
+  bool pruned = false;  // skipped by snapshot cutoff or infeasible/failed
+  std::vector<Node> children;
+  std::optional<Completion> completion;
+  long nlp_solves = 0;
+  long lp_solves = 0;
+};
+
+/// Evaluate one node: barrier solve, branching decision, completion.  Pure
+/// function of (node, cutoff snapshot, options) -- the determinism anchor.
+NodeResult process_node(const Model& model, const NlpBbOptions& opts,
+                        const std::vector<Curvature>& curvature,
+                        const CutPool& empty_pool, double cutoff_snapshot,
+                        Node node) {
+  const std::size_t n = model.num_vars();
+  NodeResult r;
+  if (node.bound >= cutoff_snapshot) {
+    r.pruned = true;
+    return r;
+  }
+
+  const nlp::NlpProblem relax = build_node_nlp(model, node.lower, node.upper);
+  const nlp::NlpResult sol = nlp::solve_barrier(relax);
+  ++r.nlp_solves;
+  if (sol.status != nlp::NlpStatus::kOptimal) {
+    r.pruned = true;  // infeasible, or failed node solve pruned conservatively
+    return r;
+  }
+  node.bound = sol.objective;
+  if (node.bound >= cutoff_snapshot) {
+    r.pruned = true;
+    return r;
+  }
+
+  // Most fractional integer variable.
+  std::ptrdiff_t branch_var = -1;
+  double worst_frac = opts.integer_tol;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (model.variables()[j].type == VarType::kContinuous) {
+      continue;
+    }
+    const double f = std::fabs(sol.x[j] - std::round(sol.x[j]));
+    if (f > worst_frac) {
+      worst_frac = f;
+      branch_var = static_cast<std::ptrdiff_t>(j);
+    }
+  }
+
+  if (branch_var < 0) {
+    // Integral: complete exactly and offer as incumbent candidate.
+    r.completion = complete_integer_point(model, empty_pool, curvature, sol.x,
+                                          node.lower, node.upper);
+    ++r.lp_solves;
+    const bool exact =
+        r.completion &&
+        r.completion->objective - node.bound <=
+            std::max(1e-9, opts.rel_gap * std::fabs(r.completion->objective));
+    if (exact) {
+      return r;
+    }
+    // Residual gap: tighten by splitting the widest link interval.
+    std::ptrdiff_t widest = -1;
+    double width = 0.999;
+    for (const UnivariateLink& link : model.links()) {
+      const double w = node.upper[link.n_var] - node.lower[link.n_var];
+      if (w > width) {
+        width = w;
+        widest = static_cast<std::ptrdiff_t>(link.n_var);
+      }
+    }
+    if (widest < 0) {
+      return r;  // node fully resolved
+    }
+    const auto j = static_cast<std::size_t>(widest);
+    const double split = std::clamp(std::round(sol.x[j]), node.lower[j],
+                                    node.upper[j] - 1.0);
+    Node left = node;
+    Node right = node;
+    left.upper[j] = split;
+    right.lower[j] = split + 1.0;
+    left.depth = right.depth = node.depth + 1;
+    r.children.push_back(std::move(left));
+    r.children.push_back(std::move(right));
+    return r;
+  }
+
+  const auto j = static_cast<std::size_t>(branch_var);
+  Node down = node;
+  Node up = node;
+  down.upper[j] = std::floor(sol.x[j]);
+  up.lower[j] = std::ceil(sol.x[j]);
+  down.depth = up.depth = node.depth + 1;
+  if (down.lower[j] <= down.upper[j]) {
+    r.children.push_back(std::move(down));
+  }
+  if (up.lower[j] <= up.upper[j]) {
+    r.children.push_back(std::move(up));
+  }
+  return r;
+}
+
 }  // namespace
 
 MinlpResult solve_nlp_bb(const Model& model, const NlpBbOptions& opts) {
@@ -104,100 +215,61 @@ MinlpResult solve_nlp_bb(const Model& model, const NlpBbOptions& opts) {
            std::max(1e-9, opts.rel_gap * std::fabs(incumbent_obj));
   };
 
+  const int requested_threads =
+      opts.threads > 0 ? opts.threads
+                       : static_cast<int>(std::thread::hardware_concurrency());
+  const int num_threads = std::max(1, requested_threads);
+  const std::size_t epoch_batch =
+      static_cast<std::size_t>(std::max(1, opts.epoch_batch));
+  std::optional<WorkerPool> workers;
+  if (num_threads > 1) {
+    workers.emplace(num_threads);
+  }
+
+  std::vector<Node> batch;
+  std::vector<NodeResult> results;
   while (!stack.empty()) {
     if (stats.nodes_explored >= opts.max_nodes) {
       hit_node_limit = true;
       break;
     }
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    ++stats.nodes_explored;
-    if (node.bound >= cutoff()) {
-      continue;
+    const std::size_t batch_size = std::min(
+        {epoch_batch, stack.size(),
+         static_cast<std::size_t>(opts.max_nodes - stats.nodes_explored)});
+    batch.clear();
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(std::move(stack.back()));  // LIFO, deterministic
+      stack.pop_back();
     }
-
-    const nlp::NlpProblem relax = build_node_nlp(model, node.lower, node.upper);
-    const nlp::NlpResult sol = nlp::solve_barrier(relax);
-    ++stats.nlp_solves;
-    if (sol.status == nlp::NlpStatus::kInfeasible) {
-      continue;
-    }
-    if (sol.status != nlp::NlpStatus::kOptimal) {
-      continue;  // treat a failed node solve as pruned (conservative)
-    }
-    node.bound = sol.objective;
-    if (node.bound >= cutoff()) {
-      continue;
-    }
-
-    // Most fractional integer variable.
-    std::ptrdiff_t branch_var = -1;
-    double worst_frac = opts.integer_tol;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (model.variables()[j].type == VarType::kContinuous) {
-        continue;
-      }
-      const double f = std::fabs(sol.x[j] - std::round(sol.x[j]));
-      if (f > worst_frac) {
-        worst_frac = f;
-        branch_var = static_cast<std::ptrdiff_t>(j);
+    const double cutoff_snapshot = cutoff();
+    results.assign(batch_size, NodeResult{});
+    const auto evaluate = [&](std::size_t i) {
+      results[i] = process_node(model, opts, curvature, empty_pool,
+                                cutoff_snapshot, std::move(batch[i]));
+    };
+    if (workers && batch_size > 1) {
+      workers->run(batch_size, evaluate);
+    } else {
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        evaluate(i);
       }
     }
+    ++stats.epochs;
 
-    if (branch_var < 0) {
-      // Integral: complete exactly and try as incumbent.
-      const auto completion = complete_integer_point(
-          model, empty_pool, curvature, sol.x, node.lower, node.upper);
-      ++stats.lp_solves;
-      if (completion && completion->objective < incumbent_obj) {
-        incumbent_obj = completion->objective;
-        incumbent_x = completion->x;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      NodeResult& r = results[i];
+      ++stats.nodes_explored;
+      stats.nlp_solves += r.nlp_solves;
+      stats.lp_solves += r.lp_solves;
+      if (r.completion && r.completion->objective < incumbent_obj) {
+        incumbent_obj = r.completion->objective;
+        incumbent_x = r.completion->x;
         have_incumbent = true;
+        ++stats.incumbent_updates;
       }
-      const bool exact =
-          completion &&
-          completion->objective - node.bound <=
-              std::max(1e-9, opts.rel_gap * std::fabs(completion->objective));
-      if (exact) {
-        continue;
+      for (Node& child : r.children) {
+        stack.push_back(std::move(child));
       }
-      // Residual gap: tighten by splitting the widest link interval.
-      std::ptrdiff_t widest = -1;
-      double width = 0.999;
-      for (const UnivariateLink& link : model.links()) {
-        const double w = node.upper[link.n_var] - node.lower[link.n_var];
-        if (w > width) {
-          width = w;
-          widest = static_cast<std::ptrdiff_t>(link.n_var);
-        }
-      }
-      if (widest < 0) {
-        continue;  // node fully resolved
-      }
-      const auto j = static_cast<std::size_t>(widest);
-      const double split = std::clamp(std::round(sol.x[j]), node.lower[j],
-                                      node.upper[j] - 1.0);
-      Node left = node;
-      Node right = node;
-      left.upper[j] = split;
-      right.lower[j] = split + 1.0;
-      left.depth = right.depth = node.depth + 1;
-      stack.push_back(std::move(left));
-      stack.push_back(std::move(right));
-      continue;
-    }
-
-    const auto j = static_cast<std::size_t>(branch_var);
-    Node down = node;
-    Node up = node;
-    down.upper[j] = std::floor(sol.x[j]);
-    up.lower[j] = std::ceil(sol.x[j]);
-    down.depth = up.depth = node.depth + 1;
-    if (down.lower[j] <= down.upper[j]) {
-      stack.push_back(std::move(down));
-    }
-    if (up.lower[j] <= up.upper[j]) {
-      stack.push_back(std::move(up));
     }
   }
 

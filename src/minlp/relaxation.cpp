@@ -18,17 +18,28 @@ linalg::Vector densify(const std::vector<std::pair<std::size_t, double>>& terms,
   return row;
 }
 
+bool same_point(double a, double b) {
+  return std::fabs(a - b) <= 1e-9 * std::max(1.0, std::fabs(b));
+}
+
 }  // namespace
+
+bool CutPool::has_link_tangent(std::size_t link_index, double point) const {
+  for (const CutRow& cut : rows_) {
+    if (cut.link == static_cast<int>(link_index) && same_point(cut.point, point)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 bool CutPool::add_link_tangent(const Model& model,
                                const std::vector<Curvature>& curvature,
-                               std::size_t link_index, double point) {
+                               std::size_t link_index, double point,
+                               std::uint64_t id) {
   HSLB_REQUIRE(link_index < model.links().size(), "unknown link index");
-  for (const auto& [idx, p] : tangent_points_) {
-    if (idx == link_index &&
-        std::fabs(p - point) <= 1e-9 * std::max(1.0, std::fabs(point))) {
-      return false;  // already have (numerically) this tangent
-    }
+  if (has_link_tangent(link_index, point)) {
+    return false;  // already have (numerically) this tangent
   }
   const UnivariateLink& link = model.links()[link_index];
   const double f = link.fn.value(point);
@@ -46,13 +57,15 @@ bool CutPool::add_link_tangent(const Model& model,
   } else {
     cut.upper = rhs;
   }
+  cut.id = id;
+  cut.link = static_cast<int>(link_index);
+  cut.point = point;
   rows_.push_back(std::move(cut));
-  tangent_points_.emplace_back(link_index, point);
   return true;
 }
 
 void CutPool::add_nonlinear_cut(const Model& model, std::size_t nc_index,
-                                std::span<const double> x) {
+                                std::span<const double> x, std::uint64_t id) {
   HSLB_REQUIRE(nc_index < model.nonlinear_constraints().size(),
                "unknown nonlinear constraint index");
   const NonlinearConstraint& nc = model.nonlinear_constraints()[nc_index];
@@ -67,7 +80,49 @@ void CutPool::add_nonlinear_cut(const Model& model, std::size_t nc_index,
     }
   }
   cut.upper = rhs;
+  cut.id = id;
   rows_.push_back(std::move(cut));
+}
+
+std::size_t CutPool::absorb(const CutPool& delta) {
+  std::size_t added = 0;
+  for (const CutRow& cut : delta.rows_) {
+    if (cut.link >= 0 &&
+        has_link_tangent(static_cast<std::size_t>(cut.link), cut.point)) {
+      continue;
+    }
+    bool duplicate_id = false;
+    for (const CutRow& mine : rows_) {
+      if (mine.id == cut.id) {
+        duplicate_id = true;
+        break;
+      }
+    }
+    if (duplicate_id) {
+      continue;
+    }
+    rows_.push_back(cut);
+    ++added;
+  }
+  return added;
+}
+
+void CutPool::age_to(std::size_t max_rows) {
+  if (rows_.size() <= max_rows) {
+    return;
+  }
+  std::size_t excess = rows_.size() - max_rows;
+  std::vector<CutRow> kept;
+  kept.reserve(max_rows);
+  for (CutRow& cut : rows_) {
+    const bool root_cut = cut.id < (1ULL << 16);
+    if (excess > 0 && !root_cut) {
+      --excess;  // oldest non-root cuts go first
+      continue;
+    }
+    kept.push_back(std::move(cut));
+  }
+  rows_ = std::move(kept);
 }
 
 std::vector<Curvature> resolve_curvatures(const Model& model) {
@@ -93,7 +148,9 @@ std::vector<Curvature> resolve_curvatures(const Model& model) {
 lp::LpProblem build_master_lp(const Model& model, const CutPool& pool,
                               const std::vector<Curvature>& curvature,
                               std::span<const double> node_lower,
-                              std::span<const double> node_upper) {
+                              std::span<const double> node_upper,
+                              const CutPool* extra,
+                              std::vector<std::uint64_t>* row_keys) {
   const std::size_t n = model.num_vars();
   HSLB_REQUIRE(node_lower.size() == n && node_upper.size() == n,
                "node bound sizes must match variable count");
@@ -105,12 +162,29 @@ lp::LpProblem build_master_lp(const Model& model, const CutPool& pool,
                         model.variables()[j].name);
   }
   master.set_objective_offset(model.objective_offset());
+  if (row_keys != nullptr) {
+    row_keys->clear();
+  }
+  const auto key = [row_keys](std::uint64_t k) {
+    if (row_keys != nullptr) {
+      row_keys->push_back(k);
+    }
+  };
 
-  for (const LinearConstraint& c : model.linear_constraints()) {
+  for (std::size_t ci = 0; ci < model.linear_constraints().size(); ++ci) {
+    const LinearConstraint& c = model.linear_constraints()[ci];
     master.add_row(densify(c.terms, n), c.lower, c.upper, c.name);
+    key(row_key::linear(ci));
   }
   for (const CutRow& cut : pool.rows()) {
     master.add_row(densify(cut.terms, n), cut.lower, cut.upper, "cut");
+    key(row_key::cut(cut.id));
+  }
+  if (extra != nullptr) {
+    for (const CutRow& cut : extra->rows()) {
+      master.add_row(densify(cut.terms, n), cut.lower, cut.upper, "cut");
+      key(row_key::cut(cut.id));
+    }
   }
 
   // Node-local chords (secants).  For a convex fn the chord lies above the
@@ -146,6 +220,7 @@ lp::LpProblem build_master_lp(const Model& model, const CutPool& pool,
     } else {
       master.add_row(std::move(row), rhs, lp::kInf, link.name + "_chord");
     }
+    key(row_key::chord(li));
   }
   return master;
 }
@@ -153,7 +228,9 @@ lp::LpProblem build_master_lp(const Model& model, const CutPool& pool,
 std::optional<Completion> complete_integer_point(
     const Model& model, const CutPool& pool,
     const std::vector<Curvature>& curvature, std::span<const double> x,
-    std::span<const double> node_lower, std::span<const double> node_upper) {
+    std::span<const double> node_lower, std::span<const double> node_upper,
+    const CutPool* extra, const lp::Basis* warm,
+    std::span<const std::uint64_t> warm_keys) {
   const std::size_t n = model.num_vars();
   linalg::Vector lo(node_lower.begin(), node_lower.end());
   linalg::Vector hi(node_upper.begin(), node_upper.end());
@@ -167,7 +244,10 @@ std::optional<Completion> complete_integer_point(
     }
   }
 
-  lp::LpProblem fixed = build_master_lp(model, pool, curvature, lo, hi);
+  std::vector<std::uint64_t> keys;
+  const bool want_warm = warm != nullptr && !warm->empty();
+  lp::LpProblem fixed = build_master_lp(model, pool, curvature, lo, hi, extra,
+                                        want_warm ? &keys : nullptr);
   // build_master_lp pins each link variable exactly because every link's n
   // interval is now closed (links always hang off integer node-count vars in
   // this library; pin defensively here for links on continuous vars too).
@@ -178,7 +258,13 @@ std::optional<Completion> complete_integer_point(
       fixed.set_col_bounds(link.t_var, f, f);
     }
   }
-  const lp::LpSolution sol = lp::solve(fixed);
+  lp::LpSolution sol;
+  if (want_warm) {
+    const lp::Basis mapped = lp::map_basis(*warm, warm_keys, keys);
+    sol = lp::resolve_from_basis(fixed, mapped);
+  } else {
+    sol = lp::solve(fixed);
+  }
   if (sol.status != lp::LpStatus::kOptimal) {
     return std::nullopt;
   }

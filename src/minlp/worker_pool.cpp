@@ -1,0 +1,93 @@
+#include "hslb/minlp/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace hslb::minlp {
+
+WorkerPool::WorkerPool(int threads) : obs_context_(obs::current_context()) {
+  const int total = std::max(1, threads);
+  items_.assign(static_cast<std::size_t>(total), 0);
+  helpers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int w = 1; w < total; ++w) {
+    helpers_.emplace_back(
+        [this, w] { helper_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : helpers_) {
+    t.join();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (helpers_.empty()) {
+    drain(0, count, fn);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = helpers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(0, count, fn);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::drain(std::size_t worker_index, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) {
+      return;
+    }
+    fn(i);
+    ++items_[worker_index];
+  }
+}
+
+void WorkerPool::helper_loop(std::size_t worker_index) {
+  const obs::Install install(obs_context_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+      count = count_;
+    }
+    drain(worker_index, count, *job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (active_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace hslb::minlp

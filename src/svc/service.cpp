@@ -259,6 +259,7 @@ SolveOutcome AllocationService::execute(const Job& job) {
   config.fit_options = job.request.fit_options;
   config.solver.max_wall_seconds = job.request.max_wall_seconds;
   config.solver.max_nodes = job.request.max_nodes;
+  config.solver.threads = job.request.solver_threads;
 
   core::HslbResult result;
   try {

@@ -183,5 +183,192 @@ TEST_P(SimplexScalingProperty, CostScalingScalesObjective) {
 INSTANTIATE_TEST_SUITE_P(Scaling, SimplexScalingProperty,
                          ::testing::Range(0, 20));
 
+// ---------------------------------------------------------------------------
+// Warm-start properties: resolve_from_basis must reach the same optimum as a
+// cold solve -- on the identical problem, after bound/cost modifications, and
+// across row reorderings remapped with map_basis.
+// ---------------------------------------------------------------------------
+
+/// Random feasible-by-construction LP (same family as the first suite).
+LpProblem random_feasible(common::Rng& rng, Vector* seed_out = nullptr) {
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(1, 8));
+  LpProblem p;
+  Vector seed(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-5.0, 0.0);
+    const double hi = lo + rng.uniform(0.5, 10.0);
+    p.add_variable(lo, hi, rng.uniform(-2.0, 2.0));
+    seed[j] = rng.uniform(lo, hi);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector coeffs(n);
+    double at_seed = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      coeffs[j] = rng.uniform(-2.0, 2.0);
+      at_seed += coeffs[j] * seed[j];
+    }
+    p.add_row(std::move(coeffs), at_seed - rng.uniform(0.1, 3.0),
+              at_seed + rng.uniform(0.1, 3.0));
+  }
+  if (seed_out != nullptr) {
+    *seed_out = seed;
+  }
+  return p;
+}
+
+class SimplexWarmStartProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmStartProperty, SameProblemResolveSkipsPhase1) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const LpProblem p = random_feasible(rng);
+
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution cold = solve(p, capture);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  if (cold.basis.empty()) {
+    return;  // an artificial stayed basic; nothing to warm-start from
+  }
+
+  const LpSolution warm = resolve_from_basis(p, cold.basis);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_TRUE(warm.warm_phase1_skipped)
+      << "re-solving the identical problem from its optimal basis must not "
+         "re-run Phase I";
+  EXPECT_EQ(warm.phase1_iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_TRUE(satisfies(p, warm.x));
+}
+
+TEST_P(SimplexWarmStartProperty, ModifiedProblemResolveMatchesColdOptimum) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 12289 + 11);
+  Vector seed;
+  LpProblem p = random_feasible(rng, &seed);
+
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution first = solve(p, capture);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+
+  // Perturb the problem the way branch-and-bound does: tighten variable
+  // bounds around a still-feasible point and nudge the costs.
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    if (rng.uniform(0.0, 1.0) < 0.5) {
+      p.set_cost(j, p.cost()[j] + rng.uniform(-0.5, 0.5));
+    }
+    const double lo = std::min(seed[j], p.col_lower()[j] +
+                                            rng.uniform(0.0, 0.5));
+    const double hi = std::max(seed[j], p.col_upper()[j] -
+                                            rng.uniform(0.0, 0.5));
+    p.set_col_bounds(j, lo, hi);
+  }
+
+  const LpSolution cold = solve(p);
+  const LpSolution warm = first.basis.empty()
+                              ? resolve_from_basis(p, Basis{})
+                              : resolve_from_basis(p, first.basis);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6)
+      << "a warm solve must find the same optimal value as a cold solve";
+  EXPECT_TRUE(satisfies(p, warm.x));
+}
+
+TEST_P(SimplexWarmStartProperty, RowReorderRemapMatchesColdOptimum) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 29);
+  const LpProblem p = random_feasible(rng);
+
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution cold = solve(p, capture);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  if (cold.basis.empty()) {
+    return;
+  }
+
+  // Rebuild the problem with its rows reversed and remap the basis through
+  // stable row keys -- the same mechanism branch-and-bound uses when the cut
+  // set changes between parent and child.
+  LpProblem reordered;
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    reordered.add_variable(p.col_lower()[j], p.col_upper()[j], p.cost()[j]);
+  }
+  std::vector<std::uint64_t> from_keys;
+  std::vector<std::uint64_t> to_keys;
+  const std::size_t m = p.rows().size();
+  for (std::size_t i = 0; i < m; ++i) {
+    from_keys.push_back(static_cast<std::uint64_t>(i));
+  }
+  for (std::size_t i = m; i-- > 0;) {
+    const Row& row = p.rows()[i];
+    Vector coeffs = row.coeffs;
+    reordered.add_row(std::move(coeffs), row.lower, row.upper);
+    to_keys.push_back(static_cast<std::uint64_t>(i));
+  }
+
+  const Basis mapped = map_basis(cold.basis, from_keys, to_keys);
+  const LpSolution warm = resolve_from_basis(reordered, mapped);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7)
+      << "reordering rows must not change the optimum a mapped basis reaches";
+  EXPECT_TRUE(satisfies(reordered, warm.x));
+}
+
+TEST_P(SimplexWarmStartProperty, AddedRowSlackEntersBasisAndSkipsPhase1) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40961 + 17);
+  const LpProblem p = random_feasible(rng);
+
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution cold = solve(p, capture);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  if (cold.basis.empty()) {
+    return;
+  }
+
+  // Append a new row that holds at the cold optimum -- the shape of a lazy
+  // OA cut a child node inherits.  map_basis gives the new row a basic
+  // slack, so the extended basis stays primal feasible and Phase I is
+  // skipped even though the row set grew.
+  LpProblem grown;
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    grown.add_variable(p.col_lower()[j], p.col_upper()[j], p.cost()[j]);
+  }
+  std::vector<std::uint64_t> from_keys;
+  std::vector<std::uint64_t> to_keys;
+  for (std::size_t i = 0; i < p.rows().size(); ++i) {
+    const Row& row = p.rows()[i];
+    Vector coeffs = row.coeffs;
+    grown.add_row(std::move(coeffs), row.lower, row.upper);
+    from_keys.push_back(static_cast<std::uint64_t>(i));
+    to_keys.push_back(static_cast<std::uint64_t>(i));
+  }
+  Vector cut(p.num_vars());
+  double at_opt = 0.0;
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    cut[j] = rng.uniform(-2.0, 2.0);
+    at_opt += cut[j] * cold.x[j];
+  }
+  grown.add_row(std::move(cut), -kInf, at_opt + rng.uniform(0.1, 1.0));
+  to_keys.push_back(1u << 20);  // a fresh key: no match in from_keys
+
+  const Basis mapped = map_basis(cold.basis, from_keys, to_keys);
+  const LpSolution warm = resolve_from_basis(grown, mapped);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_TRUE(warm.warm_phase1_skipped)
+      << "a satisfied added row must not force the cold path";
+  EXPECT_EQ(warm.phase1_iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7)
+      << "a non-binding added row cannot change the optimum";
+  EXPECT_TRUE(satisfies(grown, warm.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(WarmStarts, SimplexWarmStartProperty,
+                         ::testing::Range(0, 40));
+
 }  // namespace
 }  // namespace hslb::lp
