@@ -1,12 +1,14 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "hslb/cesm/configs.hpp"
 #include "hslb/hslb/manual_tuner.hpp"
 #include "hslb/hslb/pipeline.hpp"
+#include "hslb/report/result_set.hpp"
 
 namespace hslb::bench {
 
@@ -35,6 +37,83 @@ inline core::PipelineConfig make_config(const cesm::CaseConfig& case_config,
   config.total_nodes = total_nodes;
   config.gather_totals = std::move(gather_totals);
   return config;
+}
+
+// ---------------------------------------------------------------------------
+// Structured artifact emission (the results pipeline, DESIGN.md section 10).
+//
+// Every bench binary records the numbers it prints into a report::ResultSet
+// and finishes through bench::finish().  Stdout stays byte-identical to the
+// artifact-free output: all artifact status goes to stderr.
+
+/// Flags every bench binary understands:
+///   --json-out=<path>            write the ResultSet artifact to <path>
+///   --expect-fingerprint=<hex>   exit nonzero unless the run's
+///                                deterministic fingerprint matches
+struct ArtifactOptions {
+  std::string json_out;
+  std::string expect_fingerprint;
+};
+
+/// Strip the shared artifact flags out of argv (compacting in place and
+/// shrinking argc) so binaries with their own flag parsing -- the
+/// google-benchmark ones included -- never see them.
+inline ArtifactOptions parse_artifact_args(int& argc, char** argv) {
+  ArtifactOptions options;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      options.json_out = arg.substr(std::strlen("--json-out="));
+    } else if (arg.rfind("--expect-fingerprint=", 0) == 0) {
+      options.expect_fingerprint =
+          arg.substr(std::strlen("--expect-fingerprint="));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return options;
+}
+
+/// Start a ResultSet carrying the same title/reference as the banner.
+inline report::ResultSet make_result_set(const std::string& bench_id,
+                                         const std::string& title,
+                                         const std::string& reference) {
+  report::ResultSet set;
+  set.bench = bench_id;
+  set.title = title;
+  set.reference = reference;
+  return set;
+}
+
+/// Final step of every bench main: write the artifact when requested, check
+/// the optional fingerprint pin, and fold in the binary's own identity
+/// verdict (byte-identity across thread counts, cached-vs-fresh equality,
+/// ...).  Any break exits nonzero so CI cannot greenwash a bad run.
+inline int finish(report::ResultSet set, const ArtifactOptions& options,
+                  bool identity_ok = true) {
+  set.canonicalize();
+  const std::string fingerprint = set.fingerprint();
+  if (!options.json_out.empty()) {
+    if (!report::write_file(set, options.json_out)) {
+      std::cerr << "cannot write artifact " << options.json_out << '\n';
+      return 1;
+    }
+    std::cerr << "artifact: " << options.json_out << " (fingerprint "
+              << fingerprint << ")\n";
+  }
+  bool ok = identity_ok;
+  if (!options.expect_fingerprint.empty() &&
+      options.expect_fingerprint != fingerprint) {
+    std::cerr << "FINGERPRINT BREAK: expected " << options.expect_fingerprint
+              << ", this run produced " << fingerprint << '\n';
+    ok = false;
+  }
+  if (!identity_ok) {
+    std::cerr << "IDENTITY BREAK: internal cross-check failed\n";
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace hslb::bench

@@ -7,10 +7,15 @@
 #include "hslb/cesm/campaign.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Figure 1 -- popular layouts of CESM components",
-                "Alexeev et al., IPDPSW'14, Fig. 1");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title = "Figure 1 -- popular layouts of CESM components";
+  const std::string reference = "Alexeev et al., IPDPSW'14, Fig. 1";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("fig1_layouts", title, reference);
 
   const cesm::CaseConfig config = cesm::one_degree_case();
   constexpr int kTotal = 128;
@@ -41,6 +46,12 @@ int main() {
     const cesm::RunResult run = cesm::run_case(config, layout, 2014);
     std::cout << "  " << to_string(kind) << ": " << run.model_seconds
               << " s\n";
+    results.add_scalar(to_string(kind), "model_s", run.model_seconds, "s");
+    for (const cesm::ComponentKind component : cesm::kModeledComponents) {
+      results.add_scalar(to_string(kind),
+                         std::string(cesm::to_string(component)) + "_s",
+                         run.component_seconds.at(component), "s");
+    }
   }
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

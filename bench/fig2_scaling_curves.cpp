@@ -7,10 +7,16 @@
 #include "hslb/hslb/report.hpp"
 #include "hslb/perf/fit.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Figure 2 -- component scaling curves, layout (1), 1 degree",
-                "Alexeev et al., IPDPSW'14, Fig. 2 + Table II");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Figure 2 -- component scaling curves, layout (1), 1 degree";
+  const std::string reference = "Alexeev et al., IPDPSW'14, Fig. 2 + Table II";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("fig2_scaling_curves", title, reference);
 
   const cesm::CaseConfig case_config = cesm::one_degree_case();
   const auto campaign = cesm::gather_benchmarks(
@@ -26,6 +32,12 @@ int main() {
   std::cout << "\nFitted Table II parameters (R^2 close to 1 for every "
                "component, as in the paper):\n"
             << core::render_fit_summary(fits);
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    results.add_scalar(cesm::to_string(kind), "r_squared",
+                       fits.at(kind).r_squared, "");
+    results.add_scalar(cesm::to_string(kind), "rmse_s", fits.at(kind).rmse,
+                       "s");
+  }
 
   // Measured points per component.
   std::cout << "\nBenchmark samples (5-day runs):\n";
@@ -73,8 +85,17 @@ int main() {
     terms.cell(atm.serial_term(), 3);
   }
   std::cout << terms;
+  // Artifact: the inset decomposition over the full figure range, including
+  // the 2048-node endpoint the printed *= 4 sweep stops short of.
+  for (const int n : {16, 64, 256, 1024, 2048}) {
+    results.add("atm_terms", n, "t_total_s", atm(n), "s",
+                report::Stability::kDeterministic, "nodes");
+    results.add("atm_terms", n, "t_sca_s", atm.scalable_term(n), "s");
+    results.add("atm_terms", n, "t_nln_s", atm.nonlinear_term(n), "s");
+    results.add("atm_terms", n, "t_ser_s", atm.serial_term(), "s");
+  }
   std::cout << "\nShape check: T_sca dominates at small n, T_ser at large n "
                "(Amdahl), T_nln stays small on this machine -- as the paper "
                "observed on Intrepid.\n";
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -5,10 +5,15 @@
 #include "bench_util.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Figure 3 -- 1/8-degree scaling: human vs HSLB",
-                "Alexeev et al., IPDPSW'14, Fig. 3");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title = "Figure 3 -- 1/8-degree scaling: human vs HSLB";
+  const std::string reference = "Alexeev et al., IPDPSW'14, Fig. 3";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("fig3_highres_summary", title, reference);
 
   const cesm::CaseConfig case_config = cesm::eighth_degree_case();
   core::PipelineConfig base =
@@ -38,10 +43,16 @@ int main() {
     series.cell(hslb.predicted_total, 1);
     series.cell(run.model_seconds, 1);
     series.cell(run.model_seconds / manual.actual_total, 3);
+
+    results.add("human", total, "actual_total_s", manual.actual_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("hslb", total, "pred_total_s", hslb.predicted_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("hslb", total, "actual_total_s", run.model_seconds, "s");
   }
   std::cout << '\n' << series;
   std::cout << "\nShape check (paper Fig. 3): predicted tracks actual "
                "closely; HSLB at or below the human guess, with the gap "
                "widening at scale.\n";
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -7,10 +7,16 @@
 #include "hslb/hslb/report.hpp"
 #include "hslb/perf/perf_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Figure 4 -- layout 1-3 scaling predictions, 1 degree",
-                "Alexeev et al., IPDPSW'14, Fig. 4");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Figure 4 -- layout 1-3 scaling predictions, 1 degree";
+  const std::string reference = "Alexeev et al., IPDPSW'14, Fig. 4";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("fig4_layout_prediction", title, reference);
 
   const cesm::CaseConfig case_config = cesm::one_degree_case();
   core::PipelineConfig base =
@@ -38,6 +44,12 @@ int main() {
       const core::HslbResult result =
           core::run_hslb_from_samples(config, campaign.samples);
       series.cell(result.predicted_total, 1);
+      const char* layout_series =
+          kind == cesm::LayoutKind::kHybrid ? "layout1"
+          : kind == cesm::LayoutKind::kSequentialGroup ? "layout2"
+                                                       : "layout3";
+      results.add(layout_series, total, "pred_s", result.predicted_total,
+                  "s", report::Stability::kDeterministic, "total_nodes");
       if (kind == cesm::LayoutKind::kHybrid) {
         l1_pred = result.predicted_total;
         l1_alloc = result.allocation;
@@ -49,6 +61,7 @@ int main() {
         case_config, l1_alloc->as_layout(cesm::LayoutKind::kHybrid),
         base.seed + 1);
     series.cell(run.model_seconds, 1);
+    results.add("layout1", total, "exp_s", run.model_seconds, "s");
     predicted_l1.push_back(l1_pred);
     experimental_l1.push_back(run.model_seconds);
   }
@@ -60,5 +73,6 @@ int main() {
             << "   (paper: 1.0)\n";
   std::cout << "Shape check (paper Fig. 4): layouts 1 and 2 similar, "
                "layout 3 clearly the worst at every size.\n";
-  return 0;
+  results.add_scalar("fit", "r_squared", r2, "");
+  return bench::finish(std::move(results), artifact_options);
 }

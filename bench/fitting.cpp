@@ -62,8 +62,14 @@ BENCHMARK(BM_FitMultistart)->Arg(0)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Section III-C / Table II -- fitting study",
-                "Alexeev et al., IPDPSW'14, sections III-B/III-C");
+  bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title = "Section III-C / Table II -- fitting study";
+  const std::string reference =
+      "Alexeev et al., IPDPSW'14, sections III-B/III-C";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("fitting", title, reference);
 
   const cesm::CaseConfig config = cesm::one_degree_case();
   const cesm::Component& atm = config.component(cesm::ComponentKind::kAtm);
@@ -87,6 +93,11 @@ int main(int argc, char** argv) {
     dsweep.cell(result.rmse, 3);
     dsweep.cell(rel_err(96), 2);
     dsweep.cell(rel_err(1536), 2);
+    results.add("dsweep", d, "r_squared", result.r_squared, "",
+                report::Stability::kDeterministic, "points");
+    results.add("dsweep", d, "rmse_s", result.rmse, "s");
+    results.add("dsweep", d, "err96_pct", rel_err(96), "%");
+    results.add("dsweep", d, "err1536_pct", rel_err(1536), "%");
   }
   std::cout << dsweep;
   std::cout << "Shape check (paper III-C): about four points already give a "
@@ -126,11 +137,15 @@ int main(int argc, char** argv) {
     strategies.cell(result.sse, 3);
     strategies.cell(rel_err(96), 2);
     strategies.cell(rel_err(1536), 2);
+    results.add_scalar(entry.name, "r_squared", result.r_squared, "");
+    results.add_scalar(entry.name, "sse", result.sse, "");
+    results.add_scalar(entry.name, "err96_pct", rel_err(96), "%");
+    results.add_scalar(entry.name, "err1536_pct", rel_err(1536), "%");
   }
   std::cout << strategies;
 
   std::cout << "\nFit timing:\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -13,10 +13,16 @@
 #include "hslb/cesm/ice_tuner.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Section IV-A / ref. [10] -- ML sea-ice decomposition tuning",
-                "Alexeev et al., IPDPSW'14, section IV-A");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Section IV-A / ref. [10] -- ML sea-ice decomposition tuning";
+  const std::string reference = "Alexeev et al., IPDPSW'14, section IV-A";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("ice_ml", title, reference);
 
   const cesm::CaseConfig case_config = cesm::one_degree_case();
   const cesm::Component& ice =
@@ -51,12 +57,18 @@ int main() {
     per_count.cell(static_cast<long long>(static_cast<int>(chosen)));
     per_count.cell(t_tuned, 3);
     per_count.cell(100.0 * (1.0 - t_tuned / t_default), 1);
+    results.add("default", n, "ice_s", t_default, "s",
+                report::Stability::kDeterministic, "nodes");
+    results.add("learned", n, "ice_s", t_tuned, "s",
+                report::Stability::kDeterministic, "nodes");
   }
   std::cout << per_count;
   std::cout << "aggregate ice time reduction: "
             << common::format_fixed(
                    100.0 * (1.0 - tuned_total / default_total), 1)
             << " %\n";
+  results.add_scalar("summary", "aggregate_gain_pct",
+                     100.0 * (1.0 - tuned_total / default_total), "%");
 
   // --- Fit-quality effect (the paper's actual complaint). --------------------
   std::cout << "\nTable II fit quality of the ice curve:\n";
@@ -81,6 +93,10 @@ int main() {
   fit_table.cell(fit_tuned.r_squared, 5);
   fit_table.cell(fit_tuned.rmse, 3);
   std::cout << fit_table;
+  results.add_scalar("fit_default", "r_squared", fit_default.r_squared, "");
+  results.add_scalar("fit_default", "rmse_s", fit_default.rmse, "s");
+  results.add_scalar("fit_learned", "r_squared", fit_tuned.r_squared, "");
+  results.add_scalar("fit_learned", "rmse_s", fit_tuned.rmse, "s");
 
   // --- End-to-end pipeline effect. --------------------------------------------
   std::cout << "\nEnd-to-end HSLB at 128 nodes, with and without the learned "
@@ -96,11 +112,17 @@ int main() {
     e2e.cell(result.fits.at(cesm::ComponentKind::kIce).r_squared, 5);
     e2e.cell(result.predicted_total, 3);
     e2e.cell(result.actual_total, 3);
+    const std::string series = tuned ? "e2e_tuned" : "e2e_default";
+    results.add_scalar(series, "ice_r_squared",
+                       result.fits.at(cesm::ComponentKind::kIce).r_squared,
+                       "");
+    results.add_scalar(series, "pred_total_s", result.predicted_total, "s");
+    results.add_scalar(series, "actual_total_s", result.actual_total, "s");
   }
   std::cout << e2e;
   std::cout << "\nShape check (paper IV-A): the default decompositions "
                "'increased the noise in the sea ice performance curve fit "
                "and impacted the timing estimates'; the learned policy "
                "removes most of that noise.\n";
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

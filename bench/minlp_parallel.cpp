@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -31,7 +30,6 @@
 #include "bench_util.hpp"
 #include "hslb/common/table.hpp"
 #include "hslb/minlp/branch_and_bound.hpp"
-#include "hslb/svc/request.hpp"
 
 namespace {
 
@@ -164,55 +162,54 @@ struct CaseResult {
   double one_thread_vs_serial = 0.0;  ///< > 1: parallel config at 1 thread wins
 };
 
-std::string json_run(const Run& r) {
-  const minlp::SolveStats& s = r.result.stats;
-  std::string out = "{";
-  out += "\"threads\":" + std::to_string(r.threads);
-  out += ",\"seconds\":" + svc::canonical_double(r.seconds);
-  out += ",\"nodes\":" + std::to_string(s.nodes_explored);
-  out += ",\"nodes_per_s\":" +
-         svc::canonical_double(static_cast<double>(s.nodes_explored) /
-                               std::max(1e-12, r.seconds));
-  out += ",\"epochs\":" + std::to_string(s.epochs);
-  out += ",\"lp_solves\":" + std::to_string(s.lp_solves);
-  out += ",\"warm_lp_solves\":" + std::to_string(s.warm_lp_solves);
-  out += ",\"warm_phase1_skips\":" + std::to_string(s.warm_phase1_skips);
-  out += ",\"warm_simplex_iterations\":" +
-         std::to_string(s.warm_simplex_iterations);
-  out += ",\"cold_simplex_iterations\":" +
-         std::to_string(s.cold_simplex_iterations);
-  out += ",\"objective\":" + svc::canonical_double(r.result.objective);
-  out += "}";
-  return out;
-}
-
-std::string json_case(const CaseResult& c) {
-  std::string out = "{";
-  out += "\"case\":\"" + c.spec.name + "\"";
-  out += ",\"total_nodes\":" + std::to_string(c.spec.total_nodes);
-  out += ",\"sos_branching\":" +
-         std::string(c.spec.sos_branching ? "true" : "false");
-  out += ",\"serial_seconds\":" + svc::canonical_double(c.serial_seconds);
-  out += ",\"serial_nodes\":" + std::to_string(c.serial_nodes);
-  out += ",\"serial_objective\":" + svc::canonical_double(c.serial_objective);
-  out += ",\"runs\":[";
-  for (std::size_t i = 0; i < c.runs.size(); ++i) {
-    out += (i > 0 ? "," : "") + json_run(c.runs[i]);
+/// One case into the unified artifact: the serial baseline sits at x = 0,
+/// the parallel configuration at x = threads.  Wall-clock-derived metrics
+/// carry Stability::kTiming; search statistics and objectives are
+/// deterministic (per smoke/full configuration).
+void record_case(report::ResultSet* results, const CaseResult& c) {
+  const std::string& series = c.spec.name;
+  results->add(series, 0.0, "solve_ms", c.serial_seconds * 1e3, "ms",
+               report::Stability::kTiming, "threads");
+  results->add(series, 0.0, "bb_nodes", static_cast<double>(c.serial_nodes),
+               "count");
+  results->add(series, 0.0, "objective_s", c.serial_objective, "s");
+  results->add(series, 0.0, "speedup_4_vs_1", c.speedup_4_vs_1, "",
+               report::Stability::kTiming);
+  results->add(series, 0.0, "one_thread_vs_serial", c.one_thread_vs_serial,
+               "", report::Stability::kTiming);
+  results->add(series, 0.0, "byte_identical", c.byte_identical ? 1.0 : 0.0,
+               "count");
+  results->add(series, 0.0, "matches_serial", c.matches_serial ? 1.0 : 0.0,
+               "count");
+  for (const Run& r : c.runs) {
+    const minlp::SolveStats& s = r.result.stats;
+    const double x = r.threads;
+    results->add(series, x, "solve_ms", r.seconds * 1e3, "ms",
+                 report::Stability::kTiming);
+    results->add(series, x, "nodes_per_s",
+                 static_cast<double>(s.nodes_explored) /
+                     std::max(1e-12, r.seconds),
+                 "1/s", report::Stability::kTiming);
+    results->add(series, x, "bb_nodes",
+                 static_cast<double>(s.nodes_explored), "count");
+    results->add(series, x, "epochs", static_cast<double>(s.epochs),
+                 "count");
+    results->add(series, x, "lp_solves", static_cast<double>(s.lp_solves),
+                 "count");
+    results->add(series, x, "warm_lp_solves",
+                 static_cast<double>(s.warm_lp_solves), "count");
+    results->add(series, x, "warm_phase1_skips",
+                 static_cast<double>(s.warm_phase1_skips), "count");
+    results->add(series, x, "objective_s", r.result.objective, "s");
   }
-  out += "],\"speedup_4_vs_1\":" + svc::canonical_double(c.speedup_4_vs_1);
-  out += ",\"one_thread_vs_serial\":" +
-         svc::canonical_double(c.one_thread_vs_serial);
-  out += ",\"byte_identical\":" +
-         std::string(c.byte_identical ? "true" : "false");
-  out += ",\"matches_serial\":" +
-         std::string(c.matches_serial ? "true" : "false");
-  out += "}";
-  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hslb;
+  bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
   std::string out_path = "BENCH_minlp.json";
   int repeats = 3;
   bool smoke = false;
@@ -235,8 +232,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::banner("Parallel branch-and-bound scaling (Table I layout MINLPs)",
-                "deterministic epoch-parallel solver; hardware-dependent");
+  const std::string title =
+      "Parallel branch-and-bound scaling (Table I layout MINLPs)";
+  const std::string reference =
+      "deterministic epoch-parallel solver; hardware-dependent";
+  bench::banner(title, reference);
   std::cout << "hardware threads: " << std::thread::hardware_concurrency()
             << (smoke ? "  [smoke mode: tiny node budgets, timings are"
                         " not meaningful]"
@@ -362,21 +362,25 @@ int main(int argc, char** argv) {
                  " (shared or small machine?)\n";
   }
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
+  report::ResultSet artifact =
+      bench::make_result_set("minlp_parallel", title, reference);
+  for (const CaseResult& c : results) {
+    record_case(&artifact, c);
+  }
+  artifact.add_scalar("summary", "hardware_threads",
+                      std::thread::hardware_concurrency(), "count",
+                      report::Stability::kTiming);
+  artifact.add_scalar("summary", "smoke", smoke ? 1.0 : 0.0, "count");
+  artifact.add_scalar("summary", "hardest_speedup_4_vs_1",
+                      hardest->speedup_4_vs_1, "",
+                      report::Stability::kTiming);
+  artifact.add_scalar("summary", "byte_identical",
+                      all_identical ? 1.0 : 0.0, "count");
+  artifact.canonicalize();
+  if (!report::write_file(artifact, out_path)) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\"bench\":\"minlp_parallel\",\"hardware_threads\":"
-      << std::thread::hardware_concurrency()
-      << ",\"smoke\":" << (smoke ? "true" : "false") << ",\"cases\":[";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out << (i > 0 ? "," : "") << json_case(results[i]);
-  }
-  out << "],\"hardest_case\":\"" << hardest->spec.name
-      << "\",\"hardest_speedup_4_vs_1\":"
-      << svc::canonical_double(hardest->speedup_4_vs_1)
-      << ",\"byte_identical\":" << (all_identical ? "true" : "false") << "}\n";
   std::cout << "JSON written to " << out_path << '\n';
-  return all_identical ? 0 : 1;
+  return bench::finish(std::move(artifact), artifact_options, all_identical);
 }

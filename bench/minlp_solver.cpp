@@ -70,8 +70,14 @@ BENCHMARK(BM_SolveBySize)->Arg(128)->Arg(1024)->Arg(8192)->Arg(40960)
 
 int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Section III-E -- MINLP solver performance",
-                "Alexeev et al., IPDPSW'14, section III-E claims");
+  bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title = "Section III-E -- MINLP solver performance";
+  const std::string reference =
+      "Alexeev et al., IPDPSW'14, section III-E claims";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("minlp_solver", title, reference);
 
   // --- SOS vs binary branching ablation. -------------------------------------
   std::cout << "\nSOS1 branching vs individual-binary branching (the paper "
@@ -93,6 +99,16 @@ int main(int argc, char** argv) {
       ablation.cell(static_cast<long long>(result.stats.lp_solves));
       ablation.cell(result.stats.wall_seconds * 1e3, 1);
       ablation.cell(result.objective, 3);
+      const char* series = use_sos ? "sos" : "binary";
+      results.add(series, total, "bb_nodes",
+                  static_cast<double>(result.stats.nodes_explored), "count",
+                  report::Stability::kDeterministic, "total_nodes");
+      results.add(series, total, "lp_solves",
+                  static_cast<double>(result.stats.lp_solves), "count");
+      results.add(series, total, "objective_s", result.objective, "s");
+      results.add(series, total, "wall_ms",
+                  result.stats.wall_seconds * 1e3, "ms",
+                  report::Stability::kTiming);
     }
   }
   std::cout << ablation;
@@ -117,6 +133,17 @@ int main(int argc, char** argv) {
       presolve_table.cell(static_cast<long long>(result.stats.nodes_explored));
       presolve_table.cell(static_cast<long long>(result.stats.lp_solves));
       presolve_table.cell(result.stats.wall_seconds * 1e3, 1);
+      const char* series = use_presolve ? "presolve_on" : "presolve_off";
+      results.add(series, total, "tightenings",
+                  static_cast<double>(result.stats.presolve_tightenings),
+                  "count", report::Stability::kDeterministic, "total_nodes");
+      results.add(series, total, "bb_nodes",
+                  static_cast<double>(result.stats.nodes_explored), "count");
+      results.add(series, total, "lp_solves",
+                  static_cast<double>(result.stats.lp_solves), "count");
+      results.add(series, total, "wall_ms",
+                  result.stats.wall_seconds * 1e3, "ms",
+                  report::Stability::kTiming);
     }
   }
   std::cout << presolve_table;
@@ -137,6 +164,14 @@ int main(int argc, char** argv) {
       algos.cell(static_cast<long long>(r.stats.lp_solves));
       algos.cell(r.stats.wall_seconds * 1e3, 1);
       algos.cell(r.objective, 3);
+      results.add("lpnlp_bb", total, "bb_nodes",
+                  static_cast<double>(r.stats.nodes_explored), "count",
+                  report::Stability::kDeterministic, "total_nodes");
+      results.add("lpnlp_bb", total, "subproblem_solves",
+                  static_cast<double>(r.stats.lp_solves), "count");
+      results.add("lpnlp_bb", total, "objective_s", r.objective, "s");
+      results.add("lpnlp_bb", total, "wall_ms", r.stats.wall_seconds * 1e3,
+                  "ms", report::Stability::kTiming);
     }
     {
       const minlp::Model model = core::build_layout_model(setup.spec, nullptr);
@@ -148,6 +183,14 @@ int main(int argc, char** argv) {
       algos.cell(static_cast<long long>(r.stats.nlp_solves));
       algos.cell(r.stats.wall_seconds * 1e3, 1);
       algos.cell(r.objective, 3);
+      results.add("nlp_bb", total, "bb_nodes",
+                  static_cast<double>(r.stats.nodes_explored), "count",
+                  report::Stability::kDeterministic, "total_nodes");
+      results.add("nlp_bb", total, "subproblem_solves",
+                  static_cast<double>(r.stats.nlp_solves), "count");
+      results.add("nlp_bb", total, "objective_s", r.objective, "s");
+      results.add("nlp_bb", total, "wall_ms", r.stats.wall_seconds * 1e3,
+                  "ms", report::Stability::kTiming);
     }
   }
   std::cout << algos;
@@ -157,5 +200,5 @@ int main(int argc, char** argv) {
                "'< 60 s on one core' claim:\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -7,10 +7,16 @@
 #include "hslb/hslb/objectives.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Section III-D -- objective function ablation (eqs. 1-3)",
-                "Alexeev et al., IPDPSW'14, section III-D");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Section III-D -- objective function ablation (eqs. 1-3)";
+  const std::string reference = "Alexeev et al., IPDPSW'14, section III-D";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("objectives", title, reference);
 
   const cesm::CaseConfig case_config = cesm::one_degree_case();
   core::PipelineConfig base =
@@ -56,6 +62,16 @@ int main() {
       table.cell(run.model_seconds, 2);
       table.cell(metrics.imbalance, 2);
       table.cell(metrics.icelnd_gap, 2);
+
+      const char* series = objective == core::Objective::kMinMax ? "minmax"
+                           : objective == core::Objective::kMaxMin
+                               ? "maxmin"
+                               : "minsum";
+      results.add(series, total, "pred_s", result.predicted_total, "s",
+                  report::Stability::kDeterministic, "total_nodes");
+      results.add(series, total, "actual_s", run.model_seconds, "s");
+      results.add(series, total, "imbalance", metrics.imbalance, "");
+      results.add(series, total, "icelnd_gap_s", metrics.icelnd_gap, "s");
     }
   }
   std::cout << '\n' << table;
@@ -63,5 +79,5 @@ int main() {
                "every size; the alternatives trail it (the paper used "
                "min-max for this reason and calls min-sum 'out of "
                "consideration').\n";
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -14,11 +14,12 @@
 //           byte-for-byte against a fresh solve from a cold service.
 //
 // Results (req/s, p50/p99 latency, hit rate, byte-identity) are printed as
-// a table and written as JSON for CI artifact upload.
+// a table and written as a report::ResultSet artifact for CI upload.  The
+// throughput numbers are host wall-clock and carry Stability::kTiming; only
+// the byte-identity verdict is deterministic (and gates the exit code).
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -137,22 +138,29 @@ PhaseResult run_phase(int workers, int clients, long long requests,
   return result;
 }
 
-std::string json_row(const PhaseResult& r) {
-  std::string out = "{";
-  out += "\"workers\":" + std::to_string(r.workers);
-  out += ",\"requests\":" + std::to_string(r.requests);
-  out += ",\"req_per_s\":" + svc::canonical_double(r.req_per_s);
-  out += ",\"p50_ms\":" + svc::canonical_double(r.p50_ms);
-  out += ",\"p99_ms\":" + svc::canonical_double(r.p99_ms);
-  out += ",\"hit_rate\":" + svc::canonical_double(r.hit_rate);
-  out += ",\"solves\":" + std::to_string(r.solves);
-  out += "}";
-  return out;
+void record_phase(report::ResultSet* results, const std::string& series,
+                  const PhaseResult& r) {
+  const double x = r.workers;
+  results->add(series, x, "requests", static_cast<double>(r.requests),
+               "count", report::Stability::kTiming, "workers");
+  results->add(series, x, "req_per_s", r.req_per_s, "req/s",
+               report::Stability::kTiming);
+  results->add(series, x, "p50_ms", r.p50_ms, "ms",
+               report::Stability::kTiming);
+  results->add(series, x, "p99_ms", r.p99_ms, "ms",
+               report::Stability::kTiming);
+  results->add(series, x, "hit_rate", r.hit_rate, "",
+               report::Stability::kTiming);
+  results->add(series, x, "solves", static_cast<double>(r.solves), "count",
+               report::Stability::kTiming);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hslb;
+  bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
   std::string out_path = "BENCH_svc.json";
   long long cold_requests = 48;
   long long warm_requests = 400;
@@ -171,8 +179,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::banner("Allocation-service throughput (cache cold and warm)",
-                "the svc worker-pool front end; hardware-dependent");
+  const std::string title =
+      "Allocation-service throughput (cache cold and warm)";
+  const std::string reference =
+      "the svc worker-pool front end; hardware-dependent";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("svc_throughput", title, reference);
   std::cout << "hardware threads: " << std::thread::hardware_concurrency()
             << " (worker scaling needs cores; single-core machines serialize"
                " the pool)\n";
@@ -243,20 +256,24 @@ int main(int argc, char** argv) {
             << " % (cached answers byte-identical to fresh solves: "
             << (byte_identical ? "yes" : "NO") << ")\n";
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
+  for (const PhaseResult& r : cold) {
+    record_phase(&results, "cold", r);
+  }
+  record_phase(&results, "warm", warm);
+  results.add_scalar("summary", "hardware_threads",
+                     std::thread::hardware_concurrency(), "count",
+                     report::Stability::kTiming);
+  results.add_scalar("summary", "cold_speedup_4_vs_1", speedup, "",
+                     report::Stability::kTiming);
+  // The only deterministic claim this bench makes: cached answers are
+  // byte-identical to fresh solves.  It is the exit-code gate too.
+  results.add_scalar("summary", "warm_byte_identical",
+                     byte_identical ? 1.0 : 0.0, "count");
+  results.canonicalize();
+  if (!report::write_file(results, out_path)) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\"bench\":\"svc_throughput\",\"hardware_threads\":"
-      << std::thread::hardware_concurrency() << ",\"cold\":[";
-  for (std::size_t i = 0; i < cold.size(); ++i) {
-    out << (i > 0 ? "," : "") << json_row(cold[i]);
-  }
-  out << "],\"cold_speedup_4_vs_1\":" << svc::canonical_double(speedup)
-      << ",\"warm\":" << json_row(warm)
-      << ",\"warm_byte_identical\":" << (byte_identical ? "true" : "false")
-      << "}\n";
   std::cout << "JSON written to " << out_path << '\n';
-  return byte_identical ? 0 : 1;
+  return bench::finish(std::move(results), artifact_options, byte_identical);
 }

@@ -6,11 +6,17 @@
 #include "bench_util.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner(
-      "Table III -- 1/8-degree resolution, constrained ocean counts",
-      "Alexeev et al., IPDPSW'14, Table III (rows 3-4)");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Table III -- 1/8-degree resolution, constrained ocean counts";
+  const std::string reference =
+      "Alexeev et al., IPDPSW'14, Table III (rows 3-4)";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("table3_eighth", title, reference);
 
   const cesm::CaseConfig case_config = cesm::eighth_degree_case();
   core::PipelineConfig base =
@@ -49,6 +55,30 @@ int main() {
               << common::format_fixed(hslb.solver_result.stats.wall_seconds,
                                       2)
               << " s\n";
+
+    const double x = total;
+    results.add("manual", x, "est_total_s", manual.estimated_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("manual", x, "actual_total_s", manual.actual_total, "s");
+    results.add("hslb", x, "pred_total_s", hslb.predicted_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("hslb", x, "actual_total_s", hslb.actual_total, "s");
+    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+      const std::string name = cesm::to_string(kind);
+      results.add("manual", x, "nodes_" + name, manual.nodes.at(kind),
+                  "nodes");
+      results.add("hslb", x, "nodes_" + name,
+                  hslb.components.at(kind).nodes, "nodes");
+    }
+    results.add("hslb", x, "solver_bb_nodes",
+                static_cast<double>(hslb.solver_result.stats.nodes_explored),
+                "count");
+    results.add("hslb", x, "solver_lp_solves",
+                static_cast<double>(hslb.solver_result.stats.lp_solves),
+                "count");
+    results.add("hslb", x, "solver_wall_ms",
+                hslb.solver_result.stats.wall_seconds * 1e3, "ms",
+                report::Stability::kTiming);
   }
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -11,11 +11,17 @@
 #include "hslb/cesm/decomposition.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner(
-      "Table III -- 1/8-degree resolution, unconstrained ocean counts",
-      "Alexeev et al., IPDPSW'14, Table III (rows 5-6)");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title =
+      "Table III -- 1/8-degree resolution, unconstrained ocean counts";
+  const std::string reference =
+      "Alexeev et al., IPDPSW'14, Table III (rows 5-6)";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("table3_unconstrained", title, reference);
 
   const cesm::CaseConfig case_config = cesm::eighth_degree_case();
   core::PipelineConfig base =
@@ -135,6 +141,23 @@ int main() {
               << tuned.at(cesm::ComponentKind::kOcn) << ", predicted "
               << common::format_fixed(tuned_prediction, 3) << " s, actual "
               << common::format_fixed(tuned_run.model_seconds, 3) << " s\n";
+
+    const double x = total;
+    results.add("constrained", x, "pred_total_s", con.predicted_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("constrained", x, "actual_total_s", con_run.model_seconds,
+                "s");
+    results.add("constrained", x, "nodes_ocn",
+                con.allocation.nodes.at(cesm::ComponentKind::kOcn), "nodes");
+    results.add("unconstrained", x, "pred_total_s", unc.predicted_total, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("unconstrained", x, "actual_total_s", unc.actual_total, "s");
+    results.add("unconstrained", x, "nodes_ocn", predicted_ocn, "nodes");
+    results.add("tuned", x, "pred_total_s", tuned_prediction, "s",
+                report::Stability::kDeterministic, "total_nodes");
+    results.add("tuned", x, "actual_total_s", tuned_run.model_seconds, "s");
+    results.add("tuned", x, "nodes_ocn",
+                tuned.at(cesm::ComponentKind::kOcn), "nodes");
   }
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -9,10 +9,15 @@
 #include "hslb/common/error.hpp"
 #include "hslb/hslb/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hslb;
-  bench::banner("Section III-A -- Tsync tolerance sweep",
-                "Alexeev et al., IPDPSW'14, section III-A");
+  const bench::ArtifactOptions artifact_options =
+      bench::parse_artifact_args(argc, argv);
+  const std::string title = "Section III-A -- Tsync tolerance sweep";
+  const std::string reference = "Alexeev et al., IPDPSW'14, section III-A";
+  bench::banner(title, reference);
+  report::ResultSet results =
+      bench::make_result_set("tsync", title, reference);
 
   const cesm::CaseConfig case_config = cesm::one_degree_case();
   core::PipelineConfig base =
@@ -32,6 +37,10 @@ int main() {
       table.cell(static_cast<long long>(total));
       table.cell(std::isfinite(tsync) ? common::format_fixed(tsync, 2)
                                       : std::string("inf"));
+      const std::string series = "m" + std::to_string(total);
+      // The sweep coordinate: the Tsync tolerance itself (inf -> 1e9, the
+      // same stand-in the solver config uses).
+      const double x = std::isfinite(tsync) ? tsync : 1e9;
       try {
         const core::HslbResult result =
             core::run_hslb_from_samples(config, campaign.samples);
@@ -48,12 +57,28 @@ int main() {
         table.cell(gap, 3);
         table.cell(static_cast<long long>(
             result.solver_result.stats.nodes_explored));
+        results.add(series, x, "feasible", 1.0, "count",
+                    report::Stability::kDeterministic, "tsync_s");
+        results.add(series, x, "pred_s", result.predicted_total, "s");
+        results.add(series, x, "nodes_ice",
+                    result.allocation.nodes.at(cesm::ComponentKind::kIce),
+                    "nodes");
+        results.add(series, x, "nodes_lnd",
+                    result.allocation.nodes.at(cesm::ComponentKind::kLnd),
+                    "nodes");
+        results.add(series, x, "icelnd_gap_s", gap, "s");
+        results.add(series, x, "bb_nodes",
+                    static_cast<double>(
+                        result.solver_result.stats.nodes_explored),
+                    "count");
       } catch (const Error&) {
         table.cell(std::string("infeasible"));
         table.cell_missing();
         table.cell_missing();
         table.cell_missing();
         table.cell_missing();
+        results.add(series, x, "feasible", 0.0, "count",
+                    report::Stability::kDeterministic, "tsync_s");
       }
     }
   }
@@ -61,5 +86,5 @@ int main() {
   std::cout << "\nShape check (paper III-A): the optimum is monotonically "
                "non-decreasing as Tsync tightens -- synchronization "
                "constraints can only cost time.\n";
-  return 0;
+  return bench::finish(std::move(results), artifact_options);
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (stdlib only, no network).
+
+Walks every tracked *.md file and verifies that
+
+  * relative links point at files or directories that exist,
+  * intra-document anchors (#section) resolve to a heading in the target
+    file, using GitHub's anchor-slug rules,
+  * reference-style link definitions are not dangling.
+
+External links (http/https/mailto) are recorded but never fetched: CI must
+stay hermetic, and a flaky remote host should not fail the build.  Exit
+status is nonzero when any broken link is found.
+
+Usage: scripts/check_links.py [root]     (default: repo root)
+"""
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# [text](target) -- stops at the first unescaped ')'; images share the form.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][ref] and the matching "[ref]: target" definitions.
+REF_LINK = re.compile(r"\[[^\]]+\]\[([^\]]+)\]")
+REF_DEF = re.compile(r"^\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules", ".claude"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor id rule: lowercase, drop punctuation,
+    spaces to hyphens.  Inline code/emphasis markers are stripped first."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def md_files(root: str) -> list[str]:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def anchors_of(path: str, cache: dict[str, set[str]]) -> set[str]:
+    if path not in cache:
+        with open(path, encoding="utf-8") as handle:
+            text = FENCE.sub("", handle.read())
+        slugs: set[str] = set()
+        for match in HEADING.finditer(text):
+            slug = github_slug(match.group(1))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            candidate, n = slug, 0
+            while candidate in slugs:
+                n += 1
+                candidate = f"{slug}-{n}"
+            slugs.add(candidate)
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: str, root: str, cache: dict[str, set[str]]) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        raw = handle.read()
+    text = FENCE.sub("", raw)
+
+    problems: list[str] = []
+    targets = [m.group(1) for m in INLINE_LINK.finditer(text)]
+    defs = {m.group(1).lower(): m.group(2) for m in REF_DEF.finditer(text)}
+    for match in REF_LINK.finditer(text):
+        ref = match.group(1).lower()
+        if ref in defs:
+            targets.append(defs[ref])
+        else:
+            problems.append(f"{path}: dangling reference link "
+                            f"[{match.group(1)}]")
+
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path, cache) and \
+                    target[1:] not in anchors_of(path, cache):
+                problems.append(f"{path}: broken anchor '{target}'")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part))
+        if not os.path.exists(resolved):
+            problems.append(f"{path}: broken link '{target}' "
+                            f"(no such file {os.path.relpath(resolved, root)})")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor not in anchors_of(resolved, cache) and \
+                    github_slug(anchor) not in anchors_of(resolved, cache):
+                problems.append(f"{path}: broken anchor '{target}'")
+    return problems
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    cache: dict[str, set[str]] = {}
+    files = md_files(root)
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root, cache))
+    for message in errors:
+        print(message, file=sys.stderr)
+    print(f"check_links: {len(files)} markdown file(s), "
+          f"{len(errors)} broken link(s)", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

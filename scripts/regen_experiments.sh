@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Reproducible-results pipeline driver (DESIGN.md section 10).
+#
+#   scripts/regen_experiments.sh            # gate mode (default): re-run the
+#                                           # doc benches, diff fresh artifacts
+#                                           # against tests/golden/ under the
+#                                           # tolerance policy, re-render
+#                                           # EXPERIMENTS.md and byte-compare
+#                                           # it with the committed file.
+#                                           # Nonzero exit on drift/staleness.
+#   scripts/regen_experiments.sh --update   # refresh tests/golden/*.json and
+#                                           # rewrite EXPERIMENTS.md from the
+#                                           # fresh run (commit the result).
+#
+# Environment:
+#   BUILD_DIR       build tree holding bench/ and tools/ binaries
+#                   (default: build)
+#   HSLB_FRESH_DIR  where to write the fresh artifacts; kept after exit so CI
+#                   can upload them (default: a mktemp dir, removed on exit)
+#
+# The two google-benchmark binaries are run with --benchmark_filter=NONE_
+# so only the deterministic tables execute; timing cells never gate anything,
+# so skipping the timers changes no gated number.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${BUILD_DIR:-build}"
+mode="check"
+if [[ "${1:-}" == "--update" ]]; then
+  mode="update"
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--update]" >&2
+  exit 2
+fi
+
+for binary in "${build_dir}/tools/hslb_report" "${build_dir}/bench/bench_fig1_layouts"; do
+  if [[ ! -x "${binary}" ]]; then
+    echo "missing ${binary} -- build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+    exit 2
+  fi
+done
+
+# The doc bench set, in the order of report::experiments_bench_set().
+benches=(
+  table3_1deg table3_eighth table3_unconstrained
+  fig2_scaling_curves fig3_highres_summary fig4_layout_prediction
+  minlp_solver objectives tsync
+  fitting ice_ml fig1_layouts
+)
+# Binaries that also register google-benchmark timers (skipped here).
+gbench="minlp_solver fitting"
+
+if [[ -n "${HSLB_FRESH_DIR:-}" ]]; then
+  fresh="${HSLB_FRESH_DIR}"
+  mkdir -p "${fresh}"
+else
+  fresh="$(mktemp -d "${TMPDIR:-/tmp}/hslb-artifacts.XXXXXX")"
+  trap 'rm -rf "${fresh}"' EXIT
+fi
+
+echo "== re-running ${#benches[@]} doc benches into ${fresh}" >&2
+for bench in "${benches[@]}"; do
+  args=("--json-out=${fresh}/${bench}.json")
+  if [[ " ${gbench} " == *" ${bench} "* ]]; then
+    args+=("--benchmark_filter=NONE_")
+  fi
+  echo "  bench_${bench}" >&2
+  "${build_dir}/bench/bench_${bench}" "${args[@]}" >/dev/null
+done
+
+report="${build_dir}/tools/hslb_report"
+regen_command="scripts/regen_experiments.sh --update"
+
+if [[ "${mode}" == "update" ]]; then
+  mkdir -p tests/golden
+  for bench in "${benches[@]}"; do
+    cp "${fresh}/${bench}.json" "tests/golden/${bench}.json"
+  done
+  "${report}" render --artifacts=tests/golden --paper=docs/paper_reference.json \
+    --out=EXPERIMENTS.md --regen-command="${regen_command}"
+  echo "== refreshed tests/golden/ and EXPERIMENTS.md; review and commit" >&2
+  exit 0
+fi
+
+status=0
+echo "== drift gate: fresh artifacts vs tests/golden" >&2
+"${report}" diff --golden=tests/golden --fresh="${fresh}" || status=1
+echo "== staleness gate: EXPERIMENTS.md vs a fresh render" >&2
+"${report}" check --artifacts="${fresh}" --paper=docs/paper_reference.json \
+  --doc=EXPERIMENTS.md --regen-command="${regen_command}" || status=1
+if [[ -n "${HSLB_FRESH_DIR:-}" ]]; then
+  # Leave the regenerated doc next to the fresh artifacts for CI upload.
+  "${report}" render --artifacts="${fresh}" --paper=docs/paper_reference.json \
+    --out="${fresh}/EXPERIMENTS.regenerated.md" \
+    --regen-command="${regen_command}" || status=1
+fi
+if [[ "${status}" -ne 0 ]]; then
+  echo "regen_experiments: FAILED (numeric drift or stale EXPERIMENTS.md;" \
+       "run $0 --update and commit if the change is intended)" >&2
+else
+  echo "regen_experiments: OK" >&2
+fi
+exit "${status}"

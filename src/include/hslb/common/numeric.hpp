@@ -1,0 +1,35 @@
+// Canonical text form of a double: the shortest decimal string that parses
+// back to the exact same bits.  Used everywhere a float becomes part of an
+// identity -- service cache keys (svc/request.cpp), bench artifact files and
+// their fingerprints (report/) -- so that equal doubles always produce equal
+// bytes and distinct doubles never collide.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hslb::common {
+
+/// Shortest of the three precisions that round-trips the exact double, so
+/// 0.5 prints "0.5" (not "0.50000000000000000") while every distinct value
+/// still gets a distinct string.  -0.0 folds to "0"; NaN prints "nan".
+inline std::string shortest_double(double value) {
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (value == 0.0) {
+    return "0";  // folds -0.0 into +0.0
+  }
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+}  // namespace hslb::common

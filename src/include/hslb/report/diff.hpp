@@ -1,0 +1,90 @@
+// The numeric drift gate: compare a freshly produced ResultSet against the
+// golden one under tests/golden/ and classify every difference.
+//
+// Tolerance policy (DESIGN.md section 10):
+//   * deterministic cells default to a tight relative tolerance (1e-9) --
+//     they are pure functions of the seeded simulation, but cross-platform
+//     libm differences may wiggle the last bits;
+//   * integer-like cells (units "nodes", "count") compare exactly;
+//   * timing cells are skipped by the gate unless `check_timing` is set
+//     (then `timing_default` applies -- useful for trend alarms on a
+//     dedicated perf host, never in shared CI);
+//   * structural differences (missing series/point/metric, unit or
+//     stability changes) are always failures: a metric that vanishes is
+//     drift in its most dishonest form.
+//
+// NaN semantics: NaN golden vs NaN fresh is agreement (the recorded value
+// reproduced); NaN on exactly one side is a drift.  A zero baseline makes
+// relative error undefined, so the absolute tolerance alone decides.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hslb/report/result_set.hpp"
+
+namespace hslb::report {
+
+struct Tolerance {
+  double rel = 0.0;  ///< |fresh - golden| <= rel * |golden| passes
+  double abs = 0.0;  ///< ... or |fresh - golden| <= abs passes
+};
+
+struct TolerancePolicy {
+  Tolerance deterministic_default{1e-9, 1e-12};
+  Tolerance timing_default{0.5, 1e-3};
+  bool check_timing = false;
+  /// Overrides, most specific wins: "bench.series.metric", "bench.metric",
+  /// then "metric".
+  std::map<std::string, Tolerance> per_metric;
+
+  Tolerance for_cell(const std::string& bench, const std::string& series,
+                     const Cell& cell) const;
+};
+
+enum class DriftKind {
+  kValue,          ///< numeric difference beyond tolerance
+  kMissingSeries,  ///< golden series absent from fresh
+  kMissingPoint,
+  kMissingMetric,
+  kExtraSeries,    ///< fresh grew content the golden never recorded
+  kExtraPoint,
+  kExtraMetric,
+  kUnitChanged,
+  kStabilityChanged,
+  kBenchMismatch,  ///< the two sets are not even the same bench
+};
+
+const char* to_string(DriftKind kind);
+
+struct Drift {
+  DriftKind kind = DriftKind::kValue;
+  std::string bench;
+  std::string series;
+  double x = 0.0;
+  std::string metric;
+  double golden = 0.0;
+  double fresh = 0.0;
+  double rel_error = 0.0;  ///< 0 when undefined (zero baseline, structural)
+  std::string message;     ///< one human-readable line
+};
+
+struct DiffResult {
+  std::vector<Drift> drifts;
+  int cells_compared = 0;
+  int cells_skipped_timing = 0;
+  bool ok() const { return drifts.empty(); }
+};
+
+/// Compare fresh against golden under the policy.  Golden is authoritative:
+/// everything it records must be present and within tolerance; anything
+/// extra in fresh is also flagged (an unexplained new number is a schema
+/// change that should come with a golden refresh).
+DiffResult diff(const ResultSet& golden, const ResultSet& fresh,
+                const TolerancePolicy& policy = {});
+
+/// One line per drift plus a summary tail; "" when clean.
+std::string render_drift_report(const DiffResult& result);
+
+}  // namespace hslb::report

@@ -1,0 +1,97 @@
+// A minimal JSON document model for the results pipeline: enough to parse
+// and re-emit the bench artifact schema (report/result_set.hpp) and the
+// checked-in paper-reference file, nothing more.
+//
+// Writing is canonical: object keys keep insertion order (the schema fixes
+// the order), numbers use common::shortest_double, and there is no
+// whitespace beyond optional pretty-print indentation.  Canonical bytes are
+// what the artifact fingerprints and the byte-identical EXPERIMENTS.md
+// regeneration contract are built on.
+//
+// Parsing is strict UTF-8-agnostic RFC-8259 minus the corners the schema
+// never produces: no \u escapes beyond ASCII, no scientific-notation
+// writing (reading accepts it).  Failure is an expected data condition
+// (somebody hand-edited an artifact), so the parser returns
+// common::Expected rather than throwing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hslb/common/expected.hpp"
+
+namespace hslb::report {
+
+class Json;
+
+/// Parse failure with enough context to point at the offending byte.
+struct JsonParseError {
+  std::string message;
+  std::size_t offset = 0;  ///< byte offset into the input
+  std::size_t line = 1;    ///< 1-based line of `offset`
+};
+
+/// One JSON value.  A tagged union kept deliberately simple: objects
+/// preserve insertion order (vector of pairs) because canonical output
+/// order is part of the artifact contract.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null();
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json integer(long long value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+  void push_back(Json value);
+
+  /// Object access.  `find` returns nullptr when the key is absent.
+  const Json* find(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  void set(std::string key, Json value);
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Canonical serialization.  `indent` 0 gives the single-line canonical
+  /// form used for fingerprints; > 0 pretty-prints for humans (artifact
+  /// files use 1 so diffs stay reviewable).
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Strict parse of a complete JSON document (trailing garbage is an error).
+common::Expected<Json, JsonParseError> parse_json(const std::string& text);
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+std::string json_quote(const std::string& text);
+
+}  // namespace hslb::report

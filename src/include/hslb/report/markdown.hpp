@@ -1,0 +1,59 @@
+// Markdown rendering helpers for the generated docs: a GitHub pipe-table
+// builder and the paper-reference lookup (docs/paper_reference.json, the
+// checked-in transcription of Alexeev et al.'s published numbers).
+//
+// Formatting rule: every number in a generated doc goes through
+// format_fixed with an explicit precision, never through shortest-double --
+// docs round for humans, artifacts keep every bit.  Rounded rendering also
+// makes the byte-identical regeneration contract robust to sub-tolerance
+// floating-point wiggle between hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/report/json.hpp"
+
+namespace hslb::report {
+
+/// GitHub-flavored pipe table.  Cells are escaped ('|' -> '\|'); column
+/// counts are enforced so a half-filled row cannot silently render.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> header);
+
+  MarkdownTable& row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The paper's published values, loaded from docs/paper_reference.json:
+///   { "paper": "...citation...",
+///     "values":  { "table3_1deg.manual_total_s@128": 416.0, ... },
+///     "strings": { "table3_eighth.ocn_pick@8192": "2356", ... } }
+/// Lookups are hard errors when the key is missing: a doc anchored to a
+/// paper number must fail to build rather than render a blank.
+struct PaperRefError {
+  std::string message;
+};
+
+class PaperRef {
+ public:
+  static common::Expected<PaperRef, PaperRefError> load(
+      const std::string& path);
+
+  double number(const std::string& key) const;
+  std::string text(const std::string& key) const;
+  const std::string& citation() const { return citation_; }
+
+ private:
+  Json values_ = Json::object();
+  Json strings_ = Json::object();
+  std::string citation_;
+};
+
+}  // namespace hslb::report

@@ -1,0 +1,112 @@
+// The structured bench-artifact schema: every bench/* binary records the
+// numbers it prints into a ResultSet and writes it as versioned JSON next
+// to its stdout.  EXPERIMENTS.md is rendered from these files (tools/
+// hslb_report), and CI diffs fresh artifacts against the checked-in goldens
+// under tests/golden/ -- so a number can only appear in the docs if a
+// recorded run backs it, and it cannot drift silently.
+//
+// Shape: a ResultSet holds named Series; a Series holds Points keyed by a
+// single numeric x (machine size, Tsync tolerance, benchmark-point count D
+// -- whatever the bench sweeps; scalar series use the single point x = 0);
+// a Point holds metric Cells.  Cells are either *deterministic* (pure
+// functions of the seeded simulation: times predicted/simulated, node
+// counts, R^2, B&B statistics) or *timing* (host wall-clock measurements).
+// Only deterministic cells enter the fingerprint, the rendered docs, and
+// the strict drift gate; timing cells ride along for trend tracking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/report/json.hpp"
+
+namespace hslb::report {
+
+/// Bumped whenever the JSON layout changes incompatibly.  Readers reject
+/// versions they do not know instead of guessing.
+inline constexpr int kSchemaVersion = 1;
+
+enum class Stability {
+  kDeterministic,  ///< seeded-simulation output: must reproduce exactly
+  kTiming,         ///< host wall-clock: machine-dependent, informational
+};
+
+const char* to_string(Stability stability);
+
+struct Cell {
+  std::string metric;  ///< e.g. "actual_total_s"
+  double value = 0.0;
+  std::string unit;    ///< "s", "ms", "nodes", "%", "" (dimensionless)
+  Stability stability = Stability::kDeterministic;
+};
+
+struct Point {
+  double x = 0.0;           ///< sweep coordinate; 0 for scalar series
+  std::vector<Cell> cells;  ///< sorted by metric after canonicalize()
+};
+
+struct Series {
+  std::string name;     ///< e.g. "manual", "hslb", "minmax"
+  std::string x_label;  ///< e.g. "total_nodes"; "" for scalar series
+  std::vector<Point> points;
+};
+
+struct ResultSet {
+  int version = kSchemaVersion;
+  std::string bench;      ///< binary id, e.g. "table3_1deg"
+  std::string title;      ///< the banner line
+  std::string reference;  ///< the paper table/figure this reproduces
+  std::vector<Series> series;
+
+  /// Append `metric` at (`series_name`, `x`), creating series and point as
+  /// needed.  `x_label` applies on series creation only.
+  void add(const std::string& series_name, double x,
+           const std::string& metric, double value, const std::string& unit,
+           Stability stability = Stability::kDeterministic,
+           const std::string& x_label = "");
+
+  /// Scalar convenience: one point at x = 0.
+  void add_scalar(const std::string& series_name, const std::string& metric,
+                  double value, const std::string& unit,
+                  Stability stability = Stability::kDeterministic);
+
+  const Series* find_series(const std::string& series_name) const;
+  const Point* find_point(const std::string& series_name, double x) const;
+  /// nullptr when series, point, or metric is absent.
+  const Cell* find(const std::string& series_name, double x,
+                   const std::string& metric) const;
+  /// Lookup that treats a missing cell as a hard error (the docs generator
+  /// must fail loudly, not render a blank).
+  double value(const std::string& series_name, double x,
+               const std::string& metric) const;
+
+  /// Sort series by name, points by x, cells by metric.  Emission order in
+  /// the bench binaries then cannot change the canonical bytes.
+  void canonicalize();
+
+  /// FNV-1a 64-bit over the canonical serialization of the *deterministic*
+  /// cells (metric names, units, and shortest-round-trip values).  Stable
+  /// across emission order, timing jitter, and pretty-printing.
+  std::string fingerprint() const;
+};
+
+/// Versioned JSON round-trip.  `to_json` canonicalizes a copy first; the
+/// output embeds the fingerprint so readers can verify file integrity.
+std::string to_json(const ResultSet& set, int indent = 1);
+
+struct ResultSetParseError {
+  std::string message;
+};
+
+/// Strict parse: wrong schema version, malformed JSON, or a fingerprint
+/// field that does not match the recomputed one are all errors.
+common::Expected<ResultSet, ResultSetParseError> from_json(
+    const std::string& text);
+
+/// File helpers.  `write_file` returns false on I/O failure.
+bool write_file(const ResultSet& set, const std::string& path);
+common::Expected<ResultSet, ResultSetParseError> read_file(
+    const std::string& path);
+
+}  // namespace hslb::report

@@ -1,0 +1,232 @@
+#include "hslb/report/diff.hpp"
+
+#include <cmath>
+
+#include "hslb/common/numeric.hpp"
+
+namespace hslb::report {
+
+const char* to_string(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kValue:
+      return "value";
+    case DriftKind::kMissingSeries:
+      return "missing_series";
+    case DriftKind::kMissingPoint:
+      return "missing_point";
+    case DriftKind::kMissingMetric:
+      return "missing_metric";
+    case DriftKind::kExtraSeries:
+      return "extra_series";
+    case DriftKind::kExtraPoint:
+      return "extra_point";
+    case DriftKind::kExtraMetric:
+      return "extra_metric";
+    case DriftKind::kUnitChanged:
+      return "unit_changed";
+    case DriftKind::kStabilityChanged:
+      return "stability_changed";
+    case DriftKind::kBenchMismatch:
+      return "bench_mismatch";
+  }
+  return "unknown";
+}
+
+Tolerance TolerancePolicy::for_cell(const std::string& bench,
+                                    const std::string& series,
+                                    const Cell& cell) const {
+  for (const std::string& key :
+       {bench + "." + series + "." + cell.metric, bench + "." + cell.metric,
+        cell.metric}) {
+    const auto found = per_metric.find(key);
+    if (found != per_metric.end()) {
+      return found->second;
+    }
+  }
+  // Integer-valued units carry no rounding noise: exact or it drifted.
+  if (cell.unit == "nodes" || cell.unit == "count") {
+    return Tolerance{0.0, 0.0};
+  }
+  return cell.stability == Stability::kTiming ? timing_default
+                                              : deterministic_default;
+}
+
+namespace {
+
+std::string where(const std::string& bench, const std::string& series,
+                  double x, const std::string& metric) {
+  return bench + ": " + series + "@" + common::shortest_double(x) +
+         (metric.empty() ? "" : "." + metric);
+}
+
+void add_drift(DiffResult* out, Drift drift) {
+  out->drifts.push_back(std::move(drift));
+}
+
+}  // namespace
+
+DiffResult diff(const ResultSet& golden, const ResultSet& fresh,
+                const TolerancePolicy& policy) {
+  DiffResult out;
+  if (golden.bench != fresh.bench) {
+    Drift d;
+    d.kind = DriftKind::kBenchMismatch;
+    d.bench = golden.bench;
+    d.message = "comparing bench '" + golden.bench + "' against '" +
+                fresh.bench + "'";
+    add_drift(&out, std::move(d));
+    return out;
+  }
+
+  for (const Series& gs : golden.series) {
+    const Series* fs = fresh.find_series(gs.name);
+    if (fs == nullptr) {
+      Drift d;
+      d.kind = DriftKind::kMissingSeries;
+      d.bench = golden.bench;
+      d.series = gs.name;
+      d.message = golden.bench + ": series '" + gs.name +
+                  "' missing from fresh run";
+      add_drift(&out, std::move(d));
+      continue;
+    }
+    for (const Point& gp : gs.points) {
+      const Point* fp = fresh.find_point(gs.name, gp.x);
+      if (fp == nullptr) {
+        Drift d;
+        d.kind = DriftKind::kMissingPoint;
+        d.bench = golden.bench;
+        d.series = gs.name;
+        d.x = gp.x;
+        d.message = where(golden.bench, gs.name, gp.x, "") +
+                    " missing from fresh run";
+        add_drift(&out, std::move(d));
+        continue;
+      }
+      for (const Cell& gc : gp.cells) {
+        const Cell* fc = fresh.find(gs.name, gp.x, gc.metric);
+        Drift d;
+        d.bench = golden.bench;
+        d.series = gs.name;
+        d.x = gp.x;
+        d.metric = gc.metric;
+        d.golden = gc.value;
+        if (fc == nullptr) {
+          d.kind = DriftKind::kMissingMetric;
+          d.message = where(golden.bench, gs.name, gp.x, gc.metric) +
+                      " missing from fresh run";
+          add_drift(&out, std::move(d));
+          continue;
+        }
+        d.fresh = fc->value;
+        if (gc.unit != fc->unit) {
+          d.kind = DriftKind::kUnitChanged;
+          d.message = where(golden.bench, gs.name, gp.x, gc.metric) +
+                      " unit changed '" + gc.unit + "' -> '" + fc->unit + "'";
+          add_drift(&out, std::move(d));
+          continue;
+        }
+        if (gc.stability != fc->stability) {
+          d.kind = DriftKind::kStabilityChanged;
+          d.message = where(golden.bench, gs.name, gp.x, gc.metric) +
+                      " stability changed " +
+                      std::string(to_string(gc.stability)) + " -> " +
+                      to_string(fc->stability);
+          add_drift(&out, std::move(d));
+          continue;
+        }
+        if (gc.stability == Stability::kTiming && !policy.check_timing) {
+          ++out.cells_skipped_timing;
+          continue;
+        }
+        ++out.cells_compared;
+
+        const bool golden_nan = std::isnan(gc.value);
+        const bool fresh_nan = std::isnan(fc->value);
+        if (golden_nan && fresh_nan) {
+          continue;  // the recorded not-a-number reproduced
+        }
+        const Tolerance tol = policy.for_cell(golden.bench, gs.name, gc);
+        bool pass = false;
+        double rel = 0.0;
+        if (!golden_nan && !fresh_nan) {
+          const double delta = std::fabs(fc->value - gc.value);
+          const double scale = std::fabs(gc.value);
+          rel = scale > 0.0 ? delta / scale : 0.0;
+          // Zero baseline: relative error is undefined, the absolute
+          // tolerance alone decides.
+          pass = delta <= tol.abs ||
+                 (scale > 0.0 && delta <= tol.rel * scale);
+        }
+        if (!pass) {
+          d.kind = DriftKind::kValue;
+          d.rel_error = rel;
+          d.message = where(golden.bench, gs.name, gp.x, gc.metric) +
+                      " golden " + common::shortest_double(gc.value) +
+                      " fresh " + common::shortest_double(fc->value) +
+                      (golden_nan || fresh_nan
+                           ? " (NaN on one side)"
+                           : " (rel " + common::shortest_double(rel) + ")");
+          add_drift(&out, std::move(d));
+        }
+      }
+      // Fresh metrics the golden never recorded.
+      for (const Cell& fc : fp->cells) {
+        if (golden.find(gs.name, gp.x, fc.metric) == nullptr) {
+          Drift d;
+          d.kind = DriftKind::kExtraMetric;
+          d.bench = golden.bench;
+          d.series = gs.name;
+          d.x = gp.x;
+          d.metric = fc.metric;
+          d.fresh = fc.value;
+          d.message = where(golden.bench, gs.name, gp.x, fc.metric) +
+                      " present in fresh run but not in golden";
+          add_drift(&out, std::move(d));
+        }
+      }
+    }
+    for (const Point& fp : fs->points) {
+      if (golden.find_point(gs.name, fp.x) == nullptr) {
+        Drift d;
+        d.kind = DriftKind::kExtraPoint;
+        d.bench = golden.bench;
+        d.series = gs.name;
+        d.x = fp.x;
+        d.message = where(golden.bench, gs.name, fp.x, "") +
+                    " present in fresh run but not in golden";
+        add_drift(&out, std::move(d));
+      }
+    }
+  }
+  for (const Series& fs : fresh.series) {
+    if (golden.find_series(fs.name) == nullptr) {
+      Drift d;
+      d.kind = DriftKind::kExtraSeries;
+      d.bench = golden.bench;
+      d.series = fs.name;
+      d.message = golden.bench + ": series '" + fs.name +
+                  "' present in fresh run but not in golden";
+      add_drift(&out, std::move(d));
+    }
+  }
+  return out;
+}
+
+std::string render_drift_report(const DiffResult& result) {
+  if (result.ok()) {
+    return "";
+  }
+  std::string out;
+  for (const Drift& d : result.drifts) {
+    out += "DRIFT [" + std::string(to_string(d.kind)) + "] " + d.message +
+           "\n";
+  }
+  out += std::to_string(result.drifts.size()) + " drift(s), " +
+         std::to_string(result.cells_compared) + " cell(s) compared, " +
+         std::to_string(result.cells_skipped_timing) +
+         " timing cell(s) skipped\n";
+  return out;
+}
+
+}  // namespace hslb::report

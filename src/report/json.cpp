@@ -1,0 +1,491 @@
+#include "hslb/report/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/numeric.hpp"
+
+namespace hslb::report {
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::integer(long long value) {
+  return number(static_cast<double>(value));
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  HSLB_ASSERT(is_bool(), "Json::as_bool on a non-bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  HSLB_ASSERT(is_number(), "Json::as_number on a non-number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  HSLB_ASSERT(is_string(), "Json::as_string on a non-string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  return is_array() ? array_.size() : object_.size();
+}
+
+const Json& Json::at(std::size_t index) const {
+  HSLB_ASSERT(is_array() && index < array_.size(), "Json array index");
+  return array_[index];
+}
+
+void Json::push_back(Json value) {
+  HSLB_ASSERT(is_array(), "Json::push_back on a non-array");
+  array_.push_back(std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : object_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  HSLB_ASSERT(found != nullptr, "Json object key missing");
+  return *found;
+}
+
+void Json::set(std::string key, Json value) {
+  HSLB_ASSERT(is_object(), "Json::set on a non-object");
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  HSLB_ASSERT(is_object(), "Json::items on a non-object");
+  return object_;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void newline_indent(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+}
+
+}  // namespace
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      // Infinities have no JSON spelling; the schema never emits them, and
+      // NaN round-trips through the string "nan" (strtod parses it back).
+      *out += common::shortest_double(number_);
+      return;
+    case Kind::kString:
+      *out += json_quote(string_);
+      return;
+    case Kind::kArray: {
+      *out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          *out += ',';
+        }
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline_indent(out, indent, depth);
+      }
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          *out += ',';
+        }
+        newline_indent(out, indent, depth + 1);
+        *out += json_quote(object_[i].first);
+        *out += ':';
+        if (indent > 0) {
+          *out += ' ';
+        }
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        newline_indent(out, indent, depth);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  common::Expected<Json, JsonParseError> run() {
+    skip_whitespace();
+    Json value;
+    if (!parse_value(&value)) {
+      return common::make_unexpected(error_);
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail_at("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  common::Unexpected<JsonParseError> fail_at(const std::string& message) {
+    if (error_.message.empty()) {
+      error_.message = message;
+      error_.offset = pos_;
+      error_.line = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++error_.line;
+        }
+      }
+    }
+    return common::make_unexpected(error_);
+  }
+
+  bool fail(const std::string& message) {
+    (void)fail_at(message);
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) {
+      return fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return fail("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad hex digit in \\u escape");
+              }
+            }
+            if (code > 0x7f) {
+              return fail("non-ASCII \\u escape unsupported");
+            }
+            *out += static_cast<char>(code);
+            break;
+          }
+          default:
+            return fail("unknown escape character");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos_;
+    if (parse_literal("nan")) {  // shortest_double's NaN spelling
+      *out = Json::number(std::nan(""));
+      return true;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return fail("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    *out = Json::number(value);
+    return true;
+  }
+
+  bool parse_value(Json* out) {
+    if (depth_ > kMaxDepth) {
+      return fail("nesting too deep");
+    }
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      *out = Json::object();
+      skip_whitespace();
+      if (consume('}')) {
+        return true;
+      }
+      ++depth_;
+      for (;;) {
+        skip_whitespace();
+        std::string key;
+        if (!parse_string(&key)) {
+          return false;
+        }
+        skip_whitespace();
+        if (!consume(':')) {
+          return fail("expected ':' in object");
+        }
+        Json value;
+        if (!parse_value(&value)) {
+          return false;
+        }
+        if (out->find(key) != nullptr) {
+          return fail("duplicate object key: " + key);
+        }
+        out->set(std::move(key), std::move(value));
+        skip_whitespace();
+        if (consume(',')) {
+          continue;
+        }
+        if (consume('}')) {
+          --depth_;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      *out = Json::array();
+      skip_whitespace();
+      if (consume(']')) {
+        return true;
+      }
+      ++depth_;
+      for (;;) {
+        Json value;
+        if (!parse_value(&value)) {
+          return false;
+        }
+        out->push_back(std::move(value));
+        skip_whitespace();
+        if (consume(',')) {
+          continue;
+        }
+        if (consume(']')) {
+          --depth_;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) {
+        return false;
+      }
+      *out = Json::string(std::move(s));
+      return true;
+    }
+    if (parse_literal("true")) {
+      *out = Json::boolean(true);
+      return true;
+    }
+    if (parse_literal("false")) {
+      *out = Json::boolean(false);
+      return true;
+    }
+    if (parse_literal("null")) {
+      *out = Json::null();
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  JsonParseError error_;
+};
+
+}  // namespace
+
+common::Expected<Json, JsonParseError> parse_json(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace hslb::report

@@ -1,0 +1,102 @@
+#include "hslb/report/markdown.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::report {
+
+MarkdownTable::MarkdownTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HSLB_REQUIRE(!header_.empty(), "markdown table needs at least one column");
+}
+
+namespace {
+
+std::string escape_cell(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '|') {
+      out += "\\|";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MarkdownTable& MarkdownTable::row(std::vector<std::string> cells) {
+  HSLB_REQUIRE(cells.size() == header_.size(),
+               "markdown table row has " + std::to_string(cells.size()) +
+                   " cells, header has " + std::to_string(header_.size()));
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string MarkdownTable::str() const {
+  std::string out = "|";
+  for (const std::string& h : header_) {
+    out += ' ' + escape_cell(h) + " |";
+  }
+  out += "\n|";
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    out += "---|";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += '|';
+    for (const std::string& cell : row) {
+      out += ' ' + escape_cell(cell) + " |";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+common::Expected<PaperRef, PaperRefError> PaperRef::load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::make_unexpected(PaperRefError{"cannot open " + path});
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = parse_json(buffer.str());
+  if (!doc) {
+    return common::make_unexpected(PaperRefError{
+        path + ": JSON parse error at line " +
+        std::to_string(doc.error().line) + ": " + doc.error().message});
+  }
+  const Json& root = doc.value();
+  if (!root.is_object() || root.find("values") == nullptr ||
+      !root.at("values").is_object() || root.find("strings") == nullptr ||
+      !root.at("strings").is_object() || root.find("paper") == nullptr ||
+      !root.at("paper").is_string()) {
+    return common::make_unexpected(PaperRefError{
+        path + ": expected {paper, values, strings} object"});
+  }
+  PaperRef ref;
+  ref.values_ = root.at("values");
+  ref.strings_ = root.at("strings");
+  ref.citation_ = root.at("paper").as_string();
+  return ref;
+}
+
+double PaperRef::number(const std::string& key) const {
+  const Json* found = values_.find(key);
+  HSLB_REQUIRE(found != nullptr && found->is_number(),
+               "paper_reference.json: missing numeric value '" + key + "'");
+  return found->as_number();
+}
+
+std::string PaperRef::text(const std::string& key) const {
+  const Json* found = strings_.find(key);
+  HSLB_REQUIRE(found != nullptr && found->is_string(),
+               "paper_reference.json: missing string value '" + key + "'");
+  return found->as_string();
+}
+
+}  // namespace hslb::report

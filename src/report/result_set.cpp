@@ -1,0 +1,332 @@
+#include "hslb/report/result_set.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/numeric.hpp"
+
+namespace hslb::report {
+
+const char* to_string(Stability stability) {
+  switch (stability) {
+    case Stability::kDeterministic:
+      return "deterministic";
+    case Stability::kTiming:
+      return "timing";
+  }
+  return "unknown";
+}
+
+void ResultSet::add(const std::string& series_name, double x,
+                    const std::string& metric, double value,
+                    const std::string& unit, Stability stability,
+                    const std::string& x_label) {
+  Series* target = nullptr;
+  for (Series& s : series) {
+    if (s.name == series_name) {
+      target = &s;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    series.push_back(Series{series_name, x_label, {}});
+    target = &series.back();
+  }
+  Point* point = nullptr;
+  for (Point& p : target->points) {
+    if (p.x == x) {
+      point = &p;
+      break;
+    }
+  }
+  if (point == nullptr) {
+    target->points.push_back(Point{x, {}});
+    point = &target->points.back();
+  }
+  for (const Cell& cell : point->cells) {
+    HSLB_REQUIRE(cell.metric != metric,
+                 "duplicate metric '" + metric + "' in series '" +
+                     series_name + "' of bench '" + bench + "'");
+  }
+  point->cells.push_back(Cell{metric, value, unit, stability});
+}
+
+void ResultSet::add_scalar(const std::string& series_name,
+                           const std::string& metric, double value,
+                           const std::string& unit, Stability stability) {
+  add(series_name, 0.0, metric, value, unit, stability);
+}
+
+const Series* ResultSet::find_series(const std::string& series_name) const {
+  for (const Series& s : series) {
+    if (s.name == series_name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const Point* ResultSet::find_point(const std::string& series_name,
+                                   double x) const {
+  const Series* s = find_series(series_name);
+  if (s == nullptr) {
+    return nullptr;
+  }
+  for (const Point& p : s->points) {
+    if (p.x == x) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const Cell* ResultSet::find(const std::string& series_name, double x,
+                            const std::string& metric) const {
+  const Point* p = find_point(series_name, x);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  for (const Cell& cell : p->cells) {
+    if (cell.metric == metric) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+double ResultSet::value(const std::string& series_name, double x,
+                        const std::string& metric) const {
+  const Cell* cell = find(series_name, x, metric);
+  HSLB_REQUIRE(cell != nullptr,
+               "bench '" + bench + "': no cell " + series_name + "@" +
+                   common::shortest_double(x) + "." + metric);
+  return cell->value;
+}
+
+void ResultSet::canonicalize() {
+  for (Series& s : series) {
+    for (Point& p : s.points) {
+      std::sort(p.cells.begin(), p.cells.end(),
+                [](const Cell& a, const Cell& b) { return a.metric < b.metric; });
+    }
+    std::sort(s.points.begin(), s.points.end(),
+              [](const Point& a, const Point& b) { return a.x < b.x; });
+  }
+  std::sort(series.begin(), series.end(),
+            [](const Series& a, const Series& b) { return a.name < b.name; });
+}
+
+std::string ResultSet::fingerprint() const {
+  // Canonical byte stream of the deterministic content only.
+  ResultSet copy = *this;
+  copy.canonicalize();
+  std::string bytes = "hslb-results-v" + std::to_string(copy.version);
+  bytes += '|' + copy.bench;
+  for (const Series& s : copy.series) {
+    for (const Point& p : s.points) {
+      for (const Cell& cell : p.cells) {
+        if (cell.stability != Stability::kDeterministic) {
+          continue;
+        }
+        bytes += '|' + s.name + '@' + common::shortest_double(p.x) + ':' +
+                 cell.metric + '=' + common::shortest_double(cell.value) +
+                 cell.unit;
+      }
+    }
+  }
+  // FNV-1a, 64 bit.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string to_json(const ResultSet& set, int indent) {
+  ResultSet copy = set;
+  copy.canonicalize();
+
+  Json root = Json::object();
+  root.set("hslb_results_version", Json::integer(copy.version));
+  root.set("bench", Json::string(copy.bench));
+  root.set("title", Json::string(copy.title));
+  root.set("reference", Json::string(copy.reference));
+  root.set("fingerprint", Json::string(copy.fingerprint()));
+
+  Json series = Json::array();
+  for (const Series& s : copy.series) {
+    Json js = Json::object();
+    js.set("name", Json::string(s.name));
+    js.set("x_label", Json::string(s.x_label));
+    Json points = Json::array();
+    for (const Point& p : s.points) {
+      Json jp = Json::object();
+      jp.set("x", Json::number(p.x));
+      Json cells = Json::array();
+      for (const Cell& cell : p.cells) {
+        Json jc = Json::object();
+        jc.set("metric", Json::string(cell.metric));
+        jc.set("value", Json::number(cell.value));
+        jc.set("unit", Json::string(cell.unit));
+        jc.set("stability", Json::string(to_string(cell.stability)));
+        cells.push_back(std::move(jc));
+      }
+      jp.set("cells", std::move(cells));
+      points.push_back(std::move(jp));
+    }
+    js.set("points", std::move(points));
+    series.push_back(std::move(js));
+  }
+  root.set("series", std::move(series));
+  std::string out = root.dump(indent);
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+common::Unexpected<ResultSetParseError> parse_fail(const std::string& what) {
+  return common::make_unexpected(ResultSetParseError{what});
+}
+
+}  // namespace
+
+common::Expected<ResultSet, ResultSetParseError> from_json(
+    const std::string& text) {
+  const auto doc = parse_json(text);
+  if (!doc) {
+    return parse_fail("JSON parse error at line " +
+                      std::to_string(doc.error().line) + ": " +
+                      doc.error().message);
+  }
+  const Json& root = doc.value();
+  if (!root.is_object()) {
+    return parse_fail("artifact root must be an object");
+  }
+  const Json* version = root.find("hslb_results_version");
+  if (version == nullptr || !version->is_number()) {
+    return parse_fail("missing hslb_results_version");
+  }
+  ResultSet set;
+  set.version = static_cast<int>(version->as_number());
+  if (set.version != kSchemaVersion) {
+    return parse_fail("unsupported schema version " +
+                      std::to_string(set.version) + " (reader knows " +
+                      std::to_string(kSchemaVersion) + ")");
+  }
+  for (const char* key : {"bench", "title", "reference"}) {
+    const Json* field = root.find(key);
+    if (field == nullptr || !field->is_string()) {
+      return parse_fail(std::string("missing string field '") + key + "'");
+    }
+  }
+  set.bench = root.at("bench").as_string();
+  set.title = root.at("title").as_string();
+  set.reference = root.at("reference").as_string();
+
+  const Json* series = root.find("series");
+  if (series == nullptr || !series->is_array()) {
+    return parse_fail("missing series array");
+  }
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    const Json& js = series->at(i);
+    if (!js.is_object() || js.find("name") == nullptr ||
+        !js.at("name").is_string() || js.find("points") == nullptr ||
+        !js.at("points").is_array()) {
+      return parse_fail("malformed series entry");
+    }
+    Series s;
+    s.name = js.at("name").as_string();
+    if (const Json* x_label = js.find("x_label");
+        x_label != nullptr && x_label->is_string()) {
+      s.x_label = x_label->as_string();
+    }
+    const Json& points = js.at("points");
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      const Json& jp = points.at(j);
+      if (!jp.is_object() || jp.find("x") == nullptr ||
+          !jp.at("x").is_number() || jp.find("cells") == nullptr ||
+          !jp.at("cells").is_array()) {
+        return parse_fail("malformed point in series '" + s.name + "'");
+      }
+      Point p;
+      p.x = jp.at("x").as_number();
+      const Json& cells = jp.at("cells");
+      for (std::size_t k = 0; k < cells.size(); ++k) {
+        const Json& jc = cells.at(k);
+        if (!jc.is_object() || jc.find("metric") == nullptr ||
+            !jc.at("metric").is_string() || jc.find("value") == nullptr ||
+            !jc.at("value").is_number()) {
+          return parse_fail("malformed cell in series '" + s.name + "'");
+        }
+        Cell cell;
+        cell.metric = jc.at("metric").as_string();
+        cell.value = jc.at("value").as_number();
+        if (const Json* unit = jc.find("unit");
+            unit != nullptr && unit->is_string()) {
+          cell.unit = unit->as_string();
+        }
+        cell.stability = Stability::kDeterministic;
+        if (const Json* stability = jc.find("stability");
+            stability != nullptr && stability->is_string()) {
+          const std::string& tag = stability->as_string();
+          if (tag == "timing") {
+            cell.stability = Stability::kTiming;
+          } else if (tag != "deterministic") {
+            return parse_fail("unknown stability '" + tag + "'");
+          }
+        }
+        p.cells.push_back(std::move(cell));
+      }
+      s.points.push_back(std::move(p));
+    }
+    set.series.push_back(std::move(s));
+  }
+
+  if (const Json* fingerprint = root.find("fingerprint");
+      fingerprint != nullptr && fingerprint->is_string()) {
+    const std::string recomputed = set.fingerprint();
+    if (fingerprint->as_string() != recomputed) {
+      return parse_fail("fingerprint mismatch: file says " +
+                        fingerprint->as_string() + ", content hashes to " +
+                        recomputed + " (artifact corrupted or hand-edited)");
+    }
+  } else {
+    return parse_fail("missing fingerprint");
+  }
+  return set;
+}
+
+bool write_file(const ResultSet& set, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << to_json(set);
+  return static_cast<bool>(out);
+}
+
+common::Expected<ResultSet, ResultSetParseError> read_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return parse_fail("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = from_json(buffer.str());
+  if (!parsed) {
+    return parse_fail(path + ": " + parsed.error().message);
+  }
+  return parsed;
+}
+
+}  // namespace hslb::report

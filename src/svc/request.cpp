@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "hslb/common/numeric.hpp"
+
 namespace hslb::svc {
 
 const char* to_string(ErrorCode code) {
@@ -27,23 +29,7 @@ const char* to_string(ErrorCode code) {
 }
 
 std::string canonical_double(double value) {
-  if (std::isnan(value)) {
-    return "nan";
-  }
-  if (value == 0.0) {
-    return "0";  // folds -0.0 into +0.0
-  }
-  // Shortest of the three precisions that round-trips the exact double, so
-  // 0.5 prints "0.5" (not "0.50000000000000000") while every distinct value
-  // still gets a distinct string.
-  char buf[40];
-  for (const int precision : {15, 16, 17}) {
-    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
-    if (std::strtod(buf, nullptr) == value) {
-      break;
-    }
-  }
-  return buf;
+  return common::shortest_double(value);
 }
 
 namespace {

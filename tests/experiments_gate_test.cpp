@@ -1,0 +1,101 @@
+// The tier-1 staleness gate for the reproducible-results pipeline: the
+// committed EXPERIMENTS.md must be byte-identical to a render from the
+// committed goldens (tests/golden/*.json) and docs/paper_reference.json.
+// If a bench's numbers change, `scripts/regen_experiments.sh --update`
+// refreshes both goldens and doc in one step; forgetting to run it (or
+// hand-editing the doc) fails here, in plain ctest, before CI.
+//
+// HSLB_SOURCE_DIR is injected by tests/CMakeLists.txt so the test reads
+// the committed files from the source tree, not the build tree.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "hslb/common/error.hpp"
+#include "hslb/report/experiments_doc.hpp"
+#include "hslb/report/markdown.hpp"
+#include "hslb/report/result_set.hpp"
+
+namespace hslb::report {
+namespace {
+
+// Must match scripts/regen_experiments.sh and the hslb_report CLI default;
+// the rendered header embeds it, so a mismatch shows up as a byte diff.
+constexpr const char* kRegenCommand = "scripts/regen_experiments.sh --update";
+
+std::string source_path(const std::string& relative) {
+  return std::string(HSLB_SOURCE_DIR) + "/" + relative;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::map<std::string, ResultSet> load_goldens() {
+  std::map<std::string, ResultSet> artifacts;
+  for (const std::string& bench : experiments_bench_set()) {
+    auto parsed = read_file(source_path("tests/golden/" + bench + ".json"));
+    EXPECT_TRUE(parsed.has_value())
+        << (parsed ? "" : parsed.error().message);
+    if (parsed.has_value()) {
+      artifacts.emplace(bench, std::move(parsed.value()));
+    }
+  }
+  return artifacts;
+}
+
+TEST(ExperimentsGate, GoldenArtifactsParseAndMatchTheirBenchIds) {
+  const auto artifacts = load_goldens();
+  ASSERT_EQ(artifacts.size(), experiments_bench_set().size());
+  for (const auto& [bench, set] : artifacts) {
+    EXPECT_EQ(set.bench, bench) << "golden file name does not match its "
+                                   "embedded bench id";
+    // read_file already verified the embedded fingerprint; recomputing here
+    // guards against a parser that silently dropped deterministic cells.
+    EXPECT_EQ(set.fingerprint().size(), 16u);
+    EXPECT_FALSE(set.series.empty()) << bench;
+  }
+}
+
+TEST(ExperimentsGate, CommittedDocIsByteIdenticalToARender) {
+  const auto artifacts = load_goldens();
+  ASSERT_EQ(artifacts.size(), experiments_bench_set().size());
+  const auto paper = PaperRef::load(source_path("docs/paper_reference.json"));
+  ASSERT_TRUE(paper.has_value()) << (paper ? "" : paper.error().message);
+
+  const std::string rendered =
+      render_experiments(artifacts, paper.value(), kRegenCommand);
+  const std::string committed = slurp(source_path("EXPERIMENTS.md"));
+  ASSERT_FALSE(committed.empty());
+
+  if (rendered != committed) {
+    std::size_t at = 0;
+    const std::size_t limit = std::min(rendered.size(), committed.size());
+    while (at < limit && rendered[at] == committed[at]) {
+      ++at;
+    }
+    FAIL() << "EXPERIMENTS.md is stale: first difference at byte " << at
+           << " (rendered " << rendered.size() << " bytes, committed "
+           << committed.size() << ").  Run `" << kRegenCommand
+           << "` and commit the result.";
+  }
+}
+
+TEST(ExperimentsGate, RenderFailsLoudlyOnMissingArtifact) {
+  auto artifacts = load_goldens();
+  const auto paper = PaperRef::load(source_path("docs/paper_reference.json"));
+  ASSERT_TRUE(paper.has_value());
+  artifacts.erase("tsync");
+  EXPECT_THROW(render_experiments(artifacts, paper.value(), kRegenCommand),
+               Error);
+}
+
+}  // namespace
+}  // namespace hslb::report

@@ -1,0 +1,429 @@
+// Tests for the structured bench-artifact layer (src/report/): schema
+// round-trips, canonicalization, fingerprints, the drift gate's tolerance
+// semantics, and the markdown/paper-reference helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/numeric.hpp"
+#include "hslb/report/diff.hpp"
+#include "hslb/report/markdown.hpp"
+#include "hslb/report/result_set.hpp"
+
+namespace hslb::report {
+namespace {
+
+ResultSet sample_set() {
+  ResultSet set;
+  set.bench = "sample";
+  set.title = "Sample bench";
+  set.reference = "unit test";
+  set.add("hslb", 128, "pred_total_s", 398.5934272719407, "s",
+          Stability::kDeterministic, "total_nodes");
+  set.add("hslb", 128, "nodes_ocn", 22, "nodes");
+  set.add("hslb", 128, "solver_wall_ms", 11.25, "ms", Stability::kTiming);
+  set.add("hslb", 2048, "pred_total_s", 80.59, "s");
+  set.add("manual", 128, "est_total_s", 421.504658035483, "s",
+          Stability::kDeterministic, "total_nodes");
+  set.add_scalar("fit", "r_squared", 0.9988419547672202, "");
+  return set;
+}
+
+// --- Canonical float text ---------------------------------------------------
+
+TEST(ShortestDouble, RoundTripsAndCanonicalizes) {
+  for (const double v : {0.1, 1.0 / 3.0, 398.5934272719407, 1e-300, 2.0,
+                         -17.25, 6.02214076e23}) {
+    const std::string text = common::shortest_double(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  EXPECT_EQ(common::shortest_double(-0.0), "0");
+  EXPECT_EQ(common::shortest_double(0.0), "0");
+  EXPECT_EQ(common::shortest_double(
+                std::numeric_limits<double>::quiet_NaN()),
+            "nan");
+}
+
+// --- Schema round-trip ------------------------------------------------------
+
+TEST(ResultSet, WriteParseWriteIsIdentical) {
+  ResultSet set = sample_set();
+  const std::string first = to_json(set);
+  const auto parsed = from_json(first);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const std::string second = to_json(parsed.value());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(parsed.value().fingerprint(), set.fingerprint());
+  EXPECT_EQ(parsed.value().bench, "sample");
+  EXPECT_EQ(parsed.value().title, "Sample bench");
+}
+
+TEST(ResultSet, EmissionOrderDoesNotChangeCanonicalBytes) {
+  ResultSet forward = sample_set();
+  ResultSet backward;
+  backward.bench = "sample";
+  backward.title = "Sample bench";
+  backward.reference = "unit test";
+  backward.add_scalar("fit", "r_squared", 0.9988419547672202, "");
+  backward.add("manual", 128, "est_total_s", 421.504658035483, "s",
+               Stability::kDeterministic, "total_nodes");
+  backward.add("hslb", 2048, "pred_total_s", 80.59, "s",
+               Stability::kDeterministic, "total_nodes");
+  backward.add("hslb", 128, "solver_wall_ms", 11.25, "ms",
+               Stability::kTiming);
+  backward.add("hslb", 128, "nodes_ocn", 22, "nodes");
+  backward.add("hslb", 128, "pred_total_s", 398.5934272719407, "s");
+  EXPECT_EQ(to_json(forward), to_json(backward));
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+}
+
+TEST(ResultSet, FingerprintIgnoresTimingCellsOnly) {
+  ResultSet set = sample_set();
+  const std::string base = set.fingerprint();
+
+  ResultSet jittered = sample_set();
+  for (Series& series : jittered.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.stability == Stability::kTiming) {
+          cell.value *= 3.7;  // wall-clock noise must not move the pin
+        }
+      }
+    }
+  }
+  EXPECT_EQ(jittered.fingerprint(), base);
+
+  ResultSet changed = sample_set();
+  for (Series& series : changed.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "pred_total_s" && point.x == 128) {
+          cell.value += 1e-9;
+        }
+      }
+    }
+  }
+  EXPECT_NE(changed.fingerprint(), base);
+}
+
+TEST(ResultSet, DuplicateMetricThrows) {
+  ResultSet set;
+  set.bench = "dup";
+  set.add("s", 1, "m", 1.0, "s");
+  EXPECT_THROW(set.add("s", 1, "m", 2.0, "s"), InvalidArgument);
+}
+
+TEST(ResultSet, ValueLookupIsHardError) {
+  const ResultSet set = sample_set();
+  EXPECT_DOUBLE_EQ(set.value("hslb", 128, "pred_total_s"),
+                   398.5934272719407);
+  EXPECT_THROW(set.value("hslb", 128, "no_such_metric"), Error);
+  EXPECT_THROW(set.value("no_such_series", 128, "pred_total_s"), Error);
+  EXPECT_THROW(set.value("hslb", 999, "pred_total_s"), Error);
+}
+
+TEST(ResultSet, ParserRejectsTamperedFingerprint) {
+  std::string text = to_json(sample_set());
+  const auto pos = text.find("\"fingerprint\": \"");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 16] = text[pos + 16] == '0' ? '1' : '0';
+  const auto parsed = from_json(text);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("fingerprint"), std::string::npos);
+}
+
+TEST(ResultSet, ParserRejectsUnknownSchemaVersion) {
+  ResultSet set = sample_set();
+  set.version = kSchemaVersion + 1;
+  const auto parsed = from_json(to_json(set));
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("version"), std::string::npos);
+}
+
+TEST(ResultSet, ParserRejectsGarbage) {
+  EXPECT_FALSE(from_json("not json").has_value());
+  EXPECT_FALSE(from_json("{}").has_value());
+  EXPECT_FALSE(from_json("{\"version\": 1}").has_value());
+}
+
+TEST(ResultSet, NanSurvivesTheRoundTrip) {
+  ResultSet set;
+  set.bench = "nan";
+  set.add("s", 0, "undefined_ratio",
+          std::numeric_limits<double>::quiet_NaN(), "");
+  const auto parsed = from_json(to_json(set));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const Cell* cell = parsed.value().find("s", 0, "undefined_ratio");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_TRUE(std::isnan(cell->value));
+  EXPECT_EQ(parsed.value().fingerprint(), set.fingerprint());
+}
+
+// --- Drift gate -------------------------------------------------------------
+
+TEST(Diff, IdenticalSetsAreClean) {
+  const DiffResult result = diff(sample_set(), sample_set());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cells_compared, 5);
+  EXPECT_EQ(result.cells_skipped_timing, 1);
+}
+
+TEST(Diff, SubToleranceWiggleIsNotDrift) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "pred_total_s") {
+          cell.value *= 1.0 + 1e-12;  // last-bit libm wiggle
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(diff(sample_set(), fresh).ok());
+}
+
+TEST(Diff, ValueDriftBeyondToleranceIsFlagged) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "r_squared") {
+          cell.value += 1e-3;
+        }
+      }
+    }
+  }
+  const DiffResult result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kValue);
+  EXPECT_EQ(result.drifts[0].metric, "r_squared");
+  EXPECT_FALSE(render_drift_report(result).empty());
+}
+
+TEST(Diff, IntegerUnitsCompareExactly) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "nodes_ocn") {
+          cell.value = 23;  // only ~4.5% off, but node counts are exact
+        }
+      }
+    }
+  }
+  const DiffResult result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].metric, "nodes_ocn");
+}
+
+TEST(Diff, TimingCellsAreSkippedUnlessAsked) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "solver_wall_ms") {
+          cell.value *= 1.2;  // 20% slower: inside timing_default's 50%
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(diff(sample_set(), fresh).ok());
+  TolerancePolicy strict;
+  strict.check_timing = true;
+  EXPECT_TRUE(diff(sample_set(), fresh, strict).ok());
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "solver_wall_ms") {
+          cell.value *= 10.0;  // way past timing_default
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(diff(sample_set(), fresh).ok());
+  EXPECT_FALSE(diff(sample_set(), fresh, strict).ok());
+}
+
+TEST(Diff, MissingAndExtraStructureIsAlwaysDrift) {
+  ResultSet golden = sample_set();
+  ResultSet fresh = sample_set();
+  fresh.series.erase(fresh.series.begin());  // drop one series
+  DiffResult result = diff(golden, fresh);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kMissingSeries);
+
+  fresh = sample_set();
+  fresh.add("brand_new", 1, "m", 1.0, "s");
+  result = diff(golden, fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kExtraSeries);
+
+  fresh = sample_set();
+  fresh.add("hslb", 4096, "pred_total_s", 50.0, "s");
+  result = diff(golden, fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kExtraPoint);
+
+  fresh = sample_set();
+  fresh.add("hslb", 128, "surprise_metric", 1.0, "s");
+  result = diff(golden, fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kExtraMetric);
+}
+
+TEST(Diff, UnitOrStabilityChangeIsDrift) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      for (Cell& cell : point.cells) {
+        if (cell.metric == "est_total_s") {
+          cell.unit = "ms";
+        }
+        if (cell.metric == "r_squared") {
+          cell.stability = Stability::kTiming;
+        }
+      }
+    }
+  }
+  // Golden iteration order: "manual" (unit change) before "fit" (stability).
+  const DiffResult result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 2u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kUnitChanged);
+  EXPECT_EQ(result.drifts[0].metric, "est_total_s");
+  EXPECT_EQ(result.drifts[1].kind, DriftKind::kStabilityChanged);
+  EXPECT_EQ(result.drifts[1].metric, "r_squared");
+}
+
+TEST(Diff, MissingPointAndMetricAreDrift) {
+  ResultSet fresh = sample_set();
+  for (Series& series : fresh.series) {
+    if (series.name == "hslb") {
+      std::erase_if(series.points, [](const Point& p) { return p.x == 2048; });
+    }
+  }
+  DiffResult result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kMissingPoint);
+
+  fresh = sample_set();
+  for (Series& series : fresh.series) {
+    for (Point& point : series.points) {
+      std::erase_if(point.cells, [](const Cell& cell) {
+        return cell.metric == "nodes_ocn";
+      });
+    }
+  }
+  result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kMissingMetric);
+  EXPECT_EQ(result.drifts[0].metric, "nodes_ocn");
+}
+
+TEST(Diff, BenchMismatchShortCircuits) {
+  ResultSet fresh = sample_set();
+  fresh.bench = "other";
+  const DiffResult result = diff(sample_set(), fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kBenchMismatch);
+}
+
+TEST(Diff, NanAgreesWithNanAndDriftsAgainstNumbers) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ResultSet golden;
+  golden.bench = "nan";
+  golden.add("s", 0, "ratio", nan, "");
+  ResultSet fresh = golden;
+  EXPECT_TRUE(diff(golden, fresh).ok());
+
+  fresh.series[0].points[0].cells[0].value = 1.0;
+  DiffResult result = diff(golden, fresh);
+  ASSERT_EQ(result.drifts.size(), 1u);
+  EXPECT_EQ(result.drifts[0].kind, DriftKind::kValue);
+  EXPECT_NE(result.drifts[0].message.find("NaN"), std::string::npos);
+
+  fresh.series[0].points[0].cells[0].value = nan;
+  golden.series[0].points[0].cells[0].value = 1.0;
+  EXPECT_FALSE(diff(golden, fresh).ok());
+}
+
+TEST(Diff, ZeroBaselineUsesAbsoluteToleranceOnly) {
+  ResultSet golden;
+  golden.bench = "zero";
+  golden.add("s", 0, "offset_s", 0.0, "s");
+  ResultSet fresh = golden;
+  fresh.series[0].points[0].cells[0].value = 1e-13;  // inside abs 1e-12
+  EXPECT_TRUE(diff(golden, fresh).ok());
+  fresh.series[0].points[0].cells[0].value = 1e-6;
+  EXPECT_FALSE(diff(golden, fresh).ok());
+}
+
+TEST(Diff, PerMetricOverridesAreMostSpecificFirst) {
+  TolerancePolicy policy;
+  policy.per_metric["offset_s"] = {0.5, 0.0};
+  policy.per_metric["zero.offset_s"] = {0.25, 0.0};
+  policy.per_metric["zero.s.offset_s"] = {0.1, 0.0};
+  Cell cell;
+  cell.metric = "offset_s";
+  cell.unit = "s";
+  EXPECT_DOUBLE_EQ(policy.for_cell("zero", "s", cell).rel, 0.1);
+  EXPECT_DOUBLE_EQ(policy.for_cell("zero", "other", cell).rel, 0.25);
+  EXPECT_DOUBLE_EQ(policy.for_cell("elsewhere", "s", cell).rel, 0.5);
+  // Overrides beat the exact-compare rule for integer units too.
+  cell.unit = "nodes";
+  EXPECT_DOUBLE_EQ(policy.for_cell("zero", "s", cell).rel, 0.1);
+}
+
+// --- Markdown helpers -------------------------------------------------------
+
+TEST(MarkdownTable, RendersGitHubPipeTable) {
+  MarkdownTable table({"name", "value"});
+  table.row({"plain", "1.0"});
+  table.row({"pipe|inside", "2.0"});
+  EXPECT_EQ(table.str(),
+            "| name | value |\n"
+            "|---|---|\n"
+            "| plain | 1.0 |\n"
+            "| pipe\\|inside | 2.0 |\n");
+}
+
+TEST(MarkdownTable, WrongColumnCountThrows) {
+  MarkdownTable table({"a", "b"});
+  EXPECT_THROW(table.row({"only one"}), InvalidArgument);
+  EXPECT_THROW(MarkdownTable(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(PaperRef, LoadsAndLooksUp) {
+  const std::string path = ::testing::TempDir() + "paper_ref_test.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\n \"paper\": \"Someone et al.\",\n"
+           " \"values\": {\"t.total_s@128\": 416.0},\n"
+           " \"strings\": {\"t.claim\": \"very close\"}\n}\n";
+  }
+  const auto loaded = PaperRef::load(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().citation(), "Someone et al.");
+  EXPECT_DOUBLE_EQ(loaded.value().number("t.total_s@128"), 416.0);
+  EXPECT_EQ(loaded.value().text("t.claim"), "very close");
+  EXPECT_THROW(loaded.value().number("t.missing"), InvalidArgument);
+  EXPECT_THROW(loaded.value().text("t.missing"), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PaperRef, MissingFileAndBadShapeAreErrors) {
+  EXPECT_FALSE(PaperRef::load("/no/such/file.json").has_value());
+  const std::string path = ::testing::TempDir() + "paper_ref_bad.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"values\": {}}";
+  }
+  EXPECT_FALSE(PaperRef::load(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hslb::report
