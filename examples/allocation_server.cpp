@@ -4,6 +4,8 @@
 //   $ ./allocation_server [--workers=<n>] [--clients=<n>] [--requests=<n>]
 //                         [--distinct=<n>] [--ttl=<seconds>]
 //                         [--solver-threads=<n>] [--metrics] [--smoke]
+//                         [--metrics-port=<port>] [--metrics-out=<file>]
+//                         [--metrics-interval=<seconds>] [--trace-out=<file>]
 //
 // <clients> threads issue <requests> allocation requests each, drawn from
 // <distinct> distinct questions (different machine-slice sizes over one set
@@ -11,8 +13,20 @@
 // many requests hit the cache, how many coalesced onto an in-flight solve,
 // and how many times the MINLP actually ran.  --smoke shrinks the workload
 // to a CI-friendly size and asserts the invariants (exit 1 on violation).
+//
+// Telemetry endpoints: --metrics-port serves live Prometheus text on
+// 127.0.0.1 (port 0 picks an ephemeral one, printed at startup) while the
+// load runs; --metrics-out dumps the same exposition to a file every
+// --metrics-interval seconds (default 1) plus once at exit; --trace-out
+// writes the full request span tree as Chrome trace JSON at exit, ready for
+// chrome://tracing or the hslb_trace analyzer.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +34,7 @@
 #include "hslb/common/table.hpp"
 #include "hslb/common/timing.hpp"
 #include "hslb/hslb/report.hpp"
+#include "hslb/obs/exposition.hpp"
 #include "hslb/svc/service.hpp"
 
 namespace {
@@ -49,6 +64,10 @@ int main(int argc, char** argv) {
   int solver_threads = 1;
   bool show_metrics = false;
   bool smoke = false;
+  int metrics_port = -1;  // -1 = no exposition server; 0 = ephemeral port
+  std::string metrics_out;
+  double metrics_interval = 1.0;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -67,10 +86,21 @@ int main(int argc, char** argv) {
       show_metrics = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::stoi(arg.substr(std::strlen("--metrics-port=")));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+      metrics_interval =
+          std::stod(arg.substr(std::strlen("--metrics-interval=")));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
     } else {
       std::cerr << "usage: allocation_server [--workers=<n>] [--clients=<n>]"
                    " [--requests=<n>] [--distinct=<n>] [--ttl=<seconds>]"
-                   " [--solver-threads=<n>] [--metrics] [--smoke]\n";
+                   " [--solver-threads=<n>] [--metrics] [--smoke]"
+                   " [--metrics-port=<port>] [--metrics-out=<file>]"
+                   " [--metrics-interval=<seconds>] [--trace-out=<file>]\n";
       return 2;
     }
   }
@@ -82,11 +112,46 @@ int main(int argc, char** argv) {
   }
 
   obs::Registry registry;
+  obs::TraceSession trace;
   svc::ServiceConfig config;
   config.workers = workers;
   config.cache.ttl_seconds = ttl_seconds;
   config.obs.metrics = &registry;
+  if (!trace_out.empty()) {
+    config.obs.trace = &trace;
+  }
   svc::AllocationService service(config);
+
+  std::optional<obs::ExpositionServer> exposition;
+  if (metrics_port >= 0) {
+    try {
+      exposition.emplace(&registry, metrics_port);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot start metrics endpoint: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "metrics: http://127.0.0.1:" << exposition->port()
+              << "/metrics\n";
+  }
+
+  // Periodic Prometheus dumps while the load runs (atomic tmp+rename, so a
+  // scraper tailing the file never sees a torn write).
+  std::atomic<bool> keep_dumping{true};
+  std::thread dumper;
+  if (!metrics_out.empty()) {
+    dumper = std::thread([&] {
+      const auto step = std::chrono::milliseconds(50);
+      auto next = std::chrono::steady_clock::now();
+      while (keep_dumping.load()) {
+        obs::write_metrics_file(metrics_out, registry.snapshot());
+        next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.05, metrics_interval)));
+        while (keep_dumping.load() && std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(step);
+        }
+      }
+    });
+  }
 
   const auto fits = demo_fits();
   std::cout << "allocation server: " << workers << " workers, " << clients
@@ -117,6 +182,28 @@ int main(int argc, char** argv) {
     t.join();
   }
   const double elapsed = timer.seconds();
+
+  if (dumper.joinable()) {
+    keep_dumping.store(false);
+    dumper.join();
+  }
+  if (!metrics_out.empty()) {
+    // Final snapshot with the complete run's counters.
+    if (!obs::write_metrics_file(metrics_out, registry.snapshot())) {
+      std::cerr << "cannot write " << metrics_out << '\n';
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << metrics_out << '\n';
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << trace.to_chrome_json();
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << '\n';
+      return 1;
+    }
+    std::cout << "trace written to " << trace_out << '\n';
+  }
 
   const svc::ServiceStats stats = service.stats();
   const svc::CacheStats cache = service.cache_stats();

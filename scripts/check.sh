@@ -53,10 +53,11 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
-  --target test_svc test_obs test_minlp_parallel allocation_server
+  --target test_svc test_obs test_telemetry test_minlp_parallel \
+  allocation_server hslb_trace_cli
 
-echo "== ctest (TSan: svc + obs + parallel solver + service smoke)"
+echo "== ctest (TSan: svc + obs + telemetry + parallel solver + smokes)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_obs|test_minlp_parallel|smoke_allocation_server'
+  -R 'test_svc|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

@@ -1,0 +1,75 @@
+// Live metrics exposition: Prometheus text format plus a minimal scrape
+// endpoint.
+//
+// render_prometheus turns a MetricsSnapshot into the Prometheus text
+// exposition format (one "# TYPE" header per instrument, cumulative
+// `_bucket{le="..."}` ladders for histograms).  The rendering is
+// *schema-stable*: every registered histogram emits its full bucket ladder
+// even at count=0, so a scraper sees the same series set on every scrape
+// regardless of which code paths have run yet.
+//
+// parse_prometheus inverts the renderer (it only promises to read what
+// render_prometheus writes, not arbitrary exposition text); the trace
+// analyzer (tools/hslb_trace) uses it to ingest a snapshot file next to a
+// Chrome trace.
+//
+// ExpositionServer is a deliberately tiny HTTP/1.0 responder: one accept
+// loop thread, every request answered with a fresh snapshot of the bound
+// registry.  It exists so `allocation_server --metrics-port` can be curled
+// mid-run; it is not a general HTTP server.
+#pragma once
+
+#include <string>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/obs/metrics.hpp"
+
+namespace hslb::obs {
+
+/// Prometheus text exposition of the snapshot.  Instrument names are
+/// sanitized via prometheus_name(); output order is counters, gauges,
+/// histograms, each sorted by raw name (snapshot order).  Deterministic for
+/// a given snapshot.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Parse text produced by render_prometheus back into a snapshot.  Names in
+/// the result are the sanitized ("hslb_...") forms; MetricsSnapshot's
+/// lookup helpers match those against raw instrument names transparently.
+/// The error string names the first offending line.
+common::Expected<MetricsSnapshot, std::string> parse_prometheus(
+    const std::string& text);
+
+/// Atomically-ish replace `path` with the rendered snapshot (write to a
+/// temp file in the same directory, then rename), so a concurrent reader
+/// never sees a torn file.  Returns false (with no exception) when the path
+/// is unwritable.
+bool write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot);
+
+/// Minimal HTTP scrape endpoint serving `registry`'s current snapshot on
+/// every GET.  Binds 127.0.0.1:`port` (port 0 picks an ephemeral port --
+/// read it back via port()).  The registry must outlive the server.
+class ExpositionServer {
+ public:
+  /// Starts the accept loop.  Throws common::Error when the port cannot be
+  /// bound (already in use, privileged).
+  ExpositionServer(const Registry* registry, int port);
+  ~ExpositionServer();
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// The bound port (resolves port-0 requests to the actual port).
+  int port() const { return port_; }
+
+  /// Stop accepting and join the loop thread.  Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  const Registry* registry_ = nullptr;
+  int port_ = 0;
+};
+
+}  // namespace hslb::obs

@@ -44,24 +44,41 @@ class Gauge {
 
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges;
 /// one implicit overflow bucket catches everything above the last edge.
+///
+/// Internally the counts live in a fixed set of cache-line-aligned
+/// *per-thread shards*: observe() is a handful of relaxed atomic adds on a
+/// shard chosen once per thread, so concurrent recorders (service workers,
+/// solver pool helpers) never bounce the same cache line.  Readers
+/// (count/sum/bucket_counts, i.e. every scrape) merge the shards; the merge
+/// is exact for counts and order-stable for sums.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double value);
 
-  long long count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  long long count() const;
+  double sum() const;
   double mean() const;
   const std::vector<double>& bounds() const { return bounds_; }
-  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  /// Per-bucket counts merged across shards, size bounds().size() + 1
+  /// (last = overflow).
   std::vector<long long> bucket_counts() const;
 
+  /// Number of internal per-thread shards (fixed; exposed for tests).
+  static constexpr std::size_t kShards = 8;
+
  private:
+  struct alignas(64) Shard {
+    std::atomic<long long> count{0};
+    std::atomic<double> sum{0.0};
+    std::unique_ptr<std::atomic<long long>[]> buckets;
+  };
+
+  Shard& shard_for_current_thread();
+
   std::vector<double> bounds_;
-  std::vector<std::atomic<long long>> buckets_;
-  std::atomic<long long> count_{0};
-  std::atomic<double> sum_{0.0};
+  std::unique_ptr<Shard[]> shards_;
 };
 
 /// Point-in-time copy of every instrument, for rendering or assertions.
@@ -76,7 +93,37 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramRow> histograms;
+
+  /// The named histogram row, or nullptr.  Matches either the raw
+  /// instrument name ("svc.request.ms") or its Prometheus-sanitized form
+  /// ("hslb_svc_request_ms"), so analysis code works identically on live
+  /// registries and re-parsed exposition snapshots.
+  const HistogramRow* find_histogram(const std::string& name) const;
+  /// The named counter's value (same name matching), or `fallback`.
+  double counter_value(const std::string& name, double fallback = 0.0) const;
+  /// The named gauge's value (same name matching), or `fallback`.
+  double gauge_value(const std::string& name, double fallback = 0.0) const;
 };
+
+/// Prometheus-compatible form of an instrument name: "hslb_" + the name
+/// with every character outside [a-zA-Z0-9_:] replaced by '_'
+/// ("svc.request.ms" -> "hslb_svc_request_ms").  Shared by the exposition
+/// renderer/parser and MetricsSnapshot's name matching.
+std::string prometheus_name(const std::string& name);
+
+/// Upper-edge percentile estimate from fixed buckets, nearest-rank over the
+/// cumulative counts: the smallest bucket upper edge covering at least
+/// ceil(q * count) observations.  Exact when observations sit on bucket
+/// edges (the edges are inclusive).  Ranks landing in the overflow bucket
+/// return +infinity (the histogram cannot bound them); an empty histogram
+/// returns NaN.
+double histogram_percentile(const MetricsSnapshot::HistogramRow& row,
+                            double q);
+
+/// Merge two rows with identical bounds (shards of one logical histogram,
+/// or the same instrument scraped from two processes).  Counts add exactly.
+MetricsSnapshot::HistogramRow merge(const MetricsSnapshot::HistogramRow& a,
+                                    const MetricsSnapshot::HistogramRow& b);
 
 /// Named-instrument registry.  Lookup is mutex-guarded; the returned
 /// references stay valid for the registry's lifetime.
@@ -97,6 +144,16 @@ class Registry {
 
   /// Log-spaced edges suited to per-call wall times in milliseconds.
   static std::vector<double> default_time_bounds();
+
+  /// HDR-style 1-2-5 log-scale edges in milliseconds, 1 us .. 100 s: fine
+  /// enough that nearest-rank percentiles carry ~2x resolution across eight
+  /// decades, small enough (25 buckets) that per-thread shards stay cheap.
+  /// The request-telemetry phase histograms (svc.*.ms) all use these.
+  static std::vector<double> hdr_time_bounds();
+
+  /// 1-2-5 log-scale edges over counts (1 .. 1e6), for size distributions
+  /// like simplex pivots per solve.
+  static std::vector<double> hdr_count_bounds();
 
  private:
   mutable std::mutex mutex_;

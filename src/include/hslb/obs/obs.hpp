@@ -29,9 +29,17 @@ namespace hslb::obs {
 /// Observability wiring carried by configs (e.g. core::PipelineConfig).
 /// Both pointers are borrowed: the caller owns the session/registry and
 /// reads them after the run.  Null members mean "leave as is".
+///
+/// `parent_span` carries the span-nesting context across threads: when a
+/// captured context is Installed on another thread, spans opened there nest
+/// under the span that was open at capture time (the OpenMP campaign loops
+/// and the solver worker pool both rely on this; the allocation service
+/// sets it explicitly so solver epochs nest under the owning request span).
+/// 0 means "leave the thread's current nesting as is".
 struct Options {
   TraceSession* trace = nullptr;
   Registry* metrics = nullptr;
+  std::uint64_t parent_span = 0;
   bool enabled() const { return trace != nullptr || metrics != nullptr; }
 };
 
@@ -41,8 +49,10 @@ struct Options {
 TraceSession* current_trace();
 Registry* current_metrics();
 
-/// Both current sinks as an Options bundle -- capture this before handing
-/// work to another thread, then Install it there.
+/// Both current sinks plus the innermost open span as an Options bundle --
+/// capture this before handing work to another thread, then Install it
+/// there: counters land in the same registry and spans nest under the span
+/// that was open at capture time.
 Options current_context();
 
 /// RAII overlay of the calling thread's context.  Only non-null members
@@ -59,6 +69,7 @@ class Install {
  private:
   TraceSession* previous_trace_ = nullptr;
   Registry* previous_metrics_ = nullptr;
+  std::uint64_t previous_parent_span_ = 0;
 };
 
 }  // namespace hslb::obs

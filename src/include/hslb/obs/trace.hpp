@@ -6,6 +6,7 @@
 // flame_summary() renders an aggregated per-span table for terminals.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -19,6 +20,13 @@ namespace hslb::obs {
 
 /// One closed span.  Timestamps are microseconds since the session epoch;
 /// `depth` is the nesting level at open time (0 = top level) on its thread.
+/// `id`/`parent` form the cross-thread span tree: ids are unique within a
+/// session (allocated by TraceSession::next_span_id), `parent` is the id of
+/// the span that was open when this one started -- on the same thread via
+/// the thread-local tracker, or on another thread via the propagated
+/// obs::Options::parent_span -- and 0 means "root".  The request-telemetry
+/// analyzer (obs/attribution.hpp) walks these links to group solver work
+/// under the owning service request.
 struct TraceEvent {
   std::string name;
   std::string category;
@@ -26,6 +34,8 @@ struct TraceEvent {
   double duration_us = 0.0;
   int thread_id = 0;
   int depth = 0;
+  std::uint64_t id = 0;      ///< session-unique span id (0 = unassigned)
+  std::uint64_t parent = 0;  ///< id of the enclosing span (0 = root)
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -48,6 +58,13 @@ class TraceSession {
   /// Microseconds since the session was constructed.
   double now_us() const;
 
+  /// Allocate a fresh span id (never 0).  ScopedSpan calls this itself;
+  /// code that records cross-thread spans manually (the allocation service's
+  /// queue-phase events, which open on one thread and close on another)
+  /// allocates the id up front so children can reference it before the
+  /// parent event is recorded.
+  std::uint64_t next_span_id();
+
   void record(TraceEvent event);
   void record_counter(const std::string& name, double value);
 
@@ -66,6 +83,7 @@ class TraceSession {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::vector<CounterSample> counters_;
@@ -90,9 +108,18 @@ class ScopedSpan {
 
   bool active() const { return session_ != nullptr; }
 
+  /// Session-unique id of this span (0 when inactive).  Hand it to another
+  /// thread via obs::Options::parent_span to nest that thread's spans here.
+  std::uint64_t id() const { return event_.id; }
+
  private:
   TraceSession* session_ = nullptr;
   TraceEvent event_;
+  std::uint64_t previous_parent_ = 0;
 };
+
+/// Id of the innermost span currently open on this thread (0 when none).
+/// Seeded across threads by Install when Options::parent_span is set.
+std::uint64_t current_span();
 
 }  // namespace hslb::obs

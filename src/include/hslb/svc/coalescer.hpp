@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "hslb/common/expected.hpp"
 #include "hslb/svc/request.hpp"
@@ -29,10 +31,27 @@ using ResponseFuture = std::shared_future<SolveOutcome>;
 
 class Coalescer {
  public:
+  /// Telemetry carried by a follower from join time to completion time: a
+  /// follower's request span and coalesce-wait phase only *end* when the
+  /// leader completes, on the leader's worker thread, so the closing side
+  /// needs the opening side's span id and timestamps.  All-zero when
+  /// tracing is off.
+  struct Follower {
+    std::uint64_t request_span = 0;  ///< svc.request span id (0 = off)
+    double request_start_us = 0.0;   ///< request span open (session epoch)
+    double wait_start_us = 0.0;      ///< coalesce-wait phase start
+    int thread_id = 0;               ///< submitting thread's trace id
+    long long request_id = 0;
+  };
+
   struct Slot {
     std::promise<SolveOutcome> promise;
     ResponseFuture future;
     int followers = 0;  ///< requests coalesced onto this slot (not the leader)
+    /// One entry per traced follower; written under the coalescer mutex
+    /// while the slot is joinable, read by the completing thread after
+    /// complete() retires the slot (the mutex in complete() orders the two).
+    std::vector<Follower> follower_meta;
   };
 
   struct Join {
@@ -41,13 +60,19 @@ class Coalescer {
   };
 
   /// Attach to the in-flight slot for `key`, creating it (leader) if absent.
+  /// `meta` is recorded only when the caller ends up a follower and tracing
+  /// is on (meta.request_span != 0).
+  Join join(const std::string& key, const Follower& meta);
   Join join(const std::string& key);
 
   /// Resolve `key`'s slot with `outcome`, waking every attached future, and
   /// retire it so the next identical request starts a fresh flight.  The
   /// promise is fulfilled outside the lock: a future continuation must not
-  /// be able to re-enter join() against a held mutex.
-  void complete(const std::string& key, SolveOutcome outcome);
+  /// be able to re-enter join() against a held mutex.  Returns the retired
+  /// slot (null when the key had none) so the caller can close follower
+  /// telemetry; no new followers can attach once it is returned.
+  std::shared_ptr<Slot> complete(const std::string& key,
+                                 SolveOutcome outcome);
 
   std::size_t in_flight() const;
 

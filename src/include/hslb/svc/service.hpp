@@ -73,6 +73,7 @@ class AllocationService {
   struct Ticket {
     ResponseFuture future;
     std::string key;          ///< canonical request key
+    long long request_id = 0; ///< per-service submission sequence number
     bool cache_hit = false;   ///< resolved immediately from the cache
     bool coalesced = false;   ///< attached to an identical in-flight request
   };
@@ -107,12 +108,39 @@ class AllocationService {
     std::shared_ptr<Coalescer::Slot> slot;
     std::chrono::steady_clock::time_point submitted;
     double deadline_seconds = 0.0;  ///< resolved (request or default); <=0 none
+    // Request-telemetry context, carried across the thread hop (all zero
+    // when tracing is off).  The request span opens on the submitting
+    // thread and closes on the worker that resolves it; the queue phase
+    // likewise spans the hop, so both are recorded as manual events from
+    // these timestamps rather than as RAII spans.
+    long long request_id = 0;
+    std::uint64_t request_span = 0;  ///< pre-allocated svc.request span id
+    double request_start_us = 0.0;   ///< submit() entry (session epoch)
+    double queue_start_us = 0.0;     ///< enqueue time
+    int submit_tid = 0;              ///< submitting thread's trace id
   };
 
   void worker_loop();
   SolveOutcome execute(const Job& job);
   std::shared_ptr<const cesm::CaseConfig> find_case(
       const std::string& name) const;
+
+  /// Record a closed phase event under `request_span` (no-op sans trace).
+  /// `span_id` 0 allocates a fresh id; pass a pre-allocated id for phases
+  /// whose children needed the id before the phase event existed (solve).
+  void record_phase(const char* name, std::uint64_t request_span,
+                    double start_us, int thread_id,
+                    std::uint64_t span_id = 0) const;
+  /// Record the svc.request root event and observe svc.request.ms.  The
+  /// histogram uses the trace-derived duration when tracing is on and
+  /// `fallback_total_ms` otherwise.
+  void close_request(std::uint64_t request_span, long long request_id,
+                     double start_us, int thread_id, const char* outcome,
+                     int followers, double fallback_total_ms) const;
+  /// coalescer_.complete + close every follower's coalesce-wait phase and
+  /// request span with this outcome.
+  void complete_flight(const std::string& key, SolveOutcome outcome,
+                       const char* outcome_label);
 
   ServiceConfig config_;
   SolveCache cache_;

@@ -726,6 +726,10 @@ LpSolution solve_impl(const LpProblem& problem, const SimplexOptions& options,
     metrics->counter("lp.simplex.solves").add(1.0);
     metrics->counter("lp.simplex.pivots")
         .add(static_cast<double>(out.iterations));
+    metrics
+        ->histogram("lp.simplex.pivots_per_solve",
+                    obs::Registry::hdr_count_bounds())
+        .observe(static_cast<double>(out.iterations));
     if (out.warm_used) {
       metrics->counter("lp.simplex.warm_solves").add(1.0);
       if (out.warm_phase1_skipped) {

@@ -319,7 +319,10 @@ struct SolveMetrics {
   obs::Counter* warm_iterations = nullptr;
   obs::Counter* cold_iterations = nullptr;
   obs::Histogram* lp_solve_ms = nullptr;
+  obs::Histogram* lp_solve_ms_warm = nullptr;
+  obs::Histogram* lp_solve_ms_cold = nullptr;
   obs::Histogram* epoch_batch = nullptr;
+  obs::Histogram* epoch_ms = nullptr;
 
   explicit SolveMetrics(obs::Registry* registry) {
     if (registry == nullptr) {
@@ -338,7 +341,13 @@ struct SolveMetrics {
     warm_iterations = &registry->counter("minlp.simplex_iterations.warm");
     cold_iterations = &registry->counter("minlp.simplex_iterations.cold");
     lp_solve_ms = &registry->histogram("minlp.lp_solve_ms");
+    lp_solve_ms_warm = &registry->histogram(
+        "minlp.lp_solve_ms.warm", obs::Registry::hdr_time_bounds());
+    lp_solve_ms_cold = &registry->histogram(
+        "minlp.lp_solve_ms.cold", obs::Registry::hdr_time_bounds());
     epoch_batch = &registry->histogram("minlp.epoch_batch");
+    epoch_ms = &registry->histogram("minlp.epoch.ms",
+                                    obs::Registry::hdr_time_bounds());
   }
 };
 
@@ -362,6 +371,7 @@ struct NodeResult {
   long cold_simplex_iterations = 0;
   double lp_seconds = 0.0;
   std::vector<double> lp_solve_ms;  // per-LP wall times (metrics only)
+  std::vector<std::uint8_t> lp_solve_warm;  // parallel to lp_solve_ms
 };
 
 /// Evaluate one node against the epoch snapshot: cut rounds on the master
@@ -409,6 +419,7 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     const double lp_elapsed = lp_timer.seconds();
     r.lp_seconds += lp_elapsed;
     r.lp_solve_ms.push_back(lp_elapsed * 1e3);
+    r.lp_solve_warm.push_back(sol.warm_used ? 1 : 0);
     ++r.lp_solves;
     r.simplex_iterations += sol.iterations;
     if (sol.warm_used) {
@@ -780,6 +791,12 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     }
     const double cutoff_snapshot = cutoff();
     results.assign(batch_size, NodeResult{});
+    // One span per epoch, tagged with the batch's LP work so the request
+    // telemetry analyzer can split a request's solve phase into LP re-solve
+    // time vs branching/merge time (it nests under svc.phase.solve via the
+    // propagated parent span when running inside the allocation service).
+    obs::ScopedSpan epoch_span("minlp.epoch", "minlp");
+    common::WallTimer epoch_timer;
     const auto evaluate = [&](std::size_t i) {
       results[i] = process_node(model, opts, curvature, pool, cutoff_snapshot,
                                 std::move(batch[i]));
@@ -796,6 +813,20 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
       metrics.epochs->add(1.0);
       metrics.epoch_batch->observe(static_cast<double>(batch_size));
     }
+    if (epoch_span.active()) {
+      double epoch_lp_ms = 0.0;
+      long long epoch_lp_solves = 0;
+      long long epoch_warm = 0;
+      for (const NodeResult& r : results) {
+        epoch_lp_ms += r.lp_seconds * 1e3;
+        epoch_lp_solves += r.lp_solves;
+        epoch_warm += r.warm_lp_solves;
+      }
+      epoch_span.arg("batch", static_cast<long long>(batch_size));
+      epoch_span.arg("lp_ms", epoch_lp_ms);
+      epoch_span.arg("lp_solves", epoch_lp_solves);
+      epoch_span.arg("warm", epoch_warm);
+    }
 
     // Merge in batch order -- the deterministic serialization point.
     for (std::size_t i = 0; i < batch_size; ++i) {
@@ -806,8 +837,12 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
         if (metrics.lp_solves != nullptr && r.lp_solves > 0) {
           metrics.lp_solves->add(static_cast<double>(r.lp_solves));
           metrics.lp_seconds->add(r.lp_seconds);
-          for (const double ms : r.lp_solve_ms) {
-            metrics.lp_solve_ms->observe(ms);
+          for (std::size_t k = 0; k < r.lp_solve_ms.size(); ++k) {
+            metrics.lp_solve_ms->observe(r.lp_solve_ms[k]);
+            (k < r.lp_solve_warm.size() && r.lp_solve_warm[k] != 0
+                 ? metrics.lp_solve_ms_warm
+                 : metrics.lp_solve_ms_cold)
+                ->observe(r.lp_solve_ms[k]);
           }
         }
         metrics.warm_lp_solves->add(static_cast<double>(r.warm_lp_solves));
@@ -879,6 +914,9 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
         child.id = next_node_id++;
         queue.push(std::move(child));
       }
+    }
+    if (metrics.epoch_ms != nullptr) {
+      metrics.epoch_ms->observe(epoch_timer.milliseconds());
     }
     pool.age_to(opts.max_pool_cuts);
   }

@@ -17,6 +17,7 @@
 #include "hslb/minlp/relaxation.hpp"
 #include "hslb/minlp/worker_pool.hpp"
 #include "hslb/nlp/barrier.hpp"
+#include "hslb/obs/obs.hpp"
 
 namespace hslb::minlp {
 namespace {
@@ -243,6 +244,10 @@ MinlpResult solve_nlp_bb(const Model& model, const NlpBbOptions& opts) {
     }
     const double cutoff_snapshot = cutoff();
     results.assign(batch_size, NodeResult{});
+    obs::ScopedSpan epoch_span("minlp.epoch", "minlp");
+    if (epoch_span.active()) {
+      epoch_span.arg("batch", static_cast<long long>(batch_size));
+    }
     const auto evaluate = [&](std::size_t i) {
       results[i] = process_node(model, opts, curvature, empty_pool,
                                 cutoff_snapshot, std::move(batch[i]));

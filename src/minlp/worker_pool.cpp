@@ -62,6 +62,10 @@ void WorkerPool::drain(std::size_t worker_index, std::size_t count,
 }
 
 void WorkerPool::helper_loop(std::size_t worker_index) {
+  // The captured context carries trace + metrics sinks *and* the span that
+  // was open when the pool was constructed (minlp.solve): spans opened on
+  // this helper thread nest under the owning solve -- and, through it, the
+  // owning service request -- instead of floating as roots.
   const obs::Install install(obs_context_);
   std::uint64_t seen_generation = 0;
   for (;;) {

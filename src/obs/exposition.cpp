@@ -1,0 +1,340 @@
+#include "hslb/obs/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/numeric.hpp"
+
+namespace hslb::obs {
+
+namespace {
+
+std::string format_value(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  return common::shortest_double(value);
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " counter\n";
+    os << p << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n";
+    os << p << ' ' << format_value(value) << '\n';
+  }
+  for (const MetricsSnapshot::HistogramRow& row : snapshot.histograms) {
+    const std::string p = prometheus_name(row.name);
+    os << "# TYPE " << p << " histogram\n";
+    // The full ladder renders even at count=0 so every scrape exposes the
+    // same series set (schema-stable scrapes).
+    long long cumulative = 0;
+    for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+      cumulative += row.buckets[b];
+      const std::string le = b < row.bounds.size()
+                                 ? common::shortest_double(row.bounds[b])
+                                 : std::string("+Inf");
+      os << p << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    os << p << "_sum " << format_value(row.sum) << '\n';
+    os << p << "_count " << row.count << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// In-flight histogram assembly while parsing exposition text.
+struct HistogramBuild {
+  std::vector<double> bounds;
+  std::vector<long long> cumulative;
+  double sum = 0.0;
+  long long count = 0;
+  bool saw_count = false;
+};
+
+bool parse_double(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+common::Expected<MetricsSnapshot, std::string> parse_prometheus(
+    const std::string& text) {
+  MetricsSnapshot out;
+  // TYPE declarations in appearance order drive the output layout; sample
+  // lines fill the declared slots.
+  std::vector<std::pair<std::string, std::string>> declared;  // name, kind
+  std::map<std::string, std::string> kind_of;
+  std::map<std::string, HistogramBuild> builds;
+  std::map<std::string, double> scalar_values;
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const auto fail = [&](const std::string& why) {
+      return common::make_unexpected("metrics line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, keyword, name, kind;
+      header >> hash >> keyword >> name >> kind;
+      if (keyword == "TYPE") {
+        if (name.empty() || kind.empty()) {
+          return fail("malformed TYPE header");
+        }
+        declared.emplace_back(name, kind);
+        kind_of[name] = kind;
+      }
+      continue;  // other comments are legal and ignored
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      return fail("expected 'name value'");
+    }
+    const std::string series = line.substr(0, space);
+    double value = 0.0;
+    if (!parse_double(line.substr(space + 1), &value)) {
+      return fail("unparseable value");
+    }
+    const std::size_t brace = series.find('{');
+    const std::string series_name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    if (ends_with(series_name, "_bucket") && brace != std::string::npos) {
+      const std::string base = series_name.substr(0, series_name.size() - 7);
+      const std::size_t le_start = series.find("le=\"", brace);
+      const std::size_t le_end =
+          le_start == std::string::npos ? std::string::npos
+                                        : series.find('"', le_start + 4);
+      if (le_end == std::string::npos) {
+        return fail("bucket line without le label");
+      }
+      double edge = 0.0;
+      if (!parse_double(series.substr(le_start + 4, le_end - le_start - 4),
+                        &edge)) {
+        return fail("unparseable le edge");
+      }
+      HistogramBuild& build = builds[base];
+      if (!std::isinf(edge)) {
+        build.bounds.push_back(edge);
+      }
+      build.cumulative.push_back(static_cast<long long>(value));
+      continue;
+    }
+    if (ends_with(series_name, "_sum") &&
+        kind_of.count(series_name.substr(0, series_name.size() - 4)) > 0 &&
+        kind_of[series_name.substr(0, series_name.size() - 4)] ==
+            "histogram") {
+      builds[series_name.substr(0, series_name.size() - 4)].sum = value;
+      continue;
+    }
+    if (ends_with(series_name, "_count") &&
+        kind_of.count(series_name.substr(0, series_name.size() - 6)) > 0 &&
+        kind_of[series_name.substr(0, series_name.size() - 6)] ==
+            "histogram") {
+      HistogramBuild& build =
+          builds[series_name.substr(0, series_name.size() - 6)];
+      build.count = static_cast<long long>(value);
+      build.saw_count = true;
+      continue;
+    }
+    scalar_values[series_name] = value;
+  }
+
+  for (const auto& [name, kind] : declared) {
+    if (kind == "counter" || kind == "gauge") {
+      const auto it = scalar_values.find(name);
+      if (it == scalar_values.end()) {
+        return common::make_unexpected("declared " + kind + " " + name +
+                                       " has no sample line");
+      }
+      (kind == "counter" ? out.counters : out.gauges)
+          .emplace_back(name, it->second);
+      continue;
+    }
+    if (kind == "histogram") {
+      const auto it = builds.find(name);
+      if (it == builds.end() || it->second.cumulative.empty() ||
+          !it->second.saw_count) {
+        return common::make_unexpected("declared histogram " + name +
+                                       " is incomplete");
+      }
+      const HistogramBuild& build = it->second;
+      if (build.cumulative.size() != build.bounds.size() + 1) {
+        return common::make_unexpected("histogram " + name +
+                                       " is missing its +Inf bucket");
+      }
+      MetricsSnapshot::HistogramRow row;
+      row.name = name;
+      row.count = build.count;
+      row.sum = build.sum;
+      row.bounds = build.bounds;
+      row.buckets.resize(build.cumulative.size());
+      long long previous = 0;
+      for (std::size_t b = 0; b < build.cumulative.size(); ++b) {
+        if (build.cumulative[b] < previous) {
+          return common::make_unexpected("histogram " + name +
+                                         " has a non-monotone bucket ladder");
+        }
+        row.buckets[b] = build.cumulative[b] - previous;
+        previous = build.cumulative[b];
+      }
+      out.histograms.push_back(std::move(row));
+      continue;
+    }
+    return common::make_unexpected("unsupported TYPE kind '" + kind + "'");
+  }
+  return out;
+}
+
+bool write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << render_prometheus(snapshot);
+    if (!out) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+struct ExpositionServer::Impl {
+  int listen_fd = -1;
+  std::atomic<bool> stopping{false};
+  std::thread loop;
+};
+
+namespace {
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(const Registry* registry, int port)
+    : impl_(new Impl), registry_(registry) {
+  HSLB_REQUIRE(registry != nullptr, "ExpositionServer needs a registry");
+  HSLB_REQUIRE(port >= 0 && port <= 65535, "port out of range");
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HSLB_REQUIRE(impl_->listen_fd >= 0, "socket() failed");
+  const int reuse = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse,
+               sizeof reuse);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(impl_->listen_fd, 16) != 0) {
+    const int saved = errno;
+    ::close(impl_->listen_fd);
+    delete impl_;
+    impl_ = nullptr;
+    throw Error("metrics port bind failed: " +
+                std::string(std::strerror(saved)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  impl_->loop = std::thread([impl = impl_, registry = registry_] {
+    while (!impl->stopping.load(std::memory_order_acquire)) {
+      const int client = ::accept(impl->listen_fd, nullptr, nullptr);
+      if (client < 0) {
+        if (impl->stopping.load(std::memory_order_acquire)) {
+          break;
+        }
+        continue;
+      }
+      // Drain whatever request line arrived; every path serves /metrics.
+      char buffer[1024];
+      const ssize_t drained = ::read(client, buffer, sizeof buffer);
+      static_cast<void>(drained);
+      const std::string body = render_prometheus(registry->snapshot());
+      std::ostringstream response;
+      response << "HTTP/1.0 200 OK\r\n"
+               << "Content-Type: text/plain; version=0.0.4\r\n"
+               << "Content-Length: " << body.size() << "\r\n"
+               << "Connection: close\r\n\r\n"
+               << body;
+      write_all(client, response.str());
+      ::close(client);
+    }
+  });
+}
+
+void ExpositionServer::stop() {
+  if (impl_ == nullptr) {
+    return;
+  }
+  impl_->stopping.store(true, std::memory_order_release);
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  if (impl_->loop.joinable()) {
+    impl_->loop.join();
+  }
+  ::close(impl_->listen_fd);
+  delete impl_;
+  impl_ = nullptr;
+}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+}  // namespace hslb::obs

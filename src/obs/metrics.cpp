@@ -1,25 +1,70 @@
 #include "hslb/obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "hslb/common/error.hpp"
 
 namespace hslb::obs {
 
+namespace {
+
+/// Per-thread shard assignment: threads are striped round-robin over the
+/// fixed shard set once, at first observe(), so the hot path is a plain
+/// thread-local load -- no hashing, no modulo of a thread id.
+std::size_t shard_index_for_current_thread() {
+  static std::atomic<std::size_t> next_thread{0};
+  thread_local const std::size_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed) %
+      Histogram::kShards;
+  return index;
+}
+
+}  // namespace
+
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)), shards_(new Shard[kShards]) {
   HSLB_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
                "histogram bounds must be ascending");
+  const std::size_t buckets = bounds_.size() + 1;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].buckets.reset(new std::atomic<long long>[buckets]);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Shard& Histogram::shard_for_current_thread() {
+  return shards_[shard_index_for_current_thread()];
 }
 
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto index = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
+  Shard& shard = shard_for_current_thread();
+  shard.buckets[index].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+long long Histogram::count() const {
+  long long total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    total += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 double Histogram::mean() const {
@@ -28,9 +73,100 @@ double Histogram::mean() const {
 }
 
 std::vector<long long> Histogram::bucket_counts() const {
-  std::vector<long long> out(buckets_.size());
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  std::vector<long long> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "hslb_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+bool name_matches(const std::string& have, const std::string& want) {
+  return have == want || have == prometheus_name(want) ||
+         prometheus_name(have) == want;
+}
+
+}  // namespace
+
+const MetricsSnapshot::HistogramRow* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const HistogramRow& row : histograms) {
+    if (name_matches(row.name, name)) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::counter_value(const std::string& name,
+                                      double fallback) const {
+  for (const auto& [have, value] : counters) {
+    if (name_matches(have, name)) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name,
+                                    double fallback) const {
+  for (const auto& [have, value] : gauges) {
+    if (name_matches(have, name)) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+double histogram_percentile(const MetricsSnapshot::HistogramRow& row,
+                            double q) {
+  HSLB_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  long long total = 0;
+  for (const long long c : row.buckets) {
+    total += c;
+  }
+  if (total == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const long long rank = std::max<long long>(
+      1, static_cast<long long>(std::ceil(q * static_cast<double>(total))));
+  long long cumulative = 0;
+  for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+    cumulative += row.buckets[b];
+    if (cumulative >= rank) {
+      return b < row.bounds.size()
+                 ? row.bounds[b]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+MetricsSnapshot::HistogramRow merge(const MetricsSnapshot::HistogramRow& a,
+                                    const MetricsSnapshot::HistogramRow& b) {
+  HSLB_REQUIRE(a.bounds == b.bounds,
+               "cannot merge histograms with different bounds");
+  HSLB_REQUIRE(a.buckets.size() == b.buckets.size(),
+               "cannot merge histograms with different bucket counts");
+  MetricsSnapshot::HistogramRow out = a;
+  out.count += b.count;
+  out.sum += b.sum;
+  for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+    out.buckets[i] += b.buckets[i];
   }
   return out;
 }
@@ -140,7 +276,10 @@ common::Table Registry::histograms_table() const {
         os << ">last:" << row.buckets[i];
       }
     }
-    table.cell(os.tellp() > 0 ? os.str() : std::string("-"));
+    // Zero-observation histograms still render a row ("count=0" rather than
+    // a bare dash) so report output stays schema-stable across runs that
+    // never exercised an instrument.
+    table.cell(os.tellp() > 0 ? os.str() : std::string("count=0"));
   }
   return table;
 }
@@ -148,6 +287,34 @@ common::Table Registry::histograms_table() const {
 std::vector<double> Registry::default_time_bounds() {
   // Log-spaced milliseconds: 10us .. 10s.
   return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+namespace {
+
+std::vector<double> one_two_five(double first, double last) {
+  std::vector<double> out;
+  for (double decade = first; decade < last * 1.0001; decade *= 10.0) {
+    for (const double mantissa : {1.0, 2.0, 5.0}) {
+      const double edge = decade * mantissa;
+      if (edge > last * 1.0001) {
+        break;
+      }
+      out.push_back(edge);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Registry::hdr_time_bounds() {
+  // 1-2-5 per decade, 0.001 ms (1 us) .. 1e5 ms (100 s): 25 edges.
+  return one_two_five(1e-3, 1e5);
+}
+
+std::vector<double> Registry::hdr_count_bounds() {
+  // 1-2-5 per decade, 1 .. 1e6: 19 edges.
+  return one_two_five(1.0, 1e6);
 }
 
 }  // namespace hslb::obs

@@ -13,6 +13,11 @@ namespace {
 /// session still wants globally consistent nesting.
 thread_local int t_depth = 0;
 
+/// Id of the innermost open span on this thread (0 = none).  ScopedSpan
+/// maintains it; Install seeds it from Options::parent_span so spans opened
+/// on a worker thread nest under the span that dispatched the work.
+thread_local std::uint64_t t_parent_span = 0;
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -60,6 +65,10 @@ double TraceSession::now_us() const {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
+}
+
+std::uint64_t TraceSession::next_span_id() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 int TraceSession::thread_id_for_current_thread() {
@@ -114,7 +123,8 @@ std::string TraceSession::to_chrome_json() const {
        << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":"
        << json_number(e.start_us) << ",\"dur\":" << json_number(e.duration_us)
        << ",\"pid\":1,\"tid\":" << e.thread_id;
-    os << ",\"args\":{\"depth\":" << e.depth;
+    os << ",\"args\":{\"depth\":" << e.depth << ",\"span\":" << e.id
+       << ",\"parent\":" << e.parent;
     for (const auto& [key, value] : e.args) {
       os << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
          << "\"";
@@ -185,6 +195,10 @@ ScopedSpan::ScopedSpan(TraceSession* session, std::string name,
   event_.category = std::move(category);
   event_.thread_id = session_->thread_id_for_current_thread();
   event_.depth = t_depth++;
+  event_.id = session_->next_span_id();
+  event_.parent = t_parent_span;
+  previous_parent_ = t_parent_span;
+  t_parent_span = event_.id;
   event_.start_us = session_->now_us();
 }
 
@@ -193,6 +207,7 @@ ScopedSpan::~ScopedSpan() {
     return;
   }
   --t_depth;
+  t_parent_span = previous_parent_;
   event_.duration_us = session_->now_us() - event_.start_us;
   session_->record(std::move(event_));
 }
@@ -229,24 +244,34 @@ TraceSession* current_trace() { return t_trace; }
 
 Registry* current_metrics() { return t_metrics; }
 
-Options current_context() { return Options{t_trace, t_metrics}; }
+std::uint64_t current_span() { return t_parent_span; }
+
+Options current_context() {
+  return Options{t_trace, t_metrics, t_parent_span};
+}
 
 Install::Install(const Options& options)
-    : Install(options.trace, options.metrics) {}
-
-Install::Install(TraceSession* trace, Registry* metrics)
-    : previous_trace_(t_trace), previous_metrics_(t_metrics) {
-  if (trace != nullptr) {
-    t_trace = trace;
+    : previous_trace_(t_trace),
+      previous_metrics_(t_metrics),
+      previous_parent_span_(t_parent_span) {
+  if (options.trace != nullptr) {
+    t_trace = options.trace;
   }
-  if (metrics != nullptr) {
-    t_metrics = metrics;
+  if (options.metrics != nullptr) {
+    t_metrics = options.metrics;
+  }
+  if (options.parent_span != 0) {
+    t_parent_span = options.parent_span;
   }
 }
+
+Install::Install(TraceSession* trace, Registry* metrics)
+    : Install(Options{trace, metrics, 0}) {}
 
 Install::~Install() {
   t_trace = previous_trace_;
   t_metrics = previous_metrics_;
+  t_parent_span = previous_parent_span_;
 }
 
 }  // namespace hslb::obs

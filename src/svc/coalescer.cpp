@@ -5,10 +5,18 @@
 namespace hslb::svc {
 
 Coalescer::Join Coalescer::join(const std::string& key) {
+  return join(key, Follower{});
+}
+
+Coalescer::Join Coalescer::join(const std::string& key,
+                                const Follower& meta) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = slots_.find(key);
   if (it != slots_.end()) {
     ++it->second->followers;
+    if (meta.request_span != 0) {
+      it->second->follower_meta.push_back(meta);
+    }
     return Join{it->second, /*leader=*/false};
   }
   auto slot = std::make_shared<Slot>();
@@ -17,18 +25,21 @@ Coalescer::Join Coalescer::join(const std::string& key) {
   return Join{std::move(slot), /*leader=*/true};
 }
 
-void Coalescer::complete(const std::string& key, SolveOutcome outcome) {
+std::shared_ptr<Coalescer::Slot> Coalescer::complete(const std::string& key,
+                                                     SolveOutcome outcome) {
   std::shared_ptr<Slot> slot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = slots_.find(key);
     if (it == slots_.end()) {
-      return;  // already completed (defensive; leaders complete exactly once)
+      // Already completed (defensive; leaders complete exactly once).
+      return nullptr;
     }
     slot = std::move(it->second);
     slots_.erase(it);
   }
   slot->promise.set_value(std::move(outcome));
+  return slot;
 }
 
 std::size_t Coalescer::in_flight() const {

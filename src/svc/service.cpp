@@ -35,6 +35,17 @@ AllocationService::AllocationService(ServiceConfig config)
   HSLB_REQUIRE(config_.workers >= 1, "service needs at least one worker");
   HSLB_REQUIRE(config_.queue_capacity >= 1,
                "service needs a positive queue capacity");
+  if (obs::Registry* metrics = config_.obs.metrics) {
+    // Pre-register every request-phase histogram so a scrape sees the full
+    // schema (complete count=0 bucket ladders) before -- or without -- any
+    // traffic exercising a phase.
+    for (const char* name :
+         {"svc.admission.ms", "svc.queue.ms", "svc.cache.lookup.ms",
+          "svc.coalesce.wait.ms", "svc.request.ms", "svc.solve.ms"}) {
+      metrics->histogram(name, obs::Registry::hdr_time_bounds());
+    }
+    metrics->gauge("svc.workers").set(static_cast<double>(config_.workers));
+  }
   if (config_.register_builtin_cases) {
     register_case("1deg", cesm::one_degree_case());
     register_case("eighth", cesm::eighth_degree_case());
@@ -63,66 +74,118 @@ std::shared_ptr<const cesm::CaseConfig> AllocationService::find_case(
 
 AllocationService::Ticket AllocationService::submit(
     const AllocationRequest& request) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->counter("svc.requests").add(1.0);
+  const long long request_id =
+      submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::TraceSession* trace = config_.obs.trace;
+  obs::Registry* metrics = config_.obs.metrics;
+  if (metrics != nullptr) {
+    metrics->counter("svc.requests").add(1.0);
+  }
+
+  // Open the request span.  Its id is allocated up front so phase events
+  // can parent onto it before it is recorded; the event itself is recorded
+  // by whichever thread resolves the request (close_request).
+  const Clock::time_point entered = Clock::now();
+  std::uint64_t request_span = 0;
+  double request_start_us = 0.0;
+  int submit_tid = 0;
+  if (trace != nullptr) {
+    request_span = trace->next_span_id();
+    request_start_us = trace->now_us();
+    submit_tid = trace->thread_id_for_current_thread();
   }
 
   Ticket ticket;
+  ticket.request_id = request_id;
   ticket.key = canonical_key(request);
+
+  // Admission phase = validation; ends exactly once per request, on
+  // whichever validation outcome is hit first.
+  const auto admission_done = [&] {
+    if (metrics != nullptr) {
+      metrics->histogram("svc.admission.ms")
+          .observe(ms_between(entered, Clock::now()));
+    }
+    record_phase("svc.phase.admission", request_span, request_start_us,
+                 submit_tid);
+  };
+  const auto reject = [&](ErrorCode code,
+                          std::string message) -> ResponseFuture {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    admission_done();
+    close_request(request_span, request_id, request_start_us, submit_tid,
+                  "rejected", 0, ms_between(entered, Clock::now()));
+    return ready(fail(code, std::move(message)));
+  };
 
   // --- Validate: typed errors resolve immediately, nothing queues. ---------
   if (request.total_nodes < 8) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    ticket.future = ready(fail(ErrorCode::kBadRequest,
-                               "total_nodes must be at least 8"));
+    ticket.future = reject(ErrorCode::kBadRequest,
+                           "total_nodes must be at least 8");
     return ticket;
   }
   if (request.fits.empty() && request.samples.empty()) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    ticket.future = ready(fail(
+    ticket.future = reject(
         ErrorCode::kBadRequest,
-        "request carries neither benchmark samples nor fitted curves"));
+        "request carries neither benchmark samples nor fitted curves");
     return ticket;
   }
   if (!request.fits.empty()) {
     for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
       if (request.fits.count(kind) == 0) {
-        failed_.fetch_add(1, std::memory_order_relaxed);
-        ticket.future = ready(fail(
-            ErrorCode::kBadRequest,
-            std::string("fits are missing component ") +
-                cesm::to_string(kind)));
+        ticket.future =
+            reject(ErrorCode::kBadRequest,
+                   std::string("fits are missing component ") +
+                       cesm::to_string(kind));
         return ticket;
       }
     }
   }
   if (find_case(request.case_name) == nullptr) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    ticket.future = ready(fail(ErrorCode::kUnknownCase,
-                               "no case registered under '" +
-                                   request.case_name + "'"));
+    ticket.future = reject(ErrorCode::kUnknownCase,
+                           "no case registered under '" +
+                               request.case_name + "'");
     return ticket;
   }
+  admission_done();
 
   // --- Cache. ---------------------------------------------------------------
   const Clock::time_point now = Clock::now();
-  if (std::optional<AllocationResponse> cached = cache_.get(ticket.key, now)) {
+  const double cache_start_us = trace != nullptr ? trace->now_us() : 0.0;
+  std::optional<AllocationResponse> cached = cache_.get(ticket.key, now);
+  if (metrics != nullptr) {
+    metrics->histogram("svc.cache.lookup.ms")
+        .observe(ms_between(now, Clock::now()));
+  }
+  record_phase("svc.phase.cache", request_span, cache_start_us, submit_tid);
+  if (cached.has_value()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     ticket.cache_hit = true;
+    close_request(request_span, request_id, request_start_us, submit_tid,
+                  "cache_hit", 0, ms_between(entered, Clock::now()));
     ticket.future = ready(SolveOutcome(std::move(*cached)));
     return ticket;
   }
 
   // --- Coalesce. ------------------------------------------------------------
-  Coalescer::Join join = coalescer_.join(ticket.key);
+  Coalescer::Follower meta;
+  if (trace != nullptr) {
+    meta.request_span = request_span;
+    meta.request_start_us = request_start_us;
+    meta.wait_start_us = trace->now_us();
+    meta.thread_id = submit_tid;
+    meta.request_id = request_id;
+  }
+  Coalescer::Join join = coalescer_.join(ticket.key, meta);
   ticket.future = join.slot->future;
   if (!join.leader) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
-    if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->counter("svc.coalesced").add(1.0);
+    if (metrics != nullptr) {
+      metrics->counter("svc.coalesced").add(1.0);
     }
     ticket.coalesced = true;
+    // The coalesce-wait phase and the request span stay open until the
+    // leader's flight completes (complete_flight closes them).
     return ticket;
   }
 
@@ -135,26 +198,38 @@ AllocationService::Ticket AllocationService::submit(
   job.deadline_seconds = request.deadline_seconds > 0.0
                              ? request.deadline_seconds
                              : config_.default_deadline_seconds;
+  job.request_id = request_id;
+  job.request_span = request_span;
+  job.request_start_us = request_start_us;
+  job.queue_start_us = trace != nullptr ? trace->now_us() : 0.0;
+  job.submit_tid = submit_tid;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stopping_) {
       lock.unlock();
-      coalescer_.complete(ticket.key,
-                          fail(ErrorCode::kShutdown,
-                               "service is shutting down"));
+      complete_flight(ticket.key,
+                      fail(ErrorCode::kShutdown, "service is shutting down"),
+                      "shutdown");
+      close_request(request_span, request_id, request_start_us, submit_tid,
+                    "shutdown", join.slot->followers,
+                    ms_between(entered, Clock::now()));
       return ticket;
     }
     if (queue_.size() >= config_.queue_capacity) {
       lock.unlock();
       shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
-      if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->counter("svc.shed.queue_full").add(1.0);
+      if (metrics != nullptr) {
+        metrics->counter("svc.shed.queue_full").add(1.0);
       }
-      coalescer_.complete(
+      complete_flight(
           ticket.key,
           fail(ErrorCode::kQueueFull,
                "submission queue is full (" +
-                   std::to_string(config_.queue_capacity) + " pending)"));
+                   std::to_string(config_.queue_capacity) + " pending)"),
+          "queue_full");
+      close_request(request_span, request_id, request_start_us, submit_tid,
+                    "queue_full", join.slot->followers,
+                    ms_between(entered, Clock::now()));
       return ticket;
     }
     queue_.push_back(std::move(job));
@@ -168,6 +243,8 @@ SolveOutcome AllocationService::solve(const AllocationRequest& request) {
 }
 
 void AllocationService::worker_loop() {
+  obs::TraceSession* trace = config_.obs.trace;
+  obs::Registry* metrics = config_.obs.metrics;
   for (;;) {
     Job job;
     {
@@ -181,51 +258,165 @@ void AllocationService::worker_loop() {
     }
 
     const Clock::time_point start = Clock::now();
+    const int worker_tid =
+        trace != nullptr ? trace->thread_id_for_current_thread() : 0;
+    // The queue phase opened at enqueue time on the submitting thread and
+    // closes here, on the worker that picked the job up.
+    record_phase("svc.phase.queue", job.request_span, job.queue_start_us,
+                 worker_tid);
     const double waited_seconds =
         std::chrono::duration<double>(start - job.submitted).count();
-    if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->histogram("svc.queue.ms")
+    if (metrics != nullptr) {
+      metrics->histogram("svc.queue.ms")
           .observe(ms_between(job.submitted, start));
     }
     if (job.deadline_seconds > 0.0 && waited_seconds > job.deadline_seconds) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
-      if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->counter("svc.shed.deadline").add(1.0);
+      if (metrics != nullptr) {
+        metrics->counter("svc.shed.deadline").add(1.0);
       }
-      coalescer_.complete(
-          job.key, fail(ErrorCode::kDeadlineExceeded,
-                        "request waited " + std::to_string(waited_seconds) +
-                            " s against a " +
-                            std::to_string(job.deadline_seconds) +
-                            " s deadline"));
+      complete_flight(
+          job.key,
+          fail(ErrorCode::kDeadlineExceeded,
+               "request waited " + std::to_string(waited_seconds) +
+                   " s against a " + std::to_string(job.deadline_seconds) +
+                   " s deadline"),
+          "deadline");
+      close_request(job.request_span, job.request_id, job.request_start_us,
+                    job.submit_tid, "deadline", job.slot->followers,
+                    ms_between(job.submitted, Clock::now()));
       continue;
     }
 
     // A leader that queued behind an identical flight which completed in the
     // meantime finds the answer already cached: serve it without re-solving.
-    if (std::optional<AllocationResponse> cached =
-            cache_.get(job.key, start)) {
+    const double recheck_start_us = trace != nullptr ? trace->now_us() : 0.0;
+    std::optional<AllocationResponse> cached = cache_.get(job.key, start);
+    if (metrics != nullptr) {
+      metrics->histogram("svc.cache.lookup.ms")
+          .observe(ms_between(start, Clock::now()));
+    }
+    record_phase("svc.phase.cache", job.request_span, recheck_start_us,
+                 worker_tid);
+    if (cached.has_value()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      coalescer_.complete(job.key, SolveOutcome(std::move(*cached)));
+      complete_flight(job.key, SolveOutcome(std::move(*cached)),
+                      "cache_hit");
+      close_request(job.request_span, job.request_id, job.request_start_us,
+                    job.submit_tid, "cache_hit", job.slot->followers,
+                    ms_between(job.submitted, Clock::now()));
       continue;
     }
 
-    SolveOutcome outcome = execute(job);
+    // Solve phase: the id is allocated before execute() so the solver's own
+    // spans (svc.solve -> minlp.solve -> minlp.epoch) can nest under it via
+    // the installed parent_span; the phase event is recorded after.
+    SolveOutcome outcome = fail(ErrorCode::kSolveFailed, "not executed");
+    {
+      std::uint64_t solve_span = 0;
+      double solve_start_us = 0.0;
+      if (trace != nullptr && job.request_span != 0) {
+        solve_span = trace->next_span_id();
+        solve_start_us = trace->now_us();
+      }
+      obs::Options context = config_.obs;
+      context.parent_span = solve_span;
+      const obs::Install install(context);
+      outcome = execute(job);
+      record_phase("svc.phase.solve", job.request_span, solve_start_us,
+                   worker_tid, solve_span);
+    }
     if (outcome.has_value()) {
       solved_.fetch_add(1, std::memory_order_relaxed);
-      if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->counter("svc.solves").add(1.0);
-        config_.obs.metrics->histogram("svc.solve.ms")
+      if (metrics != nullptr) {
+        metrics->counter("svc.solves").add(1.0);
+        metrics->histogram("svc.solve.ms")
             .observe(ms_between(start, Clock::now()));
       }
       cache_.put(job.key, outcome.value(), Clock::now());
     } else {
       failed_.fetch_add(1, std::memory_order_relaxed);
-      if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->counter("svc.solve_failures").add(1.0);
+      if (metrics != nullptr) {
+        metrics->counter("svc.solve_failures").add(1.0);
       }
     }
-    coalescer_.complete(job.key, std::move(outcome));
+    const char* label = outcome.has_value() ? "ok" : "failed";
+    complete_flight(job.key, std::move(outcome), label);
+    close_request(job.request_span, job.request_id, job.request_start_us,
+                  job.submit_tid, label, job.slot->followers,
+                  ms_between(job.submitted, Clock::now()));
+  }
+}
+
+void AllocationService::record_phase(const char* name,
+                                     std::uint64_t request_span,
+                                     double start_us, int thread_id,
+                                     std::uint64_t span_id) const {
+  obs::TraceSession* trace = config_.obs.trace;
+  if (trace == nullptr || request_span == 0) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "svc";
+  event.start_us = start_us;
+  event.duration_us = trace->now_us() - start_us;
+  event.thread_id = thread_id;
+  event.id = span_id != 0 ? span_id : trace->next_span_id();
+  event.parent = request_span;
+  trace->record(std::move(event));
+}
+
+void AllocationService::close_request(std::uint64_t request_span,
+                                      long long request_id, double start_us,
+                                      int thread_id, const char* outcome,
+                                      int followers,
+                                      double fallback_total_ms) const {
+  obs::TraceSession* trace = config_.obs.trace;
+  double total_ms = fallback_total_ms;
+  if (trace != nullptr && request_span != 0) {
+    obs::TraceEvent event;
+    event.name = "svc.request";
+    event.category = "svc";
+    event.start_us = start_us;
+    event.duration_us = trace->now_us() - start_us;
+    total_ms = event.duration_us / 1e3;
+    event.thread_id = thread_id;
+    event.id = request_span;
+    event.args.emplace_back("id", std::to_string(request_id));
+    event.args.emplace_back("outcome", outcome);
+    if (followers > 0) {
+      event.args.emplace_back("followers", std::to_string(followers));
+    }
+    trace->record(std::move(event));
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->histogram("svc.request.ms").observe(total_ms);
+  }
+}
+
+void AllocationService::complete_flight(const std::string& key,
+                                        SolveOutcome outcome,
+                                        const char* outcome_label) {
+  const std::shared_ptr<Coalescer::Slot> slot =
+      coalescer_.complete(key, std::move(outcome));
+  if (slot == nullptr) {
+    return;
+  }
+  obs::TraceSession* trace = config_.obs.trace;
+  if (trace == nullptr) {
+    return;  // followers only carry telemetry when tracing is on
+  }
+  for (const Coalescer::Follower& meta : slot->follower_meta) {
+    record_phase("svc.phase.coalesce", meta.request_span,
+                 meta.wait_start_us, meta.thread_id);
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->histogram("svc.coalesce.wait.ms")
+          .observe((trace->now_us() - meta.wait_start_us) / 1e3);
+    }
+    close_request(meta.request_span, meta.request_id,
+                  meta.request_start_us, meta.thread_id, outcome_label, 0,
+                  (trace->now_us() - meta.request_start_us) / 1e3);
   }
 }
 
@@ -296,9 +487,13 @@ void AllocationService::shutdown() {
   }
   queue_cv_.notify_all();
   for (Job& job : drained) {
-    coalescer_.complete(job.key, fail(ErrorCode::kShutdown,
-                                      "service shut down before the "
-                                      "request was served"));
+    complete_flight(job.key,
+                    fail(ErrorCode::kShutdown,
+                         "service shut down before the request was served"),
+                    "shutdown");
+    close_request(job.request_span, job.request_id, job.request_start_us,
+                  job.submit_tid, "shutdown", job.slot->followers,
+                  ms_between(job.submitted, Clock::now()));
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {

@@ -2,6 +2,8 @@
 // tracks), metrics (counters/gauges/histograms, registry tables), and the
 // installable context the HSLB_* macros record through.
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <thread>
@@ -302,6 +304,34 @@ TEST(Trace, ThreadsGetDistinctIds) {
   EXPECT_NE(main_event->thread_id, worker_event->thread_id);
 }
 
+TEST(Trace, SpanIdsFormCrossReferencedTree) {
+  TraceSession session;
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    ScopedSpan outer(&session, "outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(current_span(), outer_id);
+    {
+      ScopedSpan inner(&session, "inner");
+      inner_id = inner.id();
+      EXPECT_EQ(current_span(), inner_id);
+    }
+    EXPECT_EQ(current_span(), outer_id);
+  }
+  EXPECT_EQ(current_span(), 0u);
+  EXPECT_NE(inner_id, outer_id);
+
+  const std::vector<TraceEvent> events = session.events();
+  const auto outer = find_event(events, "outer");
+  const auto inner = find_event(events, "inner");
+  ASSERT_TRUE(outer && inner);
+  EXPECT_EQ(outer->id, outer_id);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer_id);
+}
+
 // --- Metrics. ---------------------------------------------------------------
 
 TEST(Metrics, HistogramBucketCountsAreExact) {
@@ -379,6 +409,125 @@ TEST(Metrics, SnapshotAndTablesRender) {
   EXPECT_NE(histograms.find("lp_ms"), std::string::npos);
 }
 
+TEST(Metrics, ZeroObservationHistogramRendersWithCountZero) {
+  Registry registry;
+  registry.histogram("svc.request.ms", {1.0, 2.0});
+  // Schema-stable scrapes: a pre-registered histogram that has seen nothing
+  // still renders as a row with an explicit count=0, not a blank.
+  const std::string text = registry.histograms_table().to_text();
+  EXPECT_NE(text.find("svc.request.ms"), std::string::npos);
+  EXPECT_NE(text.find("count=0"), std::string::npos);
+}
+
+// --- Histogram percentile math. ---------------------------------------------
+
+MetricsSnapshot::HistogramRow row_of(const Histogram& histogram) {
+  MetricsSnapshot::HistogramRow row;
+  row.count = histogram.count();
+  row.sum = histogram.sum();
+  row.bounds = histogram.bounds();
+  row.buckets = histogram.bucket_counts();
+  return row;
+}
+
+TEST(Metrics, PercentileIsExactOnBucketBoundaries) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  for (int i = 0; i < 5; ++i) {
+    histogram.observe(1.0);  // inclusive upper edge of bucket 0
+  }
+  for (int i = 0; i < 4; ++i) {
+    histogram.observe(2.0);
+  }
+  histogram.observe(4.0);
+  const MetricsSnapshot::HistogramRow row = row_of(histogram);
+  // Ranks: p50 -> 5th of 10 -> still bucket [.., 1]; p90 -> 9th -> [.., 2];
+  // p99 -> 10th -> [.., 5].  Edge observations must not spill upward.
+  EXPECT_DOUBLE_EQ(histogram_percentile(row, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(row, 0.90), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(row, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(row, 0.0), 1.0);  // rank clamps to 1
+}
+
+TEST(Metrics, PercentileOverflowAndEmptyBehaviour) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(histogram_percentile(row_of(histogram), 0.5)));
+  histogram.observe(0.5);
+  histogram.observe(100.0);  // overflow bucket
+  const MetricsSnapshot::HistogramRow row = row_of(histogram);
+  EXPECT_DOUBLE_EQ(histogram_percentile(row, 0.50), 1.0);
+  // The overflow bucket has no upper edge: the histogram cannot bound the
+  // top rank, and says so instead of inventing a number.
+  EXPECT_TRUE(std::isinf(histogram_percentile(row, 0.99)));
+}
+
+TEST(Metrics, MergeOfShardsMatchesSingleHistogram) {
+  const std::vector<double> bounds = Registry::hdr_time_bounds();
+  Histogram combined(bounds);
+  Histogram left(bounds);
+  Histogram right(bounds);
+  for (int i = 1; i <= 200; ++i) {
+    const double value = 0.01 * static_cast<double>(i * i);
+    combined.observe(value);
+    (i % 2 == 0 ? left : right).observe(value);
+  }
+  const MetricsSnapshot::HistogramRow merged =
+      merge(row_of(left), row_of(right));
+  const MetricsSnapshot::HistogramRow whole = row_of(combined);
+  EXPECT_EQ(merged.count, whole.count);
+  EXPECT_EQ(merged.buckets, whole.buckets);
+  EXPECT_NEAR(merged.sum, whole.sum, 1e-9 * whole.sum);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(histogram_percentile(merged, q),
+                     histogram_percentile(whole, q));
+  }
+}
+
+TEST(Metrics, PercentilesStayMonotonicUnderMerge) {
+  const std::vector<double> bounds = Registry::hdr_time_bounds();
+  Histogram fast(bounds);
+  Histogram slow(bounds);
+  for (int i = 0; i < 100; ++i) {
+    fast.observe(0.5);
+    slow.observe(50.0 + static_cast<double>(i));
+  }
+  const MetricsSnapshot::HistogramRow fast_row = row_of(fast);
+  const MetricsSnapshot::HistogramRow slow_row = row_of(slow);
+  const MetricsSnapshot::HistogramRow merged = merge(fast_row, slow_row);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double lo = histogram_percentile(fast_row, q);
+    const double hi = histogram_percentile(slow_row, q);
+    const double mid = histogram_percentile(merged, q);
+    EXPECT_GE(mid, lo);
+    EXPECT_LE(mid, hi);
+  }
+  // Folding in a strictly slower population can only raise the tail.
+  EXPECT_GE(histogram_percentile(merged, 0.99),
+            histogram_percentile(fast_row, 0.99));
+}
+
+TEST(Metrics, ShardedHistogramIsExactUnderConcurrency) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  constexpr int kThreads = 8;  // == Histogram::kShards
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.observe(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  long long total = 0;
+  for (const long long b : histogram.bucket_counts()) {
+    total += b;
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
 // --- Context install + macros. ----------------------------------------------
 
 TEST(Context, InstallOverlaysAndRestores) {
@@ -403,6 +552,29 @@ TEST(Context, InstallOverlaysAndRestores) {
   }
   EXPECT_EQ(current_trace(), nullptr);
   EXPECT_EQ(current_metrics(), nullptr);
+}
+
+TEST(Context, ParentSpanPropagatesAcrossThreads) {
+  TraceSession session;
+  std::uint64_t parent_id = 0;
+  {
+    Install outer(&session, nullptr);
+    ScopedSpan parent(&session, "parent");
+    parent_id = parent.id();
+    // current_context() captures the open span; Install on another thread
+    // seeds that thread's nesting so its spans join the same tree.
+    const Options context = current_context();
+    EXPECT_EQ(context.parent_span, parent_id);
+    std::thread worker([&context, &session] {
+      Install install(context);
+      ScopedSpan child(&session, "child");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = session.events();
+  const auto child = find_event(events, "child");
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->parent, parent_id);
 }
 
 TEST(Context, MacrosRecordThroughInstalledContext) {
