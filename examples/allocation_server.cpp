@@ -6,6 +6,8 @@
 //                         [--solver-threads=<n>] [--metrics] [--smoke]
 //                         [--metrics-port=<port>] [--metrics-out=<file>]
 //                         [--metrics-interval=<seconds>] [--trace-out=<file>]
+//                         [--chaos-rate=<p>] [--chaos-seed=<n>]
+//                         [--admission] [--deadline=<seconds>]
 //
 // <clients> threads issue <requests> allocation requests each, drawn from
 // <distinct> distinct questions (different machine-slice sizes over one set
@@ -20,12 +22,22 @@
 // --metrics-interval seconds (default 1) plus once at exit; --trace-out
 // writes the full request span tree as Chrome trace JSON at exit, ready for
 // chrome://tracing or the hslb_trace analyzer.
+//
+// Fault drills: --chaos-rate injects deterministic faults (solver
+// exceptions/stalls, cache poison, leader deaths, worker aborts) at the
+// given total per-attempt probability, replayable under --chaos-seed; the
+// degradation ladder then shows up in the serving table (stale/heuristic
+// rows) and failed requests print their typed root cause (code, phase,
+// message).  --admission turns on p99-driven shedding against --deadline.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -68,6 +80,10 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   double metrics_interval = 1.0;
   std::string trace_out;
+  double chaos_rate = 0.0;
+  std::uint64_t chaos_seed = 0xC4A05ull;
+  bool admission = false;
+  double deadline_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -95,12 +111,22 @@ int main(int argc, char** argv) {
           std::stod(arg.substr(std::strlen("--metrics-interval=")));
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--chaos-rate=", 0) == 0) {
+      chaos_rate = std::stod(arg.substr(std::strlen("--chaos-rate=")));
+    } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+      chaos_seed = std::stoull(arg.substr(std::strlen("--chaos-seed=")));
+    } else if (arg == "--admission") {
+      admission = true;
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      deadline_seconds = std::stod(arg.substr(std::strlen("--deadline=")));
     } else {
       std::cerr << "usage: allocation_server [--workers=<n>] [--clients=<n>]"
                    " [--requests=<n>] [--distinct=<n>] [--ttl=<seconds>]"
                    " [--solver-threads=<n>] [--metrics] [--smoke]"
                    " [--metrics-port=<port>] [--metrics-out=<file>]"
-                   " [--metrics-interval=<seconds>] [--trace-out=<file>]\n";
+                   " [--metrics-interval=<seconds>] [--trace-out=<file>]"
+                   " [--chaos-rate=<p>] [--chaos-seed=<n>] [--admission]"
+                   " [--deadline=<seconds>]\n";
       return 2;
     }
   }
@@ -116,6 +142,16 @@ int main(int argc, char** argv) {
   svc::ServiceConfig config;
   config.workers = workers;
   config.cache.ttl_seconds = ttl_seconds;
+  config.default_deadline_seconds = deadline_seconds;
+  if (chaos_rate > 0.0) {
+    config.chaos = svc::ChaosSpec::uniform(chaos_rate, chaos_seed);
+    // Keep expired entries around: the stale-cache brownout rung needs
+    // something checksummed to serve when the exact solve dies.
+    config.cache.keep_expired = true;
+    std::cout << "chaos: rate " << chaos_rate << ", seed " << chaos_seed
+              << " (deterministic; same seed replays the same faults)\n";
+  }
+  config.admission.enabled = admission;
   config.obs.metrics = &registry;
   if (!trace_out.empty()) {
     config.obs.trace = &trace;
@@ -161,6 +197,10 @@ int main(int argc, char** argv) {
   const common::WallTimer timer;
   std::vector<std::thread> threads;
   std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  // Typed root causes of failed requests, tallied by (code, phase, message)
+  // so the operator sees *why* requests failed, not just how many.
+  std::mutex error_mutex;
+  std::map<std::string, int> error_tally;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
@@ -174,6 +214,15 @@ int main(int argc, char** argv) {
         const svc::SolveOutcome outcome = service.solve(request);
         if (!outcome.has_value()) {
           ++failures[static_cast<std::size_t>(c)];
+          std::string line = std::string(svc::to_string(outcome.error().code));
+          if (!outcome.error().phase.empty()) {
+            line += " [phase: " + outcome.error().phase + "]";
+          }
+          if (!outcome.error().message.empty()) {
+            line += " " + outcome.error().message;
+          }
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          ++error_tally[line];
         }
       }
     });
@@ -224,8 +273,25 @@ int main(int argc, char** argv) {
   row("solver executions", stats.solved);
   row("shed (queue full)", stats.shed_queue_full);
   row("shed (deadline)", stats.shed_deadline);
+  if (admission) {
+    row("shed (admission overload)", stats.shed_overload);
+  }
+  if (chaos_rate > 0.0) {
+    row("chaos faults injected", stats.chaos_injected);
+    row("hedged retries", stats.hedged_retries);
+    row("served stale (brownout)", stats.served_stale);
+    row("served heuristic (brownout)", stats.served_heuristic);
+    row("shed (breaker open)", stats.shed_breaker);
+    row("cache poison detected", cache.poison_detected);
+  }
   row("failed", failed);
   std::cout << table;
+  if (!error_tally.empty()) {
+    std::cout << "failure root causes:\n";
+    for (const auto& [line, count] : error_tally) {
+      std::cout << "  " << count << "x " << line << '\n';
+    }
+  }
 
   const long long total = stats.submitted;
   const double hit_rate =
@@ -246,11 +312,16 @@ int main(int argc, char** argv) {
   if (smoke) {
     // Invariants the service guarantees regardless of scheduling: every
     // request resolves, and distinct questions bound the solver executions.
+    // Under chaos, failed attempts legitimately re-run the solver and some
+    // requests fail by design, so only the resolves-everything invariant
+    // holds.
     const long long expected =
         static_cast<long long>(clients) * requests_per_client;
-    if (failed != 0 || stats.submitted != expected ||
-        stats.solved > distinct ||
-        stats.cache_hits + stats.coalesced + stats.solved < expected) {
+    const bool chaos_on = chaos_rate > 0.0;
+    if (stats.submitted != expected ||
+        (!chaos_on &&
+         (failed != 0 || stats.solved > distinct ||
+          stats.cache_hits + stats.coalesced + stats.solved < expected))) {
       std::cerr << "smoke check failed\n";
       return 1;
     }

@@ -53,11 +53,15 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
-  --target test_svc test_obs test_telemetry test_minlp_parallel \
-  allocation_server hslb_trace_cli
+  --target test_svc test_svc_chaos test_obs test_telemetry \
+  test_minlp_parallel allocation_server hslb_trace_cli
 
-echo "== ctest (TSan: svc + obs + telemetry + parallel solver + smokes)"
+echo "== ctest (TSan: svc + chaos + obs + telemetry + parallel solver + smokes)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
+  -R 'test_svc|test_svc_chaos|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
+
+echo "== chaos smoke under TSan (deterministic faults, ladder on)"
+"${tsan_dir}/examples/allocation_server" --smoke --chaos-rate=0.3 \
+  --chaos-seed=7
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

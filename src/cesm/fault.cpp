@@ -7,11 +7,9 @@
 #include "hslb/common/error.hpp"
 
 namespace hslb::cesm {
-namespace {
 
-/// SplitMix64-style mix of the identity triple into one 64-bit stream seed.
-std::uint64_t mix_key(std::uint64_t seed, std::uint64_t run_key,
-                      std::uint64_t salt) {
+std::uint64_t mix_fault_key(std::uint64_t seed, std::uint64_t run_key,
+                            std::uint64_t salt) {
   std::uint64_t z = seed ^ (run_key * 0x9e3779b97f4a7c15ull) ^
                     (salt * 0xbf58476d1ce4e5b9ull);
   z ^= z >> 30;
@@ -21,8 +19,6 @@ std::uint64_t mix_key(std::uint64_t seed, std::uint64_t run_key,
   z ^= z >> 31;
   return z;
 }
-
-}  // namespace
 
 const char* to_string(FaultKind kind) {
   switch (kind) {
@@ -77,8 +73,8 @@ FaultKind FaultInjector::draw(std::uint64_t run_key, int attempt) const {
   if (!spec_.enabled()) {
     return FaultKind::kNone;
   }
-  common::Rng rng(mix_key(spec_.seed, run_key,
-                          0xA7ull + static_cast<std::uint64_t>(attempt)));
+  common::Rng rng(mix_fault_key(spec_.seed, run_key,
+                                0xA7ull + static_cast<std::uint64_t>(attempt)));
   const double u = rng.uniform();
   double edge = spec_.launch_failure_prob;
   if (u < edge) {
@@ -110,15 +106,15 @@ FaultKind FaultInjector::draw(std::uint64_t run_key, int attempt) const {
 int FaultInjector::spike_target(std::uint64_t run_key, int attempt,
                                 int choices) const {
   HSLB_REQUIRE(choices >= 1, "spike_target needs at least one choice");
-  common::Rng rng(mix_key(spec_.seed, run_key,
-                          0x51ull + static_cast<std::uint64_t>(attempt)));
+  common::Rng rng(mix_fault_key(spec_.seed, run_key,
+                                0x51ull + static_cast<std::uint64_t>(attempt)));
   return static_cast<int>(rng.uniform_int(0, choices - 1));
 }
 
 std::uint64_t FaultInjector::text_seed(std::uint64_t run_key,
                                        int attempt) const {
-  return mix_key(spec_.seed, run_key,
-                 0x7Eull + static_cast<std::uint64_t>(attempt));
+  return mix_fault_key(spec_.seed, run_key,
+                       0x7Eull + static_cast<std::uint64_t>(attempt));
 }
 
 std::string corrupt_text(const std::string& text, std::uint64_t seed) {

@@ -59,6 +59,14 @@ struct FaultSpec {
   static FaultSpec uniform(double rate, std::uint64_t seed = 0xFA117ull);
 };
 
+/// SplitMix64-style mix of a (seed, run_key, salt) identity triple into one
+/// 64-bit stream seed.  This is the hash every deterministic fault oracle in
+/// the repo draws through -- the campaign-level FaultInjector below and the
+/// service-level svc::ChaosInjector both key their draws off it, so a fault
+/// schedule is a pure function of identities, never of thread order.
+std::uint64_t mix_fault_key(std::uint64_t seed, std::uint64_t run_key,
+                            std::uint64_t salt);
+
 /// Deterministic fault oracle.  Stateless between calls: each decision is a
 /// pure function of (spec, run_key, attempt), so draws can be made from any
 /// thread in any order.

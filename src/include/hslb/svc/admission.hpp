@@ -1,0 +1,84 @@
+// p99-driven adaptive admission for the allocation service.
+//
+// Queue-depth-only shedding (ServiceConfig::max_queue) rejects work only
+// after the queue is already full -- by then every queued request is likely
+// to blow its deadline.  The admission controller instead watches the tail
+// of the end-to-end latency distribution the telemetry layer already
+// records (the `svc.request.ms` HDR histogram) and sheds *early*: when the
+// measured p99 exceeds a headroom fraction of the request's deadline budget
+// and the queue has started to form, new arrivals are turned away with
+// kOverloaded instead of being queued to die.
+//
+// The p99 is refreshed from the histogram every `refresh_interval`
+// decisions (a scrape-and-scan, cheap but not free) and cached between
+// refreshes.  With `enabled` false (the default) admit() is uncondition-
+// ally true and the service behaves exactly as before this controller
+// existed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "hslb/obs/metrics.hpp"
+
+namespace hslb::svc {
+
+struct AdmissionConfig {
+  /// Off by default: pre-admission behaviour (queue-depth shedding only).
+  bool enabled = false;
+  /// Shed when measured p99 exceeds headroom * deadline budget.  < 1 sheds
+  /// before the tail actually reaches the deadline -- the point of the
+  /// controller is to act early.
+  double headroom = 0.8;
+  /// Histogram observations required before the controller may shed (a
+  /// cold service has no tail worth trusting).
+  long long min_observations = 32;
+  /// Decisions between p99 refreshes; the value is cached in between.
+  int refresh_interval = 16;
+  /// Only shed when at least this many requests are already queued: an
+  /// idle service should accept work even if the last busy period's tail
+  /// was bad.
+  std::size_t min_queue_depth = 1;
+};
+
+/// One decision's audit trail.
+struct AdmissionDecision {
+  bool admit = true;
+  double p99_ms = 0.0;     ///< tail estimate used (0 before first refresh)
+  double budget_ms = 0.0;  ///< headroom * deadline, what p99 was tested against
+};
+
+/// Thread-safe; one instance per Service.  Reads `svc.request.ms` from the
+/// registry the service's telemetry writes into.
+class AdmissionController {
+ public:
+  /// `metrics` is borrowed and must outlive the controller; it is both the
+  /// p99 source and where decisions are exported (svc.shed.overload
+  /// counter, svc.admission.p99_ms gauge).
+  AdmissionController(AdmissionConfig config, obs::Registry* metrics);
+
+  /// Decide whether to admit a request carrying `deadline_seconds` of
+  /// budget while `queue_depth` requests are already waiting.
+  AdmissionDecision admit(double deadline_seconds, std::size_t queue_depth);
+
+  /// The cached tail estimate (refreshed at most every refresh_interval
+  /// decisions; +inf when the tail escaped the histogram's last bucket).
+  double last_p99_ms() const;
+  long long shed_count() const;
+
+ private:
+  void refresh_p99();
+
+  AdmissionConfig config_;
+  obs::Registry* metrics_;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Gauge* p99_gauge_ = nullptr;
+
+  std::mutex refresh_mutex_;
+  std::atomic<long long> decisions_{0};
+  std::atomic<double> p99_ms_{0.0};
+  std::atomic<long long> shed_{0};
+};
+
+}  // namespace hslb::svc

@@ -1,0 +1,76 @@
+// Per-case circuit breaker for the allocation service's solve path.
+//
+// A case whose solves keep failing (a poisoned catalog entry, a chaos storm,
+// a genuinely infeasible configuration) should stop burning solver budget on
+// every request.  The breaker watches a rolling window of solve outcomes per
+// case and trips open when the failure share crosses a threshold; while
+// open, requests shed immediately (the ladder can still serve stale/
+// heuristic answers).  Recovery is probed: after a fixed number of rejected
+// attempts the breaker goes half-open and lets a bounded number of trial
+// solves through -- all must succeed to close, any failure re-opens.
+//
+// Every transition is count-based (outcomes seen, rejects absorbed, probes
+// returned), never wall-clock-based, so a chaos replay drives the breaker
+// through the exact same state sequence on every run.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace hslb::svc {
+
+struct BreakerConfig {
+  int window = 16;            ///< rolling outcome window per case
+  int min_samples = 4;        ///< outcomes required before the breaker may trip
+  double failure_ratio = 0.5; ///< trip when failures/window >= this
+  int open_rejects = 4;       ///< rejects absorbed while open before probing
+  int half_open_probes = 2;   ///< consecutive probe successes needed to close
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+/// Rolled-up lifetime tally for one breaker.
+struct BreakerStats {
+  BreakerState state = BreakerState::kClosed;
+  long long rejected = 0;    ///< allow() calls turned away
+  long long opened = 0;      ///< closed/half-open -> open transitions
+  long long closed = 0;      ///< half-open -> closed recoveries
+  long long outcomes = 0;    ///< record() calls observed
+};
+
+/// One case's breaker.  Thread-safe; all methods are O(window).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Whether the caller may attempt a solve now.  While open this counts
+  /// the reject and may transition to half-open; while half-open it admits
+  /// at most `half_open_probes` concurrent trial solves.
+  bool allow();
+
+  /// Report the outcome of an attempt that allow() admitted.  Failures in
+  /// half-open re-open immediately; enough failures in the rolling window
+  /// trip a closed breaker.
+  void record(bool success);
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+ private:
+  void trip_open();  // requires mutex_ held
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<bool> window_;     ///< recent outcomes, front = oldest
+  int failures_in_window_ = 0;
+  int rejects_while_open_ = 0;
+  int probes_issued_ = 0;       ///< half-open trial solves admitted
+  int probes_succeeded_ = 0;
+  BreakerStats stats_;
+};
+
+}  // namespace hslb::svc

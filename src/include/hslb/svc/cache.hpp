@@ -1,10 +1,17 @@
-// Sharded LRU solve cache with TTL.
+// Sharded LRU solve cache with TTL, per-entry checksums, and stale serving.
 //
 // Keys are canonical request strings (request.hpp); values are full
 // AllocationResponses.  The key is hashed onto one of `shards` independent
 // LRU maps, each behind its own mutex, so concurrent workers rarely
 // contend.  Entries expire `ttl_seconds` after insertion (0 = never); a
-// lookup that finds an expired entry removes it and reports a miss.
+// lookup that finds an expired entry reports a miss -- and removes it,
+// unless `keep_expired` retains it for the degradation ladder's stale-serve
+// rung (get_stale).
+//
+// Every entry carries an FNV-1a checksum of its canonical serialization,
+// verified on every read: a poisoned shard (bit rot, a buggy writer, or the
+// chaos layer's injected corruption) is detected and dropped as a miss --
+// counted in `poison_detected` -- never silently served.
 //
 // Time is passed in explicitly (steady_clock time_points) rather than read
 // inside, so TTL behaviour is testable without sleeping; the service layer
@@ -14,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -31,37 +39,58 @@ struct CacheConfig {
   std::size_t capacity = 1024;  ///< total entries across all shards
   std::size_t shards = 8;       ///< independent LRU maps (>= 1)
   double ttl_seconds = 0.0;     ///< entry lifetime; <= 0 means no expiry
+  /// Retain expired entries (still counted against capacity, still evicted
+  /// by LRU pressure) so get_stale can serve them as degraded answers.
+  /// Off by default: the pre-ladder behaviour removes them at lookup.
+  bool keep_expired = false;
 };
 
 /// Point-in-time tally (monotonic except `size`).
 struct CacheStats {
   long long hits = 0;
   long long misses = 0;
-  long long evictions = 0;    ///< LRU-capacity removals
-  long long expirations = 0;  ///< TTL removals
-  std::size_t size = 0;       ///< entries currently resident
+  long long evictions = 0;        ///< LRU-capacity removals
+  long long expirations = 0;      ///< TTL removals (or first expired sighting)
+  long long stale_hits = 0;       ///< expired entries served via get_stale
+  long long poison_detected = 0;  ///< checksum-mismatch entries dropped
+  std::size_t size = 0;           ///< entries currently resident
 };
 
 class SolveCache {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// `metrics` is optional and borrowed: when set, hit/miss/evict/expire
-  /// counters are bumped in the registry (svc.cache.*) alongside the
-  /// internal tally.  Instrument pointers are resolved once here -- the
-  /// registry hands out stable references -- so the hot path never takes
-  /// the registry lock.
+  /// `metrics` is optional and borrowed: when set, hit/miss/evict/expire/
+  /// stale/poison counters are bumped in the registry (svc.cache.*)
+  /// alongside the internal tally.  Instrument pointers are resolved once
+  /// here -- the registry hands out stable references -- so the hot path
+  /// never takes the registry lock.
   explicit SolveCache(CacheConfig config, obs::Registry* metrics = nullptr);
 
-  /// The cached response, refreshing its LRU position; nullopt on miss or
-  /// TTL expiry (the expired entry is removed).
+  /// The cached response, refreshing its LRU position; nullopt on miss, TTL
+  /// expiry, or checksum mismatch.  Expired entries are removed unless
+  /// keep_expired; poisoned entries are always removed.
   std::optional<AllocationResponse> get(const std::string& key,
                                         Clock::time_point now);
 
+  /// The entry for `key` regardless of TTL -- the stale-serve rung of the
+  /// degradation ladder.  Only checksum-valid bytes are ever returned (a
+  /// poisoned entry is dropped and reported as nullopt); `stale_seconds`
+  /// (optional) receives how far past its TTL the entry is (0 when fresh).
+  std::optional<AllocationResponse> get_stale(const std::string& key,
+                                              Clock::time_point now,
+                                              double* stale_seconds = nullptr);
+
   /// Insert or overwrite.  Overwriting refreshes both the value and the
-  /// insertion time; capacity overflow evicts the shard's LRU tail.
+  /// insertion time; capacity overflow evicts the shard's LRU tail.  The
+  /// entry's checksum is computed here, over the canonical serialization.
   void put(const std::string& key, AllocationResponse response,
            Clock::time_point now);
+
+  /// Chaos hook: garble the stored bytes of `key`'s entry *without*
+  /// refreshing its checksum, simulating a poisoned shard.  Returns false
+  /// when the key is not resident.  Test/bench machinery only.
+  bool poison(const std::string& key);
 
   CacheStats stats() const;
   std::size_t size() const;
@@ -71,6 +100,8 @@ class SolveCache {
     std::string key;
     AllocationResponse response;
     Clock::time_point inserted;
+    std::uint64_t checksum = 0;
+    bool expired_counted = false;  ///< expiration tallied once per entry
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -80,6 +111,7 @@ class SolveCache {
 
   Shard& shard_for(const std::string& key);
   bool expired(const Entry& entry, Clock::time_point now) const;
+  void count_poison();
 
   CacheConfig config_;
   std::size_t per_shard_capacity_ = 0;
@@ -89,11 +121,15 @@ class SolveCache {
   std::atomic<long long> misses_{0};
   std::atomic<long long> evictions_{0};
   std::atomic<long long> expirations_{0};
+  std::atomic<long long> stale_hits_{0};
+  std::atomic<long long> poison_detected_{0};
 
   obs::Counter* hit_counter_ = nullptr;
   obs::Counter* miss_counter_ = nullptr;
   obs::Counter* evict_counter_ = nullptr;
   obs::Counter* expire_counter_ = nullptr;
+  obs::Counter* stale_counter_ = nullptr;
+  obs::Counter* poison_counter_ = nullptr;
   obs::Gauge* size_gauge_ = nullptr;
 };
 

@@ -1,0 +1,106 @@
+// Deterministic chaos injection for the allocation service.
+//
+// The campaign-level FaultInjector (hslb/cesm/fault.hpp) hardens Step 1
+// against a flaky machine; this layer does the same for the *request path*:
+// a ChaosSpec declares per-attempt probabilities for the failure classes a
+// production allocation service meets (solver exceptions, solver stalls,
+// cache-shard poison, coalescer leader death, worker-thread aborts), and a
+// ChaosInjector turns (request key, attempt) identities into reproducible
+// fault draws.
+//
+// Every draw is a pure function of (spec seed, FNV-1a hash of the canonical
+// request key, attempt index), mixed through cesm::mix_fault_key -- the
+// same hash the campaign injector draws through -- so a chaos run replays
+// exactly regardless of worker count, thread interleaving, or wall clock.
+// Stalls are *simulated* against the solver's wall budget (the simulated
+// clock idiom of the gather campaign): the injector never sleeps, it
+// declares how many seconds the stalled solve would have burned.
+//
+// A default ChaosSpec is a guaranteed no-op: the service takes the exact
+// pre-chaos code path and outputs stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hslb/cesm/fault.hpp"
+
+namespace hslb::svc {
+
+/// What the injector did to one solve attempt (or cache insert).
+enum class ChaosKind {
+  kNone,            ///< the attempt proceeds cleanly
+  kSolveException,  ///< the solver throws mid-solve
+  kSolveStall,      ///< the solver stalls past its wall budget (simulated)
+  kCachePoison,     ///< the cached entry's bytes are garbled after insert
+  kLeaderDeath,     ///< the coalescer leader dies mid-solve
+  kWorkerAbort,     ///< the worker thread aborts and is "respawned"
+};
+
+const char* to_string(ChaosKind kind);
+
+/// Per-attempt chaos probabilities.  All default to zero: a default spec is
+/// disabled and the service takes the exact pre-chaos code path.
+struct ChaosSpec {
+  double solve_exception_prob = 0.0;
+  double solve_stall_prob = 0.0;
+  double cache_poison_prob = 0.0;  ///< drawn per cache insert, not per solve
+  double leader_death_prob = 0.0;
+  double worker_abort_prob = 0.0;
+
+  /// Simulated seconds a kSolveStall burns (charged against the request's
+  /// deadline budget; the injector never sleeps for real).
+  double stall_seconds = 30.0;
+
+  std::uint64_t seed = 0xC4A05ull;
+
+  /// Attempts with index < exempt_first_attempts never fault -- lets a
+  /// scripted scenario (or a bench warmup round) populate caches cleanly
+  /// before the chaos starts.
+  int exempt_first_attempts = 0;
+  /// Width of the faulting attempt window after the exempt prefix; < 0
+  /// means unbounded.  Attempts at index >= exempt_first_attempts +
+  /// max_fault_attempts are clean again, so a test can script
+  /// "fail once, then recover" deterministically.
+  int max_fault_attempts = -1;
+
+  /// True when any fault class can fire.
+  bool enabled() const;
+  /// Total per-solve probability that some solve-path fault fires
+  /// (excludes cache_poison_prob, which draws per insert).
+  double solve_rate() const;
+
+  /// A spec whose fault classes sum to `rate` (the "--chaos-rate" flag),
+  /// split across the classes in realistic proportions: solver exceptions
+  /// and stalls dominate, leader deaths and worker aborts are rarer, and a
+  /// matching share of cache inserts is poisoned.
+  static ChaosSpec uniform(double rate, std::uint64_t seed = 0xC4A05ull);
+};
+
+/// Deterministic chaos oracle.  Stateless between calls: each decision is a
+/// pure function of (spec, key hash, attempt), so draws can be made from
+/// any thread in any order and a run replays exactly under the same seed.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(ChaosSpec spec);
+
+  const ChaosSpec& spec() const { return spec_; }
+
+  /// The solve-path fault (or kNone) injected into solve attempt `attempt`
+  /// of the request identified by `key_hash`.  Never returns kCachePoison.
+  ChaosKind draw_solve(std::uint64_t key_hash, int attempt) const;
+
+  /// Whether the cache insert after solve attempt `attempt` is poisoned.
+  bool draw_poison(std::uint64_t key_hash, int attempt) const;
+
+  /// FNV-1a hash of a canonical request key -- the run_key every draw for
+  /// that request is salted with.
+  static std::uint64_t key_hash(const std::string& key);
+
+ private:
+  bool in_fault_window(int attempt) const;
+
+  ChaosSpec spec_;
+};
+
+}  // namespace hslb::svc

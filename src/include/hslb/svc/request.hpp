@@ -33,13 +33,20 @@ enum class ErrorCode {
   kUnknownCase,       ///< case_name not in the service catalog
   kBadRequest,        ///< malformed request (no timing data, missing fits...)
   kSolveFailed,       ///< pipeline rejected the request (solver error, ...)
+  kOverloaded,        ///< adaptive admission shed: measured p99 over budget
 };
 
 const char* to_string(ErrorCode code);
 
+/// The typed error channel.  `message` carries the root cause verbatim (the
+/// solver exception's what(), the chaos fault label, the breaker verdict)
+/// and `phase` names where on the request path it happened ("admission",
+/// "queue", "solve", "ladder", "breaker") -- serving metadata, so a shed is
+/// auditable instead of a bare enum.
 struct Error {
   ErrorCode code = ErrorCode::kBadRequest;
   std::string message;
+  std::string phase;
 };
 
 /// One allocation question.  Timing data comes in exactly one of two forms:
@@ -79,6 +86,18 @@ struct AllocationRequest {
   std::map<cesm::ComponentKind, perf::PerfModel> fits;
 };
 
+/// Which rung of the service's degradation ladder produced a response.
+/// kExact covers both a fresh solve and a warm cache hit (a hit is a copy
+/// of an exact answer; Ticket::cache_hit records the serving path).  The
+/// lower rungs are brownout answers: still usable, flagged degraded.
+enum class ServeLevel {
+  kExact = 0,       ///< the MINLP solved (or a warm cache copy of it)
+  kStaleCache = 1,  ///< expired-but-checksummed cache entry served stale
+  kHeuristic = 2,   ///< grid-search allocation replaced the solver
+};
+
+const char* to_string(ServeLevel level);
+
 /// The answer: a solved allocation plus enough solver provenance to audit
 /// it.  Responses are value types; the cache stores and fans out copies.
 /// Everything here is deterministic in the request, which is what makes a
@@ -89,6 +108,14 @@ struct AllocationResponse {
   minlp::MinlpStatus solver_status = minlp::MinlpStatus::kInfeasible;
   long nodes_explored = 0;
   bool degraded = false;
+  /// Degradation-ladder provenance.  kExact answers serialize exactly as
+  /// they did before the ladder existed (to_json appends the serve/fault
+  /// fields only on the lower rungs), so chaos-off outputs stay
+  /// byte-identical.
+  ServeLevel served = ServeLevel::kExact;
+  /// Why the ladder descended (the exact solve's root-cause failure);
+  /// empty on kExact answers.
+  std::string fault_detail;
 };
 
 /// Canonical cache/coalescing key.  Invariant to how the caller assembled
@@ -105,5 +132,11 @@ std::string to_json(const AllocationResponse& response);
 /// The normalizing float formatter canonical_key/to_json use (shortest
 /// round-trip decimal via %.17g with a -0.0 fold).  Exposed for tests.
 std::string canonical_double(double value);
+
+/// FNV-1a checksum over the canonical serialization -- the per-entry
+/// integrity check the solve cache stores next to every response so a
+/// poisoned shard is *detected* (checksum mismatch at lookup) rather than
+/// silently served.
+std::uint64_t response_checksum(const AllocationResponse& response);
 
 }  // namespace hslb::svc

@@ -5,12 +5,28 @@
 //     |-- canonical_key(request)
 //     |-- SolveCache.get ----------------- hit: ready future, no queueing
 //     |-- Coalescer.join ----------------- follower: leader's future
-//     `-- bounded queue -> worker pool --- leader: solve, cache, fan out
+//     |-- adaptive admission ------------- p99 over budget: kOverloaded shed
+//     `-- bounded queue -> worker pool --- leader: ladder, cache, fan out
 //
-// Backpressure is explicit and typed: a full queue sheds at submit time
-// (kQueueFull), a request whose deadline expires while queued is shed when
-// dequeued (kDeadlineExceeded), and shutdown resolves everything still
-// queued (kShutdown).  Nothing aborts; every submitted future resolves.
+// Backpressure is explicit and typed: adaptive admission sheds early when
+// the measured request p99 outruns the deadline budget (kOverloaded), a
+// full queue sheds at submit time (kQueueFull), a request whose deadline
+// expires while queued is shed when dequeued (kDeadlineExceeded), and
+// shutdown resolves everything still queued (kShutdown).  Nothing aborts;
+// every submitted future resolves.
+//
+// The solve path is a *degradation ladder*, gated per case by a circuit
+// breaker:
+//
+//   breaker.allow -> exact solve (chaos-wrapped, one hedged retry for
+//   leader-death/worker-abort faults) -> stale cache (expired but
+//   checksummed, marked degraded) -> heuristic grid search (fits-based
+//   requests) -> typed kSolveFailed shed carrying the root cause.
+//
+// Every brownout answer is flagged (AllocationResponse::served +
+// fault_detail); only exact answers enter the cache.  With the default
+// ChaosSpec (disabled) and healthy solves the service takes the exact
+// pre-ladder code path and outputs stay byte-identical.
 //
 // The workers run the ordinary pipeline entry points, which are reentrant:
 // all state lives in the per-call config/result, and the obs context is
@@ -26,13 +42,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hslb/cesm/configs.hpp"
 #include "hslb/obs/obs.hpp"
+#include "hslb/svc/admission.hpp"
+#include "hslb/svc/breaker.hpp"
 #include "hslb/svc/cache.hpp"
+#include "hslb/svc/chaos.hpp"
 #include "hslb/svc/coalescer.hpp"
 #include "hslb/svc/request.hpp"
 
@@ -44,6 +64,23 @@ struct ServiceConfig {
   /// Applied when a request carries no deadline of its own; <= 0: none.
   double default_deadline_seconds = 0.0;
   CacheConfig cache;
+  /// Deterministic fault injection (default: disabled, guaranteed no-op).
+  ChaosSpec chaos;
+  /// Per-case circuit breaker over exact-solve outcomes.  Enabled by
+  /// default: a closed breaker is invisible (it only changes behaviour
+  /// after repeated solve failures).
+  BreakerConfig breaker;
+  bool breaker_enabled = true;
+  /// Brownout rungs below the exact solve (stale cache, heuristic grid
+  /// search).  Enabled by default: the rungs only engage when the exact
+  /// attempt failed, so healthy traffic never sees them.
+  bool ladder_enabled = true;
+  /// One extra exact attempt when a chaos fault killed the leader or the
+  /// worker (retryable deaths, unlike solver exceptions), budgeted against
+  /// the request deadline.
+  bool hedged_retry = true;
+  /// p99-driven admission (default: disabled -> queue-depth shedding only).
+  AdmissionConfig admission;
   /// Borrowed observability sinks, installed on each worker around each
   /// solve (thread-local, so concurrent workers do not interfere).  The
   /// registry also receives the service counters (svc.requests, svc.cache.*,
@@ -62,7 +99,13 @@ struct ServiceStats {
   long long solved = 0;      ///< solver executions completed by workers
   long long shed_queue_full = 0;
   long long shed_deadline = 0;
+  long long shed_overload = 0;    ///< adaptive admission sheds (kOverloaded)
+  long long shed_breaker = 0;     ///< open-breaker rejections of the solve
   long long failed = 0;      ///< kBadRequest/kUnknownCase/kSolveFailed
+  long long served_stale = 0;     ///< stale-cache brownout answers
+  long long served_heuristic = 0; ///< grid-search brownout answers
+  long long hedged_retries = 0;   ///< extra exact attempts after a death
+  long long chaos_injected = 0;   ///< faults the chaos layer fired
 };
 
 class AllocationService {
@@ -101,6 +144,10 @@ class AllocationService {
   CacheStats cache_stats() const { return cache_.stats(); }
   std::size_t queue_depth() const;
 
+  /// The named case's breaker tally (created on first solve attempt);
+  /// nullopt when the case has seen no solve traffic.
+  std::optional<BreakerStats> breaker_stats(const std::string& case_name) const;
+
  private:
   struct Job {
     std::string key;
@@ -120,8 +167,32 @@ class AllocationService {
     int submit_tid = 0;              ///< submitting thread's trace id
   };
 
+  /// What the ladder produced for one dequeued job.
+  struct ServeResult {
+    SolveOutcome outcome;
+    const char* label = "ok";  ///< close_request outcome tag
+  };
+
   void worker_loop();
+  /// The degradation ladder: breaker gate -> exact attempt (chaos-wrapped,
+  /// hedged) -> stale cache -> heuristic -> typed shed.  `waited_seconds`
+  /// is the queue wait already spent against the deadline.
+  ServeResult serve(const Job& job, double waited_seconds);
+  /// One chaos-wrapped exact attempt + optional hedged retry.
+  /// `sim_stall_seconds` accumulates simulated stall time charged against
+  /// the deadline budget; `last_attempt` reports the final attempt index
+  /// (the poison draw's replay axis).
+  SolveOutcome attempt_exact(const Job& job, double waited_seconds,
+                             double* sim_stall_seconds, int* last_attempt);
+  /// Grid-search brownout answer from request-supplied fits; a typed error
+  /// when the request carries none (samples-only requests have no curves
+  /// to search without a fit pass).
+  SolveOutcome heuristic_serve(const Job& job);
   SolveOutcome execute(const Job& job);
+  CircuitBreaker& breaker_for(const std::string& case_name);
+  /// Next per-key solve-attempt index (the chaos injector's replay axis).
+  int next_attempt(const std::string& key);
+  void count_chaos(ChaosKind kind);
   std::shared_ptr<const cesm::CaseConfig> find_case(
       const std::string& name) const;
 
@@ -145,9 +216,17 @@ class AllocationService {
   ServiceConfig config_;
   SolveCache cache_;
   Coalescer coalescer_;
+  std::unique_ptr<ChaosInjector> chaos_;        ///< null when chaos disabled
+  std::unique_ptr<AdmissionController> admission_;  ///< null when disabled
 
   mutable std::mutex catalog_mutex_;
   std::map<std::string, std::shared_ptr<const cesm::CaseConfig>> catalog_;
+
+  mutable std::mutex breaker_mutex_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  std::mutex attempt_mutex_;
+  std::map<std::string, int> attempts_;  ///< per-key exact-solve attempt count
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -161,7 +240,13 @@ class AllocationService {
   std::atomic<long long> solved_{0};
   std::atomic<long long> shed_queue_full_{0};
   std::atomic<long long> shed_deadline_{0};
+  std::atomic<long long> shed_overload_{0};
+  std::atomic<long long> shed_breaker_{0};
   std::atomic<long long> failed_{0};
+  std::atomic<long long> served_stale_{0};
+  std::atomic<long long> served_heuristic_{0};
+  std::atomic<long long> hedged_retries_{0};
+  std::atomic<long long> chaos_injected_{0};
 };
 
 }  // namespace hslb::svc

@@ -253,15 +253,26 @@ struct ExpositionServer::Impl {
 
 namespace {
 
-void write_all(int fd, const std::string& data) {
+/// Push the whole payload even when the kernel takes it in pieces: send()
+/// on a socket may accept only part of a multi-KB scrape (small send
+/// buffers, slow readers) and may be interrupted by a signal before
+/// accepting anything.  EINTR retries; a short send resumes at the first
+/// unsent byte.  MSG_NOSIGNAL turns a dead peer into EPIPE instead of a
+/// process-killing SIGPIPE.  Returns false when the peer is gone.
+bool write_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
-      return;  // peer went away; nothing useful to do
+      return false;  // peer went away; nothing useful to do
     }
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 }  // namespace

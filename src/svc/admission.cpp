@@ -1,0 +1,83 @@
+#include "hslb/svc/admission.hpp"
+
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::svc {
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::Registry* metrics)
+    : config_(config), metrics_(metrics) {
+  HSLB_REQUIRE(metrics_ != nullptr,
+               "admission controller needs a metrics registry");
+  HSLB_REQUIRE(config_.headroom > 0.0, "admission headroom must be positive");
+  HSLB_REQUIRE(config_.min_observations >= 1,
+               "admission min_observations must be positive");
+  HSLB_REQUIRE(config_.refresh_interval >= 1,
+               "admission refresh_interval must be positive");
+  // Get-or-create with the telemetry layer's HDR edges so construction
+  // order (controller vs. service telemetry) cannot fork the bounds.
+  metrics_->histogram("svc.request.ms", obs::Registry::hdr_time_bounds());
+  shed_counter_ = &metrics_->counter("svc.shed.overload");
+  p99_gauge_ = &metrics_->gauge("svc.admission.p99_ms");
+}
+
+void AdmissionController::refresh_p99() {
+  const std::lock_guard<std::mutex> lock(refresh_mutex_);
+  obs::Histogram& histogram =
+      metrics_->histogram("svc.request.ms", obs::Registry::hdr_time_bounds());
+  obs::MetricsSnapshot::HistogramRow row;
+  row.count = histogram.count();
+  row.bounds = histogram.bounds();
+  row.buckets = histogram.bucket_counts();
+  double p99 = 0.0;
+  if (row.count >= config_.min_observations) {
+    p99 = obs::histogram_percentile(row, 0.99);
+    if (std::isnan(p99)) {
+      p99 = 0.0;
+    }
+  }
+  p99_ms_.store(p99, std::memory_order_relaxed);
+  if (p99_gauge_ != nullptr) {
+    // +inf means "the tail escaped the histogram's last bucket"; export a
+    // finite sentinel so the Prometheus text stays parseable.
+    p99_gauge_->set(std::isinf(p99) ? 1e9 : p99);
+  }
+}
+
+AdmissionDecision AdmissionController::admit(double deadline_seconds,
+                                             std::size_t queue_depth) {
+  AdmissionDecision out;
+  out.budget_ms = config_.headroom * deadline_seconds * 1000.0;
+  if (!config_.enabled) {
+    return out;
+  }
+  const long long decision =
+      decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (decision % config_.refresh_interval == 0) {
+    refresh_p99();
+  }
+  out.p99_ms = p99_ms_.load(std::memory_order_relaxed);
+  // p99 of +inf (tail past the last bucket edge) always sheds; p99 of 0
+  // (too few observations) never does.
+  if (queue_depth >= config_.min_queue_depth && out.budget_ms > 0.0 &&
+      out.p99_ms > out.budget_ms) {
+    out.admit = false;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_counter_ != nullptr) {
+      shed_counter_->add(1.0);
+    }
+  }
+  return out;
+}
+
+double AdmissionController::last_p99_ms() const {
+  return p99_ms_.load(std::memory_order_relaxed);
+}
+
+long long AdmissionController::shed_count() const {
+  return shed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace hslb::svc

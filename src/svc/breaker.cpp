@@ -1,0 +1,119 @@
+#include "hslb/svc/breaker.hpp"
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::svc {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  HSLB_REQUIRE(config_.window >= 1, "breaker window must be positive");
+  HSLB_REQUIRE(config_.min_samples >= 1,
+               "breaker min_samples must be positive");
+  HSLB_REQUIRE(config_.failure_ratio > 0.0 && config_.failure_ratio <= 1.0,
+               "breaker failure_ratio must be in (0, 1]");
+  HSLB_REQUIRE(config_.open_rejects >= 1,
+               "breaker open_rejects must be positive");
+  HSLB_REQUIRE(config_.half_open_probes >= 1,
+               "breaker half_open_probes must be positive");
+}
+
+void CircuitBreaker::trip_open() {
+  state_ = BreakerState::kOpen;
+  window_.clear();
+  failures_in_window_ = 0;
+  rejects_while_open_ = 0;
+  probes_issued_ = 0;
+  probes_succeeded_ = 0;
+  ++stats_.opened;
+}
+
+bool CircuitBreaker::allow() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++rejects_while_open_;
+      ++stats_.rejected;
+      if (rejects_while_open_ >= config_.open_rejects) {
+        // Cooldown served (counted in rejects, not seconds, so replays are
+        // exact): start probing.
+        state_ = BreakerState::kHalfOpen;
+        probes_issued_ = 0;
+        probes_succeeded_ = 0;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_issued_ < config_.half_open_probes) {
+        ++probes_issued_;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record(bool success) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.outcomes;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (!success) {
+      trip_open();
+      return;
+    }
+    ++probes_succeeded_;
+    if (probes_succeeded_ >= config_.half_open_probes) {
+      state_ = BreakerState::kClosed;
+      window_.clear();
+      failures_in_window_ = 0;
+      ++stats_.closed;
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) {
+    // A straggler attempt admitted before the trip finished; its outcome
+    // carries no information the trip didn't already act on.
+    return;
+  }
+  window_.push_back(success);
+  if (!success) {
+    ++failures_in_window_;
+  }
+  while (window_.size() > static_cast<std::size_t>(config_.window)) {
+    if (!window_.front()) {
+      --failures_in_window_;
+    }
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) >= config_.min_samples &&
+      static_cast<double>(failures_in_window_) >=
+          config_.failure_ratio * static_cast<double>(window_.size())) {
+    trip_open();
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  BreakerStats out = stats_;
+  out.state = state_;
+  return out;
+}
+
+}  // namespace hslb::svc

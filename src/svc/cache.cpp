@@ -1,6 +1,7 @@
 #include "hslb/svc/cache.hpp"
 
 #include <functional>
+#include <utility>
 
 #include "hslb/common/error.hpp"
 
@@ -26,6 +27,8 @@ SolveCache::SolveCache(CacheConfig config, obs::Registry* metrics)
     miss_counter_ = &metrics->counter("svc.cache.misses");
     evict_counter_ = &metrics->counter("svc.cache.evictions");
     expire_counter_ = &metrics->counter("svc.cache.expirations");
+    stale_counter_ = &metrics->counter("svc.cache.stale_hits");
+    poison_counter_ = &metrics->counter("svc.cache.poison_detected");
     size_gauge_ = &metrics->gauge("svc.cache.size");
   }
 }
@@ -42,22 +45,41 @@ bool SolveCache::expired(const Entry& entry, Clock::time_point now) const {
          config_.ttl_seconds;
 }
 
+void SolveCache::count_poison() {
+  poison_detected_.fetch_add(1, std::memory_order_relaxed);
+  if (poison_counter_ != nullptr) {
+    poison_counter_->add(1.0);
+  }
+}
+
 std::optional<AllocationResponse> SolveCache::get(const std::string& key,
                                                   Clock::time_point now) {
   Shard& shard = shard_for(key);
   std::optional<AllocationResponse> out;
-  bool was_expired = false;
+  bool count_expired = false;
+  bool poisoned = false;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      if (expired(*it->second, now)) {
+      Entry& entry = *it->second;
+      if (response_checksum(entry.response) != entry.checksum) {
+        // Poisoned shard: drop the entry; the caller re-solves.
+        poisoned = true;
         shard.lru.erase(it->second);
         shard.index.erase(it);
-        was_expired = true;
+      } else if (expired(entry, now)) {
+        count_expired = !entry.expired_counted;
+        if (config_.keep_expired) {
+          // Retained for get_stale; expiration is tallied once per entry.
+          entry.expired_counted = true;
+        } else {
+          shard.lru.erase(it->second);
+          shard.index.erase(it);
+        }
       } else {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        out = it->second->response;
+        out = entry.response;
       }
     }
   }
@@ -71,11 +93,14 @@ std::optional<AllocationResponse> SolveCache::get(const std::string& key,
     if (miss_counter_ != nullptr) {
       miss_counter_->add(1.0);
     }
-    if (was_expired) {
+    if (count_expired) {
       expirations_.fetch_add(1, std::memory_order_relaxed);
       if (expire_counter_ != nullptr) {
         expire_counter_->add(1.0);
       }
+    }
+    if (poisoned) {
+      count_poison();
     }
   }
   if (size_gauge_ != nullptr) {
@@ -84,19 +109,69 @@ std::optional<AllocationResponse> SolveCache::get(const std::string& key,
   return out;
 }
 
+std::optional<AllocationResponse> SolveCache::get_stale(
+    const std::string& key, Clock::time_point now, double* stale_seconds) {
+  Shard& shard = shard_for(key);
+  std::optional<AllocationResponse> out;
+  bool poisoned = false;
+  double past_ttl = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      if (response_checksum(entry.response) != entry.checksum) {
+        poisoned = true;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      } else {
+        if (config_.ttl_seconds > 0.0) {
+          const double age =
+              std::chrono::duration<double>(now - entry.inserted).count();
+          past_ttl = age > config_.ttl_seconds ? age - config_.ttl_seconds
+                                               : 0.0;
+        }
+        // No LRU refresh: a stale serve should not outcompete fresh
+        // entries for residency.
+        out = entry.response;
+      }
+    }
+  }
+  if (out.has_value()) {
+    stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (stale_counter_ != nullptr) {
+      stale_counter_->add(1.0);
+    }
+    if (stale_seconds != nullptr) {
+      *stale_seconds = past_ttl;
+    }
+  } else if (poisoned) {
+    count_poison();
+    if (size_gauge_ != nullptr) {
+      size_gauge_->set(static_cast<double>(size()));
+    }
+  }
+  return out;
+}
+
 void SolveCache::put(const std::string& key, AllocationResponse response,
                      Clock::time_point now) {
+  const std::uint64_t checksum = response_checksum(response);
   Shard& shard = shard_for(key);
   long long evicted = 0;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      it->second->response = std::move(response);
-      it->second->inserted = now;
+      Entry& entry = *it->second;
+      entry.response = std::move(response);
+      entry.inserted = now;
+      entry.checksum = checksum;
+      entry.expired_counted = false;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      shard.lru.push_front(Entry{key, std::move(response), now});
+      shard.lru.push_front(Entry{key, std::move(response), now, checksum,
+                                 /*expired_counted=*/false});
       shard.index[key] = shard.lru.begin();
       while (shard.lru.size() > per_shard_capacity_) {
         shard.index.erase(shard.lru.back().key);
@@ -116,12 +191,29 @@ void SolveCache::put(const std::string& key, AllocationResponse response,
   }
 }
 
+bool SolveCache::poison(const std::string& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    return false;
+  }
+  // Garble the stored answer without refreshing the checksum: the next
+  // lookup's verification must catch the mismatch.
+  AllocationResponse& stored = it->second->response;
+  stored.nodes_explored = ~stored.nodes_explored;
+  stored.tsync_used = -stored.tsync_used - 1.0;
+  return true;
+}
+
 CacheStats SolveCache::stats() const {
   CacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.expirations = expirations_.load(std::memory_order_relaxed);
+  out.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  out.poison_detected = poison_detected_.load(std::memory_order_relaxed);
   out.size = size();
   return out;
 }

@@ -1,0 +1,112 @@
+#include "hslb/svc/chaos.hpp"
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+
+namespace hslb::svc {
+
+const char* to_string(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kNone:
+      return "none";
+    case ChaosKind::kSolveException:
+      return "solve-exception";
+    case ChaosKind::kSolveStall:
+      return "solve-stall";
+    case ChaosKind::kCachePoison:
+      return "cache-poison";
+    case ChaosKind::kLeaderDeath:
+      return "leader-death";
+    case ChaosKind::kWorkerAbort:
+      return "worker-abort";
+  }
+  return "unknown";
+}
+
+bool ChaosSpec::enabled() const {
+  return solve_rate() + cache_poison_prob > 0.0;
+}
+
+double ChaosSpec::solve_rate() const {
+  return solve_exception_prob + solve_stall_prob + leader_death_prob +
+         worker_abort_prob;
+}
+
+ChaosSpec ChaosSpec::uniform(double rate, std::uint64_t seed) {
+  HSLB_REQUIRE(rate >= 0.0 && rate <= 1.0,
+               "chaos rate must be a probability");
+  ChaosSpec spec;
+  spec.solve_exception_prob = 0.35 * rate;
+  spec.solve_stall_prob = 0.25 * rate;
+  spec.leader_death_prob = 0.15 * rate;
+  spec.worker_abort_prob = 0.10 * rate;
+  spec.cache_poison_prob = 0.15 * rate;
+  spec.seed = seed;
+  return spec;
+}
+
+ChaosInjector::ChaosInjector(ChaosSpec spec) : spec_(spec) {
+  HSLB_REQUIRE(spec_.solve_rate() <= 1.0,
+               "chaos solve-fault probabilities must sum to at most 1");
+  HSLB_REQUIRE(spec_.cache_poison_prob >= 0.0 &&
+                   spec_.cache_poison_prob <= 1.0,
+               "cache poison probability must be a probability");
+  HSLB_REQUIRE(spec_.stall_seconds >= 0.0,
+               "stall_seconds must be nonnegative");
+}
+
+bool ChaosInjector::in_fault_window(int attempt) const {
+  if (attempt < spec_.exempt_first_attempts) {
+    return false;
+  }
+  return spec_.max_fault_attempts < 0 ||
+         attempt < spec_.exempt_first_attempts + spec_.max_fault_attempts;
+}
+
+ChaosKind ChaosInjector::draw_solve(std::uint64_t key_hash,
+                                    int attempt) const {
+  if (spec_.solve_rate() <= 0.0 || !in_fault_window(attempt)) {
+    return ChaosKind::kNone;
+  }
+  common::Rng rng(cesm::mix_fault_key(
+      spec_.seed, key_hash, 0x50ull + static_cast<std::uint64_t>(attempt)));
+  const double u = rng.uniform();
+  double edge = spec_.solve_exception_prob;
+  if (u < edge) {
+    return ChaosKind::kSolveException;
+  }
+  edge += spec_.solve_stall_prob;
+  if (u < edge) {
+    return ChaosKind::kSolveStall;
+  }
+  edge += spec_.leader_death_prob;
+  if (u < edge) {
+    return ChaosKind::kLeaderDeath;
+  }
+  edge += spec_.worker_abort_prob;
+  if (u < edge) {
+    return ChaosKind::kWorkerAbort;
+  }
+  return ChaosKind::kNone;
+}
+
+bool ChaosInjector::draw_poison(std::uint64_t key_hash, int attempt) const {
+  if (spec_.cache_poison_prob <= 0.0 || !in_fault_window(attempt)) {
+    return false;
+  }
+  common::Rng rng(cesm::mix_fault_key(
+      spec_.seed, key_hash, 0xB0ull + static_cast<std::uint64_t>(attempt)));
+  return rng.uniform() < spec_.cache_poison_prob;
+}
+
+std::uint64_t ChaosInjector::key_hash(const std::string& key) {
+  // FNV-1a, the same fingerprint primitive the report library uses.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace hslb::svc

@@ -24,6 +24,20 @@ const char* to_string(ErrorCode code) {
       return "bad_request";
     case ErrorCode::kSolveFailed:
       return "solve_failed";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
+
+const char* to_string(ServeLevel level) {
+  switch (level) {
+    case ServeLevel::kExact:
+      return "exact";
+    case ServeLevel::kStaleCache:
+      return "stale-cache";
+    case ServeLevel::kHeuristic:
+      return "heuristic";
   }
   return "unknown";
 }
@@ -33,6 +47,24 @@ std::string canonical_double(double value) {
 }
 
 namespace {
+
+/// Minimal JSON string escape for free-text fields (fault details carry
+/// exception messages, which may contain quotes or backslashes).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 
 void append_fit_options(std::ostringstream& os,
                         const perf::FitOptions& options) {
@@ -113,8 +145,26 @@ std::string to_json(const AllocationResponse& response) {
      << ",\"tsync_used\":" << canonical_double(response.tsync_used)
      << ",\"solver_status\":\"" << minlp::to_string(response.solver_status)
      << "\",\"nodes_explored\":" << response.nodes_explored
-     << ",\"degraded\":" << (response.degraded ? "true" : "false") << '}';
+     << ",\"degraded\":" << (response.degraded ? "true" : "false");
+  // Ladder provenance only serializes on the brownout rungs, so exact
+  // answers (the chaos-off universe) stay byte-identical to the pre-ladder
+  // format.
+  if (response.served != ServeLevel::kExact) {
+    os << ",\"served\":\"" << to_string(response.served) << "\",\"fault\":\""
+       << json_escape(response.fault_detail) << '"';
+  }
+  os << '}';
   return os.str();
+}
+
+std::uint64_t response_checksum(const AllocationResponse& response) {
+  const std::string bytes = to_json(response);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 }  // namespace hslb::svc

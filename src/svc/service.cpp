@@ -1,9 +1,11 @@
 #include "hslb/svc/service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "hslb/common/error.hpp"
 #include "hslb/hslb/pipeline.hpp"
+#include "hslb/hslb/resilience.hpp"
 
 namespace hslb::svc {
 
@@ -23,8 +25,10 @@ ResponseFuture ready(SolveOutcome outcome) {
   return promise.get_future().share();
 }
 
-SolveOutcome fail(ErrorCode code, std::string message) {
-  return common::make_unexpected(Error{code, std::move(message)});
+SolveOutcome fail(ErrorCode code, std::string message,
+                  std::string phase = std::string()) {
+  return common::make_unexpected(
+      Error{code, std::move(message), std::move(phase)});
 }
 
 }  // namespace
@@ -35,6 +39,9 @@ AllocationService::AllocationService(ServiceConfig config)
   HSLB_REQUIRE(config_.workers >= 1, "service needs at least one worker");
   HSLB_REQUIRE(config_.queue_capacity >= 1,
                "service needs a positive queue capacity");
+  if (config_.chaos.enabled()) {
+    chaos_ = std::make_unique<ChaosInjector>(config_.chaos);
+  }
   if (obs::Registry* metrics = config_.obs.metrics) {
     // Pre-register every request-phase histogram so a scrape sees the full
     // schema (complete count=0 bucket ladders) before -- or without -- any
@@ -45,7 +52,19 @@ AllocationService::AllocationService(ServiceConfig config)
       metrics->histogram(name, obs::Registry::hdr_time_bounds());
     }
     metrics->gauge("svc.workers").set(static_cast<double>(config_.workers));
+    // Ladder/breaker/chaos schema, pre-registered for the same reason.
+    for (const char* name :
+         {"svc.served.stale", "svc.served.heuristic", "svc.shed.breaker",
+          "svc.breaker.trips", "svc.hedged_retries", "svc.chaos.injected"}) {
+      metrics->counter(name);
+    }
+    if (config_.admission.enabled) {
+      admission_ =
+          std::make_unique<AdmissionController>(config_.admission, metrics);
+    }
   }
+  HSLB_REQUIRE(!config_.admission.enabled || admission_ != nullptr,
+               "adaptive admission needs obs.metrics (its p99 source)");
   if (config_.register_builtin_cases) {
     register_case("1deg", cesm::one_degree_case());
     register_case("eighth", cesm::eighth_degree_case());
@@ -115,7 +134,7 @@ AllocationService::Ticket AllocationService::submit(
     admission_done();
     close_request(request_span, request_id, request_start_us, submit_tid,
                   "rejected", 0, ms_between(entered, Clock::now()));
-    return ready(fail(code, std::move(message)));
+    return ready(fail(code, std::move(message), "admission"));
   };
 
   // --- Validate: typed errors resolve immediately, nothing queues. ---------
@@ -189,15 +208,36 @@ AllocationService::Ticket AllocationService::submit(
     return ticket;
   }
 
-  // --- Leader: enqueue, shedding on a full queue or a stopped service. ------
+  // --- Leader: adaptive admission, then enqueue (shedding on a full queue
+  // --- or a stopped service). -----------------------------------------------
+  const double deadline_seconds = request.deadline_seconds > 0.0
+                                      ? request.deadline_seconds
+                                      : config_.default_deadline_seconds;
+  if (admission_ != nullptr) {
+    const AdmissionDecision decision =
+        admission_->admit(deadline_seconds, queue_depth());
+    if (!decision.admit) {
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      complete_flight(
+          ticket.key,
+          fail(ErrorCode::kOverloaded,
+               "measured p99 " + std::to_string(decision.p99_ms) +
+                   " ms exceeds the admission budget " +
+                   std::to_string(decision.budget_ms) + " ms",
+               "admission"),
+          "overload");
+      close_request(request_span, request_id, request_start_us, submit_tid,
+                    "overload", join.slot->followers,
+                    ms_between(entered, Clock::now()));
+      return ticket;
+    }
+  }
   Job job;
   job.key = ticket.key;
   job.request = request;
   job.slot = join.slot;
   job.submitted = now;
-  job.deadline_seconds = request.deadline_seconds > 0.0
-                             ? request.deadline_seconds
-                             : config_.default_deadline_seconds;
+  job.deadline_seconds = deadline_seconds;
   job.request_id = request_id;
   job.request_span = request_span;
   job.request_start_us = request_start_us;
@@ -208,7 +248,8 @@ AllocationService::Ticket AllocationService::submit(
     if (stopping_) {
       lock.unlock();
       complete_flight(ticket.key,
-                      fail(ErrorCode::kShutdown, "service is shutting down"),
+                      fail(ErrorCode::kShutdown, "service is shutting down",
+                           "queue"),
                       "shutdown");
       close_request(request_span, request_id, request_start_us, submit_tid,
                     "shutdown", join.slot->followers,
@@ -225,7 +266,8 @@ AllocationService::Ticket AllocationService::submit(
           ticket.key,
           fail(ErrorCode::kQueueFull,
                "submission queue is full (" +
-                   std::to_string(config_.queue_capacity) + " pending)"),
+                   std::to_string(config_.queue_capacity) + " pending)",
+               "queue"),
           "queue_full");
       close_request(request_span, request_id, request_start_us, submit_tid,
                     "queue_full", join.slot->followers,
@@ -280,7 +322,8 @@ void AllocationService::worker_loop() {
           fail(ErrorCode::kDeadlineExceeded,
                "request waited " + std::to_string(waited_seconds) +
                    " s against a " + std::to_string(job.deadline_seconds) +
-                   " s deadline"),
+                   " s deadline",
+               "queue"),
           "deadline");
       close_request(job.request_span, job.request_id, job.request_start_us,
                     job.submit_tid, "deadline", job.slot->followers,
@@ -308,10 +351,13 @@ void AllocationService::worker_loop() {
       continue;
     }
 
-    // Solve phase: the id is allocated before execute() so the solver's own
-    // spans (svc.solve -> minlp.solve -> minlp.epoch) can nest under it via
-    // the installed parent_span; the phase event is recorded after.
-    SolveOutcome outcome = fail(ErrorCode::kSolveFailed, "not executed");
+    // Solve phase: the id is allocated before the ladder runs so the
+    // solver's own spans (svc.solve -> minlp.solve -> minlp.epoch) can nest
+    // under it via the installed parent_span; the phase event is recorded
+    // after.  The ladder (breaker gate, chaos-wrapped exact attempt, the
+    // brownout rungs) all runs inside the phase.
+    ServeResult served{fail(ErrorCode::kSolveFailed, "not executed", "solve"),
+                       "failed"};
     {
       std::uint64_t solve_span = 0;
       double solve_start_us = 0.0;
@@ -322,30 +368,268 @@ void AllocationService::worker_loop() {
       obs::Options context = config_.obs;
       context.parent_span = solve_span;
       const obs::Install install(context);
-      outcome = execute(job);
+      served = serve(job, waited_seconds);
       record_phase("svc.phase.solve", job.request_span, solve_start_us,
                    worker_tid, solve_span);
     }
-    if (outcome.has_value()) {
-      solved_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics != nullptr) {
-        metrics->counter("svc.solves").add(1.0);
-        metrics->histogram("svc.solve.ms")
-            .observe(ms_between(start, Clock::now()));
-      }
-      cache_.put(job.key, outcome.value(), Clock::now());
-    } else {
+    if (!served.outcome.has_value()) {
       failed_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics != nullptr) {
-        metrics->counter("svc.solve_failures").add(1.0);
-      }
     }
-    const char* label = outcome.has_value() ? "ok" : "failed";
-    complete_flight(job.key, std::move(outcome), label);
+    const char* label = served.label;
+    complete_flight(job.key, std::move(served.outcome), label);
     close_request(job.request_span, job.request_id, job.request_start_us,
                   job.submit_tid, label, job.slot->followers,
                   ms_between(job.submitted, Clock::now()));
   }
+}
+
+AllocationService::ServeResult AllocationService::serve(
+    const Job& job, double waited_seconds) {
+  obs::Registry* metrics = config_.obs.metrics;
+  const Clock::time_point start = Clock::now();
+
+  // --- Breaker gate + exact attempt. ----------------------------------------
+  CircuitBreaker* breaker =
+      config_.breaker_enabled ? &breaker_for(job.request.case_name) : nullptr;
+  SolveOutcome outcome =
+      fail(ErrorCode::kSolveFailed, "not attempted", "solve");
+  double sim_stall_seconds = 0.0;
+  int last_attempt = 0;
+  bool attempted = false;
+  if (breaker == nullptr || breaker->allow()) {
+    attempted = true;
+    outcome =
+        attempt_exact(job, waited_seconds, &sim_stall_seconds, &last_attempt);
+    if (breaker != nullptr) {
+      const long long opened_before = breaker->stats().opened;
+      breaker->record(outcome.has_value());
+      if (metrics != nullptr && breaker->stats().opened > opened_before) {
+        metrics->counter("svc.breaker.trips").add(1.0);
+      }
+    }
+  } else {
+    shed_breaker_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics != nullptr) {
+      metrics->counter("svc.shed.breaker").add(1.0);
+    }
+    outcome = fail(ErrorCode::kSolveFailed,
+                   "circuit breaker open for case '" + job.request.case_name +
+                       "' (recent solves kept failing)",
+                   "breaker");
+  }
+
+  if (outcome.has_value()) {
+    solved_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics != nullptr) {
+      metrics->counter("svc.solves").add(1.0);
+      metrics->histogram("svc.solve.ms")
+          .observe(ms_between(start, Clock::now()));
+    }
+    // Only exact answers enter the cache -- a brownout response must never
+    // masquerade as a warm hit later.
+    cache_.put(job.key, outcome.value(), Clock::now());
+    if (chaos_ != nullptr &&
+        chaos_->draw_poison(ChaosInjector::key_hash(job.key), last_attempt)) {
+      count_chaos(ChaosKind::kCachePoison);
+      cache_.poison(job.key);
+    }
+    return {std::move(outcome), "ok"};
+  }
+  if (attempted && metrics != nullptr) {
+    metrics->counter("svc.solve_failures").add(1.0);
+  }
+
+  // --- Brownout rungs. ------------------------------------------------------
+  if (config_.ladder_enabled) {
+    const std::string& fault_detail = outcome.error().message;
+    // Rung 2: an expired-but-checksummed cache entry, served stale.  Only
+    // populated when the cache retains expired entries (keep_expired).
+    std::optional<AllocationResponse> stale =
+        cache_.get_stale(job.key, Clock::now());
+    if (stale.has_value()) {
+      stale->degraded = true;
+      stale->served = ServeLevel::kStaleCache;
+      stale->fault_detail = fault_detail;
+      served_stale_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->counter("svc.served.stale").add(1.0);
+      }
+      return {SolveOutcome(std::move(*stale)), "stale"};
+    }
+    // Rung 3: direct grid search over the allowed sets (fits-based requests
+    // only -- a samples-only request has no curves without a fit pass).
+    SolveOutcome heuristic = heuristic_serve(job);
+    if (heuristic.has_value()) {
+      heuristic->fault_detail = fault_detail;
+      served_heuristic_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->counter("svc.served.heuristic").add(1.0);
+      }
+      return {std::move(heuristic), "heuristic"};
+    }
+  }
+
+  // --- Typed shed: the exact failure, root cause intact. --------------------
+  const char* label =
+      outcome.error().phase == "breaker" ? "breaker_open" : "failed";
+  return {std::move(outcome), label};
+}
+
+SolveOutcome AllocationService::attempt_exact(const Job& job,
+                                              double waited_seconds,
+                                              double* sim_stall_seconds,
+                                              int* last_attempt) {
+  if (chaos_ == nullptr) {
+    *last_attempt = next_attempt(job.key);
+    return execute(job);
+  }
+  const std::uint64_t key_hash = ChaosInjector::key_hash(job.key);
+  bool hedged = false;
+  for (;;) {
+    const int attempt = next_attempt(job.key);
+    *last_attempt = attempt;
+    const ChaosKind fault = chaos_->draw_solve(key_hash, attempt);
+    SolveOutcome outcome =
+        fail(ErrorCode::kSolveFailed, "not attempted", "solve");
+    bool retryable = false;
+    switch (fault) {
+      case ChaosKind::kNone:
+      case ChaosKind::kCachePoison:  // draw_solve never returns this
+        outcome = execute(job);
+        break;
+      case ChaosKind::kSolveException:
+        count_chaos(fault);
+        outcome = fail(ErrorCode::kSolveFailed,
+                       "chaos: injected solver exception (attempt " +
+                           std::to_string(attempt) + ")",
+                       "solve");
+        break;
+      case ChaosKind::kSolveStall:
+        // Simulated-clock idiom: no real sleep; the stall's seconds are
+        // charged against the request's deadline budget below.
+        count_chaos(fault);
+        *sim_stall_seconds += chaos_->spec().stall_seconds;
+        outcome = fail(ErrorCode::kSolveFailed,
+                       "chaos: solver stalled " +
+                           std::to_string(chaos_->spec().stall_seconds) +
+                           " s (simulated) past its budget",
+                       "solve");
+        break;
+      case ChaosKind::kLeaderDeath:
+        count_chaos(fault);
+        retryable = true;
+        outcome = fail(ErrorCode::kSolveFailed,
+                       "chaos: coalescer leader died mid-solve", "solve");
+        break;
+      case ChaosKind::kWorkerAbort:
+        count_chaos(fault);
+        retryable = true;
+        outcome = fail(ErrorCode::kSolveFailed,
+                       "chaos: worker thread aborted mid-solve", "solve");
+        break;
+    }
+    if (outcome.has_value() || !retryable || hedged || !config_.hedged_retry) {
+      return outcome;
+    }
+    // Hedged retry: one extra exact attempt for deaths (the work was lost,
+    // not wrong), and only while the deadline budget -- less queue wait and
+    // simulated stall time -- still has room.
+    if (job.deadline_seconds > 0.0 &&
+        waited_seconds + *sim_stall_seconds >= job.deadline_seconds) {
+      return outcome;
+    }
+    hedged = true;
+    hedged_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->counter("svc.hedged_retries").add(1.0);
+    }
+  }
+}
+
+SolveOutcome AllocationService::heuristic_serve(const Job& job) {
+  if (job.request.fits.empty()) {
+    return fail(ErrorCode::kSolveFailed,
+                "no fitted curves to grid-search (samples-only request)",
+                "ladder");
+  }
+  const std::shared_ptr<const cesm::CaseConfig> case_config =
+      find_case(job.request.case_name);
+  if (case_config == nullptr) {
+    return fail(ErrorCode::kUnknownCase,
+                "no case registered under '" + job.request.case_name + "'",
+                "ladder");
+  }
+  // Mirror the pipeline's spec assembly (run_hslb_from_fits + solve_step's
+  // allowed-set and auto-tsync rules) so the grid search answers the same
+  // question the solver would have.
+  core::LayoutModelSpec spec;
+  spec.layout = job.request.layout;
+  spec.total_nodes = job.request.total_nodes;
+  spec.objective = job.request.objective;
+  spec.use_sos = job.request.use_sos;
+  spec.min_nodes = case_config->min_nodes;
+  for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+    spec.perf[kind] = job.request.fits.at(kind);  // validated at submit
+  }
+  if (job.request.constrain_atm) {
+    spec.atm_allowed = case_config->atm_allowed;
+  }
+  if (job.request.constrain_ocean) {
+    spec.ocn_allowed = case_config->ocn_allowed;
+  }
+  double tsync = job.request.tsync;
+  if (tsync < 0.0) {
+    const double ref = spec.perf.at(cesm::ComponentKind::kIce)(
+        std::max(1.0, job.request.total_nodes / 2.0));
+    tsync = std::max(1.0, 0.25 * ref);
+  }
+  spec.tsync = tsync;
+
+  AllocationResponse response;
+  try {
+    response.allocation = core::heuristic_allocation(spec);
+  } catch (const std::exception& e) {
+    return fail(ErrorCode::kSolveFailed,
+                std::string("heuristic fallback failed: ") + e.what(),
+                "ladder");
+  }
+  response.tsync_used = tsync;
+  response.nodes_explored = 0;
+  response.degraded = true;
+  response.served = ServeLevel::kHeuristic;
+  return SolveOutcome(std::move(response));
+}
+
+CircuitBreaker& AllocationService::breaker_for(const std::string& case_name) {
+  const std::lock_guard<std::mutex> lock(breaker_mutex_);
+  std::unique_ptr<CircuitBreaker>& slot = breakers_[case_name];
+  if (slot == nullptr) {
+    slot = std::make_unique<CircuitBreaker>(config_.breaker);
+  }
+  return *slot;
+}
+
+int AllocationService::next_attempt(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(attempt_mutex_);
+  return attempts_[key]++;
+}
+
+void AllocationService::count_chaos(ChaosKind kind) {
+  chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Registry* metrics = config_.obs.metrics) {
+    metrics->counter("svc.chaos.injected").add(1.0);
+    metrics->counter(std::string("svc.chaos.") + to_string(kind)).add(1.0);
+  }
+}
+
+std::optional<BreakerStats> AllocationService::breaker_stats(
+    const std::string& case_name) const {
+  const std::lock_guard<std::mutex> lock(breaker_mutex_);
+  const auto it = breakers_.find(case_name);
+  if (it == breakers_.end()) {
+    return std::nullopt;
+  }
+  return it->second->stats();
 }
 
 void AllocationService::record_phase(const char* name,
@@ -425,7 +709,8 @@ SolveOutcome AllocationService::execute(const Job& job) {
       find_case(job.request.case_name);
   if (case_config == nullptr) {
     return fail(ErrorCode::kUnknownCase,
-                "no case registered under '" + job.request.case_name + "'");
+                "no case registered under '" + job.request.case_name + "'",
+                "solve");
   }
 
   // Per-call wiring only: the worker installs the service sinks around this
@@ -463,7 +748,7 @@ SolveOutcome AllocationService::execute(const Job& job) {
     // hslb::Error covers the library's own rejections (bad sample counts,
     // infeasible models); the broader net keeps a worker alive no matter
     // what a request provokes.
-    return fail(ErrorCode::kSolveFailed, e.what());
+    return fail(ErrorCode::kSolveFailed, e.what(), "solve");
   }
 
   AllocationResponse response;
@@ -489,7 +774,8 @@ void AllocationService::shutdown() {
   for (Job& job : drained) {
     complete_flight(job.key,
                     fail(ErrorCode::kShutdown,
-                         "service shut down before the request was served"),
+                         "service shut down before the request was served",
+                         "queue"),
                     "shutdown");
     close_request(job.request_span, job.request_id, job.request_start_us,
                   job.submit_tid, "shutdown", job.slot->followers,
@@ -511,7 +797,13 @@ ServiceStats AllocationService::stats() const {
   out.solved = solved_.load(std::memory_order_relaxed);
   out.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   out.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  out.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  out.shed_breaker = shed_breaker_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  out.served_stale = served_stale_.load(std::memory_order_relaxed);
+  out.served_heuristic = served_heuristic_.load(std::memory_order_relaxed);
+  out.hedged_retries = hedged_retries_.load(std::memory_order_relaxed);
+  out.chaos_injected = chaos_injected_.load(std::memory_order_relaxed);
   return out;
 }
 

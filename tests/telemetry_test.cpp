@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -218,6 +219,59 @@ TEST(Exposition, ServerServesLiveSnapshot) {
   ::close(fd);
   EXPECT_NE(response.find("200 OK"), std::string::npos);
   EXPECT_NE(response.find("hslb_svc_requests 3"), std::string::npos);
+  server.stop();
+}
+
+// A multi-KB scrape pulled through a deliberately tiny client receive
+// buffer by a slow reader: the server's send() cannot take the payload in
+// one piece, so this regresses the partial-send handling in write_all (a
+// short send must resume at the first unsent byte, not drop the tail).
+TEST(Exposition, ServerDeliversLargePayloadThroughSmallSocketBuffers) {
+  Registry registry;
+  for (int i = 0; i < 300; ++i) {
+    Histogram& h = registry.histogram(
+        "svc.shard" + std::to_string(i) + ".ms", {1.0, 2.0, 5.0, 10.0, 50.0});
+    h.observe(static_cast<double>(i % 7));
+  }
+  const std::string expected_body = render_prometheus(registry.snapshot());
+  ASSERT_GT(expected_body.size(), 16u * 1024u);  // genuinely multi-KB
+
+  ExpositionServer server(&registry, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // Shrink the client's receive window before connecting so the kernel
+  // cannot swallow the whole response up front.
+  const int tiny = 1024;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[512];  // read in sips to keep the server blocked on send()
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buffer, static_cast<std::size_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::close(fd);
+
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_EQ(body, expected_body);  // byte-complete: no dropped tail
+  const auto parsed = parse_prometheus(body);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_EQ(parsed->histograms.size(), 300u);
   server.stop();
 }
 
