@@ -1,6 +1,8 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -8,9 +10,48 @@
 #include "hslb/cesm/configs.hpp"
 #include "hslb/hslb/manual_tuner.hpp"
 #include "hslb/hslb/pipeline.hpp"
+#include "hslb/minlp/branch_and_bound.hpp"
 #include "hslb/report/result_set.hpp"
 
 namespace hslb::bench {
+
+/// A double's bit pattern as 16 hex digits -- the unit of bit-exact
+/// identity checks (byte-identical across thread counts means equal
+/// *patterns*, not merely equal within tolerance).
+inline std::string bits(double value) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(value));
+  std::memcpy(&u, &value, sizeof(u));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(u));
+  return buf;
+}
+
+/// Bit-exact fingerprint of everything deterministic in a MinlpResult: the
+/// incumbent point, objective, bound, and all stats except the wall-time
+/// fields.  Two parallel runs at different thread counts must produce the
+/// same string (shared by bench_minlp_parallel and bench_scen_corpus).
+inline std::string result_fingerprint(const minlp::MinlpResult& r) {
+  std::string out;
+  out += std::to_string(static_cast<int>(r.status));
+  out += '|' + bits(r.objective);
+  out += '|' + bits(r.stats.best_bound);
+  out += "|x:";
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    out += bits(r.x[i]) + ',';
+  }
+  const minlp::SolveStats& s = r.stats;
+  for (const long v :
+       {static_cast<long>(s.presolve_tightenings), s.nodes_explored,
+        s.lp_solves, s.nlp_solves, s.cuts_added, s.simplex_iterations,
+        s.incumbent_updates, s.pruned_by_bound, s.pruned_infeasible, s.epochs,
+        s.warm_lp_solves, s.warm_phase1_skips, s.warm_simplex_iterations,
+        s.cold_simplex_iterations}) {
+    out += '|' + std::to_string(v);
+  }
+  return out;
+}
 
 inline void banner(const std::string& title, const std::string& reference) {
   std::cout << "\n==============================================================\n"

@@ -18,10 +18,14 @@
 // --smoke shrinks the cases and node budgets so CI can run the identity
 // check in seconds; timing numbers in smoke mode are not meaningful and the
 // speedup fields are reported but not expected to clear any bar.
+//
+// --corpus=<dir> additionally sweeps one representative scenario per size
+// grade from a generated scenario corpus (tools/hslb_scengen) through the
+// identical serial/parallel harness, so the scaling story is not limited to
+// the four hard-coded Table I layouts.
 #include <algorithm>
-#include <cstdint>
-#include <cstdio>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -30,6 +34,8 @@
 #include "bench_util.hpp"
 #include "hslb/common/table.hpp"
 #include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/scen/build.hpp"
+#include "hslb/scen/generate.hpp"
 
 namespace {
 
@@ -64,41 +70,6 @@ struct CaseSpec {
   bool sos_branching = true;  ///< false: the paper's slow binary-branching mode
 };
 
-std::string bits(double value) {
-  std::uint64_t u = 0;
-  static_assert(sizeof(u) == sizeof(value));
-  std::memcpy(&u, &value, sizeof(u));
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(u));
-  return buf;
-}
-
-/// Bit-exact fingerprint of everything deterministic in a MinlpResult: the
-/// incumbent point, objective, bound, and all stats except the wall-time
-/// fields.  Two parallel runs at different thread counts must produce the
-/// same string.
-std::string fingerprint(const minlp::MinlpResult& r) {
-  std::string out;
-  out += std::to_string(static_cast<int>(r.status));
-  out += '|' + bits(r.objective);
-  out += '|' + bits(r.stats.best_bound);
-  out += "|x:";
-  for (std::size_t i = 0; i < r.x.size(); ++i) {
-    out += bits(r.x[i]) + ',';
-  }
-  const minlp::SolveStats& s = r.stats;
-  for (const long v :
-       {static_cast<long>(s.presolve_tightenings), s.nodes_explored,
-        s.lp_solves, s.nlp_solves, s.cuts_added, s.simplex_iterations,
-        s.incumbent_updates, s.pruned_by_bound, s.pruned_infeasible, s.epochs,
-        s.warm_lp_solves, s.warm_phase1_skips, s.warm_simplex_iterations,
-        s.cold_simplex_iterations}) {
-    out += '|' + std::to_string(v);
-  }
-  return out;
-}
-
 struct Run {
   int threads = 0;
   double seconds = 0.0;  ///< best-of-repeats solver wall time
@@ -130,18 +101,21 @@ minlp::SolverOptions serial_baseline_options(bool smoke) {
   return options;
 }
 
-Run timed_solve(const core::LayoutModelSpec& spec,
+/// Each repeat rebuilds the model through `make_model` so model construction
+/// cost never leaks into the solver timing and no state carries over.
+Run timed_solve(const std::function<minlp::Model()>& make_model,
                 const minlp::SolverOptions& options, int repeats) {
   Run run;
   run.threads = options.threads;
   run.seconds = 1e300;
   for (int r = 0; r < repeats; ++r) {
-    const minlp::Model model = core::build_layout_model(spec, nullptr);
+    const minlp::Model model = make_model();
     minlp::MinlpResult result = minlp::solve(model, options);
     run.seconds = std::min(run.seconds, result.stats.wall_seconds);
     if (r == 0) {
       run.result = std::move(result);
-    } else if (fingerprint(result) != fingerprint(run.result)) {
+    } else if (bench::result_fingerprint(result) !=
+               bench::result_fingerprint(run.result)) {
       // Repeat-to-repeat nondeterminism is just as fatal as thread-count
       // dependence; flag it through the same channel.
       run.result.status = minlp::MinlpStatus::kInfeasible;
@@ -211,6 +185,7 @@ int main(int argc, char** argv) {
   bench::ArtifactOptions artifact_options =
       bench::parse_artifact_args(argc, argv);
   std::string out_path = "BENCH_minlp.json";
+  std::string corpus_dir;
   int repeats = 3;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -221,21 +196,30 @@ int main(int argc, char** argv) {
       repeats = std::stoi(arg.substr(std::strlen("--repeats=")));
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = arg.substr(std::strlen("--corpus="));
     } else if (arg.rfind("--epoch-batch=", 0) == 0) {
       g_epoch_batch = std::stoi(arg.substr(std::strlen("--epoch-batch=")));
     } else if (arg.rfind("--warm=", 0) == 0) {
       g_warm_start = std::stoi(arg.substr(std::strlen("--warm=")));
     } else {
       std::cerr << "usage: bench_minlp_parallel [--out=<file.json>]"
-                   " [--repeats=<n>] [--smoke]\n";
+                   " [--repeats=<n>] [--smoke] [--corpus=<dir>]\n";
       return 2;
     }
   }
 
   const std::string title =
       "Parallel branch-and-bound scaling (Table I layout MINLPs)";
+  // The prose cell carried by the artifact.  Speedups at or below 1.0x on
+  // the quick Table I layouts are expected, not a regression: those trees
+  // are solved in milliseconds, too shallow to amortize epoch
+  // synchronization -- the scaling story lives in the hardest case and in
+  // the large corpus scenarios.
   const std::string reference =
-      "deterministic epoch-parallel solver; hardware-dependent";
+      "deterministic epoch-parallel solver; hardware-dependent; speedups "
+      "<= 1.0x on the quick Table I cases are expected (trees too shallow "
+      "to amortize epoch batching)";
   bench::banner(title, reference);
   std::cout << "hardware threads: " << std::thread::hardware_concurrency()
             << (smoke ? "  [smoke mode: tiny node budgets, timings are"
@@ -248,30 +232,68 @@ int main(int argc, char** argv) {
   // of magnitude slower, and therefore the hardest (most node-rich) case.
   const int big = smoke ? 512 : 40960;
   const int binary_total = smoke ? 128 : 2048;
-  const std::vector<CaseSpec> cases = {
-      {"hybrid", cesm::LayoutKind::kHybrid, big, true},
-      {"sequential_group", cesm::LayoutKind::kSequentialGroup, big, true},
-      {"fully_sequential", cesm::LayoutKind::kFullySequential, big, true},
-      {"hybrid_binary", cesm::LayoutKind::kHybrid, binary_total, false},
+  struct BenchCase {
+    CaseSpec spec;
+    std::function<minlp::Model()> make_model;
   };
+  std::vector<BenchCase> bench_cases;
+  for (const CaseSpec& spec : std::vector<CaseSpec>{
+           {"hybrid", cesm::LayoutKind::kHybrid, big, true},
+           {"sequential_group", cesm::LayoutKind::kSequentialGroup, big, true},
+           {"fully_sequential", cesm::LayoutKind::kFullySequential, big, true},
+           {"hybrid_binary", cesm::LayoutKind::kHybrid, binary_total, false},
+       }) {
+    const Setup setup(spec.layout, spec.total_nodes, /*use_sos=*/true);
+    bench_cases.push_back({spec, [model_spec = setup.spec] {
+                             return core::build_layout_model(model_spec,
+                                                             nullptr);
+                           }});
+  }
+  if (!corpus_dir.empty()) {
+    const auto loaded = scen::load_corpus(corpus_dir);
+    if (!loaded.has_value()) {
+      std::cerr << "cannot load corpus: " << loaded.error().path << ": "
+                << loaded.error().message << '\n';
+      return 2;
+    }
+    // One representative scenario per size grade: the first (filename-
+    // sorted, hence deterministic) bracket scenario carrying each grade
+    // prefix.  Planted scenarios are skipped -- they are separable and
+    // fully sequential by construction, with per-node LP costs an order of
+    // magnitude above the DAG-structured ones.
+    for (const char* grade : {"small_", "medium_", "large_"}) {
+      for (const scen::Scenario& scenario : *loaded) {
+        if (scenario.name.rfind(grade, 0) != 0 ||
+            scenario.expect.optimum.has_value()) {
+          continue;
+        }
+        CaseSpec spec;
+        spec.name = "corpus/" + scenario.name;
+        bench_cases.push_back({spec, [scenario] {
+                                 scen::ScenarioModelVars vars;
+                                 return scen::build_scenario_model(scenario,
+                                                                   &vars);
+                               }});
+        break;
+      }
+    }
+  }
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   bool all_identical = true;
   std::vector<CaseResult> results;
-  for (const CaseSpec& spec : cases) {
-    Setup setup(spec.layout, spec.total_nodes, /*use_sos=*/true);
+  for (const BenchCase& bench_case : bench_cases) {
+    const CaseSpec& spec = bench_case.spec;
     CaseResult cr;
     cr.spec = spec;
 
     minlp::SolverOptions serial = serial_baseline_options(smoke);
     serial.use_sos_branching = spec.sos_branching;
-    {
-      // Warm-up solve so the first timed run does not pay first-touch costs.
-      const minlp::Model model = core::build_layout_model(setup.spec, nullptr);
-      (void)minlp::solve(model, parallel_options(1, /*smoke=*/true));
-    }
+    // Warm-up solve so the first timed run does not pay first-touch costs.
+    (void)minlp::solve(bench_case.make_model(),
+                       parallel_options(1, /*smoke=*/true));
     std::cerr << "  " << spec.name << ": serial baseline\n";
-    const Run serial_run = timed_solve(setup.spec, serial, repeats);
+    const Run serial_run = timed_solve(bench_case.make_model, serial, repeats);
     cr.serial_seconds = serial_run.seconds;
     cr.serial_nodes = serial_run.result.stats.nodes_explored;
     cr.serial_objective = serial_run.result.objective;
@@ -281,8 +303,8 @@ int main(int argc, char** argv) {
       std::cerr << "  " << spec.name << ": " << threads << " thread(s)\n";
       minlp::SolverOptions options = parallel_options(threads, smoke);
       options.use_sos_branching = spec.sos_branching;
-      Run run = timed_solve(setup.spec, options, repeats);
-      const std::string fp = fingerprint(run.result);
+      Run run = timed_solve(bench_case.make_model, options, repeats);
+      const std::string fp = bench::result_fingerprint(run.result);
       if (reference.empty()) {
         reference = fp;
       } else if (fp != reference) {
@@ -361,6 +383,9 @@ int main(int argc, char** argv) {
     std::cout << "warning: 4-thread speedup below 2x on the hardest case"
                  " (shared or small machine?)\n";
   }
+  std::cout << "note: speedups <= 1.0x on the quick Table I cases are"
+               " expected -- those trees are solved in milliseconds and are"
+               " too shallow to amortize epoch synchronization\n";
 
   report::ResultSet artifact =
       bench::make_result_set("minlp_parallel", title, reference);

@@ -8,6 +8,7 @@
 //                         [--metrics-interval=<seconds>] [--trace-out=<file>]
 //                         [--chaos-rate=<p>] [--chaos-seed=<n>]
 //                         [--admission] [--deadline=<seconds>]
+//                         [--corpus=<dir>]
 //
 // <clients> threads issue <requests> allocation requests each, drawn from
 // <distinct> distinct questions (different machine-slice sizes over one set
@@ -29,6 +30,12 @@
 // degradation ladder then shows up in the serving table (stale/heuristic
 // rows) and failed requests print their typed root cause (code, phase,
 // message).  --admission turns on p99-driven shedding against --deadline.
+//
+// --corpus registers every scenario from a generated corpus directory
+// (tools/hslb_scengen) in the service's case catalog and mixes
+// scenario-by-name requests into the client stream, exercising the
+// fingerprinted scenario cache keys and the N-component heuristic rung
+// alongside the classic fitted-curve questions.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,6 +54,7 @@
 #include "hslb/common/timing.hpp"
 #include "hslb/hslb/report.hpp"
 #include "hslb/obs/exposition.hpp"
+#include "hslb/scen/generate.hpp"
 #include "hslb/svc/service.hpp"
 
 namespace {
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
   std::uint64_t chaos_seed = 0xC4A05ull;
   bool admission = false;
   double deadline_seconds = 0.0;
+  std::string corpus_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -119,6 +128,8 @@ int main(int argc, char** argv) {
       admission = true;
     } else if (arg.rfind("--deadline=", 0) == 0) {
       deadline_seconds = std::stod(arg.substr(std::strlen("--deadline=")));
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = arg.substr(std::strlen("--corpus="));
     } else {
       std::cerr << "usage: allocation_server [--workers=<n>] [--clients=<n>]"
                    " [--requests=<n>] [--distinct=<n>] [--ttl=<seconds>]"
@@ -126,7 +137,7 @@ int main(int argc, char** argv) {
                    " [--metrics-port=<port>] [--metrics-out=<file>]"
                    " [--metrics-interval=<seconds>] [--trace-out=<file>]"
                    " [--chaos-rate=<p>] [--chaos-seed=<n>] [--admission]"
-                   " [--deadline=<seconds>]\n";
+                   " [--deadline=<seconds>] [--corpus=<dir>]\n";
       return 2;
     }
   }
@@ -157,6 +168,33 @@ int main(int argc, char** argv) {
     config.obs.trace = &trace;
   }
   svc::AllocationService service(config);
+
+  // Corpus scenarios become named catalog cases; the client load below
+  // cycles through the small-family names (large scenarios stay registered
+  // and addressable, but would dominate the demo's wall clock).
+  std::vector<std::string> scenario_names;
+  if (!corpus_dir.empty()) {
+    const auto corpus = scen::load_corpus(corpus_dir);
+    if (!corpus.has_value()) {
+      std::cerr << "cannot load corpus: " << corpus.error().path << ": "
+                << corpus.error().message << '\n';
+      return 1;
+    }
+    for (const scen::Scenario& scenario : *corpus) {
+      service.register_scenario(scenario);
+      if (scenario.name.rfind("small", 0) == 0) {
+        scenario_names.push_back(scenario.name);
+      }
+    }
+    if (scenario_names.empty()) {
+      for (const scen::Scenario& scenario : *corpus) {
+        scenario_names.push_back(scenario.name);
+      }
+    }
+    std::cout << "corpus: " << corpus->size() << " scenarios registered from "
+              << corpus_dir << ", " << scenario_names.size()
+              << " mixed into the client load\n";
+  }
 
   std::optional<obs::ExpositionServer> exposition;
   if (metrics_port >= 0) {
@@ -206,11 +244,21 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, c] {
       for (int i = 0; i < requests_per_client; ++i) {
         svc::AllocationRequest request;
-        request.fits = fits;
         request.solver_threads = solver_threads;
-        // Walk the distinct questions in a client-specific order so the
-        // very first wave already collides across clients.
-        request.total_nodes = 64 + 32 * ((i + c) % distinct);
+        if (!scenario_names.empty() && (i + c) % 3 == 2) {
+          // Every third request asks for a corpus scenario by name; the
+          // cache key carries the scenario's fingerprint, so collisions
+          // dedupe exactly like the classic questions.
+          request.case_name = scenario_names[static_cast<std::size_t>(i + c) %
+                                             scenario_names.size()];
+          request.max_nodes = 20000;
+          request.max_wall_seconds = 10.0;
+        } else {
+          request.fits = fits;
+          // Walk the distinct questions in a client-specific order so the
+          // very first wave already collides across clients.
+          request.total_nodes = 64 + 32 * ((i + c) % distinct);
+        }
         const svc::SolveOutcome outcome = service.solve(request);
         if (!outcome.has_value()) {
           ++failures[static_cast<std::size_t>(c)];
@@ -318,9 +366,11 @@ int main(int argc, char** argv) {
     const long long expected =
         static_cast<long long>(clients) * requests_per_client;
     const bool chaos_on = chaos_rate > 0.0;
+    const long long distinct_questions =
+        distinct + static_cast<long long>(scenario_names.size());
     if (stats.submitted != expected ||
         (!chaos_on &&
-         (failed != 0 || stats.solved > distinct ||
+         (failed != 0 || stats.solved > distinct_questions ||
           stats.cache_hits + stats.coalesced + stats.solved < expected))) {
       std::cerr << "smoke check failed\n";
       return 1;

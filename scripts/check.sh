@@ -45,6 +45,13 @@ echo "== parallel-solver bench smoke run (identity check, tiny node budget)"
 "${build_dir}/bench/bench_minlp_parallel" --smoke --repeats=1 \
   --out="${build_dir}/BENCH_minlp.json"
 
+echo "== scenario corpus smoke (fixed-seed generate + corpus bench)"
+corpus_dir="${build_dir}/check-corpus"
+rm -rf "${corpus_dir}"
+"${build_dir}/tools/hslb_scengen" --out="${corpus_dir}" --seed=2014 --count=3
+"${build_dir}/bench/bench_scen_corpus" --smoke --corpus="${corpus_dir}" \
+  --out="${build_dir}/BENCH_scen.json"
+
 echo "== configure (Debug + TSan) -> ${tsan_dir}"
 cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -53,15 +60,20 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
-  --target test_svc test_svc_chaos test_obs test_telemetry \
-  test_minlp_parallel allocation_server hslb_trace_cli
+  --target test_svc test_svc_chaos test_scen test_obs test_telemetry \
+  test_minlp_parallel allocation_server hslb_trace_cli bench_scen_corpus
 
-echo "== ctest (TSan: svc + chaos + obs + telemetry + parallel solver + smokes)"
+echo "== ctest (TSan: svc + chaos + scen + obs + telemetry + parallel solver"
+echo "   + smokes)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_svc_chaos|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
+  -R 'test_svc|test_svc_chaos|test_scen|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
 
 echo "== chaos smoke under TSan (deterministic faults, ladder on)"
 "${tsan_dir}/examples/allocation_server" --smoke --chaos-rate=0.3 \
   --chaos-seed=7
+
+echo "== corpus smoke under TSan (thread-scaling sweep, tiny slice)"
+"${tsan_dir}/bench/bench_scen_corpus" --smoke --per-family=2 --limit=1 \
+  --out="${tsan_dir}/BENCH_scen.json"
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

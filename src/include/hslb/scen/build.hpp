@@ -1,0 +1,76 @@
+// Lowering a Scenario onto the existing minlp::Model form, generalizing the
+// hard-coded 6-component construction in src/hslb/layout_model.cpp.
+//
+// Decision variables per component j:
+//   n_j -- nodes allocated (integer, [floor_of(j), machine.nodes], optional
+//          allowed-set restriction branched as SOS1)
+//   t_j -- defined time t_j == curve_j(n_j) via a univariate link
+// Per internal schedule group g, two auxiliary continuous variables:
+//   G_g -- the group's completion time: G >= sum of children (sequential)
+//          or G >= each child (concurrent) -- the DAG-driven critical-path
+//          objective
+//   R_g -- the group's peak node requirement: R >= each child (sequential,
+//          node reuse) or R >= sum of children (concurrent, simultaneous
+//          occupancy); R_root <= machine.nodes is the machine-capacity
+//          constraint
+// Objective:  minimize G_root + sum_e w_e (n_a + n_b)   (comm penalties).
+//
+// The lowered model is an ordinary minlp::Model, so both solvers
+// (minlp::solve and minlp::solve_nlp_bb), the warm-started LP re-solves,
+// and the deterministic epoch parallelism work unchanged.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hslb/minlp/branch_and_bound.hpp"
+#include "hslb/scen/scenario.hpp"
+
+namespace hslb::scen {
+
+struct BuildOptions {
+  bool use_sos = true;  ///< SOS1 branching on allowed sets (false: binaries)
+};
+
+/// Variable indices of a built scenario model.
+struct ScenarioModelVars {
+  std::size_t total_time = 0;        ///< G_root (the schedule makespan)
+  std::vector<std::size_t> nodes;    ///< n_j per component
+  std::vector<std::size_t> times;    ///< t_j per component
+};
+
+/// Build the MINLP for a validated scenario.  `vars` receives the indices.
+[[nodiscard]] minlp::Model build_scenario_model(
+    const Scenario& scenario, ScenarioModelVars* vars,
+    const BuildOptions& options = {});
+
+/// A solved scenario allocation.
+struct ScenAllocation {
+  std::map<std::string, int> nodes;        ///< per component name
+  std::map<std::string, double> seconds;   ///< curve time at the allocation
+  double schedule_seconds = 0.0;           ///< schedule-combined time
+  double comm_penalty_seconds = 0.0;
+  double objective = 0.0;                  ///< schedule + comm penalty
+};
+
+/// Read an allocation out of a solver result for the built model.
+ScenAllocation extract_scenario_allocation(const Scenario& scenario,
+                                           const ScenarioModelVars& vars,
+                                           const minlp::MinlpResult& result);
+
+/// N-component heuristic allocation (the corpus-case rung of the service's
+/// degradation ladder, generalizing core::heuristic_allocation's 4-component
+/// grid search): start every component at its floor (snapped into its
+/// allowed set) and greedily grant nodes to whichever single-component
+/// increase most improves the objective while the schedule still fits the
+/// machine.  Deterministic; throws InvalidArgument when even the floor
+/// allocation does not fit.
+ScenAllocation heuristic_allocation(const Scenario& scenario);
+
+/// True when solve_nlp_bb accepts the lowered model: no allowed sets (the
+/// NLP-BB solver rejects SOS1) and every curve convex with a symbolic form
+/// (piecewise curves have none).
+bool nlp_bb_eligible(const Scenario& scenario);
+
+}  // namespace hslb::scen

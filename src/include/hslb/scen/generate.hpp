@@ -1,0 +1,79 @@
+// Deterministic seeded scenario-corpus generator.
+//
+// Emits graded families -- {small, medium, large} x {homogeneous,
+// heterogeneous} x {plain, memcomm} -- of synthetic scenarios, each carrying
+// either a known optimum (planted by construction: a separable fully-
+// sequential schedule whose optimum is a sum of independent 1-D
+// minimizations, computed exactly by integer scan) or a certified
+// [bound, incumbent] bracket (resource-relaxation lower bound + greedy
+// heuristic upper bound).  Generation is a pure function of the seed: the
+// same seed produces a byte-identical corpus on every run and machine,
+// regardless of thread counts (the generator is single-threaded by design).
+//
+// Heterogeneous families model per-device cost curves: each component draws
+// a device-class speed factor that scales its curve, the functional-
+// performance-model view of a machine with mixed node types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/report/result_set.hpp"
+#include "hslb/scen/scenario.hpp"
+
+namespace hslb::scen {
+
+/// One corpus family (size grade x device mix x constraint mix).
+struct Family {
+  std::string name;          ///< e.g. "large_hetero_memcomm"
+  int size_grade = 0;        ///< 0 small, 1 medium, 2 large
+  bool heterogeneous = false;
+  bool memcomm = false;      ///< memory footprints + comm edges enabled
+};
+
+/// The twelve graded families, in canonical (generation) order.
+std::vector<Family> corpus_families();
+
+struct GenerateOptions {
+  std::uint64_t seed = 2014;
+  int scenarios_per_family = 18;  ///< 18 x 12 families = 216 scenarios
+};
+
+/// A generated scenario plus its provenance.
+struct GeneratedScenario {
+  Scenario scenario;        ///< expectations filled (optimum or bound pair)
+  std::string family;
+  int index_in_family = 0;
+};
+
+/// Generate the full corpus.  Deterministic in `options`.
+std::vector<GeneratedScenario> generate_corpus(const GenerateOptions& options);
+
+/// Write the corpus as one canonical .scen file per scenario
+/// (scen_<family>_<NNN>.scen) plus corpus.json, a PR 5 schema ResultSet
+/// manifest (one series per family; planted/bound/incumbent/size cells, all
+/// deterministic, so its fingerprint covers the whole corpus).  Returns
+/// false on I/O failure.
+bool write_corpus(const std::string& directory,
+                  const std::vector<GeneratedScenario>& corpus,
+                  const GenerateOptions& options);
+
+/// Build the manifest ResultSet written by write_corpus (exposed so the
+/// determinism test can compare manifests without touching the disk).
+report::ResultSet corpus_manifest(
+    const std::vector<GeneratedScenario>& corpus,
+    const GenerateOptions& options);
+
+/// Load every *.scen file under `directory` (sorted by filename, so the
+/// order is stable across platforms).  Files that fail to parse report a
+/// typed error naming the file.
+struct CorpusLoadError {
+  std::string path;
+  std::string message;
+};
+
+common::Expected<std::vector<Scenario>, CorpusLoadError> load_corpus(
+    const std::string& directory);
+
+}  // namespace hslb::scen

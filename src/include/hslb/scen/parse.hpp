@@ -1,0 +1,51 @@
+// The scenario DSL: a small line-oriented text format with a strict parser
+// (typed errors carrying line context, mirroring TimingParseError) and a
+// canonical printer (scenario.hpp's print_scenario).
+//
+//   # comment lines and blank lines are ignored
+//   scenario coastal_12
+//   machine nodes=256 cores_per_node=8 mem_gb_per_node=64
+//   component atm curve=pow a=40000 b=0.001 c=1.2 d=10 mem_gb=480
+//   component ocn curve=commpow a=25000 b=0.002 c=1.1 d=20 e=0.004
+//   component ice curve=piecewise points=8:900,32:400,128:210 min_nodes=2
+//   component lnd curve=pow a=3000 b=0 c=1 d=2 allowed=8,16,32,64
+//   comm atm ocn 0.003
+//   schedule ocn | (ice | lnd) -> atm
+//   expect bound=101.5 incumbent=118.25
+//
+// Schedule grammar ('|' binds looser than '->'):
+//   expr := seq ('|' seq)*
+//   seq  := atom ('->' atom)*
+//   atom := component-name | '(' expr ')'
+#pragma once
+
+#include <string>
+
+#include "hslb/common/expected.hpp"
+#include "hslb/scen/scenario.hpp"
+
+namespace hslb::scen {
+
+/// Why a scenario failed to parse, pointing at the offending line (line 0 =
+/// whole-document problem, e.g. a component the schedule never mentions).
+struct ScenarioParseError {
+  std::string message;
+  int line = 0;            ///< 1-based line number, 0 when not line-specific
+  std::string line_text;   ///< the offending line, verbatim (may be empty)
+
+  std::string to_string() const;
+};
+
+template <typename T>
+using ScenExpected = common::Expected<T, ScenarioParseError>;
+
+/// Parse one scenario from DSL text.  Malformed input (unknown directives,
+/// bad numbers, duplicate components, unbalanced schedule parens, semantic
+/// violations caught by Scenario::validate) comes back as a typed error --
+/// never an exception.
+ScenExpected<Scenario> try_parse_scenario(const std::string& text);
+
+/// Legacy wrapper: same parsing, but throws InvalidArgument on error.
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace hslb::scen

@@ -1,0 +1,187 @@
+// Scenario model: the generalization of the paper's fixed 6-component CESM
+// layouts to arbitrary component DAGs on arbitrary machines.
+//
+// A Scenario holds
+//   * N named components, each with a scaling-curve family -- the Table II
+//     4-parameter fit (pow), a comm-penalized variant adding a linear
+//     per-node term (commpow), or a convex piecewise-linear curve sampled
+//     from measurements (piecewise),
+//   * a series-parallel schedule tree of sequential / concurrent groups
+//     (the paper's layouts 1-3 are the three fixed instances of this),
+//   * a machine spec (nodes, cores/node, per-node memory cap) whose memory
+//     cap turns per-component footprints into allocation floors, and
+//   * pairwise communication edges that enter the objective as
+//     load-dependent penalty terms  w * (n_a + n_b).
+//
+// Scenarios round-trip through a small text DSL (parse.hpp) and lower onto
+// the existing minlp::Model form (build.hpp), so both solvers, warm starts,
+// and the deterministic epoch parallelism work unchanged on N-component
+// cases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hslb/perf/perf_model.hpp"
+
+namespace hslb::scen {
+
+/// Scaling-curve families a component can carry.
+enum class CurveKind {
+  kPow,        ///< Table II: a/n + b n^c + d
+  kCommPow,    ///< pow plus a linear comm term: ... + e n
+  kPiecewise,  ///< convex piecewise-linear through measured (n, t) knots
+};
+
+const char* to_string(CurveKind kind);
+
+/// One (n, seconds) knot of a piecewise curve.
+struct CurvePoint {
+  double nodes = 0.0;
+  double seconds = 0.0;
+};
+
+/// A component's scaling curve.  Evaluation is defined for n > 0; piecewise
+/// curves extend linearly beyond their knot range with the boundary slopes
+/// (convexity-preserving).
+struct CurveSpec {
+  CurveKind kind = CurveKind::kPow;
+  perf::PerfParams pow;             ///< kPow / kCommPow parameters
+  double comm_per_node = 0.0;       ///< kCommPow: the e coefficient
+  std::vector<CurvePoint> points;   ///< kPiecewise knots, strictly increasing n
+
+  double operator()(double n) const;
+  double deriv(double n) const;
+
+  /// Solver-facing function object (value, derivative, declared curvature,
+  /// and -- for the pow families -- the symbolic form used by root NLP
+  /// relaxations).  Piecewise curves carry no symbolic form.
+  minlp::UnivariateFn as_univariate() const;
+
+  /// True when the curve is convex on (0, inf).  Pow families follow the
+  /// PerfModel rule (b == 0 or c >= 1); piecewise curves are convex by
+  /// construction (validated: nondecreasing slopes).
+  bool is_convex() const;
+};
+
+struct ScenComponent {
+  std::string name;
+  CurveSpec curve;
+  int min_nodes = 1;          ///< explicit allocation floor
+  double mem_gb = 0.0;        ///< total memory footprint; 0 = no constraint
+  std::vector<int> allowed;   ///< explicit allocation set (empty: any count)
+};
+
+/// The machine: homogeneous pool of `nodes`; heterogeneity enters through
+/// per-component per-device cost curves (the generator scales a component's
+/// curve by its device class), matching the Lastovetsky-style functional
+/// performance model.
+struct ScenMachine {
+  int nodes = 0;
+  int cores_per_node = 4;
+  double mem_gb_per_node = 0.0;  ///< <= 0: memory footprints ignored
+};
+
+/// Communication edge: components `a` and `b` exchange boundary data; the
+/// objective pays  seconds_per_node * (n_a + n_b)  -- the load-dependent
+/// penalty grows with the number of participating nodes.
+struct CommEdge {
+  int a = 0;
+  int b = 0;
+  double seconds_per_node = 0.0;
+};
+
+/// Series-parallel schedule tree.  A leaf names a component; a kSequential
+/// group runs its children one after another on the same node slice (time
+/// adds, node requirement is the max); a kConcurrent group runs its
+/// children side by side (time is the max, node requirement adds).  The
+/// paper's layout 1 is  ocn | ((ice | lnd) -> atm).
+struct ScheduleNode {
+  enum class Kind { kComponent, kSequential, kConcurrent };
+  Kind kind = Kind::kComponent;
+  int component = -1;                  ///< kComponent: index into components
+  std::vector<ScheduleNode> children;  ///< group kinds: >= 2 children
+
+  static ScheduleNode leaf(int component_index);
+  static ScheduleNode sequential(std::vector<ScheduleNode> children);
+  static ScheduleNode concurrent(std::vector<ScheduleNode> children);
+};
+
+/// Expected-answer annotations the generator plants in corpus files so a
+/// consumer can verify a solve without re-deriving the answer:
+/// either a known optimum (planted by construction for separable cases) or
+/// a certified [bound, incumbent] bracket (relaxation bound + feasible
+/// heuristic answer).
+struct Expectations {
+  std::optional<double> optimum;    ///< exact optimal objective
+  std::optional<double> bound;      ///< certified lower bound
+  std::optional<double> incumbent;  ///< feasible upper bound (heuristic)
+};
+
+struct Scenario {
+  std::string name;
+  ScenMachine machine;
+  std::vector<ScenComponent> components;
+  std::vector<CommEdge> comm;
+  ScheduleNode schedule;
+  Expectations expect;
+
+  /// Index of the named component, or -1.
+  int component_index(const std::string& component_name) const;
+
+  /// Effective allocation floor for component j: the explicit min_nodes
+  /// lifted by the memory footprint (ceil(mem_gb / mem_gb_per_node)).
+  int floor_of(int j) const;
+
+  /// Throws InvalidArgument on structural problems: empty/duplicate
+  /// components, a schedule that does not reference every component exactly
+  /// once, non-convex piecewise knots, infeasible floors (the minimal
+  /// allocation already exceeds the machine), bad comm edges.
+  void validate() const;
+};
+
+/// Canonical DSL text (the printer half of the round-trip contract:
+/// parse(print(s)) == s and print is a fixed point).  With
+/// `with_expectations` false the expect lines are omitted -- that model-only
+/// form is what the fingerprint covers.
+std::string print_scenario(const Scenario& scenario,
+                           bool with_expectations = true);
+
+/// FNV-1a 64-bit over the model-only canonical print, as 16 hex digits.
+/// Stable across whitespace/ordering variations of the source text and
+/// independent of the expect annotations; the service mixes this into
+/// scenario-case cache keys.
+std::string scenario_fingerprint(const Scenario& scenario);
+
+// --- Pure evaluation (shared by the heuristic, the generator's planted
+// --- optima, and the gap checks) ------------------------------------------
+
+/// Schedule-combined time for a full integer allocation (nodes[j] for
+/// component j): sum over sequential groups, max over concurrent groups.
+double schedule_time(const Scenario& scenario, const std::vector<int>& nodes);
+
+/// Peak node requirement of the schedule under the allocation: max over
+/// sequential groups, sum over concurrent groups.  Feasible iff
+/// <= machine.nodes.
+int schedule_requirement(const Scenario& scenario,
+                         const std::vector<int>& nodes);
+
+/// Total communication penalty  sum_e w_e (n_a + n_b).
+double comm_penalty(const Scenario& scenario, const std::vector<int>& nodes);
+
+/// The full objective: schedule_time + comm_penalty.
+double evaluate_objective(const Scenario& scenario,
+                          const std::vector<int>& nodes);
+
+/// True when the schedule is one flat sequential group over all components
+/// and there are no comm edges: the objective separates per component, so
+/// the optimum is a sum of independent one-dimensional minimizations.
+bool is_separable(const Scenario& scenario);
+
+/// The admissible node counts for component j: allowed-set members inside
+/// [floor_of(j), machine.nodes], or every integer in that range.
+std::vector<int> candidate_nodes(const Scenario& scenario, int j);
+
+}  // namespace hslb::scen

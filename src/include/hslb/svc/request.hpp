@@ -116,6 +116,13 @@ struct AllocationResponse {
   /// Why the ladder descended (the exact solve's root-cause failure);
   /// empty on kExact answers.
   std::string fault_detail;
+  /// Scenario-case answers (corpus-registered cases solve the generalized
+  /// N-component model, not the fixed CESM layout): per-component node
+  /// counts and the schedule+comm objective.  Empty for classic cases;
+  /// to_json appends them only when populated, so classic responses stay
+  /// byte-identical.
+  std::map<std::string, int> scenario_nodes;
+  double scenario_objective = 0.0;
 };
 
 /// Canonical cache/coalescing key.  Invariant to how the caller assembled

@@ -49,6 +49,7 @@
 
 #include "hslb/cesm/configs.hpp"
 #include "hslb/obs/obs.hpp"
+#include "hslb/scen/scenario.hpp"
 #include "hslb/svc/admission.hpp"
 #include "hslb/svc/breaker.hpp"
 #include "hslb/svc/cache.hpp"
@@ -129,6 +130,19 @@ class AllocationService {
   /// Add (or replace) a case the catalog serves under `key`.
   void register_case(const std::string& key, cesm::CaseConfig config);
 
+  /// Add (or replace) a scenario case, served under the scenario's name.
+  /// Requests naming it solve the generalized N-component model instead of
+  /// the fixed CESM layout; they need no timing data (the model lives in
+  /// the catalog), and their cache keys incorporate the scenario's
+  /// fingerprint so re-registering a changed scenario under the same name
+  /// can never serve a stale answer.  Validates; throws InvalidArgument on
+  /// a malformed scenario.
+  void register_scenario(scen::Scenario scenario);
+
+  /// The registered scenario under `name`, or null.
+  std::shared_ptr<const scen::Scenario> find_scenario(
+      const std::string& name) const;
+
   /// Enqueue a request.  Never blocks on solver work; the returned future
   /// always resolves (response, or typed error on shed/shutdown/bad input).
   Ticket submit(const AllocationRequest& request);
@@ -189,6 +203,10 @@ class AllocationService {
   /// to search without a fit pass).
   SolveOutcome heuristic_serve(const Job& job);
   SolveOutcome execute(const Job& job);
+  /// Exact solve for a scenario case: lower the scenario onto the MINLP
+  /// form and run the same branch-and-bound the classic path uses.
+  SolveOutcome execute_scenario(const Job& job,
+                                const scen::Scenario& scenario);
   CircuitBreaker& breaker_for(const std::string& case_name);
   /// Next per-key solve-attempt index (the chaos injector's replay axis).
   int next_attempt(const std::string& key);
@@ -221,6 +239,17 @@ class AllocationService {
 
   mutable std::mutex catalog_mutex_;
   std::map<std::string, std::shared_ptr<const cesm::CaseConfig>> catalog_;
+
+  /// Scenario cases plus their precomputed fingerprints (mixed into cache
+  /// keys at submit time).  Guarded by catalog_mutex_.
+  struct ScenarioEntry {
+    std::shared_ptr<const scen::Scenario> scenario;
+    std::string fingerprint;
+  };
+  std::map<std::string, ScenarioEntry> scenario_catalog_;
+  /// Entry lookup (scenario + fingerprint); nullopt when unregistered.
+  std::optional<ScenarioEntry> find_scenario_entry(
+      const std::string& name) const;
 
   mutable std::mutex breaker_mutex_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;

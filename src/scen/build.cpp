@@ -1,0 +1,227 @@
+#include "hslb/scen/build.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::scen {
+
+namespace {
+
+/// The (time, requirement) variable pair a schedule subtree lowers to.
+struct Lowered {
+  std::size_t time_var = 0;
+  std::size_t req_var = 0;
+};
+
+struct LowerContext {
+  const Scenario* scenario = nullptr;
+  minlp::Model* model = nullptr;
+  const ScenarioModelVars* vars = nullptr;
+  int group_counter = 0;
+};
+
+Lowered lower(LowerContext* ctx, const ScheduleNode& node) {
+  if (node.kind == ScheduleNode::Kind::kComponent) {
+    const std::size_t j = static_cast<std::size_t>(node.component);
+    return Lowered{ctx->vars->times[j], ctx->vars->nodes[j]};
+  }
+  std::vector<Lowered> children;
+  children.reserve(node.children.size());
+  for (const ScheduleNode& child : node.children) {
+    children.push_back(lower(ctx, child));
+  }
+  const std::string tag = std::to_string(ctx->group_counter++);
+  const bool seq = node.kind == ScheduleNode::Kind::kSequential;
+  const double nodes = static_cast<double>(ctx->scenario->machine.nodes);
+  const std::size_t g = ctx->model->add_variable(
+      (seq ? "G_seq" : "G_conc") + tag, minlp::VarType::kContinuous, 0.0,
+      lp::kInf);
+  const std::size_t r = ctx->model->add_variable(
+      (seq ? "R_seq" : "R_conc") + tag, minlp::VarType::kContinuous, 0.0,
+      nodes);
+  if (seq) {
+    // Time adds: G >= sum of child times.
+    std::vector<std::pair<std::size_t, double>> row;
+    row.emplace_back(g, 1.0);
+    for (const Lowered& child : children) {
+      row.emplace_back(child.time_var, -1.0);
+    }
+    ctx->model->add_linear(std::move(row), 0.0, lp::kInf, "seq_time" + tag);
+    // Nodes are reused: R >= each child's requirement.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      ctx->model->add_linear({{r, 1.0}, {children[i].req_var, -1.0}}, 0.0,
+                             lp::kInf,
+                             "seq_req" + tag + "_" + std::to_string(i));
+    }
+  } else {
+    // Time is the slowest child: G >= each child's time.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      ctx->model->add_linear({{g, 1.0}, {children[i].time_var, -1.0}}, 0.0,
+                             lp::kInf,
+                             "conc_time" + tag + "_" + std::to_string(i));
+    }
+    // Simultaneous occupancy: R >= sum of child requirements.
+    std::vector<std::pair<std::size_t, double>> row;
+    row.emplace_back(r, 1.0);
+    for (const Lowered& child : children) {
+      row.emplace_back(child.req_var, -1.0);
+    }
+    ctx->model->add_linear(std::move(row), 0.0, lp::kInf, "conc_req" + tag);
+  }
+  return Lowered{g, r};
+}
+
+}  // namespace
+
+minlp::Model build_scenario_model(const Scenario& scenario,
+                                  ScenarioModelVars* vars,
+                                  const BuildOptions& options) {
+  HSLB_REQUIRE(vars != nullptr, "build_scenario_model needs an output struct");
+  scenario.validate();
+
+  minlp::Model model;
+  vars->nodes.clear();
+  vars->times.clear();
+  const double machine_nodes = static_cast<double>(scenario.machine.nodes);
+  for (std::size_t j = 0; j < scenario.components.size(); ++j) {
+    const ScenComponent& comp = scenario.components[j];
+    const double lo =
+        static_cast<double>(scenario.floor_of(static_cast<int>(j)));
+    const std::size_t n = model.add_variable(
+        "n_" + comp.name, minlp::VarType::kInteger, lo, machine_nodes);
+    const std::size_t t = model.add_variable(
+        "t_" + comp.name, minlp::VarType::kContinuous, 0.0, lp::kInf);
+    model.add_link(t, n, comp.curve.as_univariate(), "fit_" + comp.name);
+    if (!comp.allowed.empty()) {
+      std::vector<double> values;
+      for (const int v : candidate_nodes(scenario, static_cast<int>(j))) {
+        values.push_back(static_cast<double>(v));
+      }
+      model.restrict_to_set(n, values, options.use_sos, "set_" + comp.name);
+    }
+    vars->nodes.push_back(n);
+    vars->times.push_back(t);
+  }
+
+  LowerContext ctx{&scenario, &model, vars, 0};
+  const Lowered root = lower(&ctx, scenario.schedule);
+  vars->total_time = root.time_var;
+
+  // Machine capacity: the schedule's peak requirement fits the machine.
+  model.add_linear({{root.req_var, 1.0}}, -lp::kInf, machine_nodes,
+                   "capacity");
+
+  expr::Expr objective = model.var(root.time_var);
+  for (const CommEdge& edge : scenario.comm) {
+    objective =
+        objective +
+        edge.seconds_per_node *
+            (model.var(vars->nodes[static_cast<std::size_t>(edge.a)]) +
+             model.var(vars->nodes[static_cast<std::size_t>(edge.b)]));
+  }
+  model.minimize(objective);
+  return model;
+}
+
+ScenAllocation extract_scenario_allocation(const Scenario& scenario,
+                                           const ScenarioModelVars& vars,
+                                           const minlp::MinlpResult& result) {
+  HSLB_REQUIRE(result.x.size() > 0,
+               "cannot extract an allocation from an empty result");
+  ScenAllocation alloc;
+  std::vector<int> nodes(scenario.components.size(), 0);
+  for (std::size_t j = 0; j < scenario.components.size(); ++j) {
+    const int n = static_cast<int>(
+        std::llround(result.x[vars.nodes[j]]));
+    nodes[j] = n;
+    alloc.nodes[scenario.components[j].name] = n;
+    alloc.seconds[scenario.components[j].name] =
+        scenario.components[j].curve(static_cast<double>(n));
+  }
+  alloc.schedule_seconds = schedule_time(scenario, nodes);
+  alloc.comm_penalty_seconds = comm_penalty(scenario, nodes);
+  alloc.objective = alloc.schedule_seconds + alloc.comm_penalty_seconds;
+  return alloc;
+}
+
+ScenAllocation heuristic_allocation(const Scenario& scenario) {
+  scenario.validate();
+  const std::size_t count = scenario.components.size();
+
+  // Admissible counts per component, and each component's cursor into them.
+  std::vector<std::vector<int>> candidates(count);
+  std::vector<std::size_t> cursor(count, 0);
+  std::vector<int> nodes(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    candidates[j] = candidate_nodes(scenario, static_cast<int>(j));
+    HSLB_REQUIRE(!candidates[j].empty(),
+                 "no admissible node count for component '" +
+                     scenario.components[j].name + "'");
+    nodes[j] = candidates[j].front();
+  }
+  HSLB_REQUIRE(schedule_requirement(scenario, nodes) <= scenario.machine.nodes,
+               "floor allocation does not fit the machine");
+
+  // Greedy steepest descent over single-component increments: grant nodes to
+  // whichever component's next admissible count most improves the objective
+  // while the schedule still fits.  Deterministic (ties break on the lowest
+  // component index).
+  double current = evaluate_objective(scenario, nodes);
+  while (true) {
+    int best_j = -1;
+    double best_obj = current;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (cursor[j] + 1 >= candidates[j].size()) {
+        continue;
+      }
+      const int prev = nodes[j];
+      nodes[j] = candidates[j][cursor[j] + 1];
+      if (schedule_requirement(scenario, nodes) <= scenario.machine.nodes) {
+        const double obj = evaluate_objective(scenario, nodes);
+        if (obj < best_obj - 1e-12) {
+          best_obj = obj;
+          best_j = static_cast<int>(j);
+        }
+      }
+      nodes[j] = prev;
+    }
+    if (best_j < 0) {
+      break;
+    }
+    ++cursor[static_cast<std::size_t>(best_j)];
+    nodes[static_cast<std::size_t>(best_j)] =
+        candidates[static_cast<std::size_t>(best_j)]
+                  [cursor[static_cast<std::size_t>(best_j)]];
+    current = best_obj;
+  }
+
+  ScenAllocation alloc;
+  for (std::size_t j = 0; j < count; ++j) {
+    alloc.nodes[scenario.components[j].name] = nodes[j];
+    alloc.seconds[scenario.components[j].name] =
+        scenario.components[j].curve(static_cast<double>(nodes[j]));
+  }
+  alloc.schedule_seconds = schedule_time(scenario, nodes);
+  alloc.comm_penalty_seconds = comm_penalty(scenario, nodes);
+  alloc.objective = alloc.schedule_seconds + alloc.comm_penalty_seconds;
+  return alloc;
+}
+
+bool nlp_bb_eligible(const Scenario& scenario) {
+  for (const ScenComponent& comp : scenario.components) {
+    if (!comp.allowed.empty()) {
+      return false;  // solve_nlp_bb rejects SOS1 sets
+    }
+    if (comp.curve.kind == CurveKind::kPiecewise) {
+      return false;  // no symbolic form for the NLP relaxations
+    }
+    if (!comp.curve.is_convex()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hslb::scen

@@ -1,0 +1,425 @@
+#include "hslb/scen/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+#include "hslb/scen/build.hpp"
+#include "hslb/scen/parse.hpp"
+
+namespace hslb::scen {
+
+std::vector<Family> corpus_families() {
+  static const char* kSizes[] = {"small", "medium", "large"};
+  std::vector<Family> families;
+  for (int size = 0; size < 3; ++size) {
+    for (int hetero = 0; hetero < 2; ++hetero) {
+      for (int memcomm = 0; memcomm < 2; ++memcomm) {
+        Family family;
+        family.name = std::string(kSizes[size]) + "_" +
+                      (hetero ? "hetero" : "homog") + "_" +
+                      (memcomm ? "memcomm" : "plain");
+        family.size_grade = size;
+        family.heterogeneous = hetero != 0;
+        family.memcomm = memcomm != 0;
+        families.push_back(std::move(family));
+      }
+    }
+  }
+  return families;
+}
+
+namespace {
+
+/// Component-name pool: cyclic CESM-flavored names with a numeric suffix.
+std::string component_name(int j) {
+  static const char* kStems[] = {"atm", "ocn", "ice", "lnd",
+                                 "rof", "glc", "wav", "cpl"};
+  const int stem = j % 8;
+  const int round = j / 8;
+  std::string name = kStems[stem];
+  if (round > 0) {
+    name += std::to_string(round + 1);
+  }
+  return name;
+}
+
+CurveSpec random_pow_curve(common::Rng* rng, int size_grade, double speed) {
+  static const double kWorkLo[] = {2000.0, 8000.0, 20000.0};
+  static const double kWorkHi[] = {20000.0, 60000.0, 150000.0};
+  CurveSpec curve;
+  curve.kind = CurveKind::kPow;
+  curve.pow.a =
+      speed * std::floor(rng->uniform(kWorkLo[size_grade], kWorkHi[size_grade]));
+  // c >= 1 keeps the curve convex, so both solvers stay exact on every
+  // generated model.
+  curve.pow.b = speed * std::floor(rng->uniform(0.0, 40.0) * 1000.0) / 1000.0;
+  curve.pow.c = std::floor(rng->uniform(1.0, 1.4) * 100.0) / 100.0;
+  curve.pow.d = speed * std::floor(rng->uniform(1.0, 30.0) * 10.0) / 10.0;
+  return curve;
+}
+
+/// Sample a convex pow curve at increasing knots; a convex function sampled
+/// at increasing points has nondecreasing secant slopes, so the interpolant
+/// stays convex by construction.
+CurveSpec piecewise_from(const CurveSpec& base, common::Rng* rng,
+                         int machine_nodes) {
+  CurveSpec curve;
+  curve.kind = CurveKind::kPiecewise;
+  const int knots = static_cast<int>(rng->uniform_int(4, 6));
+  std::vector<int> ns;
+  ns.push_back(1);
+  for (int i = 1; i < knots; ++i) {
+    const double frac = static_cast<double>(i) / (knots - 1);
+    const int n = std::max(
+        ns.back() + 1,
+        static_cast<int>(std::lround(1.0 + frac * (machine_nodes - 1))));
+    ns.push_back(n);
+  }
+  for (const int n : ns) {
+    CurvePoint pt;
+    pt.nodes = static_cast<double>(n);
+    pt.seconds =
+        std::floor(base(static_cast<double>(n)) * 1000.0) / 1000.0;
+    curve.points.push_back(pt);
+  }
+  return curve;
+}
+
+/// Recursive series-parallel tree over the index range [lo, hi): sequential
+/// groups at even depth, concurrent at odd, with 2-3 random cuts per level.
+ScheduleNode random_schedule(common::Rng* rng, int lo, int hi, int depth) {
+  const int count = hi - lo;
+  if (count == 1) {
+    return ScheduleNode::leaf(lo);
+  }
+  const int groups =
+      count == 2 ? 2 : static_cast<int>(rng->uniform_int(2, std::min(3, count)));
+  // Random contiguous partition of [lo, hi) into `groups` nonempty chunks.
+  std::vector<int> cuts;
+  cuts.push_back(lo);
+  std::vector<int> interior;
+  for (int v = lo + 1; v < hi; ++v) {
+    interior.push_back(v);
+  }
+  for (int g = 1; g < groups; ++g) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng->uniform_int(0, static_cast<std::int64_t>(interior.size()) - 1));
+    cuts.push_back(interior[pick]);
+    interior.erase(interior.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  cuts.push_back(hi);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<ScheduleNode> children;
+  for (std::size_t g = 0; g + 1 < cuts.size(); ++g) {
+    children.push_back(random_schedule(rng, cuts[g], cuts[g + 1], depth + 1));
+  }
+  return depth % 2 == 0 ? ScheduleNode::sequential(std::move(children))
+                        : ScheduleNode::concurrent(std::move(children));
+}
+
+/// Exact separable optimum: the flat-sequential no-comm objective splits
+/// into independent one-dimensional minimizations solved by integer scan.
+double planted_optimum(const Scenario& scenario) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < scenario.components.size(); ++j) {
+    double best = lp::kInf;
+    for (const int n : candidate_nodes(scenario, static_cast<int>(j))) {
+      best = std::min(best,
+                      scenario.components[j].curve(static_cast<double>(n)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+double combine_times(const Scenario& scenario, const ScheduleNode& node,
+                     const std::vector<double>& t_min) {
+  switch (node.kind) {
+    case ScheduleNode::Kind::kComponent:
+      return t_min[static_cast<std::size_t>(node.component)];
+    case ScheduleNode::Kind::kSequential: {
+      double total = 0.0;
+      for (const ScheduleNode& child : node.children) {
+        total += combine_times(scenario, child, t_min);
+      }
+      return total;
+    }
+    case ScheduleNode::Kind::kConcurrent: {
+      double worst = 0.0;
+      for (const ScheduleNode& child : node.children) {
+        worst = std::max(worst, combine_times(scenario, child, t_min));
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+/// Certified lower bound: substitute every component's unconstrained minimum
+/// time into the schedule combine (each leaf is individually lower-bounded,
+/// and both combines are monotone), plus the comm penalty at the floors.
+double certified_bound(const Scenario& scenario) {
+  std::vector<double> t_min(scenario.components.size(), 0.0);
+  for (std::size_t j = 0; j < scenario.components.size(); ++j) {
+    double best = lp::kInf;
+    for (const int n : candidate_nodes(scenario, static_cast<int>(j))) {
+      best = std::min(best,
+                      scenario.components[j].curve(static_cast<double>(n)));
+    }
+    t_min[j] = best;
+  }
+  double bound = combine_times(scenario, scenario.schedule, t_min);
+  for (const CommEdge& edge : scenario.comm) {
+    const std::vector<int> floors_a =
+        candidate_nodes(scenario, edge.a);
+    const std::vector<int> floors_b =
+        candidate_nodes(scenario, edge.b);
+    bound += edge.seconds_per_node *
+             (floors_a.front() + floors_b.front());
+  }
+  return bound;
+}
+
+Scenario generate_one(const Family& family, int index,
+                      const GenerateOptions& options) {
+  const std::uint64_t sub_seed =
+      options.seed ^
+      (0x9E3779B97F4A7C15ull *
+       static_cast<std::uint64_t>(
+           (family.size_grade * 4 + (family.heterogeneous ? 2 : 0) +
+            (family.memcomm ? 1 : 0)) *
+               1000 +
+           index + 1));
+  common::Rng rng(sub_seed);
+
+  static const int kCompLo[] = {3, 6, 10};
+  static const int kCompHi[] = {5, 9, 14};
+  static const int kNodeLo[] = {24, 96, 256};
+  static const int kNodeHi[] = {64, 192, 512};
+  static const int kCores[] = {4, 8, 16};
+
+  Scenario scenario;
+  scenario.name = family.name + "_" + std::to_string(index);
+  scenario.machine.nodes = static_cast<int>(
+      rng.uniform_int(kNodeLo[family.size_grade], kNodeHi[family.size_grade]));
+  scenario.machine.cores_per_node =
+      kCores[rng.uniform_int(0, 2)];
+  if (family.memcomm) {
+    scenario.machine.mem_gb_per_node = 64.0;
+  }
+
+  // Every third scenario is separable: flat sequential schedule, no comm,
+  // pow/commpow-only convex curves -- its optimum is planted exactly.
+  const bool separable = index % 3 == 0;
+  const int count = static_cast<int>(
+      rng.uniform_int(kCompLo[family.size_grade], kCompHi[family.size_grade]));
+
+  for (int j = 0; j < count; ++j) {
+    ScenComponent comp;
+    comp.name = component_name(j);
+    const double speed =
+        family.heterogeneous
+            ? std::floor(rng.uniform(0.5, 2.0) * 100.0) / 100.0
+            : 1.0;
+    const CurveSpec base = random_pow_curve(&rng, family.size_grade, speed);
+    const double kind_draw = rng.uniform();
+    if (separable) {
+      comp.curve = base;
+      if (kind_draw < 0.3) {
+        comp.curve.kind = CurveKind::kCommPow;
+        comp.curve.comm_per_node =
+            std::floor(rng.uniform(0.001, 0.05) * 10000.0) / 10000.0;
+      }
+    } else if (kind_draw < 0.15) {
+      comp.curve = piecewise_from(base, &rng, scenario.machine.nodes);
+    } else if (kind_draw < 0.4) {
+      comp.curve = base;
+      comp.curve.kind = CurveKind::kCommPow;
+      comp.curve.comm_per_node =
+          std::floor(rng.uniform(0.001, 0.05) * 10000.0) / 10000.0;
+    } else {
+      comp.curve = base;
+    }
+    if (rng.uniform() < 0.2) {
+      comp.min_nodes = static_cast<int>(rng.uniform_int(2, 4));
+    }
+    if (family.memcomm && rng.uniform() < 0.5) {
+      comp.mem_gb =
+          std::floor(rng.uniform(32.0, 64.0 * 6.0) * 10.0) / 10.0;
+    }
+    if (!separable && rng.uniform() < 0.15) {
+      // Power-of-two allocation menu (exercises the SOS1 branching path).
+      for (int v = 1; v <= scenario.machine.nodes; v *= 2) {
+        if (v >= comp.min_nodes) {
+          comp.allowed.push_back(v);
+        }
+      }
+    }
+    scenario.components.push_back(std::move(comp));
+  }
+
+  if (separable) {
+    std::vector<ScheduleNode> leaves;
+    for (int j = 0; j < count; ++j) {
+      leaves.push_back(ScheduleNode::leaf(j));
+    }
+    scenario.schedule = count == 1 ? ScheduleNode::leaf(0)
+                                   : ScheduleNode::sequential(std::move(leaves));
+  } else {
+    scenario.schedule = random_schedule(&rng, 0, count, 0);
+    if (family.memcomm) {
+      for (int j = 0; j + 1 < count; ++j) {
+        if (rng.uniform() < 0.6) {
+          CommEdge edge;
+          edge.a = j;
+          edge.b = j + 1;
+          edge.seconds_per_node =
+              std::floor(rng.uniform(0.002, 0.03) * 10000.0) / 10000.0;
+          scenario.comm.push_back(edge);
+        }
+      }
+    }
+  }
+
+  scenario.validate();
+  if (separable) {
+    scenario.expect.optimum = planted_optimum(scenario);
+  } else {
+    scenario.expect.bound = certified_bound(scenario);
+    scenario.expect.incumbent = heuristic_allocation(scenario).objective;
+  }
+  return scenario;
+}
+
+std::string scenario_filename(const GeneratedScenario& entry) {
+  char index[8];
+  std::snprintf(index, sizeof(index), "%03d", entry.index_in_family);
+  return "scen_" + entry.family + "_" + index + ".scen";
+}
+
+}  // namespace
+
+std::vector<GeneratedScenario> generate_corpus(
+    const GenerateOptions& options) {
+  HSLB_REQUIRE(options.scenarios_per_family >= 1,
+               "need at least one scenario per family");
+  std::vector<GeneratedScenario> corpus;
+  for (const Family& family : corpus_families()) {
+    for (int index = 0; index < options.scenarios_per_family; ++index) {
+      GeneratedScenario entry;
+      entry.scenario = generate_one(family, index, options);
+      entry.family = family.name;
+      entry.index_in_family = index;
+      corpus.push_back(std::move(entry));
+    }
+  }
+  return corpus;
+}
+
+report::ResultSet corpus_manifest(
+    const std::vector<GeneratedScenario>& corpus,
+    const GenerateOptions& options) {
+  report::ResultSet manifest;
+  manifest.bench = "scen_corpus_manifest";
+  manifest.title = "scenario corpus manifest";
+  manifest.reference =
+      "generalized N-component layouts (paper Sec. III layouts 1-3)";
+  manifest.add_scalar("corpus", "seed", static_cast<double>(options.seed), "");
+  manifest.add_scalar("corpus", "scenarios",
+                      static_cast<double>(corpus.size()), "");
+  manifest.add_scalar("corpus", "families",
+                      static_cast<double>(corpus_families().size()), "");
+  for (const GeneratedScenario& entry : corpus) {
+    const double x = static_cast<double>(entry.index_in_family);
+    const Scenario& s = entry.scenario;
+    manifest.add(entry.family, x, "components",
+                 static_cast<double>(s.components.size()), "",
+                 report::Stability::kDeterministic, "index");
+    manifest.add(entry.family, x, "machine_nodes",
+                 static_cast<double>(s.machine.nodes), "nodes");
+    manifest.add(entry.family, x, "planted",
+                 s.expect.optimum.has_value() ? 1.0 : 0.0, "");
+    if (s.expect.optimum.has_value()) {
+      manifest.add(entry.family, x, "optimum_s", *s.expect.optimum, "s");
+    }
+    if (s.expect.bound.has_value()) {
+      manifest.add(entry.family, x, "bound_s", *s.expect.bound, "s");
+    }
+    if (s.expect.incumbent.has_value()) {
+      manifest.add(entry.family, x, "incumbent_s", *s.expect.incumbent, "s");
+    }
+  }
+  manifest.canonicalize();
+  return manifest;
+}
+
+bool write_corpus(const std::string& directory,
+                  const std::vector<GeneratedScenario>& corpus,
+                  const GenerateOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return false;
+  }
+  for (const GeneratedScenario& entry : corpus) {
+    const std::string path =
+        (std::filesystem::path(directory) / scenario_filename(entry)).string();
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      return false;
+    }
+    out << print_scenario(entry.scenario, true);
+    if (!out) {
+      return false;
+    }
+  }
+  return report::write_file(
+      corpus_manifest(corpus, options),
+      (std::filesystem::path(directory) / "corpus.json").string());
+}
+
+common::Expected<std::vector<Scenario>, CorpusLoadError> load_corpus(
+    const std::string& directory) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (dirent.path().extension() == ".scen") {
+      paths.push_back(dirent.path().string());
+    }
+  }
+  if (ec) {
+    return common::make_unexpected(
+        CorpusLoadError{directory, "cannot read directory: " + ec.message()});
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Scenario> scenarios;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return common::make_unexpected(
+          CorpusLoadError{path, "cannot open file"});
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = try_parse_scenario(text.str());
+    if (!parsed) {
+      return common::make_unexpected(
+          CorpusLoadError{path, parsed.error().to_string()});
+    }
+    scenarios.push_back(std::move(parsed.value()));
+  }
+  if (scenarios.empty()) {
+    return common::make_unexpected(
+        CorpusLoadError{directory, "no .scen files found"});
+  }
+  return scenarios;
+}
+
+}  // namespace hslb::scen

@@ -1,0 +1,520 @@
+#include "hslb/scen/parse.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::scen {
+
+std::string ScenarioParseError::to_string() const {
+  std::string out = "scenario parse error";
+  if (line > 0) {
+    out += " at line " + std::to_string(line);
+  }
+  out += ": " + message;
+  if (!line_text.empty()) {
+    out += "\n  | " + line_text;
+  }
+  return out;
+}
+
+namespace {
+
+using common::make_unexpected;
+
+struct Line {
+  int number = 0;
+  std::string text;
+  std::vector<std::string> tokens;
+};
+
+ScenarioParseError error_at(const Line& line, std::string message) {
+  return ScenarioParseError{std::move(message), line.number, line.text};
+}
+
+std::vector<std::string> split_ws(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_number(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_int(const std::string& text, int* out) {
+  double value = 0.0;
+  if (!parse_number(text, &value)) {
+    return false;
+  }
+  const int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) {
+    return false;
+  }
+  *out = as_int;
+  return true;
+}
+
+/// Split "key=value"; returns false when there is no '='.
+bool split_kv(const std::string& token, std::string* key, std::string* value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+// --- Schedule expression parsing -------------------------------------------
+//   expr := seq ('|' seq)*
+//   seq  := atom ('->' atom)*
+//   atom := name | '(' expr ')'
+
+struct SchedTokens {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= tokens.size(); }
+  const std::string& peek() const { return tokens[pos]; }
+  std::string next() { return tokens[pos++]; }
+};
+
+/// Tokenize a schedule expression: parens are their own tokens; '|' and '->'
+/// and component names split on whitespace or paren boundaries.
+std::vector<std::string> tokenize_schedule(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (const char ch : text) {
+    if (ch == ' ' || ch == '\t') {
+      flush();
+    } else if (ch == '(' || ch == ')') {
+      flush();
+      tokens.push_back(std::string(1, ch));
+    } else {
+      current.push_back(ch);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+ScenExpected<ScheduleNode> parse_expr(SchedTokens* toks, const Scenario& s,
+                                      const Line& line);
+
+ScenExpected<ScheduleNode> parse_atom(SchedTokens* toks, const Scenario& s,
+                                      const Line& line) {
+  if (toks->done()) {
+    return make_unexpected(
+        error_at(line, "schedule expression ended unexpectedly"));
+  }
+  const std::string token = toks->next();
+  if (token == "(") {
+    auto inner = parse_expr(toks, s, line);
+    if (!inner) {
+      return inner;
+    }
+    if (toks->done() || toks->next() != ")") {
+      return make_unexpected(error_at(line, "unbalanced '(' in schedule"));
+    }
+    return inner;
+  }
+  if (token == ")" || token == "|" || token == "->") {
+    return make_unexpected(
+        error_at(line, "unexpected '" + token + "' in schedule"));
+  }
+  const int j = s.component_index(token);
+  if (j < 0) {
+    return make_unexpected(
+        error_at(line, "schedule references unknown component '" + token +
+                           "'"));
+  }
+  return ScheduleNode::leaf(j);
+}
+
+ScenExpected<ScheduleNode> parse_seq(SchedTokens* toks, const Scenario& s,
+                                     const Line& line) {
+  auto first = parse_atom(toks, s, line);
+  if (!first) {
+    return first;
+  }
+  std::vector<ScheduleNode> children;
+  children.push_back(std::move(first.value()));
+  while (!toks->done() && toks->peek() == "->") {
+    toks->next();
+    auto next = parse_atom(toks, s, line);
+    if (!next) {
+      return next;
+    }
+    children.push_back(std::move(next.value()));
+  }
+  if (children.size() == 1) {
+    return std::move(children.front());
+  }
+  return ScheduleNode::sequential(std::move(children));
+}
+
+ScenExpected<ScheduleNode> parse_expr(SchedTokens* toks, const Scenario& s,
+                                      const Line& line) {
+  auto first = parse_seq(toks, s, line);
+  if (!first) {
+    return first;
+  }
+  std::vector<ScheduleNode> children;
+  children.push_back(std::move(first.value()));
+  while (!toks->done() && toks->peek() == "|") {
+    toks->next();
+    auto next = parse_seq(toks, s, line);
+    if (!next) {
+      return next;
+    }
+    children.push_back(std::move(next.value()));
+  }
+  if (children.size() == 1) {
+    return std::move(children.front());
+  }
+  return ScheduleNode::concurrent(std::move(children));
+}
+
+// --- Directive parsers ------------------------------------------------------
+
+ScenExpected<bool> parse_machine(const Line& line, ScenMachine* machine) {
+  bool saw_nodes = false;
+  for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+    std::string key;
+    std::string value;
+    if (!split_kv(line.tokens[i], &key, &value)) {
+      return make_unexpected(error_at(
+          line, "expected key=value, got '" + line.tokens[i] + "'"));
+    }
+    if (key == "nodes") {
+      if (!parse_int(value, &machine->nodes) || machine->nodes < 1) {
+        return make_unexpected(
+            error_at(line, "machine nodes must be a positive integer"));
+      }
+      saw_nodes = true;
+    } else if (key == "cores_per_node") {
+      if (!parse_int(value, &machine->cores_per_node) ||
+          machine->cores_per_node < 1) {
+        return make_unexpected(
+            error_at(line, "cores_per_node must be a positive integer"));
+      }
+    } else if (key == "mem_gb_per_node") {
+      if (!parse_number(value, &machine->mem_gb_per_node) ||
+          machine->mem_gb_per_node < 0.0) {
+        return make_unexpected(
+            error_at(line, "mem_gb_per_node must be a nonnegative number"));
+      }
+    } else {
+      return make_unexpected(
+          error_at(line, "unknown machine key '" + key + "'"));
+    }
+  }
+  if (!saw_nodes) {
+    return make_unexpected(error_at(line, "machine needs nodes=<count>"));
+  }
+  return true;
+}
+
+ScenExpected<ScenComponent> parse_component(const Line& line) {
+  if (line.tokens.size() < 3) {
+    return make_unexpected(
+        error_at(line, "component needs a name and curve=<kind>"));
+  }
+  ScenComponent comp;
+  comp.name = line.tokens[1];
+  if (comp.name.find('=') != std::string::npos) {
+    return make_unexpected(
+        error_at(line, "component needs a name before its keys"));
+  }
+  bool saw_curve = false;
+  for (std::size_t i = 2; i < line.tokens.size(); ++i) {
+    std::string key;
+    std::string value;
+    if (!split_kv(line.tokens[i], &key, &value)) {
+      return make_unexpected(error_at(
+          line, "expected key=value, got '" + line.tokens[i] + "'"));
+    }
+    if (key == "curve") {
+      if (value == "pow") {
+        comp.curve.kind = CurveKind::kPow;
+      } else if (value == "commpow") {
+        comp.curve.kind = CurveKind::kCommPow;
+      } else if (value == "piecewise") {
+        comp.curve.kind = CurveKind::kPiecewise;
+      } else {
+        return make_unexpected(error_at(
+            line, "unknown curve kind '" + value +
+                      "' (want pow, commpow, or piecewise)"));
+      }
+      saw_curve = true;
+    } else if (key == "a" || key == "b" || key == "c" || key == "d") {
+      double num = 0.0;
+      if (!parse_number(value, &num)) {
+        return make_unexpected(
+            error_at(line, "bad number for " + key + "=" + value));
+      }
+      if (key == "a") {
+        comp.curve.pow.a = num;
+      } else if (key == "b") {
+        comp.curve.pow.b = num;
+      } else if (key == "c") {
+        comp.curve.pow.c = num;
+      } else {
+        comp.curve.pow.d = num;
+      }
+    } else if (key == "e") {
+      if (!parse_number(value, &comp.curve.comm_per_node)) {
+        return make_unexpected(
+            error_at(line, "bad number for e=" + value));
+      }
+    } else if (key == "points") {
+      for (const std::string& part : split_on(value, ',')) {
+        const std::vector<std::string> pair = split_on(part, ':');
+        CurvePoint pt;
+        if (pair.size() != 2 || !parse_number(pair[0], &pt.nodes) ||
+            !parse_number(pair[1], &pt.seconds)) {
+          return make_unexpected(error_at(
+              line, "bad piecewise knot '" + part + "' (want n:seconds)"));
+        }
+        comp.curve.points.push_back(pt);
+      }
+    } else if (key == "min_nodes") {
+      if (!parse_int(value, &comp.min_nodes) || comp.min_nodes < 1) {
+        return make_unexpected(
+            error_at(line, "min_nodes must be a positive integer"));
+      }
+    } else if (key == "mem_gb") {
+      if (!parse_number(value, &comp.mem_gb) || comp.mem_gb < 0.0) {
+        return make_unexpected(
+            error_at(line, "mem_gb must be a nonnegative number"));
+      }
+    } else if (key == "allowed") {
+      for (const std::string& part : split_on(value, ',')) {
+        int v = 0;
+        if (!parse_int(part, &v) || v < 1) {
+          return make_unexpected(error_at(
+              line, "allowed counts must be positive integers, got '" +
+                        part + "'"));
+        }
+        comp.allowed.push_back(v);
+      }
+    } else {
+      return make_unexpected(
+          error_at(line, "unknown component key '" + key + "'"));
+    }
+  }
+  if (!saw_curve) {
+    return make_unexpected(error_at(line, "component needs curve=<kind>"));
+  }
+  if (comp.curve.kind == CurveKind::kPiecewise) {
+    if (comp.curve.points.size() < 2) {
+      return make_unexpected(
+          error_at(line, "piecewise curve needs points= with >= 2 knots"));
+    }
+  } else if (!comp.curve.points.empty()) {
+    return make_unexpected(
+        error_at(line, "points= is only valid with curve=piecewise"));
+  }
+  return comp;
+}
+
+ScenExpected<bool> parse_expect(const Line& line, Expectations* expect) {
+  if (line.tokens.size() < 2) {
+    return make_unexpected(
+        error_at(line, "expect needs optimum= or bound=/incumbent="));
+  }
+  for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+    std::string key;
+    std::string value;
+    double num = 0.0;
+    if (!split_kv(line.tokens[i], &key, &value) ||
+        !parse_number(value, &num)) {
+      return make_unexpected(error_at(
+          line, "expected key=<number>, got '" + line.tokens[i] + "'"));
+    }
+    if (key == "optimum") {
+      expect->optimum = num;
+    } else if (key == "bound") {
+      expect->bound = num;
+    } else if (key == "incumbent") {
+      expect->incumbent = num;
+    } else {
+      return make_unexpected(
+          error_at(line, "unknown expect key '" + key + "'"));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenExpected<Scenario> try_parse_scenario(const std::string& text) {
+  Scenario scenario;
+  bool saw_scenario = false;
+  bool saw_machine = false;
+  bool saw_schedule = false;
+  Line schedule_line;  // deferred: schedule may name later components
+
+  std::istringstream in(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') {
+      raw.pop_back();
+    }
+    Line line{number, raw, split_ws(raw)};
+    if (line.tokens.empty() || line.tokens.front()[0] == '#') {
+      continue;
+    }
+    const std::string& directive = line.tokens.front();
+    if (directive == "scenario") {
+      if (saw_scenario) {
+        return make_unexpected(error_at(line, "duplicate scenario line"));
+      }
+      if (line.tokens.size() != 2) {
+        return make_unexpected(
+            error_at(line, "scenario needs exactly one name"));
+      }
+      scenario.name = line.tokens[1];
+      saw_scenario = true;
+    } else if (directive == "machine") {
+      if (saw_machine) {
+        return make_unexpected(error_at(line, "duplicate machine line"));
+      }
+      auto ok = parse_machine(line, &scenario.machine);
+      if (!ok) {
+        return make_unexpected(std::move(ok.error()));
+      }
+      saw_machine = true;
+    } else if (directive == "component") {
+      auto comp = parse_component(line);
+      if (!comp) {
+        return make_unexpected(std::move(comp.error()));
+      }
+      if (scenario.component_index(comp->name) >= 0) {
+        return make_unexpected(
+            error_at(line, "duplicate component '" + comp->name + "'"));
+      }
+      scenario.components.push_back(std::move(comp.value()));
+    } else if (directive == "comm") {
+      if (line.tokens.size() != 4) {
+        return make_unexpected(
+            error_at(line, "comm needs: comm <a> <b> <seconds_per_node>"));
+      }
+      CommEdge edge;
+      edge.a = scenario.component_index(line.tokens[1]);
+      edge.b = scenario.component_index(line.tokens[2]);
+      if (edge.a < 0 || edge.b < 0) {
+        return make_unexpected(
+            error_at(line, "comm references an unknown component"));
+      }
+      if (!parse_number(line.tokens[3], &edge.seconds_per_node) ||
+          edge.seconds_per_node < 0.0) {
+        return make_unexpected(
+            error_at(line, "comm cost must be a nonnegative number"));
+      }
+      scenario.comm.push_back(edge);
+    } else if (directive == "schedule") {
+      if (saw_schedule) {
+        return make_unexpected(error_at(line, "duplicate schedule line"));
+      }
+      if (line.tokens.size() < 2) {
+        return make_unexpected(error_at(line, "schedule needs an expression"));
+      }
+      schedule_line = line;
+      saw_schedule = true;
+    } else if (directive == "expect") {
+      auto ok = parse_expect(line, &scenario.expect);
+      if (!ok) {
+        return make_unexpected(std::move(ok.error()));
+      }
+    } else {
+      return make_unexpected(
+          error_at(line, "unknown directive '" + directive + "'"));
+    }
+  }
+
+  if (!saw_scenario) {
+    return make_unexpected(
+        ScenarioParseError{"missing scenario <name> line", 0, ""});
+  }
+  if (!saw_machine) {
+    return make_unexpected(
+        ScenarioParseError{"missing machine line", 0, ""});
+  }
+  if (scenario.components.empty()) {
+    return make_unexpected(
+        ScenarioParseError{"scenario has no components", 0, ""});
+  }
+  if (!saw_schedule) {
+    return make_unexpected(
+        ScenarioParseError{"missing schedule line", 0, ""});
+  }
+
+  SchedTokens toks;
+  toks.tokens = tokenize_schedule(
+      schedule_line.text.substr(schedule_line.text.find("schedule") + 8));
+  auto tree = parse_expr(&toks, scenario, schedule_line);
+  if (!tree) {
+    return make_unexpected(std::move(tree.error()));
+  }
+  if (!toks.done()) {
+    return make_unexpected(error_at(
+        schedule_line, "trailing '" + toks.peek() + "' after schedule"));
+  }
+  scenario.schedule = std::move(tree.value());
+
+  try {
+    scenario.validate();
+  } catch (const InvalidArgument& ex) {
+    return make_unexpected(ScenarioParseError{ex.what(), 0, ""});
+  }
+  return scenario;
+}
+
+Scenario parse_scenario(const std::string& text) {
+  auto result = try_parse_scenario(text);
+  if (!result) {
+    throw InvalidArgument(result.error().to_string());
+  }
+  return std::move(result.value());
+}
+
+}  // namespace hslb::scen

@@ -1,0 +1,518 @@
+#include "hslb/scen/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "hslb/common/error.hpp"
+#include "hslb/common/numeric.hpp"
+
+namespace hslb::scen {
+
+const char* to_string(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kPow:
+      return "pow";
+    case CurveKind::kCommPow:
+      return "commpow";
+    case CurveKind::kPiecewise:
+      return "piecewise";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Piecewise-linear evaluation with boundary-slope extension.  Knots are
+/// validated (>= 2, strictly increasing n) before use.
+double piecewise_value(const std::vector<CurvePoint>& pts, double n) {
+  const std::size_t last = pts.size() - 1;
+  if (n <= pts.front().nodes) {
+    const double slope = (pts[1].seconds - pts[0].seconds) /
+                         (pts[1].nodes - pts[0].nodes);
+    return pts[0].seconds + slope * (n - pts[0].nodes);
+  }
+  if (n >= pts[last].nodes) {
+    const double slope = (pts[last].seconds - pts[last - 1].seconds) /
+                         (pts[last].nodes - pts[last - 1].nodes);
+    return pts[last].seconds + slope * (n - pts[last].nodes);
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (n <= pts[i].nodes) {
+      const double slope = (pts[i].seconds - pts[i - 1].seconds) /
+                           (pts[i].nodes - pts[i - 1].nodes);
+      return pts[i - 1].seconds + slope * (n - pts[i - 1].nodes);
+    }
+  }
+  return pts[last].seconds;
+}
+
+double piecewise_deriv(const std::vector<CurvePoint>& pts, double n) {
+  const std::size_t last = pts.size() - 1;
+  if (n <= pts.front().nodes) {
+    return (pts[1].seconds - pts[0].seconds) / (pts[1].nodes - pts[0].nodes);
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (n <= pts[i].nodes) {
+      return (pts[i].seconds - pts[i - 1].seconds) /
+             (pts[i].nodes - pts[i - 1].nodes);
+    }
+  }
+  return (pts[last].seconds - pts[last - 1].seconds) /
+         (pts[last].nodes - pts[last - 1].nodes);
+}
+
+}  // namespace
+
+double CurveSpec::operator()(double n) const {
+  switch (kind) {
+    case CurveKind::kPow:
+      return perf::PerfModel(pow)(n);
+    case CurveKind::kCommPow:
+      return perf::PerfModel(pow)(n) + comm_per_node * n;
+    case CurveKind::kPiecewise:
+      return piecewise_value(points, n);
+  }
+  return 0.0;
+}
+
+double CurveSpec::deriv(double n) const {
+  switch (kind) {
+    case CurveKind::kPow:
+      return perf::PerfModel(pow).deriv(n);
+    case CurveKind::kCommPow:
+      return perf::PerfModel(pow).deriv(n) + comm_per_node;
+    case CurveKind::kPiecewise:
+      return piecewise_deriv(points, n);
+  }
+  return 0.0;
+}
+
+bool CurveSpec::is_convex() const {
+  switch (kind) {
+    case CurveKind::kPow:
+    case CurveKind::kCommPow:
+      // The linear comm term never changes curvature.
+      return perf::PerfModel(pow).is_convex();
+    case CurveKind::kPiecewise: {
+      for (std::size_t i = 2; i < points.size(); ++i) {
+        const double s0 = (points[i - 1].seconds - points[i - 2].seconds) /
+                          (points[i - 1].nodes - points[i - 2].nodes);
+        const double s1 = (points[i].seconds - points[i - 1].seconds) /
+                          (points[i].nodes - points[i - 1].nodes);
+        if (s1 < s0 - 1e-12 * std::max(1.0, std::fabs(s0))) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+minlp::UnivariateFn CurveSpec::as_univariate() const {
+  minlp::UnivariateFn fn;
+  const CurveSpec self = *this;  // curves are small value types; capture a copy
+  fn.value = [self](double n) { return self(n); };
+  fn.deriv = [self](double n) { return self.deriv(n); };
+  fn.curvature =
+      is_convex() ? minlp::Curvature::kConvex : minlp::Curvature::kAuto;
+  if (kind == CurveKind::kPow) {
+    const perf::PerfModel model(pow);
+    fn.as_expr = [model](const expr::Expr& n) { return model.as_expr(n); };
+  } else if (kind == CurveKind::kCommPow) {
+    const perf::PerfModel model(pow);
+    const double e = comm_per_node;
+    fn.as_expr = [model, e](const expr::Expr& n) {
+      return model.as_expr(n) + e * n;
+    };
+  }
+  return fn;
+}
+
+ScheduleNode ScheduleNode::leaf(int component_index) {
+  ScheduleNode node;
+  node.kind = Kind::kComponent;
+  node.component = component_index;
+  return node;
+}
+
+ScheduleNode ScheduleNode::sequential(std::vector<ScheduleNode> children) {
+  ScheduleNode node;
+  node.kind = Kind::kSequential;
+  node.children = std::move(children);
+  return node;
+}
+
+ScheduleNode ScheduleNode::concurrent(std::vector<ScheduleNode> children) {
+  ScheduleNode node;
+  node.kind = Kind::kConcurrent;
+  node.children = std::move(children);
+  return node;
+}
+
+int Scenario::component_index(const std::string& component_name) const {
+  for (std::size_t j = 0; j < components.size(); ++j) {
+    if (components[j].name == component_name) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+int Scenario::floor_of(int j) const {
+  const ScenComponent& comp = components.at(static_cast<std::size_t>(j));
+  int lo = std::max(1, comp.min_nodes);
+  if (comp.mem_gb > 0.0 && machine.mem_gb_per_node > 0.0) {
+    lo = std::max(
+        lo, static_cast<int>(std::ceil(comp.mem_gb / machine.mem_gb_per_node -
+                                       1e-9)));
+  }
+  return lo;
+}
+
+namespace {
+
+void count_leaves(const ScheduleNode& node, std::vector<int>* uses) {
+  if (node.kind == ScheduleNode::Kind::kComponent) {
+    if (node.component >= 0 &&
+        node.component < static_cast<int>(uses->size())) {
+      ++(*uses)[static_cast<std::size_t>(node.component)];
+    }
+    return;
+  }
+  for (const ScheduleNode& child : node.children) {
+    count_leaves(child, uses);
+  }
+}
+
+double time_of(const Scenario& scenario, const ScheduleNode& node,
+               const std::vector<int>& nodes) {
+  switch (node.kind) {
+    case ScheduleNode::Kind::kComponent:
+      return scenario.components[static_cast<std::size_t>(node.component)]
+          .curve(static_cast<double>(
+              nodes[static_cast<std::size_t>(node.component)]));
+    case ScheduleNode::Kind::kSequential: {
+      double total = 0.0;
+      for (const ScheduleNode& child : node.children) {
+        total += time_of(scenario, child, nodes);
+      }
+      return total;
+    }
+    case ScheduleNode::Kind::kConcurrent: {
+      double worst = 0.0;
+      for (const ScheduleNode& child : node.children) {
+        worst = std::max(worst, time_of(scenario, child, nodes));
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+int requirement_of(const ScheduleNode& node, const std::vector<int>& nodes) {
+  switch (node.kind) {
+    case ScheduleNode::Kind::kComponent:
+      return nodes[static_cast<std::size_t>(node.component)];
+    case ScheduleNode::Kind::kSequential: {
+      int peak = 0;
+      for (const ScheduleNode& child : node.children) {
+        peak = std::max(peak, requirement_of(child, nodes));
+      }
+      return peak;
+    }
+    case ScheduleNode::Kind::kConcurrent: {
+      int total = 0;
+      for (const ScheduleNode& child : node.children) {
+        total += requirement_of(child, nodes);
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  HSLB_REQUIRE(!name.empty(), "scenario needs a name");
+  HSLB_REQUIRE(machine.nodes >= 1, "machine needs at least one node");
+  HSLB_REQUIRE(machine.cores_per_node >= 1,
+               "machine needs at least one core per node");
+  HSLB_REQUIRE(!components.empty(), "scenario needs at least one component");
+  for (std::size_t j = 0; j < components.size(); ++j) {
+    const ScenComponent& comp = components[j];
+    HSLB_REQUIRE(!comp.name.empty(), "component needs a name");
+    for (std::size_t k = j + 1; k < components.size(); ++k) {
+      HSLB_REQUIRE(components[k].name != comp.name,
+                   "duplicate component name '" + comp.name + "'");
+    }
+    const perf::PerfParams& p = comp.curve.pow;
+    if (comp.curve.kind != CurveKind::kPiecewise) {
+      HSLB_REQUIRE(p.a >= 0.0 && p.b >= 0.0 && p.d >= 0.0,
+                   "curve coefficients must be nonnegative");
+      HSLB_REQUIRE(comp.curve.comm_per_node >= 0.0,
+                   "comm-per-node coefficient must be nonnegative");
+    } else {
+      HSLB_REQUIRE(comp.curve.points.size() >= 2,
+                   "piecewise curve needs at least two knots");
+      for (std::size_t i = 1; i < comp.curve.points.size(); ++i) {
+        HSLB_REQUIRE(
+            comp.curve.points[i].nodes > comp.curve.points[i - 1].nodes,
+            "piecewise knots must have strictly increasing node counts");
+      }
+      for (const CurvePoint& pt : comp.curve.points) {
+        HSLB_REQUIRE(pt.nodes > 0.0 && pt.seconds >= 0.0,
+                     "piecewise knots need positive nodes and nonnegative"
+                     " seconds");
+      }
+      HSLB_REQUIRE(comp.curve.is_convex(),
+                   "piecewise curve must be convex (nondecreasing slopes)");
+    }
+    const int lo = floor_of(static_cast<int>(j));
+    HSLB_REQUIRE(lo <= machine.nodes,
+                 "allocation floor of '" + comp.name +
+                     "' exceeds the machine");
+    if (!comp.allowed.empty()) {
+      bool any = false;
+      for (const int v : comp.allowed) {
+        any = any || (v >= lo && v <= machine.nodes);
+      }
+      HSLB_REQUIRE(any, "no allowed count of '" + comp.name +
+                            "' fits the machine");
+    }
+  }
+  for (const CommEdge& edge : comm) {
+    HSLB_REQUIRE(edge.a >= 0 && edge.a < static_cast<int>(components.size()) &&
+                     edge.b >= 0 &&
+                     edge.b < static_cast<int>(components.size()),
+                 "comm edge references an unknown component");
+    HSLB_REQUIRE(edge.a != edge.b, "comm edge connects a component to itself");
+    HSLB_REQUIRE(edge.seconds_per_node >= 0.0,
+                 "comm cost must be nonnegative");
+  }
+  std::vector<int> uses(components.size(), 0);
+  count_leaves(schedule, &uses);
+  for (std::size_t j = 0; j < components.size(); ++j) {
+    HSLB_REQUIRE(uses[j] == 1, "schedule must reference component '" +
+                                   components[j].name + "' exactly once");
+  }
+  // The minimal allocation must fit, or no feasible point exists.
+  std::vector<int> floors(components.size());
+  for (std::size_t j = 0; j < components.size(); ++j) {
+    floors[j] = floor_of(static_cast<int>(j));
+    if (!components[j].allowed.empty()) {
+      int lowest = 0;
+      for (const int v : components[j].allowed) {
+        if (v >= floors[j] && v <= machine.nodes &&
+            (lowest == 0 || v < lowest)) {
+          lowest = v;
+        }
+      }
+      floors[j] = lowest;
+    }
+  }
+  HSLB_REQUIRE(requirement_of(schedule, floors) <= machine.nodes,
+               "floor allocation already exceeds the machine");
+}
+
+double schedule_time(const Scenario& scenario, const std::vector<int>& nodes) {
+  HSLB_REQUIRE(nodes.size() == scenario.components.size(),
+               "allocation size mismatch");
+  return time_of(scenario, scenario.schedule, nodes);
+}
+
+int schedule_requirement(const Scenario& scenario,
+                         const std::vector<int>& nodes) {
+  HSLB_REQUIRE(nodes.size() == scenario.components.size(),
+               "allocation size mismatch");
+  return requirement_of(scenario.schedule, nodes);
+}
+
+double comm_penalty(const Scenario& scenario, const std::vector<int>& nodes) {
+  double total = 0.0;
+  for (const CommEdge& edge : scenario.comm) {
+    total += edge.seconds_per_node *
+             (nodes[static_cast<std::size_t>(edge.a)] +
+              nodes[static_cast<std::size_t>(edge.b)]);
+  }
+  return total;
+}
+
+double evaluate_objective(const Scenario& scenario,
+                          const std::vector<int>& nodes) {
+  return schedule_time(scenario, nodes) + comm_penalty(scenario, nodes);
+}
+
+bool is_separable(const Scenario& scenario) {
+  if (!scenario.comm.empty()) {
+    return false;
+  }
+  if (scenario.components.size() == 1) {
+    return scenario.schedule.kind == ScheduleNode::Kind::kComponent;
+  }
+  if (scenario.schedule.kind != ScheduleNode::Kind::kSequential) {
+    return false;
+  }
+  for (const ScheduleNode& child : scenario.schedule.children) {
+    if (child.kind != ScheduleNode::Kind::kComponent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> candidate_nodes(const Scenario& scenario, int j) {
+  const int lo = scenario.floor_of(j);
+  const int hi = scenario.machine.nodes;
+  const ScenComponent& comp =
+      scenario.components[static_cast<std::size_t>(j)];
+  std::vector<int> out;
+  if (comp.allowed.empty()) {
+    out.reserve(static_cast<std::size_t>(std::max(0, hi - lo + 1)));
+    for (int n = lo; n <= hi; ++n) {
+      out.push_back(n);
+    }
+  } else {
+    for (const int v : comp.allowed) {
+      if (v >= lo && v <= hi) {
+        out.push_back(v);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+// --- Canonical printer ------------------------------------------------------
+
+namespace {
+
+void print_schedule(const Scenario& scenario, const ScheduleNode& node,
+                    std::string* out) {
+  const auto print_child = [&](const ScheduleNode& child) {
+    const bool group = child.kind != ScheduleNode::Kind::kComponent;
+    if (group) {
+      out->push_back('(');
+    }
+    print_schedule(scenario, child, out);
+    if (group) {
+      out->push_back(')');
+    }
+  };
+  switch (node.kind) {
+    case ScheduleNode::Kind::kComponent:
+      *out += scenario.components[static_cast<std::size_t>(node.component)]
+                  .name;
+      return;
+    case ScheduleNode::Kind::kSequential:
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) {
+          *out += " -> ";
+        }
+        print_child(node.children[i]);
+      }
+      return;
+    case ScheduleNode::Kind::kConcurrent:
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) {
+          *out += " | ";
+        }
+        print_child(node.children[i]);
+      }
+      return;
+  }
+}
+
+std::string num(double value) { return common::shortest_double(value); }
+
+}  // namespace
+
+std::string print_scenario(const Scenario& scenario, bool with_expectations) {
+  std::string out;
+  out += "scenario " + scenario.name + "\n";
+  out += "machine nodes=" + std::to_string(scenario.machine.nodes) +
+         " cores_per_node=" + std::to_string(scenario.machine.cores_per_node);
+  if (scenario.machine.mem_gb_per_node > 0.0) {
+    out += " mem_gb_per_node=" + num(scenario.machine.mem_gb_per_node);
+  }
+  out += "\n";
+  for (const ScenComponent& comp : scenario.components) {
+    out += "component " + comp.name + " curve=" + to_string(comp.curve.kind);
+    if (comp.curve.kind == CurveKind::kPiecewise) {
+      out += " points=";
+      for (std::size_t i = 0; i < comp.curve.points.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += num(comp.curve.points[i].nodes) + ":" +
+               num(comp.curve.points[i].seconds);
+      }
+    } else {
+      out += " a=" + num(comp.curve.pow.a) + " b=" + num(comp.curve.pow.b) +
+             " c=" + num(comp.curve.pow.c) + " d=" + num(comp.curve.pow.d);
+      if (comp.curve.kind == CurveKind::kCommPow) {
+        out += " e=" + num(comp.curve.comm_per_node);
+      }
+    }
+    if (comp.min_nodes > 1) {
+      out += " min_nodes=" + std::to_string(comp.min_nodes);
+    }
+    if (comp.mem_gb > 0.0) {
+      out += " mem_gb=" + num(comp.mem_gb);
+    }
+    if (!comp.allowed.empty()) {
+      out += " allowed=";
+      for (std::size_t i = 0; i < comp.allowed.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += std::to_string(comp.allowed[i]);
+      }
+    }
+    out += "\n";
+  }
+  for (const CommEdge& edge : scenario.comm) {
+    out += "comm " +
+           scenario.components[static_cast<std::size_t>(edge.a)].name + " " +
+           scenario.components[static_cast<std::size_t>(edge.b)].name + " " +
+           num(edge.seconds_per_node) + "\n";
+  }
+  out += "schedule ";
+  print_schedule(scenario, scenario.schedule, &out);
+  out += "\n";
+  if (with_expectations) {
+    if (scenario.expect.optimum.has_value()) {
+      out += "expect optimum=" + num(*scenario.expect.optimum) + "\n";
+    }
+    if (scenario.expect.bound.has_value() ||
+        scenario.expect.incumbent.has_value()) {
+      out += "expect";
+      if (scenario.expect.bound.has_value()) {
+        out += " bound=" + num(*scenario.expect.bound);
+      }
+      if (scenario.expect.incumbent.has_value()) {
+        out += " incumbent=" + num(*scenario.expect.incumbent);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string scenario_fingerprint(const Scenario& scenario) {
+  const std::string canonical = print_scenario(scenario, false);
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char ch : canonical) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace hslb::scen

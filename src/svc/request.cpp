@@ -153,6 +153,21 @@ std::string to_json(const AllocationResponse& response) {
     os << ",\"served\":\"" << to_string(response.served) << "\",\"fault\":\""
        << json_escape(response.fault_detail) << '"';
   }
+  // Scenario-case payload, appended only when populated for the same
+  // byte-identity reason.
+  if (!response.scenario_nodes.empty()) {
+    os << ",\"scenario\":{\"objective\":"
+       << canonical_double(response.scenario_objective) << ",\"nodes\":{";
+    bool first_comp = true;
+    for (const auto& [name, nodes] : response.scenario_nodes) {
+      if (!first_comp) {
+        os << ',';
+      }
+      first_comp = false;
+      os << '"' << json_escape(name) << "\":" << nodes;
+    }
+    os << "}}";
+  }
   os << '}';
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include "hslb/common/error.hpp"
 #include "hslb/hslb/pipeline.hpp"
 #include "hslb/hslb/resilience.hpp"
+#include "hslb/scen/build.hpp"
 
 namespace hslb::svc {
 
@@ -91,6 +92,34 @@ std::shared_ptr<const cesm::CaseConfig> AllocationService::find_case(
   return it == catalog_.end() ? nullptr : it->second;
 }
 
+void AllocationService::register_scenario(scen::Scenario scenario) {
+  scenario.validate();
+  ScenarioEntry entry;
+  entry.fingerprint = scen::scenario_fingerprint(scenario);
+  const std::string key = scenario.name;
+  entry.scenario =
+      std::make_shared<const scen::Scenario>(std::move(scenario));
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  scenario_catalog_[key] = std::move(entry);
+}
+
+std::shared_ptr<const scen::Scenario> AllocationService::find_scenario(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  const auto it = scenario_catalog_.find(name);
+  return it == scenario_catalog_.end() ? nullptr : it->second.scenario;
+}
+
+std::optional<AllocationService::ScenarioEntry>
+AllocationService::find_scenario_entry(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  const auto it = scenario_catalog_.find(name);
+  if (it == scenario_catalog_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 AllocationService::Ticket AllocationService::submit(
     const AllocationRequest& request) {
   const long long request_id =
@@ -117,6 +146,13 @@ AllocationService::Ticket AllocationService::submit(
   Ticket ticket;
   ticket.request_id = request_id;
   ticket.key = canonical_key(request);
+  // Scenario cases key on the scenario's fingerprint too: re-registering a
+  // changed scenario under the same name must miss the old cache lines.
+  const std::optional<ScenarioEntry> scenario_entry =
+      find_scenario_entry(request.case_name);
+  if (scenario_entry.has_value()) {
+    ticket.key += "|scen:" + scenario_entry->fingerprint;
+  }
 
   // Admission phase = validation; ends exactly once per request, on
   // whichever validation outcome is hit first.
@@ -137,34 +173,38 @@ AllocationService::Ticket AllocationService::submit(
     return ready(fail(code, std::move(message), "admission"));
   };
 
-  // --- Validate: typed errors resolve immediately, nothing queues. ---------
-  if (request.total_nodes < 8) {
-    ticket.future = reject(ErrorCode::kBadRequest,
-                           "total_nodes must be at least 8");
-    return ticket;
-  }
-  if (request.fits.empty() && request.samples.empty()) {
-    ticket.future = reject(
-        ErrorCode::kBadRequest,
-        "request carries neither benchmark samples nor fitted curves");
-    return ticket;
-  }
-  if (!request.fits.empty()) {
-    for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
-      if (request.fits.count(kind) == 0) {
-        ticket.future =
-            reject(ErrorCode::kBadRequest,
-                   std::string("fits are missing component ") +
-                       cesm::to_string(kind));
-        return ticket;
+  // --- Validate: typed errors resolve immediately, nothing queues.  A
+  // --- scenario case carries its model in the catalog, so the timing-data
+  // --- and machine-size checks of the classic path do not apply. -----------
+  if (!scenario_entry.has_value()) {
+    if (request.total_nodes < 8) {
+      ticket.future = reject(ErrorCode::kBadRequest,
+                             "total_nodes must be at least 8");
+      return ticket;
+    }
+    if (request.fits.empty() && request.samples.empty()) {
+      ticket.future = reject(
+          ErrorCode::kBadRequest,
+          "request carries neither benchmark samples nor fitted curves");
+      return ticket;
+    }
+    if (!request.fits.empty()) {
+      for (const cesm::ComponentKind kind : cesm::kModeledComponents) {
+        if (request.fits.count(kind) == 0) {
+          ticket.future =
+              reject(ErrorCode::kBadRequest,
+                     std::string("fits are missing component ") +
+                         cesm::to_string(kind));
+          return ticket;
+        }
       }
     }
-  }
-  if (find_case(request.case_name) == nullptr) {
-    ticket.future = reject(ErrorCode::kUnknownCase,
-                           "no case registered under '" +
-                               request.case_name + "'");
-    return ticket;
+    if (find_case(request.case_name) == nullptr) {
+      ticket.future = reject(ErrorCode::kUnknownCase,
+                             "no case registered under '" +
+                                 request.case_name + "'");
+      return ticket;
+    }
   }
   admission_done();
 
@@ -547,6 +587,26 @@ SolveOutcome AllocationService::attempt_exact(const Job& job,
 }
 
 SolveOutcome AllocationService::heuristic_serve(const Job& job) {
+  // Scenario cases have their own ladder rung: the N-component greedy
+  // allocation, valid for any corpus case (no fits required -- the curves
+  // live in the catalog), so corpus traffic degrades instead of shedding.
+  if (const std::shared_ptr<const scen::Scenario> scenario =
+          find_scenario(job.request.case_name)) {
+    try {
+      const scen::ScenAllocation alloc = scen::heuristic_allocation(*scenario);
+      AllocationResponse response;
+      response.degraded = true;
+      response.served = ServeLevel::kHeuristic;
+      response.scenario_nodes = alloc.nodes;
+      response.scenario_objective = alloc.objective;
+      return SolveOutcome(std::move(response));
+    } catch (const std::exception& e) {
+      return fail(ErrorCode::kSolveFailed,
+                  std::string("scenario heuristic fallback failed: ") +
+                      e.what(),
+                  "ladder");
+    }
+  }
   if (job.request.fits.empty()) {
     return fail(ErrorCode::kSolveFailed,
                 "no fitted curves to grid-search (samples-only request)",
@@ -705,6 +765,10 @@ void AllocationService::complete_flight(const std::string& key,
 }
 
 SolveOutcome AllocationService::execute(const Job& job) {
+  if (const std::shared_ptr<const scen::Scenario> scenario =
+          find_scenario(job.request.case_name)) {
+    return execute_scenario(job, *scenario);
+  }
   const std::shared_ptr<const cesm::CaseConfig> case_config =
       find_case(job.request.case_name);
   if (case_config == nullptr) {
@@ -758,6 +822,48 @@ SolveOutcome AllocationService::execute(const Job& job) {
   response.nodes_explored = result.solver_result.stats.nodes_explored;
   response.degraded = result.degraded;
   return SolveOutcome(std::move(response));
+}
+
+SolveOutcome AllocationService::execute_scenario(
+    const Job& job, const scen::Scenario& scenario) {
+  const obs::Install install(config_.obs);
+  obs::ScopedSpan span("svc.solve");
+  if (span.active()) {
+    span.arg("case", job.request.case_name);
+    span.arg("components",
+             static_cast<long long>(scenario.components.size()));
+  }
+
+  minlp::SolverOptions solver;
+  solver.max_wall_seconds = job.request.max_wall_seconds;
+  solver.max_nodes = job.request.max_nodes;
+  solver.threads = job.request.solver_threads;
+  solver.use_sos_branching = job.request.use_sos;
+
+  try {
+    scen::BuildOptions build_options;
+    build_options.use_sos = job.request.use_sos;
+    scen::ScenarioModelVars vars;
+    const minlp::Model model =
+        scen::build_scenario_model(scenario, &vars, build_options);
+    const minlp::MinlpResult result = minlp::solve(model, solver);
+    if (result.x.size() == 0) {
+      return fail(ErrorCode::kSolveFailed,
+                  std::string("scenario solve found no feasible point (") +
+                      minlp::to_string(result.status) + ")",
+                  "solve");
+    }
+    const scen::ScenAllocation alloc =
+        extract_scenario_allocation(scenario, vars, result);
+    AllocationResponse response;
+    response.solver_status = result.status;
+    response.nodes_explored = result.stats.nodes_explored;
+    response.scenario_nodes = alloc.nodes;
+    response.scenario_objective = alloc.objective;
+    return SolveOutcome(std::move(response));
+  } catch (const std::exception& e) {
+    return fail(ErrorCode::kSolveFailed, e.what(), "solve");
+  }
 }
 
 void AllocationService::shutdown() {

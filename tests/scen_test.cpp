@@ -1,0 +1,427 @@
+// Tests for hslb::scen -- the scenario DSL (parser/printer round-trip as a
+// property over the generated corpus, typed parse errors with line context),
+// the generalized model lowering (both solvers recover planted optima,
+// thread-count byte-identity), the N-component heuristic (feasible, inside
+// the certified bracket), the deterministic generator (same seed -> byte-
+// identical corpus), and the service's scenario cases (fingerprinted cache
+// keys, the brownout ladder degrading instead of shedding on a 12-component
+// corpus case).
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hslb/minlp/nlp_bb.hpp"
+#include "hslb/scen/build.hpp"
+#include "hslb/scen/generate.hpp"
+#include "hslb/scen/parse.hpp"
+#include "hslb/svc/service.hpp"
+
+namespace hslb::scen {
+namespace {
+
+const char* kReference = R"(# paper layout 1, generalized
+scenario layout1_like
+machine nodes=128 cores_per_node=8 mem_gb_per_node=64
+component atm curve=pow a=40000 b=0.001 c=1.2 d=10 mem_gb=100
+component ocn curve=commpow a=25000 b=0.002 c=1.1 d=20 e=0.004
+component ice curve=pow a=8000 b=0 c=1 d=5 min_nodes=2
+component lnd curve=pow a=3000 b=0 c=1 d=2
+comm atm ocn 0.003
+schedule ocn | (ice | lnd) -> atm
+)";
+
+Scenario reference_scenario() { return parse_scenario(kReference); }
+
+std::vector<int> alloc_vector(const Scenario& scenario,
+                              const ScenAllocation& alloc) {
+  std::vector<int> nodes;
+  for (const ScenComponent& comp : scenario.components) {
+    nodes.push_back(alloc.nodes.at(comp.name));
+  }
+  return nodes;
+}
+
+// --- DSL round-trip ---------------------------------------------------------
+
+TEST(ScenParse, ReferenceScenarioParses) {
+  const Scenario s = reference_scenario();
+  EXPECT_EQ(s.name, "layout1_like");
+  EXPECT_EQ(s.machine.nodes, 128);
+  ASSERT_EQ(s.components.size(), 4u);
+  EXPECT_EQ(s.components[0].name, "atm");
+  // mem_gb=100 over 64 GB/node lifts atm's floor to 2.
+  EXPECT_EQ(s.floor_of(0), 2);
+  EXPECT_EQ(s.floor_of(2), 2);  // explicit min_nodes
+  ASSERT_EQ(s.comm.size(), 1u);
+  EXPECT_EQ(s.schedule.kind, ScheduleNode::Kind::kConcurrent);
+  ASSERT_EQ(s.schedule.children.size(), 2u);
+  EXPECT_EQ(s.schedule.children[1].kind, ScheduleNode::Kind::kSequential);
+}
+
+TEST(ScenParse, PrintParsePrintIsAFixedPoint) {
+  // Property over the whole generated corpus: parse(print(s)) prints the
+  // same bytes, and the fingerprint survives the round trip.
+  GenerateOptions options;
+  options.scenarios_per_family = 3;
+  for (const GeneratedScenario& entry : generate_corpus(options)) {
+    const std::string printed = print_scenario(entry.scenario, true);
+    auto reparsed = try_parse_scenario(printed);
+    ASSERT_TRUE(reparsed.has_value())
+        << entry.scenario.name << ": " << reparsed.error().to_string();
+    EXPECT_EQ(print_scenario(reparsed.value(), true), printed)
+        << entry.scenario.name;
+    EXPECT_EQ(scenario_fingerprint(reparsed.value()),
+              scenario_fingerprint(entry.scenario));
+    // Expectations survive the round trip too.
+    EXPECT_EQ(reparsed->expect.optimum.has_value(),
+              entry.scenario.expect.optimum.has_value());
+  }
+}
+
+TEST(ScenParse, FingerprintIgnoresExpectationsAndFormatting) {
+  const Scenario s = reference_scenario();
+  Scenario annotated = s;
+  annotated.expect.optimum = 123.0;
+  EXPECT_EQ(scenario_fingerprint(s), scenario_fingerprint(annotated));
+  // Whitespace and comments do not change the model.
+  const Scenario respaced = parse_scenario(
+      std::string("# a comment\n\n") + print_scenario(s, false));
+  EXPECT_EQ(scenario_fingerprint(s), scenario_fingerprint(respaced));
+  // A model change does.
+  Scenario changed = s;
+  changed.components[0].curve.pow.a += 1.0;
+  EXPECT_NE(scenario_fingerprint(s), scenario_fingerprint(changed));
+}
+
+TEST(ScenParse, MalformedInputYieldsTypedErrorsWithLineContext) {
+  struct Case {
+    const char* text;
+    int line;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"scenario x\nmachine nodes=8\nfrobnicate y\n", 3,
+       "unknown directive"},
+      {"scenario x\nmachine nodes=zero\n", 2, "positive integer"},
+      {"scenario x\nmachine nodes=8\ncomponent a curve=pow a=oops\n", 3,
+       "bad number"},
+      {"scenario x\nmachine nodes=8\ncomponent a curve=pow\n"
+       "component a curve=pow\nschedule a\n",
+       4, "duplicate component"},
+      {"scenario x\nmachine nodes=8\ncomponent a curve=pow\n"
+       "schedule (a\n",
+       4, "unbalanced"},
+      {"scenario x\nmachine nodes=8\ncomponent a curve=pow\nschedule b\n", 4,
+       "unknown component"},
+      {"scenario x\nmachine nodes=8\n"
+       "component a curve=pow points=1:2,3:4\nschedule a\n",
+       3, "only valid with curve=piecewise"},
+      {"scenario x\nmachine nodes=8\ncomponent a curve=sine\nschedule a\n", 3,
+       "unknown curve kind"},
+  };
+  for (const Case& c : cases) {
+    auto result = try_parse_scenario(c.text);
+    ASSERT_FALSE(result.has_value()) << c.text;
+    EXPECT_EQ(result.error().line, c.line) << c.text;
+    EXPECT_NE(result.error().message.find(c.needle), std::string::npos)
+        << "got: " << result.error().to_string();
+    EXPECT_FALSE(result.error().line_text.empty());
+  }
+  // Document-level problems report line 0.
+  auto no_schedule = try_parse_scenario(
+      "scenario x\nmachine nodes=8\ncomponent a curve=pow\n");
+  ASSERT_FALSE(no_schedule.has_value());
+  EXPECT_EQ(no_schedule.error().line, 0);
+  // A schedule that misses a component is a whole-document error from
+  // validate().
+  auto missing = try_parse_scenario(
+      "scenario x\nmachine nodes=8\ncomponent a curve=pow\n"
+      "component b curve=pow\nschedule a\n");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_NE(missing.error().message.find("exactly once"), std::string::npos);
+}
+
+TEST(ScenParse, NonConvexPiecewiseRejected) {
+  auto result = try_parse_scenario(
+      "scenario x\nmachine nodes=8\n"
+      "component a curve=piecewise points=1:10,2:4,4:1,8:0.9\n"
+      "component b curve=piecewise points=1:10,2:8,4:7.9,8:1\n"
+      "schedule a -> b\n");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("convex"), std::string::npos);
+}
+
+// --- Evaluation + lowering --------------------------------------------------
+
+TEST(ScenModel, ScheduleAlgebraMatchesPaperLayout) {
+  const Scenario s = reference_scenario();
+  const std::vector<int> nodes = {64, 32, 16, 8};  // atm ocn ice lnd
+  const double t_atm = s.components[0].curve(64.0);
+  const double t_ocn = s.components[1].curve(32.0);
+  const double t_ice = s.components[2].curve(16.0);
+  const double t_lnd = s.components[3].curve(8.0);
+  // ocn | ((ice | lnd) -> atm): time = max(ocn, max(ice, lnd) + atm).
+  EXPECT_NEAR(schedule_time(s, nodes),
+              std::max(t_ocn, std::max(t_ice, t_lnd) + t_atm), 1e-9);
+  // Requirement = ocn + max(ice + lnd, atm).
+  EXPECT_EQ(schedule_requirement(s, nodes), 32 + std::max(16 + 8, 64));
+  EXPECT_NEAR(comm_penalty(s, nodes), 0.003 * (64 + 32), 1e-12);
+}
+
+TEST(ScenModel, LoweredModelMatchesDirectEvaluation) {
+  const Scenario s = reference_scenario();
+  ScenarioModelVars vars;
+  const minlp::Model model = build_scenario_model(s, &vars);
+  minlp::SolverOptions options;
+  options.max_nodes = 50000;
+  const minlp::MinlpResult result = minlp::solve(model, options);
+  ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal);
+  const ScenAllocation alloc = extract_scenario_allocation(s, vars, result);
+  // The solver's objective equals the pure evaluation of its own point.
+  EXPECT_NEAR(result.objective, alloc.objective, 1e-5);
+  EXPECT_LE(schedule_requirement(s, alloc_vector(s, alloc)),
+            s.machine.nodes);
+  // And beats (or ties) the greedy heuristic.
+  EXPECT_LE(alloc.objective, heuristic_allocation(s).objective + 1e-6);
+}
+
+TEST(ScenModel, BothSolversRecoverPlantedOptimum) {
+  GenerateOptions options;
+  options.scenarios_per_family = 3;
+  int checked = 0;
+  for (const GeneratedScenario& entry : generate_corpus(options)) {
+    const Scenario& s = entry.scenario;
+    if (!s.expect.optimum.has_value() || entry.family.rfind("small", 0) != 0) {
+      continue;
+    }
+    ScenarioModelVars vars;
+    const minlp::Model model = build_scenario_model(s, &vars);
+    const minlp::MinlpResult result = minlp::solve(model);
+    ASSERT_EQ(result.status, minlp::MinlpStatus::kOptimal) << s.name;
+    EXPECT_NEAR(result.objective, *s.expect.optimum,
+                1e-6 * std::max(1.0, *s.expect.optimum))
+        << s.name;
+    if (nlp_bb_eligible(s)) {
+      ScenarioModelVars nb_vars;
+      const minlp::Model nb_model = build_scenario_model(s, &nb_vars);
+      const minlp::MinlpResult nb = minlp::solve_nlp_bb(nb_model);
+      ASSERT_EQ(nb.status, minlp::MinlpStatus::kOptimal) << s.name;
+      EXPECT_NEAR(nb.objective, *s.expect.optimum,
+                  1e-6 * std::max(1.0, *s.expect.optimum))
+          << s.name;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);  // small families plant every third scenario
+}
+
+TEST(ScenModel, ThreadCountDoesNotChangeTheAnswer) {
+  const Scenario s = reference_scenario();
+  ScenarioModelVars vars;
+  const minlp::Model model = build_scenario_model(s, &vars);
+  minlp::SolverOptions serial;
+  serial.threads = 1;
+  minlp::SolverOptions parallel;
+  parallel.threads = 4;
+  const minlp::MinlpResult a = minlp::solve(model, serial);
+  const minlp::MinlpResult b = minlp::solve(model, parallel);
+  ASSERT_EQ(a.status, minlp::MinlpStatus::kOptimal);
+  ASSERT_EQ(b.status, a.status);
+  EXPECT_EQ(a.objective, b.objective);  // byte-identical, not just close
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]) << "x[" << i << "]";
+  }
+}
+
+TEST(ScenModel, HeuristicStaysInsideTheCertifiedBracket) {
+  GenerateOptions options;
+  options.scenarios_per_family = 2;
+  for (const GeneratedScenario& entry : generate_corpus(options)) {
+    const Scenario& s = entry.scenario;
+    const ScenAllocation alloc = heuristic_allocation(s);
+    const std::vector<int> nodes = alloc_vector(s, alloc);
+    EXPECT_LE(schedule_requirement(s, nodes), s.machine.nodes) << s.name;
+    EXPECT_NEAR(alloc.objective, evaluate_objective(s, nodes), 1e-9);
+    if (s.expect.optimum.has_value()) {
+      EXPECT_GE(alloc.objective, *s.expect.optimum - 1e-9) << s.name;
+    } else {
+      ASSERT_TRUE(s.expect.bound.has_value());
+      ASSERT_TRUE(s.expect.incumbent.has_value());
+      EXPECT_GE(alloc.objective, *s.expect.bound - 1e-9) << s.name;
+      // The planted incumbent IS the heuristic answer.
+      EXPECT_NEAR(alloc.objective, *s.expect.incumbent, 1e-9) << s.name;
+      EXPECT_LE(*s.expect.bound, *s.expect.incumbent + 1e-9) << s.name;
+    }
+  }
+}
+
+// --- Generator --------------------------------------------------------------
+
+TEST(ScenGenerate, SameSeedIsByteIdentical) {
+  GenerateOptions options;
+  options.scenarios_per_family = 2;
+  const std::vector<GeneratedScenario> a = generate_corpus(options);
+  const std::vector<GeneratedScenario> b = generate_corpus(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(print_scenario(a[i].scenario, true),
+              print_scenario(b[i].scenario, true));
+  }
+  EXPECT_EQ(corpus_manifest(a, options).fingerprint(),
+            corpus_manifest(b, options).fingerprint());
+  GenerateOptions reseeded = options;
+  reseeded.seed = 4102;
+  EXPECT_NE(corpus_manifest(generate_corpus(reseeded), reseeded).fingerprint(),
+            corpus_manifest(a, options).fingerprint());
+}
+
+TEST(ScenGenerate, CorpusShapeAndExpectations) {
+  GenerateOptions options;
+  options.scenarios_per_family = 3;
+  const std::vector<GeneratedScenario> corpus = generate_corpus(options);
+  EXPECT_EQ(corpus.size(), 12u * 3u);
+  for (const GeneratedScenario& entry : corpus) {
+    const Scenario& s = entry.scenario;
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    // Every scenario carries a planted optimum or a certified bracket.
+    EXPECT_TRUE(s.expect.optimum.has_value() ||
+                (s.expect.bound.has_value() &&
+                 s.expect.incumbent.has_value()))
+        << s.name;
+    if (s.expect.optimum.has_value()) {
+      EXPECT_TRUE(is_separable(s)) << s.name;
+    }
+  }
+}
+
+TEST(ScenGenerate, WriteAndLoadRoundTrip) {
+  GenerateOptions options;
+  options.scenarios_per_family = 1;
+  const std::vector<GeneratedScenario> corpus = generate_corpus(options);
+  const std::string dir =
+      ::testing::TempDir() + "/scen_corpus_roundtrip";
+  ASSERT_TRUE(write_corpus(dir, corpus, options));
+  auto loaded = load_corpus(dir);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  ASSERT_EQ(loaded->size(), corpus.size());
+  // load_corpus sorts by filename; compare as name-keyed sets.
+  std::vector<std::string> written;
+  std::vector<std::string> read;
+  for (const GeneratedScenario& entry : corpus) {
+    written.push_back(print_scenario(entry.scenario, true));
+  }
+  for (const Scenario& s : loaded.value()) {
+    read.push_back(print_scenario(s, true));
+  }
+  std::sort(written.begin(), written.end());
+  std::sort(read.begin(), read.end());
+  EXPECT_EQ(written, read);
+  auto missing = load_corpus(dir + "/nope");
+  EXPECT_FALSE(missing.has_value());
+}
+
+// --- Service integration ----------------------------------------------------
+
+/// A 12-component corpus-style scenario for the service tests (medium
+/// machine so the exact solve stays fast).
+Scenario twelve_component_scenario() {
+  GenerateOptions options;
+  options.scenarios_per_family = 6;
+  for (GeneratedScenario& entry : generate_corpus(options)) {
+    if (entry.scenario.components.size() >= 12 &&
+        !entry.scenario.expect.optimum.has_value()) {
+      entry.scenario.name = "corpus12";
+      return entry.scenario;
+    }
+  }
+  ADD_FAILURE() << "no 12-component scenario in the generated corpus";
+  return Scenario{};
+}
+
+svc::AllocationRequest scenario_request(const std::string& name) {
+  svc::AllocationRequest request;
+  request.case_name = name;
+  request.max_wall_seconds = 20.0;
+  request.max_nodes = 20000;
+  return request;
+}
+
+TEST(ScenService, ScenarioCaseSolvesWithoutTimingData) {
+  svc::ServiceConfig config;
+  config.workers = 2;
+  svc::AllocationService service(config);
+  Scenario s = reference_scenario();
+  s.name = "layout1_case";
+  service.register_scenario(s);
+  // No fits, no samples, total_nodes 0: classic validation would reject
+  // this request; the scenario path serves it from the catalog.
+  const svc::SolveOutcome outcome =
+      service.solve(scenario_request("layout1_case"));
+  ASSERT_TRUE(outcome.has_value())
+      << static_cast<int>(outcome.error().code) << " "
+      << outcome.error().message;
+  EXPECT_EQ(outcome->scenario_nodes.size(), 4u);
+  EXPECT_GT(outcome->scenario_objective, 0.0);
+  EXPECT_FALSE(outcome->degraded);
+  // The scenario block serializes; classic responses never carry it.
+  EXPECT_NE(svc::to_json(*outcome).find("\"scenario\""), std::string::npos);
+  // A request naming no registered scenario falls back to the classic
+  // validation path, which rejects its missing timing data up front.
+  const svc::SolveOutcome unknown =
+      service.solve(scenario_request("no_such_case"));
+  ASSERT_FALSE(unknown.has_value());
+  EXPECT_EQ(unknown.error().code, svc::ErrorCode::kBadRequest);
+}
+
+TEST(ScenService, CacheKeyIncorporatesScenarioFingerprint) {
+  svc::ServiceConfig config;
+  config.workers = 1;
+  svc::AllocationService service(config);
+  Scenario s = reference_scenario();
+  s.name = "fp_case";
+  service.register_scenario(s);
+  const svc::AllocationRequest request = scenario_request("fp_case");
+  const std::string key1 = service.submit(request).key;
+  EXPECT_NE(key1.find("|scen:"), std::string::npos);
+  EXPECT_NE(key1.find(scenario_fingerprint(s)), std::string::npos);
+  // Re-registering a changed scenario under the same name changes the key,
+  // so the old cache line can never answer for the new model.
+  Scenario changed = s;
+  changed.components[0].curve.pow.a *= 2.0;
+  service.register_scenario(changed);
+  const std::string key2 = service.submit(request).key;
+  EXPECT_NE(key1, key2);
+  EXPECT_NE(key2.find(scenario_fingerprint(changed)), std::string::npos);
+}
+
+TEST(ScenService, LadderDegradesInsteadOfSheddingOnCorpusCase) {
+  // Chaos makes every exact attempt throw; the regression claim is that a
+  // 12-component corpus case still gets an answer (the scenario heuristic
+  // rung) instead of a kSolveFailed shed.
+  svc::ServiceConfig config;
+  config.workers = 1;
+  config.chaos.solve_exception_prob = 1.0;
+  config.breaker_enabled = false;  // isolate the ladder from breaker trips
+  svc::AllocationService service(config);
+  const Scenario s = twelve_component_scenario();
+  ASSERT_GE(s.components.size(), 12u);
+  service.register_scenario(s);
+  const svc::SolveOutcome outcome = service.solve(scenario_request(s.name));
+  ASSERT_TRUE(outcome.has_value()) << outcome.error().message;
+  EXPECT_TRUE(outcome->degraded);
+  EXPECT_EQ(outcome->served, svc::ServeLevel::kHeuristic);
+  EXPECT_EQ(outcome->scenario_nodes.size(), s.components.size());
+  EXPECT_NE(outcome->fault_detail.find("chaos"), std::string::npos);
+  // The brownout answer is the deterministic greedy allocation.
+  EXPECT_NEAR(outcome->scenario_objective,
+              heuristic_allocation(s).objective, 1e-9);
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.served_heuristic, 1);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+}  // namespace
+}  // namespace hslb::scen
