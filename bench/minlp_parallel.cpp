@@ -174,6 +174,29 @@ void record_case(report::ResultSet* results, const CaseResult& c) {
                  static_cast<double>(s.warm_lp_solves), "count");
     results->add(series, x, "warm_phase1_skips",
                  static_cast<double>(s.warm_phase1_skips), "count");
+    // Per-node LP phase breakdown: where the LP time goes (factor / eta
+    // update / pivot loop, wall-clock) and the deterministic event counts
+    // behind it, so the maintained-factor speedup is attributable.
+    results->add(series, x, "lp_ms", s.lp_seconds * 1e3, "ms",
+                 report::Stability::kTiming);
+    results->add(series, x, "lp_factor_ms", s.lp_factor_seconds * 1e3, "ms",
+                 report::Stability::kTiming);
+    results->add(series, x, "lp_update_ms", s.lp_update_seconds * 1e3, "ms",
+                 report::Stability::kTiming);
+    results->add(series, x, "lp_pivot_ms", s.lp_pivot_seconds * 1e3, "ms",
+                 report::Stability::kTiming);
+    results->add(series, x, "lp_factorizations",
+                 static_cast<double>(s.lp_factorizations), "count");
+    results->add(series, x, "lp_refactorizations",
+                 static_cast<double>(s.lp_refactorizations), "count");
+    results->add(series, x, "lp_eta_updates",
+                 static_cast<double>(s.lp_eta_updates), "count");
+    results->add(series, x, "lp_bound_flips",
+                 static_cast<double>(s.lp_bound_flips), "count");
+    results->add(series, x, "lp_factor_inherits",
+                 static_cast<double>(s.lp_factor_inherits), "count");
+    results->add(series, x, "lp_bt_fallbacks",
+                 static_cast<double>(s.lp_bt_fallbacks), "count");
     results->add(series, x, "objective_s", r.result.objective, "s");
   }
 }

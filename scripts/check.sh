@@ -45,6 +45,26 @@ echo "== parallel-solver bench smoke run (identity check, tiny node budget)"
 "${build_dir}/bench/bench_minlp_parallel" --smoke --repeats=1 \
   --out="${build_dir}/BENCH_minlp.json"
 
+echo "== LP re-solve bench smoke under ASan (maintained factors vs cold)"
+"${build_dir}/bench/bench_lp_resolve" --smoke --repeats=1 \
+  --out="${build_dir}/BENCH_lp.json"
+
+echo "== LP pivot-count drift gate (two runs diffed via hslb_report)"
+# The sparse simplex's pivot/eta/factorization counters are deterministic:
+# two runs of the same sequence must produce identical non-timing cells.
+lp_drift_a="${build_dir}/check-lp-a"
+lp_drift_b="${build_dir}/check-lp-b"
+rm -rf "${lp_drift_a}" "${lp_drift_b}"
+mkdir -p "${lp_drift_a}" "${lp_drift_b}"
+"${build_dir}/bench/bench_lp_resolve" --smoke --repeats=1 \
+  --out="${build_dir}/BENCH_lp.json" \
+  --json-out="${lp_drift_a}/lp_resolve.json" 2>/dev/null
+"${build_dir}/bench/bench_lp_resolve" --smoke --repeats=1 \
+  --out="${build_dir}/BENCH_lp.json" \
+  --json-out="${lp_drift_b}/lp_resolve.json" 2>/dev/null
+"${build_dir}/tools/hslb_report" diff --bench=lp_resolve \
+  --golden="${lp_drift_a}" --fresh="${lp_drift_b}"
+
 echo "== scenario corpus smoke (fixed-seed generate + corpus bench)"
 corpus_dir="${build_dir}/check-corpus"
 rm -rf "${corpus_dir}"
@@ -61,12 +81,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
   --target test_svc test_svc_chaos test_scen test_obs test_telemetry \
-  test_minlp_parallel allocation_server hslb_trace_cli bench_scen_corpus
+  test_minlp_parallel test_lp_property allocation_server hslb_trace_cli \
+  bench_scen_corpus bench_lp_resolve
 
 echo "== ctest (TSan: svc + chaos + scen + obs + telemetry + parallel solver"
-echo "   + smokes)"
+echo "   + LP properties + smokes)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_svc_chaos|test_scen|test_obs|test_telemetry|test_minlp_parallel|smoke_allocation_server|smoke_hslb_trace'
+  -R 'test_svc|test_svc_chaos|test_scen|test_obs|test_telemetry|test_minlp_parallel|test_lp_property|smoke_allocation_server|smoke_hslb_trace'
 
 echo "== chaos smoke under TSan (deterministic faults, ladder on)"
 "${tsan_dir}/examples/allocation_server" --smoke --chaos-rate=0.3 \
@@ -75,5 +96,9 @@ echo "== chaos smoke under TSan (deterministic faults, ladder on)"
 echo "== corpus smoke under TSan (thread-scaling sweep, tiny slice)"
 "${tsan_dir}/bench/bench_scen_corpus" --smoke --per-family=2 --limit=1 \
   --out="${tsan_dir}/BENCH_scen.json"
+
+echo "== LP re-solve bench smoke under TSan (thread-local workspace reuse)"
+"${tsan_dir}/bench/bench_lp_resolve" --smoke --repeats=1 \
+  --out="${tsan_dir}/BENCH_lp.json"
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

@@ -1,0 +1,151 @@
+// Allocation recycling for the solver hot path.
+//
+// Branch-and-bound churns through short-lived, identically shaped buffers:
+// node bound vectors, warm-basis status arrays, cut terms, simplex scratch,
+// eta vectors.  The general-purpose allocator handles each of them fine in
+// isolation, but at ~10^4 nodes x ~10 vectors per node the malloc/free
+// traffic shows up in profiles and fragments the heap.  Two small tools:
+//
+//  * Arena      -- a chunked bump allocator for trivially destructible
+//                  scratch; reset() recycles every chunk at once.
+//  * VectorPool -- a free list of std::vector<T> that hands buffers back
+//                  with their capacity intact, so steady-state acquire()
+//                  never touches the heap.
+//
+// Neither is thread-safe; the users own one per worker (or thread_local).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace hslb::common {
+
+/// Chunked bump allocator.  allocate() carves aligned blocks out of
+/// geometrically growing chunks; reset() makes every chunk reusable without
+/// returning memory to the system.  Only for trivially destructible payloads
+/// (no destructors run -- the arena hands out raw storage).
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 4096)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage, aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t at = (cursor_ + (align - 1)) & ~(align - 1);
+    if (chunk_ >= chunks_.size() || at + bytes > chunk_end_) {
+      grow(bytes + align);
+      at = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = at + bytes;
+    return reinterpret_cast<void*>(at);
+  }
+
+  /// Typed convenience: `count` default-constructible Ts (trivial only).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycle every chunk: subsequent allocations reuse the same memory.
+  void reset() {
+    chunk_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
+      chunk_end_ = cursor_ + chunks_[0].bytes;
+    } else {
+      cursor_ = chunk_end_ = 0;
+    }
+  }
+
+  /// Total bytes held across chunks (capacity, not live allocations).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) {
+      total += c.bytes;
+    }
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  void grow(std::size_t need) {
+    // Advance to the next already-allocated chunk when one fits; otherwise
+    // append a new chunk at least `need` bytes and doubling in size.
+    while (chunk_ + 1 < chunks_.size()) {
+      ++chunk_;
+      if (chunks_[chunk_].bytes >= need) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[chunk_].data.get());
+        chunk_end_ = cursor_ + chunks_[chunk_].bytes;
+        return;
+      }
+    }
+    std::size_t bytes = next_chunk_bytes_;
+    while (bytes < need) {
+      bytes *= 2;
+    }
+    next_chunk_bytes_ = bytes * 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(bytes), bytes});
+    chunk_ = chunks_.size() - 1;
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+    chunk_end_ = cursor_ + bytes;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;            // index of the chunk being bumped
+  std::uintptr_t cursor_ = 0;        // next free byte in the current chunk
+  std::uintptr_t chunk_end_ = 0;     // one past the current chunk
+  std::size_t next_chunk_bytes_;     // size for the next fresh chunk
+};
+
+/// Free list of std::vector<T>.  acquire() returns an empty vector with
+/// whatever capacity its previous life left behind; release() takes a dead
+/// buffer back.  Steady-state usage allocates nothing.
+template <typename T>
+class VectorPool {
+ public:
+  std::vector<T> acquire() {
+    if (free_.empty()) {
+      return {};
+    }
+    std::vector<T> out = std::move(free_.back());
+    free_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  /// Copy `src` into a pooled buffer (the common "inherit parent state"
+  /// shape in branch-and-bound).
+  std::vector<T> acquire_copy(const std::vector<T>& src) {
+    std::vector<T> out = acquire();
+    out.assign(src.begin(), src.end());
+    return out;
+  }
+
+  void release(std::vector<T>&& dead) {
+    if (dead.capacity() > 0 && free_.size() < kMaxFree) {
+      free_.push_back(std::move(dead));
+    }
+  }
+
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  // Unbounded pools would pin the high-water mark of the whole solve; a
+  // small cap keeps the pool at working-set size.
+  static constexpr std::size_t kMaxFree = 64;
+  std::vector<std::vector<T>> free_;
+};
+
+}  // namespace hslb::common

@@ -1,9 +1,18 @@
 // Bounded-variable primal simplex.
 //
-// Two-phase dense revised simplex with implicit handling of variable bounds
+// Two-phase revised simplex with implicit handling of variable bounds
 // (nonbasic variables rest at a finite bound and may "bound flip" without a
 // basis change) and artificial variables for Phase I.  Dantzig pricing with
 // a Bland's-rule fallback guarantees termination.
+//
+// Two engines share these rules.  The default sparse engine stores the
+// constraint matrix in CSC form, factorizes the basis once per (re)start
+// with a Markowitz-pivoting sparse LU, and applies product-form eta updates
+// on each pivot -- pricing runs through BTRAN/FTRAN on the maintained
+// factor, and a deterministic trigger (eta count / fill / pivot stability)
+// forces a refactorization when the eta file degrades.  The legacy dense
+// engine refactorizes every pivot; it survives as the comparison baseline
+// and a bit-stable reference (see DESIGN.md section 15).
 //
 // Warm starts: a solve may capture its optimal Basis (statuses of the
 // structural columns and the row slacks), and resolve_from_basis() restarts
@@ -21,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,6 +80,34 @@ struct Basis {
                               std::span<const std::uint64_t> from_keys,
                               std::span<const std::uint64_t> to_keys);
 
+/// Which simplex implementation runs the pivot rules.
+enum class LpEngine : unsigned char {
+  kSparse = 0,  ///< maintained sparse LU + eta updates (the default)
+  kDense,       ///< legacy dense LU refactorized every pivot
+};
+
+/// Opaque maintained-factorization snapshot captured by the sparse engine
+/// (basis LU + eta file + row identity, immutable and safely shared across
+/// threads).  Produced via SimplexOptions::capture_factor, consumed via
+/// WarmFactor so a child node's re-solve starts from its parent's updated
+/// factor instead of a cold factorization.
+class FactorSnapshot;
+using FactorRef = std::shared_ptr<const FactorSnapshot>;
+
+/// Factor handoff input for resolve_from_basis().  `row_keys` names the
+/// rows of the problem being solved (same caller-chosen identifiers as
+/// map_basis) -- required for capturing a snapshot and for validating an
+/// inherited one; `snapshot` is the parent's capture (may be null).  The
+/// engine accepts the snapshot only when every snapshot row still exists
+/// with byte-identical coefficients and the warm basis matches the
+/// snapshot's basic set; anything else falls back to a fresh
+/// factorization, so a handoff can change speed but never the trajectory's
+/// correctness.
+struct WarmFactor {
+  FactorRef snapshot;
+  std::span<const std::uint64_t> row_keys;
+};
+
 struct SimplexOptions {
   double feasibility_tol = 1e-7;   ///< bound/row violation tolerance
   double optimality_tol = 1e-8;    ///< reduced-cost tolerance
@@ -78,6 +116,25 @@ struct SimplexOptions {
   /// (for warm-starting a related re-solve).  Off by default: capturing
   /// copies two status vectors per solve.
   bool capture_basis = false;
+  /// Engine selection; kSparse unless a caller explicitly wants the dense
+  /// baseline (benchmarks, regression comparison).
+  LpEngine engine = LpEngine::kSparse;
+  /// Sparse engine: refactorize once this many eta updates accumulate
+  /// across the whole factor stack (inherited + live).
+  int refactor_interval = 64;
+  /// Sparse engine: refactorize when the eta file's entries exceed this
+  /// multiple of the base factor's fill (plus a small per-row allowance).
+  double eta_fill_factor = 4.0;
+  /// Sparse engine: refuse an eta whose pivot |w_r| falls below this
+  /// fraction of max(1, ||w||_inf) and refactorize instead.
+  double eta_stability_tol = 1e-8;
+  /// Sparse engine: maximum depth of inherited factor levels (parent
+  /// snapshots + borders) before a handoff is declined in favor of a fresh
+  /// factorization.
+  int max_factor_levels = 4;
+  /// Capture a FactorSnapshot into LpSolution::factor on optimal
+  /// termination (sparse engine only; requires WarmFactor::row_keys).
+  bool capture_factor = false;
 };
 
 struct LpSolution {
@@ -96,6 +153,28 @@ struct LpSolution {
   /// empty when an artificial remained basic -- such a basis is not
   /// reusable).
   Basis basis;
+
+  // --- factorization accounting (all deterministic) ---
+  long factorizations = 0;    ///< fresh basis LUs built (both engines)
+  long refactorizations = 0;  ///< LUs forced by an eta trigger mid-solve
+  long eta_updates = 0;       ///< product-form updates appended
+  long bound_flips = 0;       ///< pivots resolved without a basis change
+  /// Dense engine only: pricing solves where the absolute pivot threshold
+  /// rejected the B^T factorization and the system was solved through the
+  /// factorization of B instead (see LuFactor::solve_transposed).
+  long bt_fallbacks = 0;
+  /// True when an inherited FactorSnapshot was accepted and this solve
+  /// started from the parent's maintained factor.
+  bool factor_inherited = false;
+
+  // --- phase timing (wall clock; excluded from fingerprints) ---
+  double factor_seconds = 0.0;  ///< building LU factorizations
+  double update_seconds = 0.0;  ///< appending eta updates
+  double pivot_seconds = 0.0;   ///< everything else in the pivot loops
+
+  /// Maintained-factor snapshot (only when SimplexOptions::capture_factor,
+  /// sparse engine, optimal, and row keys were supplied).
+  FactorRef factor;
 };
 
 /// Solve the LP by two-phase bounded-variable primal simplex.
@@ -107,6 +186,17 @@ struct LpSolution {
 /// result is identical to solve() up to degenerate vertex choice.
 [[nodiscard]] LpSolution resolve_from_basis(const LpProblem& problem,
                                             const Basis& warm,
+                                            const SimplexOptions& options = {});
+
+/// Warm re-solve with an optional maintained-factor handoff: `factor` names
+/// this problem's rows and may carry the parent solve's FactorSnapshot.
+/// With a valid snapshot the dual-repair/Phase-II start prices through the
+/// parent's updated factor (extended by a bordered block for rows the
+/// parent did not have) instead of a cold LU.  Row keys are also what lets
+/// this solve capture its own snapshot for the next generation.
+[[nodiscard]] LpSolution resolve_from_basis(const LpProblem& problem,
+                                            const Basis& warm,
+                                            const WarmFactor& factor,
                                             const SimplexOptions& options = {});
 
 }  // namespace hslb::lp

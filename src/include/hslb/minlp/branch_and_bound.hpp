@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "hslb/lp/simplex.hpp"
 #include "hslb/minlp/model.hpp"
 
 namespace hslb::minlp {
@@ -106,6 +107,11 @@ struct SolverOptions {
   /// (remapped by stable row keys).  Deterministic: the warm basis a node
   /// inherits depends only on the epoch structure, never on thread count.
   bool warm_start_lp = true;
+  /// Simplex engine for every master-LP solve.  kSparse (the default) is
+  /// the maintained-factor revised simplex; kDense keeps the dense tableau
+  /// path selectable for A/B comparison (bench_scen_corpus's dense arm).
+  /// Factor handoff across nodes only applies under kSparse.
+  lp::LpEngine lp_engine = lp::LpEngine::kSparse;
   /// Cap on pooled cuts; the oldest non-root cuts age out at epoch
   /// boundaries (a deterministic point) when the pool exceeds this.
   std::size_t max_pool_cuts = 512;
@@ -126,7 +132,16 @@ struct SolveStats {
   long warm_phase1_skips = 0;  ///< warm solves whose basis reuse skipped Phase I
   long warm_simplex_iterations = 0;  ///< pivots inside warm-started solves
   long cold_simplex_iterations = 0;  ///< pivots inside cold solves
+  long lp_factorizations = 0;    ///< fresh basis LUs built inside node LPs
+  long lp_refactorizations = 0;  ///< eta-triggered mid-solve refactorizations
+  long lp_eta_updates = 0;       ///< product-form basis updates appended
+  long lp_bound_flips = 0;       ///< pivots resolved without a basis change
+  long lp_bt_fallbacks = 0;      ///< dense-engine B^T solve fallbacks
+  long lp_factor_inherits = 0;   ///< node LPs begun on the parent's factor
   double lp_seconds = 0.0;     ///< wall time inside master-LP solves
+  double lp_factor_seconds = 0.0;  ///< LP time building LU factorizations
+  double lp_update_seconds = 0.0;  ///< LP time appending eta updates
+  double lp_pivot_seconds = 0.0;   ///< LP time inside the pivot loops proper
   double wall_seconds = 0.0;
   double best_bound = -lp::kInf;
 };

@@ -75,11 +75,29 @@ struct QueueingCheck {
   std::string verdict;  ///< "saturated" / "near-saturation" / "headroom"
 };
 
+/// LP engine health rolled up over every "minlp.epoch" span in the trace:
+/// where LP time went (factorize / eta update / pivot) and the maintained-
+/// factor event counts the solver tagged onto its epoch spans.  A nonzero
+/// `bt_fallbacks` means some B^T solve left the factored fast path and
+/// solved through B instead -- previously silent, now attributable.
+struct LpEngineRollup {
+  double lp_ms = 0.0;      ///< summed LP wall time across epochs
+  double factor_ms = 0.0;  ///< ... spent building LU factorizations
+  double update_ms = 0.0;  ///< ... spent appending eta updates
+  double pivot_ms = 0.0;   ///< ... spent in the pivot loops proper
+  long eta_updates = 0;
+  long refactorizations = 0;
+  long factor_inherits = 0;
+  long bt_fallbacks = 0;
+  long epochs = 0;  ///< minlp.epoch spans seen (0: trace carries no solver)
+};
+
 /// Full analysis result.
 struct Attribution {
   std::vector<RequestTimeline> requests;  ///< sorted by (total_ms, span)
   std::vector<PercentileAttribution> percentiles;  ///< p50, p90, p99
   QueueingCheck queueing;
+  LpEngineRollup lp;               ///< trace-wide solver LP phase rollup
   std::string dominant_p99_phase;  ///< phase_name of the largest p99 share
   std::string verdict;             ///< one human-readable sentence
 };

@@ -1,0 +1,339 @@
+// Markowitz-pivoting sparse LU and the product-form eta file.
+//
+// The factorization is a right-looking elimination over compacted column
+// lists.  Per step it rescans the active submatrix for counts and column
+// maxima -- O(nnz) per step, quadratic-ish overall -- which is deliberately
+// simple: basis sizes here are tens to a few hundred rows, factorizations
+// are the *rare* event the eta file exists to amortize, and the rescan
+// keeps the pivot choice a pure function of the matrix (no priority-queue
+// state to order-depend on).
+#include "hslb/linalg/sparse.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::linalg {
+
+bool SparseLu::factorize(const SparseColumns& b, const SparseLuOptions& opts) {
+  const int m = b.rows();
+  HSLB_ASSERT(b.cols() == m, "SparseLu requires a square matrix");
+  m_ = m;
+  valid_ = false;
+  l_start_.assign(1, 0);
+  u_start_.clear();
+  l_index_.clear();
+  l_value_.clear();
+  u_index_.clear();
+  u_value_.clear();
+  u_diag_.assign(static_cast<std::size_t>(m), 0.0);
+  row_at_.assign(static_cast<std::size_t>(m), 0);
+  col_at_.assign(static_cast<std::size_t>(m), 0);
+  if (m == 0) {
+    valid_ = true;
+    return true;
+  }
+
+  // Active working columns, compacted as rows are eliminated.
+  std::vector<std::vector<std::pair<int, double>>> cols(
+      static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    const auto idx = b.col_index(j);
+    const auto val = b.col_value(j);
+    cols[static_cast<std::size_t>(j)].reserve(idx.size());
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      cols[static_cast<std::size_t>(j)].emplace_back(idx[t], val[t]);
+    }
+  }
+
+  std::vector<char> row_done(static_cast<std::size_t>(m), 0);
+  std::vector<char> col_done(static_cast<std::size_t>(m), 0);
+  std::vector<int> row_count(static_cast<std::size_t>(m), 0);
+  std::vector<int> col_count(static_cast<std::size_t>(m), 0);
+  std::vector<double> col_max(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> pos_of_row(static_cast<std::size_t>(m), -1);
+  std::vector<int> pos_of_col(static_cast<std::size_t>(m), -1);
+  std::vector<int> mark(static_cast<std::size_t>(m), -1);
+  // U entries recorded as (pivot step, original column, value); converted
+  // to column-compressed form once the permutation is complete.
+  std::vector<int> u_step, u_col;
+  std::vector<double> u_val;
+  std::vector<std::pair<int, double>> scratch;
+
+  for (int k = 0; k < m; ++k) {
+    // Exact active counts and column maxima (rescanned, see header note).
+    std::fill(row_count.begin(), row_count.end(), 0);
+    for (int j = 0; j < m; ++j) {
+      if (col_done[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      int cc = 0;
+      double cm = 0.0;
+      for (const auto& [i, v] : cols[static_cast<std::size_t>(j)]) {
+        if (row_done[static_cast<std::size_t>(i)]) {
+          continue;
+        }
+        ++cc;
+        ++row_count[static_cast<std::size_t>(i)];
+        const double av = std::fabs(v);
+        if (av > cm) {
+          cm = av;
+        }
+      }
+      col_count[static_cast<std::size_t>(j)] = cc;
+      col_max[static_cast<std::size_t>(j)] = cm;
+    }
+
+    // Markowitz choice: smallest (fill bound, column, row) among entries
+    // passing the threshold test -- a total order independent of storage
+    // order, so the factorization is deterministic.
+    int piv_row = -1;
+    int piv_col = -1;
+    long piv_score = 0;
+    double piv_value = 0.0;
+    for (int j = 0; j < m; ++j) {
+      if (col_done[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      const double thresh = std::max(
+          opts.abs_pivot_tol,
+          opts.rel_pivot_tol * col_max[static_cast<std::size_t>(j)]);
+      for (const auto& [i, v] : cols[static_cast<std::size_t>(j)]) {
+        if (row_done[static_cast<std::size_t>(i)] || std::fabs(v) < thresh) {
+          continue;
+        }
+        const long score =
+            static_cast<long>(row_count[static_cast<std::size_t>(i)] - 1) *
+            static_cast<long>(col_count[static_cast<std::size_t>(j)] - 1);
+        if (piv_row < 0 || score < piv_score ||
+            (score == piv_score &&
+             (j < piv_col || (j == piv_col && i < piv_row)))) {
+          piv_row = i;
+          piv_col = j;
+          piv_score = score;
+          piv_value = v;
+        }
+      }
+    }
+    if (piv_row < 0) {
+      return false;  // no admissible pivot anywhere: numerically singular
+    }
+
+    row_at_[static_cast<std::size_t>(k)] = piv_row;
+    col_at_[static_cast<std::size_t>(k)] = piv_col;
+    pos_of_row[static_cast<std::size_t>(piv_row)] = k;
+    pos_of_col[static_cast<std::size_t>(piv_col)] = k;
+    row_done[static_cast<std::size_t>(piv_row)] = 1;
+    col_done[static_cast<std::size_t>(piv_col)] = 1;
+    u_diag_[static_cast<std::size_t>(k)] = piv_value;
+
+    // L column k: the pivot column's remaining active entries, scaled.
+    const std::size_t l_begin = l_index_.size();
+    for (const auto& [i, v] : cols[static_cast<std::size_t>(piv_col)]) {
+      if (!row_done[static_cast<std::size_t>(i)]) {
+        l_index_.push_back(i);  // original row id; remapped below
+        l_value_.push_back(v / piv_value);
+      }
+    }
+    l_start_.push_back(static_cast<int>(l_index_.size()));
+
+    // Eliminate the pivot row from every other active column, compacting
+    // dead rows out of each touched column as we go.
+    for (int j = 0; j < m; ++j) {
+      if (col_done[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      auto& cj = cols[static_cast<std::size_t>(j)];
+      double u = 0.0;
+      for (const auto& [i, v] : cj) {
+        if (i == piv_row) {
+          u = v;
+          break;
+        }
+      }
+      if (u == 0.0) {
+        continue;
+      }
+      u_step.push_back(k);
+      u_col.push_back(j);
+      u_val.push_back(u);
+      scratch.clear();
+      for (const auto& [i, v] : cj) {
+        if (row_done[static_cast<std::size_t>(i)]) {
+          continue;
+        }
+        mark[static_cast<std::size_t>(i)] = static_cast<int>(scratch.size());
+        scratch.emplace_back(i, v);
+      }
+      for (std::size_t t = l_begin; t < l_index_.size(); ++t) {
+        const int i = l_index_[t];
+        const double contrib = l_value_[t] * u;
+        const int at = mark[static_cast<std::size_t>(i)];
+        if (at >= 0) {
+          scratch[static_cast<std::size_t>(at)].second -= contrib;
+        } else {
+          scratch.emplace_back(i, -contrib);  // fill-in
+        }
+      }
+      for (const auto& [i, v] : scratch) {
+        mark[static_cast<std::size_t>(i)] = -1;
+        (void)v;
+      }
+      cj.swap(scratch);
+    }
+  }
+
+  // Remap L's original row ids into pivot positions (all strictly below the
+  // diagonal: a row active at step k is eliminated at a later step).
+  for (int& i : l_index_) {
+    i = pos_of_row[static_cast<std::size_t>(i)];
+  }
+  // Build column-compressed U from the (step, column, value) triples.  The
+  // triples were generated in step order, so each U column's entries land
+  // sorted by row position -- a fixed accumulation order for the solves.
+  u_start_.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (const int j : u_col) {
+    ++u_start_[static_cast<std::size_t>(
+                   pos_of_col[static_cast<std::size_t>(j)]) +
+               1];
+  }
+  for (int k = 0; k < m; ++k) {
+    u_start_[static_cast<std::size_t>(k) + 1] +=
+        u_start_[static_cast<std::size_t>(k)];
+  }
+  std::vector<int> fill_at(u_start_.begin(), u_start_.end() - 1);
+  u_index_.resize(u_step.size());
+  u_value_.resize(u_step.size());
+  for (std::size_t t = 0; t < u_step.size(); ++t) {
+    const int c = pos_of_col[static_cast<std::size_t>(u_col[t])];
+    const int at = fill_at[static_cast<std::size_t>(c)]++;
+    u_index_[static_cast<std::size_t>(at)] = u_step[t];
+    u_value_[static_cast<std::size_t>(at)] = u_val[t];
+  }
+
+  valid_ = true;
+  return true;
+}
+
+void SparseLu::ftran(std::span<const double> rhs, std::span<double> out,
+                     std::span<double> work) const {
+  HSLB_ASSERT(valid_, "ftran on an invalid factor");
+  const int m = m_;
+  for (int k = 0; k < m; ++k) {
+    work[static_cast<std::size_t>(k)] =
+        rhs[static_cast<std::size_t>(row_at_[static_cast<std::size_t>(k)])];
+  }
+  for (int k = 0; k < m; ++k) {  // L z = Pb, forward
+    const double z = work[static_cast<std::size_t>(k)];
+    if (z != 0.0) {
+      for (int t = l_start_[static_cast<std::size_t>(k)];
+           t < l_start_[static_cast<std::size_t>(k) + 1]; ++t) {
+        work[static_cast<std::size_t>(l_index_[static_cast<std::size_t>(t)])] -=
+            l_value_[static_cast<std::size_t>(t)] * z;
+      }
+    }
+  }
+  for (int k = m - 1; k >= 0; --k) {  // U x' = z, backward
+    const double z =
+        work[static_cast<std::size_t>(k)] / u_diag_[static_cast<std::size_t>(k)];
+    work[static_cast<std::size_t>(k)] = z;
+    if (z != 0.0) {
+      for (int t = u_start_[static_cast<std::size_t>(k)];
+           t < u_start_[static_cast<std::size_t>(k) + 1]; ++t) {
+        work[static_cast<std::size_t>(u_index_[static_cast<std::size_t>(t)])] -=
+            u_value_[static_cast<std::size_t>(t)] * z;
+      }
+    }
+  }
+  for (int k = 0; k < m; ++k) {
+    out[static_cast<std::size_t>(col_at_[static_cast<std::size_t>(k)])] =
+        work[static_cast<std::size_t>(k)];
+  }
+}
+
+void SparseLu::btran(std::span<const double> rhs, std::span<double> out,
+                     std::span<double> work) const {
+  HSLB_ASSERT(valid_, "btran on an invalid factor");
+  const int m = m_;
+  for (int k = 0; k < m; ++k) {
+    work[static_cast<std::size_t>(k)] =
+        rhs[static_cast<std::size_t>(col_at_[static_cast<std::size_t>(k)])];
+  }
+  for (int k = 0; k < m; ++k) {  // U^T z = c', forward
+    double s = work[static_cast<std::size_t>(k)];
+    for (int t = u_start_[static_cast<std::size_t>(k)];
+         t < u_start_[static_cast<std::size_t>(k) + 1]; ++t) {
+      s -= u_value_[static_cast<std::size_t>(t)] *
+           work[static_cast<std::size_t>(u_index_[static_cast<std::size_t>(t)])];
+    }
+    work[static_cast<std::size_t>(k)] =
+        s / u_diag_[static_cast<std::size_t>(k)];
+  }
+  for (int k = m - 1; k >= 0; --k) {  // L^T w = z, backward
+    double s = work[static_cast<std::size_t>(k)];
+    for (int t = l_start_[static_cast<std::size_t>(k)];
+         t < l_start_[static_cast<std::size_t>(k) + 1]; ++t) {
+      s -= l_value_[static_cast<std::size_t>(t)] *
+           work[static_cast<std::size_t>(l_index_[static_cast<std::size_t>(t)])];
+    }
+    work[static_cast<std::size_t>(k)] = s;
+  }
+  for (int k = 0; k < m; ++k) {
+    out[static_cast<std::size_t>(row_at_[static_cast<std::size_t>(k)])] =
+        work[static_cast<std::size_t>(k)];
+  }
+}
+
+bool EtaFile::append(std::span<const double> w, int r, double stability_tol) {
+  double winf = 0.0;
+  for (const double v : w) {
+    const double av = std::fabs(v);
+    if (av > winf) {
+      winf = av;
+    }
+  }
+  const double wr = w[static_cast<std::size_t>(r)];
+  if (std::fabs(wr) < stability_tol * std::max(1.0, winf)) {
+    return false;
+  }
+  Rec rec;
+  rec.start = static_cast<int>(index_.size());
+  rec.r = r;
+  rec.wr = wr;
+  for (int i = 0; i < static_cast<int>(w.size()); ++i) {
+    const double v = w[static_cast<std::size_t>(i)];
+    if (i != r && v != 0.0) {
+      index_.push_back(i);
+      value_.push_back(v);
+    }
+  }
+  rec.len = static_cast<int>(index_.size()) - rec.start;
+  recs_.push_back(rec);
+  return true;
+}
+
+void EtaFile::apply_ftran(std::span<double> x) const {
+  for (const Rec& rec : recs_) {
+    const double xr = x[static_cast<std::size_t>(rec.r)] / rec.wr;
+    for (int t = rec.start; t < rec.start + rec.len; ++t) {
+      x[static_cast<std::size_t>(index_[static_cast<std::size_t>(t)])] -=
+          value_[static_cast<std::size_t>(t)] * xr;
+    }
+    x[static_cast<std::size_t>(rec.r)] = xr;
+  }
+}
+
+void EtaFile::apply_btran(std::span<double> y) const {
+  for (auto it = recs_.rbegin(); it != recs_.rend(); ++it) {
+    const Rec& rec = *it;
+    double s = y[static_cast<std::size_t>(rec.r)];
+    for (int t = rec.start; t < rec.start + rec.len; ++t) {
+      s -= value_[static_cast<std::size_t>(t)] *
+           y[static_cast<std::size_t>(index_[static_cast<std::size_t>(t)])];
+    }
+    y[static_cast<std::size_t>(rec.r)] = s / rec.wr;
+  }
+}
+
+}  // namespace hslb::linalg

@@ -1,15 +1,27 @@
-// Two-phase bounded-variable primal simplex.
+// Two-phase bounded-variable primal simplex, two engines.
 //
 // Internal standard form: one slack per row turns `rlo <= a.x <= rup` into
 // `a.x - s = 0, s in [rlo, rup]`, and Phase I adds one artificial column per
 // row with a +/-1 coefficient chosen so the artificial starts nonnegative.
-// The basis inverse is applied through a fresh LU factorization each pivot;
-// problems here are tiny (m <= ~60), so robustness wins over speed.  B and
-// B^T are singular together mathematically, but the absolute pivot
-// threshold can reject one orientation of a badly row-scaled basis while
-// accepting the other; wherever both orientations are needed, the
-// factorization of B is the authority and B^T systems fall back to
-// LuFactor::solve_transposed on it.
+//
+// The default sparse engine (SparseSimplex) keeps the constraint matrix in
+// CSC form, factorizes the basis once per (re)start with a Markowitz sparse
+// LU, and absorbs each pivot as a product-form eta update; a deterministic
+// trigger (eta count, eta fill, or a refused unstable update) forces a
+// refactorization.  A solve may capture its maintained factor as an
+// immutable FactorSnapshot, and a child re-solve that presents matching row
+// identities adopts it -- extending the parent's factor by a bordered
+// block for rows the parent did not have -- instead of paying a cold
+// factorization.  See DESIGN.md section 15.
+//
+// The legacy dense engine (DenseSimplex) applies the basis inverse through
+// a fresh dense LU factorization each pivot.  It survives as the
+// comparison baseline for bench_lp_resolve and as a second opinion in the
+// property tests.  B and B^T are singular together mathematically, but the
+// dense absolute pivot threshold can reject one orientation of a badly
+// row-scaled basis while accepting the other; wherever both orientations
+// are needed, the factorization of B is the authority and B^T systems fall
+// back to LuFactor::solve_transposed on it (counted as bt_fallbacks).
 //
 // Warm starts (resolve_from_basis) reuse a captured basis when it is still
 // complete and factorizable.  If the basis is also primal feasible, Phase I
@@ -24,17 +36,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "hslb/common/error.hpp"
+#include "hslb/common/timing.hpp"
 #include "hslb/linalg/factor.hpp"
+#include "hslb/linalg/sparse.hpp"
 #include "hslb/obs/obs.hpp"
 
 namespace hslb::lp {
+
+/// Tag bit marking a FactorSnapshot basis member as a row slack (the low
+/// bits then hold the row key); structural members store the column index.
+constexpr std::uint64_t kSlackBit = 1ULL << 63;
+
+/// Immutable capture of a maintained factorization: the root sparse LU (or
+/// a reference to the parent snapshot plus the bordered extension that
+/// turned the parent's basis into this one), the eta updates accumulated at
+/// this level, and enough row identity (keys + coefficient signatures) for
+/// a later solve to validate adoption.  Snapshots form a chain via
+/// `parent`; shared_ptr keeps every level alive and the whole object is
+/// deep-value otherwise, so concurrent readers on different threads are
+/// safe.
+class FactorSnapshot {
+ public:
+  struct BorderRow {
+    int row = 0;                                 ///< row index at this level
+    double slack_coeff = -1.0;                   ///< the row's basic slack
+    std::vector<std::pair<int, double>> terms;   ///< (parent position, coeff)
+  };
+
+  FactorRef parent;                 ///< null for a root snapshot
+  linalg::SparseLu lu;              ///< root level only
+  std::vector<int> old_rows;        ///< parent row i -> row at this level
+  std::vector<BorderRow> border;    ///< rows new at this level
+  linalg::EtaFile etas;             ///< updates accumulated at this level
+  int m = 0;                        ///< rows at this level
+  int levels = 1;                   ///< chain depth including this level
+  long total_etas = 0;              ///< eta count across the whole chain
+  long base_nnz = 0;                ///< root factor fill
+  std::size_t n = 0;                ///< structural columns when captured
+  std::vector<std::uint64_t> row_keys;   ///< caller-chosen row identifiers
+  std::vector<std::uint64_t> row_sigs;   ///< coefficient signature per row
+  std::vector<std::uint64_t> basis_ids;  ///< basic member per position
+};
+
 namespace {
 
+using linalg::EtaFile;
 using linalg::LuFactor;
 using linalg::Matrix;
+using linalg::SparseColumns;
+using linalg::SparseLu;
+using linalg::SparseLuOptions;
 using linalg::Vector;
 
 enum class VarStatus { kBasic, kAtLower, kAtUpper, kFree, kFixed };
@@ -46,10 +102,24 @@ enum class WarmMode {
   kDualRepair,  ///< warm basis repaired by dual pivots; Phase I skipped
 };
 
-/// Full simplex working state over structural + slack + artificial columns.
-class Simplex {
+/// FNV-1a over a row's coefficient bytes: the signature that lets factor
+/// adoption detect a row whose key survived but whose coefficients changed
+/// (chord rows are rebuilt against the node's bounds under a stable key).
+std::uint64_t row_signature(std::span<const double> coeffs) {
+  const auto* p = reinterpret_cast<const unsigned char*>(coeffs.data());
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < coeffs.size() * sizeof(double); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Legacy engine: full dense working state over structural + slack +
+/// artificial columns, refactorizing every pivot.
+class DenseSimplex {
  public:
-  Simplex(const LpProblem& problem, const SimplexOptions& options)
+  DenseSimplex(const LpProblem& problem, const SimplexOptions& options)
       : problem_(problem), opts_(options) {
     n_ = problem.num_vars();
     m_ = problem.num_rows();
@@ -106,7 +176,7 @@ class Simplex {
       out.phase1_iterations = iterations_;
       if (st1 == LpStatus::kIterationLimit) {
         out.status = st1;
-        out.iterations = iterations_;
+        finalize(out);
         return out;
       }
       double infeasibility = 0.0;
@@ -116,7 +186,7 @@ class Simplex {
       if (infeasibility >
           opts_.feasibility_tol * std::max<double>(1.0, static_cast<double>(m_))) {
         out.status = LpStatus::kInfeasible;
-        out.iterations = iterations_;
+        finalize(out);
         return out;
       }
     }
@@ -134,7 +204,7 @@ class Simplex {
     // ---- Phase II: the real objective. ----
     const LpStatus st2 = optimize(cost);
     out.status = st2;
-    out.iterations = iterations_;
+    finalize(out);
     if (st2 == LpStatus::kOptimal) {
       out.x.assign(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n_));
       out.objective = problem_.objective_offset();
@@ -149,6 +219,14 @@ class Simplex {
   }
 
  private:
+  void finalize(LpSolution& out) const {
+    out.iterations = iterations_;
+    out.factorizations = factorizations_;
+    out.bt_fallbacks = bt_fallbacks_;
+    out.bound_flips = bound_flips_;
+    out.factor_seconds = factor_seconds_;
+  }
+
   /// Coefficient of column j in row i of [A | -I | G].
   double coeff(std::size_t i, std::size_t j) const {
     if (j < n_) {
@@ -372,7 +450,9 @@ class Simplex {
           bt(i, k) = coeff(k, basis_[i]);
         }
       }
+      common::WallTimer bt_timer;
       const auto lut = LuFactor::compute(bt);
+      factor_seconds_ += bt_timer.seconds();
       if (!lut) {
         return false;
       }
@@ -506,14 +586,20 @@ class Simplex {
     return true;
   }
 
-  std::optional<LuFactor> factor_basis() const {
+  std::optional<LuFactor> factor_basis() {
+    common::WallTimer timer;
     Matrix b(m_, m_);
     for (std::size_t i = 0; i < m_; ++i) {
       for (std::size_t k = 0; k < m_; ++k) {
         b(i, k) = coeff(i, basis_[k]);
       }
     }
-    return LuFactor::compute(b);
+    auto lu = LuFactor::compute(b);
+    factor_seconds_ += timer.seconds();
+    if (lu.has_value()) {
+      ++factorizations_;
+    }
+    return lu;
   }
 
   LpStatus optimize(const Vector& cost) {
@@ -554,7 +640,12 @@ class Simplex {
           bt(i, k) = coeff(k, basis_[i]);
         }
       }
+      common::WallTimer bt_timer;
       const auto lut = LuFactor::compute(bt);
+      factor_seconds_ += bt_timer.seconds();
+      if (!lut.has_value()) {
+        ++bt_fallbacks_;
+      }
       const Vector y = lut.has_value() ? lut->solve(cb)
                                        : lu->solve_transposed(cb);
 
@@ -660,6 +751,7 @@ class Simplex {
         status_[entering] = direction > 0 ? VarStatus::kAtUpper
                                           : VarStatus::kAtLower;
         value_[entering] = direction > 0 ? upper_[entering] : lower_[entering];
+        ++bound_flips_;
       } else {
         const std::size_t out_var = basis_[static_cast<std::size_t>(leaving)];
         status_[out_var] =
@@ -690,11 +782,1179 @@ class Simplex {
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
   int iterations_ = 0;
+  long factorizations_ = 0;
+  long bt_fallbacks_ = 0;
+  long bound_flips_ = 0;
+  double factor_seconds_ = 0.0;
   bool numeric_failure_ = false;
 };
 
+/// The sparse engine's basis representation: either a factorization it owns
+/// (own mode: fresh SparseLu of the current basis + a live eta file), or an
+/// inherited FactorSnapshot chain extended by a live bordered block and a
+/// live eta file.  Either way the chain is flattened into `levels_`
+/// (root first) and FTRAN/BTRAN run iteratively over it:
+///
+///   B_l = [[B_{l-1}, 0], [C_l, S_l]]  (after the row permutation old_rows)
+///
+/// is block lower triangular, so FTRAN extracts the parent subsystem on the
+/// way down, solves the root, and back-substitutes each border block (then
+/// that level's etas) on the way up; BTRAN runs the mirror image.  Two
+/// buffer pools with per-level offsets (bufA_ row-space, bufB_
+/// position-space) keep the sweeps allocation-free.
+class MaintainedFactor {
+ public:
+  /// Fresh factorization of the basis columns; drops any inherited chain.
+  /// Retains own_lu_/etas_ capacity across calls.
+  bool refactorize(const SparseColumns& cols, const SparseLuOptions& opts) {
+    inherited_.reset();
+    old_rows_.clear();
+    border_.clear();
+    etas_.clear();
+    levels_.clear();  // never leave pointers into a released chain
+    own_mode_ = true;
+    m_ = cols.cols();
+    valid_ = own_lu_.factorize(cols, opts);
+    if (valid_) {
+      rebuild_levels();
+    }
+    return valid_;
+  }
+
+  /// Adopt a parent snapshot extended by a live bordered block mapping it
+  /// onto the current problem's m rows.  Caller has validated row identity.
+  void adopt(FactorRef snap, std::vector<int> old_rows,
+             std::vector<FactorSnapshot::BorderRow> border, int m) {
+    inherited_ = std::move(snap);
+    old_rows_ = std::move(old_rows);
+    border_ = std::move(border);
+    etas_.clear();
+    own_mode_ = false;
+    m_ = m;
+    valid_ = true;
+    rebuild_levels();
+  }
+
+  /// Invalidate and release any inherited snapshot chain (so a pooled
+  /// workspace does not pin dead parents between solves).
+  void release() {
+    inherited_.reset();
+    old_rows_.clear();
+    border_.clear();
+    levels_.clear();
+    valid_ = false;
+  }
+
+  bool valid() const { return valid_; }
+  int rows() const { return m_; }
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// Append a product-form update at position r (w = FTRAN image of the
+  /// entering column).  False => unstable pivot, caller must refactorize.
+  bool update(std::span<const double> w, int r, double stability_tol) {
+    return etas_.append(w, r, stability_tol);
+  }
+
+  long total_etas() const {
+    long t = 0;
+    for (const Level& l : levels_) {
+      t += l.etas->count();
+    }
+    return t;
+  }
+
+  long eta_entries() const {
+    long t = 0;
+    for (const Level& l : levels_) {
+      t += l.etas->nnz();
+    }
+    return t;
+  }
+
+  long base_nnz() const {
+    return levels_.empty() ? 0 : levels_.front().lu->factor_nnz();
+  }
+
+  /// Solve B x = rhs; `rhs` indexed by row, `out` by basis position.
+  /// Aliasing rhs/out is allowed (both are staged through the buffers).
+  void ftran(std::span<const double> rhs, std::span<double> out) {
+    const int levels = static_cast<int>(levels_.size());
+    const int top = levels - 1;
+    std::copy(rhs.begin(), rhs.end(), bufA_.begin() + offsets_[top]);
+    // Down sweep: extract each parent's rows.
+    for (int l = top; l >= 1; --l) {
+      const std::vector<int>& om = *levels_[l].old_rows;
+      const double* a = bufA_.data() + offsets_[l];
+      double* ap = bufA_.data() + offsets_[l - 1];
+      const int pm = levels_[l - 1].m;
+      for (int i = 0; i < pm; ++i) {
+        ap[i] = a[om[i]];
+      }
+    }
+    // Root solve + root etas.
+    {
+      const Level& root = levels_[0];
+      const std::size_t rm = static_cast<std::size_t>(root.m);
+      std::span<double> a0(bufA_.data() + offsets_[0], rm);
+      std::span<double> b0(bufB_.data() + offsets_[0], rm);
+      root.lu->ftran(a0, b0, std::span<double>(work_.data(), rm));
+      root.etas->apply_ftran(b0);
+    }
+    // Up sweep: back-substitute each border block, then that level's etas.
+    for (int l = 1; l < levels; ++l) {
+      const Level& lev = levels_[l];
+      const int pm = levels_[l - 1].m;
+      const double* bp = bufB_.data() + offsets_[l - 1];
+      double* b = bufB_.data() + offsets_[l];
+      const double* a = bufA_.data() + offsets_[l];
+      std::copy(bp, bp + pm, b);
+      const auto& border = *lev.border;
+      for (std::size_t j = 0; j < border.size(); ++j) {
+        const FactorSnapshot::BorderRow& br = border[j];
+        double v = a[br.row];
+        for (const auto& [p, c] : br.terms) {
+          v -= c * b[p];
+        }
+        b[pm + static_cast<int>(j)] = v / br.slack_coeff;
+      }
+      lev.etas->apply_ftran(
+          std::span<double>(b, static_cast<std::size_t>(lev.m)));
+    }
+    const double* bt = bufB_.data() + offsets_[top];
+    std::copy(bt, bt + m_, out.begin());
+  }
+
+  /// Solve B^T y = rhs; `rhs` indexed by basis position, `out` by row.
+  void btran(std::span<const double> rhs, std::span<double> out) {
+    const int levels = static_cast<int>(levels_.size());
+    const int top = levels - 1;
+    std::copy(rhs.begin(), rhs.end(), bufB_.begin() + offsets_[top]);
+    // Down sweep: undo this level's etas, peel the border block (storing
+    // each border dual in place at its tail slot for the up sweep), and
+    // hand the modified prefix to the parent.
+    for (int l = top; l >= 1; --l) {
+      const Level& lev = levels_[l];
+      const int pm = levels_[l - 1].m;
+      double* b = bufB_.data() + offsets_[l];
+      double* bp = bufB_.data() + offsets_[l - 1];
+      lev.etas->apply_btran(
+          std::span<double>(b, static_cast<std::size_t>(lev.m)));
+      const auto& border = *lev.border;
+      for (std::size_t j = 0; j < border.size(); ++j) {
+        const FactorSnapshot::BorderRow& br = border[j];
+        const double yj = b[pm + static_cast<int>(j)] / br.slack_coeff;
+        b[pm + static_cast<int>(j)] = yj;
+        for (const auto& [p, c] : br.terms) {
+          b[p] -= c * yj;
+        }
+      }
+      std::copy(b, b + pm, bp);
+    }
+    // Root: etas transposed, then the factor's BTRAN.
+    {
+      const Level& root = levels_[0];
+      const std::size_t rm = static_cast<std::size_t>(root.m);
+      std::span<double> b0(bufB_.data() + offsets_[0], rm);
+      std::span<double> a0(bufA_.data() + offsets_[0], rm);
+      root.etas->apply_btran(b0);
+      root.lu->btran(b0, a0, std::span<double>(work_.data(), rm));
+    }
+    // Up sweep: scatter parent duals through old_rows, border duals to
+    // their own rows.
+    for (int l = 1; l < levels; ++l) {
+      const Level& lev = levels_[l];
+      const int pm = levels_[l - 1].m;
+      const std::vector<int>& om = *lev.old_rows;
+      double* a = bufA_.data() + offsets_[l];
+      const double* ap = bufA_.data() + offsets_[l - 1];
+      const double* b = bufB_.data() + offsets_[l];
+      for (int i = 0; i < pm; ++i) {
+        a[om[i]] = ap[i];
+      }
+      const auto& border = *lev.border;
+      for (std::size_t j = 0; j < border.size(); ++j) {
+        a[border[j].row] = b[pm + static_cast<int>(j)];
+      }
+    }
+    const double* at = bufA_.data() + offsets_[top];
+    std::copy(at, at + m_, out.begin());
+  }
+
+  /// Package the current state as an immutable snapshot.  The live pieces
+  /// are copied (the workspace keeps its capacity); an inherited chain is
+  /// shared by reference.
+  FactorRef capture(std::size_t n, std::span<const std::uint64_t> row_keys,
+                    std::vector<std::uint64_t> row_sigs,
+                    std::vector<std::uint64_t> basis_ids) const {
+    auto s = std::make_shared<FactorSnapshot>();
+    s->m = m_;
+    s->n = n;
+    s->row_keys.assign(row_keys.begin(), row_keys.end());
+    s->row_sigs = std::move(row_sigs);
+    s->basis_ids = std::move(basis_ids);
+    s->etas = etas_;
+    if (own_mode_) {
+      s->lu = own_lu_;
+      s->levels = 1;
+      s->total_etas = s->etas.count();
+      s->base_nnz = own_lu_.factor_nnz();
+    } else {
+      s->parent = inherited_;
+      s->old_rows = old_rows_;
+      s->border = border_;
+      s->levels = inherited_->levels + 1;
+      s->total_etas = inherited_->total_etas + s->etas.count();
+      s->base_nnz = inherited_->base_nnz;
+    }
+    return s;
+  }
+
+ private:
+  struct Level {
+    const SparseLu* lu = nullptr;  // root level only
+    const std::vector<int>* old_rows = nullptr;
+    const std::vector<FactorSnapshot::BorderRow>* border = nullptr;
+    const EtaFile* etas = nullptr;
+    int m = 0;
+  };
+
+  void rebuild_levels() {
+    levels_.clear();
+    if (own_mode_) {
+      levels_.push_back(Level{&own_lu_, nullptr, nullptr, &etas_, m_});
+    } else {
+      // Walk the snapshot chain down to the root, then emit root-first.
+      chain_.clear();
+      for (const FactorSnapshot* s = inherited_.get(); s != nullptr;
+           s = s->parent.get()) {
+        chain_.push_back(s);
+      }
+      for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+        const FactorSnapshot* s = *it;
+        Level l;
+        l.etas = &s->etas;
+        l.m = s->m;
+        if (s->parent) {
+          l.old_rows = &s->old_rows;
+          l.border = &s->border;
+        } else {
+          l.lu = &s->lu;
+        }
+        levels_.push_back(l);
+      }
+      levels_.push_back(Level{nullptr, &old_rows_, &border_, &etas_, m_});
+    }
+    offsets_.resize(levels_.size());
+    std::size_t total = 0;
+    std::size_t max_m = 0;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      offsets_[i] = static_cast<std::ptrdiff_t>(total);
+      total += static_cast<std::size_t>(levels_[i].m);
+      max_m = std::max(max_m, static_cast<std::size_t>(levels_[i].m));
+    }
+    bufA_.resize(total);
+    bufB_.resize(total);
+    work_.resize(max_m);
+  }
+
+  bool own_mode_ = true;
+  bool valid_ = false;
+  int m_ = 0;
+  SparseLu own_lu_;
+  FactorRef inherited_;
+  std::vector<int> old_rows_;
+  std::vector<FactorSnapshot::BorderRow> border_;
+  EtaFile etas_;
+  std::vector<Level> levels_;
+  std::vector<const FactorSnapshot*> chain_;
+  std::vector<std::ptrdiff_t> offsets_;
+  std::vector<double> bufA_, bufB_, work_;
+};
+
+/// Per-thread scratch for the sparse engine.  Branch-and-bound issues
+/// thousands of tiny LP solves per second per worker; reusing these
+/// buffers (vectors keep capacity, the eta file keeps its pools, the CSC
+/// builders keep their arrays) removes every steady-state heap allocation
+/// from the solve path.  `in_use` guards reentrancy: a nested solve on the
+/// same thread falls back to a heap-allocated private workspace.
+struct LpWorkspace {
+  bool in_use = false;
+  Vector lower, upper, value, cost, phase1_cost, y, w, rhs, cb;
+  std::vector<VarStatus> status;
+  std::vector<std::size_t> basis;
+  Vector art_sign;
+  SparseColumns csc;         // structural columns of the current problem
+  SparseColumns basis_cols;  // basis columns fed to the factorization
+  MaintainedFactor factor;
+};
+
+LpWorkspace& thread_workspace() {
+  thread_local LpWorkspace ws;
+  return ws;
+}
+
+/// Default engine: revised simplex over a maintained sparse factorization.
+/// Pivot rules (pricing, ratio test, Bland fallback, dual repair
+/// eligibility and tie-breaks) are copied verbatim from DenseSimplex so the
+/// two engines walk the same vertex sequence whenever their arithmetic
+/// agrees; the engines differ only in how B^{-1} is applied and in when
+/// basic values are recomputed (dense: every pivot; sparse: incrementally,
+/// refreshed at factorization points and on optimal exit).
+class SparseSimplex {
+ public:
+  SparseSimplex(const LpProblem& problem, const SimplexOptions& options,
+                LpWorkspace& ws)
+      : problem_(problem), opts_(options), ws_(ws) {
+    n_ = problem.num_vars();
+    m_ = problem.num_rows();
+    total_ = n_ + 2 * m_;  // structural | slack | artificial
+
+    ws_.lower.assign(total_, -kInf);
+    ws_.upper.assign(total_, kInf);
+    for (std::size_t j = 0; j < n_; ++j) {
+      ws_.lower[j] = problem.col_lower()[j];
+      ws_.upper[j] = problem.col_upper()[j];
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      ws_.lower[n_ + i] = problem.rows()[i].lower;
+      ws_.upper[n_ + i] = problem.rows()[i].upper;
+      ws_.lower[n_ + m_ + i] = 0.0;  // artificials
+    }
+    ws_.art_sign.assign(m_, 1.0);
+    ws_.status.assign(total_, VarStatus::kAtLower);
+    ws_.value.assign(total_, 0.0);
+    for (std::size_t j = 0; j < total_; ++j) {
+      init_nonbasic(j);
+    }
+    init_basis();
+
+    // CSC of the structural columns, built once per solve.  Slack and
+    // artificial columns are singletons and stay implicit, so the pricing
+    // loop and the basis-column gather handle them inline (and an
+    // art_sign flip never invalidates this matrix).
+    ws_.csc.reset(static_cast<int>(m_));
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t i = 0; i < m_; ++i) {
+        ws_.csc.add_entry(static_cast<int>(i), problem.rows()[i].coeffs[j]);
+      }
+      ws_.csc.finish_column();
+    }
+
+    ws_.y.assign(m_, 0.0);
+    ws_.w.assign(m_, 0.0);
+    ws_.rhs.assign(m_, 0.0);
+    ws_.cb.assign(m_, 0.0);
+  }
+
+  LpSolution run(const Basis* warm, const WarmFactor* wf) {
+    LpSolution out;
+
+    ws_.cost.assign(total_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      ws_.cost[j] = problem_.cost()[j];
+    }
+
+    WarmMode mode = WarmMode::kCold;
+    if (warm != nullptr && !warm->empty()) {
+      mode = prepare_warm(*warm, wf, ws_.cost, out);
+    }
+    out.warm_used = mode != WarmMode::kCold;
+    out.warm_phase1_skipped = mode != WarmMode::kCold;
+
+    if (mode == WarmMode::kCold) {
+      // The all-artificial basis is diag(+/-1): its factorization cannot
+      // fail unless something is structurally broken, in which case the
+      // caller's cold-retry assertion fires.
+      if (!factorize_current()) {
+        numeric_failure_ = true;
+        out.status = LpStatus::kIterationLimit;
+        finalize(out);
+        return out;
+      }
+      refresh_basics();
+      // ---- Phase I: minimize the sum of artificial values. ----
+      ws_.phase1_cost.assign(total_, 0.0);
+      for (std::size_t i = 0; i < m_; ++i) {
+        ws_.phase1_cost[n_ + m_ + i] = 1.0;
+      }
+      const LpStatus st1 = optimize(ws_.phase1_cost);
+      out.phase1_iterations = iterations_;
+      if (st1 == LpStatus::kIterationLimit) {
+        out.status = st1;
+        finalize(out);
+        return out;
+      }
+      double infeasibility = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        infeasibility += ws_.value[n_ + m_ + i];
+      }
+      if (infeasibility >
+          opts_.feasibility_tol * std::max<double>(1.0, static_cast<double>(m_))) {
+        out.status = LpStatus::kInfeasible;
+        finalize(out);
+        return out;
+      }
+    }
+
+    // Freeze artificials at zero for Phase II.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t a = n_ + m_ + i;
+      ws_.lower[a] = ws_.upper[a] = 0.0;
+      if (ws_.status[a] != VarStatus::kBasic) {
+        ws_.status[a] = VarStatus::kFixed;
+        ws_.value[a] = 0.0;
+      }
+    }
+
+    // ---- Phase II: the real objective. ----
+    const LpStatus st2 = optimize(ws_.cost);
+    out.status = st2;
+    finalize(out);
+    if (st2 == LpStatus::kOptimal) {
+      out.x.assign(ws_.value.begin(),
+                   ws_.value.begin() + static_cast<std::ptrdiff_t>(n_));
+      out.objective = problem_.objective_offset();
+      for (std::size_t j = 0; j < n_; ++j) {
+        out.objective += problem_.cost()[j] * out.x[j];
+      }
+      if (opts_.capture_basis) {
+        capture_basis(out.basis);
+      }
+      if (opts_.capture_factor && wf != nullptr &&
+          wf->row_keys.size() == m_ && ws_.factor.valid()) {
+        capture_factor(out, wf->row_keys);
+      }
+    }
+    ws_.factor.release();  // drop inherited refs; keep buffer capacity
+    return out;
+  }
+
+  bool numeric_failure() const { return numeric_failure_; }
+
+ private:
+  void finalize(LpSolution& out) const {
+    out.iterations = iterations_;
+    out.factorizations = factorizations_;
+    out.refactorizations = refactorizations_;
+    out.eta_updates = eta_updates_;
+    out.bound_flips = bound_flips_;
+    out.factor_inherited = factor_inherited_;
+    out.factor_seconds = factor_seconds_;
+    out.update_seconds = update_seconds_;
+  }
+
+  /// Coefficient of column j in row i of [A | -I | G] (validation paths
+  /// only; the hot loops go through the CSC / singleton structure).
+  double coeff(std::size_t i, std::size_t j) const {
+    if (j < n_) {
+      return problem_.rows()[i].coeffs[j];
+    }
+    if (j < n_ + m_) {
+      return j - n_ == i ? -1.0 : 0.0;
+    }
+    return j - n_ - m_ == i ? ws_.art_sign[i] : 0.0;
+  }
+
+  void init_nonbasic(std::size_t j) {
+    const double lo = ws_.lower[j];
+    const double hi = ws_.upper[j];
+    if (lo == hi) {
+      ws_.status[j] = VarStatus::kFixed;
+      ws_.value[j] = lo;
+    } else if (std::isfinite(lo) && std::isfinite(hi)) {
+      const bool lower_closer = std::fabs(lo) <= std::fabs(hi);
+      ws_.status[j] = lower_closer ? VarStatus::kAtLower : VarStatus::kAtUpper;
+      ws_.value[j] = lower_closer ? lo : hi;
+    } else if (std::isfinite(lo)) {
+      ws_.status[j] = VarStatus::kAtLower;
+      ws_.value[j] = lo;
+    } else if (std::isfinite(hi)) {
+      ws_.status[j] = VarStatus::kAtUpper;
+      ws_.value[j] = hi;
+    } else {
+      ws_.status[j] = VarStatus::kFree;
+      ws_.value[j] = 0.0;
+    }
+  }
+
+  void init_basis() {
+    ws_.basis.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        v += problem_.rows()[i].coeffs[j] * ws_.value[j];
+      }
+      v -= ws_.value[n_ + i];  // slack column is -1
+      ws_.art_sign[i] = v > 0.0 ? -1.0 : 1.0;
+      const std::size_t a = n_ + m_ + i;
+      ws_.basis[i] = a;
+      ws_.status[a] = VarStatus::kBasic;
+      ws_.value[a] = std::fabs(v);
+    }
+  }
+
+  /// Gather column j of [A | -I | G] into ws_.rhs (dense by row).
+  void gather_column(std::size_t j) {
+    std::fill(ws_.rhs.begin(), ws_.rhs.end(), 0.0);
+    if (j < n_) {
+      const auto idx = ws_.csc.col_index(static_cast<int>(j));
+      const auto val = ws_.csc.col_value(static_cast<int>(j));
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        ws_.rhs[static_cast<std::size_t>(idx[k])] = val[k];
+      }
+    } else if (j < n_ + m_) {
+      ws_.rhs[j - n_] = -1.0;
+    } else {
+      ws_.rhs[j - n_ - m_] = ws_.art_sign[j - n_ - m_];
+    }
+  }
+
+  /// Fresh sparse LU of the current basis.  The factorization tolerances
+  /// are looser relatively and tighter absolutely than the dense path's:
+  /// every column magnitude passes the relative threshold, so a false
+  /// "singular" verdict needs the whole column below 1e-14 -- at which
+  /// point the basis is singular for every practical purpose.
+  bool factorize_current() {
+    common::WallTimer timer;
+    ws_.basis_cols.reset(static_cast<int>(m_));
+    for (std::size_t k = 0; k < m_; ++k) {
+      const std::size_t j = ws_.basis[k];
+      if (j < n_) {
+        const auto idx = ws_.csc.col_index(static_cast<int>(j));
+        const auto val = ws_.csc.col_value(static_cast<int>(j));
+        for (std::size_t e = 0; e < idx.size(); ++e) {
+          ws_.basis_cols.add_entry(idx[e], val[e]);
+        }
+      } else if (j < n_ + m_) {
+        ws_.basis_cols.add_entry(static_cast<int>(j - n_), -1.0);
+      } else {
+        ws_.basis_cols.add_entry(static_cast<int>(j - n_ - m_),
+                                 ws_.art_sign[j - n_ - m_]);
+      }
+      ws_.basis_cols.finish_column();
+    }
+    const bool ok =
+        ws_.factor.refactorize(ws_.basis_cols, SparseLuOptions{0.1, 1e-14});
+    factor_seconds_ += timer.seconds();
+    if (ok) {
+      ++factorizations_;
+    }
+    return ok;
+  }
+
+  /// Recompute basic values from the nonbasic resting values through the
+  /// maintained factor: B x_B = -N x_N.
+  void refresh_basics() {
+    std::fill(ws_.rhs.begin(), ws_.rhs.end(), 0.0);
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (ws_.status[j] == VarStatus::kBasic || ws_.value[j] == 0.0) {
+        continue;
+      }
+      const double v = ws_.value[j];
+      if (j < n_) {
+        const auto idx = ws_.csc.col_index(static_cast<int>(j));
+        const auto val = ws_.csc.col_value(static_cast<int>(j));
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          ws_.rhs[static_cast<std::size_t>(idx[k])] -= val[k] * v;
+        }
+      } else if (j < n_ + m_) {
+        ws_.rhs[j - n_] += v;  // -(-1 * v)
+      } else {
+        ws_.rhs[j - n_ - m_] -= ws_.art_sign[j - n_ - m_] * v;
+      }
+    }
+    ws_.factor.ftran(ws_.rhs, ws_.w);
+    for (std::size_t i = 0; i < m_; ++i) {
+      ws_.value[ws_.basis[i]] = ws_.w[i];
+    }
+  }
+
+  bool basics_feasible() const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t bj = ws_.basis[i];
+      const double v = ws_.value[bj];
+      if (v < ws_.lower[bj] - opts_.feasibility_tol ||
+          v > ws_.upper[bj] + opts_.feasibility_tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Absorb a pivot at basis position r: try a product-form update first
+  /// (w must be the FTRAN image of the new basic column through the
+  /// current factor); on a refused (unstable) eta, or once the
+  /// deterministic budget trips -- eta count across the whole stack, or
+  /// eta fill beyond eta_fill_factor x base fill plus a per-row allowance
+  /// -- rebuild the factorization of the *new* basis.  Returns false only
+  /// when that rebuild finds the basis singular.
+  bool pivot_factor_update(int r) {
+    common::WallTimer timer;
+    const bool updated = ws_.factor.update(ws_.w, r, opts_.eta_stability_tol);
+    update_seconds_ += timer.seconds();
+    if (updated) {
+      ++eta_updates_;
+      const long allowance = 4 * static_cast<long>(m_);
+      const long fill_budget =
+          static_cast<long>(opts_.eta_fill_factor *
+                            static_cast<double>(ws_.factor.base_nnz())) +
+          allowance;
+      if (ws_.factor.total_etas() < opts_.refactor_interval &&
+          ws_.factor.eta_entries() < fill_budget) {
+        return true;
+      }
+    }
+    if (!factorize_current()) {
+      return false;
+    }
+    ++refactorizations_;
+    refresh_basics();
+    return true;
+  }
+
+  /// Validate and adopt an inherited snapshot: every snapshot row must
+  /// still exist (by key) with byte-identical coefficients (by signature),
+  /// the remapped snapshot basis plus the new rows' slacks must equal the
+  /// warm candidate set, and the stack must have eta/depth headroom.
+  /// Anything else declines -- a declined handoff costs one fresh
+  /// factorization, an invalid accepted one would corrupt the solve.
+  bool try_adopt(const FactorSnapshot& snap,
+                 std::span<const std::uint64_t> keys,
+                 const std::vector<std::size_t>& candidates) {
+    if (snap.n != n_ || keys.size() != m_) {
+      return false;
+    }
+    if (snap.levels + 1 > opts_.max_factor_levels) {
+      return false;
+    }
+    if (snap.total_etas >= opts_.refactor_interval) {
+      return false;
+    }
+    const std::size_t pm = static_cast<std::size_t>(snap.m);
+    if (pm > m_) {
+      return false;
+    }
+    std::unordered_map<std::uint64_t, int> row_of;
+    row_of.reserve(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      row_of.emplace(keys[i], static_cast<int>(i));  // first wins
+    }
+    std::vector<char> matched(m_, 0);
+    std::vector<int> old_rows(pm);
+    for (std::size_t i = 0; i < pm; ++i) {
+      const auto it = row_of.find(snap.row_keys[i]);
+      if (it == row_of.end()) {
+        return false;
+      }
+      const int t = it->second;
+      if (matched[static_cast<std::size_t>(t)]) {
+        return false;
+      }
+      if (row_signature(problem_.rows()[static_cast<std::size_t>(t)].coeffs) !=
+          snap.row_sigs[i]) {
+        return false;
+      }
+      matched[static_cast<std::size_t>(t)] = 1;
+      old_rows[i] = t;
+    }
+    // The expected basic set: snapshot members remapped onto this problem,
+    // plus the basic slack of every border (new) row.
+    std::vector<char> expected(n_ + m_, 0);
+    for (std::size_t p = 0; p < pm; ++p) {
+      const std::uint64_t id = snap.basis_ids[p];
+      if (id & kSlackBit) {
+        const auto it = row_of.find(id & ~kSlackBit);
+        if (it == row_of.end() ||
+            !matched[static_cast<std::size_t>(it->second)]) {
+          return false;
+        }
+        expected[n_ + static_cast<std::size_t>(it->second)] = 1;
+      } else {
+        expected[static_cast<std::size_t>(id)] = 1;
+      }
+    }
+    std::vector<FactorSnapshot::BorderRow> border;
+    border.reserve(m_ - pm);
+    for (std::size_t t = 0; t < m_; ++t) {
+      if (matched[t]) {
+        continue;
+      }
+      FactorSnapshot::BorderRow br;
+      br.row = static_cast<int>(t);
+      br.slack_coeff = -1.0;
+      const auto& coeffs = problem_.rows()[t].coeffs;
+      for (std::size_t p = 0; p < pm; ++p) {
+        const std::uint64_t id = snap.basis_ids[p];
+        if (id & kSlackBit) {
+          continue;  // a slack is a singleton in its own (matched) row
+        }
+        const double c = coeffs[static_cast<std::size_t>(id)];
+        if (c != 0.0) {
+          br.terms.emplace_back(static_cast<int>(p), c);
+        }
+      }
+      expected[n_ + t] = 1;
+      border.push_back(std::move(br));
+    }
+    // candidates has exactly m_ distinct members (the caller checked), so
+    // subset + equal cardinality => set equality.
+    for (const std::size_t c : candidates) {
+      if (!expected[c]) {
+        return false;
+      }
+    }
+    // Adopt: basis order becomes snapshot positions then border slacks.
+    for (std::size_t p = 0; p < pm; ++p) {
+      const std::uint64_t id = snap.basis_ids[p];
+      ws_.basis[p] = (id & kSlackBit)
+                         ? n_ + static_cast<std::size_t>(
+                                    row_of.find(id & ~kSlackBit)->second)
+                         : static_cast<std::size_t>(id);
+    }
+    for (std::size_t j = 0; j < border.size(); ++j) {
+      ws_.basis[pm + j] = n_ + static_cast<std::size_t>(border[j].row);
+    }
+    // The snapshot chain is shared by reference; only the border extension
+    // is fresh state.
+    FactorRef keep;
+    if (wf_keepalive_ != nullptr) {
+      keep = *wf_keepalive_;
+    }
+    ws_.factor.adopt(std::move(keep), std::move(old_rows), std::move(border),
+                     static_cast<int>(m_));
+    return true;
+  }
+
+  WarmMode prepare_warm(const Basis& warm, const WarmFactor* wf,
+                        const Vector& phase2_cost, LpSolution& out) {
+    if (warm.cols.size() != n_ || warm.row_slacks.size() != m_) {
+      return WarmMode::kCold;
+    }
+    std::vector<std::size_t> candidates;
+    candidates.reserve(m_);
+    for (std::size_t j = 0; j < n_ + m_; ++j) {
+      const BasisStatus s =
+          j < n_ ? warm.cols[j] : warm.row_slacks[j - n_];
+      switch (s) {
+        case BasisStatus::kBasic:
+          candidates.push_back(j);
+          break;
+        case BasisStatus::kAtLower:
+          if (std::isfinite(ws_.lower[j]) && ws_.lower[j] != ws_.upper[j]) {
+            ws_.status[j] = VarStatus::kAtLower;
+            ws_.value[j] = ws_.lower[j];
+          }
+          break;
+        case BasisStatus::kAtUpper:
+          if (std::isfinite(ws_.upper[j]) && ws_.lower[j] != ws_.upper[j]) {
+            ws_.status[j] = VarStatus::kAtUpper;
+            ws_.value[j] = ws_.upper[j];
+          }
+          break;
+        case BasisStatus::kFree:
+          if (!std::isfinite(ws_.lower[j]) && !std::isfinite(ws_.upper[j])) {
+            ws_.status[j] = VarStatus::kFree;
+            ws_.value[j] = 0.0;
+          }
+          break;
+        case BasisStatus::kFixed:
+        case BasisStatus::kUnset:
+          break;  // keep the constructor's resting placement
+      }
+    }
+
+    if (candidates.size() == m_) {
+      ws_.basis = candidates;
+      for (const std::size_t c : candidates) {
+        ws_.status[c] = VarStatus::kBasic;
+      }
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t a = n_ + m_ + i;
+        ws_.status[a] = VarStatus::kAtLower;
+        ws_.value[a] = 0.0;
+      }
+      // One factorization serves both FTRAN and BTRAN here (unlike the
+      // dense path, which must prove both orientations factor), obtained
+      // either by adopting the parent's snapshot or by factoring fresh.
+      bool have_factor = false;
+      bool inherited = false;
+      if (wf != nullptr && wf->snapshot != nullptr &&
+          wf->row_keys.size() == m_) {
+        wf_keepalive_ = &wf->snapshot;
+        inherited = try_adopt(*wf->snapshot, wf->row_keys, candidates);
+        wf_keepalive_ = nullptr;
+        have_factor = inherited;
+      }
+      if (!have_factor) {
+        have_factor = factorize_current();
+      }
+      if (have_factor) {
+        refresh_basics();
+        if (basics_feasible()) {
+          factor_inherited_ = inherited;
+          return WarmMode::kReuse;
+        }
+        if (dual_repair(phase2_cost)) {
+          factor_inherited_ = inherited;
+          return WarmMode::kDualRepair;
+        }
+      }
+    }
+    // No reuse: rebuild the cold start from scratch.
+    for (std::size_t j = 0; j < total_; ++j) {
+      init_nonbasic(j);
+    }
+    init_basis();
+    ws_.factor.release();
+    (void)out;
+    return WarmMode::kCold;
+  }
+
+  /// Dual-simplex repair on the maintained factor; selection rules and
+  /// tolerances identical to DenseSimplex::dual_repair.  Each pivot is
+  /// absorbed as an eta update (or a refactorization when refused), and a
+  /// singular rebuild bails to the cold start like every other failure.
+  bool dual_repair(const Vector& cost) {
+    const int cap = std::min(opts_.max_iterations - iterations_,
+                             static_cast<int>(m_) + 10);
+    const double pivot_tol = 1e-7;
+    for (int it = 0;; ++it) {
+      refresh_basics();
+
+      std::ptrdiff_t r = -1;
+      bool above = false;
+      double worst = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t bj = ws_.basis[i];
+        const double v = ws_.value[bj];
+        if (v < ws_.lower[bj] - opts_.feasibility_tol &&
+            ws_.lower[bj] - v > worst) {
+          worst = ws_.lower[bj] - v;
+          r = static_cast<std::ptrdiff_t>(i);
+          above = false;
+        } else if (v > ws_.upper[bj] + opts_.feasibility_tol &&
+                   v - ws_.upper[bj] > worst) {
+          worst = v - ws_.upper[bj];
+          r = static_cast<std::ptrdiff_t>(i);
+          above = true;
+        }
+      }
+      if (r < 0) {
+        return true;  // primal feasible: ready for Phase II
+      }
+      if (it >= cap) {
+        return false;
+      }
+      // Row r of B^{-1}A via B^T w = e_r, and the duals y = B^{-T} c_B.
+      std::fill(ws_.cb.begin(), ws_.cb.end(), 0.0);
+      ws_.cb[static_cast<std::size_t>(r)] = 1.0;
+      ws_.factor.btran(ws_.cb, ws_.w);
+      Vector& wrow = ws_.w;  // by row
+      for (std::size_t i = 0; i < m_; ++i) {
+        ws_.cb[i] = cost[ws_.basis[i]];
+      }
+      ws_.factor.btran(ws_.cb, ws_.y);
+
+      std::size_t entering = total_;
+      double best_ratio = kInf;
+      double best_alpha = 0.0;
+      for (std::size_t j = 0; j < n_ + m_; ++j) {
+        const VarStatus st = ws_.status[j];
+        if (st == VarStatus::kBasic || st == VarStatus::kFixed) {
+          continue;
+        }
+        double alpha = 0.0;
+        double d = cost[j];
+        if (j < n_) {
+          const auto idx = ws_.csc.col_index(static_cast<int>(j));
+          const auto val = ws_.csc.col_value(static_cast<int>(j));
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            const auto row = static_cast<std::size_t>(idx[k]);
+            alpha += wrow[row] * val[k];
+            d -= ws_.y[row] * val[k];
+          }
+        } else {
+          alpha -= wrow[j - n_];  // slack coefficient -1
+          d += ws_.y[j - n_];
+        }
+        if (std::fabs(alpha) <= pivot_tol) {
+          continue;
+        }
+        bool eligible = st == VarStatus::kFree;
+        if (!eligible && st == VarStatus::kAtLower) {
+          eligible = above ? alpha > 0.0 : alpha < 0.0;
+        }
+        if (!eligible && st == VarStatus::kAtUpper) {
+          eligible = above ? alpha < 0.0 : alpha > 0.0;
+        }
+        if (!eligible) {
+          continue;
+        }
+        const double ratio = std::fabs(d) / std::fabs(alpha);
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && std::fabs(alpha) > best_alpha)) {
+          best_ratio = std::min(best_ratio, ratio);
+          best_alpha = std::fabs(alpha);
+          entering = j;
+        }
+      }
+      if (entering == total_) {
+        return false;  // no eligible pivot: likely primal infeasible
+      }
+
+      // Absorb the pivot into the factor before mutating the basis: the
+      // eta needs the entering column's FTRAN image through the *old* B.
+      gather_column(entering);
+      ws_.factor.ftran(ws_.rhs, ws_.w);
+      const std::size_t out_var = ws_.basis[static_cast<std::size_t>(r)];
+      ws_.status[out_var] = above ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      ws_.value[out_var] = above ? ws_.upper[out_var] : ws_.lower[out_var];
+      ws_.basis[static_cast<std::size_t>(r)] = entering;
+      ws_.status[entering] = VarStatus::kBasic;
+      if (!pivot_factor_update(static_cast<int>(r))) {
+        return false;
+      }
+      ++iterations_;
+    }
+  }
+
+  void capture_basis(Basis& out) const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (ws_.status[n_ + m_ + i] == VarStatus::kBasic) {
+        return;
+      }
+    }
+    const auto to_basis = [](VarStatus s) {
+      switch (s) {
+        case VarStatus::kBasic:
+          return BasisStatus::kBasic;
+        case VarStatus::kAtLower:
+          return BasisStatus::kAtLower;
+        case VarStatus::kAtUpper:
+          return BasisStatus::kAtUpper;
+        case VarStatus::kFree:
+          return BasisStatus::kFree;
+        case VarStatus::kFixed:
+          return BasisStatus::kFixed;
+      }
+      return BasisStatus::kUnset;
+    };
+    out.cols.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      out.cols[j] = to_basis(ws_.status[j]);
+    }
+    out.row_slacks.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      out.row_slacks[i] = to_basis(ws_.status[n_ + i]);
+    }
+  }
+
+  /// Package the maintained factor for the next generation.  Declined when
+  /// an artificial is still basic (the same condition that blocks basis
+  /// capture: such a basis is not reusable).
+  void capture_factor(LpSolution& out,
+                      std::span<const std::uint64_t> keys) const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (ws_.status[n_ + m_ + i] == VarStatus::kBasic) {
+        return;
+      }
+    }
+    std::vector<std::uint64_t> sigs(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      sigs[i] = row_signature(problem_.rows()[i].coeffs);
+    }
+    std::vector<std::uint64_t> ids(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t j = ws_.basis[i];
+      ids[i] = j < n_ ? static_cast<std::uint64_t>(j)
+                      : (keys[j - n_] | kSlackBit);
+    }
+    out.factor = ws_.factor.capture(n_, keys, std::move(sigs), std::move(ids));
+  }
+
+  LpStatus optimize(const Vector& cost) {
+    const int bland_threshold =
+        5 * static_cast<int>(total_ + m_) + 200;
+    int phase_iterations = 0;
+
+    for (;;) {
+      if (iterations_ >= opts_.max_iterations) {
+        return LpStatus::kIterationLimit;
+      }
+      const bool bland = phase_iterations > bland_threshold;
+
+      // Pricing: y = B^{-T} c_B through the maintained factor, then
+      // reduced costs by column structure (CSC for structural, singletons
+      // for slack/artificial).  Entry order within a column matches the
+      // dense engine's ascending-row loop, so the sums round identically
+      // given equal inputs.
+      for (std::size_t i = 0; i < m_; ++i) {
+        ws_.cb[i] = cost[ws_.basis[i]];
+      }
+      ws_.factor.btran(ws_.cb, ws_.y);
+
+      std::size_t entering = total_;
+      int direction = 0;  // +1 increase, -1 decrease
+      double best_score = opts_.optimality_tol;
+      for (std::size_t j = 0; j < total_; ++j) {
+        const VarStatus st = ws_.status[j];
+        if (st == VarStatus::kBasic || st == VarStatus::kFixed) {
+          continue;
+        }
+        double d = cost[j];
+        if (j < n_) {
+          const auto idx = ws_.csc.col_index(static_cast<int>(j));
+          const auto val = ws_.csc.col_value(static_cast<int>(j));
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            d -= ws_.y[static_cast<std::size_t>(idx[k])] * val[k];
+          }
+        } else if (j < n_ + m_) {
+          d += ws_.y[j - n_];  // slack coefficient -1
+        } else {
+          d -= ws_.y[j - n_ - m_] * ws_.art_sign[j - n_ - m_];
+        }
+        int dir = 0;
+        if ((st == VarStatus::kAtLower || st == VarStatus::kFree) &&
+            d < -opts_.optimality_tol) {
+          dir = +1;
+        } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFree) &&
+                   d > opts_.optimality_tol) {
+          dir = -1;
+        }
+        if (dir == 0) {
+          continue;
+        }
+        if (bland) {
+          entering = j;
+          direction = dir;
+          break;  // smallest eligible index
+        }
+        if (std::fabs(d) > best_score) {
+          best_score = std::fabs(d);
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering == total_) {
+        // Optimal under this objective.  Values were maintained
+        // incrementally since the last factorization; recompute them once
+        // through the factor so the Phase-I infeasibility sum and the
+        // reported vertex see solve-quality numbers.
+        refresh_basics();
+        return LpStatus::kOptimal;
+      }
+
+      // Direction through the basics: w = B^{-1} A_e.
+      gather_column(entering);
+      ws_.factor.ftran(ws_.rhs, ws_.w);
+      Vector& w = ws_.w;
+
+      // Ratio test (identical to the dense engine).
+      double t_max = kInf;
+      if (std::isfinite(ws_.lower[entering]) &&
+          std::isfinite(ws_.upper[entering])) {
+        t_max = ws_.upper[entering] - ws_.lower[entering];
+      }
+      std::ptrdiff_t leaving = -1;  // -1 => bound flip
+      bool leaving_to_upper = false;
+      double leaving_pivot_mag = 0.0;
+      const double pivot_tol = 1e-9;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double rate = direction * w[i];  // basic i decreases at `rate`
+        const std::size_t bj = ws_.basis[i];
+        double limit = kInf;
+        bool to_upper = false;
+        if (rate > pivot_tol) {
+          if (std::isfinite(ws_.lower[bj])) {
+            limit = (ws_.value[bj] - ws_.lower[bj]) / rate;
+          }
+        } else if (rate < -pivot_tol) {
+          if (std::isfinite(ws_.upper[bj])) {
+            limit = (ws_.value[bj] - ws_.upper[bj]) / rate;
+            to_upper = true;
+          }
+        } else {
+          continue;
+        }
+        limit = std::max(limit, 0.0);  // degeneracy snap
+        const bool better =
+            limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 && std::fabs(w[i]) > leaving_pivot_mag);
+        if (better && limit <= t_max + 1e-12) {
+          t_max = std::min(t_max, limit);
+          leaving = static_cast<std::ptrdiff_t>(i);
+          leaving_to_upper = to_upper;
+          leaving_pivot_mag = std::fabs(w[i]);
+        }
+      }
+
+      if (!std::isfinite(t_max)) {
+        return LpStatus::kUnbounded;
+      }
+
+      // Apply the step incrementally (the dense engine instead recomputes
+      // every basic from a fresh factorization each pivot).
+      for (std::size_t i = 0; i < m_; ++i) {
+        ws_.value[ws_.basis[i]] -= t_max * direction * w[i];
+      }
+      ws_.value[entering] += direction * t_max;
+
+      if (leaving < 0) {
+        // Bound flip: entering traverses its whole span; the basis -- and
+        // therefore the factorization -- is unchanged.
+        ws_.status[entering] = direction > 0 ? VarStatus::kAtUpper
+                                             : VarStatus::kAtLower;
+        ws_.value[entering] =
+            direction > 0 ? ws_.upper[entering] : ws_.lower[entering];
+        ++bound_flips_;
+      } else {
+        const std::size_t out_var =
+            ws_.basis[static_cast<std::size_t>(leaving)];
+        ws_.status[out_var] =
+            leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        ws_.value[out_var] =
+            leaving_to_upper ? ws_.upper[out_var] : ws_.lower[out_var];
+        ws_.basis[static_cast<std::size_t>(leaving)] = entering;
+        ws_.status[entering] = VarStatus::kBasic;
+        if (!pivot_factor_update(static_cast<int>(leaving))) {
+          // A pivot reached a numerically singular basis -- possible only
+          // on warm trajectories; the caller retries the solve cold.
+          numeric_failure_ = true;
+          return LpStatus::kIterationLimit;
+        }
+      }
+
+      ++iterations_;
+      ++phase_iterations;
+    }
+  }
+
+  const LpProblem& problem_;
+  SimplexOptions opts_;
+  LpWorkspace& ws_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t total_ = 0;
+  const FactorRef* wf_keepalive_ = nullptr;  // snapshot ref during adoption
+  int iterations_ = 0;
+  long factorizations_ = 0;
+  long refactorizations_ = 0;
+  long eta_updates_ = 0;
+  long bound_flips_ = 0;
+  bool factor_inherited_ = false;
+  double factor_seconds_ = 0.0;
+  double update_seconds_ = 0.0;
+  bool numeric_failure_ = false;
+};
+
+/// Clears the reentrancy flag even when an assertion unwinds mid-solve.
+struct WorkspaceGuard {
+  LpWorkspace* ws;
+  ~WorkspaceGuard() { ws->in_use = false; }
+};
+
 LpSolution solve_impl(const LpProblem& problem, const SimplexOptions& options,
-                      const Basis* warm) {
+                      const Basis* warm, const WarmFactor* wf) {
   if (problem.num_vars() == 0) {
     LpSolution out;
     out.status = LpStatus::kOptimal;
@@ -710,16 +1970,45 @@ LpSolution solve_impl(const LpProblem& problem, const SimplexOptions& options,
       return out;
     }
   }
-  Simplex simplex(problem, options);
-  LpSolution out = simplex.run(warm);
-  if (simplex.numeric_failure()) {
-    // Only a warm-started trajectory can pivot into a singular basis; for a
-    // cold solve this is a genuine invariant violation.
-    HSLB_ASSERT(warm != nullptr && !warm->empty(), "singular simplex basis");
-    Simplex retry(problem, options);
-    out = retry.run(nullptr);
-    HSLB_ASSERT(!retry.numeric_failure(), "singular simplex basis");
+  common::WallTimer total_timer;
+  LpSolution out;
+  if (options.engine == LpEngine::kDense) {
+    DenseSimplex simplex(problem, options);
+    out = simplex.run(warm);
+    if (simplex.numeric_failure()) {
+      // Only a warm-started trajectory can pivot into a singular basis; for
+      // a cold solve this is a genuine invariant violation.
+      HSLB_ASSERT(warm != nullptr && !warm->empty(), "singular simplex basis");
+      DenseSimplex retry(problem, options);
+      out = retry.run(nullptr);
+      HSLB_ASSERT(!retry.numeric_failure(), "singular simplex basis");
+    }
+  } else {
+    // The sparse engine solves out of a per-thread workspace; a reentrant
+    // solve on the same thread (none exist today, but the flag is cheap
+    // insurance) gets a private heap-allocated one.
+    LpWorkspace& shared = thread_workspace();
+    std::unique_ptr<LpWorkspace> local;
+    LpWorkspace* ws = &shared;
+    if (shared.in_use) {
+      local = std::make_unique<LpWorkspace>();
+      ws = local.get();
+    }
+    ws->in_use = true;
+    WorkspaceGuard guard{ws};
+    SparseSimplex simplex(problem, options, *ws);
+    out = simplex.run(warm, wf);
+    if (simplex.numeric_failure()) {
+      HSLB_ASSERT(warm != nullptr && !warm->empty(), "singular simplex basis");
+      SparseSimplex retry(problem, options, *ws);
+      out = retry.run(nullptr, wf);
+      HSLB_ASSERT(!retry.numeric_failure(), "singular simplex basis");
+    }
   }
+  // Wall clock not spent factoring or updating is pivot work (pricing,
+  // ratio tests, dual repair).  Timing never feeds fingerprints.
+  out.pivot_seconds = std::max(
+      0.0, total_timer.seconds() - out.factor_seconds - out.update_seconds);
   // Counters only (no span): B&B issues thousands of tiny LP solves and a
   // span per solve would swamp the trace.
   if (obs::Registry* metrics = obs::current_metrics()) {
@@ -735,6 +2024,27 @@ LpSolution solve_impl(const LpProblem& problem, const SimplexOptions& options,
       if (out.warm_phase1_skipped) {
         metrics->counter("lp.simplex.warm_phase1_skips").add(1.0);
       }
+    }
+    metrics->counter("lp.simplex.factorizations")
+        .add(static_cast<double>(out.factorizations));
+    if (out.refactorizations > 0) {
+      metrics->counter("lp.simplex.refactorizations")
+          .add(static_cast<double>(out.refactorizations));
+    }
+    if (out.eta_updates > 0) {
+      metrics->counter("lp.simplex.eta_updates")
+          .add(static_cast<double>(out.eta_updates));
+    }
+    if (out.bound_flips > 0) {
+      metrics->counter("lp.simplex.bound_flips")
+          .add(static_cast<double>(out.bound_flips));
+    }
+    if (out.bt_fallbacks > 0) {
+      metrics->counter("lp.simplex.bt_fallbacks")
+          .add(static_cast<double>(out.bt_fallbacks));
+    }
+    if (out.factor_inherited) {
+      metrics->counter("lp.simplex.factor_inherits").add(1.0);
     }
   }
   return out;
@@ -783,12 +2093,18 @@ Basis map_basis(const Basis& from, std::span<const std::uint64_t> from_keys,
 }
 
 LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
-  return solve_impl(problem, options, nullptr);
+  return solve_impl(problem, options, nullptr, nullptr);
 }
 
 LpSolution resolve_from_basis(const LpProblem& problem, const Basis& warm,
                               const SimplexOptions& options) {
-  return solve_impl(problem, options, &warm);
+  return solve_impl(problem, options, &warm, nullptr);
+}
+
+LpSolution resolve_from_basis(const LpProblem& problem, const Basis& warm,
+                              const WarmFactor& factor,
+                              const SimplexOptions& options) {
+  return solve_impl(problem, options, &warm, &factor);
 }
 
 }  // namespace hslb::lp

@@ -20,6 +20,7 @@
 #include <thread>
 #include <tuple>
 
+#include "hslb/common/arena.hpp"
 #include "hslb/common/error.hpp"
 #include "hslb/common/timing.hpp"
 #include "hslb/lp/simplex.hpp"
@@ -46,6 +47,21 @@ struct Node {
   /// on, for warm-starting this node's first LP solve.
   lp::Basis warm;
   std::vector<std::uint64_t> warm_keys;
+  /// Parent's maintained LU factor (immutable snapshot, shared across the
+  /// siblings).  The child's first LP adopts it -- extending it by a
+  /// bordered block for any new cut/chord rows -- instead of factorizing
+  /// from scratch; the sparse engine validates row identity and falls back
+  /// to a fresh LU whenever anything moved.
+  lp::FactorRef warm_factor;
+};
+
+/// Per-batch-slot allocation recycling.  Node bound vectors are born when a
+/// node branches and die when the child is evaluated; pooling them keeps the
+/// tree walk off the heap.  One scratch per epoch slot: a slot runs at most
+/// one node per epoch and epochs join before merging, so the pool needs no
+/// locking even though different threads may own a slot across epochs.
+struct NodeScratch {
+  common::VectorPool<double> bounds;
 };
 
 /// Open-node container honoring the selection policy: a binary heap ordered
@@ -318,6 +334,15 @@ struct SolveMetrics {
   obs::Counter* warm_phase1_skips = nullptr;
   obs::Counter* warm_iterations = nullptr;
   obs::Counter* cold_iterations = nullptr;
+  obs::Counter* lp_factorizations = nullptr;
+  obs::Counter* lp_refactorizations = nullptr;
+  obs::Counter* lp_eta_updates = nullptr;
+  obs::Counter* lp_bound_flips = nullptr;
+  obs::Counter* lp_bt_fallbacks = nullptr;
+  obs::Counter* lp_factor_inherits = nullptr;
+  obs::Counter* lp_factor_seconds = nullptr;
+  obs::Counter* lp_update_seconds = nullptr;
+  obs::Counter* lp_pivot_seconds = nullptr;
   obs::Histogram* lp_solve_ms = nullptr;
   obs::Histogram* lp_solve_ms_warm = nullptr;
   obs::Histogram* lp_solve_ms_cold = nullptr;
@@ -340,6 +365,15 @@ struct SolveMetrics {
     warm_phase1_skips = &registry->counter("minlp.lp_solves.warm_phase1_skip");
     warm_iterations = &registry->counter("minlp.simplex_iterations.warm");
     cold_iterations = &registry->counter("minlp.simplex_iterations.cold");
+    lp_factorizations = &registry->counter("minlp.lp.factorizations");
+    lp_refactorizations = &registry->counter("minlp.lp.refactorizations");
+    lp_eta_updates = &registry->counter("minlp.lp.eta_updates");
+    lp_bound_flips = &registry->counter("minlp.lp.bound_flips");
+    lp_bt_fallbacks = &registry->counter("minlp.lp.bt_fallbacks");
+    lp_factor_inherits = &registry->counter("minlp.lp.factor_inherits");
+    lp_factor_seconds = &registry->counter("minlp.lp.factor_seconds");
+    lp_update_seconds = &registry->counter("minlp.lp.update_seconds");
+    lp_pivot_seconds = &registry->counter("minlp.lp.pivot_seconds");
     lp_solve_ms = &registry->histogram("minlp.lp_solve_ms");
     lp_solve_ms_warm = &registry->histogram(
         "minlp.lp_solve_ms.warm", obs::Registry::hdr_time_bounds());
@@ -369,7 +403,16 @@ struct NodeResult {
   long warm_phase1_skips = 0;
   long warm_simplex_iterations = 0;
   long cold_simplex_iterations = 0;
+  long lp_factorizations = 0;
+  long lp_refactorizations = 0;
+  long lp_eta_updates = 0;
+  long lp_bound_flips = 0;
+  long lp_bt_fallbacks = 0;
+  long lp_factor_inherits = 0;
   double lp_seconds = 0.0;
+  double lp_factor_seconds = 0.0;
+  double lp_update_seconds = 0.0;
+  double lp_pivot_seconds = 0.0;
   std::vector<double> lp_solve_ms;  // per-LP wall times (metrics only)
   std::vector<std::uint8_t> lp_solve_warm;  // parallel to lp_solve_ms
 };
@@ -380,10 +423,12 @@ struct NodeResult {
 NodeResult process_node(const Model& model, const SolverOptions& opts,
                         const std::vector<Curvature>& curvature,
                         const CutPool& pool, double cutoff_snapshot,
-                        Node node) {
+                        Node node, NodeScratch& scratch) {
   NodeResult r;
   if (node.bound >= cutoff_snapshot) {
     r.pruned_by_bound = true;
+    scratch.bounds.release(std::move(node.lower));
+    scratch.bounds.release(std::move(node.upper));
     return r;
   }
 
@@ -391,8 +436,12 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
   const std::uint64_t cut_base = (node.id + 1) << 16;
   lp::Basis warm = std::move(node.warm);
   std::vector<std::uint64_t> warm_keys = std::move(node.warm_keys);
+  lp::FactorRef factor = std::move(node.warm_factor);
   lp::SimplexOptions lp_opts;
+  lp_opts.engine = opts.lp_engine;
   lp_opts.capture_basis = opts.warm_start_lp;
+  lp_opts.capture_factor =
+      opts.warm_start_lp && opts.lp_engine == lp::LpEngine::kSparse;
   std::vector<std::uint64_t> keys;
 
   const auto inherit = [&](Node&& child) {
@@ -400,8 +449,18 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     if (opts.warm_start_lp) {
       child.warm = warm;
       child.warm_keys = warm_keys;
+      child.warm_factor = factor;
     }
     r.children.push_back(std::move(child));
+  };
+  /// Children copy the node's box through the slot pool so the tree walk
+  /// recycles bound vectors instead of allocating two per branch.
+  const auto clone_box = [&]() {
+    Node child;
+    child.lower = scratch.bounds.acquire_copy(node.lower);
+    child.upper = scratch.bounds.acquire_copy(node.upper);
+    child.bound = node.bound;
+    return child;
   };
 
   for (int round = 0; round <= opts.cut_rounds_per_node; ++round) {
@@ -410,9 +469,13 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
                         &r.cuts, opts.warm_start_lp ? &keys : nullptr);
     common::WallTimer lp_timer;
     lp::LpSolution sol;
-    if (opts.warm_start_lp && !warm.empty()) {
+    if (opts.warm_start_lp) {
+      // Row keys are passed even on the root's cold solve so the engine can
+      // capture a FactorSnapshot for the children to adopt.
       sol = lp::resolve_from_basis(
-          master, lp::map_basis(warm, warm_keys, keys), lp_opts);
+          master,
+          warm.empty() ? lp::Basis{} : lp::map_basis(warm, warm_keys, keys),
+          lp::WarmFactor{factor, keys}, lp_opts);
     } else {
       sol = lp::solve(master, lp_opts);
     }
@@ -431,6 +494,15 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     } else {
       r.cold_simplex_iterations += sol.iterations;
     }
+    r.lp_factorizations += sol.factorizations;
+    r.lp_refactorizations += sol.refactorizations;
+    r.lp_eta_updates += sol.eta_updates;
+    r.lp_bound_flips += sol.bound_flips;
+    r.lp_bt_fallbacks += sol.bt_fallbacks;
+    r.lp_factor_inherits += sol.factor_inherited ? 1 : 0;
+    r.lp_factor_seconds += sol.factor_seconds;
+    r.lp_update_seconds += sol.update_seconds;
+    r.lp_pivot_seconds += sol.pivot_seconds;
 
     if (sol.status == lp::LpStatus::kInfeasible) {
       r.pruned_infeasible = true;
@@ -445,6 +517,9 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     if (opts.warm_start_lp && !sol.basis.empty()) {
       warm = sol.basis;
       warm_keys = keys;
+    }
+    if (opts.warm_start_lp && sol.factor != nullptr) {
+      factor = sol.factor;  // children adopt the latest maintained factor
     }
     node.bound = std::max(node.bound, sol.objective);
     if (node.bound >= cutoff_snapshot) {
@@ -474,8 +549,8 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
             (k < set.vars.size() / 2 ? left : right).push_back(set.vars[k]);
           }
         }
-        Node child_a = node;    // zero out the right part
-        Node child_b = node;    // zero out the left part
+        Node child_a = clone_box();  // zero out the right part
+        Node child_b = clone_box();  // zero out the left part
         for (const std::size_t v : right) {
           child_a.upper[v] = 0.0;
         }
@@ -492,8 +567,8 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     const Fractionality frac = most_fractional(model, sol.x, opts.integer_tol);
     if (frac.var >= 0) {
       const auto j = static_cast<std::size_t>(frac.var);
-      Node down = node;
-      Node up = node;
+      Node down = clone_box();
+      Node up = clone_box();
       down.upper[j] = std::floor(sol.x[j]);
       up.lower[j] = std::ceil(sol.x[j]);
       if (down.lower[j] <= down.upper[j]) {
@@ -585,8 +660,8 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
     const auto j = static_cast<std::size_t>(branch_var);
     const double split =
         std::clamp(std::round(sol.x[j]), node.lower[j], node.upper[j] - 1.0);
-    Node left = node;
-    Node right = node;
+    Node left = clone_box();
+    Node right = clone_box();
     left.upper[j] = split;
     right.lower[j] = split + 1.0;
     inherit(std::move(left));
@@ -595,6 +670,8 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
   }
 
   r.bound = node.bound;
+  scratch.bounds.release(std::move(node.lower));
+  scratch.bounds.release(std::move(node.upper));
   return r;
 }
 
@@ -761,6 +838,10 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
 
   std::vector<Node> batch;
   std::vector<NodeResult> results;
+  // One allocation-recycling scratch per epoch slot, living across epochs.
+  // Slot i is evaluated by exactly one worker per epoch and epochs join
+  // before the merge, so the pools need no synchronization.
+  std::vector<NodeScratch> scratch(epoch_batch);
   while (!queue.empty()) {
     if (stats.nodes_explored >= opts.max_nodes) {
       hit_node_limit = true;
@@ -799,7 +880,7 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     common::WallTimer epoch_timer;
     const auto evaluate = [&](std::size_t i) {
       results[i] = process_node(model, opts, curvature, pool, cutoff_snapshot,
-                                std::move(batch[i]));
+                                std::move(batch[i]), scratch[i]);
     };
     if (workers && batch_size > 1) {
       workers->run(batch_size, evaluate);
@@ -815,17 +896,38 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
     }
     if (epoch_span.active()) {
       double epoch_lp_ms = 0.0;
+      double epoch_factor_ms = 0.0;
+      double epoch_update_ms = 0.0;
+      double epoch_pivot_ms = 0.0;
       long long epoch_lp_solves = 0;
       long long epoch_warm = 0;
+      long long epoch_etas = 0;
+      long long epoch_refactor = 0;
+      long long epoch_inherits = 0;
+      long long epoch_bt_fallbacks = 0;
       for (const NodeResult& r : results) {
         epoch_lp_ms += r.lp_seconds * 1e3;
+        epoch_factor_ms += r.lp_factor_seconds * 1e3;
+        epoch_update_ms += r.lp_update_seconds * 1e3;
+        epoch_pivot_ms += r.lp_pivot_seconds * 1e3;
         epoch_lp_solves += r.lp_solves;
         epoch_warm += r.warm_lp_solves;
+        epoch_etas += r.lp_eta_updates;
+        epoch_refactor += r.lp_refactorizations;
+        epoch_inherits += r.lp_factor_inherits;
+        epoch_bt_fallbacks += r.lp_bt_fallbacks;
       }
       epoch_span.arg("batch", static_cast<long long>(batch_size));
       epoch_span.arg("lp_ms", epoch_lp_ms);
       epoch_span.arg("lp_solves", epoch_lp_solves);
       epoch_span.arg("warm", epoch_warm);
+      epoch_span.arg("factor_ms", epoch_factor_ms);
+      epoch_span.arg("update_ms", epoch_update_ms);
+      epoch_span.arg("pivot_ms", epoch_pivot_ms);
+      epoch_span.arg("eta_updates", epoch_etas);
+      epoch_span.arg("refactorizations", epoch_refactor);
+      epoch_span.arg("factor_inherits", epoch_inherits);
+      epoch_span.arg("bt_fallbacks", epoch_bt_fallbacks);
     }
 
     // Merge in batch order -- the deterministic serialization point.
@@ -852,6 +954,18 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
             static_cast<double>(r.warm_simplex_iterations));
         metrics.cold_iterations->add(
             static_cast<double>(r.cold_simplex_iterations));
+        metrics.lp_factorizations->add(
+            static_cast<double>(r.lp_factorizations));
+        metrics.lp_refactorizations->add(
+            static_cast<double>(r.lp_refactorizations));
+        metrics.lp_eta_updates->add(static_cast<double>(r.lp_eta_updates));
+        metrics.lp_bound_flips->add(static_cast<double>(r.lp_bound_flips));
+        metrics.lp_bt_fallbacks->add(static_cast<double>(r.lp_bt_fallbacks));
+        metrics.lp_factor_inherits->add(
+            static_cast<double>(r.lp_factor_inherits));
+        metrics.lp_factor_seconds->add(r.lp_factor_seconds);
+        metrics.lp_update_seconds->add(r.lp_update_seconds);
+        metrics.lp_pivot_seconds->add(r.lp_pivot_seconds);
       }
       stats.lp_solves += r.lp_solves;
       stats.simplex_iterations += r.simplex_iterations;
@@ -859,7 +973,16 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
       stats.warm_phase1_skips += r.warm_phase1_skips;
       stats.warm_simplex_iterations += r.warm_simplex_iterations;
       stats.cold_simplex_iterations += r.cold_simplex_iterations;
+      stats.lp_factorizations += r.lp_factorizations;
+      stats.lp_refactorizations += r.lp_refactorizations;
+      stats.lp_eta_updates += r.lp_eta_updates;
+      stats.lp_bound_flips += r.lp_bound_flips;
+      stats.lp_bt_fallbacks += r.lp_bt_fallbacks;
+      stats.lp_factor_inherits += r.lp_factor_inherits;
       stats.lp_seconds += r.lp_seconds;
+      stats.lp_factor_seconds += r.lp_factor_seconds;
+      stats.lp_update_seconds += r.lp_update_seconds;
+      stats.lp_pivot_seconds += r.lp_pivot_seconds;
       if (want_events && opts.log_every_nodes > 0 &&
           (stats.nodes_explored == 1 ||
            stats.nodes_explored % opts.log_every_nodes == 0)) {

@@ -144,6 +144,29 @@ Attribution attribute_phases(const std::vector<TraceEvent>& events,
     }
   }
 
+  // Trace-wide LP engine rollup: every minlp.epoch span, whether or not it
+  // hangs under a svc.request (a standalone solver trace has none).
+  const auto arg_number = [](const TraceEvent& e, const char* key) {
+    const std::string* v = find_arg(e, key);
+    return v != nullptr ? std::strtod(v->c_str(), nullptr) : 0.0;
+  };
+  for (const TraceEvent& e : events) {
+    if (e.name != "minlp.epoch") {
+      continue;
+    }
+    out.lp.epochs += 1;
+    out.lp.lp_ms += arg_number(e, "lp_ms");
+    out.lp.factor_ms += arg_number(e, "factor_ms");
+    out.lp.update_ms += arg_number(e, "update_ms");
+    out.lp.pivot_ms += arg_number(e, "pivot_ms");
+    out.lp.eta_updates += static_cast<long>(arg_number(e, "eta_updates"));
+    out.lp.refactorizations +=
+        static_cast<long>(arg_number(e, "refactorizations"));
+    out.lp.factor_inherits +=
+        static_cast<long>(arg_number(e, "factor_inherits"));
+    out.lp.bt_fallbacks += static_cast<long>(arg_number(e, "bt_fallbacks"));
+  }
+
   double wall_start = std::numeric_limits<double>::infinity();
   double wall_end = -std::numeric_limits<double>::infinity();
   for (const TraceEvent& e : events) {
@@ -355,6 +378,20 @@ report::Json attribution_json(const Attribution& attribution) {
   queueing.set("verdict",
                report::Json::string(attribution.queueing.verdict));
   out.set("queueing", std::move(queueing));
+
+  report::Json lp = report::Json::object();
+  lp.set("epochs", report::Json::integer(attribution.lp.epochs));
+  lp.set("lp_ms", report::Json::number(attribution.lp.lp_ms));
+  lp.set("factor_ms", report::Json::number(attribution.lp.factor_ms));
+  lp.set("update_ms", report::Json::number(attribution.lp.update_ms));
+  lp.set("pivot_ms", report::Json::number(attribution.lp.pivot_ms));
+  lp.set("eta_updates", report::Json::integer(attribution.lp.eta_updates));
+  lp.set("refactorizations",
+         report::Json::integer(attribution.lp.refactorizations));
+  lp.set("factor_inherits",
+         report::Json::integer(attribution.lp.factor_inherits));
+  lp.set("bt_fallbacks", report::Json::integer(attribution.lp.bt_fallbacks));
+  out.set("lp_engine", std::move(lp));
 
   report::Json percentiles = report::Json::array();
   for (const PercentileAttribution& pa : attribution.percentiles) {

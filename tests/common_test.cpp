@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hslb/common/arena.hpp"
 #include "hslb/common/error.hpp"
 #include "hslb/common/rng.hpp"
 #include "hslb/common/table.hpp"
@@ -240,6 +241,46 @@ TEST(Error, RequireThrowsWithMessage) {
     EXPECT_NE(std::string(e.what()).find("custom context"),
               std::string::npos);
   }
+}
+
+TEST(Arena, BumpAllocatesAlignedAndRecycles) {
+  Arena arena(64);  // tiny first chunk to force growth
+  double* a = arena.allocate_array<double>(16);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(double), 0u);
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i;
+  }
+  char* c = arena.allocate_array<char>(3);
+  double* b = arena.allocate_array<double>(200);  // beyond the first chunk
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+  EXPECT_DOUBLE_EQ(a[15], 15.0);  // earlier block untouched by growth
+  (void)c;
+  const std::size_t grown = arena.capacity_bytes();
+  arena.reset();
+  // After reset the same chunks are reused: capacity must not grow when the
+  // same allocation pattern replays.
+  (void)arena.allocate_array<double>(16);
+  (void)arena.allocate_array<char>(3);
+  (void)arena.allocate_array<double>(200);
+  EXPECT_EQ(arena.capacity_bytes(), grown);
+}
+
+TEST(VectorPool, ReusesCapacity) {
+  VectorPool<double> pool;
+  std::vector<double> v = pool.acquire();
+  v.resize(100);
+  const double* data = v.data();
+  pool.release(std::move(v));
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<double> w = pool.acquire();
+  EXPECT_TRUE(w.empty());
+  EXPECT_GE(w.capacity(), 100u);
+  EXPECT_EQ(w.data(), data);  // same buffer, no reallocation
+  const std::vector<double> src{1.0, 2.0, 3.0};
+  pool.release(std::move(w));
+  const std::vector<double> copy = pool.acquire_copy(src);
+  EXPECT_EQ(copy, src);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "hslb/linalg/factor.hpp"
 #include "hslb/linalg/least_squares.hpp"
 #include "hslb/linalg/matrix.hpp"
+#include "hslb/linalg/sparse.hpp"
 
 namespace hslb::linalg {
 namespace {
@@ -232,6 +233,152 @@ TEST(LeastSquares, RequiresRowsGeCols) {
   const Matrix a = Matrix::from_rows({{1, 2, 3}});
   const Vector b{1};
   EXPECT_THROW((void)solve_least_squares(a, b), InvalidArgument);
+}
+
+// --- Sparse LU + eta file (the revised-simplex basis machinery) ---------
+
+SparseColumns from_dense(const Matrix& m) {
+  SparseColumns out(static_cast<int>(m.rows()));
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      out.add_entry(static_cast<int>(i), m(i, j));
+    }
+    out.finish_column();
+  }
+  return out;
+}
+
+Matrix random_sparse_square(std::size_t m, double density, common::Rng& rng) {
+  Matrix out(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out(i, i) = rng.uniform(0.5, 2.0) * (rng.uniform(0.0, 1.0) < 0.5 ? -1 : 1);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j && rng.uniform(0.0, 1.0) < density) {
+        out(i, j) = rng.uniform(-1.0, 1.0);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SparseLu, SolvesMatchDenseLu) {
+  common::Rng rng(91);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform(0.0, 24.0));
+    const Matrix b = random_sparse_square(m, 0.2, rng);
+    SparseLu lu;
+    ASSERT_TRUE(lu.factorize(from_dense(b)));
+    Vector rhs(m);
+    for (double& v : rhs) {
+      v = rng.uniform(-5.0, 5.0);
+    }
+    Vector x(m), y(m), work(m);
+    lu.ftran(rhs, x, work);
+    // Residual of B x = rhs.
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        acc += b(i, j) * x[j];
+      }
+      EXPECT_NEAR(acc, rhs[i], 1e-9) << "trial " << trial << " row " << i;
+    }
+    lu.btran(rhs, y, work);
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        acc += b(i, j) * y[i];
+      }
+      EXPECT_NEAR(acc, rhs[j], 1e-9) << "trial " << trial << " col " << j;
+    }
+  }
+}
+
+TEST(SparseLu, RejectsSingular) {
+  Matrix b(3, 3);
+  b(0, 0) = 1.0;
+  b(1, 0) = 2.0;  // column 1 empty, column 2 a multiple of column 0
+  b(0, 2) = 3.0;
+  b(1, 2) = 6.0;
+  SparseLu lu;
+  EXPECT_FALSE(lu.factorize(from_dense(b)));
+  EXPECT_FALSE(lu.valid());
+}
+
+TEST(SparseLu, DeterministicFactors) {
+  common::Rng rng(17);
+  const Matrix b = random_sparse_square(16, 0.3, rng);
+  SparseLu first, second;
+  ASSERT_TRUE(first.factorize(from_dense(b)));
+  ASSERT_TRUE(second.factorize(from_dense(b)));
+  Vector rhs(16, 1.0), x1(16), x2(16), work(16);
+  first.ftran(rhs, x1, work);
+  second.ftran(rhs, x2, work);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(x1[i], x2[i]);  // bit-identical, not merely close
+  }
+}
+
+TEST(EtaFile, UpdatedSolvesMatchFreshFactorization) {
+  // Replace basis columns one at a time; after each product-form update the
+  // (base LU + eta file) solves must agree with a fresh LU of the explicitly
+  // updated matrix.
+  common::Rng rng(7);
+  const std::size_t m = 12;
+  Matrix b = random_sparse_square(m, 0.25, rng);
+  SparseLu base;
+  ASSERT_TRUE(base.factorize(from_dense(b)));
+  EtaFile etas;
+  Vector w(m), work(m);
+  for (int update = 0; update < 8; ++update) {
+    const std::size_t r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+    Vector col(m, 0.0);
+    col[r] = rng.uniform(0.5, 1.5);  // keep the replacement well-conditioned
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rng.uniform(0.0, 1.0) < 0.2) {
+        col[i] = rng.uniform(-1.0, 1.0);
+      }
+    }
+    // FTRAN image of the new column through the current factor.
+    base.ftran(col, w, work);
+    etas.apply_ftran(w);
+    if (!etas.append(w, static_cast<int>(r), 1e-8)) {
+      continue;  // too ill-conditioned to update; a real engine refactorizes
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      b(i, r) = col[i];
+    }
+    SparseLu fresh;
+    ASSERT_TRUE(fresh.factorize(from_dense(b)));
+    Vector rhs(m);
+    for (double& v : rhs) {
+      v = rng.uniform(-2.0, 2.0);
+    }
+    Vector via_eta(m), via_fresh(m);
+    base.ftran(rhs, via_eta, work);
+    etas.apply_ftran(via_eta);
+    fresh.ftran(rhs, via_fresh, work);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(via_eta[i], via_fresh[i], 1e-8) << "update " << update;
+    }
+    Vector bt_eta = rhs;
+    etas.apply_btran(bt_eta);
+    Vector y_eta(m);
+    base.btran(bt_eta, y_eta, work);
+    Vector y_fresh(m);
+    fresh.btran(rhs, y_fresh, work);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(y_eta[i], y_fresh[i], 1e-8) << "update " << update;
+    }
+  }
+  EXPECT_GT(etas.count(), 0);
+}
+
+TEST(EtaFile, RefusesUnstablePivot) {
+  EtaFile etas;
+  Vector w{1.0, 1e-12, 3.0};  // pivot entry far below the stability floor
+  EXPECT_FALSE(etas.append(w, 1, 1e-8));
+  EXPECT_EQ(etas.count(), 0);
 }
 
 }  // namespace

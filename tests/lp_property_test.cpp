@@ -370,5 +370,210 @@ TEST_P(SimplexWarmStartProperty, AddedRowSlackEntersBasisAndSkipsPhase1) {
 INSTANTIATE_TEST_SUITE_P(WarmStarts, SimplexWarmStartProperty,
                          ::testing::Range(0, 40));
 
+// ---------------------------------------------------------------------------
+// Sparse-engine properties: the maintained-LU engine must agree with the
+// dense baseline, eta-updated solves must agree with fresh factorizations
+// over whatever pivot sequence the instance produces, and a factor handoff
+// can never change the optimum.
+// ---------------------------------------------------------------------------
+
+class SimplexSparseEngineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexSparseEngineProperty, SparseAndDenseReachTheSameOptimum) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 52489 + 101);
+  const LpProblem p = random_feasible(rng);
+  SimplexOptions sparse_opts;
+  sparse_opts.engine = LpEngine::kSparse;
+  SimplexOptions dense_opts;
+  dense_opts.engine = LpEngine::kDense;
+  const LpSolution a = solve(p, sparse_opts);
+  const LpSolution b = solve(p, dense_opts);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+  EXPECT_TRUE(satisfies(p, a.x));
+  EXPECT_TRUE(satisfies(p, b.x));
+}
+
+TEST_P(SimplexSparseEngineProperty, EtaUpdatedSolvesMatchFreshFactorization) {
+  // The same instance solved with the eta file effectively disabled
+  // (refactorize after every pivot) and with a pure update path (triggers
+  // pushed out of reach): every maintained solve along the randomized pivot
+  // sequence must agree with a fresh LU of its basis.
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 75611 + 7);
+  const LpProblem p = random_feasible(rng);
+  SimplexOptions fresh;
+  fresh.refactor_interval = 1;
+  SimplexOptions maintained;
+  maintained.refactor_interval = 1 << 20;
+  maintained.eta_fill_factor = 1e9;
+  const LpSolution a = solve(p, fresh);
+  const LpSolution b = solve(p, maintained);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+  EXPECT_TRUE(satisfies(p, b.x));
+  // The maintained run really did ride the eta file: it never refactorizes,
+  // while the fresh run rebuilds after every appended update.
+  EXPECT_EQ(b.refactorizations, 0);
+  if (b.eta_updates > 0) {
+    EXPECT_GT(a.refactorizations, 0);
+  }
+}
+
+TEST_P(SimplexSparseEngineProperty, FactorHandoffResolvesWithoutFreshLu) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 93911 + 31);
+  const LpProblem p = random_feasible(rng);
+  std::vector<std::uint64_t> keys(p.rows().size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint64_t>(i);
+  }
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  capture.capture_factor = true;
+  const LpSolution cold =
+      resolve_from_basis(p, Basis{}, WarmFactor{nullptr, keys}, capture);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  if (cold.basis.empty() || cold.factor == nullptr) {
+    return;  // an artificial stayed basic; nothing to hand off
+  }
+  // Re-solving the identical problem from the captured basis + factor must
+  // adopt the snapshot: zero fresh factorizations, same optimum.
+  const LpSolution warm =
+      resolve_from_basis(p, cold.basis, WarmFactor{cold.factor, keys}, capture);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.factor_inherited);
+  EXPECT_EQ(warm.factorizations, 0)
+      << "an adopted factor must not be rebuilt on the identical problem";
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_TRUE(satisfies(p, warm.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseEngine, SimplexSparseEngineProperty,
+                         ::testing::Range(0, 40));
+
+TEST(SimplexSparseEngine, BorderedHandoffSurvivesAddedCutRows) {
+  // Parent solve captures a factor; the child appends a non-binding row
+  // under a fresh key (the OA-cut shape).  The bordered adoption must engage
+  // on a healthy fraction of instances, and the optimum must match a cold
+  // solve on every one of them whether it engaged or not.
+  long inherits = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    common::Rng rng(static_cast<std::uint64_t>(trial) * 131071 + 11);
+    const LpProblem p = random_feasible(rng);
+    std::vector<std::uint64_t> from_keys(p.rows().size());
+    for (std::size_t i = 0; i < from_keys.size(); ++i) {
+      from_keys[i] = static_cast<std::uint64_t>(i);
+    }
+    SimplexOptions capture;
+    capture.capture_basis = true;
+    capture.capture_factor = true;
+    const LpSolution cold =
+        resolve_from_basis(p, Basis{}, WarmFactor{nullptr, from_keys}, capture);
+    ASSERT_EQ(cold.status, LpStatus::kOptimal);
+    if (cold.basis.empty() || cold.factor == nullptr) {
+      continue;
+    }
+
+    LpProblem grown;
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      grown.add_variable(p.col_lower()[j], p.col_upper()[j], p.cost()[j]);
+    }
+    std::vector<std::uint64_t> to_keys = from_keys;
+    for (const Row& row : p.rows()) {
+      Vector coeffs = row.coeffs;
+      grown.add_row(std::move(coeffs), row.lower, row.upper);
+    }
+    Vector cut(p.num_vars());
+    double at_opt = 0.0;
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      cut[j] = rng.uniform(-2.0, 2.0);
+      at_opt += cut[j] * cold.x[j];
+    }
+    grown.add_row(std::move(cut), -kInf, at_opt + rng.uniform(0.1, 1.0));
+    to_keys.push_back(1u << 20);
+
+    const Basis mapped = map_basis(cold.basis, from_keys, to_keys);
+    const LpSolution warm = resolve_from_basis(
+        grown, mapped, WarmFactor{cold.factor, to_keys}, capture);
+    const LpSolution reference = solve(grown);
+    ASSERT_EQ(reference.status, LpStatus::kOptimal);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal);
+    EXPECT_NEAR(warm.objective, reference.objective, 1e-6);
+    EXPECT_TRUE(satisfies(grown, warm.x));
+    inherits += warm.factor_inherited ? 1 : 0;
+  }
+  EXPECT_GT(inherits, 0)
+      << "the bordered parent->child adoption never engaged across 40 trials";
+}
+
+// ---------------------------------------------------------------------------
+// Stability fallback regressions: refused eta updates must refactorize, and
+// an ill-scaled basis must not derail the maintained-factor engine.
+// ---------------------------------------------------------------------------
+
+TEST(SimplexSparseStability, RefusedEtaFallsBackToRefactorization) {
+  // eta_stability_tol > 1 refuses every product-form update (|w_r| can never
+  // exceed max(1, ||w||_inf)), so each pivot must take the refactorization
+  // fallback -- and the trajectory must not change.
+  for (int trial = 0; trial < 20; ++trial) {
+    common::Rng rng(static_cast<std::uint64_t>(trial) * 179426 + 3);
+    const LpProblem p = random_feasible(rng);
+    SimplexOptions strict;
+    strict.eta_stability_tol = 1.5;
+    const LpSolution a = solve(p, strict);
+    const LpSolution b = solve(p);
+    ASSERT_EQ(a.status, LpStatus::kOptimal);
+    ASSERT_EQ(b.status, LpStatus::kOptimal);
+    EXPECT_EQ(a.eta_updates, 0) << "no eta can survive a tolerance above 1";
+    if (b.eta_updates > 0) {
+      EXPECT_GT(a.refactorizations, 0)
+          << "refused updates must rebuild the factorization";
+    }
+    EXPECT_NEAR(a.objective, b.objective, 1e-7);
+    EXPECT_TRUE(satisfies(p, a.x));
+  }
+}
+
+TEST(SimplexSparseStability, IllScaledColumnsStayCorrect) {
+  // Rescale a feasible instance's columns across twelve orders of magnitude
+  // (the substitution x_j = s_j * x'_j preserves the optimal value exactly).
+  // Degenerate near-zero pivots in the scaled basis must trip the stability
+  // fallback, not corrupt the solve.
+  for (int trial = 0; trial < 20; ++trial) {
+    common::Rng rng(static_cast<std::uint64_t>(trial) * 64601 + 19);
+    const LpProblem p = random_feasible(rng);
+    const LpSolution reference = solve(p);
+    ASSERT_EQ(reference.status, LpStatus::kOptimal);
+
+    LpProblem scaled;
+    std::vector<double> s(p.num_vars());
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      s[j] = std::pow(10.0, rng.uniform(-6.0, 6.0));
+      scaled.add_variable(p.col_lower()[j] / s[j], p.col_upper()[j] / s[j],
+                          p.cost()[j] * s[j]);
+    }
+    for (const Row& row : p.rows()) {
+      Vector coeffs(p.num_vars());
+      for (std::size_t j = 0; j < p.num_vars(); ++j) {
+        coeffs[j] = row.coeffs[j] * s[j];
+      }
+      scaled.add_row(std::move(coeffs), row.lower, row.upper);
+    }
+
+    SimplexOptions sparse_opts;
+    sparse_opts.engine = LpEngine::kSparse;
+    SimplexOptions dense_opts;
+    dense_opts.engine = LpEngine::kDense;
+    const LpSolution a = solve(scaled, sparse_opts);
+    const LpSolution b = solve(scaled, dense_opts);
+    ASSERT_EQ(a.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(b.status, LpStatus::kOptimal) << "trial " << trial;
+    const double tol = 1e-5 * (1.0 + std::fabs(reference.objective));
+    EXPECT_NEAR(a.objective, reference.objective, tol) << "trial " << trial;
+    EXPECT_NEAR(b.objective, reference.objective, tol) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace hslb::lp

@@ -6,6 +6,7 @@
 //       the document goes to stdout.
 //
 //   hslb_report diff --golden=<dir> --fresh=<dir> [--check-timing]
+//                    [--bench=<a,b,...>]
 //       Drift gate: compare every golden artifact against the fresh run
 //       under the per-metric tolerance policy.  Nonzero exit on drift.
 //
@@ -42,6 +43,7 @@ int usage() {
          "  hslb_report render --artifacts=<dir> --paper=<json> [--out=<md>]"
          " [--regen-command=<text>]\n"
          "  hslb_report diff --golden=<dir> --fresh=<dir> [--check-timing]\n"
+         "                   [--bench=<a,b,...>]\n"
          "  hslb_report fingerprint <artifact.json>...\n"
          "  hslb_report check --artifacts=<dir> --paper=<json> --doc=<md>"
          " [--regen-command=<text>]\n";
@@ -159,8 +161,23 @@ int cmd_diff(const std::map<std::string, std::string>& flags) {
   const std::string fresh_dir = require_flag(flags, "fresh");
   report::TolerancePolicy policy;
   policy.check_timing = flags.count("check-timing") != 0;
+  // Default: the doc-bench set behind EXPERIMENTS.md.  --bench=<a,b,...>
+  // restricts the diff to named artifacts instead (e.g. check.sh's LP
+  // pivot-count drift gate diffs just lp_resolve.json).
+  std::vector<std::string> benches = report::experiments_bench_set();
+  if (flags.count("bench") != 0) {
+    benches.clear();
+    std::istringstream names(flags.at("bench"));
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      if (!name.empty()) {
+        benches.push_back(name);
+      }
+    }
+    HSLB_REQUIRE(!benches.empty(), "--bench needs at least one bench name");
+  }
   bool ok = true;
-  for (const std::string& bench : report::experiments_bench_set()) {
+  for (const std::string& bench : benches) {
     const auto golden = load_artifact(golden_dir + "/" + bench + ".json");
     const auto fresh = load_artifact(fresh_dir + "/" + bench + ".json");
     const report::DiffResult result = report::diff(golden, fresh, policy);

@@ -116,6 +116,20 @@ int main(int argc, char** argv) {
               << "/s (utilization " << attribution.queueing.utilization
               << ", " << attribution.queueing.verdict << ")\n"
               << attribution.verdict << '\n';
+    if (attribution.lp.epochs > 0) {
+      const obs::LpEngineRollup& lp = attribution.lp;
+      std::cout << "lp engine: " << lp.lp_ms << " ms across " << lp.epochs
+                << " epoch(s) -- factor " << lp.factor_ms << " ms, update "
+                << lp.update_ms << " ms, pivot " << lp.pivot_ms << " ms; "
+                << lp.eta_updates << " eta update(s), "
+                << lp.refactorizations << " refactorization(s), "
+                << lp.factor_inherits << " factor inherit(s), "
+                << lp.bt_fallbacks << " B^T fallback(s)"
+                << (lp.bt_fallbacks > 0
+                        ? "  [dense B^T solves left the factored path]"
+                        : "")
+                << '\n';
+    }
   }
 
   if (check) {
