@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command correctness gate: sanitized Debug build, full test suite, an
 # observability-enabled smoke run of the quickstart example, and a
-# ThreadSanitizer pass over the concurrent subsystems (svc + obs).
+# ThreadSanitizer pass over the concurrent subsystems (svc + obs + the
+# rebal loop's threaded warm re-solves).
 #
 # ASan and TSan cannot share a process, so the TSan pass uses its own build
 # tree (build-tsan) and rebuilds only the suites that exercise threads.
@@ -65,6 +66,10 @@ mkdir -p "${lp_drift_a}" "${lp_drift_b}"
 "${build_dir}/tools/hslb_report" diff --bench=lp_resolve \
   --golden="${lp_drift_a}" --fresh="${lp_drift_b}"
 
+echo "== rebal horizon bench smoke under ASan (control loop + replay identity)"
+"${build_dir}/bench/bench_rebal_horizon" --smoke \
+  --out="${build_dir}/BENCH_rebal.json"
+
 echo "== scenario corpus smoke (fixed-seed generate + corpus bench)"
 corpus_dir="${build_dir}/check-corpus"
 rm -rf "${corpus_dir}"
@@ -81,13 +86,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 echo "== build (TSan: concurrent suites only)"
 cmake --build "${tsan_dir}" -j "${jobs}" \
   --target test_svc test_svc_chaos test_scen test_obs test_telemetry \
-  test_minlp_parallel test_lp_property allocation_server hslb_trace_cli \
-  bench_scen_corpus bench_lp_resolve
+  test_minlp_parallel test_lp_property test_rebal allocation_server \
+  hslb_trace_cli bench_scen_corpus bench_lp_resolve bench_rebal_horizon
 
 echo "== ctest (TSan: svc + chaos + scen + obs + telemetry + parallel solver"
-echo "   + LP properties + smokes)"
+echo "   + LP properties + rebal + smokes)"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
-  -R 'test_svc|test_svc_chaos|test_scen|test_obs|test_telemetry|test_minlp_parallel|test_lp_property|smoke_allocation_server|smoke_hslb_trace'
+  -R 'test_svc|test_svc_chaos|test_scen|test_obs|test_telemetry|test_minlp_parallel|test_lp_property|test_rebal|smoke_allocation_server|smoke_hslb_trace'
 
 echo "== chaos smoke under TSan (deterministic faults, ladder on)"
 "${tsan_dir}/examples/allocation_server" --smoke --chaos-rate=0.3 \
@@ -100,5 +105,9 @@ echo "== corpus smoke under TSan (thread-scaling sweep, tiny slice)"
 echo "== LP re-solve bench smoke under TSan (thread-local workspace reuse)"
 "${tsan_dir}/bench/bench_lp_resolve" --smoke --repeats=1 \
   --out="${tsan_dir}/BENCH_lp.json"
+
+echo "== rebal horizon bench smoke under TSan (threaded warm re-solves)"
+"${tsan_dir}/bench/bench_rebal_horizon" --smoke \
+  --out="${tsan_dir}/BENCH_rebal.json"
 
 echo "== OK: build, tests, observability smoke run, and TSan pass all passed"

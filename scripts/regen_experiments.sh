@@ -46,6 +46,7 @@ benches=(
   fig2_scaling_curves fig3_highres_summary fig4_layout_prediction
   minlp_solver objectives tsync
   fitting ice_ml fig1_layouts
+  rebal_horizon
 )
 # Binaries that also register google-benchmark timers (skipped here).
 gbench="minlp_solver fitting"

@@ -14,8 +14,10 @@
 // solver is exact for the (possibly concave) fitted performance functions.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "hslb/lp/simplex.hpp"
 #include "hslb/minlp/model.hpp"
@@ -60,6 +62,26 @@ struct SolverEvent {
 };
 
 using SolverEventSink = std::function<void(const SolverEvent&)>;
+
+/// Cross-solve warm-start state: everything a later solve of a structurally
+/// identical model (same variables and links, possibly re-fitted
+/// coefficients) can reuse.  Produced by a solve with
+/// SolverOptions::capture_warm_start and fed back through
+/// SolverOptions::warm_start -- the rebalancing loop re-enters the solver
+/// this way after every re-fit.  Every piece degrades safely when the model
+/// moved: the incumbent is re-completed against the new model (dropped if
+/// infeasible), the basis is remapped by stable row keys, and the factor
+/// snapshot validates row identity and declines itself on any mismatch.
+struct WarmStart {
+  linalg::Vector incumbent;  ///< previous best point (empty: none)
+  lp::Basis root_basis;      ///< root LP basis from the previous solve
+  std::vector<std::uint64_t> root_keys;  ///< row keys it was captured on
+  lp::FactorRef root_factor;             ///< maintained LU snapshot
+
+  bool empty() const {
+    return incumbent.empty() && root_basis.empty() && root_factor == nullptr;
+  }
+};
 
 struct SolverOptions {
   bool use_sos_branching = true;   ///< false: branch binaries individually
@@ -115,6 +137,18 @@ struct SolverOptions {
   /// Cap on pooled cuts; the oldest non-root cuts age out at epoch
   /// boundaries (a deterministic point) when the pool exceeds this.
   std::size_t max_pool_cuts = 512;
+
+  // --- Cross-solve warm starts (the online rebalancing loop) ---------------
+  /// State captured by a previous solve of a structurally identical model.
+  /// Borrowed; may be null.  The previous incumbent is rounded, clamped to
+  /// the new root box, and completed into an initial incumbent (so the tree
+  /// starts with a working cutoff); the root node inherits the previous
+  /// basis/keys/factor exactly as a child inherits its parent's.
+  const WarmStart* warm_start = nullptr;
+  /// Capture this solve's root basis/keys/factor and final incumbent into
+  /// MinlpResult::warm for a later warm re-solve.  Capture never changes the
+  /// search; only feeding the state back does.
+  bool capture_warm_start = false;
 };
 
 struct SolveStats {
@@ -138,6 +172,7 @@ struct SolveStats {
   long lp_bound_flips = 0;       ///< pivots resolved without a basis change
   long lp_bt_fallbacks = 0;      ///< dense-engine B^T solve fallbacks
   long lp_factor_inherits = 0;   ///< node LPs begun on the parent's factor
+  long warm_incumbent_primes = 0;  ///< solves seeded from a prior incumbent
   double lp_seconds = 0.0;     ///< wall time inside master-LP solves
   double lp_factor_seconds = 0.0;  ///< LP time building LU factorizations
   double lp_update_seconds = 0.0;  ///< LP time appending eta updates
@@ -151,6 +186,9 @@ struct MinlpResult {
   linalg::Vector x;        ///< best point found (empty if none)
   double objective = 0.0;  ///< objective at x
   SolveStats stats;
+  /// Filled when SolverOptions::capture_warm_start: feed back as
+  /// SolverOptions::warm_start on the next structurally identical solve.
+  WarmStart warm;
 };
 
 /// Solve the MINLP to global optimality (for convex nonlinear constraints

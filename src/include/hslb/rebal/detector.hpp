@@ -1,0 +1,76 @@
+// Streaming imbalance detector in the HemoCell trigger shape.
+//
+// HemoCell's load balancer polls calculateFractionalLoadImbalance() and
+// calls doLoadBalance() when the value crosses a threshold.  This detector
+// keeps that shape but hardens the trigger for noisy timings: per-component
+// loads are averaged over a sliding window before the fractional imbalance
+// is computed (so single-step noise cannot fire it), the trigger demands
+// `sustain` consecutive over-threshold steps (so it fires on sustained
+// drift, not excursions), and after firing it holds a cooldown and a lower
+// re-arm threshold (hysteresis) so one plateau cannot fire it twice.
+//
+// The detector is a pure state machine over the samples it is fed -- no
+// clocks, no randomness -- so horizon replays are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hslb::rebal {
+
+struct DetectorOptions {
+  int window = 16;        ///< steps averaged per component before the FLI
+  double fire_threshold = 0.15;   ///< windowed FLI that starts the sustain count
+  double clear_threshold = 0.05;  ///< FLI below which the trigger re-arms
+  int sustain = 4;        ///< consecutive over-threshold steps to fire
+  int cooldown = 50;      ///< steps after a fire before re-arming can begin
+};
+
+/// Fractional load imbalance of one sample of per-component loads:
+///   max_j load_j / mean_j load_j - 1
+/// (0 when perfectly balanced; HemoCell's FLI in our normalized setting).
+double fractional_imbalance(std::span<const double> loads);
+
+class ImbalanceDetector {
+ public:
+  enum class State {
+    kArmed,      ///< watching; sustain counter may be accumulating
+    kCooldown,   ///< recently fired; ignoring the signal
+    kBlocked,    ///< cooldown elapsed, FLI still in/above the hysteresis
+                 ///< band; re-arms below clear_threshold, re-fires on
+                 ///< sustained FLI above fire_threshold
+  };
+
+  explicit ImbalanceDetector(const DetectorOptions& options = {});
+
+  /// Feed one step's per-component load ratios (observed / expected under
+  /// the model the current allocation was solved for).  Returns true when
+  /// the trigger fires -- the caller should attempt a rebalance.  The
+  /// component count must stay constant across calls.
+  bool observe(std::span<const double> loads);
+
+  /// Reset the windows and sustain counter (call after a rebalance: the
+  /// expectation baseline changed, so the buffered history is stale).
+  /// Cooldown state is kept -- a rebalance must not shorten it.
+  void reset_window();
+
+  State state() const { return state_; }
+  /// Current windowed fractional imbalance (0 before any sample).
+  double windowed_imbalance() const;
+  long fires() const { return fires_; }
+
+ private:
+  DetectorOptions options_;
+  State state_ = State::kArmed;
+  std::vector<double> window_sums_;   ///< per component, over the ring
+  std::vector<double> ring_;          ///< column-major [component][slot]
+  std::size_t components_ = 0;
+  int filled_ = 0;
+  int next_slot_ = 0;
+  int sustain_count_ = 0;
+  int cooldown_left_ = 0;
+  long fires_ = 0;
+};
+
+}  // namespace hslb::rebal

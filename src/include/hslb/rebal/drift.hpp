@@ -1,0 +1,71 @@
+// Deterministic drift simulation for the online-rebalancing loop.
+//
+// A scenario's `drift` directives script how each component's true cost
+// evolves over a long horizon: a slow exponential trend (hardware aging,
+// queue contention creep), step regime shifts (a resolution change, a new
+// physics package, a node-class swap), and per-step observation noise.  The
+// simulator turns those directives into per-step timings the control loop
+// observes, while keeping the ground truth available for the bench's
+// detector precision/recall scoring.
+//
+// Determinism contract: every noise draw is a pure function of
+// (seed, step, component) through cesm::mix_fault_key, the same pure-hash
+// scheme the fault and chaos injectors use.  Replaying a horizon with the
+// same seed is byte-identical regardless of thread count or call order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hslb/scen/scenario.hpp"
+
+namespace hslb::rebal {
+
+/// True (noise-free) multiplicative cost scale of one drift spec at `step`:
+///   exp(rate * step) * prod of every shift factor with shift.step <= step.
+double drift_scale(const scen::DriftSpec& spec, long step);
+
+/// `base` with component j's curve multiplied by scales[j] (> 0): pow-family
+/// coefficients a, b, d and the comm term e scale linearly; piecewise knots
+/// scale their seconds.  Convexity and the model structure are preserved, so
+/// the scaled scenario lowers onto a structurally identical minlp::Model --
+/// the property cross-solve warm starts rely on.
+scen::Scenario scaled_scenario(const scen::Scenario& base,
+                               std::span<const double> scales);
+
+/// Replays a scenario's scripted drift over a horizon.
+class DriftSimulator {
+ public:
+  DriftSimulator(scen::Scenario scenario, std::uint64_t seed);
+
+  const scen::Scenario& base() const { return scenario_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// True cost scale of component j at `step` (1.0 when j has no drift).
+  double true_scale(int j, long step) const;
+
+  /// All components' true scales at `step`.
+  std::vector<double> true_scales(long step) const;
+
+  /// The ground-truth scenario at `step`: base curves scaled by the true
+  /// scales.  What an oracle re-fitter would hand the solver.
+  scen::Scenario scenario_at(long step) const;
+
+  /// Observed execute-step seconds of component j at `step` under an
+  /// allocation of `nodes`: curve(nodes) * true_scale * lognormal noise of
+  /// the spec's relative amplitude.  Pure in (seed, step, j).
+  double observed_seconds(int j, long step, int nodes) const;
+
+  /// Sorted, deduplicated steps at which any component has a scripted
+  /// regime shift -- the ground truth the detector is scored against.
+  std::vector<long> shift_steps() const;
+
+ private:
+  const scen::DriftSpec* spec_of(int j) const;
+
+  scen::Scenario scenario_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hslb::rebal

@@ -120,12 +120,34 @@ struct Expectations {
   std::optional<double> incumbent;  ///< feasible upper bound (heuristic)
 };
 
+/// A scripted regime shift: from `step` onward the component's true cost
+/// scale is multiplied by `factor` (on top of the slow drift).
+struct DriftShift {
+  int step = 0;
+  double factor = 1.0;
+};
+
+/// Scripted timing drift for one component over a rebalancing horizon
+/// (rebal::DriftSimulator consumes these).  The component's true
+/// per-step cost scale evolves as
+///   scale_t = exp(rate * t) * prod_{shifts with step <= t} factor
+/// and observed timings add zero-mean relative noise of amplitude `noise`.
+/// Drift lines are optional; scenarios without them print (and therefore
+/// fingerprint) exactly as before.
+struct DriftSpec {
+  int component = -1;              ///< index into Scenario::components
+  double rate = 0.0;               ///< per-step exponential drift rate
+  double noise = 0.0;              ///< relative observation-noise amplitude
+  std::vector<DriftShift> shifts;  ///< strictly increasing step
+};
+
 struct Scenario {
   std::string name;
   ScenMachine machine;
   std::vector<ScenComponent> components;
   std::vector<CommEdge> comm;
   ScheduleNode schedule;
+  std::vector<DriftSpec> drift;  ///< at most one entry per component
   Expectations expect;
 
   /// Index of the named component, or -1.

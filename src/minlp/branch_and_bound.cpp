@@ -394,6 +394,12 @@ struct NodeResult {
   bool pruned_infeasible = false;
   bool unbounded = false;
   double bound = -lp::kInf;
+  std::uint64_t node_id = 0;
+  /// Root-only (SolverOptions::capture_warm_start): the node's final basis,
+  /// row keys, and maintained factor, exported for cross-solve warm starts.
+  lp::Basis final_basis;
+  std::vector<std::uint64_t> final_keys;
+  lp::FactorRef final_factor;
   std::vector<Node> children;  // ids assigned at merge time
   CutPool cuts;                // worker-local cuts, deterministic ids
   std::optional<Completion> completion;
@@ -425,6 +431,7 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
                         const CutPool& pool, double cutoff_snapshot,
                         Node node, NodeScratch& scratch) {
   NodeResult r;
+  r.node_id = node.id;
   if (node.bound >= cutoff_snapshot) {
     r.pruned_by_bound = true;
     scratch.bounds.release(std::move(node.lower));
@@ -670,6 +677,11 @@ NodeResult process_node(const Model& model, const SolverOptions& opts,
   }
 
   r.bound = node.bound;
+  if (opts.capture_warm_start && node.id == 0) {
+    r.final_basis = std::move(warm);
+    r.final_keys = std::move(warm_keys);
+    r.final_factor = std::move(factor);
+  }
   scratch.bounds.release(std::move(node.lower));
   scratch.bounds.release(std::move(node.upper));
   return r;
@@ -806,6 +818,14 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   root.lower = root_lower;
   root.upper = root_upper;
   root.id = 0;
+  if (opts.warm_start != nullptr && opts.warm_start_lp) {
+    // The root inherits the previous solve's basis/keys/factor exactly as a
+    // child inherits its parent's: map_basis bridges moved rows and the
+    // factor snapshot declines itself if any coefficient changed.
+    root.warm = opts.warm_start->root_basis;
+    root.warm_keys = opts.warm_start->root_keys;
+    root.warm_factor = opts.warm_start->root_factor;
+  }
   std::uint64_t next_node_id = 1;
 
   NodeQueue queue(opts.node_selection);
@@ -816,6 +836,32 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   Vector incumbent_x;
   bool hit_node_limit = false;
   bool hit_time_limit = false;
+
+  // Prime the incumbent from the previous solve's best point: round the
+  // integers, clamp into the (possibly re-tightened) root box, and complete
+  // against the new model.  A drifted model usually moves the optimum only a
+  // little, so the completed point gives the tree a working cutoff from node
+  // one; when the old point went infeasible the completion fails and the
+  // search starts unprimed, exactly as before.
+  if (opts.warm_start != nullptr && opts.warm_start->incumbent.size() == n) {
+    Vector primed = opts.warm_start->incumbent;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (model.variables()[j].type != VarType::kContinuous) {
+        primed[j] = std::round(primed[j]);
+      }
+      primed[j] = std::clamp(primed[j], root_lower[j], root_upper[j]);
+    }
+    if (const auto completion = complete_integer_point(
+            model, pool, curvature, primed, root_lower, root_upper)) {
+      ++stats.lp_solves;
+      incumbent_obj = completion->objective;
+      incumbent_x = completion->x;
+      have_incumbent = true;
+      ++stats.incumbent_updates;
+      ++stats.warm_incumbent_primes;
+      HSLB_COUNT("minlp.warm_incumbent_primes", 1);
+    }
+  }
 
   const auto cutoff = [&]() {
     if (!have_incumbent) {
@@ -983,6 +1029,11 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
       stats.lp_factor_seconds += r.lp_factor_seconds;
       stats.lp_update_seconds += r.lp_update_seconds;
       stats.lp_pivot_seconds += r.lp_pivot_seconds;
+      if (opts.capture_warm_start && r.node_id == 0) {
+        out.warm.root_basis = std::move(r.final_basis);
+        out.warm.root_keys = std::move(r.final_keys);
+        out.warm.root_factor = std::move(r.final_factor);
+      }
       if (want_events && opts.log_every_nodes > 0 &&
           (stats.nodes_explored == 1 ||
            stats.nodes_explored % opts.log_every_nodes == 0)) {
@@ -1088,6 +1139,9 @@ MinlpResult solve(const Model& model, const SolverOptions& opts) {
   } else {
     out.status = hit_time_limit || hit_node_limit ? limited_status()
                                                   : MinlpStatus::kInfeasible;
+  }
+  if (opts.capture_warm_start && have_incumbent) {
+    out.warm.incumbent = out.x;
   }
   return out;
 }

@@ -1,0 +1,120 @@
+#include "hslb/rebal/detector.hpp"
+
+#include <algorithm>
+
+#include "hslb/common/error.hpp"
+
+namespace hslb::rebal {
+
+double fractional_imbalance(std::span<const double> loads) {
+  if (loads.empty()) {
+    return 0.0;
+  }
+  double peak = loads[0];
+  double total = 0.0;
+  for (const double load : loads) {
+    peak = std::max(peak, load);
+    total += load;
+  }
+  const double mean = total / static_cast<double>(loads.size());
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  return peak / mean - 1.0;
+}
+
+ImbalanceDetector::ImbalanceDetector(const DetectorOptions& options)
+    : options_(options) {
+  HSLB_REQUIRE(options_.window >= 1, "detector window must be >= 1");
+  HSLB_REQUIRE(options_.sustain >= 1, "detector sustain must be >= 1");
+  HSLB_REQUIRE(options_.cooldown >= 0, "detector cooldown must be >= 0");
+  HSLB_REQUIRE(options_.fire_threshold > 0.0 &&
+                   options_.clear_threshold >= 0.0 &&
+                   options_.clear_threshold <= options_.fire_threshold,
+               "detector needs 0 <= clear_threshold <= fire_threshold");
+}
+
+double ImbalanceDetector::windowed_imbalance() const {
+  if (filled_ == 0) {
+    return 0.0;
+  }
+  // FLI over the per-component window means; the common 1/filled factor
+  // cancels in max/mean, so the sums are used directly.
+  return fractional_imbalance(window_sums_);
+}
+
+void ImbalanceDetector::reset_window() {
+  std::fill(window_sums_.begin(), window_sums_.end(), 0.0);
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  filled_ = 0;
+  next_slot_ = 0;
+  sustain_count_ = 0;
+}
+
+bool ImbalanceDetector::observe(std::span<const double> loads) {
+  HSLB_REQUIRE(!loads.empty(), "detector needs at least one component");
+  if (components_ == 0) {
+    components_ = loads.size();
+    window_sums_.assign(components_, 0.0);
+    ring_.assign(components_ * static_cast<std::size_t>(options_.window),
+                 0.0);
+  }
+  HSLB_REQUIRE(loads.size() == components_,
+               "detector component count changed between steps");
+
+  // Slide the per-component window.
+  for (std::size_t j = 0; j < components_; ++j) {
+    double& slot =
+        ring_[j * static_cast<std::size_t>(options_.window) +
+              static_cast<std::size_t>(next_slot_)];
+    window_sums_[j] += loads[j] - slot;
+    slot = loads[j];
+  }
+  next_slot_ = (next_slot_ + 1) % options_.window;
+  filled_ = std::min(filled_ + 1, options_.window);
+
+  const double fli = windowed_imbalance();
+
+  switch (state_) {
+    case State::kCooldown:
+      if (--cooldown_left_ <= 0) {
+        // Hysteresis: the trigger re-arms only below the clear threshold.
+        state_ = fli < options_.clear_threshold ? State::kArmed
+                                                : State::kBlocked;
+      }
+      return false;
+    case State::kBlocked:
+      if (fli < options_.clear_threshold) {
+        state_ = State::kArmed;
+        sustain_count_ = 0;
+        return false;
+      }
+      // A plateau inside the hysteresis band stays blocked, but sustained
+      // imbalance back above the fire threshold is actionable again: the
+      // fire that led here moved the rebalancing baseline, so this is new
+      // signal, not the plateau the hysteresis guards against (e.g. a
+      // regime shift that landed during the cooldown).
+      if (fli <= options_.fire_threshold) {
+        sustain_count_ = 0;
+        return false;
+      }
+      break;
+    case State::kArmed:
+      break;
+  }
+
+  if (fli > options_.fire_threshold && filled_ >= options_.window) {
+    if (++sustain_count_ >= options_.sustain) {
+      ++fires_;
+      sustain_count_ = 0;
+      state_ = State::kCooldown;
+      cooldown_left_ = std::max(1, options_.cooldown);
+      return true;
+    }
+  } else {
+    sustain_count_ = 0;
+  }
+  return false;
+}
+
+}  // namespace hslb::rebal

@@ -1,0 +1,104 @@
+#include "hslb/rebal/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hslb/cesm/fault.hpp"
+#include "hslb/common/error.hpp"
+#include "hslb/common/rng.hpp"
+
+namespace hslb::rebal {
+
+double drift_scale(const scen::DriftSpec& spec, long step) {
+  double scale = std::exp(spec.rate * static_cast<double>(step));
+  for (const scen::DriftShift& shift : spec.shifts) {
+    if (static_cast<long>(shift.step) <= step) {
+      scale *= shift.factor;
+    }
+  }
+  return scale;
+}
+
+scen::Scenario scaled_scenario(const scen::Scenario& base,
+                               std::span<const double> scales) {
+  HSLB_REQUIRE(scales.size() == base.components.size(),
+               "one scale per component required");
+  scen::Scenario out = base;
+  for (std::size_t j = 0; j < out.components.size(); ++j) {
+    const double s = scales[j];
+    HSLB_REQUIRE(s > 0.0 && std::isfinite(s), "curve scales must be positive");
+    scen::CurveSpec& curve = out.components[j].curve;
+    curve.pow.a *= s;
+    curve.pow.b *= s;
+    curve.pow.d *= s;
+    curve.comm_per_node *= s;
+    for (scen::CurvePoint& pt : curve.points) {
+      pt.seconds *= s;
+    }
+  }
+  return out;
+}
+
+DriftSimulator::DriftSimulator(scen::Scenario scenario, std::uint64_t seed)
+    : scenario_(std::move(scenario)), seed_(seed) {
+  scenario_.validate();
+}
+
+const scen::DriftSpec* DriftSimulator::spec_of(int j) const {
+  for (const scen::DriftSpec& spec : scenario_.drift) {
+    if (spec.component == j) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+double DriftSimulator::true_scale(int j, long step) const {
+  const scen::DriftSpec* spec = spec_of(j);
+  return spec == nullptr ? 1.0 : drift_scale(*spec, step);
+}
+
+std::vector<double> DriftSimulator::true_scales(long step) const {
+  std::vector<double> scales(scenario_.components.size(), 1.0);
+  for (const scen::DriftSpec& spec : scenario_.drift) {
+    scales[static_cast<std::size_t>(spec.component)] =
+        drift_scale(spec, step);
+  }
+  return scales;
+}
+
+scen::Scenario DriftSimulator::scenario_at(long step) const {
+  return scaled_scenario(scenario_, true_scales(step));
+}
+
+double DriftSimulator::observed_seconds(int j, long step, int nodes) const {
+  HSLB_REQUIRE(j >= 0 && j < static_cast<int>(scenario_.components.size()),
+               "component index out of range");
+  const double clean =
+      scenario_.components[static_cast<std::size_t>(j)].curve(
+          static_cast<double>(nodes)) *
+      true_scale(j, step);
+  const scen::DriftSpec* spec = spec_of(j);
+  if (spec == nullptr || spec->noise <= 0.0) {
+    return clean;
+  }
+  // One pure-hash draw per (seed, step, component): thread-order
+  // independent and replay-exact, same scheme as the fault injectors.
+  common::Rng rng(cesm::mix_fault_key(seed_, static_cast<std::uint64_t>(step),
+                                      static_cast<std::uint64_t>(j)));
+  return clean * rng.lognormal_noise(spec->noise);
+}
+
+std::vector<long> DriftSimulator::shift_steps() const {
+  std::vector<long> steps;
+  for (const scen::DriftSpec& spec : scenario_.drift) {
+    for (const scen::DriftShift& shift : spec.shifts) {
+      steps.push_back(shift.step);
+    }
+  }
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+}  // namespace hslb::rebal

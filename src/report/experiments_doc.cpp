@@ -14,6 +14,7 @@ const std::vector<std::string>& experiments_bench_set() {
       "fig2_scaling_curves", "fig3_highres_summary", "fig4_layout_prediction",
       "minlp_solver",   "objectives",    "tsync",
       "fitting",        "ice_ml",        "fig1_layouts",
+      "rebal_horizon",
   };
   return kSet;
 }
@@ -639,6 +640,59 @@ std::string render_experiments(
         " s ≈ sequential-group " + f(l2, 0) +
         " s < fully-sequential\n" + f(l3, 0) +
         " s) matches the paper's discussion.\n";
+  }
+
+  // --- Online rebalancing horizon. ------------------------------------------
+  {
+    const ResultSet& a = art("rebal_horizon");
+    const double static_ch = a.value("static", 0, "core_hours");
+    const double warm_ch = a.value("warm", 0, "core_hours");
+    const double cold_ch = a.value("cold", 0, "core_hours");
+    out +=
+        "\n## Beyond the paper — online rebalancing under drift "
+        "(`bench_rebal_horizon`)\n"
+        "\n"
+        "The paper's allocation is static. DESIGN.md §16's control loop "
+        "re-fits and\nwarm re-solves when the drift simulator pushes the "
+        "components off balance;\nthis bench races it against "
+        "never-rebalancing over a " +
+        n(a.value("summary", 0, "horizon")) + "-step horizon with\n" +
+        n(a.value("summary", 0, "scripted_shifts")) +
+        " scripted regime shifts (modeled rebalance overhead included in "
+        "the loop's\ncost):\n"
+        "\n";
+    MarkdownTable table({"arm", "core-hours", "vs static", "fires",
+                         "rebalances", "B&B nodes", "simplex pivots"});
+    for (const char* arm : {"static", "warm", "cold"}) {
+      table.row({arm, f(a.value(arm, 0, "core_hours"), 1),
+                 f(a.value(arm, 0, "savings_vs_static_pct"), 2) + " %",
+                 n(a.value(arm, 0, "detector_fires")),
+                 n(a.value(arm, 0, "rebalances")),
+                 n(a.value(arm, 0, "resolve_nodes")),
+                 n(a.value(arm, 0, "resolve_simplex_iterations"))});
+    }
+    out += table.str();
+    out +=
+        "\nRebalancing saves " + f(static_ch - warm_ch, 1) +
+        " core-hours (" +
+        f(a.value("warm", 0, "savings_vs_static_pct"), 2) +
+        " %) over the horizon. Warm and cold adopt\nidentical allocations "
+        "(warmth changes the path to the optimum, never the\noptimum: " +
+        f(warm_ch, 1) + " vs " + f(cold_ch, 1) +
+        " core-hours), but the warm re-solves need " +
+        n(a.value("warm", 0, "resolve_simplex_iterations")) +
+        "\nsimplex pivots where cold needs " +
+        n(a.value("cold", 0, "resolve_simplex_iterations")) +
+        " — the incumbent/basis/factor handoff at\nwork. The detector "
+        "scores precision " + f(a.value("detector", 0, "precision"), 2) +
+        ", recall " + f(a.value("detector", 0, "recall"), 2) +
+        " against the scripted\nshifts (" +
+        n(a.value("detector", 0, "true_positives")) + " matched, " +
+        n(a.value("detector", 0, "false_positives")) + " spurious, " +
+        n(a.value("detector", 0, "false_negatives")) +
+        " missed). Re-solve wall time is `timing`-tagged in\nthe artifact; "
+        "the deterministic pivot counts above are the "
+        "machine-independent\nproxy for the same claim.\n";
   }
 
   // --- Known deviations. ----------------------------------------------------

@@ -354,6 +354,55 @@ ScenExpected<ScenComponent> parse_component(const Line& line) {
   return comp;
 }
 
+/// drift <component> [rate=<r>] [noise=<s>] [shifts=<step>:<factor>,...]
+/// The component must already be declared (same rule as comm edges).
+ScenExpected<DriftSpec> parse_drift(const Line& line, const Scenario& s) {
+  if (line.tokens.size() < 2) {
+    return make_unexpected(
+        error_at(line, "drift needs a component name"));
+  }
+  DriftSpec spec;
+  spec.component = s.component_index(line.tokens[1]);
+  if (spec.component < 0) {
+    return make_unexpected(
+        error_at(line, "drift references an unknown component"));
+  }
+  for (std::size_t i = 2; i < line.tokens.size(); ++i) {
+    std::string key;
+    std::string value;
+    if (!split_kv(line.tokens[i], &key, &value)) {
+      return make_unexpected(error_at(
+          line, "expected key=value, got '" + line.tokens[i] + "'"));
+    }
+    if (key == "rate") {
+      if (!parse_number(value, &spec.rate)) {
+        return make_unexpected(error_at(line, "bad number for rate=" + value));
+      }
+    } else if (key == "noise") {
+      if (!parse_number(value, &spec.noise) || spec.noise < 0.0 ||
+          spec.noise >= 1.0) {
+        return make_unexpected(
+            error_at(line, "drift noise must be a number in [0, 1)"));
+      }
+    } else if (key == "shifts") {
+      for (const std::string& part : split_on(value, ',')) {
+        const std::vector<std::string> pair = split_on(part, ':');
+        DriftShift shift;
+        if (pair.size() != 2 || !parse_int(pair[0], &shift.step) ||
+            !parse_number(pair[1], &shift.factor) || shift.step < 0 ||
+            shift.factor <= 0.0) {
+          return make_unexpected(error_at(
+              line, "bad drift shift '" + part + "' (want step:factor)"));
+        }
+        spec.shifts.push_back(shift);
+      }
+    } else {
+      return make_unexpected(error_at(line, "unknown drift key '" + key + "'"));
+    }
+  }
+  return spec;
+}
+
 ScenExpected<bool> parse_expect(const Line& line, Expectations* expect) {
   if (line.tokens.size() < 2) {
     return make_unexpected(
@@ -460,6 +509,12 @@ ScenExpected<Scenario> try_parse_scenario(const std::string& text) {
       }
       schedule_line = line;
       saw_schedule = true;
+    } else if (directive == "drift") {
+      auto spec = parse_drift(line, scenario);
+      if (!spec) {
+        return make_unexpected(std::move(spec.error()));
+      }
+      scenario.drift.push_back(std::move(spec.value()));
     } else if (directive == "expect") {
       auto ok = parse_expect(line, &scenario.expect);
       if (!ok) {

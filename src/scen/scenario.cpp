@@ -292,6 +292,29 @@ void Scenario::validate() const {
     HSLB_REQUIRE(edge.seconds_per_node >= 0.0,
                  "comm cost must be nonnegative");
   }
+  std::vector<bool> drifted(components.size(), false);
+  for (const DriftSpec& spec : drift) {
+    HSLB_REQUIRE(spec.component >= 0 &&
+                     spec.component < static_cast<int>(components.size()),
+                 "drift references an unknown component");
+    HSLB_REQUIRE(!drifted[static_cast<std::size_t>(spec.component)],
+                 "duplicate drift line for component '" +
+                     components[static_cast<std::size_t>(spec.component)]
+                         .name + "'");
+    drifted[static_cast<std::size_t>(spec.component)] = true;
+    HSLB_REQUIRE(std::isfinite(spec.rate), "drift rate must be finite");
+    HSLB_REQUIRE(spec.noise >= 0.0 && spec.noise < 1.0,
+                 "drift noise must be in [0, 1)");
+    int previous = -1;
+    for (const DriftShift& shift : spec.shifts) {
+      HSLB_REQUIRE(shift.step > previous,
+                   "drift shifts must have strictly increasing steps");
+      HSLB_REQUIRE(shift.step >= 0, "drift shift steps must be nonnegative");
+      HSLB_REQUIRE(shift.factor > 0.0 && std::isfinite(shift.factor),
+                   "drift shift factors must be positive");
+      previous = shift.step;
+    }
+  }
   std::vector<int> uses(components.size(), 0);
   count_leaves(schedule, &uses);
   for (std::size_t j = 0; j < components.size(); ++j) {
@@ -483,6 +506,27 @@ std::string print_scenario(const Scenario& scenario, bool with_expectations) {
   out += "schedule ";
   print_schedule(scenario, scenario.schedule, &out);
   out += "\n";
+  for (const DriftSpec& spec : scenario.drift) {
+    out += "drift " +
+           scenario.components[static_cast<std::size_t>(spec.component)].name;
+    if (spec.rate != 0.0) {
+      out += " rate=" + num(spec.rate);
+    }
+    if (spec.noise > 0.0) {
+      out += " noise=" + num(spec.noise);
+    }
+    if (!spec.shifts.empty()) {
+      out += " shifts=";
+      for (std::size_t i = 0; i < spec.shifts.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += std::to_string(spec.shifts[i].step) + ":" +
+               num(spec.shifts[i].factor);
+      }
+    }
+    out += "\n";
+  }
   if (with_expectations) {
     if (scenario.expect.optimum.has_value()) {
       out += "expect optimum=" + num(*scenario.expect.optimum) + "\n";
